@@ -1,0 +1,47 @@
+//! Criterion bench behind Figure 6: concolic-exploration cost per
+//! kind of instruction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use igjit::{Explorer, InstrUnderTest, Instruction, NativeMethodId};
+
+fn bench_bytecode_exploration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("concolic_bytecode");
+    g.sample_size(10);
+    for (name, instr) in [
+        ("push_true", Instruction::PushTrue),
+        ("pop", Instruction::Pop),
+        ("add", Instruction::Add),
+        ("divide", Instruction::Divide),
+        ("special_at", Instruction::SpecialSendAt),
+        ("jump_true", Instruction::ShortJumpTrue(3)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| Explorer::new().explore(InstrUnderTest::Bytecode(std::hint::black_box(instr))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_native_exploration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("concolic_native");
+    g.sample_size(10);
+    for (name, id) in [
+        ("prim_add", 1u16),
+        ("prim_bit_and", 14),
+        ("prim_float_add", 41),
+        ("prim_at_put", 61),
+        ("prim_ffi_read", 100),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                Explorer::new().explore(InstrUnderTest::Native(NativeMethodId(
+                    std::hint::black_box(id),
+                )))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_bytecode_exploration, bench_native_exploration);
+criterion_main!(benches);

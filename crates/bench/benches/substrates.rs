@@ -1,0 +1,148 @@
+//! Microbenchmarks of the substrates: interpreter dispatch, solver
+//! throughput, JIT compile + machine execution. These are the ablation
+//! measurements behind the §5.4 claim that the constraint solver, not
+//! the execution machinery, dominates concolic cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use igjit_bytecode::{Instruction, MethodBuilder};
+use igjit_heap::{ObjectMemory, Oop};
+use igjit_interp::{run_method, MethodResult};
+use igjit_jit::{compile_bytecode_test, BytecodeTestInput, CompilerKind, Convention};
+use igjit_machine::{Isa, Machine, MachineConfig};
+use igjit_solver::{solve, Constraint, Kind, LinExpr, Problem, VarSpec};
+
+fn bench_interpreter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interpreter");
+    // A loop summing 0..99 — dispatch-heavy workload.
+    let mut mem = ObjectMemory::new();
+    let mut b = MethodBuilder::new(0, 2);
+    b.emit(Instruction::PushZero);
+    b.emit(Instruction::PopIntoTemp(0)); // sum
+    b.emit(Instruction::PushZero);
+    b.emit(Instruction::PopIntoTemp(1)); // i
+    // loop body starts at pc 4
+    b.emit(Instruction::PushTemp(0));
+    b.emit(Instruction::PushTemp(1));
+    b.emit(Instruction::Add);
+    b.emit(Instruction::PopIntoTemp(0));
+    b.emit(Instruction::PushTemp(1));
+    b.emit(Instruction::PushOne);
+    b.emit(Instruction::Add);
+    b.emit(Instruction::PopIntoTemp(1));
+    b.emit(Instruction::PushTemp(1));
+    b.push_small_int(100); // 2 bytes (PushInteger)
+    b.emit(Instruction::GreaterOrEqual);
+    b.emit(Instruction::ShortJumpTrue(2));
+    b.emit(Instruction::LongJumpForward(-15)); // back to pc 4
+    b.emit(Instruction::PushTemp(0));
+    b.emit(Instruction::ReturnTop);
+    let m = b.install(&mut mem).unwrap();
+    let nil = mem.nil();
+    g.bench_function("sum_loop_100", |bch| {
+        bch.iter(|| {
+            let r = run_method(&mut mem, m, nil, &[]).unwrap();
+            assert_eq!(r, MethodResult::Returned(Oop::from_small_int(4950)));
+        })
+    });
+    g.finish();
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solver");
+    g.bench_function("overflow_pair", |bch| {
+        bch.iter(|| {
+            let mut p = Problem::new();
+            let x = p.new_var(VarSpec::any());
+            let y = p.new_var(VarSpec::any());
+            p.assert(Constraint::kind_is(x, Kind::SmallInt));
+            p.assert(Constraint::kind_is(y, Kind::SmallInt));
+            let sum = LinExpr::var(x).plus(&LinExpr::var(y));
+            p.assert(Constraint::not_in_small_int_range(sum));
+            solve(&p).unwrap()
+        })
+    });
+    g.bench_function("kind_chain", |bch| {
+        bch.iter(|| {
+            let mut p = Problem::new();
+            let vars: Vec<_> = (0..8).map(|_| p.new_var(VarSpec::any())).collect();
+            for (i, v) in vars.iter().enumerate() {
+                let k = if i % 2 == 0 { Kind::SmallInt } else { Kind::Array };
+                p.assert(Constraint::kind_is(*v, k));
+            }
+            solve(&p).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_jit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("jit");
+    let mem = ObjectMemory::new();
+    let stack = [Oop::from_small_int(20), Oop::from_small_int(22)];
+    let input = BytecodeTestInput {
+        instruction: Instruction::Add,
+        operand_stack: &stack,
+        temps: &[],
+        literals: &[],
+        nil: mem.nil(),
+        true_obj: mem.true_object(),
+        false_obj: mem.false_object(),
+    };
+    for isa in [Isa::X86ish, Isa::Arm32ish] {
+        g.bench_function(format!("compile_add_{}", isa.name()), |bch| {
+            bch.iter(|| {
+                compile_bytecode_test(CompilerKind::RegisterAllocating, &input, isa).unwrap()
+            })
+        });
+        let compiled = compile_bytecode_test(CompilerKind::StackToRegister, &input, isa).unwrap();
+        g.bench_function(format!("execute_add_{}", isa.name()), |bch| {
+            bch.iter(|| {
+                let mut mem = ObjectMemory::new();
+                let conv = Convention::for_isa(isa);
+                let mut m = Machine::new(&mut mem, isa, compiled.code.clone());
+                m.set_reg(conv.receiver, Oop::from_small_int(0).0);
+                m.run(MachineConfig::default())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_image_dispatch(c: &mut Criterion) {
+    use igjit_bytecode::Instruction as I;
+    use igjit_heap::ClassIndex;
+    use igjit_interp::Image;
+    let mut g = c.benchmark_group("image");
+    let mut image = Image::new();
+    let fib = image.intern("fib");
+    image.install_method(ClassIndex::SMALL_INTEGER, "fib", 0, 0, |b, _| {
+        let lit = b.add_literal(fib);
+        b.emit(I::PushReceiver);
+        b.emit(I::PushTwo);
+        b.emit(I::LessThan);
+        b.emit(I::ShortJumpFalse(1));
+        b.emit(I::ReturnReceiver);
+        b.emit(I::PushReceiver);
+        b.emit(I::PushOne);
+        b.emit(I::Subtract);
+        b.emit(I::Send { lit, nargs: 0 });
+        b.emit(I::PushReceiver);
+        b.emit(I::PushTwo);
+        b.emit(I::Subtract);
+        b.emit(I::Send { lit, nargs: 0 });
+        b.emit(I::Add);
+        b.emit(I::ReturnTop);
+    });
+    g.bench_function("fib_12_dispatched_sends", |bch| {
+        bch.iter(|| {
+            let r = image
+                .send(Oop::from_small_int(std::hint::black_box(12)), "fib", &[])
+                .unwrap();
+            assert_eq!(r, Oop::from_small_int(144));
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_interpreter, bench_solver, bench_jit, bench_image_dispatch);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench behind Figure 7: differential test-execution cost
+//! per compiler.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use igjit::{
+    test_instruction, CompilerKind, InstrUnderTest, Instruction, Isa, NativeMethodId, Target,
+};
+
+const BOTH: [Isa; 2] = [Isa::X86ish, Isa::Arm32ish];
+
+fn bench_bytecode_compilers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("difftest_bytecode");
+    g.sample_size(10);
+    for kind in CompilerKind::ALL {
+        let label = match kind {
+            CompilerKind::SimpleStackBased => "simple",
+            CompilerKind::StackToRegister => "stack_to_register",
+            CompilerKind::RegisterAllocating => "linear_allocator",
+        };
+        g.bench_function(format!("{label}/add"), |b| {
+            b.iter(|| {
+                test_instruction(
+                    InstrUnderTest::Bytecode(std::hint::black_box(Instruction::Add)),
+                    Target::Bytecode(kind),
+                    &BOTH,
+                    false,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_native_compiler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("difftest_native");
+    g.sample_size(10);
+    for (label, id) in [("prim_add", 1u16), ("prim_float_add", 41), ("prim_at", 60)] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                test_instruction(
+                    InstrUnderTest::Native(NativeMethodId(std::hint::black_box(id))),
+                    Target::NativeMethods,
+                    &BOTH,
+                    true,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_bytecode_compilers, bench_native_compiler);
+criterion_main!(benches);

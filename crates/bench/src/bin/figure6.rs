@@ -1,0 +1,43 @@
+//! Regenerates Figure 6: concolic-exploration time per kind of
+//! instruction (log ms), plus the §5.4 aggregate totals.
+
+use std::time::Instant;
+
+use igjit::report::{ascii_histogram, stats};
+use igjit::{instruction_catalog, native_catalog, Explorer, InstrUnderTest};
+
+fn main() {
+    let explorer = Explorer::new();
+    let mut bc_ms = Vec::new();
+    let mut nm_ms = Vec::new();
+
+    eprintln!("timing concolic exploration of all bytecode instructions…");
+    for spec in instruction_catalog() {
+        let t0 = Instant::now();
+        let _ = explorer.explore(InstrUnderTest::Bytecode(spec.instruction));
+        bc_ms.push(t0.elapsed().as_secs_f64() * 1000.0);
+    }
+    eprintln!("timing concolic exploration of all native methods…");
+    for spec in native_catalog() {
+        let t0 = Instant::now();
+        let _ = explorer.explore(InstrUnderTest::Native(spec.id));
+        nm_ms.push(t0.elapsed().as_secs_f64() * 1000.0);
+    }
+
+    println!("\nFigure 6: concolic execution time per kind of instruction\n");
+    for (label, data) in [("Bytecode", &bc_ms), ("Native Method", &nm_ms)] {
+        let s = stats(data.iter().copied()).unwrap();
+        println!(
+            "{label:<14} min {:>8.2}ms  median {:>8.2}ms  mean {:>8.2}ms  max {:>8.2}ms  total {:>9.2}s",
+            s.min,
+            s.median,
+            s.mean,
+            s.max,
+            s.total / 1000.0
+        );
+    }
+    println!("\nBytecode exploration time distribution (ms):");
+    println!("{}", ascii_histogram(&bc_ms, 8, 40));
+    println!("Native-method exploration time distribution (ms):");
+    println!("{}", ascii_histogram(&nm_ms, 8, 40));
+}

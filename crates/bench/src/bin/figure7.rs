@@ -1,0 +1,68 @@
+//! Regenerates Figure 7: test execution time per compiler (log ms) —
+//! the differential-run cost once the exploration results are cached.
+
+use std::time::Instant;
+
+use igjit::report::{ascii_histogram, stats};
+use igjit::{
+    instruction_catalog, native_catalog, test_instruction, CompilerKind, InstrUnderTest, Isa,
+    Target,
+};
+
+fn main() {
+    let isas = [Isa::X86ish, Isa::Arm32ish];
+
+    let mut series: Vec<(String, Vec<f64>)> = Vec::new();
+
+    eprintln!("timing native-method differential tests…");
+    let mut nm_ms = Vec::new();
+    for spec in native_catalog() {
+        let t0 = Instant::now();
+        let _ = test_instruction(
+            InstrUnderTest::Native(spec.id),
+            Target::NativeMethods,
+            &isas,
+            true,
+        );
+        nm_ms.push(t0.elapsed().as_secs_f64() * 1000.0);
+    }
+    series.push(("Native Method".into(), nm_ms));
+
+    for kind in CompilerKind::ALL {
+        eprintln!("timing bytecode differential tests on {}…", kind.name());
+        let mut ms = Vec::new();
+        for spec in instruction_catalog() {
+            let t0 = Instant::now();
+            let _ = test_instruction(
+                InstrUnderTest::Bytecode(spec.instruction),
+                Target::Bytecode(kind),
+                &isas,
+                false,
+            );
+            ms.push(t0.elapsed().as_secs_f64() * 1000.0);
+        }
+        let label = match kind {
+            CompilerKind::SimpleStackBased => "Simple",
+            CompilerKind::StackToRegister => "Stack-to-Register",
+            CompilerKind::RegisterAllocating => "Linear-Allocator",
+        };
+        series.push((label.into(), ms));
+    }
+
+    println!("\nFigure 7: test execution time per compiler\n");
+    for (label, data) in &series {
+        let s = stats(data.iter().copied()).unwrap();
+        println!(
+            "{label:<18} min {:>8.2}ms  median {:>8.2}ms  mean {:>8.2}ms  max {:>8.2}ms  total {:>8.2}s",
+            s.min,
+            s.median,
+            s.mean,
+            s.max,
+            s.total / 1000.0
+        );
+    }
+    for (label, data) in &series {
+        println!("\n{label} time distribution (ms):");
+        println!("{}", ascii_histogram(data, 8, 40));
+    }
+}

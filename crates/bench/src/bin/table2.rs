@@ -1,0 +1,13 @@
+//! Regenerates Table 2 of the paper: for each of the four compilers,
+//! the number of tested instructions, interpreter paths, curated paths
+//! and differences.
+
+use igjit_bench::{paper_campaign, print_table2};
+
+fn main() {
+    let campaign = paper_campaign();
+    eprintln!("running the native-method and three bytecode campaigns (both ISAs, probing on)…");
+    let reports = campaign.run_all();
+    println!("\nTable 2: results running the approach on four different compilers\n");
+    print_table2(&reports);
+}

@@ -1,0 +1,40 @@
+//! Shared helpers for the table/figure harness binaries and the
+//! Criterion benches.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use igjit::report;
+use igjit::{Campaign, CampaignConfig, CampaignReport, Isa};
+
+/// The evaluation configuration used by every harness binary: both
+/// ISAs, probing enabled (the paper's §5.1 setup).
+pub fn paper_campaign() -> Campaign {
+    Campaign::new(CampaignConfig {
+        isas: vec![Isa::X86ish, Isa::Arm32ish],
+        probes: true,
+        threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    })
+}
+
+/// Prints a full Table 2 from the given reports.
+pub fn print_table2(reports: &[CampaignReport]) {
+    println!("{}", report::table2_header());
+    let mut total = igjit::CampaignRow { label: "Total".into(), ..Default::default() };
+    for r in reports {
+        println!("{}", report::table2_row(r));
+        total.tested_instructions += r.row.tested_instructions;
+        total.interpreter_paths += r.row.interpreter_paths;
+        total.curated_paths += r.row.curated_paths;
+        total.differences += r.row.differences;
+    }
+    println!(
+        "{:<34} {:>8} {:>8} {:>8} {:>10} ({:.2}%)",
+        total.label,
+        total.tested_instructions,
+        total.interpreter_paths,
+        total.curated_paths,
+        total.differences,
+        total.difference_percent()
+    );
+}

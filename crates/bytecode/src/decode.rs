@@ -1,0 +1,282 @@
+//! Bytecode encoding and decoding.
+//!
+//! The encoding is fixed and dense: hot families occupy ranges of
+//! single opcode bytes with the index embedded; colder forms take a
+//! second operand byte. [`encode`] and [`decode`] are exact inverses
+//! for every instruction the set can express (property-tested below).
+
+use crate::instr::Instruction;
+
+/// Errors raised while decoding a bytecode stream.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DecodeError {
+    /// The program counter is past the end of the bytecode.
+    PcOutOfRange {
+        /// Requested pc.
+        pc: usize,
+        /// Method bytecode length.
+        len: usize,
+    },
+    /// The opcode byte is not assigned.
+    UnknownOpcode {
+        /// The unassigned byte.
+        byte: u8,
+        /// Location of the byte.
+        pc: usize,
+    },
+    /// A multi-byte instruction was truncated.
+    TruncatedOperand {
+        /// Opcode byte of the truncated instruction.
+        byte: u8,
+        /// Location of the opcode.
+        pc: usize,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::PcOutOfRange { pc, len } => {
+                write!(f, "pc {pc} out of range (method has {len} bytes)")
+            }
+            DecodeError::UnknownOpcode { byte, pc } => {
+                write!(f, "unknown opcode 0x{byte:02x} at pc {pc}")
+            }
+            DecodeError::TruncatedOperand { byte, pc } => {
+                write!(f, "truncated operand for opcode 0x{byte:02x} at pc {pc}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Decodes the instruction at `pc`, returning it and its byte length.
+pub fn decode(bytes: &[u8], pc: usize) -> Result<(Instruction, usize), DecodeError> {
+    use Instruction as I;
+    let &b = bytes.get(pc).ok_or(DecodeError::PcOutOfRange { pc, len: bytes.len() })?;
+    let operand = |off: usize| -> Result<u8, DecodeError> {
+        bytes
+            .get(pc + off)
+            .copied()
+            .ok_or(DecodeError::TruncatedOperand { byte: b, pc })
+    };
+    let one = |i: Instruction| Ok((i, 1));
+    match b {
+        0x00..=0x0B => one(I::PushReceiverVariable(b)),
+        0x0C..=0x17 => one(I::PushTemp(b - 0x0C)),
+        0x18..=0x27 => one(I::PushLiteralConstant(b - 0x18)),
+        0x28..=0x2F => one(I::PushLiteralVariable(b - 0x28)),
+        0x30 => one(I::PushReceiver),
+        0x31 => one(I::PushTrue),
+        0x32 => one(I::PushFalse),
+        0x33 => one(I::PushNil),
+        0x34 => one(I::PushZero),
+        0x35 => one(I::PushOne),
+        0x36 => one(I::PushMinusOne),
+        0x37 => one(I::PushTwo),
+        0x38 => one(I::Dup),
+        0x39 => one(I::Pop),
+        0x3A => one(I::PushThisContext),
+        0x3B => one(I::Nop),
+        0x40 => one(I::Add),
+        0x41 => one(I::Subtract),
+        0x42 => one(I::LessThan),
+        0x43 => one(I::GreaterThan),
+        0x44 => one(I::LessOrEqual),
+        0x45 => one(I::GreaterOrEqual),
+        0x46 => one(I::Equal),
+        0x47 => one(I::NotEqual),
+        0x48 => one(I::Multiply),
+        0x49 => one(I::Divide),
+        0x4A => one(I::Modulo),
+        0x4B => one(I::IntegerDivide),
+        0x4C => one(I::IdentityEqual),
+        0x4D => one(I::BitAnd),
+        0x4E => one(I::BitOr),
+        0x4F => one(I::BitShift),
+        0x50 => one(I::SpecialSendAt),
+        0x51 => one(I::SpecialSendAtPut),
+        0x52 => one(I::SpecialSendSize),
+        0x53 => one(I::SpecialSendValue),
+        0x54 => one(I::SpecialSendNew),
+        0x55 => one(I::SpecialSendClass),
+        0x58..=0x5F => one(I::PopIntoTemp(b - 0x58)),
+        0x60..=0x67 => one(I::PopIntoReceiverVariable(b - 0x60)),
+        0x68..=0x6F => one(I::StoreTemp(b - 0x68)),
+        0x70 => one(I::ReturnReceiver),
+        0x71 => one(I::ReturnTrue),
+        0x72 => one(I::ReturnFalse),
+        0x73 => one(I::ReturnNil),
+        0x74 => one(I::ReturnTop),
+        0x78..=0x7F => one(I::ShortJumpForward(b - 0x78 + 1)),
+        0x80..=0x87 => one(I::ShortJumpTrue(b - 0x80 + 1)),
+        0x88..=0x8F => one(I::ShortJumpFalse(b - 0x88 + 1)),
+        0x90 => Ok((I::LongJumpForward(operand(1)? as i8), 2)),
+        0x91 => Ok((I::LongJumpTrue(operand(1)?), 2)),
+        0x92 => Ok((I::LongJumpFalse(operand(1)?), 2)),
+        0x93 => Ok((I::PushTempLong(operand(1)?), 2)),
+        0x94 => Ok((I::StoreTempLong(operand(1)?), 2)),
+        0x95 => Ok((I::PushLiteralLong(operand(1)?), 2)),
+        0x96 => Ok((I::PushReceiverVariableLong(operand(1)?), 2)),
+        0x97 => Ok((I::StoreReceiverVariableLong(operand(1)?), 2)),
+        0x98 => Ok((I::PushInteger(operand(1)? as i8), 2)),
+        0xA0..=0xA3 => Ok((I::Send { lit: operand(1)?, nargs: b - 0xA0 }, 2)),
+        _ => Err(DecodeError::UnknownOpcode { byte: b, pc }),
+    }
+}
+
+/// Encodes one instruction, appending its bytes to `out`.
+///
+/// Panics if an embedded index exceeds its short-form range (callers
+/// should use the `*Long` variant instead) — this is an assembler
+/// usage error, not a runtime condition.
+pub fn encode(instr: Instruction, out: &mut Vec<u8>) {
+    use Instruction as I;
+    let short = |out: &mut Vec<u8>, base: u8, n: u8, max: u8, what: &str| {
+        assert!(n <= max, "{what} index {n} exceeds short-form range {max}");
+        out.push(base + n);
+    };
+    match instr {
+        I::PushReceiverVariable(n) => short(out, 0x00, n, 11, "receiver variable"),
+        I::PushTemp(n) => short(out, 0x0C, n, 11, "temporary"),
+        I::PushLiteralConstant(n) => short(out, 0x18, n, 15, "literal"),
+        I::PushLiteralVariable(n) => short(out, 0x28, n, 7, "literal variable"),
+        I::PushReceiver => out.push(0x30),
+        I::PushTrue => out.push(0x31),
+        I::PushFalse => out.push(0x32),
+        I::PushNil => out.push(0x33),
+        I::PushZero => out.push(0x34),
+        I::PushOne => out.push(0x35),
+        I::PushMinusOne => out.push(0x36),
+        I::PushTwo => out.push(0x37),
+        I::Dup => out.push(0x38),
+        I::Pop => out.push(0x39),
+        I::PushThisContext => out.push(0x3A),
+        I::Nop => out.push(0x3B),
+        I::Add => out.push(0x40),
+        I::Subtract => out.push(0x41),
+        I::LessThan => out.push(0x42),
+        I::GreaterThan => out.push(0x43),
+        I::LessOrEqual => out.push(0x44),
+        I::GreaterOrEqual => out.push(0x45),
+        I::Equal => out.push(0x46),
+        I::NotEqual => out.push(0x47),
+        I::Multiply => out.push(0x48),
+        I::Divide => out.push(0x49),
+        I::Modulo => out.push(0x4A),
+        I::IntegerDivide => out.push(0x4B),
+        I::IdentityEqual => out.push(0x4C),
+        I::BitAnd => out.push(0x4D),
+        I::BitOr => out.push(0x4E),
+        I::BitShift => out.push(0x4F),
+        I::SpecialSendAt => out.push(0x50),
+        I::SpecialSendAtPut => out.push(0x51),
+        I::SpecialSendSize => out.push(0x52),
+        I::SpecialSendValue => out.push(0x53),
+        I::SpecialSendNew => out.push(0x54),
+        I::SpecialSendClass => out.push(0x55),
+        I::PopIntoTemp(n) => short(out, 0x58, n, 7, "temporary"),
+        I::PopIntoReceiverVariable(n) => short(out, 0x60, n, 7, "receiver variable"),
+        I::StoreTemp(n) => short(out, 0x68, n, 7, "temporary"),
+        I::ReturnReceiver => out.push(0x70),
+        I::ReturnTrue => out.push(0x71),
+        I::ReturnFalse => out.push(0x72),
+        I::ReturnNil => out.push(0x73),
+        I::ReturnTop => out.push(0x74),
+        I::ShortJumpForward(n) => short(out, 0x78 - 1, n, 8, "short jump"),
+        I::ShortJumpTrue(n) => short(out, 0x80 - 1, n, 8, "short jump"),
+        I::ShortJumpFalse(n) => short(out, 0x88 - 1, n, 8, "short jump"),
+        I::LongJumpForward(d) => out.extend_from_slice(&[0x90, d as u8]),
+        I::LongJumpTrue(d) => out.extend_from_slice(&[0x91, d]),
+        I::LongJumpFalse(d) => out.extend_from_slice(&[0x92, d]),
+        I::PushTempLong(n) => out.extend_from_slice(&[0x93, n]),
+        I::StoreTempLong(n) => out.extend_from_slice(&[0x94, n]),
+        I::PushLiteralLong(n) => out.extend_from_slice(&[0x95, n]),
+        I::PushReceiverVariableLong(n) => out.extend_from_slice(&[0x96, n]),
+        I::StoreReceiverVariableLong(n) => out.extend_from_slice(&[0x97, n]),
+        I::PushInteger(v) => out.extend_from_slice(&[0x98, v as u8]),
+        I::Send { lit, nargs } => {
+            assert!(nargs <= 3, "send arg count {nargs} exceeds encodable range");
+            out.extend_from_slice(&[0xA0 + nargs, lit]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::instruction_catalog;
+    use proptest::prelude::*;
+
+    #[test]
+    fn catalog_instructions_roundtrip() {
+        for spec in instruction_catalog() {
+            let mut bytes = Vec::new();
+            encode(spec.instruction, &mut bytes);
+            let (decoded, len) = decode(&bytes, 0).unwrap();
+            assert_eq!(decoded, spec.instruction, "bytes {bytes:?}");
+            assert_eq!(len, bytes.len());
+        }
+    }
+
+    #[test]
+    fn unknown_and_truncated_opcodes_error() {
+        assert!(matches!(
+            decode(&[0xFF], 0),
+            Err(DecodeError::UnknownOpcode { byte: 0xFF, pc: 0 })
+        ));
+        assert!(matches!(
+            decode(&[0x90], 0),
+            Err(DecodeError::TruncatedOperand { byte: 0x90, pc: 0 })
+        ));
+        assert!(matches!(
+            decode(&[], 0),
+            Err(DecodeError::PcOutOfRange { pc: 0, len: 0 })
+        ));
+    }
+
+    #[test]
+    fn short_jump_displacements_start_at_one() {
+        let (i, _) = decode(&[0x78], 0).unwrap();
+        assert_eq!(i, Instruction::ShortJumpForward(1));
+        let (i, _) = decode(&[0x7F], 0).unwrap();
+        assert_eq!(i, Instruction::ShortJumpForward(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds short-form range")]
+    fn encoding_out_of_range_short_form_panics() {
+        let mut out = Vec::new();
+        encode(Instruction::PushTemp(12), &mut out);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..16),
+                                    pc in 0usize..20) {
+            let _ = decode(&bytes, pc);
+        }
+
+        #[test]
+        fn prop_two_byte_forms_roundtrip(n in any::<u8>()) {
+            for instr in [
+                Instruction::PushTempLong(n),
+                Instruction::StoreTempLong(n),
+                Instruction::PushLiteralLong(n),
+                Instruction::PushReceiverVariableLong(n),
+                Instruction::StoreReceiverVariableLong(n),
+                Instruction::LongJumpTrue(n),
+                Instruction::LongJumpFalse(n),
+                Instruction::PushInteger(n as i8),
+                Instruction::LongJumpForward(n as i8),
+            ] {
+                let mut bytes = Vec::new();
+                encode(instr, &mut bytes);
+                let (decoded, len) = decode(&bytes, 0).unwrap();
+                prop_assert_eq!(decoded, instr);
+                prop_assert_eq!(len, 2);
+            }
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! # igjit-bytecode — the VM's intermediate language
+//!
+//! A Sista-inspired stack bytecode set: push/store/pop families,
+//! inlined special-selector arithmetic with static type prediction,
+//! jumps, sends and returns — organised in *families* exactly the way
+//! the paper counts Pharo's 255 bytecodes in 77 families.
+//!
+//! The crate also defines:
+//!
+//! * [`CompiledMethod`] — the heap layout of methods (header, literal
+//!   slots, trailing bytecode bytes) plus a [`MethodBuilder`] assembler,
+//! * the [`catalog`](catalog::instruction_catalog) of every *testable*
+//!   instruction, which is the instruction universe both the concolic
+//!   explorer and Table 2 iterate over,
+//! * the [`SpecialSelector`] table backing the optimised send
+//!   bytecodes.
+//!
+//! ## Example
+//!
+//! ```
+//! use igjit_bytecode::{Instruction, MethodBuilder, Family};
+//! use igjit_heap::ObjectMemory;
+//!
+//! let mut mem = ObjectMemory::new();
+//! let mut b = MethodBuilder::new(0, 0);
+//! b.push_small_int(1);
+//! b.push_small_int(2);
+//! b.emit(Instruction::Add);
+//! b.emit(Instruction::ReturnTop);
+//! let method = b.install(&mut mem).unwrap();
+//! assert_eq!(Instruction::Add.family(), Family::ArithmeticAdd);
+//! assert!(mem.is_live_object(method));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod catalog;
+mod decode;
+mod instr;
+mod method;
+mod selectors;
+
+pub use catalog::{instruction_catalog, InstructionSpec};
+pub use decode::{decode, encode, DecodeError};
+pub use instr::{Family, Instruction};
+pub use method::{CompiledMethod, MethodBuilder, MethodHeader};
+pub use selectors::SpecialSelector;

@@ -1,0 +1,142 @@
+//! The special-selector table.
+//!
+//! Optimised send bytecodes do not carry a literal selector; they index
+//! a VM-global table. Both the interpreter (when a fast path bails out
+//! to `normalSend`) and the JIT (when emitting the slow-path call)
+//! resolve the same table, which is what lets the differential tester
+//! compare *which* message was sent.
+
+/// Selectors reachable from optimised send bytecodes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+#[allow(missing_docs)]
+pub enum SpecialSelector {
+    Plus,
+    Minus,
+    LessThan,
+    GreaterThan,
+    LessOrEqual,
+    GreaterOrEqual,
+    Equal,
+    NotEqual,
+    Times,
+    Divide,
+    Modulo,
+    IntegerDivide,
+    IdentityEqual,
+    BitAnd,
+    BitOr,
+    BitShift,
+    At,
+    AtPut,
+    Size,
+    Value,
+    New,
+    Class,
+}
+
+impl SpecialSelector {
+    /// All table entries in index order.
+    pub const ALL: [SpecialSelector; 22] = [
+        SpecialSelector::Plus,
+        SpecialSelector::Minus,
+        SpecialSelector::LessThan,
+        SpecialSelector::GreaterThan,
+        SpecialSelector::LessOrEqual,
+        SpecialSelector::GreaterOrEqual,
+        SpecialSelector::Equal,
+        SpecialSelector::NotEqual,
+        SpecialSelector::Times,
+        SpecialSelector::Divide,
+        SpecialSelector::Modulo,
+        SpecialSelector::IntegerDivide,
+        SpecialSelector::IdentityEqual,
+        SpecialSelector::BitAnd,
+        SpecialSelector::BitOr,
+        SpecialSelector::BitShift,
+        SpecialSelector::At,
+        SpecialSelector::AtPut,
+        SpecialSelector::Size,
+        SpecialSelector::Value,
+        SpecialSelector::New,
+        SpecialSelector::Class,
+    ];
+
+    /// Index in the VM-global special-selector table.
+    pub fn index(self) -> u32 {
+        Self::ALL.iter().position(|&s| s == self).expect("in ALL") as u32
+    }
+
+    /// Recovers a selector from its table index.
+    pub fn from_index(index: u32) -> Option<SpecialSelector> {
+        Self::ALL.get(index as usize).copied()
+    }
+
+    /// The Smalltalk-level selector name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpecialSelector::Plus => "+",
+            SpecialSelector::Minus => "-",
+            SpecialSelector::LessThan => "<",
+            SpecialSelector::GreaterThan => ">",
+            SpecialSelector::LessOrEqual => "<=",
+            SpecialSelector::GreaterOrEqual => ">=",
+            SpecialSelector::Equal => "=",
+            SpecialSelector::NotEqual => "~=",
+            SpecialSelector::Times => "*",
+            SpecialSelector::Divide => "/",
+            SpecialSelector::Modulo => "\\\\",
+            SpecialSelector::IntegerDivide => "//",
+            SpecialSelector::IdentityEqual => "==",
+            SpecialSelector::BitAnd => "bitAnd:",
+            SpecialSelector::BitOr => "bitOr:",
+            SpecialSelector::BitShift => "bitShift:",
+            SpecialSelector::At => "at:",
+            SpecialSelector::AtPut => "at:put:",
+            SpecialSelector::Size => "size",
+            SpecialSelector::Value => "value",
+            SpecialSelector::New => "new",
+            SpecialSelector::Class => "class",
+        }
+    }
+
+    /// Number of arguments the selector takes.
+    pub fn arg_count(self) -> u32 {
+        match self {
+            SpecialSelector::Size
+            | SpecialSelector::Value
+            | SpecialSelector::New
+            | SpecialSelector::Class => 0,
+            SpecialSelector::AtPut => 2,
+            _ => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for (i, &s) in SpecialSelector::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i as u32);
+            assert_eq!(SpecialSelector::from_index(i as u32), Some(s));
+        }
+        assert_eq!(SpecialSelector::from_index(999), None);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = SpecialSelector::ALL.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), SpecialSelector::ALL.len());
+    }
+
+    #[test]
+    fn arg_counts() {
+        assert_eq!(SpecialSelector::Plus.arg_count(), 1);
+        assert_eq!(SpecialSelector::AtPut.arg_count(), 2);
+        assert_eq!(SpecialSelector::Size.arg_count(), 0);
+    }
+}

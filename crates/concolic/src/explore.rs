@@ -1,0 +1,569 @@
+//! The concolic explorer: path enumeration by constraint negation.
+//!
+//! Implements §2.3 / Fig. 2 of the paper with the paper's one
+//! deviation from textbook concolic testing: exploration does **not**
+//! stop at failing paths — every exit condition (§3.4) is a result the
+//! differential tester wants.
+
+use std::collections::HashSet;
+
+use igjit_bytecode::{Instruction, SpecialSelector};
+use igjit_heap::{ObjectMemory, Oop};
+use igjit_interp::{
+    run_native, step, NativeMethodId, NativeOutcome, Selector, StepOutcome,
+};
+use igjit_solver::{solve, Constraint, Model, SolveError};
+
+use crate::materialize::materialize_frame;
+use crate::state::AbstractState;
+use crate::sym::SymOop;
+
+/// What instruction is being explored.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InstrUnderTest {
+    /// A bytecode instruction, driven through [`igjit_interp::step`].
+    Bytecode(Instruction),
+    /// A native method, driven through [`igjit_interp::run_native`].
+    Native(NativeMethodId),
+}
+
+/// A message-send exit, with enough payload to compare against the
+/// compiled code's trampoline call.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SendRecord {
+    /// The special selector, if the send came from an optimised
+    /// bytecode; `None` for literal-selector sends.
+    pub special: Option<SpecialSelector>,
+    /// `true` for the `mustBeBoolean` error send.
+    pub must_be_boolean: bool,
+    /// The literal selector oop for generic sends.
+    pub literal_selector: Option<Oop>,
+    /// Receiver of the send.
+    pub receiver: Oop,
+    /// Arguments of the send.
+    pub args: Vec<Oop>,
+}
+
+/// How one explored path finished (§3.4 exit conditions with their
+/// payloads).
+#[derive(Clone, PartialEq, Debug)]
+pub enum PathOutcome {
+    /// Bytecode ran to completion / native method returned.
+    Success,
+    /// The instruction took a jump (bytecode only).
+    Jump {
+        /// Displacement in bytes.
+        displacement: i32,
+    },
+    /// Native-method operand validation failed.
+    Failure,
+    /// Execution left for a message send.
+    MessageSend(SendRecord),
+    /// The method returned.
+    MethodReturn {
+        /// The returned value.
+        value: Oop,
+    },
+    /// The generated frame was too small.
+    InvalidFrame,
+    /// Out-of-bounds object access.
+    InvalidMemoryAccess,
+    /// Unsupported VM feature (curated out, §5.2).
+    Unsupported {
+        /// What is missing.
+        reason: &'static str,
+    },
+}
+
+impl PathOutcome {
+    /// Maps to the paper's exit-condition lattice (None for
+    /// unsupported paths, which the curation step removes).
+    pub fn exit_condition(&self) -> Option<igjit_interp::ExitCondition> {
+        use igjit_interp::ExitCondition as E;
+        Some(match self {
+            PathOutcome::Success | PathOutcome::Jump { .. } => E::Success,
+            PathOutcome::Failure => E::Failure,
+            PathOutcome::MessageSend(_) => E::MessageSend,
+            PathOutcome::MethodReturn { .. } => E::MethodReturn,
+            PathOutcome::InvalidFrame => E::InvalidFrame,
+            PathOutcome::InvalidMemoryAccess => E::InvalidMemoryAccess,
+            PathOutcome::Unsupported { .. } => return None,
+        })
+    }
+}
+
+/// Snapshot of one input object after the instruction ran (for
+/// side-effect comparison).
+#[derive(Clone, PartialEq, Debug)]
+pub struct ObjectDump {
+    /// The input variable this object materialized.
+    pub var: igjit_solver::VarId,
+    /// Its oop in the exploration heap.
+    pub oop: Oop,
+    /// Pointer slots after execution (empty for non-pointer formats).
+    pub slots: Vec<Oop>,
+    /// Bytes after execution (empty for non-byte formats).
+    pub bytes: Vec<u8>,
+}
+
+/// One fully-explored execution path of an instruction.
+#[derive(Clone, Debug)]
+pub struct ExploredPath {
+    /// The instruction.
+    pub instruction: InstrUnderTest,
+    /// The recorded path condition (input constraints).
+    pub constraints: Vec<Constraint>,
+    /// The solver model the concrete frame was built from.
+    pub model: Model,
+    /// The §3.4 exit (with payloads).
+    pub outcome: PathOutcome,
+    /// Operand stack after execution (oracle output).
+    pub output_stack: Vec<Oop>,
+    /// Temps after execution.
+    pub output_temps: Vec<Oop>,
+    /// Post-state of every materialized input object.
+    pub object_dumps: Vec<ObjectDump>,
+}
+
+/// Why a discovered path was excluded by curation (§5.2).
+#[derive(Clone, PartialEq, Debug)]
+pub enum CurationReason {
+    /// The constraint solver failed on this prefix.
+    SolverError(SolveError),
+    /// The path reaches an unsupported VM feature.
+    Unsupported(&'static str),
+    /// The per-instruction iteration budget ran out first.
+    Budget,
+}
+
+/// The result of exploring one instruction.
+#[derive(Clone, Debug)]
+pub struct ExplorationResult {
+    /// All distinct paths found (including unsupported ones).
+    pub paths: Vec<ExploredPath>,
+    /// Curation records for the prefixes that produced no usable path.
+    pub curated_out: Vec<CurationReason>,
+    /// The final abstract state (shape registry), needed to
+    /// re-materialize any path's frame elsewhere.
+    pub state: AbstractState,
+    /// Number of solver/execute iterations spent.
+    pub iterations: usize,
+}
+
+impl ExplorationResult {
+    /// Paths that survive curation: solver-representable and
+    /// supported by the prototype.
+    pub fn curated_paths(&self) -> Vec<&ExploredPath> {
+        self.paths
+            .iter()
+            .filter(|p| !matches!(p.outcome, PathOutcome::Unsupported { .. }))
+            .collect()
+    }
+}
+
+/// The concolic explorer. Create one per instruction exploration.
+#[derive(Clone, Debug)]
+pub struct Explorer {
+    /// Max solve/run iterations per instruction.
+    pub max_iterations: usize,
+    /// Max recorded path length considered for negation.
+    pub max_path_len: usize,
+}
+
+impl Default for Explorer {
+    fn default() -> Self {
+        Explorer::new()
+    }
+}
+
+impl Explorer {
+    /// An explorer with default budgets.
+    pub fn new() -> Explorer {
+        Explorer { max_iterations: 192, max_path_len: 48 }
+    }
+
+    /// Explores every reachable execution path of `instr`.
+    pub fn explore(&self, instr: InstrUnderTest) -> ExplorationResult {
+        self.explore_impl(instr, |ctx, frame| match instr {
+            InstrUnderTest::Bytecode(i) => convert_step(step(ctx, frame, i)),
+            InstrUnderTest::Native(id) => convert_native(run_native(ctx, frame, id)),
+        })
+    }
+
+    /// Explores a straight-line bytecode **sequence** (the paper's
+    /// future-work extension): instructions execute in order; a send,
+    /// return, taken jump or failure anywhere terminates the path with
+    /// that exit, and running off the end is a success.
+    ///
+    /// The recorded path condition covers the whole sequence, so one
+    /// negation loop explores the cross product of the instructions'
+    /// branch structures.
+    pub fn explore_sequence(&self, instrs: &[Instruction]) -> ExplorationResult {
+        assert!(!instrs.is_empty(), "empty sequence");
+        let tag = InstrUnderTest::Bytecode(*instrs.last().expect("nonempty"));
+        let instrs = instrs.to_vec();
+        self.explore_impl(tag, move |ctx, frame| {
+            for (i, &instr) in instrs.iter().enumerate() {
+                let last = i + 1 == instrs.len();
+                match step(ctx, frame, instr) {
+                    StepOutcome::Continue => {
+                        if last {
+                            return PathOutcome::Success;
+                        }
+                    }
+                    other => return convert_step(other),
+                }
+            }
+            PathOutcome::Success
+        })
+    }
+
+    fn explore_impl<F>(&self, instr: InstrUnderTest, exec: F) -> ExplorationResult
+    where
+        F: Fn(
+            &mut crate::trace::ConcolicContext<'_>,
+            &mut igjit_interp::Frame<SymOop>,
+        ) -> PathOutcome,
+    {
+        let mut state = AbstractState::new();
+        let mut worklist: Vec<(Vec<Constraint>, usize)> = vec![(Vec::new(), 0)];
+        let mut visited: HashSet<String> = HashSet::new();
+        let mut paths = Vec::new();
+        let mut curated_out = Vec::new();
+        let mut iterations = 0;
+
+        while let Some((prefix, depth)) = worklist.pop() {
+            if iterations >= self.max_iterations {
+                curated_out.push(CurationReason::Budget);
+                break;
+            }
+            iterations += 1;
+
+            let problem = state.problem_with(&prefix);
+            let model = match solve(&problem) {
+                Ok(m) => m,
+                Err(SolveError::Unsat) => continue,
+                Err(e) => {
+                    curated_out.push(CurationReason::SolverError(e));
+                    continue;
+                }
+            };
+
+            let mut mem = ObjectMemory::new();
+            let mat = materialize_frame(&mut state, &model, &mut mem);
+            let mut frame = mat.frame.clone();
+            let (outcome, path) = {
+                let mut ctx =
+                    crate::trace::ConcolicContext::new(&mut mem, &mut state, frame.depth());
+                let outcome = exec(&mut ctx, &mut frame);
+                (outcome, ctx.take_path())
+            };
+            let path: Vec<Constraint> =
+                path.into_iter().take(self.max_path_len).collect();
+
+            let signature = format!("{path:?}|{:?}", discriminant_of(&outcome));
+            let fresh = visited.insert(signature);
+            if fresh {
+                // Snapshot outputs for the oracle.
+                let output_stack: Vec<Oop> = frame.stack.iter().map(|s| s.concrete).collect();
+                let output_temps: Vec<Oop> = frame.temps.iter().map(|s| s.concrete).collect();
+                let mut object_dumps = Vec::new();
+                for (&var, &oop) in &mat.var_oops {
+                    if !mem.is_live_object(oop) {
+                        continue;
+                    }
+                    let slots = match mem.format_of(oop) {
+                        Ok(f) if f.has_pointer_slots() => {
+                            let n = mem.element_count(oop).unwrap_or(0);
+                            (0..n).filter_map(|i| mem.fetch_pointer(oop, i).ok()).collect()
+                        }
+                        _ => Vec::new(),
+                    };
+                    let bytes = match mem.format_of(oop) {
+                        Ok(f) if f.is_bytes() => {
+                            let n = mem.byte_count(oop).unwrap_or(0);
+                            (0..n).filter_map(|i| mem.fetch_byte(oop, i).ok()).collect()
+                        }
+                        _ => Vec::new(),
+                    };
+                    object_dumps.push(ObjectDump { var, oop, slots, bytes });
+                }
+                object_dumps.sort_by_key(|d| d.var);
+                if let PathOutcome::Unsupported { reason } = outcome {
+                    curated_out.push(CurationReason::Unsupported(reason));
+                }
+                paths.push(ExploredPath {
+                    instruction: instr,
+                    constraints: path.clone(),
+                    model,
+                    outcome,
+                    output_stack,
+                    output_temps,
+                    object_dumps,
+                });
+                // Children: negate each not-yet-negated suffix step.
+                for i in depth..path.len() {
+                    let mut child: Vec<Constraint> = path[..i].to_vec();
+                    child.push(path[i].negated());
+                    worklist.push((child, i + 1));
+                }
+            }
+        }
+
+        ExplorationResult { paths, curated_out, state, iterations }
+    }
+}
+
+fn discriminant_of(o: &PathOutcome) -> u8 {
+    match o {
+        PathOutcome::Success => 0,
+        PathOutcome::Jump { .. } => 1,
+        PathOutcome::Failure => 2,
+        PathOutcome::MessageSend(_) => 3,
+        PathOutcome::MethodReturn { .. } => 4,
+        PathOutcome::InvalidFrame => 5,
+        PathOutcome::InvalidMemoryAccess => 6,
+        PathOutcome::Unsupported { .. } => 7,
+    }
+}
+
+fn convert_step(outcome: StepOutcome<SymOop>) -> PathOutcome {
+    match outcome {
+        StepOutcome::Continue => PathOutcome::Success,
+        StepOutcome::Jump { displacement } => PathOutcome::Jump { displacement },
+        StepOutcome::MethodReturn { value } => {
+            PathOutcome::MethodReturn { value: value.concrete }
+        }
+        StepOutcome::MessageSend { selector, receiver, args } => {
+            let (special, must_be_boolean, literal_selector) = match selector {
+                Selector::Special(s) => (Some(s), false, None),
+                Selector::MustBeBoolean => (None, true, None),
+                Selector::Literal(v) => (None, false, Some(v.concrete)),
+            };
+            PathOutcome::MessageSend(SendRecord {
+                special,
+                must_be_boolean,
+                literal_selector,
+                receiver: receiver.concrete,
+                args: args.into_iter().map(|a| a.concrete).collect(),
+            })
+        }
+        StepOutcome::InvalidFrame => PathOutcome::InvalidFrame,
+        StepOutcome::InvalidMemoryAccess => PathOutcome::InvalidMemoryAccess,
+        StepOutcome::Unsupported { reason } => PathOutcome::Unsupported { reason },
+    }
+}
+
+fn convert_native(outcome: NativeOutcome<SymOop>) -> PathOutcome {
+    match outcome {
+        NativeOutcome::Success { .. } => PathOutcome::Success,
+        NativeOutcome::Failure => PathOutcome::Failure,
+        NativeOutcome::InvalidFrame => PathOutcome::InvalidFrame,
+        NativeOutcome::InvalidMemoryAccess => PathOutcome::InvalidMemoryAccess,
+        NativeOutcome::Unsupported { reason } => PathOutcome::Unsupported { reason },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igjit_interp::ExitCondition;
+
+    fn explore_bytecode(i: Instruction) -> ExplorationResult {
+        Explorer::new().explore(InstrUnderTest::Bytecode(i))
+    }
+
+    fn exits(r: &ExplorationResult) -> Vec<ExitCondition> {
+        r.paths.iter().filter_map(|p| p.outcome.exit_condition()).collect()
+    }
+
+    #[test]
+    fn add_bytecode_reproduces_table_1() {
+        let r = explore_bytecode(Instruction::Add);
+        let ex = exits(&r);
+        // Fig. 2 / Table 1: invalid frame (empty stack), int+int
+        // success, overflow send, type-mismatch sends.
+        assert!(ex.contains(&ExitCondition::InvalidFrame), "{ex:?}");
+        assert!(ex.contains(&ExitCondition::Success), "{ex:?}");
+        assert!(ex.contains(&ExitCondition::MessageSend), "{ex:?}");
+        assert!(r.paths.len() >= 5, "only {} paths", r.paths.len());
+
+        // At least one send path must be the overflow case: two
+        // SmallInteger inputs whose sum leaves the range.
+        let has_overflow = r.paths.iter().any(|p| {
+            matches!(p.outcome, PathOutcome::MessageSend(ref s)
+                if s.special == Some(SpecialSelector::Plus)
+                && s.receiver.is_small_int() && s.args[0].is_small_int()
+                && igjit_heap::Oop::try_from_small_int(
+                    s.receiver.small_int_value() + s.args[0].small_int_value()
+                ).is_none())
+        });
+        assert!(has_overflow, "no overflow path found");
+    }
+
+    #[test]
+    fn add_bytecode_finds_the_float_fast_path() {
+        let r = explore_bytecode(Instruction::Add);
+        let has_float_success = r.paths.iter().any(|p| {
+            matches!(p.outcome, PathOutcome::Success)
+                && p.output_stack.last().is_some_and(|v| v.is_pointer())
+        });
+        assert!(has_float_success, "float+float inlined path not explored");
+    }
+
+    #[test]
+    fn push_receiver_variable_grows_the_receiver() {
+        let r = explore_bytecode(Instruction::PushReceiverVariable(1));
+        let ex = exits(&r);
+        assert!(ex.contains(&ExitCondition::InvalidMemoryAccess), "{ex:?}");
+        assert!(ex.contains(&ExitCondition::Success), "{ex:?}");
+        // The success path must have a receiver with >= 2 slots.
+        let ok = r.paths.iter().find(|p| matches!(p.outcome, PathOutcome::Success)).unwrap();
+        let rcvr_dump = ok
+            .object_dumps
+            .iter()
+            .find(|d| d.var == r.state.receiver)
+            .expect("receiver dumped");
+        assert!(rcvr_dump.slots.len() >= 2, "{:?}", rcvr_dump.slots);
+    }
+
+    #[test]
+    fn pop_explores_empty_and_nonempty_stacks() {
+        let r = explore_bytecode(Instruction::Pop);
+        let ex = exits(&r);
+        assert!(ex.contains(&ExitCondition::InvalidFrame));
+        assert!(ex.contains(&ExitCondition::Success));
+        assert_eq!(r.paths.len(), 2, "pop has exactly two paths");
+    }
+
+    #[test]
+    fn push_constant_has_single_path() {
+        let r = explore_bytecode(Instruction::PushTrue);
+        assert_eq!(r.paths.len(), 1);
+        assert!(matches!(r.paths[0].outcome, PathOutcome::Success));
+        assert_eq!(r.paths[0].output_stack.len(), 1);
+    }
+
+    #[test]
+    fn conditional_jump_explores_all_three_ways() {
+        let r = explore_bytecode(Instruction::ShortJumpTrue(4));
+        let has_jump = r.paths.iter().any(|p| matches!(p.outcome, PathOutcome::Jump { .. }));
+        let has_continue = r.paths.iter().any(|p| matches!(p.outcome, PathOutcome::Success));
+        let has_mbb = r.paths.iter().any(|p| {
+            matches!(p.outcome, PathOutcome::MessageSend(ref s) if s.must_be_boolean)
+        });
+        assert!(has_jump, "jump-taken path missing");
+        assert!(has_continue, "fall-through path missing");
+        assert!(has_mbb, "mustBeBoolean path missing");
+    }
+
+    #[test]
+    fn push_this_context_is_curated_out() {
+        let r = explore_bytecode(Instruction::PushThisContext);
+        assert!(matches!(r.paths[0].outcome, PathOutcome::Unsupported { .. }));
+        assert!(r.curated_paths().is_empty());
+        assert!(matches!(r.curated_out[0], CurationReason::Unsupported(_)));
+    }
+
+    #[test]
+    fn native_add_explores_failure_and_success() {
+        let r = Explorer::new().explore(InstrUnderTest::Native(NativeMethodId(1)));
+        let ex = exits(&r);
+        assert!(ex.contains(&ExitCondition::InvalidFrame));
+        assert!(ex.contains(&ExitCondition::Success));
+        assert!(ex.contains(&ExitCondition::Failure), "type-check failure paths");
+        assert!(r.paths.len() >= 4, "{}", r.paths.len());
+    }
+
+    #[test]
+    fn native_as_float_records_no_type_check() {
+        // The Listing 5 defect: exploration finds no Failure path for
+        // the receiver type, because the interpreter never checks it.
+        let r = Explorer::new().explore(InstrUnderTest::Native(NativeMethodId(40)));
+        let ex = exits(&r);
+        assert!(!ex.contains(&ExitCondition::Failure), "{ex:?}");
+        assert!(ex.contains(&ExitCondition::Success));
+    }
+
+    #[test]
+    fn native_float_add_has_many_paths() {
+        let r = Explorer::new().explore(InstrUnderTest::Native(NativeMethodId(41)));
+        let ex = exits(&r);
+        assert!(ex.contains(&ExitCondition::Failure));
+        assert!(ex.contains(&ExitCondition::Success));
+        // receiver not float / arg not float / both float.
+        assert!(r.paths.len() >= 4, "{}", r.paths.len());
+    }
+
+    #[test]
+    fn returns_report_method_return() {
+        let r = explore_bytecode(Instruction::ReturnReceiver);
+        assert!(matches!(r.paths[0].outcome, PathOutcome::MethodReturn { .. }));
+    }
+
+    #[test]
+    fn sequences_chain_constraints_across_instructions() {
+        // push 2; push 3; Add; Pop — runs clean end to end.
+        let r = Explorer::new().explore_sequence(&[
+            Instruction::PushTwo,
+            Instruction::PushInteger(3),
+            Instruction::Add,
+            Instruction::Pop,
+        ]);
+        // Constants only: one success path, empty output stack.
+        let successes: Vec<_> = r
+            .paths
+            .iter()
+            .filter(|p| matches!(p.outcome, PathOutcome::Success))
+            .collect();
+        assert_eq!(successes.len(), 1, "{:?}", r.paths);
+        assert!(successes[0].output_stack.is_empty());
+    }
+
+    #[test]
+    fn sequences_explore_operand_dependent_branches() {
+        // [Add, Add]: the first Add's operands come from the frame;
+        // paths must include double-success and first-add-sends.
+        let r = Explorer::new()
+            .explore_sequence(&[Instruction::Add, Instruction::Add]);
+        let has_full_success = r.paths.iter().any(|p| {
+            matches!(p.outcome, PathOutcome::Success) && p.output_stack.len() == 1
+        });
+        let has_send = r
+            .paths
+            .iter()
+            .any(|p| matches!(p.outcome, PathOutcome::MessageSend(_)));
+        assert!(has_full_success, "three ints summed twice");
+        assert!(has_send, "a slow path somewhere in the chain");
+        // The double-add needs three operands on the frame.
+        assert!(r.state.stack_vars.len() >= 3);
+    }
+
+    #[test]
+    fn sequence_jumps_terminate_the_path() {
+        let r = Explorer::new().explore_sequence(&[
+            Instruction::PushTrue,
+            Instruction::ShortJumpTrue(4),
+            Instruction::PushNil, // unreachable when the jump is taken
+        ]);
+        assert!(r
+            .paths
+            .iter()
+            .any(|p| matches!(p.outcome, PathOutcome::Jump { .. })));
+    }
+
+    #[test]
+    fn models_satisfy_their_paths() {
+        // Every explored path's model assigns the counters
+        // consistently with the recorded constraints.
+        let r = explore_bytecode(Instruction::Add);
+        for p in &r.paths {
+            let problem = r.state.problem_with(&p.constraints);
+            assert!(
+                solve(&problem).is_ok(),
+                "recorded path should be satisfiable: {:?}",
+                p.constraints
+            );
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! # igjit-concolic — concolic meta-interpretation of the interpreter
+//!
+//! This crate implements steps 1 of the paper's pipeline (Fig. 1):
+//! *concolic exploration* of a VM instruction against the interpreter.
+//!
+//! The [`ConcolicContext`] implements
+//! [`igjit_interp::VmContext`] with values that carry a **symbolic
+//! shadow** next to their concrete part; running the *unmodified*
+//! interpreter ([`igjit_interp::step`] / `run_native`) under this
+//! context records the semantic path condition (§3.3) of the taken
+//! path: `isSmallInteger(v)`, class tests, `operand_stack_size`
+//! bounds, slot-count bounds and linear integer comparisons.
+//!
+//! The [`Explorer`] then drives the classic concolic loop (§2.3,
+//! Fig. 2):
+//!
+//! 1. solve the current path-condition prefix with `igjit-solver`,
+//! 2. **materialize** a concrete VM frame (and its object graph) from
+//!    the model into a fresh heap,
+//! 3. run the instruction, recording the actually-taken path and its
+//!    **exit condition** (§3.4),
+//! 4. negate the last not-yet-negated condition and iterate, growing
+//!    the frame whenever an `InvalidFrame`/`InvalidMemoryAccess` exit
+//!    asked for more operands or slots.
+//!
+//! Unlike textbook concolic testing, exploration does **not** stop on
+//! a failing path — failure exits are first-class results, because the
+//! differential tester needs them (§2.2).
+//!
+//! ## Example
+//!
+//! ```
+//! use igjit_concolic::{Explorer, InstrUnderTest};
+//! use igjit_bytecode::Instruction;
+//!
+//! let result = Explorer::new().explore(InstrUnderTest::Bytecode(Instruction::Add));
+//! // Table 1 of the paper: the add bytecode has the int/int path, the
+//! // overflow path, float paths, type-error send paths and the
+//! // invalid-frame paths.
+//! assert!(result.paths.len() >= 5);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod explore;
+mod materialize;
+mod state;
+mod sym;
+mod trace;
+
+pub use explore::{CurationReason, ExplorationResult, Explorer, ExploredPath, InstrUnderTest,
+                  ObjectDump, PathOutcome, SendRecord};
+pub use materialize::{materialize_frame, MaterializedFrame};
+pub use state::{byte_kinds, class_for_kind, kind_for_class, pointer_slot_kinds, AbstractState,
+                ObjShape, VarRole};
+pub use sym::{Origin, SymFloat, SymInt, SymOop};
+pub use trace::ConcolicContext;

@@ -1,0 +1,298 @@
+//! Frame materialization: from a solver model to a concrete VM frame.
+//!
+//! This is the "abstract frame construction" arrow of Fig. 2 and the
+//! *concrete input VM frame* box of Fig. 1: every input variable is
+//! turned into a real tagged value or heap object in a **fresh**
+//! object memory. Materialization is deterministic — the same model
+//! over the same state always produces the same heap layout — which is
+//! what lets the differential tester rebuild bit-identical input
+//! frames for the interpreter run and for each compiled run.
+
+use std::collections::HashMap;
+
+use igjit_heap::{ClassIndex, ObjectFormat, ObjectMemory, Oop};
+use igjit_interp::{Frame, MethodInfo};
+use igjit_solver::{Kind, Model, VarId};
+
+use crate::state::{AbstractState, MAX_FRAME_ELEMS, MAX_OBJ_ELEMS};
+use crate::sym::SymOop;
+
+/// The product of materialization: the symbolic frame handed to the
+/// tracing context, plus the variable→oop mapping used for output
+/// snapshots.
+#[derive(Clone, Debug)]
+pub struct MaterializedFrame {
+    /// The input frame (values carry their input-variable origins).
+    pub frame: Frame<SymOop>,
+    /// Concrete oop chosen for each variable that denotes a VM value.
+    pub var_oops: HashMap<VarId, Oop>,
+}
+
+struct Materializer<'a> {
+    state: &'a mut AbstractState,
+    model: &'a Model,
+    mem: &'a mut ObjectMemory,
+    /// Memo keyed by alias root so `ObjEq` variables share one object.
+    memo: HashMap<u32, Oop>,
+    var_oops: HashMap<VarId, Oop>,
+}
+
+impl Materializer<'_> {
+    fn value_of(&mut self, var: VarId, depth: u32) -> Oop {
+        let a = self.model.assignment(var);
+        if let Some(&oop) = self.memo.get(&a.alias) {
+            self.var_oops.insert(var, oop);
+            return oop;
+        }
+        let oop = self.build(var, depth);
+        self.memo.insert(a.alias, oop);
+        self.var_oops.insert(var, oop);
+        oop
+    }
+
+    fn build(&mut self, var: VarId, depth: u32) -> Oop {
+        let a = self.model.assignment(var);
+        let nil = self.mem.nil();
+        if depth > 4 {
+            return nil; // bounded object-graph depth
+        }
+        match a.kind {
+            Kind::SmallInt => Oop::from_small_int(
+                a.int.clamp(igjit_heap::SMALL_INT_MIN, igjit_heap::SMALL_INT_MAX),
+            ),
+            Kind::Float => self.mem.instantiate_float(a.float).unwrap_or(nil),
+            Kind::Nil => nil,
+            Kind::True => self.mem.true_object(),
+            Kind::False => self.mem.false_object(),
+            Kind::ExternalAddress => {
+                let addr = a.int.clamp(0, i64::from(u32::MAX)) as u32;
+                self.mem.instantiate_external_address(addr).unwrap_or(nil)
+            }
+            Kind::Array | Kind::Object | Kind::CompiledMethod | Kind::Context
+            | Kind::Association => {
+                let (class, format) = match a.kind {
+                    Kind::Array => (ClassIndex::ARRAY, ObjectFormat::Indexable),
+                    Kind::Object => (ClassIndex::OBJECT, ObjectFormat::Fixed),
+                    Kind::CompiledMethod => {
+                        (ClassIndex::COMPILED_METHOD, ObjectFormat::CompiledMethod)
+                    }
+                    Kind::Context => (ClassIndex::CONTEXT, ObjectFormat::Fixed),
+                    _ => (ClassIndex::ASSOCIATION, ObjectFormat::Fixed),
+                };
+                let size = self.size_of(var);
+                let Ok(oop) = self.mem.allocate(class, format, size) else {
+                    return nil;
+                };
+                // Two-phase: publish the object before filling slots so
+                // cyclic shapes terminate.
+                self.memo.insert(a.alias, oop);
+                let slots: Vec<(u32, VarId)> = self
+                    .state
+                    .shape(var)
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, sv)| sv.map(|sv| (i as u32, sv)))
+                    .collect();
+                for (i, slot_var) in slots {
+                    if i < size {
+                        let v = self.value_of(slot_var, depth + 1);
+                        let _ = self.mem.store_pointer(oop, i, v);
+                    }
+                }
+                oop
+            }
+            Kind::ByteArray | Kind::String | Kind::Symbol => {
+                let class = match a.kind {
+                    Kind::ByteArray => ClassIndex::BYTE_ARRAY,
+                    Kind::String => ClassIndex::STRING,
+                    _ => ClassIndex::SYMBOL,
+                };
+                let size = self.size_of(var);
+                self.mem
+                    .instantiate_bytes(class, &vec![0u8; size as usize])
+                    .unwrap_or(nil)
+            }
+            Kind::WordArray => {
+                let size = self.size_of(var);
+                self.mem
+                    .allocate(ClassIndex::WORD_ARRAY, ObjectFormat::Words, size)
+                    .unwrap_or(nil)
+            }
+        }
+    }
+
+    fn size_of(&mut self, var: VarId) -> u32 {
+        match self.state.shape(var).size_var {
+            Some(sv) => self.model.int_value(sv).clamp(0, MAX_OBJ_ELEMS) as u32,
+            None => 0,
+        }
+    }
+}
+
+/// Materializes a fresh concrete frame from `model` into `mem`.
+pub fn materialize_frame(
+    state: &mut AbstractState,
+    model: &Model,
+    mem: &mut ObjectMemory,
+) -> MaterializedFrame {
+    let stack_size = model.int_value(state.stack_size).clamp(0, MAX_FRAME_ELEMS) as usize;
+    let temp_count = model.int_value(state.temp_count).clamp(0, MAX_FRAME_ELEMS) as usize;
+    let literal_count = model.int_value(state.literal_count).clamp(0, MAX_FRAME_ELEMS) as usize;
+    // Make sure the variables exist (the counters may have been pushed
+    // past the currently-registered slots by constraint negation).
+    for d in 0..stack_size {
+        state.stack_var_at(d);
+    }
+    for i in 0..temp_count {
+        state.temp_var_at(i);
+    }
+    for i in 0..literal_count {
+        state.literal_var_at(i);
+    }
+
+    let mut m = Materializer { state, model, mem, memo: HashMap::new(), var_oops: HashMap::new() };
+
+    let receiver_var = m.state.receiver;
+    let receiver = SymOop::var(m.value_of(receiver_var, 0), receiver_var);
+
+    let mut stack = Vec::with_capacity(stack_size);
+    for d in (0..stack_size).rev() {
+        let var = m.state.stack_vars[d];
+        stack.push(SymOop::var(m.value_of(var, 0), var));
+    }
+    let mut temps = Vec::with_capacity(temp_count);
+    for i in 0..temp_count {
+        let var = m.state.temp_vars[i];
+        temps.push(SymOop::var(m.value_of(var, 0), var));
+    }
+    let mut literals = Vec::with_capacity(literal_count);
+    for i in 0..literal_count {
+        let var = m.state.literal_vars[i];
+        literals.push(SymOop::var(m.value_of(var, 0), var));
+    }
+
+    let var_oops = m.var_oops;
+    let mut frame = Frame::new(
+        receiver,
+        MethodInfo { literals, num_args: 0, num_temps: temp_count as u8 },
+    );
+    frame.temps = temps;
+    frame.stack = stack;
+    MaterializedFrame { frame, var_oops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igjit_solver::{solve, Constraint, Kind};
+
+    #[test]
+    fn empty_model_gives_empty_frame() {
+        let mut state = AbstractState::new();
+        let p = state.problem_with(&[]);
+        let model = solve(&p).unwrap();
+        let mut mem = ObjectMemory::new();
+        let mat = materialize_frame(&mut state, &model, &mut mem);
+        assert_eq!(mat.frame.depth(), 0);
+        assert_eq!(mat.frame.temps.len(), 0);
+        assert!(mat.frame.receiver.concrete.is_small_int(), "default kind is SmallInt");
+    }
+
+    #[test]
+    fn stack_size_constraint_grows_the_stack() {
+        let mut state = AbstractState::new();
+        let c = Constraint::Int(
+            igjit_solver::CmpOp::Ge,
+            igjit_solver::LinExpr::var(state.stack_size),
+            igjit_solver::LinExpr::constant(2),
+        );
+        let p = state.problem_with(&[c.clone()]);
+        let model = solve(&p).unwrap();
+        let mut mem = ObjectMemory::new();
+        let mat = materialize_frame(&mut state, &model, &mut mem);
+        assert!(mat.frame.depth() >= 2);
+        // Depth-0 (top) value corresponds to stack var 0.
+        assert_eq!(mat.frame.stack_at_depth(0).as_var(), Some(state.stack_vars[0]));
+    }
+
+    #[test]
+    fn kinds_materialize_to_matching_classes() {
+        let state = AbstractState::new();
+        let rcvr = state.receiver;
+        for (kind, class) in [
+            (Kind::Float, ClassIndex::FLOAT),
+            (Kind::Array, ClassIndex::ARRAY),
+            (Kind::ByteArray, ClassIndex::BYTE_ARRAY),
+            (Kind::ExternalAddress, ClassIndex::EXTERNAL_ADDRESS),
+            (Kind::Nil, ClassIndex::UNDEFINED_OBJECT),
+        ] {
+            let mut s = state.clone();
+            let p = s.problem_with(&[Constraint::kind_is(rcvr, kind)]);
+            let model = solve(&p).unwrap();
+            let mut mem = ObjectMemory::new();
+            let mat = materialize_frame(&mut s, &model, &mut mem);
+            assert_eq!(mem.class_index_of(mat.frame.receiver.concrete), class, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn object_sizes_come_from_size_vars() {
+        let mut state = AbstractState::new();
+        let rcvr = state.receiver;
+        let size_var = state.size_var_of(rcvr);
+        let cs = vec![
+            Constraint::kind_is(rcvr, Kind::Array),
+            Constraint::Int(
+                igjit_solver::CmpOp::Ge,
+                igjit_solver::LinExpr::var(size_var),
+                igjit_solver::LinExpr::constant(3),
+            ),
+        ];
+        let p = state.problem_with(&cs);
+        let model = solve(&p).unwrap();
+        let mut mem = ObjectMemory::new();
+        let mat = materialize_frame(&mut state, &model, &mut mem);
+        assert!(mem.slot_count(mat.frame.receiver.concrete).unwrap() >= 3);
+    }
+
+    #[test]
+    fn aliased_vars_share_one_object() {
+        let mut state = AbstractState::new();
+        let a = state.stack_var_at(0).unwrap();
+        let b = state.stack_var_at(1).unwrap();
+        let cs = vec![
+            Constraint::Int(
+                igjit_solver::CmpOp::Ge,
+                igjit_solver::LinExpr::var(state.stack_size),
+                igjit_solver::LinExpr::constant(2),
+            ),
+            Constraint::kind_is(a, Kind::Array),
+            Constraint::ObjEq(a, b),
+        ];
+        let p = state.problem_with(&cs);
+        let model = solve(&p).unwrap();
+        let mut mem = ObjectMemory::new();
+        let mat = materialize_frame(&mut state, &model, &mut mem);
+        assert_eq!(
+            mat.frame.stack_at_depth(0).concrete,
+            mat.frame.stack_at_depth(1).concrete
+        );
+    }
+
+    #[test]
+    fn materialization_is_deterministic() {
+        let state = AbstractState::new();
+        let rcvr = state.receiver;
+        let cs = vec![Constraint::kind_is(rcvr, Kind::Array)];
+        let p = state.problem_with(&cs);
+        let model = solve(&p).unwrap();
+        let mut mem1 = ObjectMemory::new();
+        let mut s1 = state.clone();
+        let f1 = materialize_frame(&mut s1, &model, &mut mem1);
+        let mut mem2 = ObjectMemory::new();
+        let mut s2 = state.clone();
+        let f2 = materialize_frame(&mut s2, &model, &mut mem2);
+        assert_eq!(f1.frame.receiver.concrete, f2.frame.receiver.concrete);
+    }
+}

@@ -1,0 +1,315 @@
+//! The abstract frame/object state (Fig. 3 of the paper).
+//!
+//! `AbstractState` is the constraint model's variable registry: one
+//! variable per potential frame ingredient (receiver, operand-stack
+//! slots, temps, literals) plus per-object shape variables (element
+//! count, slot contents). Variables are created lazily, exactly when
+//! the interpreter first touches the corresponding location — which is
+//! what lets the explorer grow frames in response to
+//! `InvalidFrame`/`InvalidMemoryAccess` exits (§3.4).
+
+use igjit_heap::ClassIndex;
+use igjit_solver::{Kind, KindSet, VarId, VarSpec};
+
+/// What a variable stands for.
+#[derive(Clone, PartialEq, Debug)]
+pub enum VarRole {
+    /// A VM value (abstract object) of any kind.
+    Value,
+    /// A counter: operand-stack size, temp count, literal count or an
+    /// object's element count.
+    Counter,
+}
+
+/// Per-object shape info: the element-count variable and the (lazily
+/// grown) content variables.
+#[derive(Clone, Debug, Default)]
+pub struct ObjShape {
+    /// The element-count variable (slot count / byte count).
+    pub size_var: Option<VarId>,
+    /// Content variables by 0-based index (pointer slots).
+    pub slots: Vec<Option<VarId>>,
+}
+
+/// The variable registry shared by the explorer, the tracing context
+/// and the materializer.
+#[derive(Clone, Debug)]
+pub struct AbstractState {
+    specs: Vec<VarSpec>,
+    roles: Vec<VarRole>,
+    shapes: Vec<ObjShape>,
+    /// `operand_stack_size` (Fig. 2).
+    pub stack_size: VarId,
+    /// Number of temps the frame provides.
+    pub temp_count: VarId,
+    /// Number of literals the method provides.
+    pub literal_count: VarId,
+    /// The receiver variable.
+    pub receiver: VarId,
+    /// Operand-stack value variables by depth from the top (index 0 is
+    /// the top, `s1` in the paper's figures).
+    pub stack_vars: Vec<VarId>,
+    /// Temp variables by index.
+    pub temp_vars: Vec<VarId>,
+    /// Literal variables by index.
+    pub literal_vars: Vec<VarId>,
+}
+
+/// Largest operand stack / temp / literal frame the explorer will
+/// materialize.
+pub const MAX_FRAME_ELEMS: i64 = 8;
+/// Largest object the materializer will allocate slots for.
+pub const MAX_OBJ_ELEMS: i64 = 16;
+
+impl Default for AbstractState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AbstractState {
+    /// A fresh state with the three frame counters and the receiver.
+    pub fn new() -> AbstractState {
+        let mut s = AbstractState {
+            specs: Vec::new(),
+            roles: Vec::new(),
+            shapes: Vec::new(),
+            stack_size: VarId(0),
+            temp_count: VarId(0),
+            literal_count: VarId(0),
+            receiver: VarId(0),
+            stack_vars: Vec::new(),
+            temp_vars: Vec::new(),
+            literal_vars: Vec::new(),
+        };
+        s.stack_size = s.new_var(VarSpec::counter(MAX_FRAME_ELEMS), VarRole::Counter);
+        s.temp_count = s.new_var(VarSpec::counter(MAX_FRAME_ELEMS), VarRole::Counter);
+        s.literal_count = s.new_var(VarSpec::counter(MAX_FRAME_ELEMS), VarRole::Counter);
+        s.receiver = s.new_var(VarSpec::any(), VarRole::Value);
+        s
+    }
+
+    /// Creates a variable.
+    pub fn new_var(&mut self, spec: VarSpec, role: VarRole) -> VarId {
+        let id = VarId(self.specs.len() as u32);
+        self.specs.push(spec);
+        self.roles.push(role);
+        self.shapes.push(ObjShape::default());
+        id
+    }
+
+    /// Number of registered variables.
+    pub fn var_count(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// The spec of a variable.
+    pub fn spec(&self, v: VarId) -> VarSpec {
+        self.specs[v.index()]
+    }
+
+    /// The role of a variable.
+    pub fn role(&self, v: VarId) -> &VarRole {
+        &self.roles[v.index()]
+    }
+
+    /// The object shape attached to a value variable.
+    pub fn shape(&self, v: VarId) -> &ObjShape {
+        &self.shapes[v.index()]
+    }
+
+    /// The element-count variable of `v`, created on first use.
+    pub fn size_var_of(&mut self, v: VarId) -> VarId {
+        if let Some(sv) = self.shapes[v.index()].size_var {
+            return sv;
+        }
+        let sv = self.new_var(VarSpec::counter(MAX_OBJ_ELEMS), VarRole::Counter);
+        self.shapes[v.index()].size_var = Some(sv);
+        sv
+    }
+
+    /// The content variable for slot `idx` of `v`, created on first
+    /// use. Answers `None` for unreasonably large indices.
+    pub fn slot_var_of(&mut self, v: VarId, idx: i64) -> Option<VarId> {
+        if !(0..MAX_OBJ_ELEMS).contains(&idx) {
+            return None;
+        }
+        let idx = idx as usize;
+        if self.shapes[v.index()].slots.len() <= idx {
+            self.shapes[v.index()].slots.resize(idx + 1, None);
+        }
+        if let Some(sv) = self.shapes[v.index()].slots[idx] {
+            return Some(sv);
+        }
+        let sv = self.new_var(VarSpec::any(), VarRole::Value);
+        self.shapes[v.index()].slots[idx] = Some(sv);
+        Some(sv)
+    }
+
+    /// The operand-stack variable at `depth` from the top, created on
+    /// first use. `None` beyond the frame-size cap.
+    pub fn stack_var_at(&mut self, depth: usize) -> Option<VarId> {
+        if depth as i64 >= MAX_FRAME_ELEMS {
+            return None;
+        }
+        while self.stack_vars.len() <= depth {
+            let v = self.new_var(VarSpec::any(), VarRole::Value);
+            self.stack_vars.push(v);
+        }
+        Some(self.stack_vars[depth])
+    }
+
+    /// The temp variable at `index`, created on first use.
+    pub fn temp_var_at(&mut self, index: usize) -> Option<VarId> {
+        if index as i64 >= MAX_FRAME_ELEMS {
+            return None;
+        }
+        while self.temp_vars.len() <= index {
+            let v = self.new_var(VarSpec::any(), VarRole::Value);
+            self.temp_vars.push(v);
+        }
+        Some(self.temp_vars[index])
+    }
+
+    /// The literal variable at `index`, created on first use.
+    pub fn literal_var_at(&mut self, index: usize) -> Option<VarId> {
+        if index as i64 >= MAX_FRAME_ELEMS {
+            return None;
+        }
+        while self.literal_vars.len() <= index {
+            let v = self.new_var(VarSpec::any(), VarRole::Value);
+            self.literal_vars.push(v);
+        }
+        Some(self.literal_vars[index])
+    }
+
+    /// Builds a solver [`Problem`](igjit_solver::Problem) over the
+    /// registry with the given asserted constraints.
+    pub fn problem_with(
+        &self,
+        constraints: &[igjit_solver::Constraint],
+    ) -> igjit_solver::Problem {
+        let mut p = igjit_solver::Problem::new();
+        for spec in &self.specs {
+            p.new_var(*spec);
+        }
+        for c in constraints {
+            p.assert(c.clone());
+        }
+        p
+    }
+}
+
+/// Maps a well-known class index to its constraint kind.
+pub fn kind_for_class(class: ClassIndex) -> Option<Kind> {
+    Some(match class {
+        ClassIndex::SMALL_INTEGER => Kind::SmallInt,
+        ClassIndex::FLOAT => Kind::Float,
+        ClassIndex::ARRAY => Kind::Array,
+        ClassIndex::BYTE_ARRAY => Kind::ByteArray,
+        ClassIndex::STRING => Kind::String,
+        ClassIndex::SYMBOL => Kind::Symbol,
+        ClassIndex::OBJECT => Kind::Object,
+        ClassIndex::COMPILED_METHOD => Kind::CompiledMethod,
+        ClassIndex::EXTERNAL_ADDRESS => Kind::ExternalAddress,
+        ClassIndex::WORD_ARRAY => Kind::WordArray,
+        ClassIndex::CONTEXT => Kind::Context,
+        ClassIndex::UNDEFINED_OBJECT => Kind::Nil,
+        ClassIndex::TRUE => Kind::True,
+        ClassIndex::FALSE => Kind::False,
+        ClassIndex::ASSOCIATION => Kind::Association,
+        _ => return None,
+    })
+}
+
+/// Maps a kind back to its class index.
+pub fn class_for_kind(kind: Kind) -> ClassIndex {
+    match kind {
+        Kind::SmallInt => ClassIndex::SMALL_INTEGER,
+        Kind::Float => ClassIndex::FLOAT,
+        Kind::Array => ClassIndex::ARRAY,
+        Kind::ByteArray => ClassIndex::BYTE_ARRAY,
+        Kind::String => ClassIndex::STRING,
+        Kind::Symbol => ClassIndex::SYMBOL,
+        Kind::Object => ClassIndex::OBJECT,
+        Kind::CompiledMethod => ClassIndex::COMPILED_METHOD,
+        Kind::ExternalAddress => ClassIndex::EXTERNAL_ADDRESS,
+        Kind::WordArray => ClassIndex::WORD_ARRAY,
+        Kind::Context => ClassIndex::CONTEXT,
+        Kind::Nil => ClassIndex::UNDEFINED_OBJECT,
+        Kind::True => ClassIndex::TRUE,
+        Kind::False => ClassIndex::FALSE,
+        Kind::Association => ClassIndex::ASSOCIATION,
+    }
+}
+
+/// Kinds whose instances have pointer slots (targets of
+/// `fetch_slot`/`store_slot`).
+pub fn pointer_slot_kinds() -> KindSet {
+    KindSet::of(&[
+        Kind::Array,
+        Kind::Object,
+        Kind::CompiledMethod,
+        Kind::Context,
+        Kind::Association,
+    ])
+}
+
+/// Kinds whose instances are byte-indexable.
+pub fn byte_kinds() -> KindSet {
+    KindSet::of(&[Kind::ByteArray, Kind::String, Kind::Symbol])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_state_has_frame_counters() {
+        let s = AbstractState::new();
+        assert_eq!(s.var_count(), 4);
+        assert!(matches!(s.role(s.stack_size), VarRole::Counter));
+        assert!(matches!(s.role(s.receiver), VarRole::Value));
+    }
+
+    #[test]
+    fn lazy_growth_is_stable() {
+        let mut s = AbstractState::new();
+        let a = s.stack_var_at(0).unwrap();
+        let b = s.stack_var_at(0).unwrap();
+        assert_eq!(a, b);
+        let c = s.stack_var_at(2).unwrap();
+        assert_ne!(a, c);
+        assert_eq!(s.stack_vars.len(), 3);
+        assert!(s.stack_var_at(100).is_none());
+    }
+
+    #[test]
+    fn object_shapes_grow_lazily() {
+        let mut s = AbstractState::new();
+        let r = s.receiver;
+        let size1 = s.size_var_of(r);
+        let size2 = s.size_var_of(r);
+        assert_eq!(size1, size2);
+        let slot = s.slot_var_of(r, 3).unwrap();
+        assert_eq!(s.slot_var_of(r, 3), Some(slot));
+        assert!(s.slot_var_of(r, -1).is_none());
+        assert!(s.slot_var_of(r, 10_000).is_none());
+    }
+
+    #[test]
+    fn kind_class_mapping_roundtrips() {
+        for kind in Kind::ALL {
+            assert_eq!(kind_for_class(class_for_kind(kind)), Some(kind));
+        }
+        assert_eq!(kind_for_class(ClassIndex(9999)), None);
+    }
+
+    #[test]
+    fn problem_includes_all_vars() {
+        let mut s = AbstractState::new();
+        s.stack_var_at(1);
+        let p = s.problem_with(&[]);
+        assert_eq!(p.var_count(), s.var_count());
+    }
+}

@@ -1,0 +1,91 @@
+//! Symbolic shadow values.
+//!
+//! Every value flowing through the concolically-executed interpreter
+//! is a concrete value plus a description of *where it came from*:
+//! an input variable, a derived integer expression, a derived float,
+//! or a constant of the execution.
+
+use igjit_heap::Oop;
+use igjit_solver::{FloatTerm, VarId};
+
+/// Index into the context's expression table (derived integer
+/// expressions are interned there to keep values `Copy`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ExprId(pub u32);
+
+/// Provenance of a value.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Origin {
+    /// Directly an input variable of the abstract frame.
+    Var(VarId),
+    /// Derived from inputs by linear integer arithmetic; the
+    /// expression lives in the context's table.
+    DerivedInt(ExprId),
+    /// Derived float value.
+    DerivedFloat(FloatTerm),
+    /// A constant of this execution (canonical objects, allocation
+    /// results, concretized arithmetic).
+    Const,
+}
+
+/// A traced oop: concrete value + provenance.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SymOop {
+    /// The concrete tagged value.
+    pub concrete: Oop,
+    /// Symbolic provenance.
+    pub origin: Origin,
+}
+
+impl SymOop {
+    /// A constant (untracked) oop.
+    pub fn constant(concrete: Oop) -> SymOop {
+        SymOop { concrete, origin: Origin::Const }
+    }
+
+    /// An input-variable oop.
+    pub fn var(concrete: Oop, var: VarId) -> SymOop {
+        SymOop { concrete, origin: Origin::Var(var) }
+    }
+
+    /// The input variable, if this value is one.
+    pub fn as_var(self) -> Option<VarId> {
+        match self.origin {
+            Origin::Var(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// A traced untagged integer.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SymInt {
+    /// Concrete value.
+    pub concrete: i64,
+    /// Expression over input variables; `None` means concretized
+    /// (e.g. results of bitwise operations, §4.3).
+    pub expr: Option<ExprId>,
+}
+
+/// A traced unboxed float.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SymFloat {
+    /// Concrete value.
+    pub concrete: f64,
+    /// Float term over input variables; `None` means concretized.
+    pub term: Option<FloatTerm>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let c = SymOop::constant(Oop::from_small_int(1));
+        assert_eq!(c.origin, Origin::Const);
+        assert_eq!(c.as_var(), None);
+        let v = SymOop::var(Oop::from_small_int(2), VarId(3));
+        assert_eq!(v.as_var(), Some(VarId(3)));
+    }
+}

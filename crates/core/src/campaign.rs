@@ -1,0 +1,259 @@
+//! The full evaluation campaign (§5 of the paper).
+
+use std::time::{Duration, Instant};
+
+use igjit_bytecode::{instruction_catalog, Instruction};
+use igjit_concolic::InstrUnderTest;
+use igjit_difftest::{test_instruction, CampaignRow, DefectCategory, InstructionOutcome, Target};
+use igjit_interp::{native_catalog, NativeMethodId};
+use igjit_jit::CompilerKind;
+use igjit_machine::Isa;
+
+/// Campaign knobs.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// ISAs each test case runs on (the paper uses x86 + ARM32).
+    pub isas: Vec<Isa>,
+    /// Whether kind probing is enabled (needed to surface the
+    /// `primitiveAsFloat` interpreter defect).
+    pub probes: bool,
+    /// Worker threads for the per-instruction loop (1 = sequential).
+    /// Instructions are independent, so the campaign parallelizes
+    /// embarrassingly; per-instruction timings stay meaningful because
+    /// each instruction is processed on one worker.
+    pub threads: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig { isas: vec![Isa::X86ish, Isa::Arm32ish], probes: true, threads: 1 }
+    }
+}
+
+/// The campaign driver: explores, compiles, runs and compares every
+/// instruction of the VM against a chosen compiler.
+#[derive(Clone, Debug, Default)]
+pub struct Campaign {
+    config: CampaignConfig,
+}
+
+/// Per-instruction timing sample (feeds Figures 6 and 7).
+#[derive(Clone, Debug)]
+pub struct TimingSample {
+    /// Instruction label.
+    pub label: String,
+    /// Whether this is a native method (vs a bytecode).
+    pub is_native: bool,
+    /// Time spent in concolic exploration + differential runs.
+    pub elapsed: Duration,
+    /// Paths explored.
+    pub paths: usize,
+}
+
+/// Aggregate result of one campaign run (one Table 2 row plus the
+/// per-instruction details).
+#[derive(Clone, Debug)]
+pub struct CampaignReport {
+    /// The Table 2 row.
+    pub row: CampaignRow,
+    /// Per-instruction outcomes.
+    pub outcomes: Vec<InstructionOutcome>,
+    /// Per-instruction wall-clock samples.
+    pub timings: Vec<TimingSample>,
+}
+
+impl CampaignReport {
+    /// Distinct defect causes across all outcomes.
+    pub fn causes(&self) -> Vec<igjit_difftest::CauseKey> {
+        let mut keys: Vec<_> = self.outcomes.iter().flat_map(|o| o.causes()).collect();
+        keys.sort();
+        keys.dedup();
+        keys
+    }
+
+    /// Cause counts per defect family (one Table 3 contribution).
+    pub fn causes_by_category(&self) -> Vec<(DefectCategory, usize)> {
+        DefectCategory::ALL
+            .iter()
+            .map(|&cat| {
+                (cat, self.causes().iter().filter(|c| c.category == cat).count())
+            })
+            .collect()
+    }
+}
+
+impl Campaign {
+    /// A campaign with the paper's configuration (both ISAs, probing
+    /// on).
+    pub fn new(config: CampaignConfig) -> Campaign {
+        Campaign { config }
+    }
+
+    /// A fast configuration for doctests and examples: one ISA, no
+    /// probing.
+    pub fn quick() -> Campaign {
+        Campaign::new(CampaignConfig { isas: vec![Isa::X86ish], probes: false, threads: 1 })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// Differentially tests one bytecode instruction against one tier.
+    pub fn test_bytecode_instruction(
+        &self,
+        instr: Instruction,
+        kind: CompilerKind,
+    ) -> InstructionOutcome {
+        test_instruction(
+            InstrUnderTest::Bytecode(instr),
+            Target::Bytecode(kind),
+            &self.config.isas,
+            self.config.probes,
+        )
+    }
+
+    /// Differentially tests one native method against the template
+    /// compiler.
+    pub fn test_native_method(&self, id: NativeMethodId) -> InstructionOutcome {
+        test_instruction(
+            InstrUnderTest::Native(id),
+            Target::NativeMethods,
+            &self.config.isas,
+            self.config.probes,
+        )
+    }
+
+    /// Runs a batch of instructions, sequentially or on a crossbeam
+    /// worker pool, preserving input order in the outputs.
+    fn run_batch(
+        &self,
+        label: String,
+        items: Vec<(String, bool, InstrUnderTest, Target)>,
+    ) -> CampaignReport {
+        let threads = self.config.threads.max(1);
+        let run_one = |(name, is_native, instr, target): &(String, bool, InstrUnderTest, Target)|
+         -> (TimingSample, InstructionOutcome) {
+            let t0 = Instant::now();
+            let outcome =
+                test_instruction(*instr, *target, &self.config.isas, self.config.probes);
+            (
+                TimingSample {
+                    label: name.clone(),
+                    is_native: *is_native,
+                    elapsed: t0.elapsed(),
+                    paths: outcome.paths_found,
+                },
+                outcome,
+            )
+        };
+        let results: Vec<(TimingSample, InstructionOutcome)> = if threads <= 1 {
+            items.iter().map(run_one).collect()
+        } else {
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let mut slots: Vec<Option<(TimingSample, InstructionOutcome)>> =
+                (0..items.len()).map(|_| None).collect();
+            let slots_mutex = parking_lot::Mutex::new(&mut slots);
+            crossbeam::thread::scope(|s| {
+                for _ in 0..threads {
+                    s.spawn(|_| loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        let r = run_one(&items[i]);
+                        slots_mutex.lock()[i] = Some(r);
+                    });
+                }
+            })
+            .expect("campaign workers");
+            slots.into_iter().map(|s| s.expect("every slot filled")).collect()
+        };
+        let mut row = CampaignRow { label, ..CampaignRow::default() };
+        let mut outcomes = Vec::with_capacity(results.len());
+        let mut timings = Vec::with_capacity(results.len());
+        for (t, o) in results {
+            row.absorb(&o);
+            timings.push(t);
+            outcomes.push(o);
+        }
+        CampaignReport { row, outcomes, timings }
+    }
+
+    /// Runs the native-method row of Table 2: all 112 primitives.
+    pub fn run_native_methods(&self) -> CampaignReport {
+        let items = native_catalog()
+            .into_iter()
+            .map(|spec| {
+                (spec.name.clone(), true, InstrUnderTest::Native(spec.id), Target::NativeMethods)
+            })
+            .collect();
+        self.run_batch(Target::NativeMethods.label().to_string(), items)
+    }
+
+    /// Runs one bytecode-compiler row of Table 2: the whole
+    /// instruction catalog against one tier.
+    pub fn run_bytecodes(&self, kind: CompilerKind) -> CampaignReport {
+        let items = instruction_catalog()
+            .into_iter()
+            .map(|spec| {
+                (
+                    format!("{:?}", spec.instruction),
+                    false,
+                    InstrUnderTest::Bytecode(spec.instruction),
+                    Target::Bytecode(kind),
+                )
+            })
+            .collect();
+        self.run_batch(kind.name().to_string(), items)
+    }
+
+    /// The full Table 2: native methods plus the three bytecode tiers.
+    pub fn run_all(&self) -> Vec<CampaignReport> {
+        let mut reports = vec![self.run_native_methods()];
+        for kind in CompilerKind::ALL {
+            reports.push(self.run_bytecodes(kind));
+        }
+        reports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_campaign_on_one_bytecode() {
+        let c = Campaign::quick();
+        let o = c.test_bytecode_instruction(Instruction::LessThan, CompilerKind::StackToRegister);
+        assert!(o.paths_found >= 3);
+        // The float comparison fast path differs (the interpreter
+        // inlines it, the compiler sends); it shows up once per
+        // comparison outcome (true/false), so one or two paths.
+        assert!((1..=2).contains(&o.difference_count()), "{:?}", o.verdicts);
+    }
+
+    #[test]
+    fn quick_campaign_on_one_native() {
+        let c = Campaign::quick();
+        let o = c.test_native_method(NativeMethodId(2));
+        assert!(o.curated >= 3);
+        assert_eq!(o.difference_count(), 0);
+    }
+
+    #[test]
+    fn report_cause_aggregation() {
+        let c = Campaign::quick();
+        let mut row = CampaignRow { label: "t".into(), ..Default::default() };
+        let o = c.test_native_method(NativeMethodId(14));
+        row.absorb(&o);
+        let report = CampaignReport { row, outcomes: vec![o], timings: vec![] };
+        let by_cat = report.causes_by_category();
+        let behavioural = by_cat
+            .iter()
+            .find(|(c, _)| *c == DefectCategory::BehaviouralDifference)
+            .unwrap();
+        assert!(behavioural.1 >= 1);
+    }
+}

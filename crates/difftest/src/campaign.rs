@@ -1,0 +1,442 @@
+//! The per-instruction differential campaign.
+
+use std::collections::HashMap;
+
+use igjit_concolic::{
+    materialize_frame, AbstractState, CurationReason, Explorer, InstrUnderTest,
+};
+use igjit_heap::{ObjectMemory, Oop};
+use igjit_interp::Frame;
+use igjit_jit::CompilerKind;
+use igjit_machine::Isa;
+use igjit_solver::{Model, VarId};
+
+use crate::classify::{classify, CauseKey};
+use crate::compare::{compare_runs, Difference, Verdict};
+use crate::compiled::run_compiled_for_instr;
+use crate::oracle::{concrete_frame, run_oracle, EngineExit};
+use crate::probes::probe_models;
+
+/// What compiler the campaign tests against the interpreter.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Target {
+    /// The template-based native-method compiler.
+    NativeMethods,
+    /// One of the three bytecode tiers.
+    Bytecode(CompilerKind),
+}
+
+impl Target {
+    /// The Table 2 row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Target::NativeMethods => "Native Methods (primitives)",
+            Target::Bytecode(k) => k.name(),
+        }
+    }
+
+    fn compiler_kind(self) -> Option<CompilerKind> {
+        match self {
+            Target::NativeMethods => None,
+            Target::Bytecode(k) => Some(k),
+        }
+    }
+}
+
+/// The verdict for one explored path (aggregated over ISAs + probes).
+#[derive(Clone, Debug)]
+pub struct PathVerdict {
+    /// The instruction.
+    pub instruction: InstrUnderTest,
+    /// Interpreter exit of the base model's run.
+    pub interp_exit: String,
+    /// The comparison verdict (the first difference found is kept for
+    /// display).
+    pub verdict: Verdict,
+    /// Defect cause of the first difference, when different.
+    pub cause: Option<CauseKey>,
+    /// All distinct defect causes observed across ISAs and probe
+    /// variants of this path (a path can expose several defects —
+    /// e.g. a missing compiled type check *and* a simulation error).
+    pub all_causes: Vec<CauseKey>,
+    /// Whether the difference surfaced only under a probe model.
+    pub found_by_probe: bool,
+    /// ISA on which the difference was (first) observed.
+    pub isa: Option<Isa>,
+}
+
+/// Everything the campaign learned about one instruction.
+#[derive(Clone, Debug)]
+pub struct InstructionOutcome {
+    /// The instruction.
+    pub instruction: InstrUnderTest,
+    /// Paths the concolic exploration discovered.
+    pub paths_found: usize,
+    /// Paths surviving curation (§5.2).
+    pub curated: usize,
+    /// Curation records (why paths/prefixes were excluded).
+    pub curated_out: Vec<CurationReason>,
+    /// One verdict per curated path.
+    pub verdicts: Vec<PathVerdict>,
+    /// Solver/exploration iterations spent (for Fig. 6-style stats).
+    pub explore_iterations: usize,
+}
+
+impl InstructionOutcome {
+    /// Number of differing paths.
+    pub fn difference_count(&self) -> usize {
+        self.verdicts.iter().filter(|v| v.verdict.is_difference()).count()
+    }
+
+    /// Distinct defect causes among the differences.
+    pub fn causes(&self) -> Vec<CauseKey> {
+        let mut keys: Vec<CauseKey> =
+            self.verdicts.iter().flat_map(|v| v.all_causes.iter().cloned()).collect();
+        keys.sort();
+        keys.dedup();
+        keys
+    }
+}
+
+/// One row of Table 2.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignRow {
+    /// Row label (compiler name).
+    pub label: String,
+    /// Number of tested instructions.
+    pub tested_instructions: usize,
+    /// Paths found by concolic exploration.
+    pub interpreter_paths: usize,
+    /// Paths surviving curation.
+    pub curated_paths: usize,
+    /// Paths showing differences.
+    pub differences: usize,
+}
+
+impl CampaignRow {
+    /// Percentage of curated paths that differ (Table 2's last
+    /// column).
+    pub fn difference_percent(&self) -> f64 {
+        if self.curated_paths == 0 {
+            0.0
+        } else {
+            100.0 * self.differences as f64 / self.curated_paths as f64
+        }
+    }
+
+    /// Folds one instruction's outcome into the row.
+    pub fn absorb(&mut self, outcome: &InstructionOutcome) {
+        self.tested_instructions += 1;
+        self.interpreter_paths += outcome.paths_found;
+        self.curated_paths += outcome.curated;
+        self.differences += outcome.difference_count();
+    }
+}
+
+fn materialized(
+    state: &AbstractState,
+    model: &Model,
+) -> (ObjectMemory, Frame<Oop>, HashMap<VarId, Oop>) {
+    let mut st = state.clone();
+    let mut mem = ObjectMemory::new();
+    let mat = materialize_frame(&mut st, model, &mut mem);
+    let frame = concrete_frame(&mat.frame);
+    (mem, frame, mat.var_oops)
+}
+
+fn exit_label(e: &EngineExit) -> String {
+    match e {
+        EngineExit::Success { .. } => "Success".into(),
+        EngineExit::JumpTaken => "Success".into(),
+        EngineExit::Failure => "Failure".into(),
+        EngineExit::Return { .. } => "MethodReturn".into(),
+        EngineExit::Send { .. } => "MessageSend".into(),
+        EngineExit::InvalidFrame => "InvalidFrame".into(),
+        EngineExit::InvalidMemory => "InvalidMemoryAccess".into(),
+        EngineExit::SimulationError(_) => "SimulationError".into(),
+        EngineExit::EngineError(_) => "EngineError".into(),
+    }
+}
+
+/// Runs the full differential pipeline for one instruction: concolic
+/// exploration, curation, (optional) kind probing, and a compiled run
+/// per ISA per model, compared against the interpreter oracle.
+pub fn test_instruction(
+    instr: InstrUnderTest,
+    target: Target,
+    isas: &[Isa],
+    enable_probes: bool,
+) -> InstructionOutcome {
+    let exploration = Explorer::new().explore(instr);
+    let curated: Vec<_> = exploration.curated_paths().into_iter().cloned().collect();
+    let mut verdicts = Vec::new();
+
+    for path in &curated {
+        let models = if enable_probes {
+            probe_models(&exploration.state, path, 16)
+        } else {
+            vec![path.model.clone()]
+        };
+        let mut verdict: Verdict = Verdict::Agree;
+        let mut cause = None;
+        let mut all_causes: Vec<CauseKey> = Vec::new();
+        let mut found_by_probe = false;
+        let mut on_isa = None;
+        let mut base_exit_label = String::new();
+
+        'models: for (mi, model) in models.iter().enumerate() {
+            let (interp_mem, input_frame, var_oops) =
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    run_oracle(&exploration.state, model, instr)
+                })) {
+                    Ok((exit, mem, frame, oops)) => {
+                        if mi == 0 {
+                            base_exit_label = exit_label(&exit);
+                        }
+                        if !exit.is_testable() {
+                            continue 'models;
+                        }
+                        // Stash the oracle's products.
+                        ((exit, mem), frame, oops)
+                    }
+                    Err(_) => continue 'models,
+                };
+            let (interp_exit, interp_mem) = interp_mem;
+            for &isa in isas {
+                // Fresh, identical materialization for the compiled run.
+                let (mem2, frame2, _) = materialized(&exploration.state, model);
+                debug_assert_eq!(frame2.stack, input_frame.stack);
+                let (compiled, compiled_mem) = run_compiled_for_instr(
+                    target.compiler_kind(),
+                    isa,
+                    instr,
+                    &frame2,
+                    mem2,
+                );
+                let v = compare_runs(&interp_exit, &interp_mem, &compiled, &compiled_mem, &var_oops);
+                if let Verdict::Difference(d) = v {
+                    let key = classify(instr, target.compiler_kind(), &d);
+                    if !all_causes.contains(&key) {
+                        all_causes.push(key.clone());
+                    }
+                    if cause.is_none() {
+                        cause = Some(key);
+                        verdict = Verdict::Difference(d);
+                        found_by_probe = mi > 0;
+                        on_isa = Some(isa);
+                    }
+                    // Compile refusals cannot change across models.
+                    if matches!(
+                        verdict,
+                        Verdict::Difference(Difference {
+                            kind: crate::compare::DifferenceKind::CompileRefused,
+                            ..
+                        })
+                    ) {
+                        break 'models;
+                    }
+                }
+            }
+        }
+
+        verdicts.push(PathVerdict {
+            instruction: instr,
+            interp_exit: base_exit_label,
+            verdict,
+            cause,
+            all_causes,
+            found_by_probe,
+            isa: on_isa,
+        });
+    }
+
+    InstructionOutcome {
+        instruction: instr,
+        paths_found: exploration.paths.len(),
+        curated: curated.len(),
+        curated_out: exploration.curated_out.clone(),
+        verdicts,
+        explore_iterations: exploration.iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igjit_bytecode::Instruction;
+    use igjit_interp::NativeMethodId;
+
+    const BOTH: [Isa; 2] = [Isa::X86ish, Isa::Arm32ish];
+
+    #[test]
+    fn add_bytecode_agrees_on_stack_to_register_int_paths() {
+        let o = test_instruction(
+            InstrUnderTest::Bytecode(Instruction::Add),
+            Target::Bytecode(CompilerKind::StackToRegister),
+            &BOTH,
+            false,
+        );
+        assert!(o.paths_found >= 5);
+        // Exactly the float fast path differs (optimisation
+        // difference); the int paths and send paths agree.
+        assert_eq!(o.difference_count(), 1, "{:?}", o.verdicts);
+        let causes = o.causes();
+        assert_eq!(causes.len(), 1);
+        assert_eq!(
+            causes[0].category,
+            crate::DefectCategory::OptimisationDifference
+        );
+    }
+
+    #[test]
+    fn add_bytecode_differs_more_on_simple_stack() {
+        let o = test_instruction(
+            InstrUnderTest::Bytecode(Instruction::Add),
+            Target::Bytecode(CompilerKind::SimpleStackBased),
+            &BOTH,
+            false,
+        );
+        // Int fast path AND float fast path both differ (no static
+        // type prediction at all).
+        assert!(o.difference_count() >= 2, "{:?}", o.verdicts);
+    }
+
+    #[test]
+    fn push_bytecodes_always_agree() {
+        for instr in [
+            Instruction::PushTrue,
+            Instruction::PushZero,
+            Instruction::Dup,
+            Instruction::Pop,
+            Instruction::PushTemp(1),
+        ] {
+            for kind in CompilerKind::ALL {
+                let o = test_instruction(
+                    InstrUnderTest::Bytecode(instr),
+                    Target::Bytecode(kind),
+                    &BOTH,
+                    false,
+                );
+                assert_eq!(o.difference_count(), 0, "{instr:?} {kind:?}: {:?}", o.verdicts);
+            }
+        }
+    }
+
+    #[test]
+    fn native_add_agrees() {
+        let o = test_instruction(
+            InstrUnderTest::Native(NativeMethodId(1)),
+            Target::NativeMethods,
+            &BOTH,
+            false,
+        );
+        assert!(o.curated >= 4);
+        assert_eq!(o.difference_count(), 0, "{:?}", o.verdicts);
+    }
+
+    #[test]
+    fn native_bitand_shows_behavioural_difference() {
+        let o = test_instruction(
+            InstrUnderTest::Native(NativeMethodId(14)),
+            Target::NativeMethods,
+            &BOTH,
+            false,
+        );
+        assert!(o.difference_count() >= 1, "{:?}", o.verdicts);
+        assert!(o
+            .causes()
+            .iter()
+            .any(|c| c.category == crate::DefectCategory::BehaviouralDifference));
+    }
+
+    #[test]
+    fn native_float_add_shows_missing_compiled_check() {
+        // The divergence needs a non-float receiver with a float
+        // argument — a combination only kind probing produces, since
+        // the interpreter's failure path leaves the argument
+        // unconstrained.
+        let o = test_instruction(
+            InstrUnderTest::Native(NativeMethodId(41)),
+            Target::NativeMethods,
+            &BOTH,
+            true,
+        );
+        assert!(o.difference_count() >= 1, "{:?}", o.verdicts);
+        assert!(o
+            .causes()
+            .iter()
+            .any(|c| c.category == crate::DefectCategory::MissingCompiledTypeCheck));
+    }
+
+    #[test]
+    fn native_as_float_needs_probing() {
+        let without = test_instruction(
+            InstrUnderTest::Native(NativeMethodId(40)),
+            Target::NativeMethods,
+            &BOTH,
+            false,
+        );
+        assert_eq!(without.difference_count(), 0, "invisible without probes");
+        let with = test_instruction(
+            InstrUnderTest::Native(NativeMethodId(40)),
+            Target::NativeMethods,
+            &BOTH,
+            true,
+        );
+        assert!(with.difference_count() >= 1, "{:?}", with.verdicts);
+        let v = with.verdicts.iter().find(|v| v.verdict.is_difference()).unwrap();
+        assert!(v.found_by_probe);
+        assert_eq!(
+            v.cause.as_ref().unwrap().category,
+            crate::DefectCategory::MissingInterpreterTypeCheck
+        );
+    }
+
+    #[test]
+    fn ffi_natives_are_missing_functionality() {
+        let o = test_instruction(
+            InstrUnderTest::Native(NativeMethodId(120)),
+            Target::NativeMethods,
+            &BOTH,
+            false,
+        );
+        assert!(o.difference_count() >= 1);
+        assert!(o
+            .causes()
+            .iter()
+            .all(|c| c.category == crate::DefectCategory::MissingFunctionality));
+    }
+
+    #[test]
+    fn fraction_part_triggers_simulation_error() {
+        let o = test_instruction(
+            InstrUnderTest::Native(NativeMethodId(52)),
+            Target::NativeMethods,
+            &BOTH,
+            true,
+        );
+        assert!(o
+            .causes()
+            .iter()
+            .any(|c| c.category == crate::DefectCategory::SimulationError),
+            "{:?}",
+            o.verdicts
+        );
+    }
+
+    #[test]
+    fn campaign_row_aggregation() {
+        let mut row = CampaignRow { label: "x".into(), ..Default::default() };
+        let o = test_instruction(
+            InstrUnderTest::Bytecode(Instruction::PushOne),
+            Target::Bytecode(CompilerKind::StackToRegister),
+            &[Isa::X86ish],
+            false,
+        );
+        row.absorb(&o);
+        assert_eq!(row.tested_instructions, 1);
+        assert!(row.interpreter_paths >= 1);
+        assert_eq!(row.differences, 0);
+        assert_eq!(row.difference_percent(), 0.0);
+    }
+}

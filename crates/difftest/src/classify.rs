@@ -1,0 +1,204 @@
+//! Defect classification (§5.3 / Table 3).
+//!
+//! Many paths fail for one underlying defect; classification assigns a
+//! *category* and a *cause key*, and the campaign counts distinct
+//! cause keys exactly like the paper counts "91 different causes".
+
+use igjit_bytecode::Instruction;
+use igjit_concolic::InstrUnderTest;
+use igjit_jit::CompilerKind;
+
+use crate::compare::{Difference, DifferenceKind};
+
+/// The six defect families of Table 3.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum DefectCategory {
+    /// A type check exists in the compiled code but not the
+    /// interpreter (`primitiveAsFloat`, Listing 5).
+    MissingInterpreterTypeCheck,
+    /// A type check exists in the interpreter but not the compiled
+    /// code (the 13 float primitives).
+    MissingCompiledTypeCheck,
+    /// An optimisation exists in one engine only (static type
+    /// prediction differences).
+    OptimisationDifference,
+    /// Both engines are defensible but behave differently (bitwise
+    /// negatives, `quo:` rounding).
+    BehaviouralDifference,
+    /// Functionality implemented in the interpreter but absent from
+    /// the compiler (the 60 FFI primitives).
+    MissingFunctionality,
+    /// A defect of the testing/simulation environment itself.
+    SimulationError,
+}
+
+impl DefectCategory {
+    /// All categories, in Table 3's order.
+    pub const ALL: [DefectCategory; 6] = [
+        DefectCategory::MissingInterpreterTypeCheck,
+        DefectCategory::MissingCompiledTypeCheck,
+        DefectCategory::OptimisationDifference,
+        DefectCategory::BehaviouralDifference,
+        DefectCategory::MissingFunctionality,
+        DefectCategory::SimulationError,
+    ];
+
+    /// Table 3 row label.
+    pub fn name(self) -> &'static str {
+        match self {
+            DefectCategory::MissingInterpreterTypeCheck => "Missing interpreter type check",
+            DefectCategory::MissingCompiledTypeCheck => "Missing compiled type check",
+            DefectCategory::OptimisationDifference => "Optimisation difference",
+            DefectCategory::BehaviouralDifference => "Behavioral difference",
+            DefectCategory::MissingFunctionality => "Missing Functionality",
+            DefectCategory::SimulationError => "Simulation Error",
+        }
+    }
+}
+
+/// Deduplication key for a defect cause: category + the instruction
+/// (family) it afflicts + the compiler tier where relevant.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct CauseKey {
+    /// The defect family.
+    pub category: DefectCategory,
+    /// Instruction identity: native id, or bytecode family name.
+    pub instruction: String,
+    /// Compiler tier (empty for the native-method compiler).
+    pub compiler: String,
+}
+
+/// Classifies one difference into its defect family and cause key.
+pub fn classify(
+    instr: InstrUnderTest,
+    compiler: Option<CompilerKind>,
+    diff: &Difference,
+) -> CauseKey {
+    let category = match (&diff.kind, instr) {
+        (DifferenceKind::CompileRefused, _) => DefectCategory::MissingFunctionality,
+        (DifferenceKind::SimulationError, _) => DefectCategory::SimulationError,
+        (DifferenceKind::EngineError, _) => DefectCategory::SimulationError,
+        (_, InstrUnderTest::Native(id)) => match id.0 {
+            // primitiveAsFloat: interpreter misses the check.
+            40 => DefectCategory::MissingInterpreterTypeCheck,
+            // Float primitives: compiled code misses the receiver
+            // check (garbage successes and segfaults).
+            41..=53 => DefectCategory::MissingCompiledTypeCheck,
+            // Bitwise family + quo: defensible-but-different.
+            13..=17 => DefectCategory::BehaviouralDifference,
+            _ => DefectCategory::BehaviouralDifference,
+        },
+        (_, InstrUnderTest::Bytecode(i)) => match i {
+            // Interpreter inlines paths these tiers send for: the
+            // static-type-prediction gap.
+            Instruction::Add
+            | Instruction::Subtract
+            | Instruction::Multiply
+            | Instruction::Divide
+            | Instruction::Modulo
+            | Instruction::IntegerDivide
+            | Instruction::LessThan
+            | Instruction::GreaterThan
+            | Instruction::LessOrEqual
+            | Instruction::GreaterOrEqual
+            | Instruction::Equal
+            | Instruction::NotEqual
+            | Instruction::BitAnd
+            | Instruction::BitOr
+            | Instruction::BitShift
+            | Instruction::SpecialSendAt
+            | Instruction::SpecialSendAtPut
+            | Instruction::SpecialSendSize => DefectCategory::OptimisationDifference,
+            _ => DefectCategory::BehaviouralDifference,
+        },
+    };
+    let instruction = match instr {
+        InstrUnderTest::Native(id) => {
+            igjit_interp::native_spec(id).map(|s| s.name).unwrap_or_else(|| format!("prim{}", id.0))
+        }
+        InstrUnderTest::Bytecode(i) => format!("{:?}", i.family()),
+    };
+    let compiler = match compiler {
+        Some(k) => k.name().to_string(),
+        None => String::new(),
+    };
+    CauseKey { category, instruction, compiler }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igjit_interp::NativeMethodId;
+
+    fn diff(kind: DifferenceKind) -> Difference {
+        Difference { kind, detail: String::new() }
+    }
+
+    #[test]
+    fn ffi_refusals_are_missing_functionality() {
+        let k = classify(
+            InstrUnderTest::Native(NativeMethodId(120)),
+            None,
+            &diff(DifferenceKind::CompileRefused),
+        );
+        assert_eq!(k.category, DefectCategory::MissingFunctionality);
+    }
+
+    #[test]
+    fn as_float_is_the_interpreter_defect() {
+        let k = classify(
+            InstrUnderTest::Native(NativeMethodId(40)),
+            None,
+            &diff(DifferenceKind::ExitMismatch { interp: "Success".into(), compiled: "Failure".into() }),
+        );
+        assert_eq!(k.category, DefectCategory::MissingInterpreterTypeCheck);
+    }
+
+    #[test]
+    fn float_primitives_are_compiled_defects() {
+        for id in [41u16, 47, 51] {
+            let k = classify(
+                InstrUnderTest::Native(NativeMethodId(id)),
+                None,
+                &diff(DifferenceKind::ExitMismatch { interp: "Failure".into(), compiled: "InvalidMemory".into() }),
+            );
+            assert_eq!(k.category, DefectCategory::MissingCompiledTypeCheck, "{id}");
+        }
+    }
+
+    #[test]
+    fn simulation_errors_classify_as_such() {
+        let k = classify(
+            InstrUnderTest::Native(NativeMethodId(52)),
+            None,
+            &diff(DifferenceKind::SimulationError),
+        );
+        assert_eq!(k.category, DefectCategory::SimulationError);
+    }
+
+    #[test]
+    fn arithmetic_bytecode_sends_are_optimisation_differences() {
+        let k = classify(
+            InstrUnderTest::Bytecode(Instruction::Add),
+            Some(CompilerKind::SimpleStackBased),
+            &diff(DifferenceKind::ExitMismatch { interp: "Success".into(), compiled: "Send".into() }),
+        );
+        assert_eq!(k.category, DefectCategory::OptimisationDifference);
+        assert!(k.compiler.contains("Simple"));
+    }
+
+    #[test]
+    fn cause_keys_deduplicate_by_family() {
+        let a = classify(
+            InstrUnderTest::Bytecode(Instruction::PushTemp(0)),
+            Some(CompilerKind::StackToRegister),
+            &diff(DifferenceKind::StackMismatch),
+        );
+        let b = classify(
+            InstrUnderTest::Bytecode(Instruction::PushTemp(5)),
+            Some(CompilerKind::StackToRegister),
+            &diff(DifferenceKind::StackMismatch),
+        );
+        assert_eq!(a, b, "same family, same tier → one cause");
+    }
+}

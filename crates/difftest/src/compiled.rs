@@ -1,0 +1,278 @@
+//! Running compiled code for one explored path.
+
+use igjit_bytecode::SpecialSelector;
+use igjit_concolic::InstrUnderTest;
+use igjit_heap::{ObjectMemory, Oop};
+use igjit_interp::native_spec;
+use igjit_jit::{
+    compile_native_test, BytecodeTestInput, CompileError, CompilerKind,
+    Convention, NativeTestInput, MUST_BE_BOOLEAN_SELECTOR, SPILL_BYTES,
+};
+use igjit_machine::{Isa, Machine, MachineConfig, MachineOutcome};
+
+use crate::oracle::{EngineExit, SelectorId};
+
+/// Outcome of a compiled run (or the compiler's refusal).
+#[derive(Clone, Debug)]
+pub enum CompiledRun {
+    /// Compiled and executed; observable behaviour inside.
+    Ran(EngineExit),
+    /// The front-end refused (missing functionality / unsupported).
+    Refused(CompileError),
+}
+
+fn selector_of(id: u32) -> SelectorId {
+    if id == MUST_BE_BOOLEAN_SELECTOR {
+        return SelectorId::MustBeBoolean;
+    }
+    match SpecialSelector::from_index(id) {
+        Some(s) => SelectorId::Special(s),
+        None => SelectorId::Literal(Oop(id)),
+    }
+}
+
+/// Compiles and runs a bytecode instruction test: the operand stack,
+/// temps and literals of `frame` are embedded as constants (§4.2);
+/// the receiver rides in the convention register.
+///
+/// `mem` must be a *fresh* materialization of the same model the
+/// oracle ran on. Returns the run plus the mutated heap.
+pub fn run_compiled_bytecode(
+    kind: CompilerKind,
+    isa: Isa,
+    instr: igjit_bytecode::Instruction,
+    frame: &igjit_interp::Frame<Oop>,
+    mem: ObjectMemory,
+    send_arity_hint: usize,
+) -> (CompiledRun, ObjectMemory) {
+    run_compiled_sequence(kind, isa, &[instr], frame, mem, send_arity_hint)
+}
+
+/// Compiles and runs a straight-line bytecode *sequence* test (the
+/// future-work extension): same schema, several instructions generated
+/// back to back.
+pub fn run_compiled_sequence(
+    kind: CompilerKind,
+    isa: Isa,
+    instrs: &[igjit_bytecode::Instruction],
+    frame: &igjit_interp::Frame<Oop>,
+    mut mem: ObjectMemory,
+    send_arity_hint: usize,
+) -> (CompiledRun, ObjectMemory) {
+    let input = BytecodeTestInput {
+        instruction: instrs[0],
+        operand_stack: &frame.stack,
+        temps: &frame.temps,
+        literals: &frame.method.literals,
+        nil: mem.nil(),
+        true_obj: mem.true_object(),
+        false_obj: mem.false_object(),
+    };
+    let compiled = match igjit_jit::compile_bytecode_sequence_test(kind, instrs, &input, isa) {
+        Ok(c) => c,
+        Err(e) => return (CompiledRun::Refused(e), mem),
+    };
+    let frame_bytes = 4 * compiled.ntemps + SPILL_BYTES;
+    let conv = Convention::for_isa(isa);
+    let ntemps = compiled.ntemps;
+    let exit = {
+        let mut m = Machine::new(&mut mem, isa, compiled.code);
+        m.set_reg(conv.receiver, frame.receiver.0);
+        let outcome = m.run(MachineConfig::default());
+        match outcome {
+            MachineOutcome::Breakpoint { code } if code == igjit_jit::stops::FALL_THROUGH => {
+                // Operand stack: words between SP and the frame base,
+                // top first; reverse to bottom-first.
+                let sp = m.reg(conv.sp);
+                let limit = m.initial_sp().wrapping_sub(frame_bytes);
+                let mut stack = Vec::new();
+                let mut a = sp;
+                while a < limit {
+                    match m.read_stack(a) {
+                        Ok(w) => stack.push(Oop(w)),
+                        Err(_) => break,
+                    }
+                    a += 4;
+                }
+                stack.reverse();
+                // Temps from the frame slots.
+                let fp = m.reg(conv.fp);
+                let temps: Vec<Oop> = (0..ntemps)
+                    .map(|i| Oop(m.read_stack(fp.wrapping_sub(4 * (i + 1))).unwrap_or(0)))
+                    .collect();
+                EngineExit::Success { stack, temps, result: None }
+            }
+            MachineOutcome::Breakpoint { .. } => EngineExit::JumpTaken,
+            MachineOutcome::ReturnedToCaller => {
+                EngineExit::Return { value: Oop(m.reg(conv.receiver)) }
+            }
+            MachineOutcome::Send { selector_id } => {
+                let selector = selector_of(selector_id);
+                let receiver = Oop(m.reg(conv.receiver));
+                let args: Vec<Oop> = (0..send_arity_hint.min(3))
+                    .map(|i| Oop(m.reg(conv.arg(i))))
+                    .collect();
+                EngineExit::Send { selector, receiver, args }
+            }
+            MachineOutcome::MemoryFault { .. } => EngineExit::InvalidMemory,
+            MachineOutcome::SimulationError { register } => {
+                EngineExit::SimulationError(register)
+            }
+            MachineOutcome::StepLimit => EngineExit::EngineError("machine step limit".into()),
+            MachineOutcome::DecodeFault { pc } => {
+                EngineExit::EngineError(format!("decode fault at 0x{pc:08x}"))
+            }
+        }
+    };
+    (CompiledRun::Ran(exit), mem)
+}
+
+/// Compiles and runs a native-method test: receiver and args ride in
+/// the convention registers (Listing 4's schema).
+pub fn run_compiled_native(
+    isa: Isa,
+    id: igjit_interp::NativeMethodId,
+    receiver: Oop,
+    args: &[Oop],
+    mut mem: ObjectMemory,
+) -> (CompiledRun, ObjectMemory) {
+    let input = NativeTestInput {
+        nil: mem.nil(),
+        true_obj: mem.true_object(),
+        false_obj: mem.false_object(),
+    };
+    let compiled = match compile_native_test(
+        igjit_jit::native::igjit_bytecode_native_id::NativeMethodIdLike(id.0),
+        input,
+        isa,
+    ) {
+        Ok(c) => c,
+        Err(e) => return (CompiledRun::Refused(e), mem),
+    };
+    let conv = Convention::for_isa(isa);
+    let argc = native_spec(id).map(|s| s.argc as usize).unwrap_or(args.len());
+    let exit = {
+        let mut m = Machine::new(&mut mem, isa, compiled.code);
+        m.set_reg(conv.receiver, receiver.0);
+        for (i, a) in args.iter().take(argc.min(3)).enumerate() {
+            m.set_reg(conv.arg(i), a.0);
+        }
+        match m.run(MachineConfig::default()) {
+            MachineOutcome::ReturnedToCaller => EngineExit::Success {
+                stack: Vec::new(),
+                temps: Vec::new(),
+                result: Some(Oop(m.reg(conv.receiver))),
+            },
+            MachineOutcome::Breakpoint { .. } => EngineExit::Failure,
+            MachineOutcome::Send { selector_id } => EngineExit::Send {
+                selector: selector_of(selector_id),
+                receiver: Oop(m.reg(conv.receiver)),
+                args: Vec::new(),
+            },
+            MachineOutcome::MemoryFault { .. } => EngineExit::InvalidMemory,
+            MachineOutcome::SimulationError { register } => {
+                EngineExit::SimulationError(register)
+            }
+            MachineOutcome::StepLimit => EngineExit::EngineError("machine step limit".into()),
+            MachineOutcome::DecodeFault { pc } => {
+                EngineExit::EngineError(format!("decode fault at 0x{pc:08x}"))
+            }
+        }
+    };
+    (CompiledRun::Ran(exit), mem)
+}
+
+/// Convenience: the compiled-run entry point used by the campaign.
+pub fn run_compiled_for_instr(
+    target_kind: Option<CompilerKind>,
+    isa: Isa,
+    instr: InstrUnderTest,
+    frame: &igjit_interp::Frame<Oop>,
+    mem: ObjectMemory,
+) -> (CompiledRun, ObjectMemory) {
+    match instr {
+        InstrUnderTest::Bytecode(i) => {
+            let arity = i.stack_arity() as usize;
+            run_compiled_bytecode(
+                target_kind.expect("bytecode target needs a compiler kind"),
+                isa,
+                i,
+                frame,
+                mem,
+                arity.saturating_sub(1),
+            )
+        }
+        InstrUnderTest::Native(id) => {
+            match crate::oracle::native_operands(frame, id) {
+                Some((receiver, args)) => run_compiled_native(isa, id, receiver, &args, mem),
+                None => (
+                    CompiledRun::Ran(EngineExit::InvalidFrame),
+                    mem,
+                ),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igjit_bytecode::Instruction;
+    use igjit_interp::{Frame, MethodInfo};
+
+    fn si(v: i64) -> Oop {
+        Oop::from_small_int(v)
+    }
+
+    #[test]
+    fn compiled_add_matches_shape() {
+        let mem = ObjectMemory::new();
+        let mut frame = Frame::new(si(0), MethodInfo::empty());
+        frame.stack = vec![si(20), si(22)];
+        let (run, _) = run_compiled_bytecode(
+            CompilerKind::StackToRegister,
+            Isa::X86ish,
+            Instruction::Add,
+            &frame,
+            mem,
+            1,
+        );
+        match run {
+            CompiledRun::Ran(EngineExit::Success { stack, .. }) => {
+                assert_eq!(stack, vec![si(42)]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn compiled_native_ffi_refuses() {
+        let mem = ObjectMemory::new();
+        let (run, _) = run_compiled_native(
+            Isa::Arm32ish,
+            igjit_interp::NativeMethodId(120),
+            si(0),
+            &[],
+            mem,
+        );
+        assert!(matches!(run, CompiledRun::Refused(CompileError::NotImplemented(_))));
+    }
+
+    #[test]
+    fn compiled_native_add_succeeds() {
+        let mem = ObjectMemory::new();
+        let (run, _) = run_compiled_native(
+            Isa::X86ish,
+            igjit_interp::NativeMethodId(1),
+            si(20),
+            &[si(3)],
+            mem,
+        );
+        match run {
+            CompiledRun::Ran(EngineExit::Success { result, .. }) => {
+                assert_eq!(result, Some(si(23)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

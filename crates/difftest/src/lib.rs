@@ -1,0 +1,42 @@
+//! # igjit-difftest — interpreter-guided differential testing
+//!
+//! Steps 2–4 of the paper's pipeline (Fig. 1): for every execution
+//! path the concolic explorer discovered,
+//!
+//! 1. re-materialize the concrete input VM frame from the path's
+//!    model into a fresh heap,
+//! 2. run the **interpreter** on it — the oracle,
+//! 3. **compile** the instruction with the front-end under test (per
+//!    the §4.2 schema) and run the machine code on the simulator,
+//! 4. **compare** the observable behaviour: exit condition, operand
+//!    stack, temps, result values, message-send payloads, and side
+//!    effects on the input object graph,
+//! 5. classify any difference into the paper's six defect families
+//!    (Table 3).
+//!
+//! The [`probe_models`] pass adds *kind probing*: for unconstrained
+//! input variables it re-solves the path condition under extra kind
+//! hypotheses, which is how the `primitiveAsFloat` missing-check
+//! (whose interpreter path records **no** receiver constraint) becomes
+//! visible to differential testing.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod campaign;
+mod classify;
+mod compare;
+mod compiled;
+mod oracle;
+mod probes;
+mod sequence;
+
+pub use campaign::{test_instruction, CampaignRow, InstructionOutcome, PathVerdict, Target};
+pub use classify::{classify, CauseKey, DefectCategory};
+pub use compare::{compare_runs, values_equivalent, Difference, DifferenceKind, Verdict};
+pub use compiled::{run_compiled_bytecode, run_compiled_native, run_compiled_sequence,
+                   CompiledRun};
+pub use oracle::{concrete_frame, run_oracle, EngineExit, SelectorId};
+pub use probes::probe_models;
+pub use sequence::{minimal_sequence_for_path, run_oracle_sequence, test_sequence,
+                   SequenceOutcome};

@@ -1,0 +1,211 @@
+//! The interpreter oracle: concrete re-execution of an explored path.
+
+use igjit_bytecode::SpecialSelector;
+use igjit_concolic::{materialize_frame, AbstractState, InstrUnderTest};
+use igjit_heap::{ObjectMemory, Oop};
+use igjit_interp::{
+    native_spec, run_native, step, ConcreteContext, Frame, MethodInfo, NativeOutcome, Selector,
+    StepOutcome,
+};
+use igjit_solver::Model;
+
+/// A message-send selector, comparable across engines.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SelectorId {
+    /// Entry of the special-selector table.
+    Special(SpecialSelector),
+    /// The `mustBeBoolean` error send.
+    MustBeBoolean,
+    /// A literal selector oop.
+    Literal(Oop),
+}
+
+/// Engine-neutral observable behaviour of one instruction execution.
+#[derive(Clone, PartialEq, Debug)]
+pub enum EngineExit {
+    /// Fell through to the next instruction (bytecode) or returned to
+    /// the caller (native method).
+    Success {
+        /// Operand stack after execution, bottom first (bytecodes).
+        stack: Vec<Oop>,
+        /// Temps after execution.
+        temps: Vec<Oop>,
+        /// The primitive's result (native methods).
+        result: Option<Oop>,
+    },
+    /// A jump was taken.
+    JumpTaken,
+    /// The native method failed its operand validation.
+    Failure,
+    /// The method returned.
+    Return {
+        /// Returned value.
+        value: Oop,
+    },
+    /// A message send left compiled/interpreted code.
+    Send {
+        /// The selector.
+        selector: SelectorId,
+        /// Receiver.
+        receiver: Oop,
+        /// Arguments.
+        args: Vec<Oop>,
+    },
+    /// Frame too small — an expected failure the runner skips.
+    InvalidFrame,
+    /// Out-of-bounds object access.
+    InvalidMemory,
+    /// The simulated runtime itself failed (reflection table hole).
+    SimulationError(String),
+    /// Harness-level failure (step limits, undecodable code).
+    EngineError(String),
+}
+
+impl EngineExit {
+    /// Whether the differential runner should execute compiled code
+    /// for a path with this interpreter exit (§3.4: invalid frame and
+    /// invalid memory are expected failures for bytecodes).
+    pub fn is_testable(&self) -> bool {
+        matches!(
+            self,
+            EngineExit::Success { .. }
+                | EngineExit::JumpTaken
+                | EngineExit::Failure
+                | EngineExit::Return { .. }
+                | EngineExit::Send { .. }
+        )
+    }
+}
+
+/// Strips symbolic shadows from a materialized frame.
+pub fn concrete_frame(frame: &Frame<igjit_concolic::SymOop>) -> Frame<Oop> {
+    let mut f = Frame::new(
+        frame.receiver.concrete,
+        MethodInfo {
+            literals: frame.method.literals.iter().map(|l| l.concrete).collect(),
+            num_args: frame.method.num_args,
+            num_temps: frame.method.num_temps,
+        },
+    );
+    f.temps = frame.temps.iter().map(|t| t.concrete).collect();
+    f.stack = frame.stack.iter().map(|s| s.concrete).collect();
+    f
+}
+
+/// The oracle run: materializes `model` into a fresh heap and runs the
+/// interpreter concretely.
+///
+/// Returns the exit, the mutated heap, the input frame (for the
+/// compiled run to reuse) and the var→oop mapping (for side-effect
+/// comparison).
+pub fn run_oracle(
+    state: &AbstractState,
+    model: &Model,
+    instr: InstrUnderTest,
+) -> (EngineExit, ObjectMemory, Frame<Oop>, std::collections::HashMap<igjit_solver::VarId, Oop>)
+{
+    let mut state = state.clone();
+    let mut mem = ObjectMemory::new();
+    let mat = materialize_frame(&mut state, model, &mut mem);
+    let input_frame = concrete_frame(&mat.frame);
+    let mut frame = input_frame.clone();
+    let exit = match instr {
+        InstrUnderTest::Bytecode(i) => {
+            let mut ctx = ConcreteContext::new(&mut mem);
+            match step(&mut ctx, &mut frame, i) {
+                StepOutcome::Continue => EngineExit::Success {
+                    stack: frame.stack.clone(),
+                    temps: frame.temps.clone(),
+                    result: None,
+                },
+                StepOutcome::Jump { displacement: _ } => EngineExit::JumpTaken,
+                StepOutcome::MethodReturn { value } => EngineExit::Return { value },
+                StepOutcome::MessageSend { selector, receiver, args } => EngineExit::Send {
+                    selector: match selector {
+                        Selector::Special(s) => SelectorId::Special(s),
+                        Selector::MustBeBoolean => SelectorId::MustBeBoolean,
+                        Selector::Literal(v) => SelectorId::Literal(v),
+                    },
+                    receiver,
+                    args,
+                },
+                StepOutcome::InvalidFrame => EngineExit::InvalidFrame,
+                StepOutcome::InvalidMemoryAccess => EngineExit::InvalidMemory,
+                StepOutcome::Unsupported { reason } => EngineExit::EngineError(reason.into()),
+            }
+        }
+        InstrUnderTest::Native(id) => {
+            let mut ctx = ConcreteContext::new(&mut mem);
+            match run_native(&mut ctx, &mut frame, id) {
+                NativeOutcome::Success { result } => EngineExit::Success {
+                    stack: frame.stack.clone(),
+                    temps: frame.temps.clone(),
+                    result: Some(result),
+                },
+                NativeOutcome::Failure => EngineExit::Failure,
+                NativeOutcome::InvalidFrame => EngineExit::InvalidFrame,
+                NativeOutcome::InvalidMemoryAccess => EngineExit::InvalidMemory,
+                NativeOutcome::Unsupported { reason } => EngineExit::EngineError(reason.into()),
+            }
+        }
+    };
+    (exit, mem, input_frame, mat.var_oops)
+}
+
+/// The receiver and argument slice of a native-method frame (receiver
+/// deepest, per the native calling convention).
+pub fn native_operands(frame: &Frame<Oop>, id: igjit_interp::NativeMethodId) -> Option<(Oop, Vec<Oop>)> {
+    let argc = native_spec(id)?.argc as usize;
+    let depth = frame.stack.len();
+    if depth < argc + 1 {
+        return None;
+    }
+    let receiver = frame.stack[depth - 1 - argc];
+    let args = frame.stack[depth - argc..].to_vec();
+    Some((receiver, args))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igjit_bytecode::Instruction;
+    use igjit_concolic::Explorer;
+    use igjit_interp::NativeMethodId;
+
+    #[test]
+    fn oracle_reproduces_explored_outcomes() {
+        let r = Explorer::new().explore(InstrUnderTest::Bytecode(Instruction::Add));
+        for path in r.curated_paths() {
+            let (exit, _, _, _) = run_oracle(&r.state, &path.model, path.instruction);
+            // The oracle's exit class must match what the concolic run
+            // observed for the same model.
+            let expected = path.outcome.exit_condition().unwrap();
+            let got = match &exit {
+                EngineExit::Success { .. } | EngineExit::JumpTaken => {
+                    igjit_interp::ExitCondition::Success
+                }
+                EngineExit::Failure => igjit_interp::ExitCondition::Failure,
+                EngineExit::Return { .. } => igjit_interp::ExitCondition::MethodReturn,
+                EngineExit::Send { .. } => igjit_interp::ExitCondition::MessageSend,
+                EngineExit::InvalidFrame => igjit_interp::ExitCondition::InvalidFrame,
+                EngineExit::InvalidMemory => igjit_interp::ExitCondition::InvalidMemoryAccess,
+                other => panic!("{other:?}"),
+            };
+            assert_eq!(got, expected, "{:?}", path.constraints);
+        }
+    }
+
+    #[test]
+    fn native_operand_extraction() {
+        let r = Explorer::new().explore(InstrUnderTest::Native(NativeMethodId(1)));
+        let ok = r
+            .curated_paths()
+            .iter()
+            .any(|p| {
+                let (exit, _, frame, _) = run_oracle(&r.state, &p.model, p.instruction);
+                matches!(exit, EngineExit::Success { .. })
+                    && native_operands(&frame, NativeMethodId(1)).is_some()
+            });
+        assert!(ok, "at least one successful path with extractable operands");
+    }
+}

@@ -1,0 +1,106 @@
+//! Simulated external (non-heap) memory.
+//!
+//! The paper's *missing functionality* defect family concerns FFI
+//! native methods that read and write raw external memory. We have no
+//! real FFI, so the substrate provides a bounded, deterministic byte
+//! region standing in for "memory outside the object heap". The
+//! interpreter's FFI primitives operate on it; the 32-bit template
+//! compiler never learned to (that is the planted defect).
+
+use crate::error::{HeapError, HeapResult};
+
+/// A bounded external memory region addressed from 0.
+#[derive(Clone, Debug)]
+pub struct ExternalMemory {
+    bytes: Vec<u8>,
+}
+
+impl ExternalMemory {
+    /// Creates a zero-filled region of `size` bytes.
+    pub fn new(size: usize) -> ExternalMemory {
+        ExternalMemory { bytes: vec![0; size] }
+    }
+
+    /// Region size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Reads `width` (1, 2 or 4) bytes little-endian at `addr`.
+    pub fn read_uint(&self, addr: u32, width: u32) -> HeapResult<u32> {
+        let end = addr
+            .checked_add(width)
+            .ok_or(HeapError::ExternalOutOfBounds { addr, width })?;
+        if end as usize > self.bytes.len() || !matches!(width, 1 | 2 | 4) {
+            return Err(HeapError::ExternalOutOfBounds { addr, width });
+        }
+        let mut v: u32 = 0;
+        for i in (0..width).rev() {
+            v = (v << 8) | u32::from(self.bytes[(addr + i) as usize]);
+        }
+        Ok(v)
+    }
+
+    /// Writes `width` (1, 2 or 4) bytes little-endian at `addr`.
+    pub fn write_uint(&mut self, addr: u32, width: u32, value: u32) -> HeapResult<()> {
+        let end = addr
+            .checked_add(width)
+            .ok_or(HeapError::ExternalOutOfBounds { addr, width })?;
+        if end as usize > self.bytes.len() || !matches!(width, 1 | 2 | 4) {
+            return Err(HeapError::ExternalOutOfBounds { addr, width });
+        }
+        for i in 0..width {
+            self.bytes[(addr + i) as usize] = (value >> (8 * i)) as u8;
+        }
+        Ok(())
+    }
+
+    /// Sign-extends a `width`-byte read to i32.
+    pub fn read_int(&self, addr: u32, width: u32) -> HeapResult<i32> {
+        let raw = self.read_uint(addr, width)?;
+        Ok(match width {
+            1 => raw as u8 as i8 as i32,
+            2 => raw as u16 as i16 as i32,
+            _ => raw as i32,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut m = ExternalMemory::new(64);
+        m.write_uint(0, 1, 0xab).unwrap();
+        m.write_uint(8, 2, 0xbeef).unwrap();
+        m.write_uint(16, 4, 0xdead_beef).unwrap();
+        assert_eq!(m.read_uint(0, 1).unwrap(), 0xab);
+        assert_eq!(m.read_uint(8, 2).unwrap(), 0xbeef);
+        assert_eq!(m.read_uint(16, 4).unwrap(), 0xdead_beef);
+    }
+
+    #[test]
+    fn sign_extension() {
+        let mut m = ExternalMemory::new(16);
+        m.write_uint(0, 1, 0xff).unwrap();
+        m.write_uint(4, 2, 0x8000).unwrap();
+        assert_eq!(m.read_int(0, 1).unwrap(), -1);
+        assert_eq!(m.read_int(4, 2).unwrap(), -32768);
+    }
+
+    #[test]
+    fn out_of_bounds_is_an_error() {
+        let mut m = ExternalMemory::new(4);
+        assert!(m.read_uint(4, 1).is_err());
+        assert!(m.read_uint(2, 4).is_err());
+        assert!(m.write_uint(u32::MAX, 4, 0).is_err());
+        assert!(m.read_uint(0, 3).is_err(), "width 3 is not a valid access");
+    }
+}

@@ -1,0 +1,106 @@
+//! Object memory formats.
+//!
+//! Every heap object's header records a *format*, which governs how its
+//! body is interpreted and which access primitives are legal on it. The
+//! set mirrors the Spur formats the Pharo instructions dispatch on.
+
+/// The body layout of a heap object.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u8)]
+pub enum ObjectFormat {
+    /// No body at all (e.g. `nil`, `true`, `false`).
+    ZeroSized = 0,
+    /// A fixed number of pointer slots (ordinary objects).
+    Fixed = 1,
+    /// A variable number of pointer slots (`Array`).
+    Indexable = 2,
+    /// A variable number of raw bytes (`ByteArray`, `String`).
+    Bytes = 3,
+    /// A variable number of raw 32-bit words (`WordArray`, bitmaps).
+    Words = 4,
+    /// A boxed IEEE-754 double occupying two 32-bit body words.
+    BoxedFloat64 = 5,
+    /// A compiled method: literal pointer slots followed by bytecodes.
+    CompiledMethod = 6,
+    /// An external-memory handle: one word holding an address into the
+    /// simulated external (non-heap) memory region used by FFI
+    /// primitives.
+    ExternalAddress = 7,
+}
+
+impl ObjectFormat {
+    /// Decodes a format from its header encoding.
+    pub fn from_bits(bits: u32) -> Option<ObjectFormat> {
+        Some(match bits {
+            0 => ObjectFormat::ZeroSized,
+            1 => ObjectFormat::Fixed,
+            2 => ObjectFormat::Indexable,
+            3 => ObjectFormat::Bytes,
+            4 => ObjectFormat::Words,
+            5 => ObjectFormat::BoxedFloat64,
+            6 => ObjectFormat::CompiledMethod,
+            7 => ObjectFormat::ExternalAddress,
+            _ => return None,
+        })
+    }
+
+    /// Encodes this format for an object header.
+    pub fn to_bits(self) -> u32 {
+        self as u32
+    }
+
+    /// Whether the body holds object pointers that `fetch_pointer` /
+    /// `store_pointer` may touch.
+    pub fn has_pointer_slots(self) -> bool {
+        matches!(
+            self,
+            ObjectFormat::Fixed | ObjectFormat::Indexable | ObjectFormat::CompiledMethod
+        )
+    }
+
+    /// Whether `at:`-style indexable access is legal on this format.
+    pub fn is_indexable(self) -> bool {
+        matches!(
+            self,
+            ObjectFormat::Indexable | ObjectFormat::Bytes | ObjectFormat::Words
+        )
+    }
+
+    /// Whether the body is raw bytes.
+    pub fn is_bytes(self) -> bool {
+        self == ObjectFormat::Bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_roundtrip_for_all_formats() {
+        for bits in 0..8 {
+            let f = ObjectFormat::from_bits(bits).unwrap();
+            assert_eq!(f.to_bits(), bits);
+        }
+        assert!(ObjectFormat::from_bits(8).is_none());
+        assert!(ObjectFormat::from_bits(u32::MAX).is_none());
+    }
+
+    #[test]
+    fn pointer_slot_classification() {
+        assert!(ObjectFormat::Fixed.has_pointer_slots());
+        assert!(ObjectFormat::Indexable.has_pointer_slots());
+        assert!(ObjectFormat::CompiledMethod.has_pointer_slots());
+        assert!(!ObjectFormat::Bytes.has_pointer_slots());
+        assert!(!ObjectFormat::BoxedFloat64.has_pointer_slots());
+    }
+
+    #[test]
+    fn indexable_classification() {
+        assert!(ObjectFormat::Indexable.is_indexable());
+        assert!(ObjectFormat::Bytes.is_indexable());
+        assert!(ObjectFormat::Words.is_indexable());
+        assert!(!ObjectFormat::Fixed.is_indexable());
+        assert!(!ObjectFormat::ZeroSized.is_indexable());
+    }
+}

@@ -1,0 +1,47 @@
+//! # igjit-heap — a 32-bit tagged object memory
+//!
+//! This crate implements the *object memory* substrate of the
+//! reproduction: a 32-bit, Spur-inspired heap with
+//!
+//! * 1-bit **tagged SmallIntegers** (31-bit signed payload),
+//! * heap objects with a three-word header (class index + format,
+//!   element count, identity hash),
+//! * a **class table** mapping class indices to class descriptions,
+//! * boxed 64-bit floats, pointer-indexable arrays, byte-indexable
+//!   arrays and a simulated *external memory* region used by the
+//!   FFI-flavoured native methods.
+//!
+//! The interpreter (`igjit-interp`) and the machine simulator
+//! (`igjit-machine`) both operate on this memory, which is what makes
+//! differential runs observable: both engines mutate the same kind of
+//! frame laid out over the same kind of heap.
+//!
+//! ## Example
+//!
+//! ```
+//! use igjit_heap::{ObjectMemory, Oop, ClassIndex};
+//!
+//! let mut mem = ObjectMemory::new();
+//! let five = Oop::from_small_int(5);
+//! let arr = mem.instantiate_array(&[five, mem.nil()]).unwrap();
+//! assert_eq!(mem.slot_count(arr).unwrap(), 2);
+//! assert_eq!(mem.fetch_pointer(arr, 0).unwrap(), five);
+//! assert_eq!(mem.class_index_of(arr), ClassIndex::ARRAY);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod class;
+mod error;
+mod external;
+mod format;
+mod memory;
+mod tagged;
+
+pub use class::{ClassDescription, ClassIndex, ClassTable};
+pub use error::{HeapError, HeapResult};
+pub use external::ExternalMemory;
+pub use format::ObjectFormat;
+pub use memory::{ObjectMemory, HEADER_WORDS};
+pub use tagged::{Oop, SMALL_INT_MAX, SMALL_INT_MIN};

@@ -1,0 +1,656 @@
+//! The object memory: arena, headers, allocation and checked access.
+
+use std::collections::HashSet;
+
+use crate::class::{ClassDescription, ClassIndex, ClassTable};
+use crate::error::{HeapError, HeapResult};
+use crate::external::ExternalMemory;
+use crate::format::ObjectFormat;
+use crate::tagged::{is_small_int_value, Oop};
+
+/// Number of 32-bit header words before every object body:
+/// `[class|format, element count, identity hash]`.
+pub const HEADER_WORDS: u32 = 3;
+
+const HEAP_BASE: u32 = 0x0001_0000;
+const DEFAULT_HEAP_WORDS: usize = 1 << 18; // 1 MiB arena
+const DEFAULT_EXTERNAL_BYTES: usize = 4096;
+
+/// The simulated 32-bit object memory.
+///
+/// Owns the heap arena, the class table, the three canonical objects
+/// (`nil`, `false`, `true`) and the simulated external memory region.
+/// All body accesses are bounds- and format-checked and report
+/// [`HeapError`]s; *unchecked* raw word access (used by JIT-compiled
+/// code running on the machine simulator) goes through
+/// [`ObjectMemory::read_word_raw`] / [`ObjectMemory::write_word_raw`],
+/// which only check arena bounds — mirroring how machine code sees
+/// memory.
+#[derive(Clone, Debug)]
+pub struct ObjectMemory {
+    words: Vec<u32>,
+    alloc_ptr: u32,
+    classes: ClassTable,
+    live: HashSet<u32>,
+    hash_counter: u32,
+    nil_obj: Oop,
+    false_obj: Oop,
+    true_obj: Oop,
+    external: ExternalMemory,
+}
+
+impl Default for ObjectMemory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ObjectMemory {
+    /// Creates a memory with the default arena size and well-known
+    /// classes and instances installed.
+    pub fn new() -> ObjectMemory {
+        ObjectMemory::with_capacity(DEFAULT_HEAP_WORDS)
+    }
+
+    /// Creates a memory with an arena of `words` 32-bit words.
+    pub fn with_capacity(words: usize) -> ObjectMemory {
+        let mut mem = ObjectMemory {
+            words: vec![0; words],
+            alloc_ptr: HEAP_BASE,
+            classes: ClassTable::with_well_known_classes(),
+            live: HashSet::new(),
+            hash_counter: 0,
+            nil_obj: Oop::ZERO,
+            false_obj: Oop::ZERO,
+            true_obj: Oop::ZERO,
+            external: ExternalMemory::new(DEFAULT_EXTERNAL_BYTES),
+        };
+        mem.nil_obj = mem
+            .allocate(ClassIndex::UNDEFINED_OBJECT, ObjectFormat::ZeroSized, 0)
+            .expect("fresh heap cannot be full");
+        mem.false_obj = mem
+            .allocate(ClassIndex::FALSE, ObjectFormat::ZeroSized, 0)
+            .expect("fresh heap cannot be full");
+        mem.true_obj = mem
+            .allocate(ClassIndex::TRUE, ObjectFormat::ZeroSized, 0)
+            .expect("fresh heap cannot be full");
+        mem
+    }
+
+    // ------------------------------------------------------------------
+    // Canonical objects and class table
+    // ------------------------------------------------------------------
+
+    /// The `nil` object.
+    pub fn nil(&self) -> Oop {
+        self.nil_obj
+    }
+
+    /// The `false` object.
+    pub fn false_object(&self) -> Oop {
+        self.false_obj
+    }
+
+    /// The `true` object.
+    pub fn true_object(&self) -> Oop {
+        self.true_obj
+    }
+
+    /// Maps a Rust bool to the corresponding canonical object.
+    pub fn bool_object(&self, value: bool) -> Oop {
+        if value {
+            self.true_obj
+        } else {
+            self.false_obj
+        }
+    }
+
+    /// Read access to the class table.
+    pub fn classes(&self) -> &ClassTable {
+        &self.classes
+    }
+
+    /// Registers a user class.
+    pub fn add_class(&mut self, desc: ClassDescription) -> ClassIndex {
+        self.classes.add_class(desc)
+    }
+
+    /// The simulated external memory region.
+    pub fn external(&self) -> &ExternalMemory {
+        &self.external
+    }
+
+    /// Mutable access to the simulated external memory region.
+    pub fn external_mut(&mut self) -> &mut ExternalMemory {
+        &mut self.external
+    }
+
+    // ------------------------------------------------------------------
+    // Tag-level predicates (the interpreter's `objectMemory` protocol)
+    // ------------------------------------------------------------------
+
+    /// `areIntegers:and:` — both oops are tagged SmallIntegers.
+    pub fn are_integers(&self, a: Oop, b: Oop) -> bool {
+        a.is_small_int() && b.is_small_int()
+    }
+
+    /// `isIntegerObject:`.
+    pub fn is_integer_object(&self, oop: Oop) -> bool {
+        oop.is_small_int()
+    }
+
+    /// `isIntegerValue:` — the overflow check of Listing 1.
+    pub fn is_integer_value(&self, value: i64) -> bool {
+        is_small_int_value(value)
+    }
+
+    /// `integerValueOf:` — untag without checking (unsafe by design).
+    pub fn integer_value_of(&self, oop: Oop) -> i64 {
+        oop.small_int_value()
+    }
+
+    /// `integerObjectOf:` — tag a value known to be in range.
+    pub fn integer_object_of(&self, value: i64) -> Oop {
+        Oop::from_small_int(value)
+    }
+
+    // ------------------------------------------------------------------
+    // Headers
+    // ------------------------------------------------------------------
+
+    /// Class index of any oop (SmallIntegers report their virtual class).
+    pub fn class_index_of(&self, oop: Oop) -> ClassIndex {
+        if oop.is_small_int() {
+            return ClassIndex::SMALL_INTEGER;
+        }
+        match self.header0(oop) {
+            Ok(h) => ClassIndex(h & 0x00ff_ffff),
+            Err(_) => ClassIndex::INVALID,
+        }
+    }
+
+    /// Format of a heap object.
+    pub fn format_of(&self, oop: Oop) -> HeapResult<ObjectFormat> {
+        let h = self.header0(oop)?;
+        ObjectFormat::from_bits(h >> 24).ok_or(HeapError::InvalidAddress { addr: oop.address() })
+    }
+
+    /// Element count: pointer slots, bytes, or words depending on format.
+    pub fn element_count(&self, oop: Oop) -> HeapResult<u32> {
+        let base = self.object_index(oop)?;
+        Ok(self.words[base + 1])
+    }
+
+    /// Pointer-slot count; errors on non-pointer formats.
+    pub fn slot_count(&self, oop: Oop) -> HeapResult<u32> {
+        let fmt = self.format_of(oop)?;
+        if !fmt.has_pointer_slots() && fmt != ObjectFormat::ZeroSized {
+            return Err(HeapError::WrongFormat { oop });
+        }
+        self.element_count(oop)
+    }
+
+    /// Byte count of a byte-indexable object.
+    pub fn byte_count(&self, oop: Oop) -> HeapResult<u32> {
+        let fmt = self.format_of(oop)?;
+        if !fmt.is_bytes() {
+            return Err(HeapError::WrongFormat { oop });
+        }
+        self.element_count(oop)
+    }
+
+    /// The stored identity hash of a heap object.
+    pub fn identity_hash(&self, oop: Oop) -> HeapResult<u32> {
+        let base = self.object_index(oop)?;
+        Ok(self.words[base + 2])
+    }
+
+    /// Whether this oop points at a live allocated object.
+    pub fn is_live_object(&self, oop: Oop) -> bool {
+        oop.is_pointer() && self.live.contains(&oop.address())
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation
+    // ------------------------------------------------------------------
+
+    /// Allocates an object of class `class` with `count` elements whose
+    /// meaning depends on `format` (pointer slots, bytes or words).
+    pub fn allocate(
+        &mut self,
+        class: ClassIndex,
+        format: ObjectFormat,
+        count: u32,
+    ) -> HeapResult<Oop> {
+        let body_words = match format {
+            ObjectFormat::ZeroSized => 0,
+            ObjectFormat::Fixed
+            | ObjectFormat::Indexable
+            | ObjectFormat::CompiledMethod
+            | ObjectFormat::Words => count,
+            ObjectFormat::Bytes => count.div_ceil(4),
+            ObjectFormat::BoxedFloat64 => 2,
+            ObjectFormat::ExternalAddress => 1,
+        };
+        let total = HEADER_WORDS + body_words;
+        let addr = self.alloc_ptr;
+        let end = addr as u64 + 4 * total as u64;
+        let limit = HEAP_BASE as u64 + 4 * self.words.len() as u64;
+        if end > limit {
+            return Err(HeapError::OutOfMemory);
+        }
+        self.alloc_ptr = end as u32;
+        let base = ((addr - HEAP_BASE) / 4) as usize;
+        self.hash_counter = self.hash_counter.wrapping_add(0x9e37);
+        self.words[base] = class.0 | (format.to_bits() << 24);
+        self.words[base + 1] = match format {
+            ObjectFormat::BoxedFloat64 => 2,
+            ObjectFormat::ExternalAddress => 1,
+            _ => count,
+        };
+        self.words[base + 2] = self.hash_counter & 0x3fff_ffff;
+        let nil = self.nil_obj;
+        if format.has_pointer_slots() {
+            for i in 0..count as usize {
+                self.words[base + HEADER_WORDS as usize + i] = nil.0;
+            }
+        } else {
+            for i in 0..body_words as usize {
+                self.words[base + HEADER_WORDS as usize + i] = 0;
+            }
+        }
+        let oop = Oop::from_address(addr);
+        self.live.insert(addr);
+        Ok(oop)
+    }
+
+    /// Allocates an `Array` populated from `elements`.
+    pub fn instantiate_array(&mut self, elements: &[Oop]) -> HeapResult<Oop> {
+        let arr = self.allocate(ClassIndex::ARRAY, ObjectFormat::Indexable, elements.len() as u32)?;
+        for (i, &e) in elements.iter().enumerate() {
+            self.store_pointer(arr, i as u32, e)?;
+        }
+        Ok(arr)
+    }
+
+    /// Allocates a byte object of class `class` populated from `bytes`.
+    pub fn instantiate_bytes(&mut self, class: ClassIndex, bytes: &[u8]) -> HeapResult<Oop> {
+        let obj = self.allocate(class, ObjectFormat::Bytes, bytes.len() as u32)?;
+        for (i, &b) in bytes.iter().enumerate() {
+            self.store_byte(obj, i as u32, b)?;
+        }
+        Ok(obj)
+    }
+
+    /// Allocates a boxed float.
+    pub fn instantiate_float(&mut self, value: f64) -> HeapResult<Oop> {
+        let obj = self.allocate(ClassIndex::FLOAT, ObjectFormat::BoxedFloat64, 2)?;
+        let bits = value.to_bits();
+        let base = self.object_index(obj)?;
+        self.words[base + HEADER_WORDS as usize] = bits as u32;
+        self.words[base + HEADER_WORDS as usize + 1] = (bits >> 32) as u32;
+        Ok(obj)
+    }
+
+    /// Allocates an external-address handle pointing at `addr` in the
+    /// simulated external memory.
+    pub fn instantiate_external_address(&mut self, addr: u32) -> HeapResult<Oop> {
+        let obj = self.allocate(ClassIndex::EXTERNAL_ADDRESS, ObjectFormat::ExternalAddress, 1)?;
+        let base = self.object_index(obj)?;
+        self.words[base + HEADER_WORDS as usize] = addr;
+        Ok(obj)
+    }
+
+    /// Reads the payload of a boxed float.
+    pub fn float_value_of(&self, oop: Oop) -> HeapResult<f64> {
+        if self.format_of(oop)? != ObjectFormat::BoxedFloat64 {
+            return Err(HeapError::WrongFormat { oop });
+        }
+        let base = self.object_index(oop)?;
+        let lo = self.words[base + HEADER_WORDS as usize] as u64;
+        let hi = self.words[base + HEADER_WORDS as usize + 1] as u64;
+        Ok(f64::from_bits(lo | (hi << 32)))
+    }
+
+    /// Reads a float payload *without* checking the receiver's format —
+    /// the unchecked unboxing JIT-compiled float primitives perform when
+    /// their type check was omitted (the paper's §5.3 defect family).
+    pub fn float_value_unchecked(&self, oop: Oop) -> HeapResult<f64> {
+        let base = self.object_index(oop)?;
+        let n = self.words.len();
+        let lo_i = base + HEADER_WORDS as usize;
+        if lo_i + 1 >= n {
+            return Err(HeapError::InvalidAddress { addr: oop.address() });
+        }
+        let lo = self.words[lo_i] as u64;
+        let hi = self.words[lo_i + 1] as u64;
+        Ok(f64::from_bits(lo | (hi << 32)))
+    }
+
+    /// Reads the address stored in an external-address handle.
+    pub fn external_address_of(&self, oop: Oop) -> HeapResult<u32> {
+        if self.format_of(oop)? != ObjectFormat::ExternalAddress {
+            return Err(HeapError::WrongFormat { oop });
+        }
+        let base = self.object_index(oop)?;
+        Ok(self.words[base + HEADER_WORDS as usize])
+    }
+
+    // ------------------------------------------------------------------
+    // Checked body access
+    // ------------------------------------------------------------------
+
+    /// Reads pointer slot `index` (0-based) of a pointer-format object.
+    pub fn fetch_pointer(&self, oop: Oop, index: u32) -> HeapResult<Oop> {
+        let fmt = self.format_of(oop)?;
+        if !fmt.has_pointer_slots() {
+            return Err(HeapError::WrongFormat { oop });
+        }
+        let size = self.element_count(oop)?;
+        if index >= size {
+            return Err(HeapError::OutOfBoundsSlot { oop, index, size });
+        }
+        let base = self.object_index(oop)?;
+        Ok(Oop(self.words[base + HEADER_WORDS as usize + index as usize]))
+    }
+
+    /// Writes pointer slot `index` (0-based) of a pointer-format object.
+    pub fn store_pointer(&mut self, oop: Oop, index: u32, value: Oop) -> HeapResult<()> {
+        let fmt = self.format_of(oop)?;
+        if !fmt.has_pointer_slots() {
+            return Err(HeapError::WrongFormat { oop });
+        }
+        let size = self.element_count(oop)?;
+        if index >= size {
+            return Err(HeapError::OutOfBoundsSlot { oop, index, size });
+        }
+        let base = self.object_index(oop)?;
+        self.words[base + HEADER_WORDS as usize + index as usize] = value.0;
+        Ok(())
+    }
+
+    /// Reads byte `index` (0-based) of a byte-format object.
+    pub fn fetch_byte(&self, oop: Oop, index: u32) -> HeapResult<u8> {
+        let size = self.byte_count(oop)?;
+        if index >= size {
+            return Err(HeapError::OutOfBoundsSlot { oop, index, size });
+        }
+        let base = self.object_index(oop)?;
+        let w = self.words[base + HEADER_WORDS as usize + (index / 4) as usize];
+        Ok((w >> (8 * (index % 4))) as u8)
+    }
+
+    /// Writes byte `index` (0-based) of a byte-format object.
+    pub fn store_byte(&mut self, oop: Oop, index: u32, value: u8) -> HeapResult<()> {
+        let size = self.byte_count(oop)?;
+        if index >= size {
+            return Err(HeapError::OutOfBoundsSlot { oop, index, size });
+        }
+        let base = self.object_index(oop)?;
+        let wi = base + HEADER_WORDS as usize + (index / 4) as usize;
+        let shift = 8 * (index % 4);
+        self.words[wi] = (self.words[wi] & !(0xffu32 << shift)) | (u32::from(value) << shift);
+        Ok(())
+    }
+
+    /// Reads 32-bit word element `index` of a word-format object.
+    pub fn fetch_word(&self, oop: Oop, index: u32) -> HeapResult<u32> {
+        if self.format_of(oop)? != ObjectFormat::Words {
+            return Err(HeapError::WrongFormat { oop });
+        }
+        let size = self.element_count(oop)?;
+        if index >= size {
+            return Err(HeapError::OutOfBoundsSlot { oop, index, size });
+        }
+        let base = self.object_index(oop)?;
+        Ok(self.words[base + HEADER_WORDS as usize + index as usize])
+    }
+
+    /// Writes 32-bit word element `index` of a word-format object.
+    pub fn store_word(&mut self, oop: Oop, index: u32, value: u32) -> HeapResult<()> {
+        if self.format_of(oop)? != ObjectFormat::Words {
+            return Err(HeapError::WrongFormat { oop });
+        }
+        let size = self.element_count(oop)?;
+        if index >= size {
+            return Err(HeapError::OutOfBoundsSlot { oop, index, size });
+        }
+        let base = self.object_index(oop)?;
+        self.words[base + HEADER_WORDS as usize + index as usize] = value;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Raw access (machine-code view of memory)
+    // ------------------------------------------------------------------
+
+    /// Lowest mapped heap byte address.
+    pub fn heap_base(&self) -> u32 {
+        HEAP_BASE
+    }
+
+    /// One past the highest *allocated* heap byte address.
+    pub fn heap_limit(&self) -> u32 {
+        self.alloc_ptr
+    }
+
+    /// Raw word read with only arena bounds checking — how JIT-compiled
+    /// code sees memory on the machine simulator.
+    pub fn read_word_raw(&self, addr: u32) -> HeapResult<u32> {
+        if !addr.is_multiple_of(4) || addr < HEAP_BASE || addr >= self.alloc_ptr {
+            return Err(HeapError::InvalidAddress { addr });
+        }
+        Ok(self.words[((addr - HEAP_BASE) / 4) as usize])
+    }
+
+    /// Raw word write with only arena bounds checking.
+    pub fn write_word_raw(&mut self, addr: u32, value: u32) -> HeapResult<()> {
+        if !addr.is_multiple_of(4) || addr < HEAP_BASE || addr >= self.alloc_ptr {
+            return Err(HeapError::InvalidAddress { addr });
+        }
+        self.words[((addr - HEAP_BASE) / 4) as usize] = value;
+        Ok(())
+    }
+
+    fn object_index(&self, oop: Oop) -> HeapResult<usize> {
+        if oop.is_small_int() {
+            return Err(HeapError::NotAPointer { oop });
+        }
+        let addr = oop.address();
+        if !self.live.contains(&addr) {
+            return Err(HeapError::InvalidAddress { addr });
+        }
+        Ok(((addr - HEAP_BASE) / 4) as usize)
+    }
+
+    fn header0(&self, oop: Oop) -> HeapResult<u32> {
+        let base = self.object_index(oop)?;
+        Ok(self.words[base])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn canonical_objects_have_expected_classes() {
+        let mem = ObjectMemory::new();
+        assert_eq!(mem.class_index_of(mem.nil()), ClassIndex::UNDEFINED_OBJECT);
+        assert_eq!(mem.class_index_of(mem.false_object()), ClassIndex::FALSE);
+        assert_eq!(mem.class_index_of(mem.true_object()), ClassIndex::TRUE);
+        assert_eq!(mem.bool_object(true), mem.true_object());
+        assert_eq!(mem.bool_object(false), mem.false_object());
+    }
+
+    #[test]
+    fn small_int_class_is_virtual() {
+        let mem = ObjectMemory::new();
+        assert_eq!(
+            mem.class_index_of(Oop::from_small_int(7)),
+            ClassIndex::SMALL_INTEGER
+        );
+    }
+
+    #[test]
+    fn array_allocation_and_access() {
+        let mut mem = ObjectMemory::new();
+        let a = mem.instantiate_array(&[Oop::from_small_int(1), Oop::from_small_int(2)]).unwrap();
+        assert_eq!(mem.slot_count(a).unwrap(), 2);
+        assert_eq!(mem.fetch_pointer(a, 1).unwrap().small_int_value(), 2);
+        mem.store_pointer(a, 0, Oop::from_small_int(9)).unwrap();
+        assert_eq!(mem.fetch_pointer(a, 0).unwrap().small_int_value(), 9);
+    }
+
+    #[test]
+    fn out_of_bounds_slot_access_errors() {
+        let mut mem = ObjectMemory::new();
+        let a = mem.instantiate_array(&[Oop::from_small_int(1)]).unwrap();
+        assert_eq!(
+            mem.fetch_pointer(a, 1),
+            Err(HeapError::OutOfBoundsSlot { oop: a, index: 1, size: 1 })
+        );
+        assert!(mem.store_pointer(a, 5, Oop::from_small_int(0)).is_err());
+    }
+
+    #[test]
+    fn byte_object_roundtrip() {
+        let mut mem = ObjectMemory::new();
+        let b = mem.instantiate_bytes(ClassIndex::BYTE_ARRAY, &[10, 20, 30, 40, 50]).unwrap();
+        assert_eq!(mem.byte_count(b).unwrap(), 5);
+        for (i, v) in [10u8, 20, 30, 40, 50].iter().enumerate() {
+            assert_eq!(mem.fetch_byte(b, i as u32).unwrap(), *v);
+        }
+        mem.store_byte(b, 4, 99).unwrap();
+        assert_eq!(mem.fetch_byte(b, 4).unwrap(), 99);
+        assert!(mem.fetch_byte(b, 5).is_err());
+    }
+
+    #[test]
+    fn float_boxing_roundtrip() {
+        let mut mem = ObjectMemory::new();
+        for v in [0.0, -1.5, 3.25, f64::MAX, f64::MIN_POSITIVE] {
+            let f = mem.instantiate_float(v).unwrap();
+            assert_eq!(mem.float_value_of(f).unwrap(), v);
+            assert_eq!(mem.class_index_of(f), ClassIndex::FLOAT);
+        }
+    }
+
+    #[test]
+    fn unchecked_float_unboxing_garbage() {
+        // The hazard behind the "missing compiled type check" defects:
+        // unboxing a non-float object yields garbage, not an error.
+        let mut mem = ObjectMemory::new();
+        let a = mem.instantiate_array(&[Oop::from_small_int(1), Oop::from_small_int(2)]).unwrap();
+        let garbage = mem.float_value_unchecked(a).unwrap();
+        let real = mem.instantiate_float(1.5).unwrap();
+        assert_ne!(garbage, mem.float_value_of(real).unwrap());
+        assert!(mem.float_value_of(a).is_err());
+    }
+
+    #[test]
+    fn wrong_format_accesses_error() {
+        let mut mem = ObjectMemory::new();
+        let b = mem.instantiate_bytes(ClassIndex::BYTE_ARRAY, &[1, 2, 3]).unwrap();
+        assert!(mem.fetch_pointer(b, 0).is_err());
+        let a = mem.instantiate_array(&[]).unwrap();
+        assert!(mem.fetch_byte(a, 0).is_err());
+        assert!(mem.fetch_word(a, 0).is_err());
+    }
+
+    #[test]
+    fn word_object_roundtrip() {
+        let mut mem = ObjectMemory::new();
+        let w = mem.allocate(ClassIndex::WORD_ARRAY, ObjectFormat::Words, 3).unwrap();
+        mem.store_word(w, 2, 0xdead_beef).unwrap();
+        assert_eq!(mem.fetch_word(w, 2).unwrap(), 0xdead_beef);
+        assert!(mem.fetch_word(w, 3).is_err());
+    }
+
+    #[test]
+    fn identity_hashes_are_distinct_and_stable() {
+        let mut mem = ObjectMemory::new();
+        let a = mem.instantiate_array(&[]).unwrap();
+        let b = mem.instantiate_array(&[]).unwrap();
+        assert_ne!(mem.identity_hash(a).unwrap(), mem.identity_hash(b).unwrap());
+        assert_eq!(mem.identity_hash(a).unwrap(), mem.identity_hash(a).unwrap());
+    }
+
+    #[test]
+    fn external_address_objects() {
+        let mut mem = ObjectMemory::new();
+        let h = mem.instantiate_external_address(0x40).unwrap();
+        assert_eq!(mem.external_address_of(h).unwrap(), 0x40);
+        assert_eq!(mem.class_index_of(h), ClassIndex::EXTERNAL_ADDRESS);
+        let a = mem.instantiate_array(&[]).unwrap();
+        assert!(mem.external_address_of(a).is_err());
+    }
+
+    #[test]
+    fn raw_access_respects_arena_bounds() {
+        let mut mem = ObjectMemory::new();
+        let a = mem.instantiate_array(&[Oop::from_small_int(3)]).unwrap();
+        let body = a.address() + 4 * HEADER_WORDS;
+        assert_eq!(mem.read_word_raw(body).unwrap(), Oop::from_small_int(3).0);
+        assert!(mem.read_word_raw(2).is_err(), "below heap base");
+        assert!(mem.read_word_raw(mem.heap_limit()).is_err(), "above allocations");
+        assert!(mem.read_word_raw(body + 1).is_err(), "misaligned");
+        assert!(mem.write_word_raw(0xffff_fffc, 0).is_err());
+    }
+
+    #[test]
+    fn out_of_memory_is_reported() {
+        let mut mem = ObjectMemory::with_capacity(32);
+        let mut last = Ok(Oop::ZERO);
+        for _ in 0..100 {
+            last = mem.allocate(ClassIndex::ARRAY, ObjectFormat::Indexable, 4);
+            if last.is_err() {
+                break;
+            }
+        }
+        assert_eq!(last, Err(HeapError::OutOfMemory));
+    }
+
+    #[test]
+    fn dead_addresses_are_not_objects() {
+        let mem = ObjectMemory::new();
+        let bogus = Oop::from_address(mem.heap_limit() + 0x100);
+        assert!(!mem.is_live_object(bogus));
+        assert!(mem.fetch_pointer(bogus, 0).is_err());
+        assert!(mem.format_of(bogus).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bytes_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let mut mem = ObjectMemory::new();
+            let b = mem.instantiate_bytes(ClassIndex::BYTE_ARRAY, &data).unwrap();
+            prop_assert_eq!(mem.byte_count(b).unwrap() as usize, data.len());
+            for (i, &v) in data.iter().enumerate() {
+                prop_assert_eq!(mem.fetch_byte(b, i as u32).unwrap(), v);
+            }
+        }
+
+        #[test]
+        fn prop_array_store_fetch(vals in proptest::collection::vec(-1000i64..1000, 1..32),
+                                  idx in 0usize..32) {
+            let mut mem = ObjectMemory::new();
+            let oops: Vec<Oop> = vals.iter().map(|&v| Oop::from_small_int(v)).collect();
+            let a = mem.instantiate_array(&oops).unwrap();
+            if idx < vals.len() {
+                prop_assert_eq!(mem.fetch_pointer(a, idx as u32).unwrap(), oops[idx]);
+            } else {
+                prop_assert!(mem.fetch_pointer(a, idx as u32).is_err());
+            }
+        }
+
+        #[test]
+        fn prop_float_roundtrip(v in any::<f64>()) {
+            let mut mem = ObjectMemory::new();
+            let f = mem.instantiate_float(v).unwrap();
+            let back = mem.float_value_of(f).unwrap();
+            prop_assert_eq!(v.to_bits(), back.to_bits());
+        }
+    }
+}

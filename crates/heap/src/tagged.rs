@@ -1,0 +1,169 @@
+//! Tagged object pointers (oops).
+//!
+//! The reproduction follows the Pharo 32-bit tagging scheme the paper's
+//! instructions check against: the low bit of a word distinguishes a
+//! *SmallInteger* (bit set, 31-bit signed payload in the upper bits)
+//! from a heap pointer (bit clear, word-aligned byte address).
+
+/// Largest value representable as a tagged SmallInteger (2^30 - 1).
+pub const SMALL_INT_MAX: i64 = (1 << 30) - 1;
+
+/// Smallest value representable as a tagged SmallInteger (-2^30).
+pub const SMALL_INT_MIN: i64 = -(1 << 30);
+
+/// An object pointer: either a tagged SmallInteger or a heap address.
+///
+/// `Oop` is a transparent wrapper over the 32-bit machine word the
+/// simulated VM manipulates. All tag checks the interpreter performs
+/// (`is_small_int`, untagging, overflow-checked retagging) live here so
+/// that the interpreter code reads like the Pharo original.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
+pub struct Oop(pub u32);
+
+impl Oop {
+    /// The all-zero oop. Never a valid object; used as a poison value.
+    pub const ZERO: Oop = Oop(0);
+
+    /// Returns `true` if this oop is a tagged SmallInteger.
+    #[inline]
+    pub fn is_small_int(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Returns `true` if this oop is a heap pointer (not tagged).
+    #[inline]
+    pub fn is_pointer(self) -> bool {
+        !self.is_small_int()
+    }
+
+    /// Untags a SmallInteger oop into its signed payload.
+    ///
+    /// The caller must have established `is_small_int`; untagging a
+    /// pointer yields a meaningless number — exactly the hazard the
+    /// paper's *missing type check* defects exploit.
+    #[inline]
+    pub fn small_int_value(self) -> i64 {
+        ((self.0 as i32) >> 1) as i64
+    }
+
+    /// Tags `value` as a SmallInteger. Panics if out of the 31-bit range;
+    /// use [`Oop::try_from_small_int`] when the range is not guaranteed.
+    #[inline]
+    pub fn from_small_int(value: i64) -> Oop {
+        Oop::try_from_small_int(value)
+            .unwrap_or_else(|| panic!("{value} out of SmallInteger range"))
+    }
+
+    /// Tags `value` as a SmallInteger if it fits the 31-bit range.
+    #[inline]
+    pub fn try_from_small_int(value: i64) -> Option<Oop> {
+        if is_small_int_value(value) {
+            Some(Oop((((value as i32) << 1) | 1) as u32))
+        } else {
+            None
+        }
+    }
+
+    /// Interprets this oop as a heap byte address.
+    #[inline]
+    pub fn address(self) -> u32 {
+        self.0
+    }
+
+    /// Builds an oop from a heap byte address (must be word aligned).
+    #[inline]
+    pub fn from_address(addr: u32) -> Oop {
+        debug_assert_eq!(addr & 3, 0, "heap addresses are word aligned");
+        Oop(addr)
+    }
+}
+
+/// Returns `true` when `value` fits the tagged SmallInteger range.
+///
+/// This is the overflow check (`isIntegerValue:` in the Pharo source of
+/// Listing 1) every inlined arithmetic path performs.
+#[inline]
+pub fn is_small_int_value(value: i64) -> bool {
+    (SMALL_INT_MIN..=SMALL_INT_MAX).contains(&value)
+}
+
+impl std::fmt::Debug for Oop {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_small_int() {
+            write!(f, "SmallInt({})", self.small_int_value())
+        } else {
+            write!(f, "Oop(0x{:08x})", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn tagging_roundtrip_extremes() {
+        for v in [0, 1, -1, 42, -42, SMALL_INT_MAX, SMALL_INT_MIN] {
+            let oop = Oop::from_small_int(v);
+            assert!(oop.is_small_int());
+            assert_eq!(oop.small_int_value(), v);
+        }
+    }
+
+    #[test]
+    fn out_of_range_values_are_rejected() {
+        assert!(Oop::try_from_small_int(SMALL_INT_MAX + 1).is_none());
+        assert!(Oop::try_from_small_int(SMALL_INT_MIN - 1).is_none());
+        assert!(Oop::try_from_small_int(i64::MAX).is_none());
+        assert!(Oop::try_from_small_int(i64::MIN).is_none());
+    }
+
+    #[test]
+    fn pointers_are_not_small_ints() {
+        let p = Oop::from_address(0x1000);
+        assert!(p.is_pointer());
+        assert!(!p.is_small_int());
+        assert_eq!(p.address(), 0x1000);
+    }
+
+    #[test]
+    fn small_int_range_predicate_matches_constants() {
+        assert!(is_small_int_value(SMALL_INT_MAX));
+        assert!(is_small_int_value(SMALL_INT_MIN));
+        assert!(!is_small_int_value(SMALL_INT_MAX + 1));
+        assert!(!is_small_int_value(SMALL_INT_MIN - 1));
+    }
+
+    #[test]
+    fn untagging_a_pointer_gives_garbage_not_panic() {
+        // The unsafety the paper's missing-type-check defects rely on:
+        // untagging never traps, it just produces a wrong number.
+        let p = Oop::from_address(0x2000);
+        let _ = p.small_int_value();
+    }
+
+    proptest! {
+        #[test]
+        fn prop_tag_roundtrip(v in SMALL_INT_MIN..=SMALL_INT_MAX) {
+            let oop = Oop::from_small_int(v);
+            prop_assert!(oop.is_small_int());
+            prop_assert_eq!(oop.small_int_value(), v);
+        }
+
+        #[test]
+        fn prop_addresses_keep_pointer_tag(a in 0u32..0x0fff_ffff) {
+            let addr = a << 2;
+            prop_assert!(Oop::from_address(addr).is_pointer());
+        }
+
+        #[test]
+        fn prop_tag_is_injective(a in SMALL_INT_MIN..=SMALL_INT_MAX,
+                                 b in SMALL_INT_MIN..=SMALL_INT_MAX) {
+            if a != b {
+                prop_assert_ne!(Oop::from_small_int(a), Oop::from_small_int(b));
+            }
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! The concrete `VmContext`: plain execution over the object memory.
+
+use igjit_heap::{ClassIndex, ObjectFormat, ObjectMemory, Oop};
+
+use crate::context::{AllocFault, CmpKind, MemFault, VmContext};
+use crate::frame::Frame;
+
+/// Executes interpreter semantics directly against an
+/// [`ObjectMemory`], recording nothing.
+pub struct ConcreteContext<'m> {
+    mem: &'m mut ObjectMemory,
+}
+
+impl<'m> ConcreteContext<'m> {
+    /// Wraps a memory.
+    pub fn new(mem: &'m mut ObjectMemory) -> ConcreteContext<'m> {
+        ConcreteContext { mem }
+    }
+
+    /// The wrapped memory.
+    pub fn memory(&mut self) -> &mut ObjectMemory {
+        self.mem
+    }
+}
+
+impl CmpKind {
+    /// Applies the comparison to two i64s.
+    pub fn holds_int(self, a: i64, b: i64) -> bool {
+        match self {
+            CmpKind::Lt => a < b,
+            CmpKind::Le => a <= b,
+            CmpKind::Gt => a > b,
+            CmpKind::Ge => a >= b,
+            CmpKind::Eq => a == b,
+            CmpKind::Ne => a != b,
+        }
+    }
+
+    /// Applies the comparison to two f64s.
+    pub fn holds_float(self, a: f64, b: f64) -> bool {
+        match self {
+            CmpKind::Lt => a < b,
+            CmpKind::Le => a <= b,
+            CmpKind::Gt => a > b,
+            CmpKind::Ge => a >= b,
+            CmpKind::Eq => a == b,
+            CmpKind::Ne => a != b,
+        }
+    }
+}
+
+impl VmContext for ConcreteContext<'_> {
+    type V = Oop;
+    type N = i64;
+    type F = f64;
+
+    fn nil(&mut self) -> Oop {
+        self.mem.nil()
+    }
+    fn true_obj(&mut self) -> Oop {
+        self.mem.true_object()
+    }
+    fn false_obj(&mut self) -> Oop {
+        self.mem.false_object()
+    }
+    fn int_const(&mut self, v: i64) -> i64 {
+        v
+    }
+    fn small_int_obj(&mut self, v: i64) -> Oop {
+        Oop::from_small_int(v)
+    }
+
+    fn is_integer_object(&mut self, v: Oop) -> bool {
+        v.is_small_int()
+    }
+    fn has_class(&mut self, v: Oop, class: ClassIndex) -> bool {
+        self.mem.class_index_of(v) == class
+    }
+    fn is_integer_value(&mut self, n: i64) -> bool {
+        self.mem.is_integer_value(n)
+    }
+    fn int_cmp(&mut self, op: CmpKind, a: i64, b: i64) -> bool {
+        op.holds_int(a, b)
+    }
+    fn float_cmp(&mut self, op: CmpKind, a: f64, b: f64) -> bool {
+        op.holds_float(a, b)
+    }
+    fn value_identical(&mut self, a: Oop, b: Oop) -> bool {
+        a == b
+    }
+
+    fn integer_value_of(&mut self, v: Oop) -> i64 {
+        v.small_int_value()
+    }
+    fn integer_object_of(&mut self, n: i64) -> Oop {
+        Oop::from_small_int(n)
+    }
+    fn float_value_of(&mut self, v: Oop) -> f64 {
+        // Unchecked by design: mirrors the unboxing machine code does.
+        self.mem.float_value_unchecked(v).unwrap_or(f64::NAN)
+    }
+    fn new_float(&mut self, f: f64) -> Result<Oop, AllocFault> {
+        self.mem.instantiate_float(f).map_err(|_| AllocFault)
+    }
+    fn int_to_float(&mut self, n: i64) -> f64 {
+        n as f64
+    }
+    fn float_to_int(&mut self, f: f64) -> i64 {
+        f.trunc() as i64
+    }
+    fn float_fits_small_int(&mut self, f: f64) -> bool {
+        f.is_finite()
+            && f.trunc() >= igjit_heap::SMALL_INT_MIN as f64
+            && f.trunc() <= igjit_heap::SMALL_INT_MAX as f64
+    }
+
+    fn int_add(&mut self, a: i64, b: i64) -> i64 {
+        a + b
+    }
+    fn int_sub(&mut self, a: i64, b: i64) -> i64 {
+        a - b
+    }
+    fn int_mul(&mut self, a: i64, b: i64) -> i64 {
+        a * b
+    }
+    fn int_div_floor(&mut self, a: i64, b: i64) -> i64 {
+        // Floored division (the Smalltalk `//`): the quotient rounds
+        // toward negative infinity, so the remainder's sign follows
+        // the divisor — NOT Euclidean division, which differs for
+        // negative divisors.
+        let q = a / b;
+        if a % b != 0 && (a ^ b) < 0 {
+            q - 1
+        } else {
+            q
+        }
+    }
+    fn int_div_trunc(&mut self, a: i64, b: i64) -> i64 {
+        a / b
+    }
+    fn int_mod_floor(&mut self, a: i64, b: i64) -> i64 {
+        let r = a % b;
+        if r != 0 && (r ^ b) < 0 {
+            r + b
+        } else {
+            r
+        }
+    }
+    fn int_bit_and(&mut self, a: i64, b: i64) -> i64 {
+        a & b
+    }
+    fn int_bit_or(&mut self, a: i64, b: i64) -> i64 {
+        a | b
+    }
+    fn int_bit_xor(&mut self, a: i64, b: i64) -> i64 {
+        a ^ b
+    }
+    fn int_shift(&mut self, a: i64, b: i64) -> i64 {
+        if b >= 0 {
+            a.checked_shl(b.min(62) as u32).unwrap_or(0)
+        } else {
+            a >> (-b).min(62)
+        }
+    }
+
+    fn float_add(&mut self, a: f64, b: f64) -> f64 {
+        a + b
+    }
+    fn float_sub(&mut self, a: f64, b: f64) -> f64 {
+        a - b
+    }
+    fn float_mul(&mut self, a: f64, b: f64) -> f64 {
+        a * b
+    }
+    fn float_div(&mut self, a: f64, b: f64) -> f64 {
+        a / b
+    }
+    fn float_fraction_part(&mut self, f: f64) -> f64 {
+        f.fract()
+    }
+    fn float_exponent(&mut self, f: f64) -> i64 {
+        if f == 0.0 || !f.is_finite() {
+            0
+        } else {
+            f.abs().log2().floor() as i64
+        }
+    }
+    fn int_bits_to_f32(&mut self, bits: i64) -> f64 {
+        f64::from(f32::from_bits(bits as u32))
+    }
+    fn int_bits_to_f64(&mut self, lo: i64, hi: i64) -> f64 {
+        f64::from_bits((lo as u32 as u64) | ((hi as u32 as u64) << 32))
+    }
+    fn float_to_bits(&mut self, f: f64, single: bool) -> (i64, i64) {
+        if single {
+            (i64::from((f as f32).to_bits()), 0)
+        } else {
+            let bits = f.to_bits();
+            (i64::from(bits as u32), i64::from((bits >> 32) as u32))
+        }
+    }
+
+    fn slot_count(&mut self, v: Oop) -> Result<i64, MemFault> {
+        self.mem.slot_count(v).map(i64::from).map_err(|_| MemFault)
+    }
+    fn byte_count(&mut self, v: Oop) -> Result<i64, MemFault> {
+        self.mem.byte_count(v).map(i64::from).map_err(|_| MemFault)
+    }
+    fn fetch_slot(&mut self, v: Oop, idx: i64) -> Result<Oop, MemFault> {
+        let idx = u32::try_from(idx).map_err(|_| MemFault)?;
+        self.mem.fetch_pointer(v, idx).map_err(|_| MemFault)
+    }
+    fn store_slot(&mut self, v: Oop, idx: i64, value: Oop) -> Result<(), MemFault> {
+        let idx = u32::try_from(idx).map_err(|_| MemFault)?;
+        self.mem.store_pointer(v, idx, value).map_err(|_| MemFault)
+    }
+    fn fetch_byte(&mut self, v: Oop, idx: i64) -> Result<i64, MemFault> {
+        let idx = u32::try_from(idx).map_err(|_| MemFault)?;
+        self.mem.fetch_byte(v, idx).map(i64::from).map_err(|_| MemFault)
+    }
+    fn store_byte(&mut self, v: Oop, idx: i64, value: i64) -> Result<(), MemFault> {
+        let idx = u32::try_from(idx).map_err(|_| MemFault)?;
+        self.mem.store_byte(v, idx, value as u8).map_err(|_| MemFault)
+    }
+    fn element_count(&mut self, v: Oop) -> Result<i64, MemFault> {
+        self.mem.element_count(v).map(i64::from).map_err(|_| MemFault)
+    }
+    fn fetch_word(&mut self, v: Oop, idx: i64) -> Result<i64, MemFault> {
+        let idx = u32::try_from(idx).map_err(|_| MemFault)?;
+        self.mem.fetch_word(v, idx).map(i64::from).map_err(|_| MemFault)
+    }
+    fn store_word(&mut self, v: Oop, idx: i64, value: i64) -> Result<(), MemFault> {
+        let idx = u32::try_from(idx).map_err(|_| MemFault)?;
+        self.mem.store_word(v, idx, value as u32).map_err(|_| MemFault)
+    }
+    fn identity_hash(&mut self, v: Oop) -> Result<i64, MemFault> {
+        if v.is_small_int() {
+            return Ok(v.small_int_value());
+        }
+        self.mem.identity_hash(v).map(i64::from).map_err(|_| MemFault)
+    }
+    fn class_index_as_int(&mut self, v: Oop) -> i64 {
+        i64::from(self.mem.class_index_of(v).value())
+    }
+    fn allocate(
+        &mut self,
+        class: ClassIndex,
+        format: ObjectFormat,
+        count: i64,
+    ) -> Result<Oop, AllocFault> {
+        let count = u32::try_from(count).map_err(|_| AllocFault)?;
+        if count > 1 << 20 {
+            return Err(AllocFault);
+        }
+        self.mem.allocate(class, format, count).map_err(|_| AllocFault)
+    }
+
+    fn external_address_of(&mut self, v: Oop) -> Result<i64, MemFault> {
+        self.mem.external_address_of(v).map(i64::from).map_err(|_| MemFault)
+    }
+    fn new_external_address(&mut self, addr: i64) -> Result<Oop, AllocFault> {
+        let addr = u32::try_from(addr).map_err(|_| AllocFault)?;
+        self.mem.instantiate_external_address(addr).map_err(|_| AllocFault)
+    }
+    fn ext_read(&mut self, addr: i64, width: u32, signed: bool) -> Result<i64, MemFault> {
+        let addr = u32::try_from(addr).map_err(|_| MemFault)?;
+        if signed {
+            self.mem.external().read_int(addr, width).map(i64::from).map_err(|_| MemFault)
+        } else {
+            self.mem.external().read_uint(addr, width).map(i64::from).map_err(|_| MemFault)
+        }
+    }
+    fn ext_write(&mut self, addr: i64, width: u32, value: i64) -> Result<(), MemFault> {
+        let addr = u32::try_from(addr).map_err(|_| MemFault)?;
+        self.mem
+            .external_mut()
+            .write_uint(addr, width, value as u32)
+            .map_err(|_| MemFault)
+    }
+
+    fn stack_value(&mut self, frame: &Frame<Oop>, depth: usize) -> Result<Oop, MemFault> {
+        if frame.depth() <= depth {
+            return Err(MemFault);
+        }
+        Ok(frame.stack_at_depth(depth))
+    }
+    fn temp(&mut self, frame: &Frame<Oop>, index: usize) -> Result<Oop, MemFault> {
+        frame.temps.get(index).copied().ok_or(MemFault)
+    }
+    fn set_temp(
+        &mut self,
+        frame: &mut Frame<Oop>,
+        index: usize,
+        value: Oop,
+    ) -> Result<(), MemFault> {
+        match frame.temps.get_mut(index) {
+            Some(slot) => {
+                *slot = value;
+                Ok(())
+            }
+            None => Err(MemFault),
+        }
+    }
+    fn literal(&mut self, frame: &Frame<Oop>, index: usize) -> Result<Oop, MemFault> {
+        frame.method.literals.get(index).copied().ok_or(MemFault)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::MethodInfo;
+
+    #[test]
+    fn predicates_match_heap_reality() {
+        let mut mem = ObjectMemory::new();
+        let arr = mem.instantiate_array(&[Oop::from_small_int(5)]).unwrap();
+        let mut ctx = ConcreteContext::new(&mut mem);
+        assert!(ctx.is_integer_object(Oop::from_small_int(3)));
+        assert!(!ctx.is_integer_object(arr));
+        assert!(ctx.has_class(arr, ClassIndex::ARRAY));
+        assert!(!ctx.has_class(arr, ClassIndex::FLOAT));
+        assert!(ctx.is_integer_value(1000));
+        assert!(!ctx.is_integer_value(1 << 40));
+    }
+
+    #[test]
+    fn frame_accessors_fault_on_shallow_frames() {
+        let mut mem = ObjectMemory::new();
+        let nil = mem.nil();
+        let mut ctx = ConcreteContext::new(&mut mem);
+        let mut frame = Frame::new(nil, MethodInfo::empty());
+        assert_eq!(ctx.stack_value(&frame, 0), Err(MemFault));
+        frame.push(Oop::from_small_int(1));
+        assert!(ctx.stack_value(&frame, 0).is_ok());
+        assert_eq!(ctx.stack_value(&frame, 1), Err(MemFault));
+        assert_eq!(ctx.temp(&frame, 0), Err(MemFault));
+        assert_eq!(ctx.literal(&frame, 0), Err(MemFault));
+        assert_eq!(ctx.set_temp(&mut frame, 0, nil), Err(MemFault));
+    }
+
+    #[test]
+    fn shift_semantics() {
+        let mut mem = ObjectMemory::new();
+        let mut ctx = ConcreteContext::new(&mut mem);
+        assert_eq!(ctx.int_shift(1, 4), 16);
+        assert_eq!(ctx.int_shift(16, -4), 1);
+        assert_eq!(ctx.int_shift(-8, -1), -4);
+    }
+
+    #[test]
+    fn float_helpers() {
+        let mut mem = ObjectMemory::new();
+        let mut ctx = ConcreteContext::new(&mut mem);
+        assert!(ctx.float_fits_small_int(123.75));
+        assert!(!ctx.float_fits_small_int(1e300));
+        assert!(!ctx.float_fits_small_int(f64::NAN));
+        assert_eq!(ctx.float_to_int(3.9), 3);
+        assert_eq!(ctx.float_to_int(-3.9), -3);
+        assert_eq!(ctx.float_exponent(8.0), 3);
+        assert_eq!(ctx.float_exponent(0.0), 0);
+    }
+
+    #[test]
+    fn negative_slot_index_faults() {
+        let mut mem = ObjectMemory::new();
+        let arr = mem.instantiate_array(&[Oop::from_small_int(5)]).unwrap();
+        let mut ctx = ConcreteContext::new(&mut mem);
+        assert_eq!(ctx.fetch_slot(arr, -1), Err(MemFault));
+        assert!(ctx.fetch_slot(arr, 0).is_ok());
+        assert_eq!(ctx.fetch_slot(arr, 1), Err(MemFault));
+    }
+}

@@ -1,0 +1,218 @@
+//! The `VmContext` trait: every semantic operation the interpreter
+//! performs, factored out so one interpreter body can run both
+//! concretely and concolically.
+//!
+//! Predicates (`is_integer_object`, `has_class`, comparison tests,
+//! `is_integer_value`) return the **concrete** truth value *and* give
+//! the implementation a hook to record the corresponding semantic
+//! constraint (§3.3) — `isSmallInteger(v)` rather than `(v & 1) == 1`.
+//! Frame accessors record `operand_stack_size`/temp-count/literal-count
+//! constraints; heap accessors record slot-count bounds. The concrete
+//! implementation records nothing and just computes.
+
+use igjit_heap::{ClassIndex, ObjectFormat};
+
+use crate::frame::Frame;
+
+/// A failed object access (out-of-bounds or wrong format); maps to the
+/// `InvalidMemoryAccess` exit.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MemFault;
+
+/// A failed allocation (heap exhausted or invalid request).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AllocFault;
+
+/// Comparison operators shared by integer and float tests.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum CmpKind {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+/// The semantic operations of the VM, as used by [`step`](crate::step)
+/// and the native methods.
+pub trait VmContext {
+    /// Value (oop) representation.
+    type V: Copy + PartialEq + std::fmt::Debug;
+    /// Integer representation (untagged).
+    type N: Copy + std::fmt::Debug;
+    /// Float representation (unboxed).
+    type F: Copy + std::fmt::Debug;
+
+    // --- constants -------------------------------------------------------
+
+    /// The `nil` object.
+    fn nil(&mut self) -> Self::V;
+    /// The `true` object.
+    fn true_obj(&mut self) -> Self::V;
+    /// The `false` object.
+    fn false_obj(&mut self) -> Self::V;
+    /// `true`/`false` from a host bool.
+    fn bool_obj(&mut self, b: bool) -> Self::V {
+        if b {
+            self.true_obj()
+        } else {
+            self.false_obj()
+        }
+    }
+    /// An integer constant.
+    fn int_const(&mut self, v: i64) -> Self::N;
+    /// A tagged SmallInteger constant.
+    fn small_int_obj(&mut self, v: i64) -> Self::V;
+
+    // --- predicates (constraint-recording) --------------------------------
+
+    /// `isSmallInteger(v)`.
+    fn is_integer_object(&mut self, v: Self::V) -> bool;
+    /// Class-index test against a well-known class.
+    fn has_class(&mut self, v: Self::V, class: ClassIndex) -> bool;
+    /// The overflow check: does `n` fit the tagged range?
+    fn is_integer_value(&mut self, n: Self::N) -> bool;
+    /// Integer comparison.
+    fn int_cmp(&mut self, op: CmpKind, a: Self::N, b: Self::N) -> bool;
+    /// Float comparison.
+    fn float_cmp(&mut self, op: CmpKind, a: Self::F, b: Self::F) -> bool;
+    /// Object identity (`==`).
+    fn value_identical(&mut self, a: Self::V, b: Self::V) -> bool;
+
+    // --- conversions -------------------------------------------------------
+
+    /// Untags a SmallInteger **without checking** — unsafe by design;
+    /// on a pointer this yields garbage, never an error.
+    fn integer_value_of(&mut self, v: Self::V) -> Self::N;
+    /// Tags an integer known (checked) to be in range.
+    fn integer_object_of(&mut self, n: Self::N) -> Self::V;
+    /// Unboxes a Float **without checking** the class.
+    fn float_value_of(&mut self, v: Self::V) -> Self::F;
+    /// Boxes a float (allocates).
+    fn new_float(&mut self, f: Self::F) -> Result<Self::V, AllocFault>;
+    /// Converts an integer to a float.
+    fn int_to_float(&mut self, n: Self::N) -> Self::F;
+    /// Truncates a float toward zero. The result is only valid when a
+    /// range check confirmed it fits (callers must check).
+    fn float_to_int(&mut self, f: Self::F) -> Self::N;
+    /// Whether a float's truncation fits the SmallInteger range.
+    fn float_fits_small_int(&mut self, f: Self::F) -> bool;
+
+    // --- integer arithmetic --------------------------------------------------
+
+    /// `a + b`.
+    fn int_add(&mut self, a: Self::N, b: Self::N) -> Self::N;
+    /// `a - b`.
+    fn int_sub(&mut self, a: Self::N, b: Self::N) -> Self::N;
+    /// `a * b`.
+    fn int_mul(&mut self, a: Self::N, b: Self::N) -> Self::N;
+    /// Floor division; callers must have checked `b != 0`.
+    fn int_div_floor(&mut self, a: Self::N, b: Self::N) -> Self::N;
+    /// Truncated division; callers must have checked `b != 0`.
+    fn int_div_trunc(&mut self, a: Self::N, b: Self::N) -> Self::N;
+    /// Floor modulo; callers must have checked `b != 0`.
+    fn int_mod_floor(&mut self, a: Self::N, b: Self::N) -> Self::N;
+    /// Bitwise and. The solver has no bitwise theory (§4.3), so
+    /// concolic implementations concretize the result.
+    fn int_bit_and(&mut self, a: Self::N, b: Self::N) -> Self::N;
+    /// Bitwise or (concretized symbolically).
+    fn int_bit_or(&mut self, a: Self::N, b: Self::N) -> Self::N;
+    /// Bitwise xor (concretized symbolically).
+    fn int_bit_xor(&mut self, a: Self::N, b: Self::N) -> Self::N;
+    /// Arithmetic shift: positive `b` shifts left, negative right
+    /// (concretized symbolically).
+    fn int_shift(&mut self, a: Self::N, b: Self::N) -> Self::N;
+
+    // --- float arithmetic -------------------------------------------------------
+
+    /// `a + b`.
+    fn float_add(&mut self, a: Self::F, b: Self::F) -> Self::F;
+    /// `a - b`.
+    fn float_sub(&mut self, a: Self::F, b: Self::F) -> Self::F;
+    /// `a * b`.
+    fn float_mul(&mut self, a: Self::F, b: Self::F) -> Self::F;
+    /// `a / b` (IEEE semantics; division by zero gives inf/nan).
+    fn float_div(&mut self, a: Self::F, b: Self::F) -> Self::F;
+    /// Fractional part (`f - truncate(f)`).
+    fn float_fraction_part(&mut self, f: Self::F) -> Self::F;
+    /// IEEE exponent as an integer.
+    fn float_exponent(&mut self, f: Self::F) -> Self::N;
+    /// Reinterprets a 32-bit integer as an IEEE-754 single and widens
+    /// to the VM's float representation (FFI unmarshalling).
+    fn int_bits_to_f32(&mut self, bits: Self::N) -> Self::F;
+    /// Reinterprets two 32-bit halves as an IEEE-754 double.
+    fn int_bits_to_f64(&mut self, lo: Self::N, hi: Self::N) -> Self::F;
+    /// Marshals a float to its bit pattern: `(lo, hi)` words; when
+    /// `single` is true, `lo` holds the f32 bits and `hi` is zero.
+    fn float_to_bits(&mut self, f: Self::F, single: bool) -> (Self::N, Self::N);
+
+    // --- heap protocol ------------------------------------------------------------
+
+    /// Pointer-slot count of an object, as an integer value. Faults on
+    /// non-pointer objects (records the kind constraint).
+    fn slot_count(&mut self, v: Self::V) -> Result<Self::N, MemFault>;
+    /// Byte count of a byte object.
+    fn byte_count(&mut self, v: Self::V) -> Result<Self::N, MemFault>;
+    /// Reads pointer slot `idx` (0-based), recording bounds
+    /// constraints; faults out-of-bounds.
+    fn fetch_slot(&mut self, v: Self::V, idx: Self::N) -> Result<Self::V, MemFault>;
+    /// Writes pointer slot `idx` (0-based).
+    fn store_slot(&mut self, v: Self::V, idx: Self::N, value: Self::V) -> Result<(), MemFault>;
+    /// Reads byte `idx` of a byte object as an integer.
+    fn fetch_byte(&mut self, v: Self::V, idx: Self::N) -> Result<Self::N, MemFault>;
+    /// Writes byte `idx` of a byte object.
+    fn store_byte(&mut self, v: Self::V, idx: Self::N, value: Self::N) -> Result<(), MemFault>;
+    /// Element count of any indexable object (slots, bytes or words).
+    fn element_count(&mut self, v: Self::V) -> Result<Self::N, MemFault>;
+    /// Reads 32-bit word element `idx` of a word-format object.
+    fn fetch_word(&mut self, v: Self::V, idx: Self::N) -> Result<Self::N, MemFault>;
+    /// Writes 32-bit word element `idx` of a word-format object.
+    fn store_word(&mut self, v: Self::V, idx: Self::N, value: Self::N) -> Result<(), MemFault>;
+    /// The stored identity hash.
+    fn identity_hash(&mut self, v: Self::V) -> Result<Self::N, MemFault>;
+    /// The class index of `v` as an integer value (for
+    /// `primitiveClassIndex`-style reflection).
+    fn class_index_as_int(&mut self, v: Self::V) -> Self::N;
+    /// Allocates a fresh object; `count` is concretized.
+    fn allocate(
+        &mut self,
+        class: ClassIndex,
+        format: ObjectFormat,
+        count: Self::N,
+    ) -> Result<Self::V, AllocFault>;
+
+    // --- external (FFI) memory -------------------------------------------------------
+
+    /// The raw address held by an external-address handle. Faults on
+    /// non-handles.
+    fn external_address_of(&mut self, v: Self::V) -> Result<Self::N, MemFault>;
+    /// Allocates a fresh external-address handle holding `addr`.
+    fn new_external_address(&mut self, addr: Self::N) -> Result<Self::V, AllocFault>;
+    /// Reads `width` bytes (1/2/4) at external address `addr`,
+    /// optionally sign-extended.
+    fn ext_read(&mut self, addr: Self::N, width: u32, signed: bool)
+        -> Result<Self::N, MemFault>;
+    /// Writes `width` bytes at external address `addr`.
+    fn ext_write(&mut self, addr: Self::N, width: u32, value: Self::N)
+        -> Result<(), MemFault>;
+
+    // --- frame protocol -----------------------------------------------------------------
+
+    /// Reads the operand-stack value `depth` below the top, recording
+    /// an `operand_stack_size > depth` constraint; errors (recording
+    /// the negation) when the stack is too shallow.
+    fn stack_value(&mut self, frame: &Frame<Self::V>, depth: usize) -> Result<Self::V, MemFault>;
+    /// Reads temporary `index`, recording a temp-count constraint.
+    fn temp(&mut self, frame: &Frame<Self::V>, index: usize) -> Result<Self::V, MemFault>;
+    /// Writes temporary `index`.
+    fn set_temp(
+        &mut self,
+        frame: &mut Frame<Self::V>,
+        index: usize,
+        value: Self::V,
+    ) -> Result<(), MemFault>;
+    /// Reads literal `index`, recording a literal-count constraint.
+    fn literal(&mut self, frame: &Frame<Self::V>, index: usize) -> Result<Self::V, MemFault>;
+}

@@ -1,0 +1,90 @@
+//! Stack frames, generic over the value representation.
+
+/// Method-level information a frame needs: the literal frame and the
+/// declared argument/temp counts.
+#[derive(Clone, PartialEq, Debug)]
+pub struct MethodInfo<V> {
+    /// Literal oops, indexable by the push-literal bytecodes.
+    pub literals: Vec<V>,
+    /// Declared argument count.
+    pub num_args: u8,
+    /// Declared non-argument temporary count.
+    pub num_temps: u8,
+}
+
+impl<V> MethodInfo<V> {
+    /// A method with no literals and no declared temps.
+    pub fn empty() -> MethodInfo<V> {
+        MethodInfo { literals: Vec::new(), num_args: 0, num_temps: 0 }
+    }
+}
+
+/// One VM stack frame: receiver, method info, temporaries (arguments
+/// first, as in Smalltalk) and the operand stack.
+///
+/// The frame itself performs **no** bounds checking; all checked
+/// access goes through the [`VmContext`](crate::VmContext) so that the
+/// concolic implementation can record `operand_stack_size`-style
+/// constraints (Fig. 2 of the paper).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Frame<V> {
+    /// The receiver (`self`).
+    pub receiver: V,
+    /// Method-level info.
+    pub method: MethodInfo<V>,
+    /// Arguments followed by temporaries.
+    pub temps: Vec<V>,
+    /// The operand stack; the top is the last element.
+    pub stack: Vec<V>,
+}
+
+impl<V: Copy> Frame<V> {
+    /// Builds a frame for `receiver` with an empty stack.
+    pub fn new(receiver: V, method: MethodInfo<V>) -> Frame<V> {
+        Frame { receiver, method, temps: Vec::new(), stack: Vec::new() }
+    }
+
+    /// Pushes a value on the operand stack.
+    pub fn push(&mut self, v: V) {
+        self.stack.push(v);
+    }
+
+    /// Unchecked read of the value `depth` slots below the top
+    /// (`depth == 0` is the top). Callers must have validated depth
+    /// via [`VmContext::stack_value`](crate::VmContext::stack_value).
+    pub fn stack_at_depth(&self, depth: usize) -> V {
+        self.stack[self.stack.len() - 1 - depth]
+    }
+
+    /// Pops `n` values.
+    pub fn pop_n(&mut self, n: usize) {
+        let new_len = self.stack.len().saturating_sub(n);
+        self.stack.truncate(new_len);
+    }
+
+    /// Current operand stack depth.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_discipline() {
+        let mut f: Frame<u32> = Frame::new(0, MethodInfo::empty());
+        f.push(1);
+        f.push(2);
+        f.push(3);
+        assert_eq!(f.depth(), 3);
+        assert_eq!(f.stack_at_depth(0), 3);
+        assert_eq!(f.stack_at_depth(2), 1);
+        f.pop_n(2);
+        assert_eq!(f.depth(), 1);
+        assert_eq!(f.stack_at_depth(0), 1);
+        f.pop_n(5);
+        assert_eq!(f.depth(), 0);
+    }
+}

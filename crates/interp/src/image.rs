@@ -1,0 +1,343 @@
+//! A minimal "image": method dictionaries plus a send-dispatching
+//! execution loop.
+//!
+//! The differential pipeline never needs full message dispatch (sends
+//! are exit conditions it compares, not executes), but a VM library a
+//! downstream user would adopt does. `Image` owns an object memory and
+//! a method table keyed by (class index, selector name); its
+//! [`Image::send`] runs methods through the same
+//! [`step`](crate::step) interpreter, recursively activating nested
+//! sends — including the slow paths of the optimised arithmetic
+//! bytecodes, so `SmallInteger >> #+` can be *defined in the image*
+//! and overflow sends land in it.
+
+use std::collections::HashMap;
+
+use igjit_bytecode::{decode, CompiledMethod, MethodBuilder};
+use igjit_heap::{ClassIndex, ObjectMemory, Oop};
+
+use crate::concrete::ConcreteContext;
+use crate::exit::{Selector, StepOutcome};
+use crate::frame::{Frame, MethodInfo};
+use crate::natives::{run_native, NativeMethodId, NativeOutcome};
+use crate::runner::RunError;
+use crate::step::step;
+
+/// An object memory plus method dictionaries.
+pub struct Image {
+    /// The heap.
+    pub mem: ObjectMemory,
+    methods: HashMap<(u32, String), Oop>,
+    max_depth: usize,
+}
+
+impl Default for Image {
+    fn default() -> Self {
+        Image::new()
+    }
+}
+
+impl Image {
+    /// An empty image with a fresh heap.
+    pub fn new() -> Image {
+        Image { mem: ObjectMemory::new(), methods: HashMap::new(), max_depth: 256 }
+    }
+
+    /// Installs a method for `class` under `selector`. The builder
+    /// callback assembles the method body.
+    pub fn install_method(
+        &mut self,
+        class: ClassIndex,
+        selector: &str,
+        num_args: u8,
+        num_temps: u8,
+        build: impl FnOnce(&mut MethodBuilder, &mut ObjectMemory),
+    ) -> Oop {
+        let mut b = MethodBuilder::new(num_args, num_temps);
+        build(&mut b, &mut self.mem);
+        let m = b.install(&mut self.mem).expect("heap space for methods");
+        self.methods.insert((class.value(), selector.to_string()), m);
+        m
+    }
+
+    /// Interns a selector symbol in the heap (for `Send` literals).
+    pub fn intern(&mut self, name: &str) -> Oop {
+        self.mem
+            .instantiate_bytes(ClassIndex::SYMBOL, name.as_bytes())
+            .expect("heap space for symbols")
+    }
+
+    /// Looks up a method for (receiver class, selector).
+    pub fn lookup(&self, class: ClassIndex, selector: &str) -> Option<Oop> {
+        self.methods.get(&(class.value(), selector.to_string())).copied()
+    }
+
+    /// Sends `selector` to `receiver` and answers the result.
+    pub fn send(&mut self, receiver: Oop, selector: &str, args: &[Oop]) -> Result<Oop, RunError> {
+        self.dispatch(receiver, selector, args, 0)
+    }
+
+    fn selector_name(&self, sel: &Selector<Oop>) -> Result<String, RunError> {
+        Ok(match sel {
+            Selector::Special(s) => s.name().to_string(),
+            Selector::MustBeBoolean => "mustBeBoolean".to_string(),
+            Selector::Literal(oop) => {
+                let n = self.mem.byte_count(*oop).map_err(|_| RunError::BadMethod)?;
+                let bytes: Vec<u8> = (0..n)
+                    .map(|i| self.mem.fetch_byte(*oop, i).unwrap_or(b'?'))
+                    .collect();
+                String::from_utf8_lossy(&bytes).into_owned()
+            }
+        })
+    }
+
+    fn dispatch(
+        &mut self,
+        receiver: Oop,
+        selector: &str,
+        args: &[Oop],
+        depth: usize,
+    ) -> Result<Oop, RunError> {
+        if depth > self.max_depth {
+            return Err(RunError::StepLimit);
+        }
+        let class = self.mem.class_index_of(receiver);
+        let method = self
+            .lookup(class, selector)
+            .ok_or(RunError::Unsupported("doesNotUnderstand"))?;
+        self.activate(method, receiver, args, depth)
+    }
+
+    fn activate(
+        &mut self,
+        method: Oop,
+        receiver: Oop,
+        args: &[Oop],
+        depth: usize,
+    ) -> Result<Oop, RunError> {
+        let cm = CompiledMethod::new(method);
+        let header = cm.header(&self.mem).map_err(|_| RunError::BadMethod)?;
+        let bytes = cm.bytecodes(&self.mem).map_err(|_| RunError::BadMethod)?;
+        let mut literals = Vec::with_capacity(usize::from(header.num_literals));
+        for i in 0..u32::from(header.num_literals) {
+            literals.push(cm.literal(&self.mem, i).map_err(|_| RunError::BadMethod)?);
+        }
+        let nil = self.mem.nil();
+        let mut frame = Frame::new(
+            receiver,
+            MethodInfo { literals, num_args: header.num_args, num_temps: header.num_temps },
+        );
+        frame.temps.extend_from_slice(args);
+        frame
+            .temps
+            .resize(usize::from(header.num_args) + usize::from(header.num_temps), nil);
+
+        // Hybrid native methods: try the primitive first (§4.2).
+        if header.primitive != 0 {
+            frame.push(receiver);
+            for &a in args {
+                frame.push(a);
+            }
+            let mut ctx = ConcreteContext::new(&mut self.mem);
+            match run_native(&mut ctx, &mut frame, NativeMethodId(header.primitive)) {
+                NativeOutcome::Success { result } => return Ok(result),
+                NativeOutcome::Failure => frame.pop_n(args.len() + 1),
+                NativeOutcome::InvalidFrame => return Err(RunError::InvalidFrame),
+                NativeOutcome::InvalidMemoryAccess => return Err(RunError::InvalidMemoryAccess),
+                NativeOutcome::Unsupported { reason } => return Err(RunError::Unsupported(reason)),
+            }
+        }
+
+        let mut pc: usize = 0;
+        for _ in 0..100_000 {
+            if pc >= bytes.len() {
+                return Ok(frame.receiver);
+            }
+            let (instr, len) = decode(&bytes, pc).map_err(RunError::Decode)?;
+            let outcome = {
+                let mut ctx = ConcreteContext::new(&mut self.mem);
+                step(&mut ctx, &mut frame, instr)
+            };
+            match outcome {
+                StepOutcome::Continue => pc += len,
+                StepOutcome::Jump { displacement } => {
+                    let next = pc as i64 + len as i64 + i64::from(displacement);
+                    if next < 0 {
+                        return Err(RunError::BadMethod);
+                    }
+                    pc = next as usize;
+                }
+                StepOutcome::MethodReturn { value } => return Ok(value),
+                StepOutcome::MessageSend { selector, receiver: rcvr, args: sargs } => {
+                    // Recursive activation; the result replaces the
+                    // consumed operands, exactly what `normalSend`
+                    // arranges in the real interpreter.
+                    let name = self.selector_name(&selector)?;
+                    let result = self.dispatch(rcvr, &name, &sargs, depth + 1)?;
+                    frame.pop_n(sargs.len() + 1);
+                    frame.push(result);
+                    pc += len;
+                }
+                StepOutcome::InvalidFrame => return Err(RunError::InvalidFrame),
+                StepOutcome::InvalidMemoryAccess => return Err(RunError::InvalidMemoryAccess),
+                StepOutcome::Unsupported { reason } => return Err(RunError::Unsupported(reason)),
+            }
+        }
+        Err(RunError::StepLimit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igjit_bytecode::Instruction;
+
+    fn si(v: i64) -> Oop {
+        Oop::from_small_int(v)
+    }
+
+    #[test]
+    fn simple_unary_method() {
+        let mut image = Image::new();
+        // SmallInteger >> #double  ^self + self
+        image.install_method(ClassIndex::SMALL_INTEGER, "double", 0, 0, |b, _| {
+            b.emit(Instruction::PushReceiver);
+            b.emit(Instruction::PushReceiver);
+            b.emit(Instruction::Add);
+            b.emit(Instruction::ReturnTop);
+        });
+        assert_eq!(image.send(si(21), "double", &[]).unwrap(), si(42));
+    }
+
+    #[test]
+    fn nested_sends_dispatch_recursively() {
+        let mut image = Image::new();
+        image.install_method(ClassIndex::SMALL_INTEGER, "double", 0, 0, |b, _| {
+            b.emit(Instruction::PushReceiver);
+            b.emit(Instruction::PushReceiver);
+            b.emit(Instruction::Add);
+            b.emit(Instruction::ReturnTop);
+        });
+        // #quadruple  ^self double double
+        let double_sel = image.intern("double");
+        image.install_method(ClassIndex::SMALL_INTEGER, "quadruple", 0, 0, |b, _| {
+            let lit = b.add_literal(double_sel);
+            b.emit(Instruction::PushReceiver);
+            b.emit(Instruction::Send { lit, nargs: 0 });
+            b.emit(Instruction::Send { lit, nargs: 0 });
+            b.emit(Instruction::ReturnTop);
+        });
+        assert_eq!(image.send(si(10), "quadruple", &[]).unwrap(), si(40));
+    }
+
+    #[test]
+    fn recursive_fibonacci_via_sends() {
+        let mut image = Image::new();
+        // SmallInteger >> #fib
+        //   self < 2 ifTrue: [^self].
+        //   ^(self - 1) fib + (self - 2) fib
+        let fib_sel = image.intern("fib");
+        image.install_method(ClassIndex::SMALL_INTEGER, "fib", 0, 0, |b, _| {
+            let lit = b.add_literal(fib_sel);
+            b.emit(Instruction::PushReceiver);
+            b.emit(Instruction::PushTwo);
+            b.emit(Instruction::LessThan);
+            b.emit(Instruction::ShortJumpFalse(1));
+            b.emit(Instruction::ReturnReceiver);
+            // (self - 1) fib
+            b.emit(Instruction::PushReceiver);
+            b.emit(Instruction::PushOne);
+            b.emit(Instruction::Subtract);
+            b.emit(Instruction::Send { lit, nargs: 0 });
+            // (self - 2) fib
+            b.emit(Instruction::PushReceiver);
+            b.emit(Instruction::PushTwo);
+            b.emit(Instruction::Subtract);
+            b.emit(Instruction::Send { lit, nargs: 0 });
+            b.emit(Instruction::Add);
+            b.emit(Instruction::ReturnTop);
+        });
+        assert_eq!(image.send(si(10), "fib", &[]).unwrap(), si(55));
+        assert_eq!(image.send(si(1), "fib", &[]).unwrap(), si(1));
+    }
+
+    #[test]
+    fn overflow_slow_path_lands_in_image_code() {
+        // Define SmallInteger >> #+ to answer a marker when the
+        // inlined fast path overflows: the bytecode's slow-path send
+        // must dispatch into it.
+        let mut image = Image::new();
+        image.install_method(ClassIndex::SMALL_INTEGER, "+", 1, 0, |b, _| {
+            // Fallback: answer -1 as an "overflow" marker (a real
+            // image would build a LargeInteger).
+            b.emit(Instruction::PushMinusOne);
+            b.emit(Instruction::ReturnTop);
+        });
+        image.install_method(ClassIndex::SMALL_INTEGER, "addTo", 1, 0, |b, _| {
+            b.emit(Instruction::PushReceiver);
+            b.emit(Instruction::PushTemp(0));
+            b.emit(Instruction::Add);
+            b.emit(Instruction::ReturnTop);
+        });
+        // In-range: the inlined path answers the sum without ever
+        // hitting the image-level #+.
+        assert_eq!(image.send(si(20), "addTo", &[si(22)]).unwrap(), si(42));
+        // Overflow: the slow-path send dispatches to the marker.
+        let max = si(igjit_heap::SMALL_INT_MAX);
+        assert_eq!(image.send(max, "addTo", &[si(1)]).unwrap(), si(-1));
+    }
+
+    #[test]
+    fn primitive_methods_with_bytecode_fallback() {
+        let mut image = Image::new();
+        // #asFloatChecked uses the (buggy) asFloat primitive; the
+        // fallback answers nil for non-integers… but the primitive
+        // never fails (Listing 5!), so the fallback is dead code.
+        image.install_method(ClassIndex::SMALL_INTEGER, "asFloatP", 0, 0, |b, _| {
+            b.primitive(40);
+            b.emit(Instruction::PushNil);
+            b.emit(Instruction::ReturnTop);
+        });
+        let r = image.send(si(7), "asFloatP", &[]).unwrap();
+        assert_eq!(image.mem.float_value_of(r).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn does_not_understand() {
+        let mut image = Image::new();
+        assert!(matches!(
+            image.send(si(1), "frobnicate", &[]),
+            Err(RunError::Unsupported("doesNotUnderstand"))
+        ));
+    }
+
+    #[test]
+    fn runaway_recursion_is_bounded() {
+        let mut image = Image::new();
+        let loop_sel = image.intern("loopForever");
+        image.install_method(ClassIndex::SMALL_INTEGER, "loopForever", 0, 0, |b, _| {
+            let lit = b.add_literal(loop_sel);
+            b.emit(Instruction::PushReceiver);
+            b.emit(Instruction::Send { lit, nargs: 0 });
+            b.emit(Instruction::ReturnTop);
+        });
+        assert!(matches!(
+            image.send(si(1), "loopForever", &[]),
+            Err(RunError::StepLimit)
+        ));
+    }
+
+    #[test]
+    fn methods_on_user_objects() {
+        let mut image = Image::new();
+        // Array >> #sum — iterate with temps and at:.
+        image.install_method(ClassIndex::ARRAY, "first", 0, 0, |b, _| {
+            b.emit(Instruction::PushReceiver);
+            b.emit(Instruction::PushOne);
+            b.emit(Instruction::SpecialSendAt);
+            b.emit(Instruction::ReturnTop);
+        });
+        let arr = image.mem.instantiate_array(&[si(99), si(2)]).unwrap();
+        assert_eq!(image.send(arr, "first", &[]).unwrap(), si(99));
+    }
+}

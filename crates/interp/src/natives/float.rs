@@ -1,0 +1,304 @@
+//! Float native methods (ids 40–53).
+//!
+//! `primitiveAsFloat` (id 40) reproduces the paper's Listing 5
+//! verbatim: the interpreter's receiver type check is an assertion
+//! that production builds compile out, so a pointer receiver gets
+//! coerced through untagging and produces a garbage float instead of
+//! failing — the paper's single *missing interpreter type check*
+//! defect.
+//!
+//! The remaining 13 primitives (41–53) are correctly checked **here**;
+//! their defect lives on the compiled side, where the template
+//! compiler forgets the receiver check (*missing compiled type check*,
+//! 13 cases in Table 3).
+
+use super::{operands, succeed, NativeGroup, NativeMethodId, NativeMethodSpec, NativeOutcome};
+use crate::context::{CmpKind, VmContext};
+use crate::frame::Frame;
+use igjit_heap::ClassIndex;
+
+pub(super) fn catalog() -> Vec<NativeMethodSpec> {
+    let names: [(u16, &str, u32); 14] = [
+        (40, "primitiveAsFloat", 0),
+        (41, "primitiveFloatAdd", 1),
+        (42, "primitiveFloatSubtract", 1),
+        (43, "primitiveFloatLessThan", 1),
+        (44, "primitiveFloatGreaterThan", 1),
+        (45, "primitiveFloatLessOrEqual", 1),
+        (46, "primitiveFloatGreaterOrEqual", 1),
+        (47, "primitiveFloatEqual", 1),
+        (48, "primitiveFloatNotEqual", 1),
+        (49, "primitiveFloatMultiply", 1),
+        (50, "primitiveFloatDivide", 1),
+        (51, "primitiveFloatTruncated", 0),
+        (52, "primitiveFloatFractionPart", 0),
+        (53, "primitiveFloatExponent", 0),
+    ];
+    names
+        .into_iter()
+        .map(|(id, name, argc)| NativeMethodSpec {
+            id: NativeMethodId(id),
+            name: name.to_string(),
+            group: NativeGroup::Float,
+            argc,
+        })
+        .collect()
+}
+
+pub(super) fn run<C: VmContext>(
+    ctx: &mut C,
+    frame: &mut Frame<C::V>,
+    id: NativeMethodId,
+) -> NativeOutcome<C::V> {
+    match id.0 {
+        40 => as_float(ctx, frame),
+        41 | 42 | 49 | 50 => float_arith(ctx, frame, id),
+        43..=48 => float_compare(ctx, frame, id),
+        51 => float_truncated(ctx, frame),
+        52 => float_fraction_part(ctx, frame),
+        53 => float_exponent(ctx, frame),
+        _ => NativeOutcome::Unsupported { reason: "not a Float primitive" },
+    }
+}
+
+/// Listing 5 of the paper, reproduced:
+///
+/// ```text
+/// primitiveAsFloat
+///     | rcvr |
+///     rcvr := self stackTop.
+///     self assert: (objectMemory isIntegerObject: rcvr).
+///     self pop: 1 thenPushFloat:
+///         (objectMemory integerValueOf: rcvr) asFloat
+/// ```
+///
+/// The `assert:` is removed at compile time in the production build;
+/// accordingly this implementation performs **no** receiver check. A
+/// pointer receiver is untagged into a meaningless integer and coerced
+/// to a double — the paper's *missing interpreter type check*.
+fn as_float<C: VmContext>(ctx: &mut C, frame: &mut Frame<C::V>) -> NativeOutcome<C::V> {
+    let Some((rcvr, _)) = operands(ctx, frame, 0) else {
+        return NativeOutcome::InvalidFrame;
+    };
+    // assert: (objectMemory isIntegerObject: rcvr) — compiled out.
+    let raw = ctx.integer_value_of(rcvr);
+    let f = ctx.int_to_float(raw);
+    match ctx.new_float(f) {
+        Ok(v) => succeed::<C>(frame, 0, v),
+        Err(_) => NativeOutcome::Unsupported { reason: "allocation requires GC" },
+    }
+}
+
+fn float_arith<C: VmContext>(
+    ctx: &mut C,
+    frame: &mut Frame<C::V>,
+    id: NativeMethodId,
+) -> NativeOutcome<C::V> {
+    let Some((rcvr, args)) = operands(ctx, frame, 1) else {
+        return NativeOutcome::InvalidFrame;
+    };
+    let arg = args[0];
+    if !ctx.has_class(rcvr, ClassIndex::FLOAT) {
+        return NativeOutcome::Failure;
+    }
+    if !ctx.has_class(arg, ClassIndex::FLOAT) {
+        return NativeOutcome::Failure;
+    }
+    let a = ctx.float_value_of(rcvr);
+    let b = ctx.float_value_of(arg);
+    let r = match id.0 {
+        41 => ctx.float_add(a, b),
+        42 => ctx.float_sub(a, b),
+        49 => ctx.float_mul(a, b),
+        _ => {
+            // primitiveFloatDivide fails on a zero divisor rather than
+            // producing an IEEE infinity.
+            let zero = ctx.int_const(0);
+            let zero_f = ctx.int_to_float(zero);
+            if ctx.float_cmp(CmpKind::Eq, b, zero_f) {
+                return NativeOutcome::Failure;
+            }
+            ctx.float_div(a, b)
+        }
+    };
+    match ctx.new_float(r) {
+        Ok(v) => succeed::<C>(frame, 1, v),
+        Err(_) => NativeOutcome::Unsupported { reason: "allocation requires GC" },
+    }
+}
+
+fn float_compare<C: VmContext>(
+    ctx: &mut C,
+    frame: &mut Frame<C::V>,
+    id: NativeMethodId,
+) -> NativeOutcome<C::V> {
+    let Some((rcvr, args)) = operands(ctx, frame, 1) else {
+        return NativeOutcome::InvalidFrame;
+    };
+    let arg = args[0];
+    if !ctx.has_class(rcvr, ClassIndex::FLOAT) {
+        return NativeOutcome::Failure;
+    }
+    if !ctx.has_class(arg, ClassIndex::FLOAT) {
+        return NativeOutcome::Failure;
+    }
+    let a = ctx.float_value_of(rcvr);
+    let b = ctx.float_value_of(arg);
+    let op = match id.0 {
+        43 => CmpKind::Lt,
+        44 => CmpKind::Gt,
+        45 => CmpKind::Le,
+        46 => CmpKind::Ge,
+        47 => CmpKind::Eq,
+        _ => CmpKind::Ne,
+    };
+    let holds = ctx.float_cmp(op, a, b);
+    let v = ctx.bool_obj(holds);
+    succeed::<C>(frame, 1, v)
+}
+
+fn float_truncated<C: VmContext>(ctx: &mut C, frame: &mut Frame<C::V>) -> NativeOutcome<C::V> {
+    let Some((rcvr, _)) = operands(ctx, frame, 0) else {
+        return NativeOutcome::InvalidFrame;
+    };
+    if !ctx.has_class(rcvr, ClassIndex::FLOAT) {
+        return NativeOutcome::Failure;
+    }
+    let f = ctx.float_value_of(rcvr);
+    if !ctx.float_fits_small_int(f) {
+        return NativeOutcome::Failure;
+    }
+    let n = ctx.float_to_int(f);
+    let v = ctx.integer_object_of(n);
+    succeed::<C>(frame, 0, v)
+}
+
+fn float_fraction_part<C: VmContext>(
+    ctx: &mut C,
+    frame: &mut Frame<C::V>,
+) -> NativeOutcome<C::V> {
+    let Some((rcvr, _)) = operands(ctx, frame, 0) else {
+        return NativeOutcome::InvalidFrame;
+    };
+    if !ctx.has_class(rcvr, ClassIndex::FLOAT) {
+        return NativeOutcome::Failure;
+    }
+    let f = ctx.float_value_of(rcvr);
+    let r = ctx.float_fraction_part(f);
+    match ctx.new_float(r) {
+        Ok(v) => succeed::<C>(frame, 0, v),
+        Err(_) => NativeOutcome::Unsupported { reason: "allocation requires GC" },
+    }
+}
+
+fn float_exponent<C: VmContext>(ctx: &mut C, frame: &mut Frame<C::V>) -> NativeOutcome<C::V> {
+    let Some((rcvr, _)) = operands(ctx, frame, 0) else {
+        return NativeOutcome::InvalidFrame;
+    };
+    if !ctx.has_class(rcvr, ClassIndex::FLOAT) {
+        return NativeOutcome::Failure;
+    }
+    let f = ctx.float_value_of(rcvr);
+    let n = ctx.float_exponent(f);
+    let v = ctx.integer_object_of(n);
+    succeed::<C>(frame, 0, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::natives::{run_native, NativeMethodId, NativeOutcome};
+    use crate::{ConcreteContext, Frame, MethodInfo};
+    use igjit_heap::{ObjectMemory, Oop};
+
+    fn run_prim(mem: &mut ObjectMemory, id: u16, stack: &[Oop]) -> (NativeOutcome<Oop>, Frame<Oop>) {
+        let nil = mem.nil();
+        let mut frame = Frame::new(nil, MethodInfo::empty());
+        for &v in stack {
+            frame.push(v);
+        }
+        let mut ctx = ConcreteContext::new(mem);
+        let out = run_native(&mut ctx, &mut frame, NativeMethodId(id));
+        (out, frame)
+    }
+
+    #[test]
+    fn as_float_on_integer() {
+        let mut mem = ObjectMemory::new();
+        let (out, frame) = run_prim(&mut mem, 40, &[Oop::from_small_int(7)]);
+        assert!(matches!(out, NativeOutcome::Success { .. }));
+        let f = mem.float_value_of(frame.stack_at_depth(0)).unwrap();
+        assert_eq!(f, 7.0);
+    }
+
+    #[test]
+    fn as_float_misses_its_type_check() {
+        // The Listing 5 defect: a pointer receiver "succeeds" with a
+        // garbage float — the interpreter does NOT fail.
+        let mut mem = ObjectMemory::new();
+        let arr = mem.instantiate_array(&[]).unwrap();
+        let (out, frame) = run_prim(&mut mem, 40, &[arr]);
+        assert!(matches!(out, NativeOutcome::Success { .. }), "bug: no type check");
+        let f = mem.float_value_of(frame.stack_at_depth(0)).unwrap();
+        // The garbage value is the untagged pointer, coerced.
+        assert_eq!(f, ((arr.address() as i32) >> 1) as f64);
+    }
+
+    #[test]
+    fn float_add_checks_both_operands() {
+        let mut mem = ObjectMemory::new();
+        let a = mem.instantiate_float(1.5).unwrap();
+        let b = mem.instantiate_float(2.0).unwrap();
+        let (out, frame) = run_prim(&mut mem, 41, &[a, b]);
+        assert!(matches!(out, NativeOutcome::Success { .. }));
+        assert_eq!(mem.float_value_of(frame.stack_at_depth(0)).unwrap(), 3.5);
+
+        let (out, _) = run_prim(&mut mem, 41, &[Oop::from_small_int(1), b]);
+        assert_eq!(out, NativeOutcome::Failure, "interpreter checks the receiver");
+        let (out, _) = run_prim(&mut mem, 41, &[a, Oop::from_small_int(1)]);
+        assert_eq!(out, NativeOutcome::Failure, "interpreter checks the argument");
+    }
+
+    #[test]
+    fn float_divide_rejects_zero() {
+        let mut mem = ObjectMemory::new();
+        let a = mem.instantiate_float(1.0).unwrap();
+        let z = mem.instantiate_float(0.0).unwrap();
+        let (out, _) = run_prim(&mut mem, 50, &[a, z]);
+        assert_eq!(out, NativeOutcome::Failure);
+    }
+
+    #[test]
+    fn float_comparisons() {
+        let mut mem = ObjectMemory::new();
+        let t = mem.true_object();
+        let a = mem.instantiate_float(1.0).unwrap();
+        let b = mem.instantiate_float(2.0).unwrap();
+        let (_, frame) = run_prim(&mut mem, 43, &[a, b]);
+        assert_eq!(frame.stack_at_depth(0), t);
+        let (_, frame) = run_prim(&mut mem, 48, &[a, b]);
+        assert_eq!(frame.stack_at_depth(0), t);
+    }
+
+    #[test]
+    fn truncated_range_check() {
+        let mut mem = ObjectMemory::new();
+        let ok = mem.instantiate_float(123.75).unwrap();
+        let big = mem.instantiate_float(1e300).unwrap();
+        let (out, frame) = run_prim(&mut mem, 51, &[ok]);
+        assert!(matches!(out, NativeOutcome::Success { .. }));
+        assert_eq!(frame.stack_at_depth(0).small_int_value(), 123);
+        let (out, _) = run_prim(&mut mem, 51, &[big]);
+        assert_eq!(out, NativeOutcome::Failure);
+    }
+
+    #[test]
+    fn fraction_part_and_exponent() {
+        let mut mem = ObjectMemory::new();
+        let f = mem.instantiate_float(2.75).unwrap();
+        let (_, frame) = run_prim(&mut mem, 52, &[f]);
+        assert_eq!(mem.float_value_of(frame.stack_at_depth(0)).unwrap(), 0.75);
+        let e = mem.instantiate_float(8.0).unwrap();
+        let (_, frame) = run_prim(&mut mem, 53, &[e]);
+        assert_eq!(frame.stack_at_depth(0).small_int_value(), 3);
+    }
+}

@@ -1,0 +1,620 @@
+//! Object access, allocation, identity and reflection natives
+//! (ids 60–80).
+
+use super::{operands, succeed, NativeGroup, NativeMethodId, NativeMethodSpec, NativeOutcome};
+use crate::context::{CmpKind, VmContext};
+use crate::frame::Frame;
+use igjit_heap::{ClassIndex, ObjectFormat};
+
+pub(super) fn catalog() -> Vec<NativeMethodSpec> {
+    let names: [(u16, &str, u32); 21] = [
+        (60, "primitiveAt", 1),
+        (61, "primitiveAtPut", 2),
+        (62, "primitiveSize", 0),
+        (63, "primitiveStringAt", 1),
+        (64, "primitiveStringAtPut", 2),
+        (65, "primitiveStringSize", 0),
+        (66, "primitiveByteAt", 1),
+        (67, "primitiveByteAtPut", 2),
+        (68, "primitiveObjectAt", 1),
+        (69, "primitiveObjectAtPut", 2),
+        (70, "primitiveNew", 0),
+        (71, "primitiveNewWithArg", 1),
+        (72, "primitiveWordAt", 1),
+        (73, "primitiveWordAtPut", 2),
+        (74, "primitiveInstVarAt", 1),
+        (75, "primitiveInstVarAtPut", 2),
+        (76, "primitiveIdentityHash", 0),
+        (77, "primitiveClassIndex", 0),
+        (78, "primitiveIdentical", 1),
+        (79, "primitiveNotIdentical", 1),
+        (80, "primitiveShallowCopy", 0),
+    ];
+    names
+        .into_iter()
+        .map(|(id, name, argc)| NativeMethodSpec {
+            id: NativeMethodId(id),
+            name: name.to_string(),
+            group: NativeGroup::Object,
+            argc,
+        })
+        .collect()
+}
+
+pub(super) fn run<C: VmContext>(
+    ctx: &mut C,
+    frame: &mut Frame<C::V>,
+    id: NativeMethodId,
+) -> NativeOutcome<C::V> {
+    match id.0 {
+        60 => at(ctx, frame),
+        61 => at_put(ctx, frame),
+        62 => size(ctx, frame),
+        63 => byte_like_at(ctx, frame, ClassIndex::STRING),
+        64 => byte_like_at_put(ctx, frame, ClassIndex::STRING),
+        65 => string_size(ctx, frame),
+        66 => byte_like_at(ctx, frame, ClassIndex::BYTE_ARRAY),
+        67 => byte_like_at_put(ctx, frame, ClassIndex::BYTE_ARRAY),
+        68 => object_at(ctx, frame),
+        69 => object_at_put(ctx, frame),
+        70 => new(ctx, frame),
+        71 => new_with_arg(ctx, frame),
+        72 => word_at(ctx, frame),
+        73 => word_at_put(ctx, frame),
+        74 => inst_var_at(ctx, frame),
+        75 => inst_var_at_put(ctx, frame),
+        76 => identity_hash(ctx, frame),
+        77 => class_index(ctx, frame),
+        78 => identical(ctx, frame, true),
+        79 => identical(ctx, frame, false),
+        80 => shallow_copy(ctx, frame),
+        _ => NativeOutcome::Unsupported { reason: "not an Object primitive" },
+    }
+}
+
+/// Checks `idx_obj` is a SmallInteger in `1..=limit`; returns the
+/// 0-based index. `None` means a (clean) primitive failure.
+fn checked_index<C: VmContext>(ctx: &mut C, idx_obj: C::V, limit: C::N) -> Option<C::N> {
+    if !ctx.is_integer_object(idx_obj) {
+        return None;
+    }
+    let idx = ctx.integer_value_of(idx_obj);
+    let one = ctx.int_const(1);
+    if !ctx.int_cmp(CmpKind::Ge, idx, one) {
+        return None;
+    }
+    if !ctx.int_cmp(CmpKind::Le, idx, limit) {
+        return None;
+    }
+    Some(ctx.int_sub(idx, one))
+}
+
+fn at<C: VmContext>(ctx: &mut C, frame: &mut Frame<C::V>) -> NativeOutcome<C::V> {
+    let Some((rcvr, args)) = operands(ctx, frame, 1) else {
+        return NativeOutcome::InvalidFrame;
+    };
+    if !ctx.has_class(rcvr, ClassIndex::ARRAY) {
+        return NativeOutcome::Failure;
+    }
+    let Ok(limit) = ctx.slot_count(rcvr) else {
+        return NativeOutcome::Failure;
+    };
+    let Some(idx) = checked_index(ctx, args[0], limit) else {
+        return NativeOutcome::Failure;
+    };
+    match ctx.fetch_slot(rcvr, idx) {
+        Ok(v) => succeed::<C>(frame, 1, v),
+        Err(_) => NativeOutcome::InvalidMemoryAccess,
+    }
+}
+
+fn at_put<C: VmContext>(ctx: &mut C, frame: &mut Frame<C::V>) -> NativeOutcome<C::V> {
+    let Some((rcvr, args)) = operands(ctx, frame, 2) else {
+        return NativeOutcome::InvalidFrame;
+    };
+    if !ctx.has_class(rcvr, ClassIndex::ARRAY) {
+        return NativeOutcome::Failure;
+    }
+    let Ok(limit) = ctx.slot_count(rcvr) else {
+        return NativeOutcome::Failure;
+    };
+    let Some(idx) = checked_index(ctx, args[0], limit) else {
+        return NativeOutcome::Failure;
+    };
+    match ctx.store_slot(rcvr, idx, args[1]) {
+        Ok(()) => succeed::<C>(frame, 2, args[1]),
+        Err(_) => NativeOutcome::InvalidMemoryAccess,
+    }
+}
+
+fn size<C: VmContext>(ctx: &mut C, frame: &mut Frame<C::V>) -> NativeOutcome<C::V> {
+    let Some((rcvr, _)) = operands(ctx, frame, 0) else {
+        return NativeOutcome::InvalidFrame;
+    };
+    if ctx.has_class(rcvr, ClassIndex::ARRAY) {
+        let Ok(n) = ctx.slot_count(rcvr) else {
+            return NativeOutcome::Failure;
+        };
+        let v = ctx.integer_object_of(n);
+        return succeed::<C>(frame, 0, v);
+    }
+    if ctx.has_class(rcvr, ClassIndex::BYTE_ARRAY) || ctx.has_class(rcvr, ClassIndex::STRING) {
+        let Ok(n) = ctx.byte_count(rcvr) else {
+            return NativeOutcome::Failure;
+        };
+        let v = ctx.integer_object_of(n);
+        return succeed::<C>(frame, 0, v);
+    }
+    NativeOutcome::Failure
+}
+
+fn string_size<C: VmContext>(ctx: &mut C, frame: &mut Frame<C::V>) -> NativeOutcome<C::V> {
+    let Some((rcvr, _)) = operands(ctx, frame, 0) else {
+        return NativeOutcome::InvalidFrame;
+    };
+    if !ctx.has_class(rcvr, ClassIndex::STRING) {
+        return NativeOutcome::Failure;
+    }
+    let Ok(n) = ctx.byte_count(rcvr) else {
+        return NativeOutcome::Failure;
+    };
+    let v = ctx.integer_object_of(n);
+    succeed::<C>(frame, 0, v)
+}
+
+fn byte_like_at<C: VmContext>(
+    ctx: &mut C,
+    frame: &mut Frame<C::V>,
+    class: ClassIndex,
+) -> NativeOutcome<C::V> {
+    let Some((rcvr, args)) = operands(ctx, frame, 1) else {
+        return NativeOutcome::InvalidFrame;
+    };
+    if !ctx.has_class(rcvr, class) {
+        return NativeOutcome::Failure;
+    }
+    let Ok(limit) = ctx.byte_count(rcvr) else {
+        return NativeOutcome::Failure;
+    };
+    let Some(idx) = checked_index(ctx, args[0], limit) else {
+        return NativeOutcome::Failure;
+    };
+    match ctx.fetch_byte(rcvr, idx) {
+        Ok(b) => {
+            let v = ctx.integer_object_of(b);
+            succeed::<C>(frame, 1, v)
+        }
+        Err(_) => NativeOutcome::InvalidMemoryAccess,
+    }
+}
+
+fn byte_like_at_put<C: VmContext>(
+    ctx: &mut C,
+    frame: &mut Frame<C::V>,
+    class: ClassIndex,
+) -> NativeOutcome<C::V> {
+    let Some((rcvr, args)) = operands(ctx, frame, 2) else {
+        return NativeOutcome::InvalidFrame;
+    };
+    if !ctx.has_class(rcvr, class) {
+        return NativeOutcome::Failure;
+    }
+    let Ok(limit) = ctx.byte_count(rcvr) else {
+        return NativeOutcome::Failure;
+    };
+    let Some(idx) = checked_index(ctx, args[0], limit) else {
+        return NativeOutcome::Failure;
+    };
+    // The stored value must be a byte-ranged SmallInteger.
+    if !ctx.is_integer_object(args[1]) {
+        return NativeOutcome::Failure;
+    }
+    let value = ctx.integer_value_of(args[1]);
+    let zero = ctx.int_const(0);
+    let max = ctx.int_const(255);
+    if !ctx.int_cmp(CmpKind::Ge, value, zero) || !ctx.int_cmp(CmpKind::Le, value, max) {
+        return NativeOutcome::Failure;
+    }
+    match ctx.store_byte(rcvr, idx, value) {
+        Ok(()) => succeed::<C>(frame, 2, args[1]),
+        Err(_) => NativeOutcome::InvalidMemoryAccess,
+    }
+}
+
+/// `objectAt:` — raw 1-based slot read on any pointer-format object
+/// (used to reflect over compiled-method literal frames).
+fn object_at<C: VmContext>(ctx: &mut C, frame: &mut Frame<C::V>) -> NativeOutcome<C::V> {
+    let Some((rcvr, args)) = operands(ctx, frame, 1) else {
+        return NativeOutcome::InvalidFrame;
+    };
+    if ctx.is_integer_object(rcvr) {
+        return NativeOutcome::Failure;
+    }
+    let Ok(limit) = ctx.slot_count(rcvr) else {
+        return NativeOutcome::Failure;
+    };
+    let Some(idx) = checked_index(ctx, args[0], limit) else {
+        return NativeOutcome::Failure;
+    };
+    match ctx.fetch_slot(rcvr, idx) {
+        Ok(v) => succeed::<C>(frame, 1, v),
+        Err(_) => NativeOutcome::InvalidMemoryAccess,
+    }
+}
+
+fn object_at_put<C: VmContext>(ctx: &mut C, frame: &mut Frame<C::V>) -> NativeOutcome<C::V> {
+    let Some((rcvr, args)) = operands(ctx, frame, 2) else {
+        return NativeOutcome::InvalidFrame;
+    };
+    if ctx.is_integer_object(rcvr) {
+        return NativeOutcome::Failure;
+    }
+    let Ok(limit) = ctx.slot_count(rcvr) else {
+        return NativeOutcome::Failure;
+    };
+    let Some(idx) = checked_index(ctx, args[0], limit) else {
+        return NativeOutcome::Failure;
+    };
+    match ctx.store_slot(rcvr, idx, args[1]) {
+        Ok(()) => succeed::<C>(frame, 2, args[1]),
+        Err(_) => NativeOutcome::InvalidMemoryAccess,
+    }
+}
+
+/// `basicNew` — the receiver is a *class index* (classes are not
+/// reified as heap objects in this reproduction).
+fn new<C: VmContext>(ctx: &mut C, frame: &mut Frame<C::V>) -> NativeOutcome<C::V> {
+    let Some((rcvr, _)) = operands(ctx, frame, 0) else {
+        return NativeOutcome::InvalidFrame;
+    };
+    if !ctx.is_integer_object(rcvr) {
+        return NativeOutcome::Failure;
+    }
+    let class_val = ctx.integer_value_of(rcvr);
+    let lo = ctx.int_const(1);
+    let hi = ctx.int_const(64);
+    if !ctx.int_cmp(CmpKind::Ge, class_val, lo) || !ctx.int_cmp(CmpKind::Le, class_val, hi) {
+        return NativeOutcome::Failure;
+    }
+    let zero = ctx.int_const(0);
+    match ctx.allocate(ClassIndex::OBJECT, ObjectFormat::Fixed, zero) {
+        Ok(v) => succeed::<C>(frame, 0, v),
+        Err(_) => NativeOutcome::Failure,
+    }
+}
+
+fn new_with_arg<C: VmContext>(ctx: &mut C, frame: &mut Frame<C::V>) -> NativeOutcome<C::V> {
+    let Some((rcvr, args)) = operands(ctx, frame, 1) else {
+        return NativeOutcome::InvalidFrame;
+    };
+    if !ctx.is_integer_object(rcvr) {
+        return NativeOutcome::Failure;
+    }
+    let class_val = ctx.integer_value_of(rcvr);
+    let lo = ctx.int_const(1);
+    let hi = ctx.int_const(64);
+    if !ctx.int_cmp(CmpKind::Ge, class_val, lo) || !ctx.int_cmp(CmpKind::Le, class_val, hi) {
+        return NativeOutcome::Failure;
+    }
+    if !ctx.is_integer_object(args[0]) {
+        return NativeOutcome::Failure;
+    }
+    let count = ctx.integer_value_of(args[0]);
+    let zero = ctx.int_const(0);
+    let cap = ctx.int_const(100_000);
+    if !ctx.int_cmp(CmpKind::Ge, count, zero) || !ctx.int_cmp(CmpKind::Le, count, cap) {
+        return NativeOutcome::Failure;
+    }
+    match ctx.allocate(ClassIndex::ARRAY, ObjectFormat::Indexable, count) {
+        Ok(v) => succeed::<C>(frame, 1, v),
+        Err(_) => NativeOutcome::Failure,
+    }
+}
+
+fn word_at<C: VmContext>(ctx: &mut C, frame: &mut Frame<C::V>) -> NativeOutcome<C::V> {
+    let Some((rcvr, args)) = operands(ctx, frame, 1) else {
+        return NativeOutcome::InvalidFrame;
+    };
+    if !ctx.has_class(rcvr, ClassIndex::WORD_ARRAY) {
+        return NativeOutcome::Failure;
+    }
+    let Ok(limit) = ctx.element_count(rcvr) else {
+        return NativeOutcome::Failure;
+    };
+    let Some(idx) = checked_index(ctx, args[0], limit) else {
+        return NativeOutcome::Failure;
+    };
+    match ctx.fetch_word(rcvr, idx) {
+        Ok(w) => {
+            // A raw 32-bit word may not fit the tagged range.
+            if !ctx.is_integer_value(w) {
+                return NativeOutcome::Failure;
+            }
+            let v = ctx.integer_object_of(w);
+            succeed::<C>(frame, 1, v)
+        }
+        Err(_) => NativeOutcome::InvalidMemoryAccess,
+    }
+}
+
+fn word_at_put<C: VmContext>(ctx: &mut C, frame: &mut Frame<C::V>) -> NativeOutcome<C::V> {
+    let Some((rcvr, args)) = operands(ctx, frame, 2) else {
+        return NativeOutcome::InvalidFrame;
+    };
+    if !ctx.has_class(rcvr, ClassIndex::WORD_ARRAY) {
+        return NativeOutcome::Failure;
+    }
+    let Ok(limit) = ctx.element_count(rcvr) else {
+        return NativeOutcome::Failure;
+    };
+    let Some(idx) = checked_index(ctx, args[0], limit) else {
+        return NativeOutcome::Failure;
+    };
+    if !ctx.is_integer_object(args[1]) {
+        return NativeOutcome::Failure;
+    }
+    let value = ctx.integer_value_of(args[1]);
+    let zero = ctx.int_const(0);
+    if !ctx.int_cmp(CmpKind::Ge, value, zero) {
+        return NativeOutcome::Failure;
+    }
+    match ctx.store_word(rcvr, idx, value) {
+        Ok(()) => succeed::<C>(frame, 2, args[1]),
+        Err(_) => NativeOutcome::InvalidMemoryAccess,
+    }
+}
+
+fn inst_var_at<C: VmContext>(ctx: &mut C, frame: &mut Frame<C::V>) -> NativeOutcome<C::V> {
+    object_at(ctx, frame)
+}
+
+fn inst_var_at_put<C: VmContext>(ctx: &mut C, frame: &mut Frame<C::V>) -> NativeOutcome<C::V> {
+    object_at_put(ctx, frame)
+}
+
+fn identity_hash<C: VmContext>(ctx: &mut C, frame: &mut Frame<C::V>) -> NativeOutcome<C::V> {
+    let Some((rcvr, _)) = operands(ctx, frame, 0) else {
+        return NativeOutcome::InvalidFrame;
+    };
+    match ctx.identity_hash(rcvr) {
+        Ok(h) => {
+            let v = ctx.integer_object_of(h);
+            succeed::<C>(frame, 0, v)
+        }
+        Err(_) => NativeOutcome::Failure,
+    }
+}
+
+fn class_index<C: VmContext>(ctx: &mut C, frame: &mut Frame<C::V>) -> NativeOutcome<C::V> {
+    let Some((rcvr, _)) = operands(ctx, frame, 0) else {
+        return NativeOutcome::InvalidFrame;
+    };
+    let idx = ctx.class_index_as_int(rcvr);
+    let v = ctx.integer_object_of(idx);
+    succeed::<C>(frame, 0, v)
+}
+
+fn identical<C: VmContext>(
+    ctx: &mut C,
+    frame: &mut Frame<C::V>,
+    want_same: bool,
+) -> NativeOutcome<C::V> {
+    let Some((rcvr, args)) = operands(ctx, frame, 1) else {
+        return NativeOutcome::InvalidFrame;
+    };
+    let same = ctx.value_identical(rcvr, args[0]);
+    let v = ctx.bool_obj(same == want_same);
+    succeed::<C>(frame, 1, v)
+}
+
+fn shallow_copy<C: VmContext>(ctx: &mut C, frame: &mut Frame<C::V>) -> NativeOutcome<C::V> {
+    let Some((rcvr, _)) = operands(ctx, frame, 0) else {
+        return NativeOutcome::InvalidFrame;
+    };
+    if ctx.is_integer_object(rcvr) {
+        // Immediate values are their own copy.
+        return succeed::<C>(frame, 0, rcvr);
+    }
+    if !ctx.has_class(rcvr, ClassIndex::ARRAY) {
+        // Only indexable pointer objects are copied by this primitive;
+        // everything else falls back to the image-side implementation.
+        return NativeOutcome::Failure;
+    }
+    let Ok(count) = ctx.slot_count(rcvr) else {
+        return NativeOutcome::Failure;
+    };
+    let copy = match ctx.allocate(ClassIndex::ARRAY, ObjectFormat::Indexable, count) {
+        Ok(v) => v,
+        Err(_) => return NativeOutcome::Failure,
+    };
+    // Copy slots one by one; the count was just read, so accesses are
+    // in bounds unless the heap is corrupted.
+    let zero = ctx.int_const(0);
+    let mut i = zero;
+    loop {
+        if !ctx.int_cmp(CmpKind::Lt, i, count) {
+            break;
+        }
+        let v = match ctx.fetch_slot(rcvr, i) {
+            Ok(v) => v,
+            Err(_) => return NativeOutcome::InvalidMemoryAccess,
+        };
+        if ctx.store_slot(copy, i, v).is_err() {
+            return NativeOutcome::InvalidMemoryAccess;
+        }
+        let one = ctx.int_const(1);
+        i = ctx.int_add(i, one);
+    }
+    succeed::<C>(frame, 0, copy)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::natives::{run_native, NativeMethodId, NativeOutcome};
+    use crate::{ConcreteContext, Frame, MethodInfo};
+    use igjit_heap::{ClassIndex, ObjectMemory, Oop};
+
+    fn run_prim(mem: &mut ObjectMemory, id: u16, stack: &[Oop]) -> (NativeOutcome<Oop>, Frame<Oop>) {
+        let nil = mem.nil();
+        let mut frame = Frame::new(nil, MethodInfo::empty());
+        for &v in stack {
+            frame.push(v);
+        }
+        let mut ctx = ConcreteContext::new(mem);
+        let out = run_native(&mut ctx, &mut frame, NativeMethodId(id));
+        (out, frame)
+    }
+
+    #[test]
+    fn at_bounds_and_types() {
+        let mut mem = ObjectMemory::new();
+        let arr = mem
+            .instantiate_array(&[Oop::from_small_int(10), Oop::from_small_int(20)])
+            .unwrap();
+        let (out, frame) = run_prim(&mut mem, 60, &[arr, Oop::from_small_int(1)]);
+        assert!(matches!(out, NativeOutcome::Success { .. }));
+        assert_eq!(frame.stack_at_depth(0).small_int_value(), 10);
+
+        let (out, _) = run_prim(&mut mem, 60, &[arr, Oop::from_small_int(0)]);
+        assert_eq!(out, NativeOutcome::Failure, "1-based indexing");
+        let (out, _) = run_prim(&mut mem, 60, &[arr, Oop::from_small_int(3)]);
+        assert_eq!(out, NativeOutcome::Failure);
+        let (out, _) = run_prim(&mut mem, 60, &[arr, arr]);
+        assert_eq!(out, NativeOutcome::Failure, "index must be an integer");
+        let (out, _) = run_prim(&mut mem, 60, &[Oop::from_small_int(5), Oop::from_small_int(1)]);
+        assert_eq!(out, NativeOutcome::Failure, "receiver must be an Array");
+    }
+
+    #[test]
+    fn at_put_stores() {
+        let mut mem = ObjectMemory::new();
+        let arr = mem.instantiate_array(&[Oop::from_small_int(0)]).unwrap();
+        let (out, frame) =
+            run_prim(&mut mem, 61, &[arr, Oop::from_small_int(1), Oop::from_small_int(99)]);
+        assert!(matches!(out, NativeOutcome::Success { .. }));
+        assert_eq!(frame.stack_at_depth(0).small_int_value(), 99, "at:put: answers the value");
+        assert_eq!(mem.fetch_pointer(arr, 0).unwrap().small_int_value(), 99);
+    }
+
+    #[test]
+    fn size_variants() {
+        let mut mem = ObjectMemory::new();
+        let arr = mem.instantiate_array(&[Oop::from_small_int(0)]).unwrap();
+        let bytes = mem.instantiate_bytes(ClassIndex::BYTE_ARRAY, &[1, 2, 3]).unwrap();
+        let string = mem.instantiate_bytes(ClassIndex::STRING, b"hello").unwrap();
+        let (_, f) = run_prim(&mut mem, 62, &[arr]);
+        assert_eq!(f.stack_at_depth(0).small_int_value(), 1);
+        let (_, f) = run_prim(&mut mem, 62, &[bytes]);
+        assert_eq!(f.stack_at_depth(0).small_int_value(), 3);
+        let (_, f) = run_prim(&mut mem, 65, &[string]);
+        assert_eq!(f.stack_at_depth(0).small_int_value(), 5);
+        let (out, _) = run_prim(&mut mem, 62, &[Oop::from_small_int(5)]);
+        assert_eq!(out, NativeOutcome::Failure);
+        let (out, _) = run_prim(&mut mem, 65, &[bytes]);
+        assert_eq!(out, NativeOutcome::Failure, "stringSize wants a String");
+    }
+
+    #[test]
+    fn string_and_byte_accessors_are_class_strict() {
+        let mut mem = ObjectMemory::new();
+        let bytes = mem.instantiate_bytes(ClassIndex::BYTE_ARRAY, &[7]).unwrap();
+        let string = mem.instantiate_bytes(ClassIndex::STRING, b"a").unwrap();
+        let one = Oop::from_small_int(1);
+        let (out, f) = run_prim(&mut mem, 66, &[bytes, one]);
+        assert!(matches!(out, NativeOutcome::Success { .. }));
+        assert_eq!(f.stack_at_depth(0).small_int_value(), 7);
+        let (out, _) = run_prim(&mut mem, 66, &[string, one]);
+        assert_eq!(out, NativeOutcome::Failure, "byteAt rejects Strings");
+        let (out, _) = run_prim(&mut mem, 63, &[bytes, one]);
+        assert_eq!(out, NativeOutcome::Failure, "stringAt rejects ByteArrays");
+    }
+
+    #[test]
+    fn byte_at_put_validates_the_byte_range() {
+        let mut mem = ObjectMemory::new();
+        let bytes = mem.instantiate_bytes(ClassIndex::BYTE_ARRAY, &[0]).unwrap();
+        let one = Oop::from_small_int(1);
+        let (out, _) = run_prim(&mut mem, 67, &[bytes, one, Oop::from_small_int(256)]);
+        assert_eq!(out, NativeOutcome::Failure);
+        let (out, _) = run_prim(&mut mem, 67, &[bytes, one, Oop::from_small_int(-1)]);
+        assert_eq!(out, NativeOutcome::Failure);
+        let (out, _) = run_prim(&mut mem, 67, &[bytes, one, Oop::from_small_int(255)]);
+        assert!(matches!(out, NativeOutcome::Success { .. }));
+        assert_eq!(mem.fetch_byte(bytes, 0).unwrap(), 255);
+    }
+
+    #[test]
+    fn new_with_arg_allocates_arrays() {
+        let mut mem = ObjectMemory::new();
+        let class = Oop::from_small_int(i64::from(ClassIndex::ARRAY.value()));
+        let (out, frame) = run_prim(&mut mem, 71, &[class, Oop::from_small_int(3)]);
+        assert!(matches!(out, NativeOutcome::Success { .. }));
+        let arr = frame.stack_at_depth(0);
+        assert_eq!(mem.slot_count(arr).unwrap(), 3);
+        let (out, _) = run_prim(&mut mem, 71, &[class, Oop::from_small_int(-1)]);
+        assert_eq!(out, NativeOutcome::Failure);
+    }
+
+    #[test]
+    fn identity_primitives() {
+        let mut mem = ObjectMemory::new();
+        let t = mem.true_object();
+        let a = mem.instantiate_array(&[]).unwrap();
+        let b = mem.instantiate_array(&[]).unwrap();
+        let (_, f) = run_prim(&mut mem, 78, &[a, a]);
+        assert_eq!(f.stack_at_depth(0), t);
+        let (_, f) = run_prim(&mut mem, 79, &[a, b]);
+        assert_eq!(f.stack_at_depth(0), t);
+    }
+
+    #[test]
+    fn identity_hash_and_class_index() {
+        let mut mem = ObjectMemory::new();
+        let a = mem.instantiate_array(&[]).unwrap();
+        let (out, f) = run_prim(&mut mem, 76, &[a]);
+        assert!(matches!(out, NativeOutcome::Success { .. }));
+        assert_eq!(
+            f.stack_at_depth(0).small_int_value(),
+            i64::from(mem.identity_hash(a).unwrap())
+        );
+        let (_, f) = run_prim(&mut mem, 77, &[a]);
+        assert_eq!(
+            f.stack_at_depth(0).small_int_value(),
+            i64::from(ClassIndex::ARRAY.value())
+        );
+        let (_, f) = run_prim(&mut mem, 77, &[Oop::from_small_int(3)]);
+        assert_eq!(
+            f.stack_at_depth(0).small_int_value(),
+            i64::from(ClassIndex::SMALL_INTEGER.value())
+        );
+    }
+
+    #[test]
+    fn shallow_copy_copies_arrays() {
+        let mut mem = ObjectMemory::new();
+        let a = mem
+            .instantiate_array(&[Oop::from_small_int(1), Oop::from_small_int(2)])
+            .unwrap();
+        let (out, f) = run_prim(&mut mem, 80, &[a]);
+        assert!(matches!(out, NativeOutcome::Success { .. }));
+        let copy = f.stack_at_depth(0);
+        assert_ne!(copy, a);
+        assert_eq!(mem.fetch_pointer(copy, 0).unwrap().small_int_value(), 1);
+        assert_eq!(mem.fetch_pointer(copy, 1).unwrap().small_int_value(), 2);
+        // SmallInteger receivers answer themselves.
+        let (out, f) = run_prim(&mut mem, 80, &[Oop::from_small_int(5)]);
+        assert!(matches!(out, NativeOutcome::Success { .. }));
+        assert_eq!(f.stack_at_depth(0).small_int_value(), 5);
+    }
+
+    #[test]
+    fn object_at_reads_raw_slots() {
+        let mut mem = ObjectMemory::new();
+        let a = mem.instantiate_array(&[Oop::from_small_int(11)]).unwrap();
+        let (out, f) = run_prim(&mut mem, 68, &[a, Oop::from_small_int(1)]);
+        assert!(matches!(out, NativeOutcome::Success { .. }));
+        assert_eq!(f.stack_at_depth(0).small_int_value(), 11);
+        let (out, _) = run_prim(&mut mem, 68, &[Oop::from_small_int(1), Oop::from_small_int(1)]);
+        assert_eq!(out, NativeOutcome::Failure);
+    }
+}

@@ -1,0 +1,269 @@
+//! SmallInteger native methods (ids 1–17).
+//!
+//! All of these check both operands are tagged integers (they are
+//! *safe*, unlike the corresponding bytecodes). The bitwise primitives
+//! (14–17, plus xor at 16) carry one of the paper's authentic
+//! *behavioural difference* defects: the interpreter versions fail on
+//! negative operands (falling back to the large-integer library code),
+//! while the compiled versions treat operands as unsigned and succeed
+//! (§5.3).
+
+use super::{operands, succeed, NativeGroup, NativeMethodId, NativeMethodSpec, NativeOutcome};
+use crate::context::{CmpKind, VmContext};
+use crate::frame::Frame;
+
+pub(super) fn catalog() -> Vec<NativeMethodSpec> {
+    let names: [(u16, &str, u32); 17] = [
+        (1, "primitiveAdd", 1),
+        (2, "primitiveSubtract", 1),
+        (3, "primitiveLessThan", 1),
+        (4, "primitiveGreaterThan", 1),
+        (5, "primitiveLessOrEqual", 1),
+        (6, "primitiveGreaterOrEqual", 1),
+        (7, "primitiveEqual", 1),
+        (8, "primitiveNotEqual", 1),
+        (9, "primitiveMultiply", 1),
+        (10, "primitiveDivide", 1),
+        (11, "primitiveMod", 1),
+        (12, "primitiveDiv", 1),
+        (13, "primitiveQuo", 1),
+        (14, "primitiveBitAnd", 1),
+        (15, "primitiveBitOr", 1),
+        (16, "primitiveBitXor", 1),
+        (17, "primitiveBitShift", 1),
+    ];
+    names
+        .into_iter()
+        .map(|(id, name, argc)| NativeMethodSpec {
+            id: NativeMethodId(id),
+            name: name.to_string(),
+            group: NativeGroup::SmallInteger,
+            argc,
+        })
+        .collect()
+}
+
+pub(super) fn run<C: VmContext>(
+    ctx: &mut C,
+    frame: &mut Frame<C::V>,
+    id: NativeMethodId,
+) -> NativeOutcome<C::V> {
+    let Some((rcvr, args)) = operands(ctx, frame, 1) else {
+        return NativeOutcome::InvalidFrame;
+    };
+    let arg = args[0];
+    // Safe by contract: both operands must be tagged integers.
+    if !ctx.is_integer_object(rcvr) {
+        return NativeOutcome::Failure;
+    }
+    if !ctx.is_integer_object(arg) {
+        return NativeOutcome::Failure;
+    }
+    let a = ctx.integer_value_of(rcvr);
+    let b = ctx.integer_value_of(arg);
+    let zero = ctx.int_const(0);
+    match id.0 {
+        1 | 2 | 9 => {
+            let r = match id.0 {
+                1 => ctx.int_add(a, b),
+                2 => ctx.int_sub(a, b),
+                _ => ctx.int_mul(a, b),
+            };
+            if !ctx.is_integer_value(r) {
+                return NativeOutcome::Failure;
+            }
+            let v = ctx.integer_object_of(r);
+            succeed::<C>(frame, 1, v)
+        }
+        3..=8 => {
+            let op = match id.0 {
+                3 => CmpKind::Lt,
+                4 => CmpKind::Gt,
+                5 => CmpKind::Le,
+                6 => CmpKind::Ge,
+                7 => CmpKind::Eq,
+                _ => CmpKind::Ne,
+            };
+            let holds = ctx.int_cmp(op, a, b);
+            let v = ctx.bool_obj(holds);
+            succeed::<C>(frame, 1, v)
+        }
+        10 => {
+            // `/` — exact division only.
+            if !ctx.int_cmp(CmpKind::Ne, b, zero) {
+                return NativeOutcome::Failure;
+            }
+            let rem = ctx.int_mod_floor(a, b);
+            if !ctx.int_cmp(CmpKind::Eq, rem, zero) {
+                return NativeOutcome::Failure;
+            }
+            let q = ctx.int_div_floor(a, b);
+            if !ctx.is_integer_value(q) {
+                return NativeOutcome::Failure;
+            }
+            let v = ctx.integer_object_of(q);
+            succeed::<C>(frame, 1, v)
+        }
+        11..=13 => {
+            if !ctx.int_cmp(CmpKind::Ne, b, zero) {
+                return NativeOutcome::Failure;
+            }
+            let r = match id.0 {
+                11 => ctx.int_mod_floor(a, b),
+                12 => ctx.int_div_floor(a, b),
+                _ => ctx.int_div_trunc(a, b),
+            };
+            if !ctx.is_integer_value(r) {
+                return NativeOutcome::Failure;
+            }
+            let v = ctx.integer_object_of(r);
+            succeed::<C>(frame, 1, v)
+        }
+        14..=16 => {
+            // Authentic behavioural-difference defect: the interpreter
+            // primitives refuse negative operands and fall back to the
+            // (slow) large-integer library, while the compiled
+            // templates treat both as unsigned and succeed.
+            if !ctx.int_cmp(CmpKind::Ge, a, zero) {
+                return NativeOutcome::Failure;
+            }
+            if !ctx.int_cmp(CmpKind::Ge, b, zero) {
+                return NativeOutcome::Failure;
+            }
+            let r = match id.0 {
+                14 => ctx.int_bit_and(a, b),
+                15 => ctx.int_bit_or(a, b),
+                _ => ctx.int_bit_xor(a, b),
+            };
+            let v = ctx.integer_object_of(r);
+            succeed::<C>(frame, 1, v)
+        }
+        17 => {
+            if !ctx.int_cmp(CmpKind::Ge, a, zero) {
+                return NativeOutcome::Failure;
+            }
+            let r = ctx.int_shift(a, b);
+            if !ctx.is_integer_value(r) {
+                return NativeOutcome::Failure;
+            }
+            let v = ctx.integer_object_of(r);
+            succeed::<C>(frame, 1, v)
+        }
+        _ => NativeOutcome::Unsupported { reason: "not a SmallInteger primitive" },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::natives::{run_native, NativeMethodId, NativeOutcome};
+    use crate::{ConcreteContext, Frame, MethodInfo};
+    use igjit_heap::{ObjectMemory, Oop};
+
+    fn run_prim(mem: &mut ObjectMemory, id: u16, stack: &[Oop]) -> (NativeOutcome<Oop>, Frame<Oop>) {
+        let nil = mem.nil();
+        let mut frame = Frame::new(nil, MethodInfo::empty());
+        for &v in stack {
+            frame.push(v);
+        }
+        let mut ctx = ConcreteContext::new(mem);
+        let out = run_native(&mut ctx, &mut frame, NativeMethodId(id));
+        (out, frame)
+    }
+
+    fn ints(vals: &[i64]) -> Vec<Oop> {
+        vals.iter().map(|&v| Oop::from_small_int(v)).collect()
+    }
+
+    #[test]
+    fn add_success_pops_and_pushes() {
+        let mut mem = ObjectMemory::new();
+        let (out, frame) = run_prim(&mut mem, 1, &ints(&[20, 22]));
+        assert!(matches!(out, NativeOutcome::Success { .. }));
+        assert_eq!(frame.depth(), 1);
+        assert_eq!(frame.stack_at_depth(0).small_int_value(), 42);
+    }
+
+    #[test]
+    fn add_overflow_fails() {
+        let mut mem = ObjectMemory::new();
+        let (out, frame) = run_prim(&mut mem, 1, &ints(&[igjit_heap::SMALL_INT_MAX, 1]));
+        assert_eq!(out, NativeOutcome::Failure);
+        assert_eq!(frame.depth(), 2, "failure leaves the stack intact");
+    }
+
+    #[test]
+    fn type_checks_fail_cleanly() {
+        let mut mem = ObjectMemory::new();
+        let arr = mem.instantiate_array(&[]).unwrap();
+        let (out, _) = run_prim(&mut mem, 1, &[arr, Oop::from_small_int(1)]);
+        assert_eq!(out, NativeOutcome::Failure);
+        let (out, _) = run_prim(&mut mem, 1, &[Oop::from_small_int(1), arr]);
+        assert_eq!(out, NativeOutcome::Failure);
+    }
+
+    #[test]
+    fn missing_operands_invalid_frame() {
+        let mut mem = ObjectMemory::new();
+        let (out, _) = run_prim(&mut mem, 1, &ints(&[5]));
+        assert_eq!(out, NativeOutcome::InvalidFrame);
+    }
+
+    #[test]
+    fn comparisons() {
+        let mut mem = ObjectMemory::new();
+        let t = mem.true_object();
+        let f = mem.false_object();
+        let (out, frame) = run_prim(&mut mem, 3, &ints(&[1, 2]));
+        assert!(matches!(out, NativeOutcome::Success { .. }));
+        assert_eq!(frame.stack_at_depth(0), t);
+        let (_, frame) = run_prim(&mut mem, 4, &ints(&[1, 2]));
+        assert_eq!(frame.stack_at_depth(0), f);
+        let (_, frame) = run_prim(&mut mem, 7, &ints(&[2, 2]));
+        assert_eq!(frame.stack_at_depth(0), t);
+    }
+
+    #[test]
+    fn exact_division() {
+        let mut mem = ObjectMemory::new();
+        let (out, frame) = run_prim(&mut mem, 10, &ints(&[12, 4]));
+        assert!(matches!(out, NativeOutcome::Success { .. }));
+        assert_eq!(frame.stack_at_depth(0).small_int_value(), 3);
+        let (out, _) = run_prim(&mut mem, 10, &ints(&[12, 5]));
+        assert_eq!(out, NativeOutcome::Failure);
+        let (out, _) = run_prim(&mut mem, 10, &ints(&[12, 0]));
+        assert_eq!(out, NativeOutcome::Failure);
+    }
+
+    #[test]
+    fn quo_truncates_div_floors() {
+        let mut mem = ObjectMemory::new();
+        let (_, frame) = run_prim(&mut mem, 12, &ints(&[-7, 2]));
+        assert_eq!(frame.stack_at_depth(0).small_int_value(), -4);
+        let (_, frame) = run_prim(&mut mem, 13, &ints(&[-7, 2]));
+        assert_eq!(frame.stack_at_depth(0).small_int_value(), -3);
+    }
+
+    #[test]
+    fn bitwise_refuse_negative_operands() {
+        // The behavioural-difference defect: interpreter side fails.
+        let mut mem = ObjectMemory::new();
+        let (out, _) = run_prim(&mut mem, 14, &ints(&[-1, 3]));
+        assert_eq!(out, NativeOutcome::Failure);
+        let (out, _) = run_prim(&mut mem, 15, &ints(&[3, -1]));
+        assert_eq!(out, NativeOutcome::Failure);
+        let (out, frame) = run_prim(&mut mem, 14, &ints(&[6, 3]));
+        assert!(matches!(out, NativeOutcome::Success { .. }));
+        assert_eq!(frame.stack_at_depth(0).small_int_value(), 2);
+    }
+
+    #[test]
+    fn bitshift_directions_and_overflow() {
+        let mut mem = ObjectMemory::new();
+        let (_, frame) = run_prim(&mut mem, 17, &ints(&[4, 2]));
+        assert_eq!(frame.stack_at_depth(0).small_int_value(), 16);
+        let (_, frame) = run_prim(&mut mem, 17, &ints(&[16, -2]));
+        assert_eq!(frame.stack_at_depth(0).small_int_value(), 4);
+        let (out, _) = run_prim(&mut mem, 17, &ints(&[1, 62]));
+        assert_eq!(out, NativeOutcome::Failure);
+    }
+}

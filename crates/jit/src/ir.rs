@@ -1,0 +1,156 @@
+//! The CogRTL-flavoured intermediate representation.
+//!
+//! The IR is a linear instruction list over [`VReg`]s. Values below
+//! [`VReg::FIRST_VIRTUAL`] are *precolored* — they denote the physical
+//! register of the same number (fixed-role registers of the
+//! convention). The `RegisterAllocating` front-end emits virtual
+//! registers and runs linear scan; the other front-ends emit
+//! precolored registers only, exactly like the corresponding Cogit
+//! tiers.
+
+use igjit_machine::{AluOp, Cond, FReg, Reg};
+
+/// Selector id used for the `mustBeBoolean` error send.
+pub const MUST_BE_BOOLEAN_SELECTOR: u32 = 0xFFFF_FFFF;
+
+/// A virtual (or precolored) register.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct VReg(pub u16);
+
+impl VReg {
+    /// Ids below this denote physical registers directly.
+    pub const FIRST_VIRTUAL: u16 = 32;
+
+    /// Precolors a physical register.
+    pub fn phys(r: Reg) -> VReg {
+        VReg(u16::from(r.0))
+    }
+
+    /// The physical register, when precolored.
+    pub fn as_phys(self) -> Option<Reg> {
+        if self.0 < Self::FIRST_VIRTUAL {
+            Some(Reg(self.0 as u8))
+        } else {
+            None
+        }
+    }
+
+    /// Whether this is a virtual register needing allocation.
+    pub fn is_virtual(self) -> bool {
+        self.0 >= Self::FIRST_VIRTUAL
+    }
+}
+
+/// A label within one IR sequence.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct LabelId(pub u16);
+
+/// One IR operation.
+#[derive(Clone, Copy, PartialEq, Debug)]
+#[allow(missing_docs)]
+pub enum Ir {
+    /// Binds a label at this position.
+    Label(LabelId),
+    MovImm { dst: VReg, imm: u32 },
+    MovReg { dst: VReg, src: VReg },
+    Load { dst: VReg, base: VReg, off: i16 },
+    Store { src: VReg, base: VReg, off: i16 },
+    Push { src: VReg },
+    Pop { dst: VReg },
+    Alu { op: AluOp, dst: VReg, a: VReg, b: VReg },
+    AluImm { op: AluOp, dst: VReg, a: VReg, imm: u32 },
+    Cmp { a: VReg, b: VReg },
+    CmpImm { a: VReg, imm: u32 },
+    Jump(LabelId),
+    JumpCc(Cond, LabelId),
+    /// Message-send runtime call; receiver/args must already sit in
+    /// the convention registers. Halts the simulated machine.
+    Send { selector_id: u32 },
+    /// Allocate a boxed float from F0 into `dst` (must be precolored).
+    AllocFloat { dst: VReg },
+    /// Allocate `class`/`format` with the untagged size read from
+    /// `reg`, which receives the oop (must be precolored).
+    AllocObject { reg: VReg, class: u32, format: u32 },
+    Ret,
+    /// Breakpoint with a code (§4.2's Stop instruction).
+    Stop(u8),
+    FLoad { fd: FReg, base: VReg, off: i16 },
+    FAlu { op: igjit_machine::FAluOp, fd: FReg, fa: FReg, fb: FReg },
+    FCmp { fa: FReg, fb: FReg },
+    FToIntChecked { dst: VReg, fs: FReg },
+    FExponent { dst: VReg, fs: FReg },
+    IntToF { fd: FReg, src: VReg },
+    Nop,
+}
+
+impl Ir {
+    /// Registers read by this op (for liveness analysis).
+    pub fn uses(&self, out: &mut Vec<VReg>) {
+        match *self {
+            Ir::MovReg { src, .. } | Ir::Push { src } => out.push(src),
+            Ir::Load { base, .. } | Ir::FLoad { base, .. } => out.push(base),
+            Ir::Store { src, base, .. } => {
+                out.push(src);
+                out.push(base);
+            }
+            Ir::Alu { a, b, .. } => {
+                out.push(a);
+                out.push(b);
+            }
+            Ir::AluImm { a, .. } => out.push(a),
+            Ir::Cmp { a, b } => {
+                out.push(a);
+                out.push(b);
+            }
+            Ir::CmpImm { a, .. } => out.push(a),
+            Ir::AllocObject { reg, .. } => out.push(reg),
+            Ir::IntToF { src, .. } => out.push(src),
+            _ => {}
+        }
+    }
+
+    /// The register written by this op, if any.
+    pub fn def(&self) -> Option<VReg> {
+        match *self {
+            Ir::MovImm { dst, .. }
+            | Ir::MovReg { dst, .. }
+            | Ir::Load { dst, .. }
+            | Ir::Pop { dst }
+            | Ir::Alu { dst, .. }
+            | Ir::AluImm { dst, .. }
+            | Ir::AllocFloat { dst }
+            | Ir::FToIntChecked { dst, .. }
+            | Ir::FExponent { dst, .. } => Some(dst),
+            Ir::AllocObject { reg, .. } => Some(reg),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precoloring_roundtrip() {
+        let v = VReg::phys(Reg(5));
+        assert_eq!(v.as_phys(), Some(Reg(5)));
+        assert!(!v.is_virtual());
+        let w = VReg(40);
+        assert!(w.is_virtual());
+        assert_eq!(w.as_phys(), None);
+    }
+
+    #[test]
+    fn uses_and_defs() {
+        let a = VReg(40);
+        let b = VReg(41);
+        let c = VReg(42);
+        let i = Ir::Alu { op: AluOp::Add, dst: c, a, b };
+        let mut uses = Vec::new();
+        i.uses(&mut uses);
+        assert_eq!(uses, vec![a, b]);
+        assert_eq!(i.def(), Some(c));
+        assert_eq!(Ir::Ret.def(), None);
+    }
+}

@@ -1,0 +1,105 @@
+//! A small disassembler for the simulated ISAs — the reproduction's
+//! stand-in for the LLVM disassembler of the Pharo testing
+//! infrastructure (Fig. 4 of the paper), used in reports and failing
+//! test diagnostics.
+
+use crate::encoding::decode_instr;
+use crate::instr::{Isa, MInstr};
+
+/// One disassembled line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DisasmLine {
+    /// Byte offset of the instruction.
+    pub offset: usize,
+    /// The decoded instruction.
+    pub instr: MInstr,
+    /// Encoded length in bytes.
+    pub len: usize,
+}
+
+/// Decodes a whole code stream; stops at the first undecodable byte.
+pub fn disassemble(code: &[u8], isa: Isa) -> Vec<DisasmLine> {
+    let mut out = Vec::new();
+    let mut pc = 0;
+    while pc < code.len() {
+        match decode_instr(code, pc, isa) {
+            Some((instr, len)) => {
+                out.push(DisasmLine { offset: pc, instr, len });
+                pc += len;
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+/// Renders a code stream as one mnemonic per line, with jump targets
+/// resolved to absolute offsets.
+pub fn disassemble_to_string(code: &[u8], isa: Isa) -> String {
+    let lines = disassemble(code, isa);
+    let mut out = String::new();
+    for l in &lines {
+        let target = match l.instr {
+            MInstr::Jmp { off } => Some(l.offset as i64 + l.len as i64 + i64::from(off)),
+            MInstr::JmpCc { off, .. } => Some(l.offset as i64 + l.len as i64 + i64::from(off)),
+            _ => None,
+        };
+        match target {
+            Some(t) => out.push_str(&format!(
+                "{:>5}: {:?}  ; -> {t}\n",
+                l.offset, l.instr
+            )),
+            None => out.push_str(&format!("{:>5}: {:?}\n", l.offset, l.instr)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::encode_instr;
+    use crate::instr::{AluOp, Cond, Reg};
+
+    #[test]
+    fn disassembles_a_stream_fully() {
+        for isa in [Isa::X86ish, Isa::Arm32ish] {
+            let instrs = vec![
+                MInstr::MovImm { dst: Reg(0), imm: 42 },
+                MInstr::AluImm { op: AluOp::Add, dst: Reg(0), a: Reg(0), imm: 1 },
+                MInstr::JmpCc { cc: Cond::Ov, off: 0 },
+                MInstr::Ret,
+            ];
+            let mut code = Vec::new();
+            for &i in &instrs {
+                encode_instr(i, isa, &mut code).unwrap();
+            }
+            let lines = disassemble(&code, isa);
+            assert_eq!(lines.len(), instrs.len());
+            assert_eq!(lines.iter().map(|l| l.instr).collect::<Vec<_>>(), instrs);
+            // Offsets are cumulative.
+            let mut expect = 0;
+            for l in &lines {
+                assert_eq!(l.offset, expect);
+                expect += l.len;
+            }
+        }
+    }
+
+    #[test]
+    fn jump_targets_are_resolved() {
+        let mut code = Vec::new();
+        encode_instr(MInstr::Jmp { off: 10 }, Isa::X86ish, &mut code).unwrap();
+        let s = disassemble_to_string(&code, Isa::X86ish);
+        assert!(s.contains("-> 15"), "{s}"); // 5-byte jmp + 10
+    }
+
+    #[test]
+    fn stops_at_garbage() {
+        let mut code = Vec::new();
+        encode_instr(MInstr::Ret, Isa::X86ish, &mut code).unwrap();
+        code.push(0xFF);
+        let lines = disassemble(&code, Isa::X86ish);
+        assert_eq!(lines.len(), 1);
+    }
+}

@@ -1,0 +1,460 @@
+//! Per-ISA machine-code encodings.
+//!
+//! `X86ish` uses a compact variable-length encoding and rejects
+//! three-address ALU forms (`dst` must equal `a`). `Arm32ish` uses
+//! fixed 8-byte records `[opcode, ra, rb, rc, imm32]` and allows
+//! three-address forms. The back-ends in `igjit-jit` must lower IR
+//! differently for each — exactly the kind of per-ISA divergence the
+//! paper's cross-ISA test matrix exercises.
+
+use crate::instr::{AluOp, Cond, FAluOp, FReg, Isa, MInstr, Reg, TrampolineKind};
+
+/// Encoding failures (assembler bugs, not runtime conditions).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EncodeError {
+    /// Register number out of range for the ISA.
+    BadRegister {
+        /// The offending register.
+        reg: u8,
+    },
+    /// `dst != a` on a two-address ISA.
+    TwoAddressViolation,
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncodeError::BadRegister { reg } => write!(f, "register r{reg} out of range"),
+            EncodeError::TwoAddressViolation => {
+                write!(f, "x86-style ALU needs dst == a")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+fn check_reg(r: Reg, isa: Isa) -> Result<u8, EncodeError> {
+    if r.0 < isa.reg_count() {
+        Ok(r.0)
+    } else {
+        Err(EncodeError::BadRegister { reg: r.0 })
+    }
+}
+
+fn check_freg(f: FReg) -> Result<u8, EncodeError> {
+    if f.0 < 4 {
+        Ok(f.0)
+    } else {
+        Err(EncodeError::BadRegister { reg: f.0 })
+    }
+}
+
+const OPC_MOV_IMM: u8 = 0x01;
+const OPC_MOV_REG: u8 = 0x02;
+const OPC_LOAD: u8 = 0x03;
+const OPC_STORE: u8 = 0x04;
+const OPC_PUSH: u8 = 0x05;
+const OPC_POP: u8 = 0x06;
+const OPC_ALU_REG: u8 = 0x07;
+const OPC_ALU_IMM: u8 = 0x08;
+const OPC_CMP: u8 = 0x09;
+const OPC_CMP_IMM: u8 = 0x0A;
+const OPC_JMP: u8 = 0x0B;
+const OPC_JMP_CC: u8 = 0x0C;
+const OPC_TRAMP: u8 = 0x0D;
+const OPC_RET: u8 = 0x0E;
+const OPC_BRK: u8 = 0x0F;
+const OPC_FLOAD: u8 = 0x10;
+const OPC_FALU: u8 = 0x11;
+const OPC_FCMP: u8 = 0x12;
+const OPC_FTOI: u8 = 0x13;
+const OPC_FEXP: u8 = 0x14;
+const OPC_ITOF: u8 = 0x15;
+const OPC_NOP: u8 = 0x16;
+
+/// Encodes one instruction, appending bytes to `out`.
+pub fn encode_instr(instr: MInstr, isa: Isa, out: &mut Vec<u8>) -> Result<(), EncodeError> {
+    match isa {
+        Isa::X86ish => encode_x86(instr, out),
+        Isa::Arm32ish => encode_arm(instr, out),
+    }
+}
+
+fn encode_x86(instr: MInstr, out: &mut Vec<u8>) -> Result<(), EncodeError> {
+    let isa = Isa::X86ish;
+    match instr {
+        MInstr::MovImm { dst, imm } => {
+            out.push(OPC_MOV_IMM);
+            out.push(check_reg(dst, isa)?);
+            out.extend_from_slice(&imm.to_le_bytes());
+        }
+        MInstr::MovReg { dst, src } => {
+            out.extend_from_slice(&[OPC_MOV_REG, check_reg(dst, isa)?, check_reg(src, isa)?]);
+        }
+        MInstr::Load { dst, base, off } => {
+            out.extend_from_slice(&[OPC_LOAD, check_reg(dst, isa)?, check_reg(base, isa)?]);
+            out.extend_from_slice(&off.to_le_bytes());
+        }
+        MInstr::Store { src, base, off } => {
+            out.extend_from_slice(&[OPC_STORE, check_reg(src, isa)?, check_reg(base, isa)?]);
+            out.extend_from_slice(&off.to_le_bytes());
+        }
+        MInstr::Push { src } => out.extend_from_slice(&[OPC_PUSH, check_reg(src, isa)?]),
+        MInstr::PopR { dst } => out.extend_from_slice(&[OPC_POP, check_reg(dst, isa)?]),
+        MInstr::AluReg { op, dst, a, b } => {
+            if dst != a {
+                return Err(EncodeError::TwoAddressViolation);
+            }
+            out.extend_from_slice(&[
+                OPC_ALU_REG,
+                op.to_bits(),
+                check_reg(dst, isa)?,
+                check_reg(b, isa)?,
+            ]);
+        }
+        MInstr::AluImm { op, dst, a, imm } => {
+            if dst != a {
+                return Err(EncodeError::TwoAddressViolation);
+            }
+            out.extend_from_slice(&[OPC_ALU_IMM, op.to_bits(), check_reg(dst, isa)?]);
+            out.extend_from_slice(&imm.to_le_bytes());
+        }
+        MInstr::Cmp { a, b } => {
+            out.extend_from_slice(&[OPC_CMP, check_reg(a, isa)?, check_reg(b, isa)?]);
+        }
+        MInstr::CmpImm { a, imm } => {
+            out.extend_from_slice(&[OPC_CMP_IMM, check_reg(a, isa)?]);
+            out.extend_from_slice(&imm.to_le_bytes());
+        }
+        MInstr::Jmp { off } => {
+            out.push(OPC_JMP);
+            out.extend_from_slice(&off.to_le_bytes());
+        }
+        MInstr::JmpCc { cc, off } => {
+            out.extend_from_slice(&[OPC_JMP_CC, cc.to_bits()]);
+            out.extend_from_slice(&off.to_le_bytes());
+        }
+        MInstr::CallTramp { kind, payload } => {
+            out.extend_from_slice(&[OPC_TRAMP, kind.to_bits()]);
+            out.extend_from_slice(&payload.to_le_bytes());
+        }
+        MInstr::Ret => out.push(OPC_RET),
+        MInstr::Brk { code } => out.extend_from_slice(&[OPC_BRK, code]),
+        MInstr::FLoad { fd, base, off } => {
+            out.extend_from_slice(&[OPC_FLOAD, check_freg(fd)?, check_reg(base, isa)?]);
+            out.extend_from_slice(&off.to_le_bytes());
+        }
+        MInstr::FAlu { op, fd, fa, fb } => {
+            out.extend_from_slice(&[
+                OPC_FALU,
+                op.to_bits(),
+                check_freg(fd)?,
+                check_freg(fa)?,
+                check_freg(fb)?,
+            ]);
+        }
+        MInstr::FCmp { fa, fb } => {
+            out.extend_from_slice(&[OPC_FCMP, check_freg(fa)?, check_freg(fb)?]);
+        }
+        MInstr::FToIntChecked { dst, fs } => {
+            out.extend_from_slice(&[OPC_FTOI, check_reg(dst, isa)?, check_freg(fs)?]);
+        }
+        MInstr::FExponent { dst, fs } => {
+            out.extend_from_slice(&[OPC_FEXP, check_reg(dst, isa)?, check_freg(fs)?]);
+        }
+        MInstr::IntToF { fd, src } => {
+            out.extend_from_slice(&[OPC_ITOF, check_freg(fd)?, check_reg(src, isa)?]);
+        }
+        MInstr::Nop => out.push(OPC_NOP),
+    }
+    Ok(())
+}
+
+fn encode_arm(instr: MInstr, out: &mut Vec<u8>) -> Result<(), EncodeError> {
+    let isa = Isa::Arm32ish;
+    let mut rec = |opc: u8, a: u8, b: u8, c: u8, imm: u32| {
+        out.push(opc);
+        out.push(a);
+        out.push(b);
+        out.push(c);
+        out.extend_from_slice(&imm.to_le_bytes());
+    };
+    match instr {
+        MInstr::MovImm { dst, imm } => rec(OPC_MOV_IMM, check_reg(dst, isa)?, 0, 0, imm),
+        MInstr::MovReg { dst, src } => {
+            rec(OPC_MOV_REG, check_reg(dst, isa)?, check_reg(src, isa)?, 0, 0)
+        }
+        MInstr::Load { dst, base, off } => rec(
+            OPC_LOAD,
+            check_reg(dst, isa)?,
+            check_reg(base, isa)?,
+            0,
+            off as i32 as u32,
+        ),
+        MInstr::Store { src, base, off } => rec(
+            OPC_STORE,
+            check_reg(src, isa)?,
+            check_reg(base, isa)?,
+            0,
+            off as i32 as u32,
+        ),
+        MInstr::Push { src } => rec(OPC_PUSH, check_reg(src, isa)?, 0, 0, 0),
+        MInstr::PopR { dst } => rec(OPC_POP, check_reg(dst, isa)?, 0, 0, 0),
+        MInstr::AluReg { op, dst, a, b } => rec(
+            OPC_ALU_REG,
+            check_reg(dst, isa)?,
+            check_reg(a, isa)?,
+            check_reg(b, isa)?,
+            u32::from(op.to_bits()),
+        ),
+        MInstr::AluImm { op, dst, a, imm } => {
+            // Three-address with immediate: op in byte c.
+            rec(OPC_ALU_IMM, check_reg(dst, isa)?, check_reg(a, isa)?, op.to_bits(), imm)
+        }
+        MInstr::Cmp { a, b } => rec(OPC_CMP, check_reg(a, isa)?, check_reg(b, isa)?, 0, 0),
+        MInstr::CmpImm { a, imm } => rec(OPC_CMP_IMM, check_reg(a, isa)?, 0, 0, imm),
+        MInstr::Jmp { off } => rec(OPC_JMP, 0, 0, 0, off as u32),
+        MInstr::JmpCc { cc, off } => rec(OPC_JMP_CC, cc.to_bits(), 0, 0, off as u32),
+        MInstr::CallTramp { kind, payload } => rec(OPC_TRAMP, kind.to_bits(), 0, 0, payload),
+        MInstr::Ret => rec(OPC_RET, 0, 0, 0, 0),
+        MInstr::Brk { code } => rec(OPC_BRK, code, 0, 0, 0),
+        MInstr::FLoad { fd, base, off } => rec(
+            OPC_FLOAD,
+            check_freg(fd)?,
+            check_reg(base, isa)?,
+            0,
+            off as i32 as u32,
+        ),
+        MInstr::FAlu { op, fd, fa, fb } => rec(
+            OPC_FALU,
+            check_freg(fd)?,
+            check_freg(fa)?,
+            check_freg(fb)?,
+            u32::from(op.to_bits()),
+        ),
+        MInstr::FCmp { fa, fb } => rec(OPC_FCMP, check_freg(fa)?, check_freg(fb)?, 0, 0),
+        MInstr::FToIntChecked { dst, fs } => {
+            rec(OPC_FTOI, check_reg(dst, isa)?, check_freg(fs)?, 0, 0)
+        }
+        MInstr::FExponent { dst, fs } => {
+            rec(OPC_FEXP, check_reg(dst, isa)?, check_freg(fs)?, 0, 0)
+        }
+        MInstr::IntToF { fd, src } => rec(OPC_ITOF, check_freg(fd)?, check_reg(src, isa)?, 0, 0),
+        MInstr::Nop => rec(OPC_NOP, 0, 0, 0, 0),
+    }
+    Ok(())
+}
+
+/// Decodes the instruction at `pc`; `None` on bad opcodes or
+/// truncation.
+pub fn decode_instr(code: &[u8], pc: usize, isa: Isa) -> Option<(MInstr, usize)> {
+    match isa {
+        Isa::X86ish => decode_x86(code, pc),
+        Isa::Arm32ish => decode_arm(code, pc),
+    }
+}
+
+fn rd_u32(code: &[u8], at: usize) -> Option<u32> {
+    Some(u32::from_le_bytes(code.get(at..at + 4)?.try_into().ok()?))
+}
+
+fn rd_i16(code: &[u8], at: usize) -> Option<i16> {
+    Some(i16::from_le_bytes(code.get(at..at + 2)?.try_into().ok()?))
+}
+
+fn decode_x86(code: &[u8], pc: usize) -> Option<(MInstr, usize)> {
+    let b = |i: usize| code.get(pc + i).copied();
+    let opc = b(0)?;
+    Some(match opc {
+        OPC_MOV_IMM => (MInstr::MovImm { dst: Reg(b(1)?), imm: rd_u32(code, pc + 2)? }, 6),
+        OPC_MOV_REG => (MInstr::MovReg { dst: Reg(b(1)?), src: Reg(b(2)?) }, 3),
+        OPC_LOAD => (
+            MInstr::Load { dst: Reg(b(1)?), base: Reg(b(2)?), off: rd_i16(code, pc + 3)? },
+            5,
+        ),
+        OPC_STORE => (
+            MInstr::Store { src: Reg(b(1)?), base: Reg(b(2)?), off: rd_i16(code, pc + 3)? },
+            5,
+        ),
+        OPC_PUSH => (MInstr::Push { src: Reg(b(1)?) }, 2),
+        OPC_POP => (MInstr::PopR { dst: Reg(b(1)?) }, 2),
+        OPC_ALU_REG => {
+            let op = AluOp::from_bits(b(1)?)?;
+            let dst = Reg(b(2)?);
+            (MInstr::AluReg { op, dst, a: dst, b: Reg(b(3)?) }, 4)
+        }
+        OPC_ALU_IMM => {
+            let op = AluOp::from_bits(b(1)?)?;
+            let dst = Reg(b(2)?);
+            (MInstr::AluImm { op, dst, a: dst, imm: rd_u32(code, pc + 3)? }, 7)
+        }
+        OPC_CMP => (MInstr::Cmp { a: Reg(b(1)?), b: Reg(b(2)?) }, 3),
+        OPC_CMP_IMM => (MInstr::CmpImm { a: Reg(b(1)?), imm: rd_u32(code, pc + 2)? }, 6),
+        OPC_JMP => (MInstr::Jmp { off: rd_u32(code, pc + 1)? as i32 }, 5),
+        OPC_JMP_CC => (
+            MInstr::JmpCc { cc: Cond::from_bits(b(1)?)?, off: rd_u32(code, pc + 2)? as i32 },
+            6,
+        ),
+        OPC_TRAMP => (
+            MInstr::CallTramp {
+                kind: TrampolineKind::from_bits(b(1)?)?,
+                payload: rd_u32(code, pc + 2)?,
+            },
+            6,
+        ),
+        OPC_RET => (MInstr::Ret, 1),
+        OPC_BRK => (MInstr::Brk { code: b(1)? }, 2),
+        OPC_FLOAD => (
+            MInstr::FLoad { fd: FReg(b(1)?), base: Reg(b(2)?), off: rd_i16(code, pc + 3)? },
+            5,
+        ),
+        OPC_FALU => (
+            MInstr::FAlu {
+                op: FAluOp::from_bits(b(1)?)?,
+                fd: FReg(b(2)?),
+                fa: FReg(b(3)?),
+                fb: FReg(b(4)?),
+            },
+            5,
+        ),
+        OPC_FCMP => (MInstr::FCmp { fa: FReg(b(1)?), fb: FReg(b(2)?) }, 3),
+        OPC_FTOI => (MInstr::FToIntChecked { dst: Reg(b(1)?), fs: FReg(b(2)?) }, 3),
+        OPC_FEXP => (MInstr::FExponent { dst: Reg(b(1)?), fs: FReg(b(2)?) }, 3),
+        OPC_ITOF => (MInstr::IntToF { fd: FReg(b(1)?), src: Reg(b(2)?) }, 3),
+        OPC_NOP => (MInstr::Nop, 1),
+        _ => return None,
+    })
+}
+
+fn decode_arm(code: &[u8], pc: usize) -> Option<(MInstr, usize)> {
+    let rec = code.get(pc..pc + 8)?;
+    let (opc, a, b, c) = (rec[0], rec[1], rec[2], rec[3]);
+    let imm = u32::from_le_bytes(rec[4..8].try_into().ok()?);
+    let instr = match opc {
+        OPC_MOV_IMM => MInstr::MovImm { dst: Reg(a), imm },
+        OPC_MOV_REG => MInstr::MovReg { dst: Reg(a), src: Reg(b) },
+        OPC_LOAD => MInstr::Load { dst: Reg(a), base: Reg(b), off: imm as i32 as i16 },
+        OPC_STORE => MInstr::Store { src: Reg(a), base: Reg(b), off: imm as i32 as i16 },
+        OPC_PUSH => MInstr::Push { src: Reg(a) },
+        OPC_POP => MInstr::PopR { dst: Reg(a) },
+        OPC_ALU_REG => MInstr::AluReg {
+            op: AluOp::from_bits(imm as u8)?,
+            dst: Reg(a),
+            a: Reg(b),
+            b: Reg(c),
+        },
+        OPC_ALU_IMM => MInstr::AluImm { op: AluOp::from_bits(c)?, dst: Reg(a), a: Reg(b), imm },
+        OPC_CMP => MInstr::Cmp { a: Reg(a), b: Reg(b) },
+        OPC_CMP_IMM => MInstr::CmpImm { a: Reg(a), imm },
+        OPC_JMP => MInstr::Jmp { off: imm as i32 },
+        OPC_JMP_CC => MInstr::JmpCc { cc: Cond::from_bits(a)?, off: imm as i32 },
+        OPC_TRAMP => MInstr::CallTramp { kind: TrampolineKind::from_bits(a)?, payload: imm },
+        OPC_RET => MInstr::Ret,
+        OPC_BRK => MInstr::Brk { code: a },
+        OPC_FLOAD => MInstr::FLoad { fd: FReg(a), base: Reg(b), off: imm as i32 as i16 },
+        OPC_FALU => MInstr::FAlu {
+            op: FAluOp::from_bits(imm as u8)?,
+            fd: FReg(a),
+            fa: FReg(b),
+            fb: FReg(c),
+        },
+        OPC_FCMP => MInstr::FCmp { fa: FReg(a), fb: FReg(b) },
+        OPC_FTOI => MInstr::FToIntChecked { dst: Reg(a), fs: FReg(b) },
+        OPC_FEXP => MInstr::FExponent { dst: Reg(a), fs: FReg(b) },
+        OPC_ITOF => MInstr::IntToF { fd: FReg(a), src: Reg(b) },
+        OPC_NOP => MInstr::Nop,
+        _ => return None,
+    };
+    Some((instr, 8))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_instrs(isa: Isa) -> Vec<MInstr> {
+        let dst = Reg(1);
+        let a = if isa.two_address() { dst } else { Reg(2) };
+        vec![
+            MInstr::MovImm { dst, imm: 0xdead_beef },
+            MInstr::MovReg { dst, src: Reg(0) },
+            MInstr::Load { dst, base: Reg(3), off: -8 },
+            MInstr::Store { src: Reg(2), base: Reg(3), off: 12 },
+            MInstr::Push { src: Reg(0) },
+            MInstr::PopR { dst },
+            MInstr::AluReg { op: AluOp::Add, dst, a, b: Reg(3) },
+            MInstr::AluImm { op: AluOp::Sar, dst, a, imm: 1 },
+            MInstr::Cmp { a: Reg(0), b: Reg(1) },
+            MInstr::CmpImm { a: Reg(0), imm: 42 },
+            MInstr::Jmp { off: -20 },
+            MInstr::JmpCc { cc: Cond::Ov, off: 16 },
+            MInstr::CallTramp { kind: TrampolineKind::Send, payload: 7 },
+            MInstr::Ret,
+            MInstr::Brk { code: 1 },
+            MInstr::FLoad { fd: FReg(2), base: Reg(0), off: 12 },
+            MInstr::FAlu { op: FAluOp::Mul, fd: FReg(0), fa: FReg(1), fb: FReg(2) },
+            MInstr::FCmp { fa: FReg(0), fb: FReg(1) },
+            MInstr::FToIntChecked { dst, fs: FReg(0) },
+            MInstr::FExponent { dst, fs: FReg(1) },
+            MInstr::IntToF { fd: FReg(0), src: Reg(2) },
+            MInstr::Nop,
+        ]
+    }
+
+    #[test]
+    fn roundtrip_both_isas() {
+        for isa in [Isa::X86ish, Isa::Arm32ish] {
+            for instr in sample_instrs(isa) {
+                let mut bytes = Vec::new();
+                encode_instr(instr, isa, &mut bytes).unwrap();
+                let (decoded, len) = decode_instr(&bytes, 0, isa).unwrap();
+                assert_eq!(decoded, instr, "{isa:?}");
+                assert_eq!(len, bytes.len(), "{isa:?} {instr:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn arm_records_are_fixed_length() {
+        for instr in sample_instrs(Isa::Arm32ish) {
+            let mut bytes = Vec::new();
+            encode_instr(instr, Isa::Arm32ish, &mut bytes).unwrap();
+            assert_eq!(bytes.len(), 8);
+        }
+    }
+
+    #[test]
+    fn x86_rejects_three_address_alu() {
+        let mut out = Vec::new();
+        let r = encode_instr(
+            MInstr::AluReg { op: AluOp::Add, dst: Reg(0), a: Reg(1), b: Reg(2) },
+            Isa::X86ish,
+            &mut out,
+        );
+        assert_eq!(r, Err(EncodeError::TwoAddressViolation));
+    }
+
+    #[test]
+    fn register_ranges_are_isa_specific() {
+        let mut out = Vec::new();
+        // r12 valid on ARM32ish, invalid on X86ish.
+        assert!(encode_instr(
+            MInstr::Push { src: Reg(12) },
+            Isa::Arm32ish,
+            &mut out
+        )
+        .is_ok());
+        assert_eq!(
+            encode_instr(MInstr::Push { src: Reg(12) }, Isa::X86ish, &mut out),
+            Err(EncodeError::BadRegister { reg: 12 })
+        );
+    }
+
+    #[test]
+    fn bad_opcode_decodes_to_none() {
+        assert!(decode_instr(&[0xFF, 0, 0, 0, 0, 0, 0, 0], 0, Isa::X86ish).is_none());
+        assert!(decode_instr(&[0xFF, 0, 0, 0, 0, 0, 0, 0], 0, Isa::Arm32ish).is_none());
+        assert!(decode_instr(&[OPC_MOV_IMM, 0], 0, Isa::X86ish).is_none(), "truncated");
+    }
+}

@@ -1,0 +1,425 @@
+//! The machine instruction set and ISA descriptions.
+
+/// A general-purpose register.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Reg(pub u8);
+
+/// A float register (the simulator has four, F0–F3).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct FReg(pub u8);
+
+/// The two synthetic target ISAs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Isa {
+    /// 8 registers, two-address ALU, variable-length encoding.
+    X86ish,
+    /// 16 registers, three-address ALU, fixed 8-byte encoding.
+    Arm32ish,
+}
+
+impl Isa {
+    /// Number of general-purpose registers.
+    pub fn reg_count(self) -> u8 {
+        match self {
+            Isa::X86ish => 8,
+            Isa::Arm32ish => 16,
+        }
+    }
+
+    /// The stack-pointer register of this ISA's convention.
+    pub fn sp(self) -> Reg {
+        match self {
+            Isa::X86ish => Reg(7),
+            Isa::Arm32ish => Reg(13),
+        }
+    }
+
+    /// The frame-pointer register of this ISA's convention.
+    pub fn fp(self) -> Reg {
+        match self {
+            Isa::X86ish => Reg(6),
+            Isa::Arm32ish => Reg(11),
+        }
+    }
+
+    /// Whether ALU register ops must have `dst == a` (two-address).
+    pub fn two_address(self) -> bool {
+        matches!(self, Isa::X86ish)
+    }
+
+    /// Human-readable name as used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Isa::X86ish => "x86",
+            Isa::Arm32ish => "ARM32",
+        }
+    }
+}
+
+/// Integer ALU operations.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum AluOp {
+    Add,
+    Sub,
+    Mul,
+    And,
+    Or,
+    Xor,
+    /// Logical shift left.
+    Shl,
+    /// Arithmetic shift right.
+    Sar,
+    /// Logical shift right.
+    Shr,
+    /// Truncated signed division (`b == 0` yields 0, no trap —
+    /// compiled code checks divisors first, like Cog does).
+    Div,
+    /// Truncated signed remainder (`b == 0` yields 0).
+    Rem,
+}
+
+impl AluOp {
+    pub(crate) fn from_bits(b: u8) -> Option<AluOp> {
+        Some(match b {
+            0 => AluOp::Add,
+            1 => AluOp::Sub,
+            2 => AluOp::Mul,
+            3 => AluOp::And,
+            4 => AluOp::Or,
+            5 => AluOp::Xor,
+            6 => AluOp::Shl,
+            7 => AluOp::Sar,
+            8 => AluOp::Shr,
+            9 => AluOp::Div,
+            10 => AluOp::Rem,
+            _ => return None,
+        })
+    }
+    pub(crate) fn to_bits(self) -> u8 {
+        match self {
+            AluOp::Add => 0,
+            AluOp::Sub => 1,
+            AluOp::Mul => 2,
+            AluOp::And => 3,
+            AluOp::Or => 4,
+            AluOp::Xor => 5,
+            AluOp::Shl => 6,
+            AluOp::Sar => 7,
+            AluOp::Shr => 8,
+            AluOp::Div => 9,
+            AluOp::Rem => 10,
+        }
+    }
+}
+
+/// Float ALU operations.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum FAluOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    /// Unary: fractional part of `a` (operand `b` ignored).
+    Fract,
+}
+
+impl FAluOp {
+    pub(crate) fn from_bits(b: u8) -> Option<FAluOp> {
+        Some(match b {
+            0 => FAluOp::Add,
+            1 => FAluOp::Sub,
+            2 => FAluOp::Mul,
+            3 => FAluOp::Div,
+            4 => FAluOp::Fract,
+            _ => return None,
+        })
+    }
+    pub(crate) fn to_bits(self) -> u8 {
+        match self {
+            FAluOp::Add => 0,
+            FAluOp::Sub => 1,
+            FAluOp::Mul => 2,
+            FAluOp::Div => 3,
+            FAluOp::Fract => 4,
+        }
+    }
+}
+
+/// Branch conditions over the flags (signed comparisons).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum Cond {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// Signed overflow set by the last ALU op.
+    Ov,
+    /// Signed overflow clear.
+    NoOv,
+}
+
+impl Cond {
+    pub(crate) fn from_bits(b: u8) -> Option<Cond> {
+        Some(match b {
+            0 => Cond::Eq,
+            1 => Cond::Ne,
+            2 => Cond::Lt,
+            3 => Cond::Le,
+            4 => Cond::Gt,
+            5 => Cond::Ge,
+            6 => Cond::Ov,
+            7 => Cond::NoOv,
+            _ => return None,
+        })
+    }
+    pub(crate) fn to_bits(self) -> u8 {
+        match self {
+            Cond::Eq => 0,
+            Cond::Ne => 1,
+            Cond::Lt => 2,
+            Cond::Le => 3,
+            Cond::Gt => 4,
+            Cond::Ge => 5,
+            Cond::Ov => 6,
+            Cond::NoOv => 7,
+        }
+    }
+}
+
+/// Runtime-call kinds compiled code may perform.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TrampolineKind {
+    /// A message send: halts the machine; selector id in the payload,
+    /// receiver/arguments per calling convention.
+    Send,
+    /// Allocate a boxed float from float register F0; execution
+    /// continues with the fresh oop in the payload register.
+    AllocFloat,
+    /// Allocate an object. The payload packs `size_reg (bits 0..8) |
+    /// class_index (bits 8..20) | format (bits 20..24)`; the size is
+    /// read untagged from `size_reg`, which receives the fresh oop.
+    AllocObject,
+}
+
+impl TrampolineKind {
+    pub(crate) fn from_bits(b: u8) -> Option<TrampolineKind> {
+        Some(match b {
+            0 => TrampolineKind::Send,
+            1 => TrampolineKind::AllocFloat,
+            2 => TrampolineKind::AllocObject,
+            _ => return None,
+        })
+    }
+    pub(crate) fn to_bits(self) -> u8 {
+        match self {
+            TrampolineKind::Send => 0,
+            TrampolineKind::AllocFloat => 1,
+            TrampolineKind::AllocObject => 2,
+        }
+    }
+}
+
+/// One machine instruction (ISA-independent semantics; the encodings
+/// differ per ISA).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum MInstr {
+    /// `dst ← imm`.
+    MovImm {
+        /// Destination.
+        dst: Reg,
+        /// 32-bit immediate.
+        imm: u32,
+    },
+    /// `dst ← src`.
+    MovReg {
+        /// Destination.
+        dst: Reg,
+        /// Source.
+        src: Reg,
+    },
+    /// `dst ← mem[base + off]` (32-bit).
+    Load {
+        /// Destination.
+        dst: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        off: i16,
+    },
+    /// `mem[base + off] ← src`.
+    Store {
+        /// Source.
+        src: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        off: i16,
+    },
+    /// Push `src` on the machine stack.
+    Push {
+        /// Source.
+        src: Reg,
+    },
+    /// Pop the machine stack into `dst`.
+    PopR {
+        /// Destination.
+        dst: Reg,
+    },
+    /// Three-address ALU (`dst ← a op b`). On two-address ISAs the
+    /// encoder requires `dst == a`.
+    AluReg {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        dst: Reg,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+    },
+    /// ALU with immediate (`dst ← a op imm`).
+    AluImm {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        dst: Reg,
+        /// Left operand.
+        a: Reg,
+        /// Immediate.
+        imm: u32,
+    },
+    /// Compare two registers (signed), setting flags.
+    Cmp {
+        /// Left.
+        a: Reg,
+        /// Right.
+        b: Reg,
+    },
+    /// Compare a register against an immediate.
+    CmpImm {
+        /// Left.
+        a: Reg,
+        /// Immediate.
+        imm: u32,
+    },
+    /// Unconditional pc-relative jump (from the end of this
+    /// instruction).
+    Jmp {
+        /// Displacement in bytes.
+        off: i32,
+    },
+    /// Conditional pc-relative jump.
+    JmpCc {
+        /// Condition.
+        cc: Cond,
+        /// Displacement in bytes.
+        off: i32,
+    },
+    /// Runtime call; `Send` halts the machine, the allocation
+    /// trampolines run internally and continue. `payload` names a
+    /// register for allocations and carries the selector id for sends.
+    CallTramp {
+        /// Kind of runtime call.
+        kind: TrampolineKind,
+        /// Selector id (Send) or register number (allocations).
+        payload: u32,
+    },
+    /// Return: pop the return address; the setup sentinel ends the
+    /// run.
+    Ret,
+    /// Breakpoint / Stop (§4.2's fall-through detector); `code`
+    /// distinguishes multiple stops in one method.
+    Brk {
+        /// Which breakpoint.
+        code: u8,
+    },
+    /// Load 8 bytes at `base + off` into a float register.
+    FLoad {
+        /// Destination float register.
+        fd: FReg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        off: i16,
+    },
+    /// Float ALU.
+    FAlu {
+        /// Operation.
+        op: FAluOp,
+        /// Destination.
+        fd: FReg,
+        /// Left operand.
+        fa: FReg,
+        /// Right operand (ignored for unary ops).
+        fb: FReg,
+    },
+    /// Compare two float registers, setting flags.
+    FCmp {
+        /// Left.
+        fa: FReg,
+        /// Right.
+        fb: FReg,
+    },
+    /// Truncate a float register to a signed integer in `dst`; sets
+    /// the overflow flag when the result does not fit the tagged
+    /// SmallInteger range.
+    FToIntChecked {
+        /// Destination.
+        dst: Reg,
+        /// Source float register.
+        fs: FReg,
+    },
+    /// IEEE exponent of a float register as a signed integer.
+    FExponent {
+        /// Destination.
+        dst: Reg,
+        /// Source float register.
+        fs: FReg,
+    },
+    /// Convert a signed integer register to float.
+    IntToF {
+        /// Destination float register.
+        fd: FReg,
+        /// Source register.
+        src: Reg,
+    },
+    /// No operation.
+    Nop,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isa_conventions() {
+        assert_eq!(Isa::X86ish.reg_count(), 8);
+        assert_eq!(Isa::Arm32ish.reg_count(), 16);
+        assert!(Isa::X86ish.two_address());
+        assert!(!Isa::Arm32ish.two_address());
+        assert_ne!(Isa::X86ish.sp(), Isa::X86ish.fp());
+    }
+
+    #[test]
+    fn op_bit_roundtrips() {
+        for b in 0..11 {
+            assert_eq!(AluOp::from_bits(b).unwrap().to_bits(), b);
+        }
+        for b in 0..8 {
+            assert_eq!(Cond::from_bits(b).unwrap().to_bits(), b);
+        }
+        for b in 0..5 {
+            assert_eq!(FAluOp::from_bits(b).unwrap().to_bits(), b);
+        }
+        for b in 0..3 {
+            assert_eq!(TrampolineKind::from_bits(b).unwrap().to_bits(), b);
+        }
+        assert!(AluOp::from_bits(11).is_none());
+        assert!(Cond::from_bits(8).is_none());
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests of the machine-code encodings: every well-formed
+//! instruction round-trips through encode/decode on both ISAs, and the
+//! decoder never panics on arbitrary bytes.
+
+use igjit_machine::{
+    decode_instr, disassemble, encode_instr, AluOp, Cond, FAluOp, FReg, Isa, MInstr, Reg,
+    TrampolineKind,
+};
+use proptest::prelude::*;
+
+fn arb_reg(isa: Isa) -> BoxedStrategy<Reg> {
+    (0..isa.reg_count()).prop_map(Reg).boxed()
+}
+
+fn arb_freg() -> impl Strategy<Value = FReg> {
+    (0u8..4).prop_map(FReg)
+}
+
+fn arb_alu() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Mul),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Shl),
+        Just(AluOp::Sar),
+        Just(AluOp::Shr),
+        Just(AluOp::Div),
+        Just(AluOp::Rem),
+    ]
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    prop_oneof![
+        Just(Cond::Eq),
+        Just(Cond::Ne),
+        Just(Cond::Lt),
+        Just(Cond::Le),
+        Just(Cond::Gt),
+        Just(Cond::Ge),
+        Just(Cond::Ov),
+        Just(Cond::NoOv),
+    ]
+}
+
+fn arb_instr(isa: Isa) -> impl Strategy<Value = MInstr> {
+    let r = arb_reg(isa);
+    prop_oneof![
+        (r.clone(), any::<u32>()).prop_map(|(dst, imm)| MInstr::MovImm { dst, imm }),
+        (r.clone(), r.clone()).prop_map(|(dst, src)| MInstr::MovReg { dst, src }),
+        (r.clone(), r.clone(), any::<i16>())
+            .prop_map(|(dst, base, off)| MInstr::Load { dst, base, off }),
+        (r.clone(), r.clone(), any::<i16>())
+            .prop_map(|(src, base, off)| MInstr::Store { src, base, off }),
+        r.clone().prop_map(|src| MInstr::Push { src }),
+        r.clone().prop_map(|dst| MInstr::PopR { dst }),
+        (arb_alu(), r.clone(), r.clone()).prop_map(move |(op, dst, b)| {
+            // Two-address compatible: dst == a always round-trips.
+            MInstr::AluReg { op, dst, a: dst, b }
+        }),
+        (arb_alu(), r.clone(), any::<u32>())
+            .prop_map(|(op, dst, imm)| MInstr::AluImm { op, dst, a: dst, imm }),
+        (r.clone(), r.clone()).prop_map(|(a, b)| MInstr::Cmp { a, b }),
+        (r.clone(), any::<u32>()).prop_map(|(a, imm)| MInstr::CmpImm { a, imm }),
+        any::<i32>().prop_map(|off| MInstr::Jmp { off }),
+        (arb_cond(), any::<i32>()).prop_map(|(cc, off)| MInstr::JmpCc { cc, off }),
+        any::<u32>().prop_map(|p| MInstr::CallTramp { kind: TrampolineKind::Send, payload: p }),
+        Just(MInstr::Ret),
+        any::<u8>().prop_map(|code| MInstr::Brk { code }),
+        (arb_freg(), r.clone(), any::<i16>())
+            .prop_map(|(fd, base, off)| MInstr::FLoad { fd, base, off }),
+        (arb_freg(), arb_freg(), arb_freg()).prop_map(|(fd, fa, fb)| MInstr::FAlu {
+            op: FAluOp::Mul,
+            fd,
+            fa,
+            fb
+        }),
+        (arb_freg(), arb_freg()).prop_map(|(fa, fb)| MInstr::FCmp { fa, fb }),
+        (r.clone(), arb_freg()).prop_map(|(dst, fs)| MInstr::FToIntChecked { dst, fs }),
+        (arb_freg(), r).prop_map(|(fd, src)| MInstr::IntToF { fd, src }),
+        Just(MInstr::Nop),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn prop_roundtrip_x86(instr in arb_instr(Isa::X86ish)) {
+        let mut bytes = Vec::new();
+        encode_instr(instr, Isa::X86ish, &mut bytes).unwrap();
+        let (decoded, len) = decode_instr(&bytes, 0, Isa::X86ish).unwrap();
+        prop_assert_eq!(decoded, instr);
+        prop_assert_eq!(len, bytes.len());
+    }
+
+    #[test]
+    fn prop_roundtrip_arm(instr in arb_instr(Isa::Arm32ish)) {
+        let mut bytes = Vec::new();
+        encode_instr(instr, Isa::Arm32ish, &mut bytes).unwrap();
+        let (decoded, len) = decode_instr(&bytes, 0, Isa::Arm32ish).unwrap();
+        prop_assert_eq!(decoded, instr);
+        prop_assert_eq!(len, 8, "Arm32ish is fixed-width");
+    }
+
+    #[test]
+    fn prop_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64),
+                                 pc in 0usize..70) {
+        let _ = decode_instr(&bytes, pc, Isa::X86ish);
+        let _ = decode_instr(&bytes, pc, Isa::Arm32ish);
+    }
+
+    #[test]
+    fn prop_streams_roundtrip(instrs in proptest::collection::vec(arb_instr(Isa::Arm32ish), 0..20)) {
+        let mut code = Vec::new();
+        for &i in &instrs {
+            encode_instr(i, Isa::Arm32ish, &mut code).unwrap();
+        }
+        let lines = disassemble(&code, Isa::Arm32ish);
+        prop_assert_eq!(lines.len(), instrs.len());
+        for (line, instr) in lines.iter().zip(&instrs) {
+            prop_assert_eq!(&line.instr, instr);
+        }
+    }
+}

@@ -1,0 +1,485 @@
+//! The constraint language: variables, kinds, linear expressions and
+//! constraint atoms.
+
+/// Identifies a variable within one [`Problem`](crate::Problem).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// Index into the problem's variable tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Runtime kinds a VM value can have, as seen by the semantic
+/// constraint model. One kind per well-known class, plus `SmallInt`
+/// for tagged integers.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u8)]
+#[allow(missing_docs)]
+pub enum Kind {
+    SmallInt = 0,
+    Float = 1,
+    Array = 2,
+    ByteArray = 3,
+    String = 4,
+    Symbol = 5,
+    Object = 6,
+    CompiledMethod = 7,
+    ExternalAddress = 8,
+    WordArray = 9,
+    Context = 10,
+    Nil = 11,
+    True = 12,
+    False = 13,
+    Association = 14,
+}
+
+impl Kind {
+    /// All kinds, in bit order.
+    pub const ALL: [Kind; 15] = [
+        Kind::SmallInt,
+        Kind::Float,
+        Kind::Array,
+        Kind::ByteArray,
+        Kind::String,
+        Kind::Symbol,
+        Kind::Object,
+        Kind::CompiledMethod,
+        Kind::ExternalAddress,
+        Kind::WordArray,
+        Kind::Context,
+        Kind::Nil,
+        Kind::True,
+        Kind::False,
+        Kind::Association,
+    ];
+
+    fn bit(self) -> u16 {
+        1u16 << (self as u8)
+    }
+}
+
+/// A set of kinds, the domain of a variable's kind attribute.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KindSet(u16);
+
+const ALL_KINDS_MASK: u16 = (1 << 15) - 1;
+
+impl KindSet {
+    /// The empty set (an unsatisfiable domain).
+    pub const EMPTY: KindSet = KindSet(0);
+    /// Every kind.
+    pub const ANY: KindSet = KindSet(ALL_KINDS_MASK);
+
+    /// A singleton set.
+    pub fn only(kind: Kind) -> KindSet {
+        KindSet(kind.bit())
+    }
+
+    /// Builds a set from several kinds.
+    pub fn of(kinds: &[Kind]) -> KindSet {
+        KindSet(kinds.iter().fold(0, |m, k| m | k.bit()))
+    }
+
+    /// Set complement (the negation of a kind test).
+    pub fn complement(self) -> KindSet {
+        KindSet(!self.0 & ALL_KINDS_MASK)
+    }
+
+    /// Set intersection (constraint conjunction).
+    pub fn intersect(self, other: KindSet) -> KindSet {
+        KindSet(self.0 & other.0)
+    }
+
+    /// Set union.
+    pub fn union(self, other: KindSet) -> KindSet {
+        KindSet(self.0 | other.0)
+    }
+
+    /// Membership test.
+    pub fn contains(self, kind: Kind) -> bool {
+        self.0 & kind.bit() != 0
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of kinds in the set.
+    pub fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Iterates the kinds in the set in bit order.
+    pub fn iter(self) -> impl Iterator<Item = Kind> {
+        Kind::ALL.into_iter().filter(move |k| self.contains(*k))
+    }
+
+    /// The lowest-numbered kind in the set, if any. The solver uses
+    /// this as the default pick, which makes `SmallInt` the preferred
+    /// kind for unconstrained variables.
+    pub fn first(self) -> Option<Kind> {
+        self.iter().next()
+    }
+}
+
+impl std::fmt::Debug for KindSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// A linear expression `c + Σ coeff·var` over the integer attributes
+/// of variables.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct LinExpr {
+    /// Constant term.
+    pub constant: i64,
+    /// Coefficient/variable pairs; variables appear at most once.
+    pub terms: Vec<(i64, VarId)>,
+}
+
+impl LinExpr {
+    /// The constant expression `c`.
+    pub fn constant(c: i64) -> LinExpr {
+        LinExpr { constant: c, terms: Vec::new() }
+    }
+
+    /// The expression `1·v`.
+    pub fn var(v: VarId) -> LinExpr {
+        LinExpr { constant: 0, terms: vec![(1, v)] }
+    }
+
+    /// The expression `coeff·v`.
+    pub fn scaled_var(coeff: i64, v: VarId) -> LinExpr {
+        LinExpr { constant: 0, terms: vec![(coeff, v)] }
+    }
+
+    /// Sum of two expressions.
+    pub fn plus(&self, other: &LinExpr) -> LinExpr {
+        let mut r = self.clone();
+        r.constant += other.constant;
+        for &(c, v) in &other.terms {
+            r.add_term(c, v);
+        }
+        r
+    }
+
+    /// Difference of two expressions.
+    pub fn minus(&self, other: &LinExpr) -> LinExpr {
+        self.plus(&other.negated())
+    }
+
+    /// Negation.
+    pub fn negated(&self) -> LinExpr {
+        LinExpr {
+            constant: -self.constant,
+            terms: self.terms.iter().map(|&(c, v)| (-c, v)).collect(),
+        }
+    }
+
+    /// Adds `offset` to the constant term.
+    pub fn offset(&self, offset: i64) -> LinExpr {
+        let mut r = self.clone();
+        r.constant += offset;
+        r
+    }
+
+    fn add_term(&mut self, coeff: i64, var: VarId) {
+        if let Some(t) = self.terms.iter_mut().find(|t| t.1 == var) {
+            t.0 += coeff;
+        } else {
+            self.terms.push((coeff, var));
+        }
+        self.terms.retain(|t| t.0 != 0);
+    }
+
+    /// All variables mentioned with non-zero coefficient.
+    pub fn vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.terms.iter().map(|t| t.1)
+    }
+
+    /// Evaluates the expression under an assignment function.
+    pub fn eval(&self, value_of: impl Fn(VarId) -> i64) -> i64 {
+        self.terms
+            .iter()
+            .fold(self.constant, |acc, &(c, v)| acc + c * value_of(v))
+    }
+}
+
+/// Comparison operators for integer and float constraints.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum CmpOp {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+impl CmpOp {
+    /// Logical negation of the comparison.
+    pub fn negated(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+        }
+    }
+
+    /// Applies the comparison to two `i64`s.
+    pub fn holds_int(self, a: i64, b: i64) -> bool {
+        match self {
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+        }
+    }
+
+    /// Applies the comparison to two `f64`s.
+    pub fn holds_float(self, a: f64, b: f64) -> bool {
+        match self {
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+        }
+    }
+}
+
+/// A float-valued term: a variable's float attribute or a constant.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum FloatTerm {
+    /// The float attribute of a variable.
+    Var(VarId),
+    /// A float constant.
+    Const(f64),
+}
+
+/// A constraint atom (or a conjunction/disjunction of atoms).
+#[derive(Clone, PartialEq, Debug)]
+pub enum Constraint {
+    /// The variable's kind lies in the given set.
+    Kind {
+        /// Constrained variable.
+        var: VarId,
+        /// Allowed kinds.
+        allowed: KindSet,
+    },
+    /// `lhs op rhs` over integer attributes.
+    Int(CmpOp, LinExpr, LinExpr),
+    /// `lhs op rhs` over float attributes.
+    Float(CmpOp, FloatTerm, FloatTerm),
+    /// Two object variables denote the same object.
+    ObjEq(VarId, VarId),
+    /// Two object variables denote distinct objects.
+    ObjNe(VarId, VarId),
+    /// At least one branch holds.
+    Or(Vec<Constraint>),
+    /// Every branch holds.
+    And(Vec<Constraint>),
+}
+
+impl Constraint {
+    /// `var` has exactly the given kind.
+    pub fn kind_is(var: VarId, kind: Kind) -> Constraint {
+        Constraint::Kind { var, allowed: KindSet::only(kind) }
+    }
+
+    /// `var` has any kind but the given one.
+    pub fn kind_is_not(var: VarId, kind: Kind) -> Constraint {
+        Constraint::Kind { var, allowed: KindSet::only(kind).complement() }
+    }
+
+    /// `expr` lies in the tagged SmallInteger range.
+    pub fn in_small_int_range(expr: LinExpr) -> Constraint {
+        Constraint::And(vec![
+            Constraint::Int(CmpOp::Ge, expr.clone(), LinExpr::constant(crate::SMALL_INT_MIN)),
+            Constraint::Int(CmpOp::Le, expr, LinExpr::constant(crate::SMALL_INT_MAX)),
+        ])
+    }
+
+    /// `expr` lies outside the tagged SmallInteger range (the overflow
+    /// branch of inlined arithmetic).
+    pub fn not_in_small_int_range(expr: LinExpr) -> Constraint {
+        Constraint::Or(vec![
+            Constraint::Int(CmpOp::Lt, expr.clone(), LinExpr::constant(crate::SMALL_INT_MIN)),
+            Constraint::Int(CmpOp::Gt, expr, LinExpr::constant(crate::SMALL_INT_MAX)),
+        ])
+    }
+
+    /// Logical negation, used by the explorer's path negation step.
+    pub fn negated(&self) -> Constraint {
+        match self {
+            Constraint::Kind { var, allowed } => {
+                Constraint::Kind { var: *var, allowed: allowed.complement() }
+            }
+            Constraint::Int(op, l, r) => Constraint::Int(op.negated(), l.clone(), r.clone()),
+            Constraint::Float(op, l, r) => Constraint::Float(op.negated(), *l, *r),
+            Constraint::ObjEq(a, b) => Constraint::ObjNe(*a, *b),
+            Constraint::ObjNe(a, b) => Constraint::ObjEq(*a, *b),
+            Constraint::Or(cs) => Constraint::And(cs.iter().map(|c| c.negated()).collect()),
+            Constraint::And(cs) => Constraint::Or(cs.iter().map(|c| c.negated()).collect()),
+        }
+    }
+
+    /// All variables mentioned by the constraint.
+    pub fn vars(&self, out: &mut Vec<VarId>) {
+        match self {
+            Constraint::Kind { var, .. } => out.push(*var),
+            Constraint::Int(_, l, r) => {
+                out.extend(l.vars());
+                out.extend(r.vars());
+            }
+            Constraint::Float(_, l, r) => {
+                for t in [l, r] {
+                    if let FloatTerm::Var(v) = t {
+                        out.push(*v);
+                    }
+                }
+            }
+            Constraint::ObjEq(a, b) | Constraint::ObjNe(a, b) => {
+                out.push(*a);
+                out.push(*b);
+            }
+            Constraint::Or(cs) | Constraint::And(cs) => {
+                for c in cs {
+                    c.vars(out);
+                }
+            }
+        }
+    }
+
+    /// Largest absolute integer constant mentioned (precision gate).
+    pub fn max_abs_constant(&self) -> i64 {
+        match self {
+            Constraint::Kind { .. } | Constraint::Float(..) | Constraint::ObjEq(..)
+            | Constraint::ObjNe(..) => 0,
+            Constraint::Int(_, l, r) => {
+                let m = |e: &LinExpr| {
+                    e.terms
+                        .iter()
+                        .map(|t| t.0.saturating_abs())
+                        .chain(std::iter::once(e.constant.saturating_abs()))
+                        .max()
+                        .unwrap_or(0)
+                };
+                m(l).max(m(r))
+            }
+            Constraint::Or(cs) | Constraint::And(cs) => {
+                cs.iter().map(|c| c.max_abs_constant()).max().unwrap_or(0)
+            }
+        }
+    }
+}
+
+/// Initial domain of a fresh variable.
+#[derive(Clone, Copy, Debug)]
+pub struct VarSpec {
+    /// Allowed kinds.
+    pub kinds: KindSet,
+    /// Inclusive bounds on the integer attribute.
+    pub int_bounds: (i64, i64),
+}
+
+impl VarSpec {
+    /// Unconstrained: any kind, SmallInteger-range integer attribute.
+    pub fn any() -> VarSpec {
+        VarSpec {
+            kinds: KindSet::ANY,
+            int_bounds: (crate::SMALL_INT_MIN, crate::SMALL_INT_MAX),
+        }
+    }
+
+    /// A pure counter (stack size, slot count): kind fixed to
+    /// SmallInt, value in `[0, max]`.
+    pub fn counter(max: i64) -> VarSpec {
+        VarSpec { kinds: KindSet::only(Kind::SmallInt), int_bounds: (0, max) }
+    }
+
+    /// An integer-valued variable within the given bounds.
+    pub fn int_in(lo: i64, hi: i64) -> VarSpec {
+        VarSpec { kinds: KindSet::only(Kind::SmallInt), int_bounds: (lo, hi) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_set_algebra() {
+        let s = KindSet::of(&[Kind::SmallInt, Kind::Float]);
+        assert!(s.contains(Kind::SmallInt));
+        assert!(!s.contains(Kind::Array));
+        assert_eq!(s.len(), 2);
+        let c = s.complement();
+        assert!(!c.contains(Kind::SmallInt));
+        assert!(c.contains(Kind::Array));
+        assert_eq!(s.intersect(c), KindSet::EMPTY);
+        assert_eq!(s.union(c), KindSet::ANY);
+        assert_eq!(KindSet::ANY.complement(), KindSet::EMPTY);
+    }
+
+    #[test]
+    fn kind_set_first_prefers_small_int() {
+        assert_eq!(KindSet::ANY.first(), Some(Kind::SmallInt));
+        assert_eq!(KindSet::only(Kind::Float).first(), Some(Kind::Float));
+        assert_eq!(KindSet::EMPTY.first(), None);
+    }
+
+    #[test]
+    fn lin_expr_combines_terms() {
+        let x = VarId(0);
+        let y = VarId(1);
+        let e = LinExpr::var(x).plus(&LinExpr::var(y)).plus(&LinExpr::var(x));
+        assert_eq!(e.terms, vec![(2, x), (1, y)]);
+        let z = e.minus(&LinExpr::scaled_var(2, x));
+        assert_eq!(z.terms, vec![(1, y)]);
+        assert_eq!(z.eval(|v| if v == y { 7 } else { 0 }), 7);
+    }
+
+    #[test]
+    fn cmp_negation_is_involutive() {
+        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne] {
+            assert_eq!(op.negated().negated(), op);
+            // a op b XOR a negated(op) b
+            assert_ne!(op.holds_int(3, 5), op.negated().holds_int(3, 5));
+        }
+    }
+
+    #[test]
+    fn constraint_negation_de_morgan() {
+        let x = VarId(0);
+        let c = Constraint::not_in_small_int_range(LinExpr::var(x));
+        let n = c.negated();
+        match n {
+            Constraint::And(parts) => assert_eq!(parts.len(), 2),
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn max_abs_constant_finds_big_numbers() {
+        let x = VarId(0);
+        let c = Constraint::Int(
+            CmpOp::Lt,
+            LinExpr::var(x),
+            LinExpr::constant(1 << 60),
+        );
+        assert!(c.max_abs_constant() >= 1 << 60);
+    }
+}

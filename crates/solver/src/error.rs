@@ -1,0 +1,32 @@
+//! Solver errors.
+
+/// Why a solve attempt produced no model.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SolveError {
+    /// The constraint set is unsatisfiable.
+    Unsat,
+    /// The problem mentions integers wider than the solver's 56-bit
+    /// precision (§4.3 of the paper). Paths raising this are excluded
+    /// by the curation step, not silently mis-solved.
+    PrecisionExceeded,
+    /// The backtracking search hit its node budget before deciding.
+    ResourceLimit,
+    /// The problem uses a feature the solver has no theory for
+    /// (currently: bitwise operators, by design).
+    Unsupported(&'static str),
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::Unsat => write!(f, "unsatisfiable"),
+            SolveError::PrecisionExceeded => {
+                write!(f, "integer constant exceeds {}-bit solver precision", crate::PRECISION_BITS)
+            }
+            SolveError::ResourceLimit => write!(f, "search node budget exhausted"),
+            SolveError::Unsupported(what) => write!(f, "no theory for {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}

@@ -1,0 +1,766 @@
+//! The solving engine: preprocessing, interval propagation and
+//! backtracking search.
+
+use crate::constraint::{CmpOp, Constraint, FloatTerm, Kind, KindSet, LinExpr, VarId, VarSpec};
+use crate::error::SolveError;
+use crate::model::{Assignment, Model};
+use crate::PRECISION_BITS;
+
+/// A constraint-satisfaction problem: variables plus asserted
+/// constraints.
+#[derive(Clone, Debug, Default)]
+pub struct Problem {
+    specs: Vec<VarSpec>,
+    constraints: Vec<Constraint>,
+}
+
+impl Problem {
+    /// An empty problem.
+    pub fn new() -> Problem {
+        Problem::default()
+    }
+
+    /// Introduces a fresh variable with the given initial domain.
+    pub fn new_var(&mut self, spec: VarSpec) -> VarId {
+        let id = VarId(self.specs.len() as u32);
+        self.specs.push(spec);
+        id
+    }
+
+    /// Asserts a constraint.
+    pub fn assert(&mut self, constraint: Constraint) {
+        self.constraints.push(constraint);
+    }
+
+    /// Number of variables.
+    pub fn var_count(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// The asserted constraints, in assertion order.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// The variable specs, in creation order.
+    pub fn specs(&self) -> &[VarSpec] {
+        &self.specs
+    }
+}
+
+/// Resource limits for the backtracking search.
+#[derive(Clone, Copy, Debug)]
+pub struct SearchLimits {
+    /// Maximum number of search nodes visited.
+    pub max_nodes: usize,
+}
+
+impl Default for SearchLimits {
+    fn default() -> Self {
+        SearchLimits { max_nodes: 50_000 }
+    }
+}
+
+/// Solves with default limits.
+pub fn solve(problem: &Problem) -> Result<Model, SolveError> {
+    solve_with_limits(problem, SearchLimits::default())
+}
+
+/// Solves with explicit limits.
+pub fn solve_with_limits(problem: &Problem, limits: SearchLimits) -> Result<Model, SolveError> {
+    let precision_cap: i64 = 1 << (PRECISION_BITS - 1);
+    for c in &problem.constraints {
+        if c.max_abs_constant() >= precision_cap {
+            return Err(SolveError::PrecisionExceeded);
+        }
+    }
+    for s in &problem.specs {
+        if s.int_bounds.0.saturating_abs() >= precision_cap
+            || s.int_bounds.1.saturating_abs() >= precision_cap
+        {
+            return Err(SolveError::PrecisionExceeded);
+        }
+    }
+    Solver::new(problem, limits).run()
+}
+
+// ---------------------------------------------------------------------------
+// Internal solver
+// ---------------------------------------------------------------------------
+
+#[derive(Clone)]
+struct Store {
+    kinds: Vec<KindSet>,
+    lo: Vec<i64>,
+    hi: Vec<i64>,
+    excluded: Vec<Vec<i64>>,
+}
+
+struct Solver<'p> {
+    problem: &'p Problem,
+    root: Vec<u32>,
+    distinct: Vec<(u32, u32)>,
+    /// Linear inequalities, normalized to `expr <= 0`, with vars
+    /// rewritten to alias roots.
+    inequalities: Vec<LinExpr>,
+    /// `Ne` constraints kept for the leaf check.
+    residual: Vec<Constraint>,
+    /// `Or` constraints to branch on (disjuncts unflattened).
+    ors: Vec<Vec<Constraint>>,
+    floats: Vec<Constraint>,
+    nodes_left: usize,
+}
+
+impl<'p> Solver<'p> {
+    fn new(problem: &'p Problem, limits: SearchLimits) -> Solver<'p> {
+        Solver {
+            problem,
+            root: (0..problem.var_count() as u32).collect(),
+            distinct: Vec::new(),
+            inequalities: Vec::new(),
+            residual: Vec::new(),
+            ors: Vec::new(),
+            floats: Vec::new(),
+            nodes_left: limits.max_nodes,
+        }
+    }
+
+    fn find(&self, v: u32) -> u32 {
+        let mut v = v;
+        while self.root[v as usize] != v {
+            v = self.root[v as usize];
+        }
+        v
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Keep the smaller id as root for determinism.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.root[hi as usize] = lo;
+        }
+    }
+
+    fn rewrite_expr(&self, e: &LinExpr) -> LinExpr {
+        let mut out = LinExpr::constant(e.constant);
+        for &(c, v) in &e.terms {
+            out = out.plus(&LinExpr::scaled_var(c, VarId(self.find(v.0))));
+        }
+        out
+    }
+
+    fn run(&mut self) -> Result<Model, SolveError> {
+        // Pass 1: aliasing.
+        for c in &self.problem.constraints {
+            if let Constraint::ObjEq(a, b) = c {
+                self.union(a.0, b.0);
+            }
+        }
+        // Pass 2: build the initial store and classify constraints.
+        let n = self.problem.var_count();
+        let mut store = Store {
+            kinds: vec![KindSet::ANY; n],
+            lo: vec![i64::MIN / 4; n],
+            hi: vec![i64::MAX / 4; n],
+            excluded: vec![Vec::new(); n],
+        };
+        for (i, spec) in self.problem.specs.iter().enumerate() {
+            let r = self.find(i as u32) as usize;
+            store.kinds[r] = store.kinds[r].intersect(spec.kinds);
+            store.lo[r] = store.lo[r].max(spec.int_bounds.0);
+            store.hi[r] = store.hi[r].min(spec.int_bounds.1);
+        }
+        let constraints = self.problem.constraints.clone();
+        for c in &constraints {
+            self.assert_into(c, &mut store)?;
+        }
+        if !self.check_distinct_consistency() {
+            return Err(SolveError::Unsat);
+        }
+        // Pass 3: search.
+        match self.search(store) {
+            Some(model) => Ok(model),
+            None => {
+                if self.nodes_left == 0 {
+                    Err(SolveError::ResourceLimit)
+                } else {
+                    Err(SolveError::Unsat)
+                }
+            }
+        }
+    }
+
+    fn check_distinct_consistency(&self) -> bool {
+        self.distinct.iter().all(|&(a, b)| self.find(a) != self.find(b))
+    }
+
+    /// Asserts `c` into the store (kinds, inequalities) or queues it
+    /// for branching/leaf checking. Returns Err only on hard
+    /// structural unsatisfiability.
+    fn assert_into(&mut self, c: &Constraint, store: &mut Store) -> Result<(), SolveError> {
+        match c {
+            Constraint::Kind { var, allowed } => {
+                let r = self.find(var.0) as usize;
+                store.kinds[r] = store.kinds[r].intersect(*allowed);
+                if store.kinds[r].is_empty() {
+                    return Err(SolveError::Unsat);
+                }
+            }
+            Constraint::Int(op, l, r) => {
+                let e = self.rewrite_expr(&l.minus(r));
+                match op {
+                    CmpOp::Le => self.inequalities.push(e),
+                    CmpOp::Lt => self.inequalities.push(e.offset(1)),
+                    CmpOp::Ge => self.inequalities.push(e.negated()),
+                    CmpOp::Gt => self.inequalities.push(e.negated().offset(1)),
+                    CmpOp::Eq => {
+                        self.inequalities.push(e.clone());
+                        self.inequalities.push(e.negated());
+                    }
+                    CmpOp::Ne => {
+                        if e.terms.len() == 1 && e.terms[0].0.abs() == 1 {
+                            let (coeff, v) = e.terms[0];
+                            let excl = -e.constant * coeff.signum();
+                            store.excluded[v.index()].push(excl);
+                        }
+                        self.residual.push(Constraint::Int(CmpOp::Ne, l.clone(), r.clone()));
+                    }
+                }
+            }
+            Constraint::Float(..) => self.floats.push(c.clone()),
+            Constraint::ObjEq(..) => {} // handled in pass 1
+            Constraint::ObjNe(a, b) => self.distinct.push((a.0, b.0)),
+            Constraint::And(cs) => {
+                for c in cs {
+                    self.assert_into(c, store)?;
+                }
+            }
+            Constraint::Or(cs) => self.ors.push(cs.clone()),
+        }
+        Ok(())
+    }
+
+    /// Interval propagation to fixpoint. Returns false on an empty
+    /// domain.
+    fn propagate(&self, store: &mut Store) -> bool {
+        for _round in 0..64 {
+            let mut changed = false;
+            for e in &self.inequalities {
+                // e <= 0; tighten every variable's bound.
+                for &(coeff, v) in &e.terms {
+                    // coeff*v <= -constant - sum(other terms)
+                    let mut rhs_hi: i128 = -(e.constant as i128);
+                    let mut ok = true;
+                    for &(c2, v2) in &e.terms {
+                        if v2 == v {
+                            continue;
+                        }
+                        let (lo, hi) = (store.lo[v2.index()] as i128, store.hi[v2.index()] as i128);
+                        if lo > hi {
+                            ok = false;
+                            break;
+                        }
+                        // subtract the minimum of c2*v2
+                        let min = if c2 >= 0 { c2 as i128 * lo } else { c2 as i128 * hi };
+                        rhs_hi -= min;
+                    }
+                    if !ok {
+                        return false;
+                    }
+                    let i = v.index();
+                    if coeff > 0 {
+                        let bound = rhs_hi.div_euclid(coeff as i128);
+                        let bound = bound.clamp(i64::MIN as i128, i64::MAX as i128) as i64;
+                        if bound < store.hi[i] {
+                            store.hi[i] = bound;
+                            changed = true;
+                        }
+                    } else {
+                        // coeff < 0: v >= ceil(rhs_hi / coeff)
+                        let c = coeff as i128;
+                        let bound = -(-rhs_hi).div_euclid(-c);
+                        // ceil division for negative coeff:
+                        let bound2 = if rhs_hi.rem_euclid(c.abs()) == 0 {
+                            rhs_hi / c
+                        } else {
+                            rhs_hi.div_euclid(c) // rounds toward -inf; for negative divisor this is ceil of the true quotient
+                        };
+                        let _ = bound;
+                        let bound2 = bound2.clamp(i64::MIN as i128, i64::MAX as i128) as i64;
+                        if bound2 > store.lo[i] {
+                            store.lo[i] = bound2;
+                            changed = true;
+                        }
+                    }
+                    if store.lo[i] > store.hi[i] {
+                        return false;
+                    }
+                }
+                // Also check pure-constant infeasibility.
+                if e.terms.is_empty() && e.constant > 0 {
+                    return false;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        true
+    }
+
+    fn search(&mut self, store: Store) -> Option<Model> {
+        let pending_ors: Vec<usize> = (0..self.ors.len()).collect();
+        self.search_inner(store, &pending_ors)
+    }
+
+    fn search_inner(&mut self, mut store: Store, pending_ors: &[usize]) -> Option<Model> {
+        if self.nodes_left == 0 {
+            return None;
+        }
+        self.nodes_left -= 1;
+        if !self.propagate(&mut store) {
+            return None;
+        }
+        // Branch on the first pending Or.
+        if let Some((&oi, rest)) = pending_ors.split_first() {
+            let disjuncts = self.ors[oi].clone();
+            for d in disjuncts {
+                let mut child = store.clone();
+                let saved_ineq = self.inequalities.len();
+                let saved_res = self.residual.len();
+                let saved_floats = self.floats.len();
+                let saved_ors = self.ors.len();
+                let saved_distinct = self.distinct.len();
+                let ok = self.assert_into(&d, &mut child).is_ok();
+                // Newly nested Ors get appended; include them in pending.
+                let mut new_pending: Vec<usize> = rest.to_vec();
+                new_pending.extend(saved_ors..self.ors.len());
+                let result = if ok && self.check_distinct_consistency() {
+                    self.search_inner(child, &new_pending)
+                } else {
+                    None
+                };
+                if result.is_some() {
+                    return result;
+                }
+                self.inequalities.truncate(saved_ineq);
+                self.residual.truncate(saved_res);
+                self.floats.truncate(saved_floats);
+                self.ors.truncate(saved_ors);
+                self.distinct.truncate(saved_distinct);
+            }
+            return None;
+        }
+        // All Ors decided: assign integer variables.
+        let unassigned = (0..store.lo.len())
+            .filter(|&i| self.find(i as u32) as usize == i)
+            .find(|&i| store.lo[i] < store.hi[i] && self.var_is_interesting(i));
+        if let Some(i) = unassigned {
+            let (lo, hi) = (store.lo[i], store.hi[i]);
+            let mut candidates = vec![];
+            if lo <= 0 && hi >= 0 {
+                candidates.push(0);
+            }
+            if lo <= 1 && hi >= 1 {
+                candidates.push(1);
+            }
+            candidates.push(lo);
+            candidates.push(hi);
+            candidates.push(lo.midpoint(hi));
+            candidates.dedup();
+            let excluded = store.excluded[i].clone();
+            let mut tried = Vec::new();
+            for v in candidates {
+                let v = if excluded.contains(&v) {
+                    // Nudge off an excluded value, staying in bounds.
+                    let mut w = v;
+                    while excluded.contains(&w) && w < hi {
+                        w += 1;
+                    }
+                    if excluded.contains(&w) {
+                        continue;
+                    }
+                    w
+                } else {
+                    v
+                };
+                if tried.contains(&v) {
+                    continue;
+                }
+                tried.push(v);
+                let mut child = store.clone();
+                child.lo[i] = v;
+                child.hi[i] = v;
+                if let Some(m) = self.search_inner(child, &[]) {
+                    return Some(m);
+                }
+            }
+            return None;
+        }
+        // Leaf: pin remaining unbounded roots to their lower bound.
+        let leaf = self.build_leaf(&store)?;
+        Some(leaf)
+    }
+
+    /// A variable matters for search when a constraint mentions it;
+    /// all others can be pinned to their default at the leaf.
+    fn var_is_interesting(&self, i: usize) -> bool {
+        let target = i as u32;
+        let mentions = |e: &LinExpr| e.terms.iter().any(|t| self.find(t.1 .0) == target);
+        self.inequalities.iter().any(mentions)
+            || self.residual.iter().any(|c| {
+                let mut vs = Vec::new();
+                c.vars(&mut vs);
+                vs.iter().any(|v| self.find(v.0) == target)
+            })
+    }
+
+    fn build_leaf(&mut self, store: &Store) -> Option<Model> {
+        let n = store.lo.len();
+        // Integer assignment: clamp a preferred default into bounds.
+        let mut ints = vec![0i64; n];
+        for i in 0..n {
+            let r = self.find(i as u32) as usize;
+            let (lo, hi) = (store.lo[r], store.hi[r]);
+            if lo > hi {
+                return None;
+            }
+            let mut v = 0i64.clamp(lo, hi);
+            let excluded = &store.excluded[r];
+            if excluded.contains(&v) {
+                let mut w = v;
+                while excluded.contains(&w) && w < hi {
+                    w += 1;
+                }
+                if excluded.contains(&w) {
+                    w = v;
+                    while excluded.contains(&w) && w > lo {
+                        w -= 1;
+                    }
+                }
+                if excluded.contains(&w) {
+                    return None;
+                }
+                v = w;
+            }
+            ints[i] = v;
+        }
+        // Kind assignment per root; prefer the first kind in the set.
+        let mut kinds = vec![Kind::SmallInt; n];
+        for i in 0..n {
+            let r = self.find(i as u32) as usize;
+            kinds[i] = store.kinds[r].first()?;
+        }
+        // Float assignment: enumerate candidates.
+        let float_vals = self.solve_floats(&kinds)?;
+        // Residual Ne check.
+        let eval_int = |v: VarId| ints[self.find(v.0) as usize];
+        for c in &self.residual {
+            if let Constraint::Int(CmpOp::Ne, l, r) = c {
+                if l.eval(eval_int) == r.eval(eval_int) {
+                    return None;
+                }
+            }
+        }
+        // Distinctness is structural; aliasing already validated.
+        let assignments = (0..n)
+            .map(|i| {
+                let r = self.find(i as u32);
+                Assignment {
+                    kind: kinds[i],
+                    int: ints[r as usize],
+                    float: float_vals[r as usize],
+                    alias: r,
+                }
+            })
+            .collect();
+        Some(Model::new(assignments))
+    }
+
+    fn solve_floats(&self, _kinds: &[Kind]) -> Option<Vec<f64>> {
+        let n = self.problem.var_count();
+        let mut vals = vec![1.5f64; n];
+        if self.floats.is_empty() {
+            return Some(vals);
+        }
+        // Collect the float variables mentioned.
+        let mut fvars: Vec<usize> = Vec::new();
+        let mut pool: Vec<f64> = vec![0.0, 1.5, -2.5, 3.25, 100.25, -0.5];
+        for c in &self.floats {
+            if let Constraint::Float(_, l, r) = c {
+                for t in [l, r] {
+                    match t {
+                        FloatTerm::Var(v) => {
+                            let root = self.find(v.0) as usize;
+                            if !fvars.contains(&root) {
+                                fvars.push(root);
+                            }
+                        }
+                        FloatTerm::Const(c) => {
+                            for d in [-1.0, 0.0, 1.0] {
+                                let cand = c + d;
+                                if !pool.iter().any(|p| p == &cand) {
+                                    pool.push(cand);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Brute-force up to 4 variables over the pool.
+        if fvars.len() > 4 {
+            return None;
+        }
+        let check = |vals: &Vec<f64>| {
+            self.floats.iter().all(|c| match c {
+                Constraint::Float(op, l, r) => {
+                    let get = |t: &FloatTerm| match t {
+                        FloatTerm::Var(v) => vals[self.find(v.0) as usize],
+                        FloatTerm::Const(c) => *c,
+                    };
+                    op.holds_float(get(l), get(r))
+                }
+                _ => true,
+            })
+        };
+        fn assign(
+            fvars: &[usize],
+            pool: &[f64],
+            vals: &mut Vec<f64>,
+            check: &dyn Fn(&Vec<f64>) -> bool,
+        ) -> bool {
+            match fvars.split_first() {
+                None => check(vals),
+                Some((&v, rest)) => {
+                    for &cand in pool {
+                        vals[v] = cand;
+                        if assign(rest, pool, vals, check) {
+                            return true;
+                        }
+                    }
+                    false
+                }
+            }
+        }
+        if assign(&fvars, &pool, &mut vals, &check) {
+            // Propagate root values to aliased members.
+            let out = (0..n).map(|i| vals[self.find(i as u32) as usize]).collect();
+            Some(out)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SMALL_INT_MAX, SMALL_INT_MIN};
+
+    #[test]
+    fn trivial_problem_solves() {
+        let p = Problem::new();
+        let m = solve(&p).unwrap();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn single_kind_constraint() {
+        let mut p = Problem::new();
+        let v = p.new_var(VarSpec::any());
+        p.assert(Constraint::kind_is(v, Kind::Float));
+        let m = solve(&p).unwrap();
+        assert_eq!(m.kind(v), Kind::Float);
+    }
+
+    #[test]
+    fn contradictory_kinds_are_unsat() {
+        let mut p = Problem::new();
+        let v = p.new_var(VarSpec::any());
+        p.assert(Constraint::kind_is(v, Kind::Float));
+        p.assert(Constraint::kind_is(v, Kind::SmallInt));
+        assert_eq!(solve(&p), Err(SolveError::Unsat));
+    }
+
+    #[test]
+    fn integer_bounds_propagate() {
+        let mut p = Problem::new();
+        let x = p.new_var(VarSpec::any());
+        p.assert(Constraint::Int(CmpOp::Ge, LinExpr::var(x), LinExpr::constant(10)));
+        p.assert(Constraint::Int(CmpOp::Lt, LinExpr::var(x), LinExpr::constant(12)));
+        let m = solve(&p).unwrap();
+        assert!((10..12).contains(&m.int_value(x)));
+    }
+
+    #[test]
+    fn overflow_pair_is_found() {
+        // The classic bytecodePrimAdd overflow path of Table 1.
+        let mut p = Problem::new();
+        let x = p.new_var(VarSpec::any());
+        let y = p.new_var(VarSpec::any());
+        p.assert(Constraint::kind_is(x, Kind::SmallInt));
+        p.assert(Constraint::kind_is(y, Kind::SmallInt));
+        let sum = LinExpr::var(x).plus(&LinExpr::var(y));
+        p.assert(Constraint::not_in_small_int_range(sum));
+        let m = solve(&p).unwrap();
+        let s = m.int_value(x) + m.int_value(y);
+        assert!(!(SMALL_INT_MIN..=SMALL_INT_MAX).contains(&s), "sum {s} in range");
+    }
+
+    #[test]
+    fn equality_pins_value() {
+        let mut p = Problem::new();
+        let x = p.new_var(VarSpec::any());
+        p.assert(Constraint::Int(CmpOp::Eq, LinExpr::var(x), LinExpr::constant(-77)));
+        let m = solve(&p).unwrap();
+        assert_eq!(m.int_value(x), -77);
+    }
+
+    #[test]
+    fn disequality_avoids_value() {
+        let mut p = Problem::new();
+        let x = p.new_var(VarSpec::counter(3));
+        p.assert(Constraint::Int(CmpOp::Ne, LinExpr::var(x), LinExpr::constant(0)));
+        let m = solve(&p).unwrap();
+        assert_ne!(m.int_value(x), 0);
+        assert!((0..=3).contains(&m.int_value(x)));
+    }
+
+    #[test]
+    fn unsat_interval() {
+        let mut p = Problem::new();
+        let x = p.new_var(VarSpec::any());
+        p.assert(Constraint::Int(CmpOp::Gt, LinExpr::var(x), LinExpr::constant(5)));
+        p.assert(Constraint::Int(CmpOp::Lt, LinExpr::var(x), LinExpr::constant(5)));
+        assert_eq!(solve(&p), Err(SolveError::Unsat));
+    }
+
+    #[test]
+    fn or_branches_are_explored() {
+        let mut p = Problem::new();
+        let x = p.new_var(VarSpec::counter(100));
+        // (x > 50) or (x == 7), but also x < 20 — forces the second branch.
+        p.assert(Constraint::Or(vec![
+            Constraint::Int(CmpOp::Gt, LinExpr::var(x), LinExpr::constant(50)),
+            Constraint::Int(CmpOp::Eq, LinExpr::var(x), LinExpr::constant(7)),
+        ]));
+        p.assert(Constraint::Int(CmpOp::Lt, LinExpr::var(x), LinExpr::constant(20)));
+        let m = solve(&p).unwrap();
+        assert_eq!(m.int_value(x), 7);
+    }
+
+    #[test]
+    fn object_identity_aliases() {
+        let mut p = Problem::new();
+        let a = p.new_var(VarSpec::any());
+        let b = p.new_var(VarSpec::any());
+        let c = p.new_var(VarSpec::any());
+        p.assert(Constraint::ObjEq(a, b));
+        p.assert(Constraint::ObjNe(a, c));
+        p.assert(Constraint::kind_is(a, Kind::Array));
+        let m = solve(&p).unwrap();
+        assert!(m.same_object(a, b));
+        assert!(!m.same_object(a, c));
+        assert_eq!(m.kind(b), Kind::Array, "aliased vars share kind");
+    }
+
+    #[test]
+    fn aliased_distinct_is_unsat() {
+        let mut p = Problem::new();
+        let a = p.new_var(VarSpec::any());
+        let b = p.new_var(VarSpec::any());
+        p.assert(Constraint::ObjEq(a, b));
+        p.assert(Constraint::ObjNe(a, b));
+        assert_eq!(solve(&p), Err(SolveError::Unsat));
+    }
+
+    #[test]
+    fn float_comparison_solved_from_pool() {
+        let mut p = Problem::new();
+        let x = p.new_var(VarSpec::any());
+        let y = p.new_var(VarSpec::any());
+        p.assert(Constraint::kind_is(x, Kind::Float));
+        p.assert(Constraint::kind_is(y, Kind::Float));
+        p.assert(Constraint::Float(CmpOp::Lt, FloatTerm::Var(x), FloatTerm::Var(y)));
+        p.assert(Constraint::Float(CmpOp::Gt, FloatTerm::Var(x), FloatTerm::Const(0.0)));
+        let m = solve(&p).unwrap();
+        assert!(m.float_value(x) < m.float_value(y));
+        assert!(m.float_value(x) > 0.0);
+    }
+
+    #[test]
+    fn precision_gate_rejects_wide_integers() {
+        let mut p = Problem::new();
+        let x = p.new_var(VarSpec::any());
+        p.assert(Constraint::Int(CmpOp::Lt, LinExpr::var(x), LinExpr::constant(1 << 60)));
+        assert_eq!(solve(&p), Err(SolveError::PrecisionExceeded));
+    }
+
+    #[test]
+    fn kind_negation_prefers_float_over_object() {
+        // Negating isSmallInteger(v) should produce a *typed* object,
+        // not bit-twiddled garbage (§3.3 of the paper).
+        let mut p = Problem::new();
+        let v = p.new_var(VarSpec::any());
+        p.assert(Constraint::kind_is_not(v, Kind::SmallInt));
+        let m = solve(&p).unwrap();
+        assert_ne!(m.kind(v), Kind::SmallInt);
+    }
+
+    #[test]
+    fn counter_vars_start_at_zero() {
+        let mut p = Problem::new();
+        let size = p.new_var(VarSpec::counter(100));
+        let m = solve(&p).unwrap();
+        assert_eq!(m.int_value(size), 0, "unconstrained counters pick 0");
+    }
+
+    #[test]
+    fn stack_growth_scenario() {
+        // Fig. 2: negating operand_stack_size <= 1 yields size >= 2.
+        let mut p = Problem::new();
+        let size = p.new_var(VarSpec::counter(100));
+        p.assert(
+            Constraint::Int(CmpOp::Le, LinExpr::var(size), LinExpr::constant(1)).negated(),
+        );
+        let m = solve(&p).unwrap();
+        assert!(m.int_value(size) >= 2);
+    }
+
+    #[test]
+    fn three_var_linear_combination() {
+        let mut p = Problem::new();
+        let a = p.new_var(VarSpec::int_in(0, 10));
+        let b = p.new_var(VarSpec::int_in(0, 10));
+        let c = p.new_var(VarSpec::int_in(0, 10));
+        // a + 2b - c == 9, a < b
+        let lhs = LinExpr::var(a)
+            .plus(&LinExpr::scaled_var(2, b))
+            .minus(&LinExpr::var(c));
+        p.assert(Constraint::Int(CmpOp::Eq, lhs, LinExpr::constant(9)));
+        p.assert(Constraint::Int(CmpOp::Lt, LinExpr::var(a), LinExpr::var(b)));
+        let m = solve(&p).unwrap();
+        let (va, vb, vc) = (m.int_value(a), m.int_value(b), m.int_value(c));
+        assert_eq!(va + 2 * vb - vc, 9);
+        assert!(va < vb);
+    }
+
+    #[test]
+    fn resource_limit_reported() {
+        let mut p = Problem::new();
+        // A chain of interlocking disjunctions to blow the node budget.
+        let vars: Vec<_> = (0..12).map(|_| p.new_var(VarSpec::int_in(0, 1000))).collect();
+        for w in vars.windows(2) {
+            p.assert(Constraint::Or(vec![
+                Constraint::Int(CmpOp::Lt, LinExpr::var(w[0]), LinExpr::var(w[1])),
+                Constraint::Int(CmpOp::Gt, LinExpr::var(w[0]), LinExpr::var(w[1])),
+            ]));
+        }
+        // Contradiction at the end so it must exhaust branches.
+        p.assert(Constraint::Int(CmpOp::Lt, LinExpr::var(vars[0]), LinExpr::constant(0)));
+        let r = solve_with_limits(&p, SearchLimits { max_nodes: 10 });
+        assert!(matches!(r, Err(SolveError::ResourceLimit) | Err(SolveError::Unsat)));
+    }
+}

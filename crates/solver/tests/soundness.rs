@@ -1,0 +1,151 @@
+//! Property tests of the solver's soundness contract: whenever
+//! `solve` answers a model, `check_model` must accept it — for
+//! arbitrary randomly-generated constraint systems — and on tiny
+//! domains an `Unsat` answer must agree with brute force.
+
+use igjit_solver::{
+    check_model, solve, solve_with_limits, CmpOp, Constraint, Kind, LinExpr, Problem,
+    SearchLimits, SolveError, VarId, VarSpec,
+};
+use proptest::prelude::*;
+
+const NVARS: usize = 4;
+
+/// A generator for random constraints over NVARS variables.
+fn arb_constraint() -> impl Strategy<Value = Constraint> {
+    let var = (0u32..NVARS as u32).prop_map(VarId);
+    let kind = prop_oneof![
+        Just(Kind::SmallInt),
+        Just(Kind::Float),
+        Just(Kind::Array),
+        Just(Kind::Nil),
+    ];
+    let cmp = prop_oneof![
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+    ];
+    let lin = (var.clone(), -50i64..50, -50i64..50)
+        .prop_map(|(v, c, k)| LinExpr::scaled_var(k.signum().max(-1).min(1).max(-1), v).offset(c));
+    let lin2 = (var.clone(), var.clone(), -50i64..50).prop_map(|(a, b, c)| {
+        LinExpr::var(a).plus(&LinExpr::var(b)).offset(c)
+    });
+    prop_oneof![
+        (var.clone(), kind.clone()).prop_map(|(v, k)| Constraint::kind_is(v, k)),
+        (var.clone(), kind).prop_map(|(v, k)| Constraint::kind_is_not(v, k)),
+        (cmp.clone(), lin.clone(), lin.clone())
+            .prop_map(|(op, l, r)| Constraint::Int(op, l, r)),
+        (cmp, lin2.clone(), -100i64..100)
+            .prop_map(|(op, l, c)| Constraint::Int(op, l, LinExpr::constant(c))),
+        (var.clone(), var.clone()).prop_map(|(a, b)| Constraint::ObjEq(a, b)),
+        (var.clone(), var).prop_map(|(a, b)| Constraint::ObjNe(a, b)),
+        (lin2).prop_map(Constraint::not_in_small_int_range),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn prop_models_satisfy_their_problems(
+        constraints in proptest::collection::vec(arb_constraint(), 0..8)
+    ) {
+        let mut p = Problem::new();
+        for _ in 0..NVARS {
+            p.new_var(VarSpec::any());
+        }
+        for c in &constraints {
+            p.assert(c.clone());
+        }
+        match solve(&p) {
+            Ok(model) => prop_assert!(
+                check_model(&p, &model),
+                "solver returned a non-model for {constraints:?}"
+            ),
+            Err(SolveError::Unsat | SolveError::ResourceLimit) => {}
+            Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+        }
+    }
+
+    #[test]
+    fn prop_negation_flips_satisfaction(
+        constraints in proptest::collection::vec(arb_constraint(), 1..5)
+    ) {
+        // If a model satisfies C, it must violate C.negated().
+        let mut p = Problem::new();
+        for _ in 0..NVARS {
+            p.new_var(VarSpec::any());
+        }
+        for c in &constraints {
+            p.assert(c.clone());
+        }
+        if let Ok(model) = solve(&p) {
+            for c in &constraints {
+                let mut q = Problem::new();
+                for _ in 0..NVARS {
+                    q.new_var(VarSpec::any());
+                }
+                q.assert(c.negated());
+                prop_assert!(
+                    !check_model(&q, &model),
+                    "model satisfies both {c:?} and its negation"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prop_unsat_on_tiny_domains_agrees_with_brute_force(
+        cs in proptest::collection::vec(
+            ((0u32..2).prop_map(VarId),
+             prop_oneof![Just(CmpOp::Lt), Just(CmpOp::Ge), Just(CmpOp::Eq)],
+             -3i64..4),
+            1..6
+        )
+    ) {
+        // Two ints in [0,3]; pure comparisons against constants.
+        let mut p = Problem::new();
+        let _a = p.new_var(VarSpec::int_in(0, 3));
+        let _b = p.new_var(VarSpec::int_in(0, 3));
+        for (v, op, c) in &cs {
+            p.assert(Constraint::Int(*op, LinExpr::var(*v), LinExpr::constant(*c)));
+        }
+        let brute_sat = (0..4).any(|x| {
+            (0..4).any(|y| {
+                cs.iter().all(|(v, op, c)| {
+                    let val = if v.0 == 0 { x } else { y };
+                    op.holds_int(val, *c)
+                })
+            })
+        });
+        match solve_with_limits(&p, SearchLimits { max_nodes: 100_000 }) {
+            Ok(m) => {
+                prop_assert!(brute_sat, "solver found a model where brute force found none");
+                prop_assert!(check_model(&p, &m));
+            }
+            Err(SolveError::Unsat) => prop_assert!(
+                !brute_sat,
+                "solver said Unsat but brute force found a solution: {cs:?}"
+            ),
+            Err(e) => prop_assert!(false, "{e:?}"),
+        }
+    }
+}
+
+#[test]
+fn check_model_rejects_wrong_assignments() {
+    let mut p = Problem::new();
+    let x = p.new_var(VarSpec::any());
+    p.assert(Constraint::Int(CmpOp::Eq, LinExpr::var(x), LinExpr::constant(5)));
+    let good = solve(&p).unwrap();
+    assert!(check_model(&p, &good));
+    // A model from a different problem does not satisfy this one.
+    let mut q = Problem::new();
+    let y = q.new_var(VarSpec::any());
+    q.assert(Constraint::Int(CmpOp::Eq, LinExpr::var(y), LinExpr::constant(6)));
+    let other = solve(&q).unwrap();
+    assert!(!check_model(&p, &other));
+}

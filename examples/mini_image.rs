@@ -1,0 +1,83 @@
+//! The interpreter as a working VM: install methods in an image and
+//! send messages — recursive Fibonacci through real dispatched sends,
+//! with the optimised arithmetic bytecodes' slow paths landing in
+//! image-level methods.
+//!
+//! ```sh
+//! cargo run --example mini_image
+//! ```
+
+use igjit::{ClassIndex, Instruction, Oop};
+use igjit_interp::Image;
+
+fn si(v: i64) -> Oop {
+    Oop::from_small_int(v)
+}
+
+fn main() {
+    let mut image = Image::new();
+
+    // SmallInteger >> #fib
+    //   self < 2 ifTrue: [^self].
+    //   ^(self - 1) fib + (self - 2) fib
+    let fib = image.intern("fib");
+    image.install_method(ClassIndex::SMALL_INTEGER, "fib", 0, 0, |b, _| {
+        let lit = b.add_literal(fib);
+        b.emit(Instruction::PushReceiver);
+        b.emit(Instruction::PushTwo);
+        b.emit(Instruction::LessThan);
+        b.emit(Instruction::ShortJumpFalse(1));
+        b.emit(Instruction::ReturnReceiver);
+        b.emit(Instruction::PushReceiver);
+        b.emit(Instruction::PushOne);
+        b.emit(Instruction::Subtract);
+        b.emit(Instruction::Send { lit, nargs: 0 });
+        b.emit(Instruction::PushReceiver);
+        b.emit(Instruction::PushTwo);
+        b.emit(Instruction::Subtract);
+        b.emit(Instruction::Send { lit, nargs: 0 });
+        b.emit(Instruction::Add);
+        b.emit(Instruction::ReturnTop);
+    });
+
+    println!("SmallInteger >> #fib installed; sending…");
+    for n in [1i64, 5, 10, 15, 20] {
+        let r = image.send(si(n), "fib", &[]).unwrap();
+        println!("  {n} fib = {}", r.small_int_value());
+    }
+
+    // Array >> #sum — loops, temps, the at: quick path.
+    image.install_method(ClassIndex::ARRAY, "sum", 0, 2, |b, _| {
+        b.emit(Instruction::PushZero);
+        b.emit(Instruction::PopIntoTemp(0));
+        b.emit(Instruction::PushOne);
+        b.emit(Instruction::PopIntoTemp(1));
+        // loop (pc 4)
+        b.emit(Instruction::PushTemp(1));
+        b.emit(Instruction::PushReceiver);
+        b.emit(Instruction::SpecialSendSize);
+        b.emit(Instruction::GreaterThan);
+        b.emit(Instruction::ShortJumpFalse(2));
+        b.emit(Instruction::PushTemp(0));
+        b.emit(Instruction::ReturnTop);
+        b.emit(Instruction::PushTemp(0));
+        b.emit(Instruction::PushReceiver);
+        b.emit(Instruction::PushTemp(1));
+        b.emit(Instruction::SpecialSendAt);
+        b.emit(Instruction::Add);
+        b.emit(Instruction::PopIntoTemp(0));
+        b.emit(Instruction::PushTemp(1));
+        b.emit(Instruction::PushOne);
+        b.emit(Instruction::Add);
+        b.emit(Instruction::PopIntoTemp(1));
+        b.emit(Instruction::LongJumpForward(-19)); // back to the loop head at pc 4
+    });
+
+    let arr = image
+        .mem
+        .instantiate_array(&[si(10), si(20), si(12)])
+        .unwrap();
+    let total = image.send(arr, "sum", &[]).unwrap();
+    println!("#(10 20 12) sum = {}", total.small_int_value());
+    assert_eq!(total, si(42));
+}

@@ -1,0 +1,5 @@
+//! Umbrella package for the reproduction's runnable examples and
+//! cross-crate integration tests. The library surface lives in the
+//! [`igjit`] crate; see the README and DESIGN.md for the map.
+
+pub use igjit;

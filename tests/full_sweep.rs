@@ -1,0 +1,99 @@
+//! Full-catalog sweeps: every bytecode and every native method goes
+//! through the complete differential pipeline, and the observed
+//! defect surface must be exactly the planted one — nothing missing,
+//! nothing extra.
+
+use igjit::{
+    instruction_catalog, native_catalog, test_instruction, CompilerKind, DefectCategory,
+    InstrUnderTest, Isa, NativeGroup, Target,
+};
+
+#[test]
+fn every_bytecode_diverges_only_by_optimisation() {
+    for spec in instruction_catalog() {
+        let o = test_instruction(
+            InstrUnderTest::Bytecode(spec.instruction),
+            Target::Bytecode(CompilerKind::StackToRegister),
+            &[Isa::X86ish],
+            false,
+        );
+        for c in o.causes() {
+            assert_eq!(
+                c.category,
+                DefectCategory::OptimisationDifference,
+                "{:?} exposed an unplanted defect: {c:?}",
+                spec.instruction
+            );
+        }
+    }
+}
+
+#[test]
+fn every_native_method_matches_its_planted_defects() {
+    for spec in native_catalog() {
+        let o = test_instruction(
+            InstrUnderTest::Native(spec.id),
+            Target::NativeMethods,
+            &[Isa::X86ish],
+            true,
+        );
+        let cats: Vec<DefectCategory> =
+            o.causes().iter().map(|c| c.category).collect();
+        match spec.id.0 {
+            // Bitwise + quo: behavioural differences only.
+            13..=17 => {
+                assert!(
+                    cats.iter().all(|c| *c == DefectCategory::BehaviouralDifference),
+                    "{}: {cats:?}",
+                    spec.name
+                );
+                assert!(!cats.is_empty(), "{} should diverge", spec.name);
+            }
+            // asFloat: the interpreter-side missing check.
+            40 => {
+                assert_eq!(
+                    cats,
+                    vec![DefectCategory::MissingInterpreterTypeCheck],
+                    "{}",
+                    spec.name
+                );
+            }
+            // Float primitives: compiled-side missing checks; 52/53
+            // may also (or instead) trip the simulation error.
+            41..=51 => {
+                assert!(
+                    cats.contains(&DefectCategory::MissingCompiledTypeCheck),
+                    "{}: {cats:?}",
+                    spec.name
+                );
+            }
+            52 | 53 => {
+                assert!(
+                    cats.contains(&DefectCategory::SimulationError)
+                        || cats.contains(&DefectCategory::MissingCompiledTypeCheck),
+                    "{}: {cats:?}",
+                    spec.name
+                );
+            }
+            // FFI: missing functionality, and nothing else.
+            100..=159 => {
+                assert_eq!(spec.group, NativeGroup::Ffi);
+                assert!(
+                    cats.iter().all(|c| *c == DefectCategory::MissingFunctionality),
+                    "{}: {cats:?}",
+                    spec.name
+                );
+                assert!(!cats.is_empty(), "{} must be refused", spec.name);
+            }
+            // Everything else is defect-free and must agree everywhere.
+            _ => {
+                assert!(
+                    cats.is_empty(),
+                    "{} (id {}) exposed an unplanted defect: {cats:?}",
+                    spec.name,
+                    spec.id.0
+                );
+            }
+        }
+    }
+}

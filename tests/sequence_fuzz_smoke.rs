@@ -1,0 +1,47 @@
+//! A deterministic miniature of the sequence-fuzzing campaign
+//! (`igjit-bench --bin sequence_fuzz`): random straight-line sequences
+//! must never diverge outside the planted optimisation gap.
+
+use igjit::{CompilerKind, DefectCategory, Instruction, Isa, Verdict};
+use igjit_difftest::test_sequence;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const POOL: [Instruction; 16] = [
+    Instruction::PushZero,
+    Instruction::PushOne,
+    Instruction::PushTwo,
+    Instruction::PushMinusOne,
+    Instruction::PushInteger(13),
+    Instruction::PushTrue,
+    Instruction::PushFalse,
+    Instruction::Dup,
+    Instruction::Pop,
+    Instruction::Add,
+    Instruction::Subtract,
+    Instruction::Multiply,
+    Instruction::LessThan,
+    Instruction::Equal,
+    Instruction::BitAnd,
+    Instruction::IdentityEqual,
+];
+
+#[test]
+fn random_sequences_never_diverge_unexpectedly() {
+    let mut rng = StdRng::seed_from_u64(42);
+    for _ in 0..40 {
+        let len = rng.gen_range(2..=4);
+        let seq: Vec<Instruction> =
+            (0..len).map(|_| POOL[rng.gen_range(0..POOL.len())]).collect();
+        let o = test_sequence(&seq, CompilerKind::StackToRegister, &[Isa::X86ish]);
+        for v in &o.verdicts {
+            if let Verdict::Difference(_) = v.verdict {
+                assert_eq!(
+                    v.cause.as_ref().map(|c| c.category),
+                    Some(DefectCategory::OptimisationDifference),
+                    "{seq:?}: {v:?}"
+                );
+            }
+        }
+    }
+}

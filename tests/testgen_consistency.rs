@@ -1,0 +1,55 @@
+//! Consistency between the two result-producing APIs: the generated
+//! test suite and the campaign must agree on which paths diverge.
+
+use igjit::{
+    test_instruction, CompilerKind, GeneratedSuite, InstrUnderTest, Instruction, Isa,
+    NativeMethodId, Target, TestResult,
+};
+
+#[test]
+fn suite_failures_match_campaign_differences() {
+    for (instr, target) in [
+        (
+            InstrUnderTest::Bytecode(Instruction::Add),
+            Target::Bytecode(CompilerKind::StackToRegister),
+        ),
+        (
+            InstrUnderTest::Bytecode(Instruction::BitAnd),
+            Target::Bytecode(CompilerKind::SimpleStackBased),
+        ),
+        (InstrUnderTest::Native(NativeMethodId(1)), Target::NativeMethods),
+        (InstrUnderTest::Native(NativeMethodId(14)), Target::NativeMethods),
+        (InstrUnderTest::Native(NativeMethodId(120)), Target::NativeMethods),
+    ] {
+        let isas = [Isa::X86ish];
+        // Campaign without probing (the suite replays base models only).
+        let campaign = test_instruction(instr, target, &isas, false);
+        let suite = GeneratedSuite::generate_for(instr, target, &isas);
+        let report = suite.run();
+        assert_eq!(
+            report.failed,
+            campaign.difference_count(),
+            "{instr:?} vs {target:?}: suite {report:?}, campaign {} diffs",
+            campaign.difference_count()
+        );
+    }
+}
+
+#[test]
+fn suite_tests_are_individually_deterministic() {
+    let suite = GeneratedSuite::generate_for(
+        InstrUnderTest::Native(NativeMethodId(14)),
+        Target::NativeMethods,
+        &[Isa::Arm32ish],
+    );
+    for t in &suite.tests {
+        let first = t.run();
+        let second = t.run();
+        match (&first, &second) {
+            (TestResult::Pass, TestResult::Pass)
+            | (TestResult::Skipped, TestResult::Skipped) => {}
+            (TestResult::Fail(a), TestResult::Fail(b)) => assert_eq!(a, b),
+            other => panic!("{}: nondeterministic replay {other:?}", t.name),
+        }
+    }
+}
