@@ -1,10 +1,16 @@
 //! Regenerates Figure 6: concolic-exploration time per kind of
 //! instruction (log ms), plus the §5.4 aggregate totals.
+//!
+//! Exploration is deliberately *uncached* here — the figure measures
+//! exploration cost itself. Renders a live progress line on stderr and
+//! writes `figure6.metrics.json` (per-group explore wall-clock) next
+//! to the report.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use igjit::report::{ascii_histogram, stats};
-use igjit::{instruction_catalog, native_catalog, Explorer, InstrUnderTest};
+use igjit::{instruction_catalog, native_catalog, Explorer, InstrUnderTest, Metrics, StageTimes};
+use igjit_bench::progress_line;
 
 fn main() {
     let explorer = Explorer::new();
@@ -12,16 +18,22 @@ fn main() {
     let mut nm_ms = Vec::new();
 
     eprintln!("timing concolic exploration of all bytecode instructions…");
-    for spec in instruction_catalog() {
+    let bytecodes = instruction_catalog();
+    let total = bytecodes.len();
+    for (i, spec) in bytecodes.into_iter().enumerate() {
         let t0 = Instant::now();
         let _ = explorer.explore(InstrUnderTest::Bytecode(spec.instruction));
         bc_ms.push(t0.elapsed().as_secs_f64() * 1000.0);
+        progress_line("explore bytecodes", i + 1, total, &format!("{:?}", spec.instruction));
     }
     eprintln!("timing concolic exploration of all native methods…");
-    for spec in native_catalog() {
+    let natives = native_catalog();
+    let total = natives.len();
+    for (i, spec) in natives.iter().enumerate() {
         let t0 = Instant::now();
         let _ = explorer.explore(InstrUnderTest::Native(spec.id));
         nm_ms.push(t0.elapsed().as_secs_f64() * 1000.0);
+        progress_line("explore natives", i + 1, total, &spec.name);
     }
 
     println!("\nFigure 6: concolic execution time per kind of instruction\n");
@@ -40,4 +52,26 @@ fn main() {
     println!("{}", ascii_histogram(&bc_ms, 8, 40));
     println!("Native-method exploration time distribution (ms):");
     println!("{}", ascii_histogram(&nm_ms, 8, 40));
+
+    // One Metrics object per group: exploration is the only stage a
+    // pure-exploration run exercises.
+    let group_metrics = |ms: &[f64]| Metrics {
+        threads: 1,
+        instructions: ms.len(),
+        stages: StageTimes {
+            explore: Duration::from_secs_f64(ms.iter().sum::<f64>() / 1000.0),
+            ..StageTimes::default()
+        },
+        wall_clock: Duration::from_secs_f64(ms.iter().sum::<f64>() / 1000.0),
+        ..Metrics::default()
+    };
+    let json = format!(
+        "{{\n  \"bytecodes\":{},\n  \"natives\":{}\n}}\n",
+        group_metrics(&bc_ms).to_json(),
+        group_metrics(&nm_ms).to_json(),
+    );
+    match std::fs::write("figure6.metrics.json", json) {
+        Ok(()) => eprintln!("metrics: figure6.metrics.json"),
+        Err(e) => eprintln!("could not write figure6.metrics.json: {e}"),
+    }
 }

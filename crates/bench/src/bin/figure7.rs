@@ -1,59 +1,49 @@
 //! Regenerates Figure 7: test execution time per compiler (log ms) —
 //! the differential-run cost once the exploration results are cached.
+//!
+//! Engine v2 makes the caption literal: the campaign's shared
+//! exploration cache means the native row and the first bytecode tier
+//! pay for exploration, and the remaining tiers measure pure
+//! differential-run cost. Renders a live progress line on stderr and
+//! writes `figure7.metrics.json` next to the report.
 
-use std::time::Instant;
-
+use igjit::aggregate_metrics;
 use igjit::report::{ascii_histogram, stats};
-use igjit::{
-    instruction_catalog, native_catalog, test_instruction, CompilerKind, InstrUnderTest, Isa,
-    Target,
-};
+use igjit::CompilerKind;
+use igjit_bench::{paper_campaign, print_metrics_summary, with_live_progress, write_metrics_json};
 
 fn main() {
-    let isas = [Isa::X86ish, Isa::Arm32ish];
+    let campaign = with_live_progress(paper_campaign());
+    eprintln!(
+        "running the four campaigns with a shared exploration cache ({} thread(s))…",
+        campaign.config().threads
+    );
+    let reports = campaign.run_all();
 
-    let mut series: Vec<(String, Vec<f64>)> = Vec::new();
-
-    eprintln!("timing native-method differential tests…");
-    let mut nm_ms = Vec::new();
-    for spec in native_catalog() {
-        let t0 = Instant::now();
-        let _ = test_instruction(
-            InstrUnderTest::Native(spec.id),
-            Target::NativeMethods,
-            &isas,
-            true,
-        );
-        nm_ms.push(t0.elapsed().as_secs_f64() * 1000.0);
-    }
-    series.push(("Native Method".into(), nm_ms));
-
-    for kind in CompilerKind::ALL {
-        eprintln!("timing bytecode differential tests on {}…", kind.name());
-        let mut ms = Vec::new();
-        for spec in instruction_catalog() {
-            let t0 = Instant::now();
-            let _ = test_instruction(
-                InstrUnderTest::Bytecode(spec.instruction),
-                Target::Bytecode(kind),
-                &isas,
-                false,
-            );
-            ms.push(t0.elapsed().as_secs_f64() * 1000.0);
+    let label_of = |i: usize| -> &'static str {
+        match i {
+            0 => "Native Method",
+            1 => CompilerKind::SimpleStackBased.name(),
+            2 => CompilerKind::StackToRegister.name(),
+            _ => CompilerKind::RegisterAllocating.name(),
         }
-        let label = match kind {
-            CompilerKind::SimpleStackBased => "Simple",
-            CompilerKind::StackToRegister => "Stack-to-Register",
-            CompilerKind::RegisterAllocating => "Linear-Allocator",
-        };
-        series.push((label.into(), ms));
-    }
+    };
+    let series: Vec<(&str, Vec<f64>)> = reports
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            (
+                label_of(i),
+                r.timings.iter().map(|t| t.elapsed.as_secs_f64() * 1000.0).collect(),
+            )
+        })
+        .collect();
 
     println!("\nFigure 7: test execution time per compiler\n");
     for (label, data) in &series {
         let s = stats(data.iter().copied()).unwrap();
         println!(
-            "{label:<18} min {:>8.2}ms  median {:>8.2}ms  mean {:>8.2}ms  max {:>8.2}ms  total {:>8.2}s",
+            "{label:<28} min {:>8.2}ms  median {:>8.2}ms  mean {:>8.2}ms  max {:>8.2}ms  total {:>8.2}s",
             s.min,
             s.median,
             s.mean,
@@ -65,4 +55,6 @@ fn main() {
         println!("\n{label} time distribution (ms):");
         println!("{}", ascii_histogram(data, 8, 40));
     }
+    print_metrics_summary(&aggregate_metrics(&reports));
+    write_metrics_json("figure7.metrics.json", &reports);
 }

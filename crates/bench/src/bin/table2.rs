@@ -1,13 +1,27 @@
 //! Regenerates Table 2 of the paper: for each of the four compilers,
 //! the number of tested instructions, interpreter paths, curated paths
 //! and differences.
+//!
+//! Observability: renders a live per-row progress line on stderr and
+//! writes `table2.metrics.json` (per-stage wall-clock, cache hit rate)
+//! next to the textual report. `IGJIT_THREADS` overrides the worker
+//! count.
 
-use igjit_bench::{paper_campaign, print_table2};
+use igjit::aggregate_metrics;
+use igjit_bench::{
+    paper_campaign, print_metrics_summary, print_table2, with_live_progress, write_metrics_json,
+};
 
 fn main() {
-    let campaign = paper_campaign();
-    eprintln!("running the native-method and three bytecode campaigns (both ISAs, probing on)…");
+    let campaign = with_live_progress(paper_campaign());
+    eprintln!(
+        "running the native-method and three bytecode campaigns \
+         (both ISAs, probing on, {} thread(s))…",
+        campaign.config().threads
+    );
     let reports = campaign.run_all();
     println!("\nTable 2: results running the approach on four different compilers\n");
     print_table2(&reports);
+    print_metrics_summary(&aggregate_metrics(&reports));
+    write_metrics_json("table2.metrics.json", &reports);
 }

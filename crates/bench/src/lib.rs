@@ -4,17 +4,83 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+use std::io::Write;
+
 use igjit::report;
-use igjit::{Campaign, CampaignConfig, CampaignReport, Isa};
+use igjit::{Campaign, CampaignConfig, CampaignReport, Isa, Metrics};
+
+/// Worker threads for the harness binaries: the `IGJIT_THREADS`
+/// environment variable when set (and parseable), otherwise the
+/// machine's available parallelism.
+pub fn campaign_threads() -> usize {
+    std::env::var("IGJIT_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(igjit::default_threads)
+}
 
 /// The evaluation configuration used by every harness binary: both
-/// ISAs, probing enabled (the paper's §5.1 setup).
+/// ISAs, probing enabled (the paper's §5.1 setup), worker threads from
+/// [`campaign_threads`].
 pub fn paper_campaign() -> Campaign {
     Campaign::new(CampaignConfig {
         isas: vec![Isa::X86ish, Isa::Arm32ish],
         probes: true,
-        threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        threads: campaign_threads(),
     })
+}
+
+/// Renders one in-place progress line on stderr. The line is
+/// terminated (newline) when the batch completes, so subsequent output
+/// starts fresh.
+pub fn progress_line(row: &str, completed: usize, total: usize, current: &str) {
+    eprint!("\r  {row:<28} {completed:>4}/{total:<4} {current:<28}");
+    if completed >= total {
+        eprintln!();
+    }
+    let _ = std::io::stderr().flush();
+}
+
+/// Attaches the live stderr progress line to a campaign.
+pub fn with_live_progress(campaign: Campaign) -> Campaign {
+    campaign.on_progress(|p| progress_line(&p.row, p.completed, p.total, &p.current))
+}
+
+/// Writes the observability JSON for a campaign run next to the
+/// textual report and says where it went.
+pub fn write_metrics_json(path: &str, reports: &[CampaignReport]) {
+    match std::fs::write(path, report::metrics_json(reports)) {
+        Ok(()) => eprintln!("metrics: {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+/// Prints a one-paragraph summary of aggregated campaign metrics.
+pub fn print_metrics_summary(total: &Metrics) {
+    println!(
+        "\n{} instructions on {} thread(s) in {:.2}s wall clock \
+         (explore {:.2}s, materialize {:.2}s, compile {:.2}s, simulate {:.2}s, compare {:.2}s)",
+        total.instructions,
+        total.threads,
+        total.wall_clock.as_secs_f64(),
+        total.stages.explore.as_secs_f64(),
+        total.stages.materialize.as_secs_f64(),
+        total.stages.compile.as_secs_f64(),
+        total.stages.simulate.as_secs_f64(),
+        total.stages.compare.as_secs_f64(),
+    );
+    println!(
+        "exploration cache: {} hits / {} misses ({:.1}% hit rate){}",
+        total.cache_hits,
+        total.cache_misses,
+        100.0 * total.cache_hit_rate(),
+        if total.witness_errors > 0 {
+            format!("; {} witness error(s)", total.witness_errors)
+        } else {
+            String::new()
+        },
+    );
 }
 
 /// Prints a full Table 2 from the given reports.

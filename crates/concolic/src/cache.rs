@@ -1,0 +1,168 @@
+//! Sharing one concolic exploration across compiler targets.
+//!
+//! The campaign tests every instruction against four compilers on two
+//! ISAs, but the exploration (solver loop + interpreter tracing) only
+//! depends on the instruction itself — re-exploring per target is the
+//! dominant redundant cost in the Figure 6 timings. The cache memoizes
+//! [`ExplorationResult`]s behind an `Arc` so concurrent campaign
+//! workers on any target reuse a single exploration.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+use crate::explore::{ExplorationResult, Explorer, InstrUnderTest};
+
+/// Cache key: the instruction plus whether kind probing is enabled.
+///
+/// Probing happens after exploration and does not change its result,
+/// but keying on it keeps entries self-describing (and future probe
+/// strategies free to specialize the exploration itself).
+pub type ExplorationKey = (InstrUnderTest, bool);
+
+/// What a cache lookup produced.
+pub struct CacheLookup {
+    /// The (possibly shared) exploration.
+    pub exploration: Arc<ExplorationResult>,
+    /// Whether the exploration was served from the cache.
+    pub hit: bool,
+    /// Wall-clock spent exploring (zero on a hit).
+    pub explore_time: Duration,
+}
+
+/// A thread-safe memo of concolic explorations.
+///
+/// Lookups take a read lock; the exploration itself runs outside any
+/// lock, so workers exploring *different* instructions never serialize
+/// on each other. If two workers race on the same key, the first
+/// insert wins and the loser's duplicate work is dropped — results are
+/// deterministic either way because exploration is a pure function of
+/// the key.
+#[derive(Debug, Default)]
+pub struct ExplorationCache {
+    map: RwLock<HashMap<ExplorationKey, Arc<ExplorationResult>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl ExplorationCache {
+    /// An empty cache.
+    pub fn new() -> ExplorationCache {
+        ExplorationCache::default()
+    }
+
+    /// Returns the cached exploration for `(instr, probes)` or runs
+    /// `explorer` to produce (and remember) it.
+    pub fn get_or_explore(
+        &self,
+        explorer: &Explorer,
+        instr: InstrUnderTest,
+        probes: bool,
+    ) -> CacheLookup {
+        let key = (instr, probes);
+        if let Some(found) = self.map.read().expect("cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return CacheLookup {
+                exploration: Arc::clone(found),
+                hit: true,
+                explore_time: Duration::ZERO,
+            };
+        }
+        let t0 = Instant::now();
+        let explored = Arc::new(explorer.explore(instr));
+        let explore_time = t0.elapsed();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.map.write().expect("cache lock");
+        let entry = map.entry(key).or_insert_with(|| Arc::clone(&explored));
+        CacheLookup { exploration: Arc::clone(entry), hit: false, explore_time }
+    }
+
+    /// Explorations served from the cache.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Explorations that had to run.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of lookups served from the cache (0 when unused).
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.hits();
+        let m = self.misses();
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+
+    /// Number of distinct explorations held.
+    pub fn len(&self) -> usize {
+        self.map.read().expect("cache lock").len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all entries and resets the counters.
+    pub fn clear(&self) {
+        self.map.write().expect("cache lock").clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igjit_bytecode::Instruction;
+
+    #[test]
+    fn second_lookup_hits_and_shares() {
+        let cache = ExplorationCache::new();
+        let explorer = Explorer::new();
+        let instr = InstrUnderTest::Bytecode(Instruction::PushOne);
+        let first = cache.get_or_explore(&explorer, instr, false);
+        assert!(!first.hit);
+        assert!(first.explore_time > Duration::ZERO);
+        let second = cache.get_or_explore(&explorer, instr, false);
+        assert!(second.hit);
+        assert_eq!(second.explore_time, Duration::ZERO);
+        assert!(Arc::ptr_eq(&first.exploration, &second.exploration));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probes_flag_is_part_of_the_key() {
+        let cache = ExplorationCache::new();
+        let explorer = Explorer::new();
+        let instr = InstrUnderTest::Bytecode(Instruction::Pop);
+        assert!(!cache.get_or_explore(&explorer, instr, false).hit);
+        assert!(!cache.get_or_explore(&explorer, instr, true).hit);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_lookups_converge_on_one_entry() {
+        let cache = ExplorationCache::new();
+        let instr = InstrUnderTest::Bytecode(Instruction::Add);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let explorer = Explorer::new();
+                    cache.get_or_explore(&explorer, instr, false)
+                });
+            }
+        });
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.hits() + cache.misses(), 4);
+    }
+}

@@ -19,7 +19,10 @@ use crate::state::AbstractState;
 use crate::sym::SymOop;
 
 /// What instruction is being explored.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+///
+/// `Hash`/`Eq` make it usable as an [`crate::ExplorationCache`] key:
+/// one exploration per instruction is shared by every compiler target.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum InstrUnderTest {
     /// A bytecode instruction, driven through [`igjit_interp::step`].
     Bytecode(Instruction),

@@ -47,11 +47,13 @@ mod explore;
 mod materialize;
 mod state;
 mod sym;
+mod cache;
 mod trace;
 
+pub use cache::{CacheLookup, ExplorationCache, ExplorationKey};
 pub use explore::{CurationReason, ExplorationResult, Explorer, ExploredPath, InstrUnderTest,
                   ObjectDump, PathOutcome, SendRecord};
-pub use materialize::{materialize_frame, MaterializedFrame};
+pub use materialize::{materialize_frame, MaterializedFrame, WitnessError};
 pub use state::{byte_kinds, class_for_kind, kind_for_class, pointer_slot_kinds, AbstractState,
                 ObjShape, VarRole};
 pub use sym::{Origin, SymFloat, SymInt, SymOop};

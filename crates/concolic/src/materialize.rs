@@ -17,6 +17,29 @@ use igjit_solver::{Kind, Model, VarId};
 use crate::state::{AbstractState, MAX_FRAME_ELEMS, MAX_OBJ_ELEMS};
 use crate::sym::SymOop;
 
+/// A model assignment the materializer could not realize faithfully
+/// (e.g. a SmallInteger witness outside the 31-bit tagged range).
+///
+/// The materializer substitutes a deterministic in-range fallback so
+/// the run can proceed, but records the event so the differential
+/// harness can report the path as a test error instead of silently
+/// testing an input the solver never promised.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WitnessError {
+    /// The input variable whose assignment was unrealizable.
+    pub var: VarId,
+    /// The out-of-range integer witness from the model.
+    pub value: i64,
+    /// What went wrong.
+    pub reason: &'static str,
+}
+
+impl std::fmt::Display for WitnessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?} = {}: {}", self.var, self.value, self.reason)
+    }
+}
+
 /// The product of materialization: the symbolic frame handed to the
 /// tracing context, plus the variable→oop mapping used for output
 /// snapshots.
@@ -26,6 +49,8 @@ pub struct MaterializedFrame {
     pub frame: Frame<SymOop>,
     /// Concrete oop chosen for each variable that denotes a VM value.
     pub var_oops: HashMap<VarId, Oop>,
+    /// Model assignments that could not be realized faithfully.
+    pub witness_errors: Vec<WitnessError>,
 }
 
 struct Materializer<'a> {
@@ -35,6 +60,7 @@ struct Materializer<'a> {
     /// Memo keyed by alias root so `ObjEq` variables share one object.
     memo: HashMap<u32, Oop>,
     var_oops: HashMap<VarId, Oop>,
+    witness_errors: Vec<WitnessError>,
 }
 
 impl Materializer<'_> {
@@ -57,9 +83,22 @@ impl Materializer<'_> {
             return nil; // bounded object-graph depth
         }
         match a.kind {
-            Kind::SmallInt => Oop::from_small_int(
-                a.int.clamp(igjit_heap::SMALL_INT_MIN, igjit_heap::SMALL_INT_MAX),
-            ),
+            Kind::SmallInt => match Oop::try_from_small_int(a.int) {
+                Some(oop) => oop,
+                None => {
+                    // Out-of-range witness: fall back to the nearest
+                    // representable value (deterministic) and report it
+                    // rather than panicking in `from_small_int`.
+                    self.witness_errors.push(WitnessError {
+                        var,
+                        value: a.int,
+                        reason: "SmallInteger witness outside the 31-bit tagged range",
+                    });
+                    Oop::from_small_int(
+                        a.int.clamp(igjit_heap::SMALL_INT_MIN, igjit_heap::SMALL_INT_MAX),
+                    )
+                }
+            },
             Kind::Float => self.mem.instantiate_float(a.float).unwrap_or(nil),
             Kind::Nil => nil,
             Kind::True => self.mem.true_object(),
@@ -151,7 +190,14 @@ pub fn materialize_frame(
         state.literal_var_at(i);
     }
 
-    let mut m = Materializer { state, model, mem, memo: HashMap::new(), var_oops: HashMap::new() };
+    let mut m = Materializer {
+        state,
+        model,
+        mem,
+        memo: HashMap::new(),
+        var_oops: HashMap::new(),
+        witness_errors: Vec::new(),
+    };
 
     let receiver_var = m.state.receiver;
     let receiver = SymOop::var(m.value_of(receiver_var, 0), receiver_var);
@@ -173,13 +219,14 @@ pub fn materialize_frame(
     }
 
     let var_oops = m.var_oops;
+    let witness_errors = m.witness_errors;
     let mut frame = Frame::new(
         receiver,
         MethodInfo { literals, num_args: 0, num_temps: temp_count as u8 },
     );
     frame.temps = temps;
     frame.stack = stack;
-    MaterializedFrame { frame, var_oops }
+    MaterializedFrame { frame, var_oops, witness_errors }
 }
 
 #[cfg(test)]
@@ -277,6 +324,47 @@ mod tests {
         assert_eq!(
             mat.frame.stack_at_depth(0).concrete,
             mat.frame.stack_at_depth(1).concrete
+        );
+    }
+
+    #[test]
+    fn out_of_range_witness_is_reported_not_fatal() {
+        // An adversarial model that assigns the receiver an integer
+        // outside the 31-bit tagged range. Materialization must not
+        // panic (the old `from_small_int` path aborted the whole
+        // campaign worker); it degrades to a clamped value plus a
+        // reported witness error.
+        let mut state = AbstractState::new();
+        let rcvr = state.receiver;
+        let bad = igjit_solver::Assignment {
+            kind: Kind::SmallInt,
+            int: igjit_heap::SMALL_INT_MAX + 1,
+            float: 0.0,
+            alias: 0,
+        };
+        let mut assignments = Vec::new();
+        for i in 0..=rcvr.index() {
+            assignments.push(if i == rcvr.index() {
+                bad
+            } else {
+                igjit_solver::Assignment {
+                    kind: Kind::SmallInt,
+                    int: 0,
+                    float: 0.0,
+                    alias: 1 + i as u32,
+                }
+            });
+        }
+        let model = igjit_solver::Model::from_assignments(assignments);
+        let mut mem = ObjectMemory::new();
+        let mat = materialize_frame(&mut state, &model, &mut mem);
+        assert_eq!(mat.witness_errors.len(), 1);
+        assert_eq!(mat.witness_errors[0].var, rcvr);
+        assert_eq!(mat.witness_errors[0].value, igjit_heap::SMALL_INT_MAX + 1);
+        assert_eq!(
+            mat.frame.receiver.concrete,
+            Oop::from_small_int(igjit_heap::SMALL_INT_MAX),
+            "fallback is the nearest representable value"
         );
     }
 

@@ -1,10 +1,32 @@
-//! The full evaluation campaign (§5 of the paper).
+//! The full evaluation campaign (§5 of the paper) — engine v2.
+//!
+//! The driver feeds every instruction of the VM through the
+//! explore → materialize → compile → simulate → compare pipeline and
+//! aggregates the Table 2 rows. Version 2 of the engine adds:
+//!
+//! - **Lock-free parallel execution.** Workers claim items off an
+//!   atomic cursor and stream `(index, result)` pairs over a channel;
+//!   nothing blocks on a shared mutex, and results are re-assembled in
+//!   input order, so the logical report content (rows, outcomes,
+//!   causes) is identical at every thread count.
+//! - **A shared exploration cache.** Concolic exploration depends only
+//!   on `(instruction, probes)`, so the four compiler targets and two
+//!   ISAs reuse one exploration instead of re-exploring per target —
+//!   the dominant redundant cost in the Figure 6 timings.
+//! - **An observability layer.** Per-stage wall-clock
+//!   ([`igjit_difftest::StageTimes`]), cache hit rates and a progress
+//!   callback, aggregated into [`Metrics`] that the harness binaries
+//!   render live and emit as JSON next to their reports.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 use igjit_bytecode::{instruction_catalog, Instruction};
-use igjit_concolic::InstrUnderTest;
-use igjit_difftest::{test_instruction, CampaignRow, DefectCategory, InstructionOutcome, Target};
+use igjit_concolic::{ExplorationCache, Explorer, InstrUnderTest};
+use igjit_difftest::{
+    test_instruction_with, CampaignRow, DefectCategory, InstructionOutcome, StageTimes, Target,
+};
 use igjit_interp::{native_catalog, NativeMethodId};
 use igjit_jit::CompilerKind;
 use igjit_machine::Isa;
@@ -20,21 +42,133 @@ pub struct CampaignConfig {
     /// Worker threads for the per-instruction loop (1 = sequential).
     /// Instructions are independent, so the campaign parallelizes
     /// embarrassingly; per-instruction timings stay meaningful because
-    /// each instruction is processed on one worker.
+    /// each instruction is processed on one worker. Defaults to the
+    /// machine's available parallelism.
     pub threads: usize,
 }
 
 impl Default for CampaignConfig {
     fn default() -> Self {
-        CampaignConfig { isas: vec![Isa::X86ish, Isa::Arm32ish], probes: true, threads: 1 }
+        CampaignConfig {
+            isas: vec![Isa::X86ish, Isa::Arm32ish],
+            probes: true,
+            threads: default_threads(),
+        }
+    }
+}
+
+/// The machine's available parallelism (1 when undetectable).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Progress of a running campaign batch, delivered to the callback
+/// registered with [`Campaign::on_progress`] after each instruction
+/// completes. Callbacks run on worker threads and must be cheap.
+#[derive(Clone, Debug)]
+pub struct Progress {
+    /// Label of the running Table 2 row (compiler name).
+    pub row: String,
+    /// Instructions finished so far in this row.
+    pub completed: usize,
+    /// Instructions in this row.
+    pub total: usize,
+    /// Label of the instruction that just finished.
+    pub current: String,
+}
+
+type ProgressCallback = Arc<dyn Fn(&Progress) + Send + Sync>;
+
+/// Aggregated observability data for one campaign batch (or, via
+/// [`Metrics::merge`], a whole campaign).
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    /// Worker threads the batch ran on.
+    pub threads: usize,
+    /// Instructions processed.
+    pub instructions: usize,
+    /// Summed per-stage wall-clock across all instructions (CPU-side
+    /// cost; exceeds `wall_clock` when threads > 1).
+    pub stages: StageTimes,
+    /// Exploration-cache hits.
+    pub cache_hits: usize,
+    /// Exploration-cache misses (explorations actually run).
+    pub cache_misses: usize,
+    /// Models whose materialization hit an unrealizable witness and
+    /// were reported as test errors instead of compared.
+    pub witness_errors: usize,
+    /// End-to-end wall-clock of the batch.
+    pub wall_clock: Duration,
+}
+
+impl Metrics {
+    /// Fraction of exploration lookups served from the cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Folds another batch's metrics into this one. Wall-clocks add
+    /// (batches run back to back); thread counts keep the maximum.
+    pub fn merge(&mut self, other: &Metrics) {
+        self.threads = self.threads.max(other.threads);
+        self.instructions += other.instructions;
+        self.stages.merge(&other.stages);
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.witness_errors += other.witness_errors;
+        self.wall_clock += other.wall_clock;
+    }
+
+    /// Renders the metrics as a self-contained JSON object.
+    pub fn to_json(&self) -> String {
+        let ms = |d: Duration| d.as_secs_f64() * 1000.0;
+        format!(
+            concat!(
+                "{{\"threads\":{},\"instructions\":{},\"wall_clock_ms\":{:.3},",
+                "\"witness_errors\":{},",
+                "\"cache\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{:.4}}},",
+                "\"stages_ms\":{{\"explore\":{:.3},\"materialize\":{:.3},",
+                "\"compile\":{:.3},\"simulate\":{:.3},\"compare\":{:.3},\"total\":{:.3}}}}}"
+            ),
+            self.threads,
+            self.instructions,
+            ms(self.wall_clock),
+            self.witness_errors,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_hit_rate(),
+            ms(self.stages.explore),
+            ms(self.stages.materialize),
+            ms(self.stages.compile),
+            ms(self.stages.simulate),
+            ms(self.stages.compare),
+            ms(self.stages.total()),
+        )
     }
 }
 
 /// The campaign driver: explores, compiles, runs and compares every
 /// instruction of the VM against a chosen compiler.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Default)]
 pub struct Campaign {
     config: CampaignConfig,
+    cache: Arc<ExplorationCache>,
+    on_progress: Option<ProgressCallback>,
+}
+
+impl std::fmt::Debug for Campaign {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Campaign")
+            .field("config", &self.config)
+            .field("cache_entries", &self.cache.len())
+            .field("on_progress", &self.on_progress.is_some())
+            .finish()
+    }
 }
 
 /// Per-instruction timing sample (feeds Figures 6 and 7).
@@ -48,6 +182,10 @@ pub struct TimingSample {
     pub elapsed: Duration,
     /// Paths explored.
     pub paths: usize,
+    /// Per-stage breakdown of `elapsed`.
+    pub stages: StageTimes,
+    /// Whether the exploration came from the shared cache.
+    pub cache_hit: bool,
 }
 
 /// Aggregate result of one campaign run (one Table 2 row plus the
@@ -60,6 +198,8 @@ pub struct CampaignReport {
     pub outcomes: Vec<InstructionOutcome>,
     /// Per-instruction wall-clock samples.
     pub timings: Vec<TimingSample>,
+    /// Observability data for the batch that produced this row.
+    pub metrics: Metrics,
 }
 
 impl CampaignReport {
@@ -82,15 +222,18 @@ impl CampaignReport {
     }
 }
 
+/// One unit of campaign work: a labelled instruction × target pair.
+type WorkItem = (String, bool, InstrUnderTest, Target);
+
 impl Campaign {
     /// A campaign with the paper's configuration (both ISAs, probing
     /// on).
     pub fn new(config: CampaignConfig) -> Campaign {
-        Campaign { config }
+        Campaign { config, cache: Arc::new(ExplorationCache::new()), on_progress: None }
     }
 
     /// A fast configuration for doctests and examples: one ISA, no
-    /// probing.
+    /// probing, sequential.
     pub fn quick() -> Campaign {
         Campaign::new(CampaignConfig { isas: vec![Isa::X86ish], probes: false, threads: 1 })
     }
@@ -100,50 +243,86 @@ impl Campaign {
         &self.config
     }
 
+    /// The exploration cache shared by every run of this campaign.
+    pub fn cache(&self) -> &ExplorationCache {
+        &self.cache
+    }
+
+    /// Registers a progress callback, invoked from worker threads
+    /// after each instruction completes.
+    pub fn on_progress(mut self, callback: impl Fn(&Progress) + Send + Sync + 'static) -> Self {
+        self.on_progress = Some(Arc::new(callback));
+        self
+    }
+
     /// Differentially tests one bytecode instruction against one tier.
     pub fn test_bytecode_instruction(
         &self,
         instr: Instruction,
         kind: CompilerKind,
     ) -> InstructionOutcome {
-        test_instruction(
-            InstrUnderTest::Bytecode(instr),
-            Target::Bytecode(kind),
-            &self.config.isas,
-            self.config.probes,
-        )
+        self.run_one(InstrUnderTest::Bytecode(instr), Target::Bytecode(kind)).1
     }
 
     /// Differentially tests one native method against the template
     /// compiler.
     pub fn test_native_method(&self, id: NativeMethodId) -> InstructionOutcome {
-        test_instruction(
-            InstrUnderTest::Native(id),
-            Target::NativeMethods,
-            &self.config.isas,
-            self.config.probes,
-        )
+        self.run_one(InstrUnderTest::Native(id), Target::NativeMethods).1
     }
 
-    /// Runs a batch of instructions, sequentially or on a crossbeam
+    /// Runs the whole pipeline for one instruction, reusing (and
+    /// feeding) the shared exploration cache.
+    fn run_one(&self, instr: InstrUnderTest, target: Target) -> (TimingInfo, InstructionOutcome) {
+        let t0 = Instant::now();
+        let lookup = self.cache.get_or_explore(&Explorer::new(), instr, self.config.probes);
+        let (outcome, stages) = test_instruction_with(
+            instr,
+            target,
+            &self.config.isas,
+            self.config.probes,
+            &lookup.exploration,
+            lookup.explore_time,
+        );
+        (TimingInfo { elapsed: t0.elapsed(), stages, cache_hit: lookup.hit }, outcome)
+    }
+
+    /// Runs a batch of instructions, sequentially or on a lock-free
     /// worker pool, preserving input order in the outputs.
-    fn run_batch(
-        &self,
-        label: String,
-        items: Vec<(String, bool, InstrUnderTest, Target)>,
-    ) -> CampaignReport {
-        let threads = self.config.threads.max(1);
-        let run_one = |(name, is_native, instr, target): &(String, bool, InstrUnderTest, Target)|
+    ///
+    /// Parallel scheme: workers claim the next item off an atomic
+    /// cursor (dynamic load balancing — per-instruction cost varies by
+    /// orders of magnitude) and send `(index, result)` through a
+    /// channel; the scope's owner thread writes each result into its
+    /// input-order slot. No mutex anywhere, and the report content is
+    /// identical at any thread count because both the work (pure per
+    /// item) and the assembly order (by index) are scheduling-independent.
+    fn run_batch(&self, label: String, items: Vec<WorkItem>) -> CampaignReport {
+        let threads = self.config.threads.clamp(1, items.len().max(1));
+        let wall0 = Instant::now();
+        let done = AtomicUsize::new(0);
+        let total = items.len();
+        let report_progress = |name: &str| {
+            if let Some(cb) = &self.on_progress {
+                cb(&Progress {
+                    row: label.clone(),
+                    completed: done.fetch_add(1, Ordering::Relaxed) + 1,
+                    total,
+                    current: name.to_string(),
+                });
+            }
+        };
+        let run_one = |(name, is_native, instr, target): &WorkItem|
          -> (TimingSample, InstructionOutcome) {
-            let t0 = Instant::now();
-            let outcome =
-                test_instruction(*instr, *target, &self.config.isas, self.config.probes);
+            let (info, outcome) = self.run_one(*instr, *target);
+            report_progress(name);
             (
                 TimingSample {
                     label: name.clone(),
                     is_native: *is_native,
-                    elapsed: t0.elapsed(),
+                    elapsed: info.elapsed,
                     paths: outcome.paths_found,
+                    stages: info.stages,
+                    cache_hit: info.cache_hit,
                 },
                 outcome,
             )
@@ -151,34 +330,54 @@ impl Campaign {
         let results: Vec<(TimingSample, InstructionOutcome)> = if threads <= 1 {
             items.iter().map(run_one).collect()
         } else {
-            let next = std::sync::atomic::AtomicUsize::new(0);
+            let next = AtomicUsize::new(0);
             let mut slots: Vec<Option<(TimingSample, InstructionOutcome)>> =
                 (0..items.len()).map(|_| None).collect();
-            let slots_mutex = parking_lot::Mutex::new(&mut slots);
-            crossbeam::thread::scope(|s| {
+            std::thread::scope(|s| {
+                let (tx, rx) = mpsc::channel();
+                let items = &items;
+                let next = &next;
+                let run_one = &run_one;
                 for _ in 0..threads {
-                    s.spawn(|_| loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let tx = tx.clone();
+                    s.spawn(move || loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= items.len() {
                             break;
                         }
-                        let r = run_one(&items[i]);
-                        slots_mutex.lock()[i] = Some(r);
+                        // A send only fails if the collector is gone,
+                        // which only happens when the scope is
+                        // unwinding already.
+                        if tx.send((i, run_one(&items[i]))).is_err() {
+                            break;
+                        }
                     });
                 }
-            })
-            .expect("campaign workers");
+                drop(tx);
+                for (i, result) in rx {
+                    slots[i] = Some(result);
+                }
+            });
             slots.into_iter().map(|s| s.expect("every slot filled")).collect()
         };
         let mut row = CampaignRow { label, ..CampaignRow::default() };
         let mut outcomes = Vec::with_capacity(results.len());
         let mut timings = Vec::with_capacity(results.len());
+        let mut metrics = Metrics { threads, instructions: results.len(), ..Metrics::default() };
         for (t, o) in results {
             row.absorb(&o);
+            metrics.stages.merge(&t.stages);
+            metrics.witness_errors += o.witness_errors;
+            if t.cache_hit {
+                metrics.cache_hits += 1;
+            } else {
+                metrics.cache_misses += 1;
+            }
             timings.push(t);
             outcomes.push(o);
         }
-        CampaignReport { row, outcomes, timings }
+        metrics.wall_clock = wall0.elapsed();
+        CampaignReport { row, outcomes, timings, metrics }
     }
 
     /// Runs the native-method row of Table 2: all 112 primitives.
@@ -210,6 +409,10 @@ impl Campaign {
     }
 
     /// The full Table 2: native methods plus the three bytecode tiers.
+    ///
+    /// Thanks to the shared exploration cache, each bytecode
+    /// instruction is explored once for the first tier and reused by
+    /// the other two.
     pub fn run_all(&self) -> Vec<CampaignReport> {
         let mut reports = vec![self.run_native_methods()];
         for kind in CompilerKind::ALL {
@@ -217,6 +420,22 @@ impl Campaign {
         }
         reports
     }
+}
+
+/// Timing facts `run_one` hands to `run_batch`.
+struct TimingInfo {
+    elapsed: Duration,
+    stages: StageTimes,
+    cache_hit: bool,
+}
+
+/// Sums the per-row metrics of a full campaign run.
+pub fn aggregate_metrics(reports: &[CampaignReport]) -> Metrics {
+    let mut total = Metrics::default();
+    for r in reports {
+        total.merge(&r.metrics);
+    }
+    total
 }
 
 #[cfg(test)]
@@ -248,12 +467,87 @@ mod tests {
         let mut row = CampaignRow { label: "t".into(), ..Default::default() };
         let o = c.test_native_method(NativeMethodId(14));
         row.absorb(&o);
-        let report = CampaignReport { row, outcomes: vec![o], timings: vec![] };
+        let report = CampaignReport {
+            row,
+            outcomes: vec![o],
+            timings: vec![],
+            metrics: Metrics::default(),
+        };
         let by_cat = report.causes_by_category();
         let behavioural = by_cat
             .iter()
             .find(|(c, _)| *c == DefectCategory::BehaviouralDifference)
             .unwrap();
         assert!(behavioural.1 >= 1);
+    }
+
+    #[test]
+    fn repeated_tests_hit_the_exploration_cache() {
+        let c = Campaign::quick();
+        let _ = c.test_bytecode_instruction(Instruction::Pop, CompilerKind::StackToRegister);
+        assert_eq!(c.cache().misses(), 1);
+        let _ = c.test_bytecode_instruction(Instruction::Pop, CompilerKind::SimpleStackBased);
+        assert_eq!(c.cache().hits(), 1, "second tier reuses the exploration");
+    }
+
+    #[test]
+    fn progress_callback_sees_every_item() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let seen = Arc::new(AtomicUsize::new(0));
+        let seen2 = Arc::clone(&seen);
+        let c = Campaign::new(CampaignConfig {
+            isas: vec![Isa::X86ish],
+            probes: false,
+            threads: 2,
+        })
+        .on_progress(move |p| {
+            seen2.fetch_add(1, Ordering::Relaxed);
+            assert!(p.completed <= p.total);
+        });
+        let report = c.run_native_methods();
+        assert_eq!(seen.load(Ordering::Relaxed), report.row.tested_instructions);
+    }
+
+    #[test]
+    fn parallel_report_is_bit_identical_to_sequential() {
+        // The lock-free sweep assembles results in input order, so the
+        // report must not depend on the worker count: same rows, same
+        // cause sets, same outcome order at threads = 1 and 4.
+        let run = |threads: usize| {
+            Campaign::new(CampaignConfig {
+                isas: vec![Isa::X86ish, Isa::Arm32ish],
+                probes: true,
+                threads,
+            })
+            .run_native_methods()
+        };
+        let (seq, par) = (run(1), run(4));
+        assert_eq!(seq.row, par.row);
+        assert_eq!(seq.causes(), par.causes());
+        assert_eq!(seq.outcomes.len(), par.outcomes.len());
+        for (a, b) in seq.outcomes.iter().zip(&par.outcomes) {
+            assert_eq!(a.causes(), b.causes());
+            assert_eq!(a.paths_found, b.paths_found);
+            assert_eq!(a.curated, b.curated);
+            assert_eq!(a.witness_errors, b.witness_errors);
+        }
+    }
+
+    #[test]
+    fn metrics_json_is_well_formed_enough() {
+        let m = Metrics {
+            threads: 4,
+            instructions: 7,
+            stages: StageTimes::default(),
+            cache_hits: 3,
+            cache_misses: 4,
+            witness_errors: 0,
+            wall_clock: Duration::from_millis(12),
+        };
+        let j = m.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"threads\":4"));
+        assert!(j.contains("\"hit_rate\":0.4286"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 }

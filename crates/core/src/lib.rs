@@ -51,15 +51,18 @@ mod campaign;
 pub mod report;
 pub mod testgen;
 
-pub use campaign::{Campaign, CampaignConfig, CampaignReport};
+pub use campaign::{aggregate_metrics, default_threads, Campaign, CampaignConfig, CampaignReport,
+                   Metrics, Progress, TimingSample};
 pub use testgen::{GeneratedSuite, GeneratedTest, SuiteReport, TestResult};
 
 // The full substrate, re-exported for downstream users.
 pub use igjit_bytecode::{instruction_catalog, Family, Instruction, InstructionSpec,
                          SpecialSelector};
-pub use igjit_concolic::{ExplorationResult, Explorer, ExploredPath, InstrUnderTest, PathOutcome};
-pub use igjit_difftest::{test_instruction, CampaignRow, CauseKey, DefectCategory,
-                         InstructionOutcome, PathVerdict, Target, Verdict};
+pub use igjit_concolic::{ExplorationCache, ExplorationResult, Explorer, ExploredPath,
+                         InstrUnderTest, PathOutcome};
+pub use igjit_difftest::{test_instruction, test_instruction_with, CampaignRow, CauseKey,
+                         DefectCategory, InstructionOutcome, PathVerdict, StageTimes, Target,
+                         Verdict};
 pub use igjit_heap::{ClassIndex, ObjectMemory, Oop};
 pub use igjit_interp::{native_catalog, ExitCondition, Image, NativeGroup, NativeMethodId,
                        NativeMethodSpec};

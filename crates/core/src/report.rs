@@ -153,6 +153,45 @@ pub fn ascii_histogram(values: &[f64], buckets: usize, width: usize) -> String {
     out
 }
 
+/// Renders the observability data of a full campaign run as a JSON
+/// document: the aggregate metrics plus one entry per Table 2 row.
+/// The harness binaries write this next to their textual reports.
+pub fn metrics_json(reports: &[CampaignReport]) -> String {
+    let total = crate::campaign::aggregate_metrics(reports);
+    let mut out = String::from("{\n  \"total\":");
+    out.push_str(&total.to_json());
+    out.push_str(",\n  \"rows\":[");
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"label\":");
+        out.push_str(&json_string(&r.row.label));
+        out.push_str(",\"metrics\":");
+        out.push_str(&r.metrics.to_json());
+        out.push('}');
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Escapes a string as a JSON literal (the small subset our labels
+/// need: quotes, backslashes and control characters).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,20 +209,15 @@ mod tests {
 
     #[test]
     fn figure_summaries_render() {
-        let samples = vec![
-            TimingSample {
-                label: "Add".into(),
-                is_native: false,
-                elapsed: Duration::from_millis(3),
-                paths: 7,
-            },
-            TimingSample {
-                label: "primitiveAdd".into(),
-                is_native: true,
-                elapsed: Duration::from_millis(9),
-                paths: 5,
-            },
-        ];
+        let sample = |label: &str, is_native: bool, ms: u64, paths: usize| TimingSample {
+            label: label.into(),
+            is_native,
+            elapsed: Duration::from_millis(ms),
+            paths,
+            stages: Default::default(),
+            cache_hit: false,
+        };
+        let samples = vec![sample("Add", false, 3, 7), sample("primitiveAdd", true, 9, 5)];
         let f5 = figure5_summary(&samples);
         assert!(f5.contains("Bytecode"));
         assert!(f5.contains("Native Method"));

@@ -54,8 +54,14 @@ pub enum TestResult {
 impl GeneratedTest {
     /// Replays the test: fresh frames, fresh heaps, both engines.
     pub fn run(&self) -> TestResult {
-        let (interp_exit, interp_mem, _frame, var_oops) =
-            run_oracle(&self.state, &self.model, self.instruction);
+        let oracle = run_oracle(&self.state, &self.model, self.instruction);
+        if !oracle.witness_errors.is_empty() {
+            return TestResult::Fail(format!(
+                "unrealizable witness: {}",
+                oracle.witness_errors[0]
+            ));
+        }
+        let (interp_exit, interp_mem, var_oops) = (oracle.exit, oracle.mem, oracle.var_oops);
         if !interp_exit.is_testable() {
             return TestResult::Skipped;
         }

@@ -1,9 +1,10 @@
 //! The per-instruction differential campaign.
 
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 use igjit_concolic::{
-    materialize_frame, AbstractState, CurationReason, Explorer, InstrUnderTest,
+    materialize_frame, AbstractState, CurationReason, ExplorationResult, Explorer, InstrUnderTest,
 };
 use igjit_heap::{ObjectMemory, Oop};
 use igjit_interp::Frame;
@@ -13,7 +14,7 @@ use igjit_solver::{Model, VarId};
 
 use crate::classify::{classify, CauseKey};
 use crate::compare::{compare_runs, Difference, Verdict};
-use crate::compiled::run_compiled_for_instr;
+use crate::compiled::run_compiled_for_instr_timed;
 use crate::oracle::{concrete_frame, run_oracle, EngineExit};
 use crate::probes::probe_models;
 
@@ -80,6 +81,10 @@ pub struct InstructionOutcome {
     pub verdicts: Vec<PathVerdict>,
     /// Solver/exploration iterations spent (for Fig. 6-style stats).
     pub explore_iterations: usize,
+    /// Models whose materialization produced an unrealizable witness
+    /// (reported as test errors; their runs are skipped, not
+    /// compared).
+    pub witness_errors: usize,
 }
 
 impl InstructionOutcome {
@@ -99,7 +104,7 @@ impl InstructionOutcome {
 }
 
 /// One row of Table 2.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CampaignRow {
     /// Row label (compiler name).
     pub label: String,
@@ -133,6 +138,47 @@ impl CampaignRow {
     }
 }
 
+/// Wall-clock spent in each stage of the differential pipeline for
+/// one instruction (the observability layer's unit of account).
+///
+/// Stage boundaries:
+/// - `explore`: concolic exploration plus kind-probe model solving.
+///   Zero when the exploration came from a cache.
+/// - `materialize`: model-to-heap materialization *and* the concrete
+///   interpreter oracle run it feeds (they share one traversal).
+/// - `compile`: JIT front-end + back-end time for the target tier.
+/// - `simulate`: machine-simulator execution of the compiled code.
+/// - `compare`: behavioural comparison and defect classification.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageTimes {
+    /// Concolic exploration + probe-model solving.
+    pub explore: Duration,
+    /// Materialization + interpreter-oracle execution.
+    pub materialize: Duration,
+    /// JIT compilation.
+    pub compile: Duration,
+    /// Machine simulation of compiled code.
+    pub simulate: Duration,
+    /// Comparison + classification.
+    pub compare: Duration,
+}
+
+impl StageTimes {
+    /// Sum over all stages.
+    pub fn total(&self) -> Duration {
+        self.explore + self.materialize + self.compile + self.simulate + self.compare
+    }
+
+    /// Accumulates another sample into this one.
+    pub fn merge(&mut self, other: &StageTimes) {
+        self.explore += other.explore;
+        self.materialize += other.materialize;
+        self.compile += other.compile;
+        self.simulate += other.simulate;
+        self.compare += other.compare;
+    }
+}
+
 fn materialized(
     state: &AbstractState,
     model: &Model,
@@ -161,22 +207,52 @@ fn exit_label(e: &EngineExit) -> String {
 /// Runs the full differential pipeline for one instruction: concolic
 /// exploration, curation, (optional) kind probing, and a compiled run
 /// per ISA per model, compared against the interpreter oracle.
+///
+/// Explores from scratch on every call. The campaign driver avoids
+/// that via [`test_instruction_with`] and a shared
+/// [`igjit_concolic::ExplorationCache`].
 pub fn test_instruction(
     instr: InstrUnderTest,
     target: Target,
     isas: &[Isa],
     enable_probes: bool,
 ) -> InstructionOutcome {
+    let t0 = Instant::now();
     let exploration = Explorer::new().explore(instr);
+    let explore_time = t0.elapsed();
+    let (outcome, _times) =
+        test_instruction_with(instr, target, isas, enable_probes, &exploration, explore_time);
+    outcome
+}
+
+/// Runs the differential pipeline against an exploration produced (and
+/// possibly shared) by the caller, returning per-stage wall-clock next
+/// to the outcome.
+///
+/// `explore_time` is the wall-clock the caller spent producing
+/// `exploration` — pass [`Duration::ZERO`] when it came from a cache so
+/// the stage accounting reflects work actually done for this call.
+pub fn test_instruction_with(
+    instr: InstrUnderTest,
+    target: Target,
+    isas: &[Isa],
+    enable_probes: bool,
+    exploration: &ExplorationResult,
+    explore_time: Duration,
+) -> (InstructionOutcome, StageTimes) {
+    let mut times = StageTimes { explore: explore_time, ..StageTimes::default() };
     let curated: Vec<_> = exploration.curated_paths().into_iter().cloned().collect();
     let mut verdicts = Vec::new();
+    let mut witness_errors = 0usize;
 
     for path in &curated {
+        let t_probe = Instant::now();
         let models = if enable_probes {
             probe_models(&exploration.state, path, 16)
         } else {
             vec![path.model.clone()]
         };
+        times.explore += t_probe.elapsed();
         let mut verdict: Verdict = Verdict::Agree;
         let mut cause = None;
         let mut all_causes: Vec<CauseKey> = Vec::new();
@@ -185,35 +261,48 @@ pub fn test_instruction(
         let mut base_exit_label = String::new();
 
         'models: for (mi, model) in models.iter().enumerate() {
-            let (interp_mem, input_frame, var_oops) =
-                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    run_oracle(&exploration.state, model, instr)
-                })) {
-                    Ok((exit, mem, frame, oops)) => {
-                        if mi == 0 {
-                            base_exit_label = exit_label(&exit);
-                        }
-                        if !exit.is_testable() {
-                            continue 'models;
-                        }
-                        // Stash the oracle's products.
-                        ((exit, mem), frame, oops)
+            let t_oracle = Instant::now();
+            let oracle_run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_oracle(&exploration.state, model, instr)
+            }));
+            times.materialize += t_oracle.elapsed();
+            let (interp_exit, interp_mem, input_frame, var_oops) = match oracle_run {
+                Ok(run) => {
+                    if mi == 0 {
+                        base_exit_label = exit_label(&run.exit);
                     }
-                    Err(_) => continue 'models,
-                };
-            let (interp_exit, interp_mem) = interp_mem;
+                    if !run.witness_errors.is_empty() {
+                        // The materializer substituted fallback inputs
+                        // for an unrealizable witness: report a test
+                        // error and skip the comparison — the run no
+                        // longer reflects the solver's model.
+                        witness_errors += 1;
+                        continue 'models;
+                    }
+                    if !run.exit.is_testable() {
+                        continue 'models;
+                    }
+                    (run.exit, run.mem, run.input_frame, run.var_oops)
+                }
+                Err(_) => continue 'models,
+            };
             for &isa in isas {
                 // Fresh, identical materialization for the compiled run.
+                let t_mat = Instant::now();
                 let (mem2, frame2, _) = materialized(&exploration.state, model);
+                times.materialize += t_mat.elapsed();
                 debug_assert_eq!(frame2.stack, input_frame.stack);
-                let (compiled, compiled_mem) = run_compiled_for_instr(
+                let (compiled, compiled_mem) = run_compiled_for_instr_timed(
                     target.compiler_kind(),
                     isa,
                     instr,
                     &frame2,
                     mem2,
+                    &mut times,
                 );
+                let t_cmp = Instant::now();
                 let v = compare_runs(&interp_exit, &interp_mem, &compiled, &compiled_mem, &var_oops);
+                times.compare += t_cmp.elapsed();
                 if let Verdict::Difference(d) = v {
                     let key = classify(instr, target.compiler_kind(), &d);
                     if !all_causes.contains(&key) {
@@ -250,14 +339,16 @@ pub fn test_instruction(
         });
     }
 
-    InstructionOutcome {
+    let outcome = InstructionOutcome {
         instruction: instr,
         paths_found: exploration.paths.len(),
         curated: curated.len(),
         curated_out: exploration.curated_out.clone(),
         verdicts,
         explore_iterations: exploration.iterations,
-    }
+        witness_errors,
+    };
+    (outcome, times)
 }
 
 #[cfg(test)]

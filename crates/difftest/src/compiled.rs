@@ -1,5 +1,7 @@
 //! Running compiled code for one explored path.
 
+use std::time::Instant;
+
 use igjit_bytecode::SpecialSelector;
 use igjit_concolic::InstrUnderTest;
 use igjit_heap::{ObjectMemory, Oop};
@@ -10,6 +12,7 @@ use igjit_jit::{
 };
 use igjit_machine::{Isa, Machine, MachineConfig, MachineOutcome};
 
+use crate::campaign::StageTimes;
 use crate::oracle::{EngineExit, SelectorId};
 
 /// Outcome of a compiled run (or the compiler's refusal).
@@ -56,8 +59,23 @@ pub fn run_compiled_sequence(
     isa: Isa,
     instrs: &[igjit_bytecode::Instruction],
     frame: &igjit_interp::Frame<Oop>,
+    mem: ObjectMemory,
+    send_arity_hint: usize,
+) -> (CompiledRun, ObjectMemory) {
+    let mut scratch = StageTimes::default();
+    run_compiled_sequence_timed(kind, isa, instrs, frame, mem, send_arity_hint, &mut scratch)
+}
+
+/// [`run_compiled_sequence`] with compile/simulate wall-clock split
+/// out into `times` for the campaign's observability layer.
+pub fn run_compiled_sequence_timed(
+    kind: CompilerKind,
+    isa: Isa,
+    instrs: &[igjit_bytecode::Instruction],
+    frame: &igjit_interp::Frame<Oop>,
     mut mem: ObjectMemory,
     send_arity_hint: usize,
+    times: &mut StageTimes,
 ) -> (CompiledRun, ObjectMemory) {
     let input = BytecodeTestInput {
         instruction: instrs[0],
@@ -68,13 +86,17 @@ pub fn run_compiled_sequence(
         true_obj: mem.true_object(),
         false_obj: mem.false_object(),
     };
-    let compiled = match igjit_jit::compile_bytecode_sequence_test(kind, instrs, &input, isa) {
+    let t_compile = Instant::now();
+    let compiled = igjit_jit::compile_bytecode_sequence_test(kind, instrs, &input, isa);
+    times.compile += t_compile.elapsed();
+    let compiled = match compiled {
         Ok(c) => c,
         Err(e) => return (CompiledRun::Refused(e), mem),
     };
     let frame_bytes = 4 * compiled.ntemps + SPILL_BYTES;
     let conv = Convention::for_isa(isa);
     let ntemps = compiled.ntemps;
+    let t_sim = Instant::now();
     let exit = {
         let mut m = Machine::new(&mut mem, isa, compiled.code);
         m.set_reg(conv.receiver, frame.receiver.0);
@@ -124,6 +146,7 @@ pub fn run_compiled_sequence(
             }
         }
     };
+    times.simulate += t_sim.elapsed();
     (CompiledRun::Ran(exit), mem)
 }
 
@@ -134,23 +157,41 @@ pub fn run_compiled_native(
     id: igjit_interp::NativeMethodId,
     receiver: Oop,
     args: &[Oop],
+    mem: ObjectMemory,
+) -> (CompiledRun, ObjectMemory) {
+    let mut scratch = StageTimes::default();
+    run_compiled_native_timed(isa, id, receiver, args, mem, &mut scratch)
+}
+
+/// [`run_compiled_native`] with compile/simulate wall-clock split out
+/// into `times`.
+pub fn run_compiled_native_timed(
+    isa: Isa,
+    id: igjit_interp::NativeMethodId,
+    receiver: Oop,
+    args: &[Oop],
     mut mem: ObjectMemory,
+    times: &mut StageTimes,
 ) -> (CompiledRun, ObjectMemory) {
     let input = NativeTestInput {
         nil: mem.nil(),
         true_obj: mem.true_object(),
         false_obj: mem.false_object(),
     };
-    let compiled = match compile_native_test(
+    let t_compile = Instant::now();
+    let compiled = compile_native_test(
         igjit_jit::native::igjit_bytecode_native_id::NativeMethodIdLike(id.0),
         input,
         isa,
-    ) {
+    );
+    times.compile += t_compile.elapsed();
+    let compiled = match compiled {
         Ok(c) => c,
         Err(e) => return (CompiledRun::Refused(e), mem),
     };
     let conv = Convention::for_isa(isa);
     let argc = native_spec(id).map(|s| s.argc as usize).unwrap_or(args.len());
+    let t_sim = Instant::now();
     let exit = {
         let mut m = Machine::new(&mut mem, isa, compiled.code);
         m.set_reg(conv.receiver, receiver.0);
@@ -179,6 +220,7 @@ pub fn run_compiled_native(
             }
         }
     };
+    times.simulate += t_sim.elapsed();
     (CompiledRun::Ran(exit), mem)
 }
 
@@ -190,21 +232,38 @@ pub fn run_compiled_for_instr(
     frame: &igjit_interp::Frame<Oop>,
     mem: ObjectMemory,
 ) -> (CompiledRun, ObjectMemory) {
+    let mut scratch = StageTimes::default();
+    run_compiled_for_instr_timed(target_kind, isa, instr, frame, mem, &mut scratch)
+}
+
+/// [`run_compiled_for_instr`] with compile/simulate wall-clock split
+/// out into `times`.
+pub fn run_compiled_for_instr_timed(
+    target_kind: Option<CompilerKind>,
+    isa: Isa,
+    instr: InstrUnderTest,
+    frame: &igjit_interp::Frame<Oop>,
+    mem: ObjectMemory,
+    times: &mut StageTimes,
+) -> (CompiledRun, ObjectMemory) {
     match instr {
         InstrUnderTest::Bytecode(i) => {
             let arity = i.stack_arity() as usize;
-            run_compiled_bytecode(
+            run_compiled_sequence_timed(
                 target_kind.expect("bytecode target needs a compiler kind"),
                 isa,
-                i,
+                &[i],
                 frame,
                 mem,
                 arity.saturating_sub(1),
+                times,
             )
         }
         InstrUnderTest::Native(id) => {
             match crate::oracle::native_operands(frame, id) {
-                Some((receiver, args)) => run_compiled_native(isa, id, receiver, &args, mem),
+                Some((receiver, args)) => {
+                    run_compiled_native_timed(isa, id, receiver, &args, mem, times)
+                }
                 None => (
                     CompiledRun::Ran(EngineExit::InvalidFrame),
                     mem,

@@ -31,12 +31,14 @@ mod oracle;
 mod probes;
 mod sequence;
 
-pub use campaign::{test_instruction, CampaignRow, InstructionOutcome, PathVerdict, Target};
+pub use campaign::{test_instruction, test_instruction_with, CampaignRow, InstructionOutcome,
+                   PathVerdict, StageTimes, Target};
 pub use classify::{classify, CauseKey, DefectCategory};
 pub use compare::{compare_runs, values_equivalent, Difference, DifferenceKind, Verdict};
-pub use compiled::{run_compiled_bytecode, run_compiled_native, run_compiled_sequence,
-                   CompiledRun};
-pub use oracle::{concrete_frame, run_oracle, EngineExit, SelectorId};
+pub use compiled::{run_compiled_bytecode, run_compiled_for_instr, run_compiled_for_instr_timed,
+                   run_compiled_native, run_compiled_native_timed, run_compiled_sequence,
+                   run_compiled_sequence_timed, CompiledRun};
+pub use oracle::{concrete_frame, run_oracle, EngineExit, OracleRun, SelectorId};
 pub use probes::probe_models;
 pub use sequence::{minimal_sequence_for_path, run_oracle_sequence, test_sequence,
                    SequenceOutcome};

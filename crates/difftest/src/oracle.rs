@@ -92,18 +92,26 @@ pub fn concrete_frame(frame: &Frame<igjit_concolic::SymOop>) -> Frame<Oop> {
     f
 }
 
+/// Everything an oracle run produced.
+#[derive(Debug)]
+pub struct OracleRun {
+    /// Observable exit of the interpreter.
+    pub exit: EngineExit,
+    /// The heap after the run (for side-effect comparison).
+    pub mem: ObjectMemory,
+    /// The materialized input frame (for the compiled run to reuse).
+    pub input_frame: Frame<Oop>,
+    /// Variable→oop mapping of the materialization.
+    pub var_oops: std::collections::HashMap<igjit_solver::VarId, Oop>,
+    /// Model assignments the materializer could not realize
+    /// faithfully. Non-empty means the run used fallback inputs and
+    /// must be reported as a test error, not compared.
+    pub witness_errors: Vec<igjit_concolic::WitnessError>,
+}
+
 /// The oracle run: materializes `model` into a fresh heap and runs the
 /// interpreter concretely.
-///
-/// Returns the exit, the mutated heap, the input frame (for the
-/// compiled run to reuse) and the var→oop mapping (for side-effect
-/// comparison).
-pub fn run_oracle(
-    state: &AbstractState,
-    model: &Model,
-    instr: InstrUnderTest,
-) -> (EngineExit, ObjectMemory, Frame<Oop>, std::collections::HashMap<igjit_solver::VarId, Oop>)
-{
+pub fn run_oracle(state: &AbstractState, model: &Model, instr: InstrUnderTest) -> OracleRun {
     let mut state = state.clone();
     let mut mem = ObjectMemory::new();
     let mat = materialize_frame(&mut state, model, &mut mem);
@@ -149,7 +157,7 @@ pub fn run_oracle(
             }
         }
     };
-    (exit, mem, input_frame, mat.var_oops)
+    OracleRun { exit, mem, input_frame, var_oops: mat.var_oops, witness_errors: mat.witness_errors }
 }
 
 /// The receiver and argument slice of a native-method frame (receiver
@@ -176,11 +184,12 @@ mod tests {
     fn oracle_reproduces_explored_outcomes() {
         let r = Explorer::new().explore(InstrUnderTest::Bytecode(Instruction::Add));
         for path in r.curated_paths() {
-            let (exit, _, _, _) = run_oracle(&r.state, &path.model, path.instruction);
+            let run = run_oracle(&r.state, &path.model, path.instruction);
+            assert!(run.witness_errors.is_empty(), "solver witnesses are in range");
             // The oracle's exit class must match what the concolic run
             // observed for the same model.
             let expected = path.outcome.exit_condition().unwrap();
-            let got = match &exit {
+            let got = match &run.exit {
                 EngineExit::Success { .. } | EngineExit::JumpTaken => {
                     igjit_interp::ExitCondition::Success
                 }
@@ -202,9 +211,9 @@ mod tests {
             .curated_paths()
             .iter()
             .any(|p| {
-                let (exit, _, frame, _) = run_oracle(&r.state, &p.model, p.instruction);
-                matches!(exit, EngineExit::Success { .. })
-                    && native_operands(&frame, NativeMethodId(1)).is_some()
+                let run = run_oracle(&r.state, &p.model, p.instruction);
+                matches!(run.exit, EngineExit::Success { .. })
+                    && native_operands(&run.input_frame, NativeMethodId(1)).is_some()
             });
         assert!(ok, "at least one successful path with extractable operands");
     }

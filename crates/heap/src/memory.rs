@@ -15,6 +15,16 @@ pub const HEADER_WORDS: u32 = 3;
 const HEAP_BASE: u32 = 0x0001_0000;
 const DEFAULT_HEAP_WORDS: usize = 1 << 18; // 1 MiB arena
 const DEFAULT_EXTERNAL_BYTES: usize = 4096;
+/// Words zero-committed up front; the rest of the arena is committed on
+/// demand as allocation reaches it. The differential campaign builds a
+/// fresh memory per materialized model, so eagerly zeroing the full
+/// arena each time made memory bandwidth the sweep's bottleneck.
+const INITIAL_COMMIT_WORDS: usize = 1 << 10;
+/// Committed words kept beyond the allocation frontier so unchecked
+/// reads just past the last object (the planted missing-type-check
+/// defects read a "float payload" there) still see zeros, exactly as
+/// they did when the whole arena was zeroed up front.
+const COMMIT_MARGIN_WORDS: usize = 16;
 
 /// The simulated 32-bit object memory.
 ///
@@ -29,6 +39,7 @@ const DEFAULT_EXTERNAL_BYTES: usize = 4096;
 #[derive(Clone, Debug)]
 pub struct ObjectMemory {
     words: Vec<u32>,
+    capacity_words: usize,
     alloc_ptr: u32,
     classes: ClassTable,
     live: HashSet<u32>,
@@ -52,10 +63,12 @@ impl ObjectMemory {
         ObjectMemory::with_capacity(DEFAULT_HEAP_WORDS)
     }
 
-    /// Creates a memory with an arena of `words` 32-bit words.
+    /// Creates a memory with an arena of `words` 32-bit words. The
+    /// arena is committed (zeroed) lazily as allocation reaches it.
     pub fn with_capacity(words: usize) -> ObjectMemory {
         let mut mem = ObjectMemory {
-            words: vec![0; words],
+            words: vec![0; words.min(INITIAL_COMMIT_WORDS)],
+            capacity_words: words,
             alloc_ptr: HEAP_BASE,
             classes: ClassTable::with_well_known_classes(),
             live: HashSet::new(),
@@ -235,12 +248,21 @@ impl ObjectMemory {
         let total = HEADER_WORDS + body_words;
         let addr = self.alloc_ptr;
         let end = addr as u64 + 4 * total as u64;
-        let limit = HEAP_BASE as u64 + 4 * self.words.len() as u64;
+        let limit = HEAP_BASE as u64 + 4 * self.capacity_words as u64;
         if end > limit {
             return Err(HeapError::OutOfMemory);
         }
         self.alloc_ptr = end as u32;
         let base = ((addr - HEAP_BASE) / 4) as usize;
+        let object_end = base + total as usize;
+        if object_end + COMMIT_MARGIN_WORDS > self.words.len() {
+            // Geometric growth, clamped to the arena capacity (the
+            // limit check above guarantees the object itself fits).
+            let target = (object_end + COMMIT_MARGIN_WORDS)
+                .max(self.words.len() * 2)
+                .min(self.capacity_words);
+            self.words.resize(target, 0);
+        }
         self.hash_counter = self.hash_counter.wrapping_add(0x9e37);
         self.words[base] = class.0 | (format.to_bits() << 24);
         self.words[base + 1] = match format {

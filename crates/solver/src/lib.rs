@@ -53,7 +53,7 @@ mod search;
 
 pub use constraint::{CmpOp, Constraint, FloatTerm, Kind, KindSet, LinExpr, VarId, VarSpec};
 pub use error::SolveError;
-pub use model::Model;
+pub use model::{Assignment, Model};
 pub use search::{solve, solve_with_limits, Problem, SearchLimits};
 
 /// Checks that `model` satisfies every constraint of `problem` and

@@ -28,6 +28,15 @@ impl Model {
         Model { assignments }
     }
 
+    /// Builds a model from explicit assignments (`VarId(0)` first).
+    ///
+    /// The solver never needs this — it exists so harnesses can
+    /// construct adversarial witnesses (e.g. out-of-range integers)
+    /// and test how downstream consumers degrade.
+    pub fn from_assignments(assignments: Vec<Assignment>) -> Model {
+        Model { assignments }
+    }
+
     /// The full assignment of `var`. Variables created *after* the
     /// solve (lazy frame growth) get a default assignment: kind
     /// SmallInt, value 0, unaliased.

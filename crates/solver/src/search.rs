@@ -420,7 +420,7 @@ impl<'p> Solver<'p> {
         let n = store.lo.len();
         // Integer assignment: clamp a preferred default into bounds.
         let mut ints = vec![0i64; n];
-        for i in 0..n {
+        for (i, slot) in ints.iter_mut().enumerate() {
             let r = self.find(i as u32) as usize;
             let (lo, hi) = (store.lo[r], store.hi[r]);
             if lo > hi {
@@ -444,13 +444,13 @@ impl<'p> Solver<'p> {
                 }
                 v = w;
             }
-            ints[i] = v;
+            *slot = v;
         }
         // Kind assignment per root; prefer the first kind in the set.
         let mut kinds = vec![Kind::SmallInt; n];
-        for i in 0..n {
+        for (i, slot) in kinds.iter_mut().enumerate() {
             let r = self.find(i as u32) as usize;
-            kinds[i] = store.kinds[r].first()?;
+            *slot = store.kinds[r].first()?;
         }
         // Float assignment: enumerate candidates.
         let float_vals = self.solve_floats(&kinds)?;

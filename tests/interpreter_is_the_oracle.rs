@@ -29,7 +29,7 @@ fn concolic_and_concrete_agree_for_every_bytecode() {
     for spec in instruction_catalog() {
         let r = explorer.explore(InstrUnderTest::Bytecode(spec.instruction));
         for p in r.curated_paths() {
-            let (exit, _, _, _) = run_oracle(&r.state, &p.model, p.instruction);
+            let exit = run_oracle(&r.state, &p.model, p.instruction).exit;
             assert!(
                 exits_match(&p.outcome, &exit),
                 "{:?}: concolic said {:?}, concrete said {:?}",
@@ -48,7 +48,7 @@ fn concolic_and_concrete_agree_for_sampled_natives() {
     {
         let r = explorer.explore(InstrUnderTest::Native(NativeMethodId(id)));
         for p in r.curated_paths() {
-            let (exit, _, _, _) = run_oracle(&r.state, &p.model, p.instruction);
+            let exit = run_oracle(&r.state, &p.model, p.instruction).exit;
             assert!(
                 exits_match(&p.outcome, &exit),
                 "primitive {id}: concolic said {:?}, concrete said {:?}",

@@ -1,0 +1,75 @@
+//! Pinned regression tests for the proptest counterexample seeds in
+//! `tests/property_differential.proptest-regressions`.
+//!
+//! Root cause of the original red suite: the two recorded seeds both
+//! hit `op = 14` (`Instruction::BitShift`) with a negative or
+//! out-of-guard shift count — `a = 0, b = -32` and
+//! `a = -2^30, b = -2^30`. The interpreter's `bitwise()` fast path
+//! only inlines shifts with `-31 <= b <= 31` and falls back to a
+//! `bitShift:` message send otherwise; the compiled tiers must take
+//! the *same* slow-path exit (`gen_bitshift` guards with
+//! `CmpImm 31 / CmpImm -31`), and for in-guard negative shifts both
+//! engines must agree on the arithmetic-shift result
+//! (`a >> min(-b, 62)`). These tests pin the exact seed values plus
+//! the surrounding guard boundary (`|b|` in 30..=33) on every
+//! inlining tier and both ISAs, so the SmallInteger range/overflow
+//! edge can never silently regress again.
+
+use igjit_bytecode::Instruction;
+use igjit_heap::{SMALL_INT_MAX, SMALL_INT_MIN};
+use igjit_jit::CompilerKind;
+use igjit_machine::Isa;
+use igjit_repro::harness::assert_agreement;
+
+const TIERS: [CompilerKind; 2] =
+    [CompilerKind::StackToRegister, CompilerKind::RegisterAllocating];
+const ISAS: [Isa; 2] = [Isa::X86ish, Isa::Arm32ish];
+
+fn agree_everywhere(a: i64, b: i64) {
+    for kind in TIERS {
+        for isa in ISAS {
+            assert_agreement(Instruction::BitShift, &[a, b], kind, isa);
+        }
+    }
+}
+
+/// Seed 1: `a = 0, b = -32, op = 14`. A right shift one past the
+/// inline guard — both engines must exit to the `bitShift:` send.
+#[test]
+fn seed_bitshift_zero_by_minus_32() {
+    agree_everywhere(0, -32);
+}
+
+/// Seed 2: `a = -2^30, b = -2^30, op = 14`. The most negative
+/// SmallInteger shifted by itself — far outside the guard, and the
+/// shift count itself is out of SmallInteger-shift range.
+#[test]
+fn seed_bitshift_min_by_min() {
+    agree_everywhere(SMALL_INT_MIN, SMALL_INT_MIN);
+}
+
+/// The guard boundary around the seeds: `|b|` in 30..=33 straddles the
+/// inline fast path (`-31..=31`) and the slow-path send on both sides,
+/// for representative receivers including both range extremes.
+#[test]
+fn seed_neighborhood_guard_boundary() {
+    for a in [0, 1, -1, SMALL_INT_MIN, SMALL_INT_MAX] {
+        for mag in [30i64, 31, 32, 33] {
+            agree_everywhere(a, mag);
+            agree_everywhere(a, -mag);
+        }
+    }
+}
+
+/// Left-shift overflow at the range edge: shifting a value whose
+/// result leaves the 31-bit tagged range must not diverge (the JIT's
+/// overflow check and the interpreter's `is_integer_value` check must
+/// agree on when to bail to the send).
+#[test]
+fn seed_left_shift_overflow_edge() {
+    for a in [SMALL_INT_MAX, SMALL_INT_MAX / 2, SMALL_INT_MIN, -2, 2] {
+        for b in [1i64, 2, 29, 30, 31] {
+            agree_everywhere(a, b);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Minimal, deterministic, offline stand-in for the `rand` crate
+//! (0.8-era API). Implements only what the workspace's fuzzers use:
+//! `StdRng::seed_from_u64` and `gen_range` over integer ranges.
+//!
+//! The generator is splitmix64 — statistically fine for drawing fuzz
+//! inputs, not for anything security-relevant. Sequences differ from
+//! real rand's `StdRng` (ChaCha12), but every consumer in this
+//! workspace only relies on determinism-per-seed, not on the exact
+//! stream.
+
+/// Core entropy source.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        self.next_u64() as u32
+    }
+}
+
+/// Seeding entry point (subset: `seed_from_u64` only).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Ranges `gen_range` accepts.
+pub trait SampleRange {
+    type Output;
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+fn draw_in<R: RngCore + ?Sized>(rng: &mut R, lo: i128, hi_inclusive: i128) -> i128 {
+    debug_assert!(lo <= hi_inclusive, "gen_range called with an empty range");
+    let span = (hi_inclusive - lo) as u128 + 1;
+    let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+    lo + (wide % span) as i128
+}
+
+macro_rules! sample_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange for std::ops::Range<$t> {
+            type Output = $t;
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                draw_in(rng, self.start as i128, self.end as i128 - 1) as $t
+            }
+        }
+        impl SampleRange for std::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                draw_in(rng, *self.start() as i128, *self.end() as i128) as $t
+            }
+        }
+    )*};
+}
+
+sample_ranges!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// User-facing convenience methods, blanket-implemented for any core.
+pub trait Rng: RngCore {
+    fn gen_range<T: SampleRange>(&mut self, range: T) -> T::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic stand-in for rand's `StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng(u64);
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng(seed)
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_bounds() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            let x = a.gen_range(2..=5);
+            assert_eq!(x, b.gen_range(2..=5));
+            assert!((2..=5).contains(&x));
+            let y = a.gen_range(0usize..7);
+            assert_eq!(y, b.gen_range(0usize..7));
+            assert!(y < 7);
+        }
+    }
+}
