@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Perf-smoke drift check.
+#
+# Compares the latest BENCH_table2.json record (appended by the table2
+# harness) and the testgen output against ci/perf_expectations.json.
+# The campaign is deterministic, so any drift in the Table 2 totals or
+# the generated-test count means a behaviour change slipped into a
+# perf-motivated PR — exactly what this check exists to catch.
+#
+# Usage: ci/perf_smoke_check.sh [BENCH_table2.json] [testgen-output.txt]
+set -euo pipefail
+
+bench="${1:-BENCH_table2.json}"
+testgen_out="${2:-testgen.out}"
+expect="$(dirname "$0")/perf_expectations.json"
+
+for f in "$bench" "$testgen_out" "$expect"; do
+    if [ ! -f "$f" ]; then
+        echo "perf-smoke: missing $f" >&2
+        exit 1
+    fi
+done
+
+python3 - "$bench" "$testgen_out" "$expect" <<'PY'
+import json
+import re
+import sys
+
+bench_path, testgen_path, expect_path = sys.argv[1:4]
+with open(expect_path) as f:
+    expect = json.load(f)
+
+# BENCH_table2.json is JSON Lines; the last record is this run.
+with open(bench_path) as f:
+    records = [json.loads(line) for line in f if line.strip()]
+if not records:
+    sys.exit(f"perf-smoke: {bench_path} holds no records")
+table2 = records[-1]["table2"]
+
+with open(testgen_path) as f:
+    testgen = f.read()
+m = re.search(r"generated (\d+) tests", testgen)
+if not m:
+    sys.exit(f"perf-smoke: no 'generated N tests' line in {testgen_path}")
+generated = int(m.group(1))
+
+drifted = []
+for key in ("tested_instructions", "interpreter_paths", "curated_paths", "differences"):
+    if table2[key] != expect[key]:
+        drifted.append(f"{key}: expected {expect[key]}, got {table2[key]}")
+if generated != expect["generated_tests"]:
+    drifted.append(f"generated_tests: expected {expect['generated_tests']}, got {generated}")
+
+if drifted:
+    print("perf-smoke: campaign outputs drifted from ci/perf_expectations.json:")
+    for line in drifted:
+        print(f"  {line}")
+    print("If the drift is intentional, update ci/perf_expectations.json in the same PR.")
+    sys.exit(1)
+
+metrics = records[-1]["metrics"]
+stages = metrics["stages_ms"]
+print(
+    "perf-smoke: totals match expectations "
+    f"({table2['differences']} differences, {generated} generated tests); "
+    f"wall {metrics['wall_clock_ms']:.0f} ms, explore {stages['explore']:.0f} ms, "
+    f"compile cache hit rate {metrics['compile_cache']['hit_rate']:.2f}"
+)
+PY

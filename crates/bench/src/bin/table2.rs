@@ -2,26 +2,31 @@
 //! the number of tested instructions, interpreter paths, curated paths
 //! and differences.
 //!
-//! Observability: renders a live per-row progress line on stderr and
-//! writes `table2.metrics.json` (per-stage wall-clock, cache hit rate)
-//! next to the textual report. `IGJIT_THREADS` overrides the worker
-//! count.
+//! Observability: renders a live per-row progress line on stderr,
+//! writes `table2.metrics.json` (per-stage wall-clock, cache hit
+//! rates) next to the textual report, and appends one machine-readable
+//! record per run to `BENCH_table2.json` (JSON Lines). `IGJIT_THREADS`
+//! overrides the worker count; `IGJIT_CODE_CACHE=0` disables the
+//! compiled-code cache.
 
 use igjit::aggregate_metrics;
 use igjit_bench::{
-    paper_campaign, print_metrics_summary, print_table2, with_live_progress, write_metrics_json,
+    append_bench_json, paper_campaign, print_metrics_summary, print_table2, with_live_progress,
+    write_metrics_json,
 };
 
 fn main() {
     let campaign = with_live_progress(paper_campaign());
     eprintln!(
         "running the native-method and three bytecode campaigns \
-         (both ISAs, probing on, {} thread(s))…",
-        campaign.config().threads
+         (both ISAs, probing on, {} thread(s), code cache {})…",
+        campaign.config().threads,
+        if campaign.config().code_cache { "on" } else { "off" },
     );
     let reports = campaign.run_all();
     println!("\nTable 2: results running the approach on four different compilers\n");
     print_table2(&reports);
     print_metrics_summary(&aggregate_metrics(&reports));
     write_metrics_json("table2.metrics.json", &reports);
+    append_bench_json("BENCH_table2.json", &reports);
 }

@@ -7,7 +7,7 @@
 use std::io::Write;
 
 use igjit::report;
-use igjit::{Campaign, CampaignConfig, CampaignReport, Isa, Metrics};
+use igjit::{aggregate_metrics, Campaign, CampaignConfig, CampaignReport, Isa, Metrics};
 
 /// Worker threads for the harness binaries: the `IGJIT_THREADS`
 /// environment variable when set (and parseable), otherwise the
@@ -20,14 +20,24 @@ pub fn campaign_threads() -> usize {
         .unwrap_or_else(igjit::default_threads)
 }
 
+/// Whether the compiled-code cache is enabled: the `IGJIT_CODE_CACHE`
+/// environment variable (`0`/`off`/`false` disable it), default on.
+pub fn code_cache_enabled() -> bool {
+    !matches!(
+        std::env::var("IGJIT_CODE_CACHE").as_deref(),
+        Ok("0") | Ok("off") | Ok("false")
+    )
+}
+
 /// The evaluation configuration used by every harness binary: both
 /// ISAs, probing enabled (the paper's §5.1 setup), worker threads from
-/// [`campaign_threads`].
+/// [`campaign_threads`], code cache from [`code_cache_enabled`].
 pub fn paper_campaign() -> Campaign {
     Campaign::new(CampaignConfig {
         isas: vec![Isa::X86ish, Isa::Arm32ish],
         probes: true,
         threads: campaign_threads(),
+        code_cache: code_cache_enabled(),
     })
 }
 
@@ -56,6 +66,48 @@ pub fn write_metrics_json(path: &str, reports: &[CampaignReport]) {
     }
 }
 
+/// Appends one machine-readable benchmark record (JSON Lines) to
+/// `path`: timestamp, thread count, wall clock, per-stage sums and
+/// maxima, both cache hit rates and the aggregated Table 2 totals.
+/// Appending keeps the history of runs, so throughput drifts show up
+/// as a time series rather than overwriting the evidence.
+pub fn append_bench_json(path: &str, reports: &[CampaignReport]) {
+    let total = aggregate_metrics(reports);
+    let mut row = igjit::CampaignRow::default();
+    for r in reports {
+        row.tested_instructions += r.row.tested_instructions;
+        row.interpreter_paths += r.row.interpreter_paths;
+        row.curated_paths += r.row.curated_paths;
+        row.differences += r.row.differences;
+    }
+    let epoch = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let record = format!(
+        concat!(
+            "{{\"epoch_s\":{},\"metrics\":{},",
+            "\"table2\":{{\"tested_instructions\":{},\"interpreter_paths\":{},",
+            "\"curated_paths\":{},\"differences\":{}}}}}\n"
+        ),
+        epoch,
+        total.to_json(),
+        row.tested_instructions,
+        row.interpreter_paths,
+        row.curated_paths,
+        row.differences,
+    );
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(record.as_bytes()));
+    match appended {
+        Ok(()) => eprintln!("bench record appended: {path}"),
+        Err(e) => eprintln!("could not append {path}: {e}"),
+    }
+}
+
 /// Prints a one-paragraph summary of aggregated campaign metrics.
 pub fn print_metrics_summary(total: &Metrics) {
     println!(
@@ -80,6 +132,23 @@ pub fn print_metrics_summary(total: &Metrics) {
         } else {
             String::new()
         },
+    );
+    println!(
+        "code cache: {} hits / {} compiles ({:.1}% hit rate)",
+        total.compile_hits,
+        total.compile_misses,
+        100.0 * total.compile_hit_rate(),
+    );
+    println!(
+        "solver: {} solves ({} sat, {} unsat), {} nodes, \
+         {} incremental / {} rebuilds, scope depth ≤ {}",
+        total.solver.solves,
+        total.solver.sat,
+        total.solver.unsat,
+        total.solver.nodes_visited,
+        total.solver.propagation_reuse,
+        total.solver.rebuilds,
+        total.solver.max_depth,
     );
 }
 

@@ -16,9 +16,10 @@ use crate::explore::{ExplorationResult, Explorer, InstrUnderTest};
 
 /// Cache key: the instruction plus whether kind probing is enabled.
 ///
-/// Probing happens after exploration and does not change its result,
-/// but keying on it keeps entries self-describing (and future probe
-/// strategies free to specialize the exploration itself).
+/// With probing enabled the cached entry also carries the
+/// precomputed probe models (see
+/// [`ExplorationResult::attach_probe_models`]), so the flag is part
+/// of the entry's identity, not just a self-description.
 pub type ExplorationKey = (InstrUnderTest, bool);
 
 /// What a cache lookup produced.
@@ -70,7 +71,15 @@ impl ExplorationCache {
             };
         }
         let t0 = Instant::now();
-        let explored = Arc::new(explorer.explore(instr));
+        let mut explored = explorer.explore(instr);
+        if probes {
+            // Probing depends only on the exploration, never on the
+            // compiler target, so precompute it here: every target
+            // (and every worker) sharing this entry reuses one probe
+            // pass instead of re-solving the hypotheses per tier.
+            explored.attach_probe_models(crate::probes::DEFAULT_MAX_PROBES);
+        }
+        let explored = Arc::new(explored);
         let explore_time = t0.elapsed();
         self.misses.fetch_add(1, Ordering::Relaxed);
         let mut map = self.map.write().expect("cache lock");

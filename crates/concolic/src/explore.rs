@@ -12,7 +12,7 @@ use igjit_heap::{ObjectMemory, Oop};
 use igjit_interp::{
     run_native, step, NativeMethodId, NativeOutcome, Selector, StepOutcome,
 };
-use igjit_solver::{solve, Constraint, Model, SolveError};
+use igjit_solver::{Constraint, Model, Session, SessionStats, SolveError};
 
 use crate::materialize::materialize_frame;
 use crate::state::AbstractState;
@@ -151,6 +151,17 @@ pub struct ExplorationResult {
     pub state: AbstractState,
     /// Number of solver/execute iterations spent.
     pub iterations: usize,
+    /// Work counters of the incremental solver session that drove the
+    /// negation-tree walk.
+    pub solver: SessionStats,
+    /// Precomputed kind-probe models, aligned index-for-index with
+    /// [`ExplorationResult::curated_paths`]. Empty unless
+    /// [`ExplorationResult::attach_probe_models`] ran (the exploration
+    /// cache calls it when probing is enabled), in which case each
+    /// entry starts with the path's base model. Probing is a pure
+    /// function of the exploration, so attaching it to the shared
+    /// result lets every compiler target reuse one probe pass.
+    pub probe_models: Vec<Vec<Model>>,
 }
 
 impl ExplorationResult {
@@ -161,6 +172,23 @@ impl ExplorationResult {
             .iter()
             .filter(|p| !matches!(p.outcome, PathOutcome::Unsupported { .. }))
             .collect()
+    }
+
+    /// Runs kind probing once for every curated path and stores the
+    /// resulting models in [`ExplorationResult::probe_models`]. The
+    /// probe solver's work counters are folded into
+    /// [`ExplorationResult::solver`], so a campaign charging this
+    /// exploration charges its probing too.
+    pub fn attach_probe_models(&mut self, max_probes: usize) {
+        let mut all = Vec::new();
+        let mut stats = SessionStats::default();
+        for path in self.curated_paths() {
+            let (models, s) = crate::probes::probe_models_with_stats(&self.state, path, max_probes);
+            stats.merge(&s);
+            all.push(models);
+        }
+        self.probe_models = all;
+        self.solver.merge(&stats);
     }
 }
 
@@ -228,92 +256,152 @@ impl Explorer {
             &mut igjit_interp::Frame<SymOop>,
         ) -> PathOutcome,
     {
-        let mut state = AbstractState::new();
-        let mut worklist: Vec<(Vec<Constraint>, usize)> = vec![(Vec::new(), 0)];
-        let mut visited: HashSet<String> = HashSet::new();
-        let mut paths = Vec::new();
-        let mut curated_out = Vec::new();
-        let mut iterations = 0;
-
-        while let Some((prefix, depth)) = worklist.pop() {
-            if iterations >= self.max_iterations {
-                curated_out.push(CurationReason::Budget);
-                break;
-            }
-            iterations += 1;
-
-            let problem = state.problem_with(&prefix);
-            let model = match solve(&problem) {
-                Ok(m) => m,
-                Err(SolveError::Unsat) => continue,
-                Err(e) => {
-                    curated_out.push(CurationReason::SolverError(e));
-                    continue;
-                }
-            };
-
-            let mut mem = ObjectMemory::new();
-            let mat = materialize_frame(&mut state, &model, &mut mem);
-            let mut frame = mat.frame.clone();
-            let (outcome, path) = {
-                let mut ctx =
-                    crate::trace::ConcolicContext::new(&mut mem, &mut state, frame.depth());
-                let outcome = exec(&mut ctx, &mut frame);
-                (outcome, ctx.take_path())
-            };
-            let path: Vec<Constraint> =
-                path.into_iter().take(self.max_path_len).collect();
-
-            let signature = format!("{path:?}|{:?}", discriminant_of(&outcome));
-            let fresh = visited.insert(signature);
-            if fresh {
-                // Snapshot outputs for the oracle.
-                let output_stack: Vec<Oop> = frame.stack.iter().map(|s| s.concrete).collect();
-                let output_temps: Vec<Oop> = frame.temps.iter().map(|s| s.concrete).collect();
-                let mut object_dumps = Vec::new();
-                for (&var, &oop) in &mat.var_oops {
-                    if !mem.is_live_object(oop) {
-                        continue;
-                    }
-                    let slots = match mem.format_of(oop) {
-                        Ok(f) if f.has_pointer_slots() => {
-                            let n = mem.element_count(oop).unwrap_or(0);
-                            (0..n).filter_map(|i| mem.fetch_pointer(oop, i).ok()).collect()
-                        }
-                        _ => Vec::new(),
-                    };
-                    let bytes = match mem.format_of(oop) {
-                        Ok(f) if f.is_bytes() => {
-                            let n = mem.byte_count(oop).unwrap_or(0);
-                            (0..n).filter_map(|i| mem.fetch_byte(oop, i).ok()).collect()
-                        }
-                        _ => Vec::new(),
-                    };
-                    object_dumps.push(ObjectDump { var, oop, slots, bytes });
-                }
-                object_dumps.sort_by_key(|d| d.var);
-                if let PathOutcome::Unsupported { reason } = outcome {
-                    curated_out.push(CurationReason::Unsupported(reason));
-                }
-                paths.push(ExploredPath {
-                    instruction: instr,
-                    constraints: path.clone(),
-                    model,
-                    outcome,
-                    output_stack,
-                    output_temps,
-                    object_dumps,
-                });
-                // Children: negate each not-yet-negated suffix step.
-                for i in depth..path.len() {
-                    let mut child: Vec<Constraint> = path[..i].to_vec();
-                    child.push(path[i].negated());
-                    worklist.push((child, i + 1));
-                }
-            }
+        let mut walk = NegationWalk {
+            explorer: self,
+            instr,
+            exec: &exec,
+            state: AbstractState::new(),
+            session: Session::new(),
+            visited: HashSet::new(),
+            paths: Vec::new(),
+            curated_out: Vec::new(),
+            iterations: 0,
+            budget_noted: false,
+        };
+        walk.visit(0);
+        let solver = walk.session.stats();
+        ExplorationResult {
+            paths: walk.paths,
+            curated_out: walk.curated_out,
+            state: walk.state,
+            iterations: walk.iterations,
+            solver,
+            probe_models: Vec::new(),
         }
+    }
+}
 
-        ExplorationResult { paths, curated_out, state, iterations }
+/// The negation-tree walk, as a depth-first recursion over an
+/// incremental solver [`Session`]: each tree edge pushes one scope
+/// (the negated branch step), so a child's solve reuses its whole
+/// prefix's classification and propagation state instead of rebuilding
+/// the `Problem` from scratch.
+///
+/// Children are visited in *descending* suffix position — exactly the
+/// order the previous LIFO-worklist implementation popped them in — so
+/// path discovery order, the iteration budget cut-off, and therefore
+/// every downstream table are unchanged.
+struct NegationWalk<'e, F> {
+    explorer: &'e Explorer,
+    instr: InstrUnderTest,
+    exec: &'e F,
+    state: AbstractState,
+    session: Session,
+    visited: HashSet<String>,
+    paths: Vec<ExploredPath>,
+    curated_out: Vec<CurationReason>,
+    iterations: usize,
+    budget_noted: bool,
+}
+
+impl<F> NegationWalk<'_, F>
+where
+    F: Fn(&mut crate::trace::ConcolicContext<'_>, &mut igjit_interp::Frame<SymOop>) -> PathOutcome,
+{
+    /// Visits the node whose path condition is currently in scope in
+    /// the session; `depth` is the number of prefix steps already
+    /// negated (children only negate suffix positions `>= depth`).
+    fn visit(&mut self, depth: usize) {
+        if self.iterations >= self.explorer.max_iterations {
+            if !self.budget_noted {
+                self.budget_noted = true;
+                self.curated_out.push(CurationReason::Budget);
+            }
+            return;
+        }
+        self.iterations += 1;
+
+        self.session.sync_vars(self.state.specs());
+        let model = match self.session.solve() {
+            Ok(m) => m,
+            Err(SolveError::Unsat) => return,
+            Err(e) => {
+                self.curated_out.push(CurationReason::SolverError(e));
+                return;
+            }
+        };
+
+        let mut mem = ObjectMemory::new();
+        let mat = materialize_frame(&mut self.state, &model, &mut mem);
+        let mut frame = mat.frame.clone();
+        let (outcome, path) = {
+            let mut ctx =
+                crate::trace::ConcolicContext::new(&mut mem, &mut self.state, frame.depth());
+            let outcome = (self.exec)(&mut ctx, &mut frame);
+            (outcome, ctx.take_path())
+        };
+        let path: Vec<Constraint> =
+            path.into_iter().take(self.explorer.max_path_len).collect();
+
+        let signature = format!("{path:?}|{:?}", discriminant_of(&outcome));
+        if !self.visited.insert(signature) {
+            return;
+        }
+        // Snapshot outputs for the oracle.
+        let output_stack: Vec<Oop> = frame.stack.iter().map(|s| s.concrete).collect();
+        let output_temps: Vec<Oop> = frame.temps.iter().map(|s| s.concrete).collect();
+        let mut object_dumps = Vec::new();
+        for (&var, &oop) in &mat.var_oops {
+            if !mem.is_live_object(oop) {
+                continue;
+            }
+            let slots = match mem.format_of(oop) {
+                Ok(f) if f.has_pointer_slots() => {
+                    let n = mem.element_count(oop).unwrap_or(0);
+                    (0..n).filter_map(|i| mem.fetch_pointer(oop, i).ok()).collect()
+                }
+                _ => Vec::new(),
+            };
+            let bytes = match mem.format_of(oop) {
+                Ok(f) if f.is_bytes() => {
+                    let n = mem.byte_count(oop).unwrap_or(0);
+                    (0..n).filter_map(|i| mem.fetch_byte(oop, i).ok()).collect()
+                }
+                _ => Vec::new(),
+            };
+            object_dumps.push(ObjectDump { var, oop, slots, bytes });
+        }
+        object_dumps.sort_by_key(|d| d.var);
+        if let PathOutcome::Unsupported { reason } = outcome {
+            self.curated_out.push(CurationReason::Unsupported(reason));
+        }
+        self.paths.push(ExploredPath {
+            instruction: self.instr,
+            constraints: path.clone(),
+            model,
+            outcome,
+            output_stack,
+            output_temps,
+            object_dumps,
+        });
+        // Children: negate each not-yet-negated suffix step. The
+        // recorded path extends the in-scope prefix (the model
+        // satisfied it and branch outcomes are deterministic), so the
+        // prefix scopes stay put; extend with the new suffix, then
+        // peel it back one step at a time, negating as we go.
+        // Execution may have grown the abstract state (lazy slot and
+        // size variables); sync before asserting constraints on them.
+        self.session.sync_vars(self.state.specs());
+        let len = path.len();
+        for step in path.iter().take(len).skip(depth) {
+            self.session.push_assert(step.clone());
+        }
+        for i in (depth..len).rev() {
+            self.session.pop(); // retract `path[i]`…
+            self.session.push_assert(path[i].negated()); // …negate it…
+            self.visit(i + 1); // …and explore that subtree.
+            self.session.pop();
+        }
     }
 }
 
@@ -371,6 +459,7 @@ fn convert_native(outcome: NativeOutcome<SymOop>) -> PathOutcome {
 mod tests {
     use super::*;
     use igjit_interp::ExitCondition;
+    use igjit_solver::solve;
 
     fn explore_bytecode(i: Instruction) -> ExplorationResult {
         Explorer::new().explore(InstrUnderTest::Bytecode(i))

@@ -45,12 +45,14 @@
 
 mod explore;
 mod materialize;
+mod probes;
 mod state;
 mod sym;
 mod cache;
 mod trace;
 
 pub use cache::{CacheLookup, ExplorationCache, ExplorationKey};
+pub use probes::{probe_models, probe_models_with_stats, DEFAULT_MAX_PROBES};
 pub use explore::{CurationReason, ExplorationResult, Explorer, ExploredPath, InstrUnderTest,
                   ObjectDump, PathOutcome, SendRecord};
 pub use materialize::{materialize_frame, MaterializedFrame, WitnessError};

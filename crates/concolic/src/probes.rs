@@ -13,36 +13,51 @@
 //! construction, drives the interpreter down the *same* recorded path
 //! with a differently-typed operand.
 
-use igjit_concolic::{AbstractState, ExploredPath};
-use igjit_solver::{solve, CmpOp, Constraint, Kind, LinExpr, Model, VarId};
+use crate::{AbstractState, ExploredPath};
+use igjit_solver::{CmpOp, Constraint, Kind, LinExpr, Model, Session, SessionStats, VarId};
 
 /// Kinds tried for each probed variable.
 const PROBE_KINDS: [Kind; 3] = [Kind::Float, Kind::Array, Kind::ExternalAddress];
 
-/// Generates the base model plus satisfiable probe variants for
-/// `path`: kind hypotheses (a differently-typed operand on the same
-/// path) and sign hypotheses (a negative SmallInteger operand — how
-/// the `quo:` rounding and unsigned-shift defects surface, since the
-/// concretized arithmetic records no sign constraints). The base model
-/// is always first.
-pub fn probe_models(state: &AbstractState, path: &ExploredPath, max_probes: usize) -> Vec<Model> {
+/// Probe budget used by the campaign driver (and by
+/// [`ExplorationResult::attach_probe_models`] when the exploration
+/// cache precomputes probe models).
+///
+/// [`ExplorationResult::attach_probe_models`]: crate::ExplorationResult::attach_probe_models
+pub const DEFAULT_MAX_PROBES: usize = 16;
+
+/// [`probe_models`], also reporting the incremental-solver work
+/// counters (for the campaign metrics).
+pub fn probe_models_with_stats(
+    state: &AbstractState,
+    path: &ExploredPath,
+    max_probes: usize,
+) -> (Vec<Model>, SessionStats) {
     let mut models = vec![path.model.clone()];
     let mut probe_vars: Vec<VarId> = Vec::new();
     probe_vars.push(state.receiver);
     for &v in state.stack_vars.iter().take(3) {
         probe_vars.push(v);
     }
-    let try_hypothesis = |models: &mut Vec<Model>, hypothesis: Constraint| {
-        if models.len() > max_probes {
-            return;
-        }
-        let mut constraints = path.constraints.clone();
-        constraints.push(hypothesis);
-        let problem = state.problem_with(&constraints);
-        if let Ok(m) = solve(&problem) {
-            models.push(m);
-        }
-    };
+    // The path condition is shared by every hypothesis: assert it once
+    // in the session's base scope, then push/pop one scope per
+    // hypothesis so each solve reuses the path's propagation state.
+    let mut session = Session::new();
+    session.sync_vars(state.specs());
+    for c in &path.constraints {
+        session.assert(c.clone());
+    }
+    let try_hypothesis =
+        |session: &mut Session, models: &mut Vec<Model>, hypothesis: Constraint| {
+            if models.len() > max_probes {
+                return;
+            }
+            session.push_assert(hypothesis);
+            if let Ok(m) = session.solve() {
+                models.push(m);
+            }
+            session.pop();
+        };
     for &var in &probe_vars {
         for kind in PROBE_KINDS {
             if path.model.kind(var) == kind {
@@ -58,11 +73,12 @@ pub fn probe_models(state: &AbstractState, path: &ExploredPath, max_probes: usiz
                 ]),
                 _ => Constraint::kind_is(var, kind),
             };
-            try_hypothesis(&mut models, hypothesis);
+            try_hypothesis(&mut session, &mut models, hypothesis);
         }
         // Sign probe: a strictly negative SmallInteger value.
         if path.model.kind(var) == Kind::SmallInt && path.model.int_value(var) >= 0 {
             try_hypothesis(
+                &mut session,
                 &mut models,
                 Constraint::And(vec![
                     Constraint::kind_is(var, Kind::SmallInt),
@@ -81,6 +97,7 @@ pub fn probe_models(state: &AbstractState, path: &ExploredPath, max_probes: usiz
         let (top, below) = (state.stack_vars[0], state.stack_vars[1]);
         for (rcvr_val, arg_val) in [(-7i64, 3i64), (-7, -3), (7, -3)] {
             try_hypothesis(
+                &mut session,
                 &mut models,
                 Constraint::And(vec![
                     Constraint::kind_is(below, Kind::SmallInt),
@@ -95,14 +112,25 @@ pub fn probe_models(state: &AbstractState, path: &ExploredPath, max_probes: usiz
             );
         }
     }
-    models
+    (models, session.stats())
+}
+
+/// Generates the base model plus satisfiable probe variants for
+/// `path`: kind hypotheses (a differently-typed operand on the same
+/// path) and sign hypotheses (a negative SmallInteger operand — how
+/// the `quo:` rounding and unsigned-shift defects surface, since the
+/// concretized arithmetic records no sign constraints). The base model
+/// is always first.
+pub fn probe_models(state: &AbstractState, path: &ExploredPath, max_probes: usize) -> Vec<Model> {
+    probe_models_with_stats(state, path, max_probes).0
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use igjit_concolic::{Explorer, InstrUnderTest, PathOutcome};
+    use crate::{Explorer, InstrUnderTest, PathOutcome};
     use igjit_interp::NativeMethodId;
+    use igjit_solver::solve;
 
     #[test]
     fn as_float_probes_produce_pointer_receivers() {

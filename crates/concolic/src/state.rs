@@ -108,6 +108,12 @@ impl AbstractState {
         self.specs[v.index()]
     }
 
+    /// All variable specs in creation order (for syncing an
+    /// incremental [`igjit_solver::Session`] with this state).
+    pub fn specs(&self) -> &[VarSpec] {
+        &self.specs
+    }
+
     /// The role of a variable.
     pub fn role(&self, v: VarId) -> &VarRole {
         &self.roles[v.index()]

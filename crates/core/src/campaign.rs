@@ -1,22 +1,26 @@
-//! The full evaluation campaign (§5 of the paper) — engine v2.
+//! The full evaluation campaign (§5 of the paper) — engine v3.
 //!
 //! The driver feeds every instruction of the VM through the
 //! explore → materialize → compile → simulate → compare pipeline and
-//! aggregates the Table 2 rows. Version 2 of the engine adds:
+//! aggregates the Table 2 rows. Version 2 of the engine added the
+//! lock-free parallel sweep, the shared exploration cache and the
+//! per-stage observability layer. Version 3 makes the two hot paths
+//! sublinear in campaign size:
 //!
-//! - **Lock-free parallel execution.** Workers claim items off an
-//!   atomic cursor and stream `(index, result)` pairs over a channel;
-//!   nothing blocks on a shared mutex, and results are re-assembled in
-//!   input order, so the logical report content (rows, outcomes,
-//!   causes) is identical at every thread count.
-//! - **A shared exploration cache.** Concolic exploration depends only
-//!   on `(instruction, probes)`, so the four compiler targets and two
-//!   ISAs reuse one exploration instead of re-exploring per target —
-//!   the dominant redundant cost in the Figure 6 timings.
-//! - **An observability layer.** Per-stage wall-clock
-//!   ([`igjit_difftest::StageTimes`]), cache hit rates and a progress
-//!   callback, aggregated into [`Metrics`] that the harness binaries
-//!   render live and emit as JSON next to their reports.
+//! - **Incremental exploration solving.** The concolic explorer and
+//!   the kind-probing pass drive an [`igjit_solver::Session`] with
+//!   push/pop scopes, so each negated-branch solve reuses the shared
+//!   prefix's propagation state instead of re-solving it from scratch.
+//!   The session's work counters surface here as [`Metrics::solver`].
+//! - **A compiled-code cache.** Compiled test methods are a pure
+//!   function of `(front-end, ISA, instructions, embedded frame
+//!   values, special oops)`; an [`igjit_jit::CodeCache`] shared across
+//!   models, probes, paths and workers collapses the campaign's
+//!   compile invocations onto one per distinct key.
+//! - **Skew-free parallel stage accounting.** Each result is tagged
+//!   with the worker that produced it; [`Metrics`] reports both the
+//!   CPU-side per-stage sum and the per-stage maximum over workers
+//!   (the critical path the wall clock actually waits on).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
@@ -28,8 +32,9 @@ use igjit_difftest::{
     test_instruction_with, CampaignRow, DefectCategory, InstructionOutcome, StageTimes, Target,
 };
 use igjit_interp::{native_catalog, NativeMethodId};
-use igjit_jit::CompilerKind;
+use igjit_jit::{CodeCache, CompilerKind};
 use igjit_machine::Isa;
+use igjit_solver::SessionStats;
 
 /// Campaign knobs.
 #[derive(Clone, Debug)]
@@ -45,6 +50,10 @@ pub struct CampaignConfig {
     /// each instruction is processed on one worker. Defaults to the
     /// machine's available parallelism.
     pub threads: usize,
+    /// Whether compiled test methods are cached and shared across
+    /// models, probes, paths and workers. Off, every lookup compiles
+    /// fresh (and counts as a miss), which is the engine-v2 behaviour.
+    pub code_cache: bool,
 }
 
 impl Default for CampaignConfig {
@@ -53,6 +62,7 @@ impl Default for CampaignConfig {
             isas: vec![Isa::X86ish, Isa::Arm32ish],
             probes: true,
             threads: default_threads(),
+            code_cache: true,
         }
     }
 }
@@ -90,10 +100,24 @@ pub struct Metrics {
     /// Summed per-stage wall-clock across all instructions (CPU-side
     /// cost; exceeds `wall_clock` when threads > 1).
     pub stages: StageTimes,
+    /// Per-stage maximum over the workers' self-time sums — the
+    /// critical path the batch wall clock actually waits on. Equal to
+    /// `stages` when the batch ran sequentially; under merge, maxima
+    /// of back-to-back batches add.
+    pub stages_max: StageTimes,
     /// Exploration-cache hits.
     pub cache_hits: usize,
     /// Exploration-cache misses (explorations actually run).
     pub cache_misses: usize,
+    /// Compiled-code-cache hits (lookups answered without compiling).
+    pub compile_hits: usize,
+    /// Compiled-code-cache misses (compiler invocations actually run;
+    /// with the cache disabled, every lookup).
+    pub compile_misses: usize,
+    /// Incremental-solver work counters summed over exploration (cache
+    /// misses only — cached explorations did no solver work) and kind
+    /// probing.
+    pub solver: SessionStats,
     /// Models whose materialization hit an unrealizable witness and
     /// were reported as test errors instead of compared.
     pub witness_errors: usize,
@@ -112,14 +136,29 @@ impl Metrics {
         }
     }
 
+    /// Fraction of compile lookups served from the code cache.
+    pub fn compile_hit_rate(&self) -> f64 {
+        let total = self.compile_hits + self.compile_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.compile_hits as f64 / total as f64
+        }
+    }
+
     /// Folds another batch's metrics into this one. Wall-clocks add
-    /// (batches run back to back); thread counts keep the maximum.
+    /// (batches run back to back, so their per-stage maxima add too);
+    /// thread counts keep the maximum.
     pub fn merge(&mut self, other: &Metrics) {
         self.threads = self.threads.max(other.threads);
         self.instructions += other.instructions;
         self.stages.merge(&other.stages);
+        self.stages_max.merge(&other.stages_max);
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.compile_hits += other.compile_hits;
+        self.compile_misses += other.compile_misses;
+        self.solver.merge(&other.solver);
         self.witness_errors += other.witness_errors;
         self.wall_clock += other.wall_clock;
     }
@@ -127,13 +166,30 @@ impl Metrics {
     /// Renders the metrics as a self-contained JSON object.
     pub fn to_json(&self) -> String {
         let ms = |d: Duration| d.as_secs_f64() * 1000.0;
+        let stages = |s: &StageTimes| {
+            format!(
+                concat!(
+                    "{{\"explore\":{:.3},\"materialize\":{:.3},",
+                    "\"compile\":{:.3},\"simulate\":{:.3},\"compare\":{:.3},\"total\":{:.3}}}"
+                ),
+                ms(s.explore),
+                ms(s.materialize),
+                ms(s.compile),
+                ms(s.simulate),
+                ms(s.compare),
+                ms(s.total()),
+            )
+        };
         format!(
             concat!(
                 "{{\"threads\":{},\"instructions\":{},\"wall_clock_ms\":{:.3},",
                 "\"witness_errors\":{},",
                 "\"cache\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{:.4}}},",
-                "\"stages_ms\":{{\"explore\":{:.3},\"materialize\":{:.3},",
-                "\"compile\":{:.3},\"simulate\":{:.3},\"compare\":{:.3},\"total\":{:.3}}}}}"
+                "\"compile_cache\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{:.4}}},",
+                "\"solver\":{{\"solves\":{},\"sat\":{},\"unsat\":{},\"nodes_visited\":{},",
+                "\"propagation_reuse\":{},\"rebuilds\":{},\"model_reuse\":{},",
+                "\"pushes\":{},\"max_depth\":{}}},",
+                "\"stages_ms\":{},\"stages_max_ms\":{}}}"
             ),
             self.threads,
             self.instructions,
@@ -142,12 +198,20 @@ impl Metrics {
             self.cache_hits,
             self.cache_misses,
             self.cache_hit_rate(),
-            ms(self.stages.explore),
-            ms(self.stages.materialize),
-            ms(self.stages.compile),
-            ms(self.stages.simulate),
-            ms(self.stages.compare),
-            ms(self.stages.total()),
+            self.compile_hits,
+            self.compile_misses,
+            self.compile_hit_rate(),
+            self.solver.solves,
+            self.solver.sat,
+            self.solver.unsat,
+            self.solver.nodes_visited,
+            self.solver.propagation_reuse,
+            self.solver.rebuilds,
+            self.solver.model_reuse,
+            self.solver.pushes,
+            self.solver.max_depth,
+            stages(&self.stages),
+            stages(&self.stages_max),
         )
     }
 }
@@ -158,6 +222,7 @@ impl Metrics {
 pub struct Campaign {
     config: CampaignConfig,
     cache: Arc<ExplorationCache>,
+    code_cache: Arc<CodeCache>,
     on_progress: Option<ProgressCallback>,
 }
 
@@ -166,6 +231,7 @@ impl std::fmt::Debug for Campaign {
         f.debug_struct("Campaign")
             .field("config", &self.config)
             .field("cache_entries", &self.cache.len())
+            .field("code_cache_entries", &self.code_cache.len())
             .field("on_progress", &self.on_progress.is_some())
             .finish()
     }
@@ -229,13 +295,24 @@ impl Campaign {
     /// A campaign with the paper's configuration (both ISAs, probing
     /// on).
     pub fn new(config: CampaignConfig) -> Campaign {
-        Campaign { config, cache: Arc::new(ExplorationCache::new()), on_progress: None }
+        let code_cache = Arc::new(CodeCache::with_enabled(config.code_cache));
+        Campaign {
+            config,
+            cache: Arc::new(ExplorationCache::new()),
+            code_cache,
+            on_progress: None,
+        }
     }
 
     /// A fast configuration for doctests and examples: one ISA, no
     /// probing, sequential.
     pub fn quick() -> Campaign {
-        Campaign::new(CampaignConfig { isas: vec![Isa::X86ish], probes: false, threads: 1 })
+        Campaign::new(CampaignConfig {
+            isas: vec![Isa::X86ish],
+            probes: false,
+            threads: 1,
+            code_cache: true,
+        })
     }
 
     /// The configuration in use.
@@ -246,6 +323,11 @@ impl Campaign {
     /// The exploration cache shared by every run of this campaign.
     pub fn cache(&self) -> &ExplorationCache {
         &self.cache
+    }
+
+    /// The compiled-code cache shared by every run of this campaign.
+    pub fn code_cache(&self) -> &CodeCache {
+        &self.code_cache
     }
 
     /// Registers a progress callback, invoked from worker threads
@@ -271,19 +353,25 @@ impl Campaign {
     }
 
     /// Runs the whole pipeline for one instruction, reusing (and
-    /// feeding) the shared exploration cache.
+    /// feeding) the shared exploration and code caches.
     fn run_one(&self, instr: InstrUnderTest, target: Target) -> (TimingInfo, InstructionOutcome) {
         let t0 = Instant::now();
         let lookup = self.cache.get_or_explore(&Explorer::new(), instr, self.config.probes);
-        let (outcome, stages) = test_instruction_with(
+        let (outcome, stages, mut solver) = test_instruction_with(
             instr,
             target,
             &self.config.isas,
             self.config.probes,
             &lookup.exploration,
             lookup.explore_time,
+            &self.code_cache,
         );
-        (TimingInfo { elapsed: t0.elapsed(), stages, cache_hit: lookup.hit }, outcome)
+        // Exploration solver work is charged once, to the run that
+        // actually explored; a cache hit did no exploration solving.
+        if !lookup.hit {
+            solver.merge(&lookup.exploration.solver);
+        }
+        (TimingInfo { elapsed: t0.elapsed(), stages, solver, cache_hit: lookup.hit }, outcome)
     }
 
     /// Runs a batch of instructions, sequentially or on a lock-free
@@ -299,6 +387,7 @@ impl Campaign {
     fn run_batch(&self, label: String, items: Vec<WorkItem>) -> CampaignReport {
         let threads = self.config.threads.clamp(1, items.len().max(1));
         let wall0 = Instant::now();
+        let compile_lookups0 = (self.code_cache.hits(), self.code_cache.misses());
         let done = AtomicUsize::new(0);
         let total = items.len();
         let report_progress = |name: &str| {
@@ -312,7 +401,7 @@ impl Campaign {
             }
         };
         let run_one = |(name, is_native, instr, target): &WorkItem|
-         -> (TimingSample, InstructionOutcome) {
+         -> (TimingSample, InstructionOutcome, SessionStats) {
             let (info, outcome) = self.run_one(*instr, *target);
             report_progress(name);
             (
@@ -325,20 +414,33 @@ impl Campaign {
                     cache_hit: info.cache_hit,
                 },
                 outcome,
+                info.solver,
             )
         };
-        let results: Vec<(TimingSample, InstructionOutcome)> = if threads <= 1 {
-            items.iter().map(run_one).collect()
+        // Per-worker self-time sums: each item's stages are charged to
+        // the worker that ran it, so the per-stage maximum over workers
+        // is the batch's critical path (no skew from summing across
+        // concurrent workers).
+        let mut worker_stages = vec![StageTimes::default(); threads];
+        let results: Vec<(TimingSample, InstructionOutcome, SessionStats)> = if threads <= 1 {
+            items
+                .iter()
+                .map(|item| {
+                    let r = run_one(item);
+                    worker_stages[0].merge(&r.0.stages);
+                    r
+                })
+                .collect()
         } else {
             let next = AtomicUsize::new(0);
-            let mut slots: Vec<Option<(TimingSample, InstructionOutcome)>> =
+            let mut slots: Vec<Option<(TimingSample, InstructionOutcome, SessionStats)>> =
                 (0..items.len()).map(|_| None).collect();
             std::thread::scope(|s| {
                 let (tx, rx) = mpsc::channel();
                 let items = &items;
                 let next = &next;
                 let run_one = &run_one;
-                for _ in 0..threads {
+                for wid in 0..threads {
                     let tx = tx.clone();
                     s.spawn(move || loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -348,13 +450,14 @@ impl Campaign {
                         // A send only fails if the collector is gone,
                         // which only happens when the scope is
                         // unwinding already.
-                        if tx.send((i, run_one(&items[i]))).is_err() {
+                        if tx.send((i, wid, run_one(&items[i]))).is_err() {
                             break;
                         }
                     });
                 }
                 drop(tx);
-                for (i, result) in rx {
+                for (i, wid, result) in rx {
+                    worker_stages[wid].merge(&result.0.stages);
                     slots[i] = Some(result);
                 }
             });
@@ -364,9 +467,13 @@ impl Campaign {
         let mut outcomes = Vec::with_capacity(results.len());
         let mut timings = Vec::with_capacity(results.len());
         let mut metrics = Metrics { threads, instructions: results.len(), ..Metrics::default() };
-        for (t, o) in results {
+        for ws in &worker_stages {
+            metrics.stages_max.merge_max(ws);
+        }
+        for (t, o, solver) in results {
             row.absorb(&o);
             metrics.stages.merge(&t.stages);
+            metrics.solver.merge(&solver);
             metrics.witness_errors += o.witness_errors;
             if t.cache_hit {
                 metrics.cache_hits += 1;
@@ -376,6 +483,8 @@ impl Campaign {
             timings.push(t);
             outcomes.push(o);
         }
+        metrics.compile_hits = self.code_cache.hits() - compile_lookups0.0;
+        metrics.compile_misses = self.code_cache.misses() - compile_lookups0.1;
         metrics.wall_clock = wall0.elapsed();
         CampaignReport { row, outcomes, timings, metrics }
     }
@@ -426,6 +535,7 @@ impl Campaign {
 struct TimingInfo {
     elapsed: Duration,
     stages: StageTimes,
+    solver: SessionStats,
     cache_hit: bool,
 }
 
@@ -499,6 +609,7 @@ mod tests {
             isas: vec![Isa::X86ish],
             probes: false,
             threads: 2,
+            code_cache: true,
         })
         .on_progress(move |p| {
             seen2.fetch_add(1, Ordering::Relaxed);
@@ -518,6 +629,7 @@ mod tests {
                 isas: vec![Isa::X86ish, Isa::Arm32ish],
                 probes: true,
                 threads,
+                code_cache: true,
             })
             .run_native_methods()
         };
@@ -538,16 +650,20 @@ mod tests {
         let m = Metrics {
             threads: 4,
             instructions: 7,
-            stages: StageTimes::default(),
             cache_hits: 3,
             cache_misses: 4,
-            witness_errors: 0,
+            compile_hits: 6,
+            compile_misses: 2,
             wall_clock: Duration::from_millis(12),
+            ..Metrics::default()
         };
         let j = m.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"threads\":4"));
         assert!(j.contains("\"hit_rate\":0.4286"));
+        assert!(j.contains("\"compile_cache\":{\"hits\":6,\"misses\":2,\"hit_rate\":0.7500}"));
+        assert!(j.contains("\"stages_max_ms\""));
+        assert!(j.contains("\"solver\""));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 }

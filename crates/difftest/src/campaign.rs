@@ -8,15 +8,15 @@ use igjit_concolic::{
 };
 use igjit_heap::{ObjectMemory, Oop};
 use igjit_interp::Frame;
-use igjit_jit::CompilerKind;
+use igjit_jit::{CodeCache, CompilerKind};
 use igjit_machine::Isa;
-use igjit_solver::{Model, VarId};
+use igjit_solver::{Model, SessionStats, VarId};
 
 use crate::classify::{classify, CauseKey};
 use crate::compare::{compare_runs, Difference, Verdict};
 use crate::compiled::run_compiled_for_instr_timed;
 use crate::oracle::{concrete_frame, run_oracle, EngineExit};
-use crate::probes::probe_models;
+use igjit_concolic::probe_models_with_stats;
 
 /// What compiler the campaign tests against the interpreter.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -177,6 +177,18 @@ impl StageTimes {
         self.simulate += other.simulate;
         self.compare += other.compare;
     }
+
+    /// Keeps the per-stage maximum of the two samples. Folding each
+    /// worker's self-time sum with this yields the per-stage critical
+    /// path of a parallel batch (what the wall clock actually waits
+    /// on), as opposed to [`StageTimes::merge`]'s CPU-side total.
+    pub fn merge_max(&mut self, other: &StageTimes) {
+        self.explore = self.explore.max(other.explore);
+        self.materialize = self.materialize.max(other.materialize);
+        self.compile = self.compile.max(other.compile);
+        self.simulate = self.simulate.max(other.simulate);
+        self.compare = self.compare.max(other.compare);
+    }
 }
 
 fn materialized(
@@ -220,18 +232,28 @@ pub fn test_instruction(
     let t0 = Instant::now();
     let exploration = Explorer::new().explore(instr);
     let explore_time = t0.elapsed();
-    let (outcome, _times) =
-        test_instruction_with(instr, target, isas, enable_probes, &exploration, explore_time);
+    let cache = CodeCache::disabled();
+    let (outcome, _times, _solver) = test_instruction_with(
+        instr,
+        target,
+        isas,
+        enable_probes,
+        &exploration,
+        explore_time,
+        &cache,
+    );
     outcome
 }
 
 /// Runs the differential pipeline against an exploration produced (and
-/// possibly shared) by the caller, returning per-stage wall-clock next
-/// to the outcome.
+/// possibly shared) by the caller, returning per-stage wall-clock and
+/// the probe solver's work counters next to the outcome.
 ///
 /// `explore_time` is the wall-clock the caller spent producing
 /// `exploration` — pass [`Duration::ZERO`] when it came from a cache so
 /// the stage accounting reflects work actually done for this call.
+/// Compiled artifacts are looked up in `code_cache`, which the caller
+/// may share across instructions and threads.
 pub fn test_instruction_with(
     instr: InstrUnderTest,
     target: Target,
@@ -239,18 +261,31 @@ pub fn test_instruction_with(
     enable_probes: bool,
     exploration: &ExplorationResult,
     explore_time: Duration,
-) -> (InstructionOutcome, StageTimes) {
+    code_cache: &CodeCache,
+) -> (InstructionOutcome, StageTimes, SessionStats) {
     let mut times = StageTimes { explore: explore_time, ..StageTimes::default() };
+    let mut solver = SessionStats::default();
     let curated: Vec<_> = exploration.curated_paths().into_iter().cloned().collect();
     let mut verdicts = Vec::new();
     let mut witness_errors = 0usize;
 
-    for path in &curated {
+    for (pi, path) in curated.iter().enumerate() {
         let t_probe = Instant::now();
-        let models = if enable_probes {
-            probe_models(&exploration.state, path, 16)
-        } else {
+        let models = if !enable_probes {
             vec![path.model.clone()]
+        } else if let Some(precomputed) = exploration.probe_models.get(pi) {
+            // The exploration cache precomputed probing for every
+            // curated path (same order as `curated`); its solver work
+            // is already in `exploration.solver`.
+            precomputed.clone()
+        } else {
+            let (models, probe_stats) = probe_models_with_stats(
+                &exploration.state,
+                path,
+                igjit_concolic::DEFAULT_MAX_PROBES,
+            );
+            solver.merge(&probe_stats);
+            models
         };
         times.explore += t_probe.elapsed();
         let mut verdict: Verdict = Verdict::Agree;
@@ -298,6 +333,7 @@ pub fn test_instruction_with(
                     instr,
                     &frame2,
                     mem2,
+                    code_cache,
                     &mut times,
                 );
                 let t_cmp = Instant::now();
@@ -348,7 +384,7 @@ pub fn test_instruction_with(
         explore_iterations: exploration.iterations,
         witness_errors,
     };
-    (outcome, times)
+    (outcome, times, solver)
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@ use igjit_concolic::InstrUnderTest;
 use igjit_heap::{ObjectMemory, Oop};
 use igjit_interp::native_spec;
 use igjit_jit::{
-    compile_native_test, BytecodeTestInput, CompileError, CompilerKind,
+    compile_native_test, BytecodeTestInput, CodeCache, CompileError, CompileKey, CompilerKind,
     Convention, NativeTestInput, MUST_BE_BOOLEAN_SELECTOR, SPILL_BYTES,
 };
 use igjit_machine::{Isa, Machine, MachineConfig, MachineOutcome};
@@ -63,11 +63,16 @@ pub fn run_compiled_sequence(
     send_arity_hint: usize,
 ) -> (CompiledRun, ObjectMemory) {
     let mut scratch = StageTimes::default();
-    run_compiled_sequence_timed(kind, isa, instrs, frame, mem, send_arity_hint, &mut scratch)
+    let cache = CodeCache::disabled();
+    run_compiled_sequence_timed(
+        kind, isa, instrs, frame, mem, send_arity_hint, &cache, &mut scratch,
+    )
 }
 
-/// [`run_compiled_sequence`] with compile/simulate wall-clock split
-/// out into `times` for the campaign's observability layer.
+/// [`run_compiled_sequence`] with an artifact `cache` and with
+/// compile/simulate wall-clock split out into `times` for the
+/// campaign's observability layer.
+#[allow(clippy::too_many_arguments)]
 pub fn run_compiled_sequence_timed(
     kind: CompilerKind,
     isa: Isa,
@@ -75,6 +80,7 @@ pub fn run_compiled_sequence_timed(
     frame: &igjit_interp::Frame<Oop>,
     mut mem: ObjectMemory,
     send_arity_hint: usize,
+    cache: &CodeCache,
     times: &mut StageTimes,
 ) -> (CompiledRun, ObjectMemory) {
     let input = BytecodeTestInput {
@@ -86,12 +92,27 @@ pub fn run_compiled_sequence_timed(
         true_obj: mem.true_object(),
         false_obj: mem.false_object(),
     };
+    // Everything the generated code depends on (§4.2: frame values are
+    // embedded as constants; the receiver rides in a register and is
+    // deliberately absent).
+    let key = CompileKey::Bytecode {
+        kind,
+        isa,
+        instrs: instrs.to_vec(),
+        stack: frame.stack.iter().map(|o| o.0).collect(),
+        temps: frame.temps.iter().map(|o| o.0).collect(),
+        literals: frame.method.literals.iter().map(|o| o.0).collect(),
+        nil: mem.nil().0,
+        true_obj: mem.true_object().0,
+        false_obj: mem.false_object().0,
+    };
     let t_compile = Instant::now();
-    let compiled = igjit_jit::compile_bytecode_sequence_test(kind, instrs, &input, isa);
+    let compiled = cache
+        .get_or_compile(key, || igjit_jit::compile_bytecode_sequence_test(kind, instrs, &input, isa));
     times.compile += t_compile.elapsed();
-    let compiled = match compiled {
-        Ok(c) => c,
-        Err(e) => return (CompiledRun::Refused(e), mem),
+    let compiled = match &*compiled {
+        Ok(c) => c.clone(),
+        Err(e) => return (CompiledRun::Refused(e.clone()), mem),
     };
     let frame_bytes = 4 * compiled.ntemps + SPILL_BYTES;
     let conv = Convention::for_isa(isa);
@@ -160,17 +181,19 @@ pub fn run_compiled_native(
     mem: ObjectMemory,
 ) -> (CompiledRun, ObjectMemory) {
     let mut scratch = StageTimes::default();
-    run_compiled_native_timed(isa, id, receiver, args, mem, &mut scratch)
+    let cache = CodeCache::disabled();
+    run_compiled_native_timed(isa, id, receiver, args, mem, &cache, &mut scratch)
 }
 
-/// [`run_compiled_native`] with compile/simulate wall-clock split out
-/// into `times`.
+/// [`run_compiled_native`] with an artifact `cache` and with
+/// compile/simulate wall-clock split out into `times`.
 pub fn run_compiled_native_timed(
     isa: Isa,
     id: igjit_interp::NativeMethodId,
     receiver: Oop,
     args: &[Oop],
     mut mem: ObjectMemory,
+    cache: &CodeCache,
     times: &mut StageTimes,
 ) -> (CompiledRun, ObjectMemory) {
     let input = NativeTestInput {
@@ -178,16 +201,27 @@ pub fn run_compiled_native_timed(
         true_obj: mem.true_object(),
         false_obj: mem.false_object(),
     };
-    let t_compile = Instant::now();
-    let compiled = compile_native_test(
-        igjit_jit::native::igjit_bytecode_native_id::NativeMethodIdLike(id.0),
-        input,
+    // Native templates depend only on the method id, the ISA and the
+    // special oops — receiver and arguments ride in registers.
+    let key = CompileKey::Native {
+        id: u32::from(id.0),
         isa,
-    );
+        nil: mem.nil().0,
+        true_obj: mem.true_object().0,
+        false_obj: mem.false_object().0,
+    };
+    let t_compile = Instant::now();
+    let compiled = cache.get_or_compile(key, || {
+        compile_native_test(
+            igjit_jit::native::igjit_bytecode_native_id::NativeMethodIdLike(id.0),
+            input,
+            isa,
+        )
+    });
     times.compile += t_compile.elapsed();
-    let compiled = match compiled {
-        Ok(c) => c,
-        Err(e) => return (CompiledRun::Refused(e), mem),
+    let compiled = match &*compiled {
+        Ok(c) => c.clone(),
+        Err(e) => return (CompiledRun::Refused(e.clone()), mem),
     };
     let conv = Convention::for_isa(isa);
     let argc = native_spec(id).map(|s| s.argc as usize).unwrap_or(args.len());
@@ -233,17 +267,19 @@ pub fn run_compiled_for_instr(
     mem: ObjectMemory,
 ) -> (CompiledRun, ObjectMemory) {
     let mut scratch = StageTimes::default();
-    run_compiled_for_instr_timed(target_kind, isa, instr, frame, mem, &mut scratch)
+    let cache = CodeCache::disabled();
+    run_compiled_for_instr_timed(target_kind, isa, instr, frame, mem, &cache, &mut scratch)
 }
 
-/// [`run_compiled_for_instr`] with compile/simulate wall-clock split
-/// out into `times`.
+/// [`run_compiled_for_instr`] with an artifact `cache` and with
+/// compile/simulate wall-clock split out into `times`.
 pub fn run_compiled_for_instr_timed(
     target_kind: Option<CompilerKind>,
     isa: Isa,
     instr: InstrUnderTest,
     frame: &igjit_interp::Frame<Oop>,
     mem: ObjectMemory,
+    cache: &CodeCache,
     times: &mut StageTimes,
 ) -> (CompiledRun, ObjectMemory) {
     match instr {
@@ -256,13 +292,14 @@ pub fn run_compiled_for_instr_timed(
                 frame,
                 mem,
                 arity.saturating_sub(1),
+                cache,
                 times,
             )
         }
         InstrUnderTest::Native(id) => {
             match crate::oracle::native_operands(frame, id) {
                 Some((receiver, args)) => {
-                    run_compiled_native_timed(isa, id, receiver, &args, mem, times)
+                    run_compiled_native_timed(isa, id, receiver, &args, mem, cache, times)
                 }
                 None => (
                     CompiledRun::Ran(EngineExit::InvalidFrame),

@@ -28,7 +28,6 @@ mod classify;
 mod compare;
 mod compiled;
 mod oracle;
-mod probes;
 mod sequence;
 
 pub use campaign::{test_instruction, test_instruction_with, CampaignRow, InstructionOutcome,
@@ -39,6 +38,6 @@ pub use compiled::{run_compiled_bytecode, run_compiled_for_instr, run_compiled_f
                    run_compiled_native, run_compiled_native_timed, run_compiled_sequence,
                    run_compiled_sequence_timed, CompiledRun};
 pub use oracle::{concrete_frame, run_oracle, EngineExit, OracleRun, SelectorId};
-pub use probes::probe_models;
+pub use igjit_concolic::{probe_models, probe_models_with_stats};
 pub use sequence::{minimal_sequence_for_path, run_oracle_sequence, test_sequence,
                    SequenceOutcome};

@@ -1,0 +1,213 @@
+//! Compiled-code caching for the differential campaign.
+//!
+//! The test compilation schema (§4.2) embeds the operand stack, temps
+//! and literals of the input frame as constants, so compiled code is a
+//! pure function of `(front-end, ISA, instruction sequence, embedded
+//! frame values, special oops)`. The campaign, however, compiles once
+//! per *run*: every model of a path, every probe variant and every
+//! re-materialization triggers an identical compile. A [`CodeCache`]
+//! keyed on exactly the compile-relevant inputs collapses those runs
+//! onto one artifact per distinct key — native methods, whose code
+//! depends only on the method id and ISA, drop from thousands of
+//! compiles to one per `(method, ISA)` pair.
+//!
+//! Refusals ([`CompileError`]) are cached too: the 60 unimplemented
+//! FFI templates refuse identically on every model.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+
+use igjit_bytecode::Instruction;
+use igjit_machine::Isa;
+
+use crate::{CompileError, CompiledCode, CompilerKind};
+
+/// Everything a test compilation depends on, by value.
+///
+/// The receiver is *not* part of a bytecode key: it rides in the
+/// calling-convention register and never reaches the generated code.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum CompileKey {
+    /// A bytecode (sequence) test compilation.
+    Bytecode {
+        /// Front-end tier.
+        kind: CompilerKind,
+        /// Target ISA.
+        isa: Isa,
+        /// The instruction sequence under test.
+        instrs: Vec<Instruction>,
+        /// Operand-stack oops embedded by `genPushLiteral`.
+        stack: Vec<u32>,
+        /// Temp oops materialized by the preamble.
+        temps: Vec<u32>,
+        /// Method literal oops.
+        literals: Vec<u32>,
+        /// The nil oop compiled into push-constant code.
+        nil: u32,
+        /// The true oop.
+        true_obj: u32,
+        /// The false oop.
+        false_obj: u32,
+    },
+    /// A native-method template compilation.
+    Native {
+        /// Native method id.
+        id: u32,
+        /// Target ISA.
+        isa: Isa,
+        /// The nil oop.
+        nil: u32,
+        /// The true oop.
+        true_obj: u32,
+        /// The false oop.
+        false_obj: u32,
+    },
+}
+
+/// A concurrent cache of compiled test artifacts (including refusals),
+/// shared across models, probes, paths and worker threads.
+///
+/// Compilation is deterministic, so cache hits return byte-identical
+/// code and the campaign's outputs are unchanged by caching; the
+/// `code_cache_tests` suite enforces both properties.
+pub struct CodeCache {
+    map: RwLock<HashMap<CompileKey, Arc<Result<CompiledCode, CompileError>>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    enabled: bool,
+}
+
+impl Default for CodeCache {
+    fn default() -> Self {
+        CodeCache::new()
+    }
+}
+
+impl CodeCache {
+    /// An empty, enabled cache.
+    pub fn new() -> CodeCache {
+        CodeCache {
+            map: RwLock::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            enabled: true,
+        }
+    }
+
+    /// A cache that never stores: every lookup compiles fresh and
+    /// counts as a miss, keeping invocation accounting comparable in
+    /// cache-on/off experiments.
+    pub fn disabled() -> CodeCache {
+        CodeCache { enabled: false, ..CodeCache::new() }
+    }
+
+    /// [`CodeCache::new`] or [`CodeCache::disabled`] by flag.
+    pub fn with_enabled(enabled: bool) -> CodeCache {
+        if enabled {
+            CodeCache::new()
+        } else {
+            CodeCache::disabled()
+        }
+    }
+
+    /// Whether lookups may hit.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Looks up `key`, invoking `compile` on a miss. The returned
+    /// artifact is shared; callers clone the code bytes they hand to a
+    /// machine.
+    pub fn get_or_compile(
+        &self,
+        key: CompileKey,
+        compile: impl FnOnce() -> Result<CompiledCode, CompileError>,
+    ) -> Arc<Result<CompiledCode, CompileError>> {
+        if !self.enabled {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return Arc::new(compile());
+        }
+        if let Some(hit) = self.map.read().expect("code cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        // Compile outside the lock; a racing thread compiling the same
+        // key produces an identical artifact (compilation is pure).
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let artifact = Arc::new(compile());
+        let mut map = self.map.write().expect("code cache poisoned");
+        Arc::clone(map.entry(key).or_insert(artifact))
+    }
+
+    /// Number of lookups answered from the cache.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that had to compile (with caching off, every
+    /// lookup).
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Distinct artifacts currently stored.
+    pub fn len(&self) -> usize {
+        self.map.read().expect("code cache poisoned").len()
+    }
+
+    /// Whether the cache holds no artifacts.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn native_key(id: u32) -> CompileKey {
+        CompileKey::Native { id, isa: Isa::X86ish, nil: 2, true_obj: 6, false_obj: 10 }
+    }
+
+    fn fake_code(byte: u8) -> Result<CompiledCode, CompileError> {
+        Ok(CompiledCode { code: vec![byte; 4], isa: Isa::X86ish, ntemps: 0 })
+    }
+
+    #[test]
+    fn second_lookup_hits_and_shares_the_artifact() {
+        let cache = CodeCache::new();
+        let a = cache.get_or_compile(native_key(1), || fake_code(0xAA));
+        let b = cache.get_or_compile(native_key(1), || panic!("must not recompile"));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn distinct_keys_compile_separately() {
+        let cache = CodeCache::new();
+        cache.get_or_compile(native_key(1), || fake_code(1));
+        cache.get_or_compile(native_key(2), || fake_code(2));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn refusals_are_cached() {
+        let cache = CodeCache::new();
+        let key = native_key(120);
+        cache.get_or_compile(key.clone(), || Err(CompileError::NotImplemented("ffi")));
+        let r = cache.get_or_compile(key, || panic!("refusal must be cached"));
+        assert!(matches!(&*r, Err(CompileError::NotImplemented("ffi"))));
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn disabled_cache_always_compiles() {
+        let cache = CodeCache::disabled();
+        cache.get_or_compile(native_key(1), || fake_code(1));
+        cache.get_or_compile(native_key(1), || fake_code(1));
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+        assert!(cache.is_empty());
+    }
+}

@@ -34,6 +34,7 @@
 
 pub mod backend;
 mod bytecode_compiler;
+pub mod cache;
 mod convention;
 mod ir;
 pub mod native;
@@ -41,6 +42,7 @@ mod regalloc;
 
 pub use bytecode_compiler::{compile_bytecode_sequence_test, compile_bytecode_test,
                             BytecodeTestInput, CompilerKind, CompilerOptions};
+pub use cache::{CodeCache, CompileKey};
 pub use native::NativeTestInput;
 pub use regalloc::SPILL_BYTES;
 pub use convention::Convention;

@@ -50,11 +50,13 @@ mod constraint;
 mod error;
 mod model;
 mod search;
+mod session;
 
 pub use constraint::{CmpOp, Constraint, FloatTerm, Kind, KindSet, LinExpr, VarId, VarSpec};
 pub use error::SolveError;
 pub use model::{Assignment, Model};
 pub use search::{solve, solve_with_limits, Problem, SearchLimits};
+pub use session::{Session, SessionStats};
 
 /// Checks that `model` satisfies every constraint of `problem` and
 /// every variable's initial domain — the solver's soundness contract,

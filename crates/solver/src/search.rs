@@ -1,5 +1,10 @@
 //! The solving engine: preprocessing, interval propagation and
 //! backtracking search.
+//!
+//! The engine is an *owned* value (no borrow of the input `Problem`),
+//! so [`crate::Session`] can checkpoint and restore it across
+//! push/pop assertion scopes. One-shot solving builds a fresh engine
+//! per call, exactly as before the incremental layer existed.
 
 use crate::constraint::{CmpOp, Constraint, FloatTerm, Kind, KindSet, LinExpr, VarId, VarSpec};
 use crate::error::SolveError;
@@ -68,20 +73,63 @@ pub fn solve(problem: &Problem) -> Result<Model, SolveError> {
 
 /// Solves with explicit limits.
 pub fn solve_with_limits(problem: &Problem, limits: SearchLimits) -> Result<Model, SolveError> {
-    let precision_cap: i64 = 1 << (PRECISION_BITS - 1);
-    for c in &problem.constraints {
-        if c.max_abs_constant() >= precision_cap {
-            return Err(SolveError::PrecisionExceeded);
+    solve_counted(&problem.specs, &problem.constraints, limits).0
+}
+
+/// Whether a constraint's constants exceed the 56-bit precision gate.
+pub(crate) fn constraint_is_wide(c: &Constraint) -> bool {
+    c.max_abs_constant() >= (1i64 << (PRECISION_BITS - 1))
+}
+
+/// Whether a spec's bounds exceed the 56-bit precision gate.
+pub(crate) fn spec_is_wide(s: &VarSpec) -> bool {
+    let cap: i64 = 1 << (PRECISION_BITS - 1);
+    s.int_bounds.0.saturating_abs() >= cap || s.int_bounds.1.saturating_abs() >= cap
+}
+
+/// From-scratch solve over explicit specs/constraints, also reporting
+/// the number of search nodes visited (for [`crate::SessionStats`]).
+pub(crate) fn solve_counted(
+    specs: &[VarSpec],
+    constraints: &[Constraint],
+    limits: SearchLimits,
+) -> (Result<Model, SolveError>, usize) {
+    if constraints.iter().any(constraint_is_wide) || specs.iter().any(spec_is_wide) {
+        return (Err(SolveError::PrecisionExceeded), 0);
+    }
+    let mut engine = Engine::new(0);
+    // Pass 1: aliasing (top-level `ObjEq` only).
+    engine.grow_roots(specs.len());
+    for c in constraints {
+        if let Constraint::ObjEq(a, b) = c {
+            engine.union(a.0, b.0);
         }
     }
-    for s in &problem.specs {
-        if s.int_bounds.0.saturating_abs() >= precision_cap
-            || s.int_bounds.1.saturating_abs() >= precision_cap
-        {
-            return Err(SolveError::PrecisionExceeded);
+    // Pass 2: build the initial store and classify constraints.
+    let mut store = engine.init_store(specs);
+    for c in constraints {
+        if engine.assert_into(c, &mut store).is_err() {
+            return (Err(SolveError::Unsat), 0);
         }
     }
-    Solver::new(problem, limits).run()
+    if !engine.check_distinct_consistency() {
+        return (Err(SolveError::Unsat), 0);
+    }
+    // Pass 3: search.
+    engine.nodes_left = limits.max_nodes;
+    let result = engine.search(store);
+    let nodes_used = limits.max_nodes - engine.nodes_left;
+    let result = match result {
+        Some(model) => Ok(model),
+        None => {
+            if engine.nodes_left == 0 {
+                Err(SolveError::ResourceLimit)
+            } else {
+                Err(SolveError::Unsat)
+            }
+        }
+    };
+    (result, nodes_used)
 }
 
 // ---------------------------------------------------------------------------
@@ -89,15 +137,28 @@ pub fn solve_with_limits(problem: &Problem, limits: SearchLimits) -> Result<Mode
 // ---------------------------------------------------------------------------
 
 #[derive(Clone)]
-struct Store {
+pub(crate) struct Store {
     kinds: Vec<KindSet>,
     lo: Vec<i64>,
     hi: Vec<i64>,
     excluded: Vec<Vec<i64>>,
 }
 
-struct Solver<'p> {
-    problem: &'p Problem,
+/// Snapshot of the engine's classified-constraint list lengths; the
+/// search appends to these while branching `Or`s and — on success —
+/// returns without truncating, so incremental callers restore them.
+#[derive(Clone, Copy)]
+pub(crate) struct EngineMark {
+    inequalities: usize,
+    residual: usize,
+    ors: usize,
+    floats: usize,
+    distinct: usize,
+}
+
+#[derive(Clone)]
+pub(crate) struct Engine {
+    nvars: usize,
     root: Vec<u32>,
     distinct: Vec<(u32, u32)>,
     /// Linear inequalities, normalized to `expr <= 0`, with vars
@@ -108,21 +169,88 @@ struct Solver<'p> {
     /// `Or` constraints to branch on (disjuncts unflattened).
     ors: Vec<Vec<Constraint>>,
     floats: Vec<Constraint>,
-    nodes_left: usize,
+    pub(crate) nodes_left: usize,
 }
 
-impl<'p> Solver<'p> {
-    fn new(problem: &'p Problem, limits: SearchLimits) -> Solver<'p> {
-        Solver {
-            problem,
-            root: (0..problem.var_count() as u32).collect(),
+impl Engine {
+    pub(crate) fn new(nvars: usize) -> Engine {
+        Engine {
+            nvars,
+            root: (0..nvars as u32).collect(),
             distinct: Vec::new(),
             inequalities: Vec::new(),
             residual: Vec::new(),
             ors: Vec::new(),
             floats: Vec::new(),
-            nodes_left: limits.max_nodes,
+            nodes_left: 0,
         }
+    }
+
+    pub(crate) fn var_count(&self) -> usize {
+        self.nvars
+    }
+
+    fn grow_roots(&mut self, n: usize) {
+        while self.nvars < n {
+            self.root.push(self.nvars as u32);
+            self.nvars += 1;
+        }
+    }
+
+    /// Appends one variable to an engine *and* its live store (the
+    /// incremental path; the one-shot path initializes in bulk).
+    pub(crate) fn add_var(&mut self, spec: &VarSpec, store: &mut Store) {
+        self.root.push(self.nvars as u32);
+        self.nvars += 1;
+        store.kinds.push(KindSet::ANY.intersect(spec.kinds));
+        store.lo.push((i64::MIN / 4).max(spec.int_bounds.0));
+        store.hi.push((i64::MAX / 4).min(spec.int_bounds.1));
+        store.excluded.push(Vec::new());
+    }
+
+    pub(crate) fn init_store(&self, specs: &[VarSpec]) -> Store {
+        let n = self.nvars;
+        let mut store = Store {
+            kinds: vec![KindSet::ANY; n],
+            lo: vec![i64::MIN / 4; n],
+            hi: vec![i64::MAX / 4; n],
+            excluded: vec![Vec::new(); n],
+        };
+        for (i, spec) in specs.iter().enumerate() {
+            let r = self.find(i as u32) as usize;
+            store.kinds[r] = store.kinds[r].intersect(spec.kinds);
+            store.lo[r] = store.lo[r].max(spec.int_bounds.0);
+            store.hi[r] = store.hi[r].min(spec.int_bounds.1);
+        }
+        store
+    }
+
+    pub(crate) fn mark(&self) -> EngineMark {
+        EngineMark {
+            inequalities: self.inequalities.len(),
+            residual: self.residual.len(),
+            ors: self.ors.len(),
+            floats: self.floats.len(),
+            distinct: self.distinct.len(),
+        }
+    }
+
+    pub(crate) fn truncate_to(&mut self, mark: EngineMark) {
+        self.inequalities.truncate(mark.inequalities);
+        self.residual.truncate(mark.residual);
+        self.ors.truncate(mark.ors);
+        self.floats.truncate(mark.floats);
+        self.distinct.truncate(mark.distinct);
+    }
+
+    /// Drops variables back to a count recorded before they were
+    /// added. Sound because union-find roots always have smaller ids
+    /// than their children, so the surviving prefix never references a
+    /// truncated entry — and because sessions never union at all
+    /// (aliasing goes through the from-scratch rebuild path).
+    pub(crate) fn truncate_vars(&mut self, n: usize) {
+        self.root.truncate(n);
+        self.nvars = n;
     }
 
     fn find(&self, v: u32) -> u32 {
@@ -150,55 +278,18 @@ impl<'p> Solver<'p> {
         out
     }
 
-    fn run(&mut self) -> Result<Model, SolveError> {
-        // Pass 1: aliasing.
-        for c in &self.problem.constraints {
-            if let Constraint::ObjEq(a, b) = c {
-                self.union(a.0, b.0);
-            }
-        }
-        // Pass 2: build the initial store and classify constraints.
-        let n = self.problem.var_count();
-        let mut store = Store {
-            kinds: vec![KindSet::ANY; n],
-            lo: vec![i64::MIN / 4; n],
-            hi: vec![i64::MAX / 4; n],
-            excluded: vec![Vec::new(); n],
-        };
-        for (i, spec) in self.problem.specs.iter().enumerate() {
-            let r = self.find(i as u32) as usize;
-            store.kinds[r] = store.kinds[r].intersect(spec.kinds);
-            store.lo[r] = store.lo[r].max(spec.int_bounds.0);
-            store.hi[r] = store.hi[r].min(spec.int_bounds.1);
-        }
-        let constraints = self.problem.constraints.clone();
-        for c in &constraints {
-            self.assert_into(c, &mut store)?;
-        }
-        if !self.check_distinct_consistency() {
-            return Err(SolveError::Unsat);
-        }
-        // Pass 3: search.
-        match self.search(store) {
-            Some(model) => Ok(model),
-            None => {
-                if self.nodes_left == 0 {
-                    Err(SolveError::ResourceLimit)
-                } else {
-                    Err(SolveError::Unsat)
-                }
-            }
-        }
-    }
-
-    fn check_distinct_consistency(&self) -> bool {
+    pub(crate) fn check_distinct_consistency(&self) -> bool {
         self.distinct.iter().all(|&(a, b)| self.find(a) != self.find(b))
     }
 
     /// Asserts `c` into the store (kinds, inequalities) or queues it
     /// for branching/leaf checking. Returns Err only on hard
     /// structural unsatisfiability.
-    fn assert_into(&mut self, c: &Constraint, store: &mut Store) -> Result<(), SolveError> {
+    pub(crate) fn assert_into(
+        &mut self,
+        c: &Constraint,
+        store: &mut Store,
+    ) -> Result<(), SolveError> {
         match c {
             Constraint::Kind { var, allowed } => {
                 let r = self.find(var.0) as usize;
@@ -229,7 +320,7 @@ impl<'p> Solver<'p> {
                 }
             }
             Constraint::Float(..) => self.floats.push(c.clone()),
-            Constraint::ObjEq(..) => {} // handled in pass 1
+            Constraint::ObjEq(..) => {} // handled in the aliasing pass
             Constraint::ObjNe(a, b) => self.distinct.push((a.0, b.0)),
             Constraint::And(cs) => {
                 for c in cs {
@@ -243,7 +334,7 @@ impl<'p> Solver<'p> {
 
     /// Interval propagation to fixpoint. Returns false on an empty
     /// domain.
-    fn propagate(&self, store: &mut Store) -> bool {
+    pub(crate) fn propagate(&self, store: &mut Store) -> bool {
         for _round in 0..64 {
             let mut changed = false;
             for e in &self.inequalities {
@@ -309,7 +400,7 @@ impl<'p> Solver<'p> {
         true
     }
 
-    fn search(&mut self, store: Store) -> Option<Model> {
+    pub(crate) fn search(&mut self, store: Store) -> Option<Model> {
         let pending_ors: Vec<usize> = (0..self.ors.len()).collect();
         self.search_inner(store, &pending_ors)
     }
@@ -327,15 +418,11 @@ impl<'p> Solver<'p> {
             let disjuncts = self.ors[oi].clone();
             for d in disjuncts {
                 let mut child = store.clone();
-                let saved_ineq = self.inequalities.len();
-                let saved_res = self.residual.len();
-                let saved_floats = self.floats.len();
-                let saved_ors = self.ors.len();
-                let saved_distinct = self.distinct.len();
+                let saved = self.mark();
                 let ok = self.assert_into(&d, &mut child).is_ok();
                 // Newly nested Ors get appended; include them in pending.
                 let mut new_pending: Vec<usize> = rest.to_vec();
-                new_pending.extend(saved_ors..self.ors.len());
+                new_pending.extend(saved.ors..self.ors.len());
                 let result = if ok && self.check_distinct_consistency() {
                     self.search_inner(child, &new_pending)
                 } else {
@@ -344,11 +431,7 @@ impl<'p> Solver<'p> {
                 if result.is_some() {
                     return result;
                 }
-                self.inequalities.truncate(saved_ineq);
-                self.residual.truncate(saved_res);
-                self.floats.truncate(saved_floats);
-                self.ors.truncate(saved_ors);
-                self.distinct.truncate(saved_distinct);
+                self.truncate_to(saved);
             }
             return None;
         }
@@ -479,7 +562,7 @@ impl<'p> Solver<'p> {
     }
 
     fn solve_floats(&self, _kinds: &[Kind]) -> Option<Vec<f64>> {
-        let n = self.problem.var_count();
+        let n = self.nvars;
         let mut vals = vec![1.5f64; n];
         if self.floats.is_empty() {
             return Some(vals);

@@ -1,0 +1,508 @@
+//! Incremental solving: push/pop assertion scopes.
+//!
+//! Concolic exploration solves a *tree* of path conditions where every
+//! child shares its whole prefix with its parent. A [`Session`] keeps
+//! the engine's classification and interval-propagation state alive
+//! across [`push`](Session::push)/[`pop`](Session::pop) scopes, so each
+//! child costs one constraint assertion plus an incremental propagation
+//! round instead of a full rebuild — the push/pop interface popularized
+//! by Z3 and used by SMT-driven concolic engines like SAGE.
+//!
+//! Determinism contract: for any scope state, [`Session::solve`]
+//! returns exactly what [`crate::solve`] returns for a [`Problem`]
+//! holding the same variables and the same in-scope constraints in
+//! assertion order. The campaign's row-for-row reproducibility depends
+//! on this; the `session_equivalence` property test enforces it.
+
+use crate::constraint::{Constraint, VarId, VarSpec};
+use crate::error::SolveError;
+use crate::model::Model;
+use crate::search::{
+    constraint_is_wide, solve_counted, spec_is_wide, Engine, EngineMark, SearchLimits, Store,
+};
+use crate::{check_model, Problem};
+
+/// Counters describing the work an incremental [`Session`] performed,
+/// merged into the campaign metrics (`*.metrics.json`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Total `solve()` calls.
+    pub solves: usize,
+    /// Solves that produced a model.
+    pub sat: usize,
+    /// Solves that returned `Unsat`.
+    pub unsat: usize,
+    /// Search nodes visited across all solves.
+    pub nodes_visited: usize,
+    /// Solves answered from incrementally-maintained propagation state
+    /// (no from-scratch rebuild).
+    pub propagation_reuse: usize,
+    /// Solves that had to rebuild from scratch (an `ObjEq` entered a
+    /// scope, forcing re-aliasing).
+    pub rebuilds: usize,
+    /// Solves answered by revalidating the previous model
+    /// (only with [`Session::set_reuse_models`]).
+    pub model_reuse: usize,
+    /// Total scopes pushed.
+    pub pushes: usize,
+    /// Deepest scope stack observed at a solve.
+    pub max_depth: usize,
+}
+
+impl SessionStats {
+    /// Accumulates `other` into `self` (sums; max for depth).
+    pub fn merge(&mut self, other: &SessionStats) {
+        self.solves += other.solves;
+        self.sat += other.sat;
+        self.unsat += other.unsat;
+        self.nodes_visited += other.nodes_visited;
+        self.propagation_reuse += other.propagation_reuse;
+        self.rebuilds += other.rebuilds;
+        self.model_reuse += other.model_reuse;
+        self.pushes += other.pushes;
+        self.max_depth = self.max_depth.max(other.max_depth);
+    }
+}
+
+struct Scope {
+    n_constraints: usize,
+    saved_wide: usize,
+    saved_dirty: bool,
+    /// Engine checkpoint taken at push time; `None` while the session
+    /// is dirty (the engine is stale and a rebuild decides anyway).
+    saved: Option<Checkpoint>,
+}
+
+/// A cheap engine checkpoint: the classified-constraint lists are
+/// append-only between scopes (sessions never union — aliasing forces
+/// the dirty rebuild path), so restoring is a truncation plus putting
+/// back the interval store's pre-scope copy. Cloning the whole
+/// [`Engine`] (deep `LinExpr`/`Constraint` trees) per push is what this
+/// avoids; the per-push cost is one small `Store` clone.
+struct Checkpoint {
+    mark: EngineMark,
+    nvars: usize,
+    store: Store,
+    conflict: bool,
+}
+
+/// An incremental solver session with push/pop assertion scopes.
+///
+/// Variables are global to the session (they persist across `pop`);
+/// constraints belong to the scope they were asserted in. Between
+/// scopes the session keeps the classified constraints and the
+/// interval store at their propagated fixpoint, so a child scope's
+/// solve starts from its parent's propagation instead of from scratch.
+pub struct Session {
+    specs: Vec<VarSpec>,
+    constraints: Vec<Constraint>,
+    scopes: Vec<Scope>,
+    engine: Engine,
+    store: Store,
+    /// A hard structural conflict was found while asserting (empty
+    /// kind set, aliased-distinct pair, empty interval): solve is
+    /// `Unsat` without searching.
+    conflict: bool,
+    /// A top-level `ObjEq` entered the current scope: aliasing cannot
+    /// be asserted incrementally (union-find has no un-union), so
+    /// solves rebuild from scratch until the scope pops.
+    dirty: bool,
+    /// In-scope constraints violating the 56-bit precision gate.
+    wide: usize,
+    /// Any variable spec violating the precision gate (permanent:
+    /// variables are never popped).
+    wide_specs: bool,
+    limits: SearchLimits,
+    last_model: Option<Model>,
+    reuse_models: bool,
+    stats: SessionStats,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
+impl Session {
+    /// An empty session with default search limits.
+    pub fn new() -> Session {
+        Session::with_limits(SearchLimits::default())
+    }
+
+    /// An empty session with explicit search limits (applied per
+    /// solve, like [`crate::solve_with_limits`]).
+    pub fn with_limits(limits: SearchLimits) -> Session {
+        let engine = Engine::new(0);
+        let store = engine.init_store(&[]);
+        Session {
+            specs: Vec::new(),
+            constraints: Vec::new(),
+            scopes: Vec::new(),
+            engine,
+            store,
+            conflict: false,
+            dirty: false,
+            wide: 0,
+            wide_specs: false,
+            limits,
+            last_model: None,
+            reuse_models: false,
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// Opt into answering solves by revalidating the previous model
+    /// against the in-scope constraints before searching.
+    ///
+    /// This is faster but intentionally **off** by default: a reused
+    /// model can differ from the one a fresh search would pick, which
+    /// would break the campaign's model-for-model reproducibility.
+    pub fn set_reuse_models(&mut self, on: bool) {
+        self.reuse_models = on;
+    }
+
+    /// Introduces a fresh variable. Variables are session-global: they
+    /// survive `pop` (matching the explorer's ever-growing
+    /// `AbstractState`).
+    pub fn add_var(&mut self, spec: VarSpec) -> VarId {
+        let id = VarId(self.specs.len() as u32);
+        if spec_is_wide(&spec) {
+            self.wide_specs = true;
+        }
+        self.specs.push(spec);
+        id
+    }
+
+    /// Appends any variables of `specs` the session does not have yet
+    /// (by index). The common caller keeps one growing spec list — the
+    /// explorer's abstract state — and re-syncs before each solve.
+    pub fn sync_vars(&mut self, specs: &[VarSpec]) {
+        for spec in specs.iter().skip(self.specs.len()) {
+            self.add_var(*spec);
+        }
+    }
+
+    /// Number of variables.
+    pub fn var_count(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Current scope depth (0 = base scope).
+    pub fn depth(&self) -> usize {
+        self.scopes.len()
+    }
+
+    /// The in-scope constraints, in assertion order.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// The work counters accumulated so far.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Opens a new assertion scope.
+    pub fn push(&mut self) {
+        self.stats.pushes += 1;
+        let saved = if self.dirty {
+            None
+        } else {
+            self.ensure_synced();
+            Some(Checkpoint {
+                mark: self.engine.mark(),
+                nvars: self.engine.var_count(),
+                store: self.store.clone(),
+                conflict: self.conflict,
+            })
+        };
+        self.scopes.push(Scope {
+            n_constraints: self.constraints.len(),
+            saved_wide: self.wide,
+            saved_dirty: self.dirty,
+            saved,
+        });
+    }
+
+    /// Asserts a constraint into the current scope.
+    pub fn assert(&mut self, c: Constraint) {
+        if constraint_is_wide(&c) {
+            self.wide += 1;
+        }
+        let is_objeq = matches!(c, Constraint::ObjEq(..));
+        self.constraints.push(c);
+        if self.dirty {
+            return;
+        }
+        if is_objeq {
+            // Aliasing is a union-find pass; it cannot be undone by a
+            // list truncation, so the engine goes stale until this
+            // scope pops and solves rebuild from scratch.
+            self.dirty = true;
+            return;
+        }
+        if self.conflict {
+            return;
+        }
+        self.ensure_synced();
+        let c = self.constraints.last().expect("just pushed").clone();
+        if self.engine.assert_into(&c, &mut self.store).is_err()
+            || !self.engine.check_distinct_consistency()
+            || !self.engine.propagate(&mut self.store)
+        {
+            self.conflict = true;
+        }
+    }
+
+    /// `push()` followed by `assert(c)` — the explorer's per-branch step.
+    pub fn push_assert(&mut self, c: Constraint) {
+        self.push();
+        self.assert(c);
+    }
+
+    /// Closes the innermost scope, retracting its constraints and
+    /// restoring the engine checkpoint taken at `push`.
+    ///
+    /// # Panics
+    /// Panics when no scope is open.
+    pub fn pop(&mut self) {
+        let scope = self.scopes.pop().expect("pop without matching push");
+        self.constraints.truncate(scope.n_constraints);
+        self.wide = scope.saved_wide;
+        self.dirty = scope.saved_dirty;
+        if let Some(cp) = scope.saved {
+            self.engine.truncate_to(cp.mark);
+            self.engine.truncate_vars(cp.nvars);
+            self.store = cp.store;
+            self.conflict = cp.conflict;
+        }
+    }
+
+    /// Solves the conjunction of all in-scope constraints over all
+    /// session variables. Equivalent to [`crate::solve_with_limits`]
+    /// on the same problem; incremental state only changes how fast
+    /// the answer is found.
+    pub fn solve(&mut self) -> Result<Model, SolveError> {
+        self.stats.solves += 1;
+        self.stats.max_depth = self.stats.max_depth.max(self.scopes.len());
+        if self.wide > 0 || self.wide_specs {
+            return Err(SolveError::PrecisionExceeded);
+        }
+        if self.reuse_models {
+            if let Some(m) = &self.last_model {
+                if m.len() == self.specs.len() && check_model(&self.problem(), m) {
+                    self.stats.model_reuse += 1;
+                    self.stats.sat += 1;
+                    return Ok(m.clone());
+                }
+            }
+        }
+        if self.dirty {
+            self.stats.rebuilds += 1;
+            let (result, nodes) = solve_counted(&self.specs, &self.constraints, self.limits);
+            self.stats.nodes_visited += nodes;
+            return self.record(result);
+        }
+        self.stats.propagation_reuse += 1;
+        self.ensure_synced();
+        if self.conflict {
+            return self.record(Err(SolveError::Unsat));
+        }
+        let mark = self.engine.mark();
+        self.engine.nodes_left = self.limits.max_nodes;
+        let found = self.engine.search(self.store.clone());
+        let nodes = self.limits.max_nodes - self.engine.nodes_left;
+        self.stats.nodes_visited += nodes;
+        let result = match found {
+            Some(model) => Ok(model),
+            None => {
+                if self.engine.nodes_left == 0 {
+                    Err(SolveError::ResourceLimit)
+                } else {
+                    Err(SolveError::Unsat)
+                }
+            }
+        };
+        // The search appends Or-disjunct classifications and returns
+        // early on success; restore the scope's classified lists.
+        self.engine.truncate_to(mark);
+        self.record(result)
+    }
+
+    /// The current scope state as a one-shot [`Problem`] (for
+    /// equivalence checks and model validation).
+    pub fn problem(&self) -> Problem {
+        let mut p = Problem::new();
+        for spec in &self.specs {
+            p.new_var(*spec);
+        }
+        for c in &self.constraints {
+            p.assert(c.clone());
+        }
+        p
+    }
+
+    fn record(&mut self, result: Result<Model, SolveError>) -> Result<Model, SolveError> {
+        match &result {
+            Ok(m) => {
+                self.stats.sat += 1;
+                self.last_model = Some(m.clone());
+            }
+            Err(SolveError::Unsat) => self.stats.unsat += 1,
+            Err(_) => {}
+        }
+        result
+    }
+
+    fn ensure_synced(&mut self) {
+        for i in self.engine.var_count()..self.specs.len() {
+            self.engine.add_var(&self.specs[i], &mut self.store);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::{CmpOp, Kind, LinExpr};
+    use crate::solve;
+
+    fn le(v: VarId, c: i64) -> Constraint {
+        Constraint::Int(CmpOp::Le, LinExpr::var(v), LinExpr::constant(c))
+    }
+
+    fn ge(v: VarId, c: i64) -> Constraint {
+        Constraint::Int(CmpOp::Ge, LinExpr::var(v), LinExpr::constant(c))
+    }
+
+    #[test]
+    fn push_pop_restores_satisfiability() {
+        let mut s = Session::new();
+        let x = s.add_var(VarSpec::any());
+        s.assert(ge(x, 10));
+        assert!(s.solve().is_ok());
+        s.push_assert(le(x, 5)); // contradiction
+        assert_eq!(s.solve(), Err(SolveError::Unsat));
+        s.pop();
+        let m = s.solve().unwrap();
+        assert!(m.int_value(x) >= 10);
+    }
+
+    #[test]
+    fn matches_scratch_solver_on_each_scope() {
+        let mut s = Session::new();
+        let x = s.add_var(VarSpec::counter(100));
+        let y = s.add_var(VarSpec::counter(100));
+        let steps =
+            [ge(x, 3), le(y, 40), Constraint::Int(CmpOp::Lt, LinExpr::var(x), LinExpr::var(y))];
+        for c in steps {
+            s.push_assert(c);
+            let incremental = s.solve();
+            let scratch = solve(&s.problem());
+            assert_eq!(incremental, scratch);
+        }
+        for _ in 0..3 {
+            s.pop();
+            assert_eq!(s.solve(), solve(&s.problem()));
+        }
+    }
+
+    #[test]
+    fn objeq_forces_rebuild_and_pops_clean(){
+        let mut s = Session::new();
+        let a = s.add_var(VarSpec::any());
+        let b = s.add_var(VarSpec::any());
+        s.assert(Constraint::kind_is(a, Kind::Array));
+        s.push_assert(Constraint::ObjEq(a, b));
+        let m = s.solve().unwrap();
+        assert!(m.same_object(a, b));
+        assert_eq!(s.stats().rebuilds, 1, "aliasing rebuilds from scratch");
+        s.push_assert(Constraint::kind_is(b, Kind::Float));
+        assert_eq!(s.solve(), Err(SolveError::Unsat), "aliased kinds conflict");
+        s.pop();
+        s.pop();
+        let m = s.solve().unwrap();
+        assert!(!m.same_object(a, b));
+        assert!(s.stats().propagation_reuse >= 1);
+    }
+
+    #[test]
+    fn vars_survive_pop() {
+        let mut s = Session::new();
+        let x = s.add_var(VarSpec::counter(10));
+        s.push();
+        let y = s.add_var(VarSpec::counter(10));
+        s.assert(ge(y, 2));
+        assert!(s.solve().is_ok());
+        s.pop();
+        // y still exists; its scope constraint is gone.
+        let m = s.solve().unwrap();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.int_value(y), 0);
+        let _ = x;
+    }
+
+    #[test]
+    fn precision_gate_is_scoped() {
+        let mut s = Session::new();
+        let x = s.add_var(VarSpec::any());
+        s.push_assert(Constraint::Int(
+            CmpOp::Lt,
+            LinExpr::var(x),
+            LinExpr::constant(1 << 60),
+        ));
+        assert_eq!(s.solve(), Err(SolveError::PrecisionExceeded));
+        s.pop();
+        assert!(s.solve().is_ok());
+    }
+
+    #[test]
+    fn model_reuse_is_opt_in_and_validates() {
+        let mut s = Session::new();
+        let x = s.add_var(VarSpec::counter(100));
+        s.set_reuse_models(true);
+        s.assert(ge(x, 5));
+        let m1 = s.solve().unwrap();
+        // A weaker extra constraint the model already satisfies.
+        s.push_assert(ge(x, 1));
+        let m2 = s.solve().unwrap();
+        assert_eq!(m1, m2);
+        assert_eq!(s.stats().model_reuse, 1);
+        // A constraint the cached model violates forces a real solve.
+        s.push_assert(le(x, 2));
+        assert_eq!(s.solve(), Err(SolveError::Unsat));
+    }
+
+    #[test]
+    fn stats_track_reuse_and_depth() {
+        let mut s = Session::new();
+        let x = s.add_var(VarSpec::counter(100));
+        s.assert(ge(x, 1));
+        s.solve().unwrap();
+        s.push_assert(ge(x, 2));
+        s.push_assert(ge(x, 3));
+        s.solve().unwrap();
+        let st = s.stats();
+        assert_eq!(st.solves, 2);
+        assert_eq!(st.sat, 2);
+        assert_eq!(st.propagation_reuse, 2);
+        assert_eq!(st.rebuilds, 0);
+        assert_eq!(st.pushes, 2);
+        assert_eq!(st.max_depth, 2);
+        assert!(st.nodes_visited >= 2);
+    }
+
+    #[test]
+    fn conflict_detected_at_assert_time() {
+        let mut s = Session::new();
+        let v = s.add_var(VarSpec::any());
+        s.assert(Constraint::kind_is(v, Kind::Float));
+        s.push_assert(Constraint::kind_is(v, Kind::SmallInt));
+        assert_eq!(s.solve(), Err(SolveError::Unsat));
+        // The conflicting scope consumed no search nodes.
+        assert_eq!(s.stats().nodes_visited, 0);
+        s.pop();
+        assert_eq!(s.solve().unwrap().kind(v), Kind::Float);
+    }
+}

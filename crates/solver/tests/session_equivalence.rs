@@ -1,0 +1,204 @@
+//! Property tests of the incremental layer's determinism contract:
+//! a `Session` driven by arbitrary push/assert/pop sequences must
+//! answer exactly what the from-scratch `solve()` answers for the same
+//! in-scope constraints — same SAT/UNSAT/error, and (because the
+//! campaign's reproducibility depends on it) the *same model*.
+
+use igjit_solver::{
+    check_model, solve, CmpOp, Constraint, Kind, LinExpr, Session, SolveError, VarId, VarSpec,
+};
+use proptest::prelude::*;
+
+const NVARS: usize = 4;
+
+/// A generator for random constraints over NVARS variables (the same
+/// shape as the soundness suite, including `ObjEq` — which exercises
+/// the session's rebuild-on-aliasing path).
+fn arb_constraint() -> impl Strategy<Value = Constraint> {
+    let var = (0u32..NVARS as u32).prop_map(VarId);
+    let kind = prop_oneof![
+        Just(Kind::SmallInt),
+        Just(Kind::Float),
+        Just(Kind::Array),
+        Just(Kind::Nil),
+    ];
+    let cmp = prop_oneof![
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+    ];
+    let lin = (var.clone(), -50i64..50)
+        .prop_map(|(v, c)| LinExpr::var(v).offset(c));
+    let lin2 = (var.clone(), var.clone(), -50i64..50)
+        .prop_map(|(a, b, c)| LinExpr::var(a).plus(&LinExpr::var(b)).offset(c));
+    prop_oneof![
+        (var.clone(), kind.clone()).prop_map(|(v, k)| Constraint::kind_is(v, k)),
+        (var.clone(), kind).prop_map(|(v, k)| Constraint::kind_is_not(v, k)),
+        (cmp.clone(), lin.clone(), lin.clone()).prop_map(|(op, l, r)| Constraint::Int(op, l, r)),
+        (cmp, lin2.clone(), -100i64..100)
+            .prop_map(|(op, l, c)| Constraint::Int(op, l, LinExpr::constant(c))),
+        (var.clone(), var.clone()).prop_map(|(a, b)| Constraint::ObjEq(a, b)),
+        (var.clone(), var).prop_map(|(a, b)| Constraint::ObjNe(a, b)),
+        (lin2).prop_map(Constraint::not_in_small_int_range),
+    ]
+}
+
+/// One step of a random session script.
+#[derive(Clone, Debug)]
+enum Step {
+    PushAssert(Constraint),
+    Assert(Constraint),
+    Pop,
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        arb_constraint().prop_map(Step::PushAssert),
+        arb_constraint().prop_map(Step::Assert),
+        Just(Step::Pop),
+        Just(Step::Pop),
+    ]
+}
+
+/// Asserts that one session solve agrees with the scratch solver on
+/// the session's current in-scope problem.
+fn assert_agrees(s: &mut Session) {
+    let problem = s.problem();
+    let incremental = s.solve();
+    let scratch = solve(&problem);
+    prop_assert_eq!(
+        &incremental,
+        &scratch,
+        "incremental and scratch answers diverge on {:?}",
+        problem.constraints()
+    );
+    if let Ok(model) = &incremental {
+        prop_assert!(
+            check_model(&problem, model),
+            "session model violates in-scope constraints {:?}",
+            problem.constraints()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Pushing constraints one scope at a time, then popping all the
+    /// way back, agrees with from-scratch solving at every depth.
+    #[test]
+    fn prop_session_agrees_with_scratch_down_and_up(
+        constraints in proptest::collection::vec(arb_constraint(), 1..8)
+    ) {
+        let mut s = Session::new();
+        for _ in 0..NVARS {
+            s.add_var(VarSpec::any());
+        }
+        for c in &constraints {
+            s.push_assert(c.clone());
+            assert_agrees(&mut s);
+        }
+        for _ in 0..constraints.len() {
+            s.pop();
+            assert_agrees(&mut s);
+        }
+        prop_assert_eq!(s.depth(), 0);
+    }
+
+    /// Arbitrary interleavings of push/assert/pop keep the session in
+    /// lockstep with the scratch solver.
+    #[test]
+    fn prop_session_agrees_under_arbitrary_scripts(
+        steps in proptest::collection::vec(arb_step(), 1..12)
+    ) {
+        let mut s = Session::new();
+        for _ in 0..NVARS {
+            s.add_var(VarSpec::any());
+        }
+        for step in steps {
+            match step {
+                Step::PushAssert(c) => s.push_assert(c),
+                Step::Assert(c) => s.assert(c),
+                Step::Pop => {
+                    if s.depth() == 0 {
+                        continue;
+                    }
+                    s.pop();
+                }
+            }
+            assert_agrees(&mut s);
+        }
+    }
+
+    /// The tree walk the explorer performs: solve a prefix, then for
+    /// each suffix position push the negation of one step, solve, and
+    /// pop — the session must match scratch at every node.
+    #[test]
+    fn prop_negation_walk_matches_scratch(
+        path in proptest::collection::vec(arb_constraint(), 1..6)
+    ) {
+        let mut s = Session::new();
+        for _ in 0..NVARS {
+            s.add_var(VarSpec::any());
+        }
+        for c in &path {
+            s.push_assert(c.clone());
+        }
+        assert_agrees(&mut s);
+        for i in (0..path.len()).rev() {
+            s.pop();
+            s.push_assert(path[i].negated());
+            assert_agrees(&mut s);
+            s.pop();
+            s.push_assert(path[i].clone());
+        }
+    }
+
+    /// Variables added mid-session (the explorer's lazily growing
+    /// frame) behave as if they had existed from the start.
+    #[test]
+    fn prop_late_variables_match_scratch(
+        before in proptest::collection::vec(arb_constraint(), 0..4),
+        after in proptest::collection::vec(arb_constraint(), 1..4)
+    ) {
+        let mut s = Session::new();
+        for _ in 0..2 {
+            s.add_var(VarSpec::any());
+        }
+        for c in &before {
+            // Project early constraints onto the first two variables.
+            let mut vs = Vec::new();
+            c.vars(&mut vs);
+            if vs.iter().all(|v| v.0 < 2) {
+                s.push_assert(c.clone());
+            }
+        }
+        for _ in 2..NVARS {
+            s.add_var(VarSpec::any());
+        }
+        for c in &after {
+            s.push_assert(c.clone());
+            assert_agrees(&mut s);
+        }
+    }
+}
+
+/// Unsatisfiable prefixes stay unsatisfiable in deeper scopes (a
+/// deterministic spot check of conflict propagation).
+#[test]
+fn unsat_prefix_poisons_descendants() {
+    let mut s = Session::new();
+    let x = s.add_var(VarSpec::any());
+    s.push_assert(Constraint::Int(CmpOp::Lt, LinExpr::var(x), LinExpr::constant(0)));
+    s.push_assert(Constraint::Int(CmpOp::Gt, LinExpr::var(x), LinExpr::constant(0)));
+    assert_eq!(s.solve(), Err(SolveError::Unsat));
+    s.push_assert(Constraint::kind_is(x, Kind::SmallInt));
+    assert_eq!(s.solve(), Err(SolveError::Unsat));
+    s.pop();
+    s.pop();
+    s.pop();
+    assert!(s.solve().is_ok());
+}

@@ -15,6 +15,7 @@ fn main() {
         isas: vec![Isa::X86ish, Isa::Arm32ish],
         probes: true,
         threads: 4,
+        code_cache: true,
     });
 
     eprintln!("differentially testing all 112 native methods on 2 ISAs…");

@@ -13,6 +13,7 @@ fn main() {
         isas: vec![Isa::X86ish, Isa::Arm32ish],
         probes: true,
         threads: 1,
+        code_cache: true,
     });
 
     // 1. The guiding example: the add bytecode (Listing 1 / Fig. 2).
