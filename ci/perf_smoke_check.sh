@@ -1,11 +1,24 @@
 #!/usr/bin/env bash
 # Perf-smoke drift check.
 #
-# Compares the latest BENCH_table2.json record (appended by the table2
+# Compares the latest BENCH_table2.json records (appended by the table2
 # harness) and the testgen output against ci/perf_expectations.json.
 # The campaign is deterministic, so any drift in the Table 2 totals or
 # the generated-test count means a behaviour change slipped into a
 # perf-motivated PR — exactly what this check exists to catch.
+#
+# Beyond the row totals, the check enforces three perf invariants on
+# the recent records:
+#
+#   * snapshot on/off identity — when both a heap-snapshot-on and a
+#     heap-snapshot-off record are present (the CI workflow produces
+#     one of each), both must match the expected rows, proving the
+#     replay path changes nothing observable;
+#   * materialize speedup — the snapshot-on materialize stage must be
+#     at least 2x faster than the snapshot-off one;
+#   * honest stage accounting — at 1 thread, the per-stage sum
+#     (including the `other` bucket) must land within 10% of the
+#     measured wall clock.
 #
 # Usage: ci/perf_smoke_check.sh [BENCH_table2.json] [testgen-output.txt]
 set -euo pipefail
@@ -30,12 +43,24 @@ bench_path, testgen_path, expect_path = sys.argv[1:4]
 with open(expect_path) as f:
     expect = json.load(f)
 
-# BENCH_table2.json is JSON Lines; the last record is this run.
+# BENCH_table2.json is JSON Lines; the trailing records are this CI
+# run (snapshot-on first, snapshot-off second when both were run).
 with open(bench_path) as f:
     records = [json.loads(line) for line in f if line.strip()]
 if not records:
     sys.exit(f"perf-smoke: {bench_path} holds no records")
-table2 = records[-1]["table2"]
+
+
+def snapshot_on(rec):
+    return rec["metrics"].get("snapshot", {}).get("seals", 0) > 0
+
+
+rec_on = rec_off = None
+for rec in records[-4:]:
+    if snapshot_on(rec):
+        rec_on = rec
+    else:
+        rec_off = rec
 
 with open(testgen_path) as f:
     testgen = f.read()
@@ -45,9 +70,16 @@ if not m:
 generated = int(m.group(1))
 
 drifted = []
-for key in ("tested_instructions", "interpreter_paths", "curated_paths", "differences"):
-    if table2[key] != expect[key]:
-        drifted.append(f"{key}: expected {expect[key]}, got {table2[key]}")
+for label, rec in (("snapshot-on", rec_on), ("snapshot-off", rec_off)):
+    if rec is None:
+        continue
+    for key in ("tested_instructions", "interpreter_paths", "curated_paths", "differences"):
+        if rec["table2"][key] != expect[key]:
+            drifted.append(
+                f"{key} ({label}): expected {expect[key]}, got {rec['table2'][key]}"
+            )
+if rec_on is None and rec_off is None:
+    sys.exit("perf-smoke: no usable records")
 if generated != expect["generated_tests"]:
     drifted.append(f"generated_tests: expected {expect['generated_tests']}, got {generated}")
 
@@ -58,12 +90,43 @@ if drifted:
     print("If the drift is intentional, update ci/perf_expectations.json in the same PR.")
     sys.exit(1)
 
-metrics = records[-1]["metrics"]
+# Materialize-stage speedup: the snapshot replay path must cut the
+# stage at least 2x relative to rebuild-per-run.
+if rec_on is not None and rec_off is not None:
+    mat_on = rec_on["metrics"]["stages_ms"]["materialize"]
+    mat_off = rec_off["metrics"]["stages_ms"]["materialize"]
+    ratio = mat_off / mat_on if mat_on > 0 else float("inf")
+    if ratio < 2.0:
+        sys.exit(
+            "perf-smoke: materialize stage speedup regressed: "
+            f"snapshot-on {mat_on:.1f} ms vs snapshot-off {mat_off:.1f} ms "
+            f"({ratio:.2f}x, expected >= 2x)"
+        )
+else:
+    ratio = None
+
+# Honest stage accounting: at 1 thread the stage sum (with the
+# `other` bucket) must track the wall clock within 10%.
+for label, rec in (("snapshot-on", rec_on), ("snapshot-off", rec_off)):
+    if rec is None or rec["metrics"].get("threads") != 1:
+        continue
+    stages = rec["metrics"]["stages_ms"]
+    total = stages.get("total", sum(v for k, v in stages.items() if k != "total"))
+    wall = rec["metrics"]["wall_clock_ms"]
+    if wall > 0 and abs(total - wall) > 0.10 * wall:
+        sys.exit(
+            f"perf-smoke: stage accounting drifted ({label}): stages sum "
+            f"{total:.1f} ms vs wall {wall:.1f} ms (>10% apart)"
+        )
+
+rec = rec_on or rec_off
+metrics = rec["metrics"]
 stages = metrics["stages_ms"]
+speedup = f", materialize speedup {ratio:.2f}x" if ratio is not None else ""
 print(
     "perf-smoke: totals match expectations "
-    f"({table2['differences']} differences, {generated} generated tests); "
+    f"({rec['table2']['differences']} differences, {generated} generated tests); "
     f"wall {metrics['wall_clock_ms']:.0f} ms, explore {stages['explore']:.0f} ms, "
-    f"compile cache hit rate {metrics['compile_cache']['hit_rate']:.2f}"
+    f"compile cache hit rate {metrics['compile_cache']['hit_rate']:.2f}{speedup}"
 )
 PY

@@ -1,0 +1,45 @@
+//! Criterion bench behind the "materialize once, replay many"
+//! optimisation: sealing a materialized base image and rolling it back
+//! after a mutation versus rebuilding the heap from the model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use igjit_bytecode::Instruction;
+use igjit_concolic::{materialize_base, probe_models, Explorer, InstrUnderTest};
+use igjit_difftest::{concrete_frame, run_oracle_on};
+use igjit_interp::NativeMethodId;
+
+fn bench_seal_restore_vs_fresh(c: &mut Criterion) {
+    for (label, instr) in [
+        ("add", InstrUnderTest::Bytecode(Instruction::Add)),
+        ("prim_at", InstrUnderTest::Native(NativeMethodId(60))),
+    ] {
+        let r = Explorer::new().explore(instr);
+        let path = &r.curated_paths()[0];
+        let model = probe_models(&r.state, path, 8).pop().unwrap();
+
+        let mut g = c.benchmark_group(format!("snapshot/{label}"));
+        // Replay path: one restore undoes an oracle run's mutations.
+        g.bench_function("restore_after_oracle", |b| {
+            let mut image = materialize_base(&r.state, &model);
+            b.iter(|| {
+                let mut frame = concrete_frame(&image.frame);
+                let _ = run_oracle_on(&mut image.mem, &mut frame, instr);
+                image.mem.restore(&image.snapshot).unwrap()
+            })
+        });
+        // Rebuild path: what each ISA run used to cost before replay —
+        // a fresh heap, frame and seal from the model.
+        g.bench_function("fresh_materialize", |b| {
+            b.iter(|| {
+                let mut image = materialize_base(&r.state, std::hint::black_box(&model));
+                let mut frame = concrete_frame(&image.frame);
+                let _ = run_oracle_on(&mut image.mem, &mut frame, instr);
+                image
+            })
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_seal_restore_vs_fresh);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! One-off profile of the per-model materialization cost components.
+//! Not part of the evaluation tables; used to attribute the
+//! materialize stage between heap construction, model witnessing and
+//! base-image cloning.
+
+use std::time::Instant;
+
+use igjit_bytecode::Instruction;
+use igjit_concolic::{materialize_base, materialize_frame, probe_models, Explorer, InstrUnderTest};
+use igjit_heap::ObjectMemory;
+
+fn main() {
+    let r = Explorer::new().explore(InstrUnderTest::Bytecode(Instruction::Add));
+    let path = &r.curated_paths()[0];
+    let model = probe_models(&r.state, path, 8).pop().unwrap();
+    const N: u32 = 100_000;
+
+    let t = Instant::now();
+    for _ in 0..N {
+        std::hint::black_box(ObjectMemory::new());
+    }
+    println!("ObjectMemory::new      {:>8.1} ns", t.elapsed().as_nanos() as f64 / N as f64);
+
+    let t = Instant::now();
+    for _ in 0..N {
+        std::hint::black_box(r.state.clone());
+    }
+    println!("state.clone            {:>8.1} ns", t.elapsed().as_nanos() as f64 / N as f64);
+
+    let t = Instant::now();
+    for _ in 0..N {
+        let mut state = r.state.clone();
+        let mut mem = ObjectMemory::new();
+        std::hint::black_box(materialize_frame(&mut state, &model, &mut mem));
+    }
+    println!("full materialization   {:>8.1} ns", t.elapsed().as_nanos() as f64 / N as f64);
+
+    let image = materialize_base(&r.state, &model);
+    let t = Instant::now();
+    for _ in 0..N {
+        std::hint::black_box(image.mem.clone());
+    }
+    println!("base mem.clone         {:>8.1} ns", t.elapsed().as_nanos() as f64 / N as f64);
+
+    let t = Instant::now();
+    for _ in 0..N {
+        std::hint::black_box(materialize_base(&r.state, &model));
+    }
+    println!("materialize_base       {:>8.1} ns", t.elapsed().as_nanos() as f64 / N as f64);
+}

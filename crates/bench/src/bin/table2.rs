@@ -7,7 +7,8 @@
 //! rates) next to the textual report, and appends one machine-readable
 //! record per run to `BENCH_table2.json` (JSON Lines). `IGJIT_THREADS`
 //! overrides the worker count; `IGJIT_CODE_CACHE=0` disables the
-//! compiled-code cache.
+//! compiled-code cache; `IGJIT_HEAP_SNAPSHOT=0` disables base-image
+//! replay (re-materializing the heap for every engine run instead).
 
 use igjit::aggregate_metrics;
 use igjit_bench::{
@@ -19,9 +20,10 @@ fn main() {
     let campaign = with_live_progress(paper_campaign());
     eprintln!(
         "running the native-method and three bytecode campaigns \
-         (both ISAs, probing on, {} thread(s), code cache {})…",
+         (both ISAs, probing on, {} thread(s), code cache {}, heap snapshots {})…",
         campaign.config().threads,
         if campaign.config().code_cache { "on" } else { "off" },
+        if campaign.config().heap_snapshot { "on" } else { "off" },
     );
     let reports = campaign.run_all();
     println!("\nTable 2: results running the approach on four different compilers\n");

@@ -29,15 +29,27 @@ pub fn code_cache_enabled() -> bool {
     )
 }
 
+/// Whether heap snapshot/restore replay is enabled: the
+/// `IGJIT_HEAP_SNAPSHOT` environment variable (`0`/`off`/`false`
+/// disable it, falling back to per-run re-materialization), default on.
+pub fn heap_snapshot_enabled() -> bool {
+    !matches!(
+        std::env::var("IGJIT_HEAP_SNAPSHOT").as_deref(),
+        Ok("0") | Ok("off") | Ok("false")
+    )
+}
+
 /// The evaluation configuration used by every harness binary: both
 /// ISAs, probing enabled (the paper's §5.1 setup), worker threads from
-/// [`campaign_threads`], code cache from [`code_cache_enabled`].
+/// [`campaign_threads`], code cache from [`code_cache_enabled`], heap
+/// snapshots from [`heap_snapshot_enabled`].
 pub fn paper_campaign() -> Campaign {
     Campaign::new(CampaignConfig {
         isas: vec![Isa::X86ish, Isa::Arm32ish],
         probes: true,
         threads: campaign_threads(),
         code_cache: code_cache_enabled(),
+        heap_snapshot: heap_snapshot_enabled(),
     })
 }
 
@@ -139,6 +151,16 @@ pub fn print_metrics_summary(total: &Metrics) {
         total.compile_misses,
         100.0 * total.compile_hit_rate(),
     );
+    if total.snapshot.seals > 0 {
+        println!(
+            "heap snapshots: {} sealed, {} restores, {} dirty words total \
+             ({:.1} words/restore)",
+            total.snapshot.seals,
+            total.snapshot.restores,
+            total.snapshot.dirty_words,
+            total.snapshot.dirty_words as f64 / (total.snapshot.restores.max(1) as f64),
+        );
+    }
     println!(
         "solver: {} solves ({} sat, {} unsat), {} nodes, \
          {} incremental / {} rebuilds, scope depth ≤ {}",

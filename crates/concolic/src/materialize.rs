@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use igjit_heap::{ClassIndex, ObjectFormat, ObjectMemory, Oop};
+use igjit_heap::{ClassIndex, ObjectFormat, ObjectMemory, Oop, Snapshot};
 use igjit_interp::{Frame, MethodInfo};
 use igjit_solver::{Kind, Model, VarId};
 
@@ -51,6 +51,42 @@ pub struct MaterializedFrame {
     pub var_oops: HashMap<VarId, Oop>,
     /// Model assignments that could not be realized faithfully.
     pub witness_errors: Vec<WitnessError>,
+}
+
+/// A materialized frame together with its heap, sealed right after
+/// construction so the differential harness can run engine after
+/// engine on the *same* memory, rolling back to the sealed image
+/// between runs instead of re-materializing from the model.
+#[derive(Clone, Debug)]
+pub struct BaseImage {
+    /// The heap holding the materialized objects, sealed.
+    pub mem: ObjectMemory,
+    /// Token for rolling `mem` back to its just-materialized state.
+    pub snapshot: Snapshot,
+    /// The input frame (values carry their input-variable origins).
+    pub frame: Frame<SymOop>,
+    /// Concrete oop chosen for each variable that denotes a VM value.
+    pub var_oops: HashMap<VarId, Oop>,
+    /// Model assignments that could not be realized faithfully.
+    pub witness_errors: Vec<WitnessError>,
+}
+
+/// Materializes `model` once into a fresh heap and seals it. The
+/// result replaces the rebuild-per-engine idiom: each engine runs on
+/// `mem` and then `mem.restore(&snapshot)` rewinds only the words the
+/// run actually dirtied.
+pub fn materialize_base(state: &AbstractState, model: &Model) -> BaseImage {
+    let mut state = state.clone();
+    let mut mem = ObjectMemory::new();
+    let mat = materialize_frame(&mut state, model, &mut mem);
+    let snapshot = mem.seal();
+    BaseImage {
+        mem,
+        snapshot,
+        frame: mat.frame,
+        var_oops: mat.var_oops,
+        witness_errors: mat.witness_errors,
+    }
 }
 
 struct Materializer<'a> {

@@ -42,7 +42,14 @@ pub fn probe_models_with_stats(
     // The path condition is shared by every hypothesis: assert it once
     // in the session's base scope, then push/pop one scope per
     // hypothesis so each solve reuses the path's propagation state.
+    // Model reuse is safe here: a revalidated model satisfies the path
+    // condition *and* the hypothesis, so it drives the interpreter down
+    // the same recorded path with the hypothesized operand kind — the
+    // only scenario reuse can produce is a model an earlier hypothesis
+    // already generated, and duplicate models yield duplicate verdicts
+    // that the cause sets dedup.
     let mut session = Session::new();
+    session.set_reuse_models(true);
     session.sync_vars(state.specs());
     for c in &path.constraints {
         session.assert(c.clone());

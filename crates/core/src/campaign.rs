@@ -29,7 +29,8 @@ use std::time::{Duration, Instant};
 use igjit_bytecode::{instruction_catalog, Instruction};
 use igjit_concolic::{ExplorationCache, Explorer, InstrUnderTest};
 use igjit_difftest::{
-    test_instruction_with, CampaignRow, DefectCategory, InstructionOutcome, StageTimes, Target,
+    test_instruction_with, CampaignRow, DefectCategory, InstructionOutcome, SnapshotStats,
+    StageTimes, Target,
 };
 use igjit_interp::{native_catalog, NativeMethodId};
 use igjit_jit::{CodeCache, CompilerKind};
@@ -54,6 +55,12 @@ pub struct CampaignConfig {
     /// models, probes, paths and workers. Off, every lookup compiles
     /// fresh (and counts as a miss), which is the engine-v2 behaviour.
     pub code_cache: bool,
+    /// Whether each (path, model) is materialized once into a sealed
+    /// base image replayed across the oracle and every ISA via
+    /// copy-on-write heap restore. Off, every run rebuilds the heap
+    /// from the model (the engine-v3 behaviour). Outcomes are
+    /// identical either way.
+    pub heap_snapshot: bool,
 }
 
 impl Default for CampaignConfig {
@@ -63,6 +70,7 @@ impl Default for CampaignConfig {
             probes: true,
             threads: default_threads(),
             code_cache: true,
+            heap_snapshot: true,
         }
     }
 }
@@ -121,6 +129,11 @@ pub struct Metrics {
     /// Models whose materialization hit an unrealizable witness and
     /// were reported as test errors instead of compared.
     pub witness_errors: usize,
+    /// Models whose oracle run panicked (crashing interpreter paths,
+    /// surfaced as test errors instead of silently skipped models).
+    pub oracle_panics: usize,
+    /// Seal/restore accounting of the copy-on-write heap replay.
+    pub snapshot: SnapshotStats,
     /// End-to-end wall-clock of the batch.
     pub wall_clock: Duration,
 }
@@ -160,6 +173,8 @@ impl Metrics {
         self.compile_misses += other.compile_misses;
         self.solver.merge(&other.solver);
         self.witness_errors += other.witness_errors;
+        self.oracle_panics += other.oracle_panics;
+        self.snapshot.merge(&other.snapshot);
         self.wall_clock += other.wall_clock;
     }
 
@@ -170,31 +185,43 @@ impl Metrics {
             format!(
                 concat!(
                     "{{\"explore\":{:.3},\"materialize\":{:.3},",
-                    "\"compile\":{:.3},\"simulate\":{:.3},\"compare\":{:.3},\"total\":{:.3}}}"
+                    "\"compile\":{:.3},\"simulate\":{:.3},\"compare\":{:.3},",
+                    "\"other\":{:.3},\"total\":{:.3}}}"
                 ),
                 ms(s.explore),
                 ms(s.materialize),
                 ms(s.compile),
                 ms(s.simulate),
                 ms(s.compare),
+                ms(s.other),
                 ms(s.total()),
             )
         };
+        let hist = self
+            .snapshot
+            .dirty_hist
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
             concat!(
                 "{{\"threads\":{},\"instructions\":{},\"wall_clock_ms\":{:.3},",
-                "\"witness_errors\":{},",
+                "\"witness_errors\":{},\"oracle_panics\":{},",
                 "\"cache\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{:.4}}},",
                 "\"compile_cache\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{:.4}}},",
                 "\"solver\":{{\"solves\":{},\"sat\":{},\"unsat\":{},\"nodes_visited\":{},",
                 "\"propagation_reuse\":{},\"rebuilds\":{},\"model_reuse\":{},",
                 "\"pushes\":{},\"max_depth\":{}}},",
+                "\"snapshot\":{{\"seals\":{},\"restores\":{},\"dirty_words\":{},",
+                "\"dirty_hist\":[{}]}},",
                 "\"stages_ms\":{},\"stages_max_ms\":{}}}"
             ),
             self.threads,
             self.instructions,
             ms(self.wall_clock),
             self.witness_errors,
+            self.oracle_panics,
             self.cache_hits,
             self.cache_misses,
             self.cache_hit_rate(),
@@ -210,6 +237,10 @@ impl Metrics {
             self.solver.model_reuse,
             self.solver.pushes,
             self.solver.max_depth,
+            self.snapshot.seals,
+            self.snapshot.restores,
+            self.snapshot.dirty_words,
+            hist,
             stages(&self.stages),
             stages(&self.stages_max),
         )
@@ -312,6 +343,7 @@ impl Campaign {
             probes: false,
             threads: 1,
             code_cache: true,
+            heap_snapshot: true,
         })
     }
 
@@ -357,7 +389,7 @@ impl Campaign {
     fn run_one(&self, instr: InstrUnderTest, target: Target) -> (TimingInfo, InstructionOutcome) {
         let t0 = Instant::now();
         let lookup = self.cache.get_or_explore(&Explorer::new(), instr, self.config.probes);
-        let (outcome, stages, mut solver) = test_instruction_with(
+        let (outcome, mut stages, mut solver) = test_instruction_with(
             instr,
             target,
             &self.config.isas,
@@ -365,13 +397,19 @@ impl Campaign {
             &lookup.exploration,
             lookup.explore_time,
             &self.code_cache,
+            self.config.heap_snapshot,
         );
         // Exploration solver work is charged once, to the run that
         // actually explored; a cache hit did no exploration solving.
         if !lookup.hit {
             solver.merge(&lookup.exploration.solver);
         }
-        (TimingInfo { elapsed: t0.elapsed(), stages, solver, cache_hit: lookup.hit }, outcome)
+        let elapsed = t0.elapsed();
+        // Whatever the named stages didn't cover — cache lookup,
+        // curation bookkeeping, verdict assembly — lands in `other`,
+        // so the per-item stage sum equals the item's wall clock.
+        stages.other += elapsed.saturating_sub(stages.total());
+        (TimingInfo { elapsed, stages, solver, cache_hit: lookup.hit }, outcome)
     }
 
     /// Runs a batch of instructions, sequentially or on a lock-free
@@ -475,6 +513,8 @@ impl Campaign {
             metrics.stages.merge(&t.stages);
             metrics.solver.merge(&solver);
             metrics.witness_errors += o.witness_errors;
+            metrics.oracle_panics += o.oracle_panics;
+            metrics.snapshot.merge(&o.snapshot);
             if t.cache_hit {
                 metrics.cache_hits += 1;
             } else {
@@ -486,6 +526,20 @@ impl Campaign {
         metrics.compile_hits = self.code_cache.hits() - compile_lookups0.0;
         metrics.compile_misses = self.code_cache.misses() - compile_lookups0.1;
         metrics.wall_clock = wall0.elapsed();
+        // Batch-level driver overhead (scheduling, result collection,
+        // report assembly) goes to `other` so the stage accounting sums
+        // to the wall clock instead of silently dropping it. On a
+        // sequential batch the CPU-side sum and the critical path are
+        // the same thing; in parallel only the critical path can be
+        // meaningfully squared with the wall clock.
+        if threads <= 1 {
+            let leftover = metrics.wall_clock.saturating_sub(metrics.stages.total());
+            metrics.stages.other += leftover;
+            metrics.stages_max.other += leftover;
+        } else {
+            let leftover = metrics.wall_clock.saturating_sub(metrics.stages_max.total());
+            metrics.stages_max.other += leftover;
+        }
         CampaignReport { row, outcomes, timings, metrics }
     }
 
@@ -610,6 +664,7 @@ mod tests {
             probes: false,
             threads: 2,
             code_cache: true,
+            heap_snapshot: true,
         })
         .on_progress(move |p| {
             seen2.fetch_add(1, Ordering::Relaxed);
@@ -630,6 +685,7 @@ mod tests {
                 probes: true,
                 threads,
                 code_cache: true,
+                heap_snapshot: true,
             })
             .run_native_methods()
         };

@@ -6,7 +6,7 @@ use std::time::{Duration, Instant};
 use igjit_concolic::{
     materialize_frame, AbstractState, CurationReason, ExplorationResult, Explorer, InstrUnderTest,
 };
-use igjit_heap::{ObjectMemory, Oop};
+use igjit_heap::{ObjectMemory, Oop, Snapshot};
 use igjit_interp::Frame;
 use igjit_jit::{CodeCache, CompilerKind};
 use igjit_machine::Isa;
@@ -15,7 +15,7 @@ use igjit_solver::{Model, SessionStats, VarId};
 use crate::classify::{classify, CauseKey};
 use crate::compare::{compare_runs, Difference, Verdict};
 use crate::compiled::run_compiled_for_instr_timed;
-use crate::oracle::{concrete_frame, run_oracle, EngineExit};
+use crate::oracle::{concrete_frame, run_oracle, run_oracle_on, EngineExit};
 use igjit_concolic::probe_models_with_stats;
 
 /// What compiler the campaign tests against the interpreter.
@@ -85,6 +85,53 @@ pub struct InstructionOutcome {
     /// (reported as test errors; their runs are skipped, not
     /// compared).
     pub witness_errors: usize,
+    /// Models whose oracle run (materialization or interpretation)
+    /// panicked. A crashing interpreter path is a test error worth
+    /// surfacing, not a quietly skipped model.
+    pub oracle_panics: usize,
+    /// Seal/restore accounting of the copy-on-write heap replay (all
+    /// zero when the snapshot layer is disabled).
+    pub snapshot: SnapshotStats,
+}
+
+/// Seal/restore accounting for the copy-on-write heap replay.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// Base images sealed — one per materialized (path, model).
+    pub seals: u64,
+    /// Rollbacks of a sealed base between engine runs.
+    pub restores: u64,
+    /// Total dirty units (heap words + external bytes) undone across
+    /// all restores.
+    pub dirty_words: u64,
+    /// Histogram of dirty units per restore, bucketed by powers of 4:
+    /// 0, 1–3, 4–15, 16–63, 64–255, 256–1023, 1024–4095, ≥4096.
+    pub dirty_hist: [u64; 8],
+}
+
+impl SnapshotStats {
+    /// Folds one restore's dirty count in.
+    pub fn record_restore(&mut self, dirty: usize) {
+        self.restores += 1;
+        self.dirty_words += dirty as u64;
+        let mut bucket = 0usize;
+        let mut d = dirty;
+        while d > 0 && bucket < 7 {
+            d >>= 2;
+            bucket += 1;
+        }
+        self.dirty_hist[bucket] += 1;
+    }
+
+    /// Accumulates another sample into this one.
+    pub fn merge(&mut self, other: &SnapshotStats) {
+        self.seals += other.seals;
+        self.restores += other.restores;
+        self.dirty_words += other.dirty_words;
+        for (a, b) in self.dirty_hist.iter_mut().zip(other.dirty_hist.iter()) {
+            *a += *b;
+        }
+    }
 }
 
 impl InstructionOutcome {
@@ -149,11 +196,16 @@ impl CampaignRow {
 /// - `compile`: JIT front-end + back-end time for the target tier.
 /// - `simulate`: machine-simulator execution of the compiled code.
 /// - `compare`: behavioural comparison and defect classification.
+/// - `other`: everything the named stages don't cover — curation
+///   bookkeeping, verdict assembly, report plumbing. Attributed by the
+///   driver as elapsed-minus-stages so the stage sum accounts for the
+///   whole wall clock instead of silently dropping driver overhead.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StageTimes {
     /// Concolic exploration + probe-model solving.
     pub explore: Duration,
-    /// Materialization + interpreter-oracle execution.
+    /// Materialization + interpreter-oracle execution + base-image
+    /// snapshot restores.
     pub materialize: Duration,
     /// JIT compilation.
     pub compile: Duration,
@@ -161,12 +213,14 @@ pub struct StageTimes {
     pub simulate: Duration,
     /// Comparison + classification.
     pub compare: Duration,
+    /// Driver overhead outside the named stages.
+    pub other: Duration,
 }
 
 impl StageTimes {
     /// Sum over all stages.
     pub fn total(&self) -> Duration {
-        self.explore + self.materialize + self.compile + self.simulate + self.compare
+        self.explore + self.materialize + self.compile + self.simulate + self.compare + self.other
     }
 
     /// Accumulates another sample into this one.
@@ -176,6 +230,7 @@ impl StageTimes {
         self.compile += other.compile;
         self.simulate += other.simulate;
         self.compare += other.compare;
+        self.other += other.other;
     }
 
     /// Keeps the per-stage maximum of the two samples. Folding each
@@ -188,6 +243,7 @@ impl StageTimes {
         self.compile = self.compile.max(other.compile);
         self.simulate = self.simulate.max(other.simulate);
         self.compare = self.compare.max(other.compare);
+        self.other = self.other.max(other.other);
     }
 }
 
@@ -200,6 +256,27 @@ fn materialized(
     let mat = materialize_frame(&mut st, model, &mut mem);
     let frame = concrete_frame(&mat.frame);
     (mem, frame, mat.var_oops)
+}
+
+/// The snapshot path's pair of recycled heaps, persisting across all
+/// (path, model) iterations of one `test_instruction_with` call.
+///
+/// Both heaps are born blank and sealed; determinism of
+/// `materialize_frame` from identical blank states guarantees the two
+/// materializations of a model produce bit-identical addresses, so the
+/// oracle's `var_oops` apply to the replay heap unchanged (spot-checked
+/// by a `debug_assert` on the input frames).
+struct ReplayArena {
+    /// Runs the interpreter oracle: materialized and executed in
+    /// place, then rolled back to blank for the next model.
+    oracle: ObjectMemory,
+    oracle_blank: Snapshot,
+    oracle_used: bool,
+    /// Runs the compiled code: blank outer seal + per-model inner seal,
+    /// restored to the inner between ISAs and to blank between models.
+    replay: ObjectMemory,
+    replay_blank: Snapshot,
+    replay_used: bool,
 }
 
 fn exit_label(e: &EngineExit) -> String {
@@ -241,6 +318,7 @@ pub fn test_instruction(
         &exploration,
         explore_time,
         &cache,
+        true,
     );
     outcome
 }
@@ -254,6 +332,19 @@ pub fn test_instruction(
 /// the stage accounting reflects work actually done for this call.
 /// Compiled artifacts are looked up in `code_cache`, which the caller
 /// may share across instructions and threads.
+///
+/// With `heap_snapshot` on, the call keeps one replay arena — two
+/// heaps allocated once and recycled across every (path, model): the
+/// *oracle* heap is sealed at its blank image, materialized and
+/// interpreted in place, and rolled back to blank for the next model;
+/// the *replay* heap carries a blank outer seal plus a per-model inner
+/// seal ([`ObjectMemory::push_seal`]) so compiled runs rewind to the
+/// materialized image between ISAs and to blank between models. Every
+/// reset is `restore` — O(words the run dirtied) — so neither
+/// `ObjectMemory::new()` nor full object reconstruction happens more
+/// than twice per model. Off, the legacy rebuild-per-ISA path runs;
+/// both paths produce identical outcomes.
+#[allow(clippy::too_many_arguments)]
 pub fn test_instruction_with(
     instr: InstrUnderTest,
     target: Target,
@@ -262,12 +353,16 @@ pub fn test_instruction_with(
     exploration: &ExplorationResult,
     explore_time: Duration,
     code_cache: &CodeCache,
+    heap_snapshot: bool,
 ) -> (InstructionOutcome, StageTimes, SessionStats) {
     let mut times = StageTimes { explore: explore_time, ..StageTimes::default() };
     let mut solver = SessionStats::default();
     let curated: Vec<_> = exploration.curated_paths().into_iter().cloned().collect();
     let mut verdicts = Vec::new();
     let mut witness_errors = 0usize;
+    let mut oracle_panics = 0usize;
+    let mut snapshot_stats = SnapshotStats::default();
+    let mut arena: Option<ReplayArena> = None;
 
     for (pi, path) in curated.iter().enumerate() {
         let t_probe = Instant::now();
@@ -296,49 +391,178 @@ pub fn test_instruction_with(
         let mut base_exit_label = String::new();
 
         'models: for (mi, model) in models.iter().enumerate() {
-            let t_oracle = Instant::now();
-            let oracle_run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                run_oracle(&exploration.state, model, instr)
-            }));
-            times.materialize += t_oracle.elapsed();
-            let (interp_exit, interp_mem, input_frame, var_oops) = match oracle_run {
-                Ok(run) => {
-                    if mi == 0 {
-                        base_exit_label = exit_label(&run.exit);
-                    }
-                    if !run.witness_errors.is_empty() {
-                        // The materializer substituted fallback inputs
-                        // for an unrealizable witness: report a test
-                        // error and skip the comparison — the run no
-                        // longer reflects the solver's model.
-                        witness_errors += 1;
-                        continue 'models;
-                    }
-                    if !run.exit.is_testable() {
-                        continue 'models;
-                    }
-                    (run.exit, run.mem, run.input_frame, run.var_oops)
-                }
-                Err(_) => continue 'models,
-            };
-            for &isa in isas {
-                // Fresh, identical materialization for the compiled run.
+            // Snapshot path: the oracle runs in place on the arena's
+            // oracle heap; compiled runs replay the arena's replay heap
+            // against the per-model inner seal recorded here. Legacy
+            // path: a fresh oracle materialization owned by this
+            // iteration.
+            let mut replay_snap: Option<Snapshot> = None;
+            let mut legacy_mem: Option<ObjectMemory> = None;
+            let (interp_exit, input_frame, var_oops);
+            if heap_snapshot {
                 let t_mat = Instant::now();
-                let (mem2, frame2, _) = materialized(&exploration.state, model);
+                let a = arena.get_or_insert_with(|| {
+                    let mut oracle = ObjectMemory::new();
+                    let oracle_blank = oracle.seal();
+                    let mut replay = ObjectMemory::new();
+                    let replay_blank = replay.seal();
+                    snapshot_stats.seals += 2;
+                    ReplayArena {
+                        oracle,
+                        oracle_blank,
+                        oracle_used: false,
+                        replay,
+                        replay_blank,
+                        replay_used: false,
+                    }
+                });
+                // Reset the oracle heap to blank (also cleans up after
+                // a panicked materialization or oracle run) and
+                // materialize this model directly onto it.
+                if a.oracle_used {
+                    let dirty = a.oracle.restore(&a.oracle_blank).expect("blank seal is armed");
+                    snapshot_stats.record_restore(dirty);
+                }
+                a.oracle_used = true;
+                let built = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let mut state = exploration.state.clone();
+                    materialize_frame(&mut state, model, &mut a.oracle)
+                }));
+                let mat = match built {
+                    Ok(mat) => mat,
+                    Err(_) => {
+                        times.materialize += t_mat.elapsed();
+                        oracle_panics += 1;
+                        continue 'models;
+                    }
+                };
+                let frame0 = concrete_frame(&mat.frame);
+                let mut oracle_frame = frame0.clone();
+                let oracle_exit = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    run_oracle_on(&mut a.oracle, &mut oracle_frame, instr)
+                }));
+                let exit = match oracle_exit {
+                    Ok(exit) => exit,
+                    Err(_) => {
+                        times.materialize += t_mat.elapsed();
+                        oracle_panics += 1;
+                        continue 'models;
+                    }
+                };
+                if mi == 0 {
+                    base_exit_label = exit_label(&exit);
+                }
+                if !mat.witness_errors.is_empty() {
+                    // The materializer substituted fallback inputs for
+                    // an unrealizable witness: report a test error and
+                    // skip the comparison — the run no longer reflects
+                    // the solver's model.
+                    witness_errors += 1;
+                    times.materialize += t_mat.elapsed();
+                    continue 'models;
+                }
+                if !exit.is_testable() {
+                    times.materialize += t_mat.elapsed();
+                    continue 'models;
+                }
+                // The model is testable: prepare the replay heap —
+                // back to blank, materialize the same model (bit-
+                // identical by determinism), seal the inner level the
+                // ISA loop rewinds to.
+                if a.replay_used {
+                    let dirty = a.replay.restore(&a.replay_blank).expect("blank seal is armed");
+                    snapshot_stats.record_restore(dirty);
+                }
+                a.replay_used = true;
+                let mut state2 = exploration.state.clone();
+                let mat2 = materialize_frame(&mut state2, model, &mut a.replay);
+                debug_assert_eq!(concrete_frame(&mat2.frame).stack, frame0.stack);
+                replay_snap = Some(a.replay.push_seal().expect("blank seal is armed"));
+                snapshot_stats.seals += 1;
                 times.materialize += t_mat.elapsed();
-                debug_assert_eq!(frame2.stack, input_frame.stack);
-                let (compiled, compiled_mem) = run_compiled_for_instr_timed(
-                    target.compiler_kind(),
-                    isa,
-                    instr,
-                    &frame2,
-                    mem2,
-                    code_cache,
-                    &mut times,
-                );
-                let t_cmp = Instant::now();
-                let v = compare_runs(&interp_exit, &interp_mem, &compiled, &compiled_mem, &var_oops);
-                times.compare += t_cmp.elapsed();
+                interp_exit = exit;
+                input_frame = frame0;
+                var_oops = mat.var_oops;
+            } else {
+                let t_oracle = Instant::now();
+                let oracle_run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    run_oracle(&exploration.state, model, instr)
+                }));
+                times.materialize += t_oracle.elapsed();
+                match oracle_run {
+                    Ok(run) => {
+                        if mi == 0 {
+                            base_exit_label = exit_label(&run.exit);
+                        }
+                        if !run.witness_errors.is_empty() {
+                            witness_errors += 1;
+                            continue 'models;
+                        }
+                        if !run.exit.is_testable() {
+                            continue 'models;
+                        }
+                        interp_exit = run.exit;
+                        legacy_mem = Some(run.mem);
+                        input_frame = run.input_frame;
+                        var_oops = run.var_oops;
+                    }
+                    Err(_) => {
+                        oracle_panics += 1;
+                        continue 'models;
+                    }
+                }
+            }
+            for (ii, &isa) in isas.iter().enumerate() {
+                let v = match replay_snap {
+                    Some(snap) => {
+                        let a = arena.as_mut().expect("snapshot path armed the arena");
+                        // Replay the sealed image: roll back the
+                        // previous ISA's mutations instead of
+                        // re-materializing.
+                        if ii > 0 {
+                            let t_mat = Instant::now();
+                            let dirty = a.replay.restore(&snap).expect("inner seal is armed");
+                            snapshot_stats.record_restore(dirty);
+                            times.materialize += t_mat.elapsed();
+                        }
+                        let compiled = run_compiled_for_instr_timed(
+                            target.compiler_kind(),
+                            isa,
+                            instr,
+                            &input_frame,
+                            &mut a.replay,
+                            code_cache,
+                            &mut times,
+                        );
+                        let t_cmp = Instant::now();
+                        let v = compare_runs(&interp_exit, &a.oracle, &compiled, &a.replay, &var_oops);
+                        times.compare += t_cmp.elapsed();
+                        v
+                    }
+                    None => {
+                        // Fresh, identical materialization for the
+                        // compiled run.
+                        let t_mat = Instant::now();
+                        let (mut mem2, frame2, _) = materialized(&exploration.state, model);
+                        times.materialize += t_mat.elapsed();
+                        debug_assert_eq!(frame2.stack, input_frame.stack);
+                        let compiled = run_compiled_for_instr_timed(
+                            target.compiler_kind(),
+                            isa,
+                            instr,
+                            &frame2,
+                            &mut mem2,
+                            code_cache,
+                            &mut times,
+                        );
+                        let t_cmp = Instant::now();
+                        let oracle_mem =
+                            legacy_mem.as_ref().expect("legacy path kept the oracle heap");
+                        let v = compare_runs(&interp_exit, oracle_mem, &compiled, &mem2, &var_oops);
+                        times.compare += t_cmp.elapsed();
+                        v
+                    }
+                };
                 if let Verdict::Difference(d) = v {
                     let key = classify(instr, target.compiler_kind(), &d);
                     if !all_causes.contains(&key) {
@@ -383,6 +607,8 @@ pub fn test_instruction_with(
         verdicts,
         explore_iterations: exploration.iterations,
         witness_errors,
+        oracle_panics,
+        snapshot: snapshot_stats,
     };
     (outcome, times, solver)
 }

@@ -59,30 +59,33 @@ pub fn run_compiled_sequence(
     isa: Isa,
     instrs: &[igjit_bytecode::Instruction],
     frame: &igjit_interp::Frame<Oop>,
-    mem: ObjectMemory,
+    mut mem: ObjectMemory,
     send_arity_hint: usize,
 ) -> (CompiledRun, ObjectMemory) {
     let mut scratch = StageTimes::default();
     let cache = CodeCache::disabled();
-    run_compiled_sequence_timed(
-        kind, isa, instrs, frame, mem, send_arity_hint, &cache, &mut scratch,
-    )
+    let run = run_compiled_sequence_timed(
+        kind, isa, instrs, frame, &mut mem, send_arity_hint, &cache, &mut scratch,
+    );
+    (run, mem)
 }
 
 /// [`run_compiled_sequence`] with an artifact `cache` and with
 /// compile/simulate wall-clock split out into `times` for the
-/// campaign's observability layer.
+/// campaign's observability layer. Mutates `mem` in place so the
+/// campaign can run on a sealed base image and roll it back between
+/// ISAs instead of rebuilding it.
 #[allow(clippy::too_many_arguments)]
 pub fn run_compiled_sequence_timed(
     kind: CompilerKind,
     isa: Isa,
     instrs: &[igjit_bytecode::Instruction],
     frame: &igjit_interp::Frame<Oop>,
-    mut mem: ObjectMemory,
+    mem: &mut ObjectMemory,
     send_arity_hint: usize,
     cache: &CodeCache,
     times: &mut StageTimes,
-) -> (CompiledRun, ObjectMemory) {
+) -> CompiledRun {
     let input = BytecodeTestInput {
         instruction: instrs[0],
         operand_stack: &frame.stack,
@@ -112,14 +115,14 @@ pub fn run_compiled_sequence_timed(
     times.compile += t_compile.elapsed();
     let compiled = match &*compiled {
         Ok(c) => c.clone(),
-        Err(e) => return (CompiledRun::Refused(e.clone()), mem),
+        Err(e) => return CompiledRun::Refused(e.clone()),
     };
     let frame_bytes = 4 * compiled.ntemps + SPILL_BYTES;
     let conv = Convention::for_isa(isa);
     let ntemps = compiled.ntemps;
     let t_sim = Instant::now();
     let exit = {
-        let mut m = Machine::new(&mut mem, isa, compiled.code);
+        let mut m = Machine::new(mem, isa, compiled.code);
         m.set_reg(conv.receiver, frame.receiver.0);
         let outcome = m.run(MachineConfig::default());
         match outcome {
@@ -168,7 +171,7 @@ pub fn run_compiled_sequence_timed(
         }
     };
     times.simulate += t_sim.elapsed();
-    (CompiledRun::Ran(exit), mem)
+    CompiledRun::Ran(exit)
 }
 
 /// Compiles and runs a native-method test: receiver and args ride in
@@ -178,24 +181,26 @@ pub fn run_compiled_native(
     id: igjit_interp::NativeMethodId,
     receiver: Oop,
     args: &[Oop],
-    mem: ObjectMemory,
+    mut mem: ObjectMemory,
 ) -> (CompiledRun, ObjectMemory) {
     let mut scratch = StageTimes::default();
     let cache = CodeCache::disabled();
-    run_compiled_native_timed(isa, id, receiver, args, mem, &cache, &mut scratch)
+    let run = run_compiled_native_timed(isa, id, receiver, args, &mut mem, &cache, &mut scratch);
+    (run, mem)
 }
 
 /// [`run_compiled_native`] with an artifact `cache` and with
-/// compile/simulate wall-clock split out into `times`.
+/// compile/simulate wall-clock split out into `times`. Mutates `mem`
+/// in place (see [`run_compiled_sequence_timed`]).
 pub fn run_compiled_native_timed(
     isa: Isa,
     id: igjit_interp::NativeMethodId,
     receiver: Oop,
     args: &[Oop],
-    mut mem: ObjectMemory,
+    mem: &mut ObjectMemory,
     cache: &CodeCache,
     times: &mut StageTimes,
-) -> (CompiledRun, ObjectMemory) {
+) -> CompiledRun {
     let input = NativeTestInput {
         nil: mem.nil(),
         true_obj: mem.true_object(),
@@ -221,13 +226,13 @@ pub fn run_compiled_native_timed(
     times.compile += t_compile.elapsed();
     let compiled = match &*compiled {
         Ok(c) => c.clone(),
-        Err(e) => return (CompiledRun::Refused(e.clone()), mem),
+        Err(e) => return CompiledRun::Refused(e.clone()),
     };
     let conv = Convention::for_isa(isa);
     let argc = native_spec(id).map(|s| s.argc as usize).unwrap_or(args.len());
     let t_sim = Instant::now();
     let exit = {
-        let mut m = Machine::new(&mut mem, isa, compiled.code);
+        let mut m = Machine::new(mem, isa, compiled.code);
         m.set_reg(conv.receiver, receiver.0);
         for (i, a) in args.iter().take(argc.min(3)).enumerate() {
             m.set_reg(conv.arg(i), a.0);
@@ -255,7 +260,7 @@ pub fn run_compiled_native_timed(
         }
     };
     times.simulate += t_sim.elapsed();
-    (CompiledRun::Ran(exit), mem)
+    CompiledRun::Ran(exit)
 }
 
 /// Convenience: the compiled-run entry point used by the campaign.
@@ -264,24 +269,27 @@ pub fn run_compiled_for_instr(
     isa: Isa,
     instr: InstrUnderTest,
     frame: &igjit_interp::Frame<Oop>,
-    mem: ObjectMemory,
+    mut mem: ObjectMemory,
 ) -> (CompiledRun, ObjectMemory) {
     let mut scratch = StageTimes::default();
     let cache = CodeCache::disabled();
-    run_compiled_for_instr_timed(target_kind, isa, instr, frame, mem, &cache, &mut scratch)
+    let run =
+        run_compiled_for_instr_timed(target_kind, isa, instr, frame, &mut mem, &cache, &mut scratch);
+    (run, mem)
 }
 
 /// [`run_compiled_for_instr`] with an artifact `cache` and with
-/// compile/simulate wall-clock split out into `times`.
+/// compile/simulate wall-clock split out into `times`. Mutates `mem`
+/// in place (see [`run_compiled_sequence_timed`]).
 pub fn run_compiled_for_instr_timed(
     target_kind: Option<CompilerKind>,
     isa: Isa,
     instr: InstrUnderTest,
     frame: &igjit_interp::Frame<Oop>,
-    mem: ObjectMemory,
+    mem: &mut ObjectMemory,
     cache: &CodeCache,
     times: &mut StageTimes,
-) -> (CompiledRun, ObjectMemory) {
+) -> CompiledRun {
     match instr {
         InstrUnderTest::Bytecode(i) => {
             let arity = i.stack_arity() as usize;
@@ -301,10 +309,7 @@ pub fn run_compiled_for_instr_timed(
                 Some((receiver, args)) => {
                     run_compiled_native_timed(isa, id, receiver, &args, mem, cache, times)
                 }
-                None => (
-                    CompiledRun::Ran(EngineExit::InvalidFrame),
-                    mem,
-                ),
+                None => CompiledRun::Ran(EngineExit::InvalidFrame),
             }
         }
     }

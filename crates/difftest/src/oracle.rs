@@ -117,10 +117,23 @@ pub fn run_oracle(state: &AbstractState, model: &Model, instr: InstrUnderTest) -
     let mat = materialize_frame(&mut state, model, &mut mem);
     let input_frame = concrete_frame(&mat.frame);
     let mut frame = input_frame.clone();
-    let exit = match instr {
+    let exit = run_oracle_on(&mut mem, &mut frame, instr);
+    OracleRun { exit, mem, input_frame, var_oops: mat.var_oops, witness_errors: mat.witness_errors }
+}
+
+/// Runs the interpreter concretely on an already-materialized frame
+/// and heap, mutating both. This is the replay-friendly half of
+/// [`run_oracle`]: the campaign materializes a sealed base image once
+/// and feeds (a clone of) it here instead of rebuilding the heap.
+pub fn run_oracle_on(
+    mem: &mut ObjectMemory,
+    frame: &mut Frame<Oop>,
+    instr: InstrUnderTest,
+) -> EngineExit {
+    match instr {
         InstrUnderTest::Bytecode(i) => {
-            let mut ctx = ConcreteContext::new(&mut mem);
-            match step(&mut ctx, &mut frame, i) {
+            let mut ctx = ConcreteContext::new(mem);
+            match step(&mut ctx, frame, i) {
                 StepOutcome::Continue => EngineExit::Success {
                     stack: frame.stack.clone(),
                     temps: frame.temps.clone(),
@@ -143,8 +156,8 @@ pub fn run_oracle(state: &AbstractState, model: &Model, instr: InstrUnderTest) -
             }
         }
         InstrUnderTest::Native(id) => {
-            let mut ctx = ConcreteContext::new(&mut mem);
-            match run_native(&mut ctx, &mut frame, id) {
+            let mut ctx = ConcreteContext::new(mem);
+            match run_native(&mut ctx, frame, id) {
                 NativeOutcome::Success { result } => EngineExit::Success {
                     stack: frame.stack.clone(),
                     temps: frame.temps.clone(),
@@ -156,8 +169,7 @@ pub fn run_oracle(state: &AbstractState, model: &Model, instr: InstrUnderTest) -
                 NativeOutcome::Unsupported { reason } => EngineExit::EngineError(reason.into()),
             }
         }
-    };
-    OracleRun { exit, mem, input_frame, var_oops: mat.var_oops, witness_errors: mat.witness_errors }
+    }
 }
 
 /// The receiver and argument slice of a native-method frame (receiver

@@ -57,7 +57,7 @@ impl ClassIndex {
 
 /// Metadata the VM keeps per class: its instance format and the fixed
 /// slot count instances carry before any indexable part.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ClassDescription {
     /// Human-readable name, used in reports and disassembly.
     pub name: String,
@@ -68,7 +68,7 @@ pub struct ClassDescription {
 }
 
 /// The VM-global class table.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ClassTable {
     entries: Vec<Option<ClassDescription>>,
 }
@@ -110,6 +110,14 @@ impl ClassTable {
         let idx = ClassIndex(self.entries.len() as u32);
         self.entries.push(Some(desc));
         idx
+    }
+
+    /// Drops entries back to the first `len` — used by heap snapshot
+    /// restore to forget classes registered after a seal. `len` must
+    /// not exceed the current length (the table otherwise only grows).
+    pub fn truncate(&mut self, len: usize) {
+        debug_assert!(len <= self.entries.len());
+        self.entries.truncate(len);
     }
 
     /// Looks up a class description; `None` for unknown indices.

@@ -51,6 +51,16 @@ pub enum HeapError {
         /// Access width in bytes.
         width: u32,
     },
+    /// `restore` was called on a memory that carries no seal.
+    NotSealed,
+    /// `restore` was called with a snapshot token from a superseded
+    /// seal.
+    StaleSnapshot {
+        /// Epoch the token names.
+        expected: u64,
+        /// Epoch of the memory's current seal.
+        actual: u64,
+    },
 }
 
 impl std::fmt::Display for HeapError {
@@ -66,6 +76,10 @@ impl std::fmt::Display for HeapError {
             HeapError::OutOfMemory => write!(f, "object heap exhausted"),
             HeapError::ExternalOutOfBounds { addr, width } => {
                 write!(f, "external access of {width} bytes at 0x{addr:08x} out of bounds")
+            }
+            HeapError::NotSealed => write!(f, "memory carries no seal to restore to"),
+            HeapError::StaleSnapshot { expected, actual } => {
+                write!(f, "snapshot names seal epoch {expected} but memory is at {actual}")
             }
         }
     }

@@ -37,6 +37,7 @@ mod error;
 mod external;
 mod format;
 mod memory;
+mod snapshot;
 mod tagged;
 
 pub use class::{ClassDescription, ClassIndex, ClassTable};
@@ -44,4 +45,5 @@ pub use error::{HeapError, HeapResult};
 pub use external::ExternalMemory;
 pub use format::ObjectFormat;
 pub use memory::{ObjectMemory, HEADER_WORDS};
+pub use snapshot::Snapshot;
 pub use tagged::{Oop, SMALL_INT_MAX, SMALL_INT_MIN};

@@ -6,6 +6,7 @@ use crate::class::{ClassDescription, ClassIndex, ClassTable};
 use crate::error::{HeapError, HeapResult};
 use crate::external::ExternalMemory;
 use crate::format::ObjectFormat;
+use crate::snapshot::{SealState, Snapshot};
 use crate::tagged::{is_small_int_value, Oop};
 
 /// Number of 32-bit header words before every object body:
@@ -48,6 +49,37 @@ pub struct ObjectMemory {
     false_obj: Oop,
     true_obj: Oop,
     external: ExternalMemory,
+    seal: Option<Box<SealState>>,
+    outer: Option<Box<SealState>>,
+    seal_epoch: u64,
+}
+
+/// Semantic equality: two memories are equal when every observable —
+/// allocation frontier, live set, class table, object words, external
+/// region, identity-hash counter — matches. Seal bookkeeping and how
+/// much of the arena happens to be committed are not observable (all
+/// uncommitted words read as zero), so trailing zero words are
+/// insignificant.
+impl PartialEq for ObjectMemory {
+    fn eq(&self, other: &ObjectMemory) -> bool {
+        fn trimmed(words: &[u32]) -> &[u32] {
+            let mut n = words.len();
+            while n > 0 && words[n - 1] == 0 {
+                n -= 1;
+            }
+            &words[..n]
+        }
+        self.capacity_words == other.capacity_words
+            && self.alloc_ptr == other.alloc_ptr
+            && self.hash_counter == other.hash_counter
+            && self.nil_obj == other.nil_obj
+            && self.false_obj == other.false_obj
+            && self.true_obj == other.true_obj
+            && self.live == other.live
+            && self.classes == other.classes
+            && self.external == other.external
+            && trimmed(&self.words) == trimmed(&other.words)
+    }
 }
 
 impl Default for ObjectMemory {
@@ -77,6 +109,9 @@ impl ObjectMemory {
             false_obj: Oop::ZERO,
             true_obj: Oop::ZERO,
             external: ExternalMemory::new(DEFAULT_EXTERNAL_BYTES),
+            seal: None,
+            outer: None,
+            seal_epoch: 0,
         };
         mem.nil_obj = mem
             .allocate(ClassIndex::UNDEFINED_OBJECT, ObjectFormat::ZeroSized, 0)
@@ -136,6 +171,149 @@ impl ObjectMemory {
     /// Mutable access to the simulated external memory region.
     pub fn external_mut(&mut self) -> &mut ExternalMemory {
         &mut self.external
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot / restore
+    // ------------------------------------------------------------------
+
+    /// Seals the current heap image and returns a token for
+    /// [`ObjectMemory::restore`]. Sealing is O(frontier/64): it records
+    /// the allocation high-water marks and arms a dirty-word bitmap;
+    /// no heap contents are copied. A second `seal` supersedes all
+    /// existing levels (their tokens become stale).
+    pub fn seal(&mut self) -> Snapshot {
+        self.seal_epoch += 1;
+        let frontier_idx = (self.alloc_ptr - HEAP_BASE) / 4;
+        self.seal = Some(Box::new(SealState::new(
+            self.seal_epoch,
+            self.alloc_ptr,
+            frontier_idx,
+            self.words.len(),
+            self.hash_counter,
+            self.classes.len(),
+        )));
+        self.outer = None;
+        self.external.seal_in_place();
+        Snapshot { epoch: self.seal_epoch }
+    }
+
+    /// Seals a second, *nested* level on top of the current seal, which
+    /// moves to the outer slot (its token stays valid: restoring it
+    /// rolls back through both levels and re-activates it). At most two
+    /// levels exist — pushing while already nested folds the superseded
+    /// inner log into the outer seal first. Errors when unsealed.
+    ///
+    /// This serves the replay loop's two reset horizons: an outer seal
+    /// at the reusable blank image and an inner seal per materialized
+    /// frame, restored between engine runs.
+    pub fn push_seal(&mut self) -> HeapResult<Snapshot> {
+        let prev = self.seal.take().ok_or(HeapError::NotSealed)?;
+        match &mut self.outer {
+            None => self.outer = Some(prev),
+            Some(outer) => outer.absorb(&prev),
+        }
+        self.seal_epoch += 1;
+        let frontier_idx = (self.alloc_ptr - HEAP_BASE) / 4;
+        self.seal = Some(Box::new(SealState::new(
+            self.seal_epoch,
+            self.alloc_ptr,
+            frontier_idx,
+            self.words.len(),
+            self.hash_counter,
+            self.classes.len(),
+        )));
+        self.external.push_seal_in_place();
+        Ok(Snapshot { epoch: self.seal_epoch })
+    }
+
+    /// Rolls the memory back to the sealed image `snap` names,
+    /// returning the number of dirty units undone (heap words written
+    /// below the sealed frontier + words allocated beyond it +
+    /// external bytes). Cost is O(that number), not O(heap). The seal
+    /// stays armed, so mutate/restore cycles can repeat indefinitely.
+    ///
+    /// Restoring the *outer* token of a nested pair rolls back through
+    /// the inner level first, consumes it, and re-activates the outer
+    /// seal (whose token stays usable; the inner one goes stale).
+    pub fn restore(&mut self, snap: &Snapshot) -> HeapResult<usize> {
+        let inner_epoch = self.seal.as_ref().map(|s| s.epoch).ok_or(HeapError::NotSealed)?;
+        if inner_epoch == snap.epoch {
+            let seal = self.seal.as_mut().expect("checked above");
+            let mut dirty = apply_level_restore(
+                seal,
+                &mut self.words,
+                &mut self.alloc_ptr,
+                &mut self.hash_counter,
+                &mut self.live,
+                &mut self.classes,
+            );
+            dirty += self.external.restore_seal();
+            return Ok(dirty);
+        }
+        match &self.outer {
+            Some(outer) if outer.epoch == snap.epoch => {}
+            _ => {
+                return Err(HeapError::StaleSnapshot { expected: snap.epoch, actual: inner_epoch })
+            }
+        }
+        // Restore-to-outer: the inner log holds the only record of
+        // writes since the inner seal, so roll it back first, then
+        // apply the outer level and promote it to the active seal.
+        let mut inner = self.seal.take().expect("checked above");
+        let mut dirty = apply_level_restore(
+            &mut inner,
+            &mut self.words,
+            &mut self.alloc_ptr,
+            &mut self.hash_counter,
+            &mut self.live,
+            &mut self.classes,
+        );
+        dirty += self.external.restore_seal();
+        let mut outer = self.outer.take().expect("checked above");
+        dirty += apply_level_restore(
+            &mut outer,
+            &mut self.words,
+            &mut self.alloc_ptr,
+            &mut self.hash_counter,
+            &mut self.live,
+            &mut self.classes,
+        );
+        dirty += self.external.restore_outer();
+        self.seal = Some(outer);
+        Ok(dirty)
+    }
+
+    /// Drops the seal (both levels, with their dirty tracking) without
+    /// restoring, leaving the current contents as-is. Outstanding
+    /// tokens become unusable. Cloned replicas that will never be
+    /// restored should unseal to shed the write-barrier bookkeeping.
+    pub fn unseal(&mut self) {
+        self.seal = None;
+        self.outer = None;
+        self.external.unseal();
+    }
+
+    /// Whether a seal is currently armed.
+    pub fn is_sealed(&self) -> bool {
+        self.seal.is_some()
+    }
+
+    /// Dirty units accumulated since the seal (or last restore):
+    /// distinct pre-frontier heap words + external bytes written.
+    /// 0 when unsealed.
+    pub fn dirty_len(&self) -> usize {
+        self.seal.as_ref().map_or(0, |s| s.undo_len()) + self.external.dirty_len()
+    }
+
+    /// Write barrier: every overwrite of an already-committed word goes
+    /// through here so a seal can log the old value. Unsealed cost is
+    /// one branch.
+    #[inline]
+    fn note_write(&mut self, idx: usize) {
+        if let Some(seal) = &mut self.seal {
+            seal.note(idx, self.words[idx]);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -264,6 +442,9 @@ impl ObjectMemory {
             self.words.resize(target, 0);
         }
         self.hash_counter = self.hash_counter.wrapping_add(0x9e37);
+        // No write barrier: all of [base, object_end) sits at or past
+        // any sealed frontier (alloc_ptr only grows), and restore
+        // re-zeroes that region wholesale.
         self.words[base] = class.0 | (format.to_bits() << 24);
         self.words[base + 1] = match format {
             ObjectFormat::BoxedFloat64 => 2,
@@ -309,6 +490,8 @@ impl ObjectMemory {
         let obj = self.allocate(ClassIndex::FLOAT, ObjectFormat::BoxedFloat64, 2)?;
         let bits = value.to_bits();
         let base = self.object_index(obj)?;
+        self.note_write(base + HEADER_WORDS as usize);
+        self.note_write(base + HEADER_WORDS as usize + 1);
         self.words[base + HEADER_WORDS as usize] = bits as u32;
         self.words[base + HEADER_WORDS as usize + 1] = (bits >> 32) as u32;
         Ok(obj)
@@ -319,6 +502,7 @@ impl ObjectMemory {
     pub fn instantiate_external_address(&mut self, addr: u32) -> HeapResult<Oop> {
         let obj = self.allocate(ClassIndex::EXTERNAL_ADDRESS, ObjectFormat::ExternalAddress, 1)?;
         let base = self.object_index(obj)?;
+        self.note_write(base + HEADER_WORDS as usize);
         self.words[base + HEADER_WORDS as usize] = addr;
         Ok(obj)
     }
@@ -387,6 +571,7 @@ impl ObjectMemory {
             return Err(HeapError::OutOfBoundsSlot { oop, index, size });
         }
         let base = self.object_index(oop)?;
+        self.note_write(base + HEADER_WORDS as usize + index as usize);
         self.words[base + HEADER_WORDS as usize + index as usize] = value.0;
         Ok(())
     }
@@ -411,6 +596,7 @@ impl ObjectMemory {
         let base = self.object_index(oop)?;
         let wi = base + HEADER_WORDS as usize + (index / 4) as usize;
         let shift = 8 * (index % 4);
+        self.note_write(wi);
         self.words[wi] = (self.words[wi] & !(0xffu32 << shift)) | (u32::from(value) << shift);
         Ok(())
     }
@@ -438,6 +624,7 @@ impl ObjectMemory {
             return Err(HeapError::OutOfBoundsSlot { oop, index, size });
         }
         let base = self.object_index(oop)?;
+        self.note_write(base + HEADER_WORDS as usize + index as usize);
         self.words[base + HEADER_WORDS as usize + index as usize] = value;
         Ok(())
     }
@@ -470,6 +657,7 @@ impl ObjectMemory {
         if !addr.is_multiple_of(4) || addr < HEAP_BASE || addr >= self.alloc_ptr {
             return Err(HeapError::InvalidAddress { addr });
         }
+        self.note_write(((addr - HEAP_BASE) / 4) as usize);
         self.words[((addr - HEAP_BASE) / 4) as usize] = value;
         Ok(())
     }
@@ -489,6 +677,43 @@ impl ObjectMemory {
         let base = self.object_index(oop)?;
         Ok(self.words[base])
     }
+}
+
+/// Rolls one seal level back over the heap-side state (the external
+/// region restores separately), returning the dirty words undone. A
+/// free function over disjoint fields so `restore` can apply it to the
+/// inner and outer levels in sequence.
+fn apply_level_restore(
+    seal: &mut SealState,
+    words: &mut Vec<u32>,
+    alloc_ptr: &mut u32,
+    hash_counter: &mut u32,
+    live: &mut HashSet<u32>,
+    classes: &mut ClassTable,
+) -> usize {
+    let mut dirty = 0usize;
+    // Undo post-seal allocations: words at or beyond the sealed
+    // frontier were zero at seal time (nothing writes beyond
+    // `alloc_ptr`), so re-zero up to the current frontier and drop
+    // any commit growth. Truncated words need no zeroing — recommit
+    // via `Vec::resize` zero-fills them again.
+    let frontier = seal.frontier_idx as usize;
+    let cur_frontier = ((*alloc_ptr - HEAP_BASE) / 4) as usize;
+    let hi = cur_frontier.min(seal.committed_len).min(words.len());
+    if hi > frontier {
+        for w in &mut words[frontier..hi] {
+            *w = 0;
+        }
+        dirty += hi - frontier;
+    }
+    words.truncate(seal.committed_len);
+    dirty += seal.rollback(words);
+    *alloc_ptr = seal.alloc_ptr;
+    *hash_counter = seal.hash_counter;
+    let sealed_frontier_addr = seal.alloc_ptr;
+    live.retain(|&addr| addr < sealed_frontier_addr);
+    classes.truncate(seal.class_count);
+    dirty
 }
 
 #[cfg(test)]
@@ -641,6 +866,214 @@ mod tests {
         assert!(!mem.is_live_object(bogus));
         assert!(mem.fetch_pointer(bogus, 0).is_err());
         assert!(mem.format_of(bogus).is_err());
+    }
+
+    #[test]
+    fn seal_restore_undoes_mutation_and_allocation() {
+        let mut mem = ObjectMemory::new();
+        let a = mem.instantiate_array(&[Oop::from_small_int(1), Oop::from_small_int(2)]).unwrap();
+        let f = mem.instantiate_float(1.5).unwrap();
+        mem.external_mut().write_uint(0, 4, 0x1234).unwrap();
+        let baseline = mem.clone();
+        let snap = mem.seal();
+
+        // Mutate existing objects, allocate new ones, register a class,
+        // touch external memory.
+        mem.store_pointer(a, 0, Oop::from_small_int(99)).unwrap();
+        let b = mem.instantiate_array(&[Oop::from_small_int(7)]).unwrap();
+        let g = mem.instantiate_float(2.5).unwrap();
+        mem.add_class(ClassDescription {
+            name: "Scratch".into(),
+            instance_format: ObjectFormat::Fixed,
+            fixed_slots: 1,
+        });
+        mem.external_mut().write_uint(0, 4, 0xdead_beef).unwrap();
+        assert!(mem.dirty_len() > 0);
+
+        let dirty = mem.restore(&snap).unwrap();
+        assert!(dirty > 0);
+        assert_eq!(mem, baseline);
+        assert_eq!(mem.fetch_pointer(a, 0).unwrap().small_int_value(), 1);
+        assert_eq!(mem.float_value_of(f).unwrap(), 1.5);
+        assert_eq!(mem.external().read_uint(0, 4).unwrap(), 0x1234);
+        assert!(!mem.is_live_object(b));
+        assert!(!mem.is_live_object(g));
+        assert_eq!(mem.classes().len(), baseline.classes().len());
+
+        // Replayed allocation is bit-identical to the post-seal one
+        // (same address, same identity hash).
+        let b2 = mem.instantiate_array(&[Oop::from_small_int(7)]).unwrap();
+        assert_eq!(b2, b);
+        mem.restore(&snap).unwrap();
+        assert_eq!(mem, baseline);
+    }
+
+    #[test]
+    fn restore_is_repeatable_across_many_rounds() {
+        let mut mem = ObjectMemory::new();
+        let a = mem.instantiate_array(&[Oop::from_small_int(5)]).unwrap();
+        let baseline = mem.clone();
+        let snap = mem.seal();
+        for round in 0..10 {
+            mem.store_pointer(a, 0, Oop::from_small_int(round)).unwrap();
+            let w = mem.allocate(ClassIndex::WORD_ARRAY, ObjectFormat::Words, 4).unwrap();
+            mem.store_word(w, 1, 0xabcd).unwrap();
+            mem.restore(&snap).unwrap();
+            assert_eq!(mem, baseline);
+        }
+    }
+
+    #[test]
+    fn stale_and_missing_seals_error() {
+        let mut mem = ObjectMemory::new();
+        let snap = mem.seal();
+        let snap2 = mem.seal();
+        assert_eq!(
+            mem.restore(&snap),
+            Err(HeapError::StaleSnapshot { expected: snap.epoch(), actual: snap2.epoch() })
+        );
+        assert!(mem.restore(&snap2).is_ok());
+        mem.unseal();
+        assert!(!mem.is_sealed());
+        assert_eq!(mem.restore(&snap2), Err(HeapError::NotSealed));
+    }
+
+    #[test]
+    fn raw_writes_are_restored() {
+        let mut mem = ObjectMemory::new();
+        let a = mem.instantiate_array(&[Oop::from_small_int(3)]).unwrap();
+        let baseline = mem.clone();
+        let snap = mem.seal();
+        let body = a.address() + 4 * HEADER_WORDS;
+        mem.write_word_raw(body, 0xffff_ffff).unwrap();
+        assert_eq!(mem.restore(&snap).unwrap(), 1);
+        assert_eq!(mem, baseline);
+    }
+
+    #[test]
+    fn restore_cost_tracks_mutations_not_heap_size() {
+        let mut mem = ObjectMemory::new();
+        let a = mem.instantiate_array(&vec![Oop::from_small_int(0); 200]).unwrap();
+        let snap = mem.seal();
+        // Write the same slot repeatedly: first-write-wins dedup means
+        // one undo entry, so restore reports exactly one dirty word.
+        for v in 0..50 {
+            mem.store_pointer(a, 7, Oop::from_small_int(v)).unwrap();
+        }
+        assert_eq!(mem.dirty_len(), 1);
+        assert_eq!(mem.restore(&snap).unwrap(), 1);
+    }
+
+    #[test]
+    fn nested_seal_restores_both_levels() {
+        let mut mem = ObjectMemory::new();
+        let a = mem.instantiate_array(&[Oop::from_small_int(1)]).unwrap();
+        let blank = mem.clone();
+        let outer = mem.seal();
+        // Writes while only the outer seal is armed.
+        mem.store_pointer(a, 0, Oop::from_small_int(2)).unwrap();
+        let b = mem.instantiate_array(&[Oop::from_small_int(7)]).unwrap();
+        mem.external_mut().write_uint(0, 2, 0x1234).unwrap();
+        let mid = mem.clone();
+        let inner = mem.push_seal().unwrap();
+        // Inner mutate/restore cycles roll back to the mid image,
+        // including writes landing below the *outer* frontier.
+        for round in 0..5 {
+            mem.store_pointer(a, 0, Oop::from_small_int(round)).unwrap();
+            mem.store_pointer(b, 0, Oop::from_small_int(-round)).unwrap();
+            let _ = mem.instantiate_float(0.5 * round as f64);
+            mem.external_mut().write_uint(0, 4, 0xdead_beef).unwrap();
+            mem.restore(&inner).unwrap();
+            assert_eq!(mem, mid);
+        }
+        // Restore-to-outer rolls back through both levels…
+        mem.store_pointer(a, 0, Oop::from_small_int(42)).unwrap();
+        mem.restore(&outer).unwrap();
+        assert_eq!(mem, blank);
+        // …and re-activates the outer seal: the inner token goes
+        // stale, the outer one keeps working (a fresh round of
+        // mutate + push + restore-to-outer is legal).
+        assert!(mem.restore(&inner).is_err());
+        mem.store_pointer(a, 0, Oop::from_small_int(9)).unwrap();
+        let inner2 = mem.push_seal().unwrap();
+        let _ = mem.instantiate_array(&[]).unwrap();
+        mem.restore(&inner2).unwrap();
+        mem.restore(&outer).unwrap();
+        assert_eq!(mem, blank);
+    }
+
+    #[test]
+    fn push_seal_twice_absorbs_the_superseded_inner() {
+        let mut mem = ObjectMemory::new();
+        let a = mem
+            .instantiate_array(&[Oop::from_small_int(1), Oop::from_small_int(2)])
+            .unwrap();
+        let blank = mem.clone();
+        let outer = mem.seal();
+        mem.store_pointer(a, 0, Oop::from_small_int(10)).unwrap();
+        let inner1 = mem.push_seal().unwrap();
+        // Sub-outer-frontier writes recorded only by the first inner
+        // log — they must survive into the outer log when superseded.
+        mem.store_pointer(a, 1, Oop::from_small_int(20)).unwrap();
+        mem.external_mut().write_uint(0, 4, 0xabcd).unwrap();
+        let inner2 = mem.push_seal().unwrap();
+        assert!(mem.restore(&inner1).is_err(), "superseded inner token is stale");
+        mem.store_pointer(a, 0, Oop::from_small_int(30)).unwrap();
+        mem.restore(&inner2).unwrap();
+        assert_eq!(mem.fetch_pointer(a, 0).unwrap().small_int_value(), 10);
+        assert_eq!(mem.fetch_pointer(a, 1).unwrap().small_int_value(), 20);
+        assert_eq!(mem.external().read_uint(0, 4).unwrap(), 0xabcd);
+        mem.restore(&outer).unwrap();
+        assert_eq!(mem, blank);
+    }
+
+    #[test]
+    fn push_seal_requires_a_seal_and_full_seal_supersedes_nesting() {
+        let mut mem = ObjectMemory::new();
+        assert_eq!(mem.push_seal().unwrap_err(), HeapError::NotSealed);
+        let outer = mem.seal();
+        let _inner = mem.push_seal().unwrap();
+        let fresh = mem.seal();
+        assert!(mem.restore(&outer).is_err(), "full seal staled the outer token");
+        assert!(mem.restore(&fresh).is_ok());
+    }
+
+    proptest! {
+        /// Restore-from-snapshot must be indistinguishable from never
+        /// having run: arbitrary interleavings of slot stores, raw
+        /// writes, allocations, float boxing, external writes and
+        /// nested restores always roll back to the sealed image.
+        #[test]
+        fn prop_mutate_restore_roundtrip(
+            ops in proptest::collection::vec((0u8..6, any::<u16>(), any::<u16>()), 0..48),
+            restore_every in 1usize..8,
+        ) {
+            let mut mem = ObjectMemory::new();
+            let arr = mem.instantiate_array(
+                &(0..8).map(Oop::from_small_int).collect::<Vec<_>>()).unwrap();
+            let bytes = mem.instantiate_bytes(ClassIndex::BYTE_ARRAY, &[0; 16]).unwrap();
+            let baseline = mem.clone();
+            let snap = mem.seal();
+            for (i, &(op, x, y)) in ops.iter().enumerate() {
+                match op {
+                    0 => { let _ = mem.store_pointer(arr, u32::from(x) % 8, Oop::from_small_int(i64::from(y))); }
+                    1 => { let _ = mem.store_byte(bytes, u32::from(x) % 16, y as u8); }
+                    2 => { let _ = mem.instantiate_array(&[Oop::from_small_int(i64::from(x))]); }
+                    3 => { let _ = mem.instantiate_float(f64::from(x) + f64::from(y) / 7.0); }
+                    4 => { let _ = mem.external_mut().write_uint(u32::from(x) % 64, 4, u32::from(y)); }
+                    _ => {
+                        let body = arr.address() + 4 * HEADER_WORDS + 4 * (u32::from(x) % 8);
+                        let _ = mem.write_word_raw(body, u32::from(y));
+                    }
+                }
+                if i % restore_every == 0 {
+                    mem.restore(&snap).unwrap();
+                    prop_assert_eq!(&mem, &baseline);
+                }
+            }
+            mem.restore(&snap).unwrap();
+            prop_assert_eq!(&mem, &baseline);
+        }
     }
 
     proptest! {

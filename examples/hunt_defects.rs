@@ -16,6 +16,7 @@ fn main() {
         probes: true,
         threads: 4,
         code_cache: true,
+        heap_snapshot: true,
     });
 
     eprintln!("differentially testing all 112 native methods on 2 ISAs…");

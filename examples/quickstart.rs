@@ -14,6 +14,7 @@ fn main() {
         probes: true,
         threads: 1,
         code_cache: true,
+        heap_snapshot: true,
     });
 
     // 1. The guiding example: the add bytecode (Listing 1 / Fig. 2).

@@ -123,6 +123,7 @@ fn native_row_is_identical_with_code_cache_on_and_off() {
             probes: true,
             threads: 1,
             code_cache,
+            heap_snapshot: true,
         })
         .run_native_methods()
     };
@@ -153,6 +154,7 @@ fn bytecode_row_is_identical_with_code_cache_on_and_off() {
             probes: false,
             threads: 1,
             code_cache,
+            heap_snapshot: true,
         })
         .run_bytecodes(CompilerKind::StackToRegister)
     };
