@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Runs the README's three guided examples and asserts they exit 0.
+#
+# The examples are executable documentation: quickstart is the
+# front-door API walkthrough, hunt_defects reproduces the §5.3 defect
+# families, cross_isa runs the same instruction on both simulated
+# ISAs. Any panic or nonzero exit means the documented entry points
+# regressed even if the unit tests still pass.
+#
+# Usage: ci/run_examples.sh [--release]
+set -euo pipefail
+
+profile=()
+if [ "${1:-}" = "--release" ]; then
+    profile=(--release)
+fi
+
+for example in quickstart hunt_defects cross_isa; do
+    echo "=== example: $example ==="
+    cargo run "${profile[@]}" --example "$example"
+    echo "=== example: $example exited 0 ==="
+done
+echo "all examples passed"

@@ -41,6 +41,7 @@ fn defect_families(probes: bool, isas: &[Isa]) -> BTreeSet<DefectCategory> {
 }
 
 fn main() {
+    let _mutant = igjit_bench::arm_mutant_from_env();
     println!("== ablation 1: probing off vs on ==");
     let both = [Isa::X86ish, Isa::Arm32ish];
     let without = defect_families(false, &both);

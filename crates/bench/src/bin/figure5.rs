@@ -5,6 +5,7 @@ use igjit::report::{ascii_histogram, stats};
 use igjit::{instruction_catalog, native_catalog, Explorer, InstrUnderTest};
 
 fn main() {
+    let _mutant = igjit_bench::arm_mutant_from_env();
     let explorer = Explorer::new();
     let mut bc_paths = Vec::new();
     let mut nm_paths = Vec::new();

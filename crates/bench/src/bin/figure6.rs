@@ -13,6 +13,7 @@ use igjit::{instruction_catalog, native_catalog, Explorer, InstrUnderTest, Metri
 use igjit_bench::progress_line;
 
 fn main() {
+    let _mutant = igjit_bench::arm_mutant_from_env();
     let explorer = Explorer::new();
     let mut bc_ms = Vec::new();
     let mut nm_ms = Vec::new();

@@ -13,6 +13,7 @@ use igjit::CompilerKind;
 use igjit_bench::{paper_campaign, print_metrics_summary, with_live_progress, write_metrics_json};
 
 fn main() {
+    let _mutant = igjit_bench::arm_mutant_from_env();
     let campaign = with_live_progress(paper_campaign());
     eprintln!(
         "running the four campaigns with a shared exploration cache ({} thread(s))…",

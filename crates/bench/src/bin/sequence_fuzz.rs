@@ -38,6 +38,7 @@ const POOL: [Instruction; 24] = [
 ];
 
 fn main() {
+    let _mutant = igjit_bench::arm_mutant_from_env();
     let mut rng = StdRng::seed_from_u64(0x1_9A7);
     let isas = [Isa::X86ish, Isa::Arm32ish];
     let rounds = 200;

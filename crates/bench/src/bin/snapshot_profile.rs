@@ -10,6 +10,7 @@ use igjit_concolic::{materialize_base, materialize_frame, probe_models, Explorer
 use igjit_heap::ObjectMemory;
 
 fn main() {
+    let _mutant = igjit_bench::arm_mutant_from_env();
     let r = Explorer::new().explore(InstrUnderTest::Bytecode(Instruction::Add));
     let path = &r.curated_paths()[0];
     let model = probe_models(&r.state, path, 8).pop().unwrap();

@@ -6,6 +6,7 @@
 use igjit::{Explorer, InstrUnderTest, Instruction, PathOutcome};
 
 fn main() {
+    let _mutant = igjit_bench::arm_mutant_from_env();
     let r = Explorer::new().explore(InstrUnderTest::Bytecode(Instruction::Add));
     println!("Table 1 / Figure 2: concolic execution paths of the add bytecode\n");
     println!("{} paths found ({} curated)\n", r.paths.len(), r.curated_paths().len());

@@ -17,6 +17,7 @@ use igjit_bench::{
 };
 
 fn main() {
+    let _mutant = igjit_bench::arm_mutant_from_env();
     let campaign = with_live_progress(paper_campaign());
     eprintln!(
         "running the native-method and three bytecode campaigns \

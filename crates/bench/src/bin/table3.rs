@@ -5,6 +5,7 @@ use igjit::report;
 use igjit_bench::paper_campaign;
 
 fn main() {
+    let _mutant = igjit_bench::arm_mutant_from_env();
     let campaign = paper_campaign();
     eprintln!("running the full campaign to collect defect causes…");
     let reports = campaign.run_all();

@@ -7,6 +7,7 @@ use std::time::Instant;
 use igjit::{GeneratedSuite, Isa};
 
 fn main() {
+    let _mutant = igjit_bench::arm_mutant_from_env();
     let t0 = Instant::now();
     eprintln!("generating the full test battery (112 natives + 148 bytecodes × 3 tiers, 2 ISAs)…");
     let suite = GeneratedSuite::generate_full(&[Isa::X86ish, Isa::Arm32ish]);

@@ -9,34 +9,56 @@ use std::io::Write;
 use igjit::report;
 use igjit::{aggregate_metrics, Campaign, CampaignConfig, CampaignReport, Isa, Metrics};
 
+/// The strictly parsed `IGJIT_*` knobs. Unknown `IGJIT_*` variables
+/// and malformed values are fatal (exit status 2): a misspelled knob
+/// must not silently run the default configuration.
+pub fn env_knobs() -> igjit::env::EnvKnobs {
+    match igjit::env::parse_env() {
+        Ok(knobs) => knobs,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Worker threads for the harness binaries: the `IGJIT_THREADS`
-/// environment variable when set (and parseable), otherwise the
-/// machine's available parallelism.
+/// environment variable when set, otherwise the machine's available
+/// parallelism. Malformed values are fatal.
 pub fn campaign_threads() -> usize {
-    std::env::var("IGJIT_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or_else(igjit::default_threads)
+    env_knobs().threads_or_default()
 }
 
 /// Whether the compiled-code cache is enabled: the `IGJIT_CODE_CACHE`
-/// environment variable (`0`/`off`/`false` disable it), default on.
+/// environment variable, default on. Malformed values are fatal.
 pub fn code_cache_enabled() -> bool {
-    !matches!(
-        std::env::var("IGJIT_CODE_CACHE").as_deref(),
-        Ok("0") | Ok("off") | Ok("false")
-    )
+    env_knobs().code_cache_enabled()
 }
 
 /// Whether heap snapshot/restore replay is enabled: the
-/// `IGJIT_HEAP_SNAPSHOT` environment variable (`0`/`off`/`false`
-/// disable it, falling back to per-run re-materialization), default on.
+/// `IGJIT_HEAP_SNAPSHOT` environment variable (off, every run rebuilds
+/// the heap from the model), default on. Malformed values are fatal.
 pub fn heap_snapshot_enabled() -> bool {
-    !matches!(
-        std::env::var("IGJIT_HEAP_SNAPSHOT").as_deref(),
-        Ok("0") | Ok("off") | Ok("false")
-    )
+    env_knobs().heap_snapshot_enabled()
+}
+
+/// Arms the mutation operator named by `IGJIT_MUTANT`, if any,
+/// returning the guard that keeps it armed. Harness binaries call this
+/// first thing in `main` and hold the guard for the process lifetime,
+/// so a whole table/figure run can be repeated under a fault. Unknown
+/// mutant specs are fatal (exit status 2).
+pub fn arm_mutant_from_env() -> Option<igjit::MutantGuard> {
+    env_knobs().mutant.map(|id| match igjit::FaultInjector::arm(id) {
+        Ok(guard) => {
+            let name = igjit::mutate::find(id).map(|op| op.name).unwrap_or("?");
+            eprintln!("fault injection: mutant {} ({name}) armed for this run", id.0);
+            guard
+        }
+        Err(e) => {
+            eprintln!("error: IGJIT_MUTANT: {e}");
+            std::process::exit(2);
+        }
+    })
 }
 
 /// The evaluation configuration used by every harness binary: both

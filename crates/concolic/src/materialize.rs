@@ -290,7 +290,7 @@ mod tests {
             igjit_solver::LinExpr::var(state.stack_size),
             igjit_solver::LinExpr::constant(2),
         );
-        let p = state.problem_with(&[c.clone()]);
+        let p = state.problem_with(std::slice::from_ref(&c));
         let model = solve(&p).unwrap();
         let mut mem = ObjectMemory::new();
         let mat = materialize_frame(&mut state, &model, &mut mem);

@@ -335,6 +335,23 @@ impl Campaign {
         }
     }
 
+    /// A campaign that shares an existing exploration cache instead of
+    /// creating its own.
+    ///
+    /// The mutation campaign uses this to amortize exploration across
+    /// mutants: fault injection perturbs only the JIT side of the
+    /// pipeline, so the interpreter-derived exploration results stay
+    /// valid for every mutant and the cache can be carried over. The
+    /// compiled-code cache is still fresh per campaign — compiled
+    /// artifacts *do* depend on the armed mutant.
+    pub fn with_exploration_cache(
+        config: CampaignConfig,
+        cache: Arc<ExplorationCache>,
+    ) -> Campaign {
+        let code_cache = Arc::new(CodeCache::with_enabled(config.code_cache));
+        Campaign { config, cache, code_cache, on_progress: None }
+    }
+
     /// A fast configuration for doctests and examples: one ISA, no
     /// probing, sequential.
     pub fn quick() -> Campaign {
@@ -355,6 +372,12 @@ impl Campaign {
     /// The exploration cache shared by every run of this campaign.
     pub fn cache(&self) -> &ExplorationCache {
         &self.cache
+    }
+
+    /// An owning handle on the exploration cache, for carrying it into
+    /// another campaign via [`Campaign::with_exploration_cache`].
+    pub fn exploration_cache_arc(&self) -> Arc<ExplorationCache> {
+        Arc::clone(&self.cache)
     }
 
     /// The compiled-code cache shared by every run of this campaign.

@@ -1,0 +1,184 @@
+//! Strict parsing of the harness's `IGJIT_*` environment knobs.
+//!
+//! The harness binaries used to read their knobs leniently: an
+//! unparseable `IGJIT_THREADS` silently fell back to the default, and
+//! a typo like `IGJIT_CODECACHE=0` was ignored outright — so a cache
+//! ablation could quietly measure the cached configuration. This
+//! module is the single shared parser: it scans the whole environment
+//! for `IGJIT_`-prefixed names, rejects unknown ones, and rejects
+//! malformed values instead of guessing.
+
+use std::ffi::OsString;
+
+use igjit_mutate::MutantId;
+
+/// Every environment knob the harness understands.
+pub const KNOWN_VARS: &[&str] =
+    &["IGJIT_THREADS", "IGJIT_CODE_CACHE", "IGJIT_HEAP_SNAPSHOT", "IGJIT_MUTANT"];
+
+/// Parsed knob values. `None` means the variable was not set; the
+/// `*_enabled`/`*_or_default` accessors apply the documented defaults.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EnvKnobs {
+    /// `IGJIT_THREADS`: worker threads for the per-instruction sweep.
+    pub threads: Option<usize>,
+    /// `IGJIT_CODE_CACHE`: whether compiled test methods are cached.
+    pub code_cache: Option<bool>,
+    /// `IGJIT_HEAP_SNAPSHOT`: whether materialized heaps are sealed
+    /// once and replayed by copy-on-write restore.
+    pub heap_snapshot: Option<bool>,
+    /// `IGJIT_MUTANT`: a mutation operator to arm for the whole
+    /// process (id or kebab-case name from the `igjit-mutate` catalog).
+    pub mutant: Option<MutantId>,
+}
+
+impl EnvKnobs {
+    /// Worker threads: the knob, or the machine's parallelism.
+    pub fn threads_or_default(&self) -> usize {
+        self.threads.unwrap_or_else(crate::default_threads)
+    }
+
+    /// Code cache: the knob, default on.
+    pub fn code_cache_enabled(&self) -> bool {
+        self.code_cache.unwrap_or(true)
+    }
+
+    /// Heap snapshots: the knob, default on.
+    pub fn heap_snapshot_enabled(&self) -> bool {
+        self.heap_snapshot.unwrap_or(true)
+    }
+}
+
+fn parse_bool(name: &str, value: &str) -> Result<bool, String> {
+    match value.to_ascii_lowercase().as_str() {
+        "1" | "on" | "true" | "yes" => Ok(true),
+        "0" | "off" | "false" | "no" => Ok(false),
+        _ => Err(format!(
+            "{name}={value:?} is not a boolean (use 0/1, on/off, true/false or yes/no)"
+        )),
+    }
+}
+
+fn parse_threads(value: &str) -> Result<usize, String> {
+    match value.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!(
+            "IGJIT_THREADS={value:?} is not a positive integer"
+        )),
+    }
+}
+
+/// Parses knobs from an explicit `(name, value)` iterator, as
+/// [`std::env::vars_os`] yields. Split out from [`parse_env`] so tests
+/// can exercise the parser without mutating the process environment.
+pub fn parse_vars(
+    vars: impl IntoIterator<Item = (OsString, OsString)>,
+) -> Result<EnvKnobs, String> {
+    let mut knobs = EnvKnobs::default();
+    for (name_os, value_os) in vars {
+        let name = name_os.to_string_lossy();
+        if !name.starts_with("IGJIT_") {
+            continue;
+        }
+        let value = value_os.to_str().ok_or_else(|| {
+            format!("{name} has a value that is not valid UTF-8")
+        })?;
+        match name.as_ref() {
+            "IGJIT_THREADS" => knobs.threads = Some(parse_threads(value)?),
+            "IGJIT_CODE_CACHE" => {
+                knobs.code_cache = Some(parse_bool("IGJIT_CODE_CACHE", value)?)
+            }
+            "IGJIT_HEAP_SNAPSHOT" => {
+                knobs.heap_snapshot = Some(parse_bool("IGJIT_HEAP_SNAPSHOT", value)?)
+            }
+            "IGJIT_MUTANT" => {
+                knobs.mutant =
+                    Some(igjit_mutate::parse(value).map_err(|e| format!("IGJIT_MUTANT: {e}"))?)
+            }
+            _ => {
+                return Err(format!(
+                    "unknown environment variable {name} (known IGJIT_* knobs: {})",
+                    KNOWN_VARS.join(", ")
+                ))
+            }
+        }
+    }
+    Ok(knobs)
+}
+
+/// Parses the process environment. Harness binaries call this once at
+/// startup and abort on `Err` — a misspelled knob must not silently
+/// run the default configuration.
+pub fn parse_env() -> Result<EnvKnobs, String> {
+    parse_vars(std::env::vars_os())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars(pairs: &[(&str, &str)]) -> Vec<(OsString, OsString)> {
+        pairs.iter().map(|&(n, v)| (OsString::from(n), OsString::from(v))).collect()
+    }
+
+    #[test]
+    fn empty_environment_yields_defaults() {
+        let k = parse_vars(vars(&[("PATH", "/usr/bin"), ("HOME", "/root")])).unwrap();
+        assert_eq!(k, EnvKnobs::default());
+        assert!(k.code_cache_enabled());
+        assert!(k.heap_snapshot_enabled());
+        assert!(k.threads_or_default() >= 1);
+        assert!(k.mutant.is_none());
+    }
+
+    #[test]
+    fn all_knobs_parse() {
+        let k = parse_vars(vars(&[
+            ("IGJIT_THREADS", "3"),
+            ("IGJIT_CODE_CACHE", "off"),
+            ("IGJIT_HEAP_SNAPSHOT", "1"),
+            ("IGJIT_MUTANT", "flip-compare-cond"),
+        ]))
+        .unwrap();
+        assert_eq!(k.threads, Some(3));
+        assert_eq!(k.code_cache, Some(false));
+        assert_eq!(k.heap_snapshot, Some(true));
+        assert_eq!(k.mutant, Some(igjit_mutate::ops::FLIP_COMPARE_COND));
+    }
+
+    #[test]
+    fn unknown_igjit_vars_are_rejected() {
+        let err = parse_vars(vars(&[("IGJIT_CODECACHE", "0")])).unwrap_err();
+        assert!(err.contains("IGJIT_CODECACHE"), "{err}");
+        assert!(err.contains("IGJIT_CODE_CACHE"), "error lists the known knobs: {err}");
+    }
+
+    #[test]
+    fn malformed_values_are_rejected() {
+        assert!(parse_vars(vars(&[("IGJIT_THREADS", "0")])).is_err());
+        assert!(parse_vars(vars(&[("IGJIT_THREADS", "many")])).is_err());
+        assert!(parse_vars(vars(&[("IGJIT_THREADS", "")])).is_err());
+        assert!(parse_vars(vars(&[("IGJIT_CODE_CACHE", "maybe")])).is_err());
+        assert!(parse_vars(vars(&[("IGJIT_HEAP_SNAPSHOT", "2")])).is_err());
+        assert!(parse_vars(vars(&[("IGJIT_MUTANT", "no-such-operator")])).is_err());
+        assert!(parse_vars(vars(&[("IGJIT_MUTANT", "0")])).is_err());
+    }
+
+    #[test]
+    fn booleans_accept_both_spellings_case_insensitively() {
+        for on in ["1", "on", "TRUE", "Yes"] {
+            let k = parse_vars(vars(&[("IGJIT_CODE_CACHE", on)])).unwrap();
+            assert_eq!(k.code_cache, Some(true), "{on}");
+        }
+        for off in ["0", "OFF", "false", "no"] {
+            let k = parse_vars(vars(&[("IGJIT_HEAP_SNAPSHOT", off)])).unwrap();
+            assert_eq!(k.heap_snapshot, Some(false), "{off}");
+        }
+    }
+
+    #[test]
+    fn mutants_parse_by_id_too() {
+        let k = parse_vars(vars(&[("IGJIT_MUTANT", "106")])).unwrap();
+        assert_eq!(k.mutant, Some(igjit_mutate::ops::FLIP_COMPARE_COND));
+    }
+}

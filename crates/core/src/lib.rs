@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 
 mod campaign;
+pub mod env;
 pub mod report;
 pub mod testgen;
 
@@ -68,3 +69,5 @@ pub use igjit_interp::{native_catalog, ExitCondition, Image, NativeGroup, Native
                        NativeMethodSpec};
 pub use igjit_jit::CompilerKind;
 pub use igjit_machine::Isa;
+pub use igjit_mutate as mutate;
+pub use igjit_mutate::{FaultInjector, MutantGuard, MutantId, MutationOp};

@@ -6,10 +6,25 @@
 //! ALU ops directly. All registers must be physical by this point —
 //! the `RegisterAllocating` front-end runs its allocator first.
 
-use igjit_machine::{encode_instr, AluOp, Isa, MInstr, Reg, TrampolineKind};
+use igjit_machine::{encode_instr, AluOp, Cond, Isa, MInstr, Reg, TrampolineKind};
+use igjit_mutate::{armed, ops as mutops};
 
 use crate::ir::{Ir, LabelId, VReg};
 use crate::CompileError;
+
+/// Inverts a condition code (the `invert-jcc` mutation).
+fn invert_cc(cc: Cond) -> Cond {
+    match cc {
+        Cond::Eq => Cond::Ne,
+        Cond::Ne => Cond::Eq,
+        Cond::Lt => Cond::Ge,
+        Cond::Ge => Cond::Lt,
+        Cond::Le => Cond::Gt,
+        Cond::Gt => Cond::Le,
+        Cond::Ov => Cond::NoOv,
+        Cond::NoOv => Cond::Ov,
+    }
+}
 
 fn phys(v: VReg) -> Result<Reg, CompileError> {
     v.as_phys().ok_or(CompileError::Backend(format!(
@@ -45,7 +60,9 @@ fn lower_alu(
             "two-address {op:?} with dst == b is unencodable on {isa:?}"
         )));
     }
-    out.push(MInstr::MovReg { dst, src: a });
+    if !armed(mutops::DROP_TWO_ADDRESS_MOV_FIXUP) {
+        out.push(MInstr::MovReg { dst, src: a });
+    }
     out.push(MInstr::AluReg { op, dst, a: dst, b });
     Ok(())
 }
@@ -105,7 +122,7 @@ pub fn lower(ir: &[Ir], isa: Isa) -> Result<Vec<u8>, CompileError> {
             Ir::MovImm { dst, imm } => ms.push(MInstr::MovImm { dst: phys(dst)?, imm }),
             Ir::MovReg { dst, src } => {
                 let (dst, src) = (phys(dst)?, phys(src)?);
-                if dst != src {
+                if dst != src || armed(mutops::DROP_MOV_ELISION) {
                     ms.push(MInstr::MovReg { dst, src });
                 }
             }
@@ -123,7 +140,9 @@ pub fn lower(ir: &[Ir], isa: Isa) -> Result<Vec<u8>, CompileError> {
             Ir::AluImm { op, dst, a, imm } => {
                 let (dst, a) = (phys(dst)?, phys(a)?);
                 if isa.two_address() && dst != a {
-                    ms.push(MInstr::MovReg { dst, src: a });
+                    if !armed(mutops::DROP_ALUIMM_MOV_FIXUP) {
+                        ms.push(MInstr::MovReg { dst, src: a });
+                    }
                     ms.push(MInstr::AluImm { op, dst, a: dst, imm });
                 } else {
                     ms.push(MInstr::AluImm {
@@ -150,6 +169,7 @@ pub fn lower(ir: &[Ir], isa: Isa) -> Result<Vec<u8>, CompileError> {
                 let end = bytes.len() + len;
                 fixups.push((patch, end, l));
                 note_label(l, None, &mut label_pos);
+                let cc = if armed(mutops::INVERT_JCC) { invert_cc(cc) } else { cc };
                 ms.push(MInstr::JmpCc { cc, off: 0 });
             }
             Ir::Send { selector_id } => {
@@ -190,7 +210,10 @@ pub fn lower(ir: &[Ir], isa: Isa) -> Result<Vec<u8>, CompileError> {
             .copied()
             .flatten()
             .ok_or_else(|| CompileError::Backend(format!("unbound label L{}", label.0)))?;
-        let disp = pos as i64 - end as i64;
+        let mut disp = pos as i64 - end as i64;
+        if armed(mutops::JUMP_DISP_OFF_BY_ONE) {
+            disp += 1;
+        }
         let disp = i32::try_from(disp)
             .map_err(|_| CompileError::Backend("jump displacement overflow".into()))?;
         bytes[patch..patch + 4].copy_from_slice(&disp.to_le_bytes());

@@ -17,6 +17,7 @@
 use igjit_bytecode::{Instruction, SpecialSelector};
 use igjit_heap::{ClassIndex, Oop, HEADER_WORDS};
 use igjit_machine::{AluOp, Cond, Isa, Reg};
+use igjit_mutate::{armed, ops as mutops};
 
 use crate::backend::lower;
 use crate::convention::Convention;
@@ -136,6 +137,21 @@ struct Gen<'a> {
 
 const BODY_OFF: i16 = (HEADER_WORDS * 4) as i16;
 const SIZE_OFF: i16 = 4;
+
+/// Logical negation of a condition code (the `flip-compare-cond`
+/// mutation).
+fn negate_cond(cc: Cond) -> Cond {
+    match cc {
+        Cond::Eq => Cond::Ne,
+        Cond::Ne => Cond::Eq,
+        Cond::Lt => Cond::Ge,
+        Cond::Ge => Cond::Lt,
+        Cond::Le => Cond::Gt,
+        Cond::Gt => Cond::Le,
+        Cond::Ov => Cond::NoOv,
+        Cond::NoOv => Cond::Ov,
+    }
+}
 
 impl<'a> Gen<'a> {
     fn new(opts: CompilerOptions, input: &'a BytecodeTestInput<'a>, isa: Isa) -> Gen<'a> {
@@ -368,7 +384,8 @@ impl<'a> Gen<'a> {
     }
 
     fn temp_off(&self, n: u8) -> i16 {
-        -(4 * (i32::from(n) + 1)) as i16
+        let bias = if armed(mutops::TEMP_OFFSET_OFF_BY_ONE) { 0 } else { 1 };
+        -(4 * (i32::from(n) + bias)) as i16
     }
 
     fn literal_oop(&self, n: u8) -> Oop {
@@ -380,11 +397,14 @@ impl<'a> Gen<'a> {
         if let Some(slow) = overflow_to {
             self.ir.push(Ir::JumpCc(Cond::Ov, slow));
         }
-        self.ir.push(Ir::AluImm { op: AluOp::Or, dst: v, a: v, imm: 1 });
+        if !armed(mutops::DROP_RETAG_TAG_BIT) {
+            self.ir.push(Ir::AluImm { op: AluOp::Or, dst: v, a: v, imm: 1 });
+        }
     }
 
     fn untag(&mut self, dst: VReg, src: VReg) {
-        self.ir.push(Ir::AluImm { op: AluOp::Sar, dst, a: src, imm: 1 });
+        let sh = if armed(mutops::UNTAG_SHIFT_OFF_BY_ONE) { 2 } else { 1 };
+        self.ir.push(Ir::AluImm { op: AluOp::Sar, dst, a: src, imm: sh });
     }
 
     // ------------------------------------------------------------------
@@ -395,10 +415,11 @@ impl<'a> Gen<'a> {
             I::PushReceiverVariable(n) | I::PushReceiverVariableLong(n) => {
                 let v = self.fresh();
                 let rcvr = self.receiver();
+                let body = if armed(mutops::RECEIVER_VAR_OFFSET_SKIPS_HEADER) { 0 } else { BODY_OFF };
                 self.ir.push(Ir::Load {
                     dst: v,
                     base: rcvr,
-                    off: BODY_OFF + 4 * i16::from(n),
+                    off: body + 4 * i16::from(n),
                 });
                 self.push_reg(v);
             }
@@ -574,7 +595,9 @@ impl<'a> Gen<'a> {
     fn teardown_and_ret(&mut self) {
         let sp = VReg::phys(self.conv.sp);
         let fp = VReg::phys(self.conv.fp);
-        self.ir.push(Ir::MovReg { dst: sp, src: fp });
+        if !armed(mutops::DROP_TEARDOWN_SP_RESTORE) {
+            self.ir.push(Ir::MovReg { dst: sp, src: fp });
+        }
         self.ir.push(Ir::Ret);
     }
 
@@ -592,15 +615,21 @@ impl<'a> Gen<'a> {
         self.flush_sim();
         let taken = self.taken();
         let fall = self.label();
-        let (on_true, on_false) = if jump_on_true { (taken, fall) } else { (fall, taken) };
+        let (mut on_true, mut on_false) =
+            if jump_on_true { (taken, fall) } else { (fall, taken) };
+        if armed(mutops::COND_JUMP_SWAP_TARGETS) {
+            std::mem::swap(&mut on_true, &mut on_false);
+        }
         self.ir.push(Ir::CmpImm { a: v, imm: self.input.true_obj.0 });
         self.ir.push(Ir::JumpCc(Cond::Eq, on_true));
         self.ir.push(Ir::CmpImm { a: v, imm: self.input.false_obj.0 });
         self.ir.push(Ir::JumpCc(Cond::Eq, on_false));
         // Neither boolean: the mustBeBoolean error send.
-        let rcvr = VReg::phys(self.conv.receiver);
-        self.ir.push(Ir::MovReg { dst: rcvr, src: v });
-        self.ir.push(Ir::Send { selector_id: MUST_BE_BOOLEAN_SELECTOR });
+        if !armed(mutops::DROP_MUST_BE_BOOLEAN) {
+            let rcvr = VReg::phys(self.conv.receiver);
+            self.ir.push(Ir::MovReg { dst: rcvr, src: v });
+            self.ir.push(Ir::Send { selector_id: MUST_BE_BOOLEAN_SELECTOR });
+        }
         self.bind(fall);
     }
 
@@ -614,21 +643,29 @@ impl<'a> Gen<'a> {
         let slow = self.label();
         let done = self.label();
         self.save_operands(&[rcvr, arg]);
-        self.check_small_int(rcvr, slow);
-        self.check_small_int(arg, slow);
+        if !armed(mutops::DROP_RECEIVER_SMALLINT_CHECK) {
+            self.check_small_int(rcvr, slow);
+        }
+        if !armed(mutops::DROP_ARG_SMALLINT_CHECK) {
+            self.check_small_int(arg, slow);
+        }
         match op {
             AluOp::Add => {
                 // tagged(a)+tagged(b)-1 = tagged(a+b); Cog's sequence.
                 // The operands are saved, so clobbering `arg` is fine.
                 self.ir.push(Ir::AluImm { op: AluOp::Sub, dst: arg, a: arg, imm: 1 });
                 self.ir.push(Ir::Alu { op: AluOp::Add, dst: arg, a: arg, b: rcvr });
-                self.ir.push(Ir::JumpCc(Cond::Ov, slow));
+                if !armed(mutops::DROP_ADD_OVERFLOW_CHECK) {
+                    self.ir.push(Ir::JumpCc(Cond::Ov, slow));
+                }
                 self.drop_saved(2);
                 self.push_reg(arg);
             }
             AluOp::Sub => {
                 self.ir.push(Ir::Alu { op: AluOp::Sub, dst: rcvr, a: rcvr, b: arg });
-                self.ir.push(Ir::JumpCc(Cond::Ov, slow));
+                if !armed(mutops::DROP_SUB_OVERFLOW_CHECK) {
+                    self.ir.push(Ir::JumpCc(Cond::Ov, slow));
+                }
                 self.ir.push(Ir::AluImm { op: AluOp::Add, dst: rcvr, a: rcvr, imm: 1 });
                 self.drop_saved(2);
                 self.push_reg(rcvr);
@@ -639,7 +676,9 @@ impl<'a> Gen<'a> {
                 self.untag(rcvr, rcvr);
                 self.untag(arg, arg);
                 self.ir.push(Ir::Alu { op: AluOp::Mul, dst: rcvr, a: rcvr, b: arg });
-                self.ir.push(Ir::JumpCc(Cond::Ov, slow));
+                if !armed(mutops::DROP_MUL_OVERFLOW_CHECK) {
+                    self.ir.push(Ir::JumpCc(Cond::Ov, slow));
+                }
                 self.retag(rcvr, Some(slow));
                 self.drop_saved(2);
                 self.push_reg(rcvr);
@@ -661,11 +700,16 @@ impl<'a> Gen<'a> {
         let slow = self.label();
         let done = self.label();
         self.save_operands(&[rcvr, arg]);
-        self.check_small_int(rcvr, slow);
-        self.check_small_int(arg, slow);
+        if !armed(mutops::DROP_COMPARE_SMALLINT_CHECKS) {
+            self.check_small_int(rcvr, slow);
+            self.check_small_int(arg, slow);
+        }
         self.drop_saved(2);
         // Tagged values preserve signed order.
-        self.ir.push(Ir::Cmp { a: rcvr, b: arg });
+        let (a, b) =
+            if armed(mutops::SWAP_COMPARE_OPERANDS) { (arg, rcvr) } else { (rcvr, arg) };
+        self.ir.push(Ir::Cmp { a, b });
+        let cc = if armed(mutops::FLIP_COMPARE_COND) { negate_cond(cc) } else { cc };
         self.push_bool(cc);
         self.ir.push(Ir::Jump(done));
         self.bind(slow);
@@ -686,14 +730,18 @@ impl<'a> Gen<'a> {
         self.check_small_int(rcvr, slow);
         self.check_small_int(arg, slow);
         // Divisor zero → slow (tagged 0 is 1).
-        self.ir.push(Ir::CmpImm { a: arg, imm: Oop::from_small_int(0).0 });
-        self.ir.push(Ir::JumpCc(Cond::Eq, slow));
+        if !armed(mutops::DROP_DIV_ZERO_CHECK) {
+            self.ir.push(Ir::CmpImm { a: arg, imm: Oop::from_small_int(0).0 });
+            self.ir.push(Ir::JumpCc(Cond::Eq, slow));
+        }
         self.untag(rcvr, rcvr);
         self.untag(arg, arg);
-        let rem = self.fresh_transient();
-        self.ir.push(Ir::Alu { op: AluOp::Rem, dst: rem, a: rcvr, b: arg });
-        self.ir.push(Ir::CmpImm { a: rem, imm: 0 });
-        self.ir.push(Ir::JumpCc(Cond::Ne, slow)); // inexact → send
+        if !armed(mutops::DROP_DIV_EXACT_CHECK) {
+            let rem = self.fresh_transient();
+            self.ir.push(Ir::Alu { op: AluOp::Rem, dst: rem, a: rcvr, b: arg });
+            self.ir.push(Ir::CmpImm { a: rem, imm: 0 });
+            self.ir.push(Ir::JumpCc(Cond::Ne, slow)); // inexact → send
+        }
         self.ir.push(Ir::Alu { op: AluOp::Div, dst: rcvr, a: rcvr, b: arg });
         self.retag(rcvr, Some(slow));
         self.drop_saved(2);
@@ -726,12 +774,14 @@ impl<'a> Gen<'a> {
             // Floored modulo: rem += b when rem != 0 and signs differ.
             let rem = self.fresh();
             self.ir.push(Ir::Alu { op: AluOp::Rem, dst: rem, a: rcvr, b: arg });
-            self.ir.push(Ir::CmpImm { a: rem, imm: 0 });
-            self.ir.push(Ir::JumpCc(Cond::Eq, lskip));
-            let t = self.fresh_transient();
-            self.ir.push(Ir::Alu { op: AluOp::Xor, dst: t, a: rem, b: arg });
-            self.ir.push(Ir::JumpCc(Cond::Ge, lskip));
-            self.ir.push(Ir::Alu { op: AluOp::Add, dst: rem, a: rem, b: arg });
+            if !armed(mutops::DROP_MOD_SIGN_ADJUST) {
+                self.ir.push(Ir::CmpImm { a: rem, imm: 0 });
+                self.ir.push(Ir::JumpCc(Cond::Eq, lskip));
+                let t = self.fresh_transient();
+                self.ir.push(Ir::Alu { op: AluOp::Xor, dst: t, a: rem, b: arg });
+                self.ir.push(Ir::JumpCc(Cond::Ge, lskip));
+                self.ir.push(Ir::Alu { op: AluOp::Add, dst: rem, a: rem, b: arg });
+            }
             self.bind(lskip);
             self.retag(rem, None);
             self.drop_saved(2);
@@ -740,13 +790,15 @@ impl<'a> Gen<'a> {
             // Floored division: q -= 1 when rem != 0 and signs differ.
             let q = self.fresh();
             self.ir.push(Ir::Alu { op: AluOp::Div, dst: q, a: rcvr, b: arg });
-            let rem = self.fresh_transient();
-            self.ir.push(Ir::Alu { op: AluOp::Rem, dst: rem, a: rcvr, b: arg });
-            self.ir.push(Ir::CmpImm { a: rem, imm: 0 });
-            self.ir.push(Ir::JumpCc(Cond::Eq, lskip));
-            self.ir.push(Ir::Alu { op: AluOp::Xor, dst: rem, a: rem, b: arg });
-            self.ir.push(Ir::JumpCc(Cond::Ge, lskip));
-            self.ir.push(Ir::AluImm { op: AluOp::Sub, dst: q, a: q, imm: 1 });
+            if !armed(mutops::DROP_INTDIV_FLOOR_ADJUST) {
+                let rem = self.fresh_transient();
+                self.ir.push(Ir::Alu { op: AluOp::Rem, dst: rem, a: rcvr, b: arg });
+                self.ir.push(Ir::CmpImm { a: rem, imm: 0 });
+                self.ir.push(Ir::JumpCc(Cond::Eq, lskip));
+                self.ir.push(Ir::Alu { op: AluOp::Xor, dst: rem, a: rem, b: arg });
+                self.ir.push(Ir::JumpCc(Cond::Ge, lskip));
+                self.ir.push(Ir::AluImm { op: AluOp::Sub, dst: q, a: q, imm: 1 });
+            }
             self.bind(lskip);
             self.retag(q, Some(slow));
             self.drop_saved(2);
@@ -771,6 +823,11 @@ impl<'a> Gen<'a> {
         self.check_small_int(rcvr, slow);
         self.check_small_int(arg, slow);
         // Tagged AND/OR preserve the tag bit.
+        let op = if op == AluOp::And && armed(mutops::BITAND_BECOMES_BITOR) {
+            AluOp::Or
+        } else {
+            op
+        };
         self.ir.push(Ir::Alu { op, dst: rcvr, a: rcvr, b: arg });
         self.drop_saved(2);
         self.push_reg(rcvr);
@@ -798,10 +855,12 @@ impl<'a> Gen<'a> {
         self.untag(rcvr, rcvr); // value
         // Shift counts beyond the word width go to the slow path (the
         // hardware masks the count to 31, which would be wrong).
-        self.ir.push(Ir::CmpImm { a: arg, imm: 31 });
-        self.ir.push(Ir::JumpCc(Cond::Gt, slow));
-        self.ir.push(Ir::CmpImm { a: arg, imm: (-31i32) as u32 });
-        self.ir.push(Ir::JumpCc(Cond::Lt, slow));
+        if !armed(mutops::DROP_SHIFT_RANGE_CHECK) {
+            self.ir.push(Ir::CmpImm { a: arg, imm: 31 });
+            self.ir.push(Ir::JumpCc(Cond::Gt, slow));
+            self.ir.push(Ir::CmpImm { a: arg, imm: (-31i32) as u32 });
+            self.ir.push(Ir::JumpCc(Cond::Lt, slow));
+        }
         self.ir.push(Ir::CmpImm { a: arg, imm: 0 });
         self.ir.push(Ir::JumpCc(Cond::Lt, lright));
         // Left shift with overflow check.
@@ -844,11 +903,15 @@ impl<'a> Gen<'a> {
         // free past the checks).
         let i0 = self.fresh_transient();
         self.untag(i0, idx);
-        self.ir.push(Ir::CmpImm { a: i0, imm: 1 });
-        self.ir.push(Ir::JumpCc(Cond::Lt, slow));
+        if !armed(mutops::DROP_AT_LOWER_BOUND_CHECK) {
+            self.ir.push(Ir::CmpImm { a: i0, imm: 1 });
+            self.ir.push(Ir::JumpCc(Cond::Lt, slow));
+        }
         self.ir.push(Ir::Cmp { a: i0, b: sz });
         self.ir.push(Ir::JumpCc(Cond::Gt, slow));
-        self.ir.push(Ir::AluImm { op: AluOp::Sub, dst: i0, a: i0, imm: 1 });
+        if !armed(mutops::AT_INDEX_OFF_BY_ONE) {
+            self.ir.push(Ir::AluImm { op: AluOp::Sub, dst: i0, a: i0, imm: 1 });
+        }
         self.ir.push(Ir::AluImm { op: AluOp::Shl, dst: i0, a: i0, imm: 2 });
         self.ir.push(Ir::Alu { op: AluOp::Add, dst: i0, a: i0, b: rcvr });
         self.ir.push(Ir::Load { dst: sz, base: i0, off: BODY_OFF });
@@ -873,7 +936,9 @@ impl<'a> Gen<'a> {
         self.save_operands(&[rcvr, idx, value]);
         self.check_small_int(idx, slow);
         self.check_pointer(rcvr, slow);
-        self.check_class(rcvr, ClassIndex::ARRAY, slow);
+        if !armed(mutops::DROP_ATPUT_CLASS_CHECK) {
+            self.check_class(rcvr, ClassIndex::ARRAY, slow);
+        }
         let sz = self.fresh();
         self.ir.push(Ir::Load { dst: sz, base: rcvr, off: SIZE_OFF });
         let i0 = self.fresh_transient();
@@ -915,8 +980,10 @@ impl<'a> Gen<'a> {
         self.ir.push(Ir::Load { dst: sz, base: rcvr, off: SIZE_OFF });
         self.ir.push(Ir::Jump(lgot));
         self.bind(lbytes);
-        self.ir.push(Ir::CmpImm { a: t, imm: ClassIndex::BYTE_ARRAY.value() });
-        self.ir.push(Ir::JumpCc(Cond::Ne, slow));
+        if !armed(mutops::DROP_SIZE_BYTEARRAY_CHECK) {
+            self.ir.push(Ir::CmpImm { a: t, imm: ClassIndex::BYTE_ARRAY.value() });
+            self.ir.push(Ir::JumpCc(Cond::Ne, slow));
+        }
         self.ir.push(Ir::Load { dst: sz, base: rcvr, off: SIZE_OFF });
         self.bind(lgot);
         self.retag(sz, None);

@@ -20,8 +20,37 @@ use std::sync::{Arc, RwLock};
 
 use igjit_bytecode::Instruction;
 use igjit_machine::Isa;
+use igjit_mutate::{armed, ops as mutops};
 
 use crate::{CompileError, CompiledCode, CompilerKind};
+
+/// Applies the cache-layer mutations: each drops one compile-relevant
+/// field from the lookup key, conflating entries that must be distinct.
+fn mutate_key(mut key: CompileKey) -> CompileKey {
+    match &mut key {
+        CompileKey::Bytecode { kind, stack, nil, true_obj, false_obj, .. } => {
+            if armed(mutops::CACHE_KEY_IGNORES_STACK) {
+                stack.clear();
+            }
+            if armed(mutops::CACHE_KEY_IGNORES_KIND) {
+                *kind = CompilerKind::SimpleStackBased;
+            }
+            if armed(mutops::CACHE_KEY_IGNORES_SPECIAL_OOPS) {
+                *nil = 0;
+                *true_obj = 0;
+                *false_obj = 0;
+            }
+        }
+        CompileKey::Native { nil, true_obj, false_obj, .. } => {
+            if armed(mutops::CACHE_KEY_IGNORES_SPECIAL_OOPS) {
+                *nil = 0;
+                *true_obj = 0;
+                *false_obj = 0;
+            }
+        }
+    }
+    key
+}
 
 /// Everything a test compilation depends on, by value.
 ///
@@ -128,6 +157,7 @@ impl CodeCache {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return Arc::new(compile());
         }
+        let key = mutate_key(key);
         if let Some(hit) = self.map.read().expect("code cache poisoned").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(hit);

@@ -1,6 +1,7 @@
 //! Register conventions per ISA.
 
 use igjit_machine::{Isa, Reg};
+use igjit_mutate::{armed, ops as mutops};
 
 /// The calling/usage convention compiled test methods follow.
 ///
@@ -30,7 +31,7 @@ pub struct Convention {
 impl Convention {
     /// The convention for an ISA.
     pub fn for_isa(isa: Isa) -> Convention {
-        Convention {
+        let mut c = Convention {
             receiver: Reg(0),
             arg0: Reg(1),
             arg1: Reg(2),
@@ -39,20 +40,34 @@ impl Convention {
             scratch2: Reg(5),
             fp: isa.fp(),
             sp: isa.sp(),
+        };
+        if armed(mutops::ARG1_ALIASES_ARG0) {
+            c.arg1 = c.arg0;
         }
+        if armed(mutops::SCRATCH_ALIASES_RECEIVER) {
+            c.scratch = c.receiver;
+        }
+        if armed(mutops::FP_ALIASES_POOL_REG) {
+            c.fp = Reg(5);
+        }
+        c
     }
 
     /// Registers the linear-scan allocator may hand out on this ISA
     /// (disjoint from the fixed-role registers above).
     pub fn allocatable(isa: Isa) -> Vec<Reg> {
-        match isa {
+        let mut pool = match isa {
             // x86ish has no free registers beyond the fixed roles; the
             // allocator reuses the scratch pair.
             Isa::X86ish => vec![Reg(4), Reg(5)],
             Isa::Arm32ish => {
                 vec![Reg(4), Reg(5), Reg(6), Reg(7), Reg(8), Reg(9), Reg(10), Reg(12)]
             }
+        };
+        if armed(mutops::ALLOCATABLE_INCLUDES_RECEIVER) {
+            pool.insert(0, Reg(0));
         }
+        pool
     }
 
     /// The argument register for argument index `i` (0-based).

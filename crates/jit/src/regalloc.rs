@@ -11,6 +11,7 @@
 use std::collections::HashMap;
 
 use igjit_machine::{Isa, Reg};
+use igjit_mutate::{armed, ops as mutops};
 
 use crate::convention::Convention;
 use crate::ir::{Ir, VReg};
@@ -54,7 +55,11 @@ pub fn allocate(ir: Vec<Ir>, isa: Isa, ntemps: u32) -> Result<Vec<Ir>, CompileEr
     // Reserve the last pool register as the spill temp.
     let spill_temp = pool.pop().ok_or(CompileError::Backend("no registers".into()))?;
     // A second transient temp for ops with two spilled uses.
-    let spill_temp2 = Convention::for_isa(isa).arg2;
+    let spill_temp2 = if armed(mutops::SPILL_TEMP_ALIASES_ARG0) {
+        Convention::for_isa(isa).arg0
+    } else {
+        Convention::for_isa(isa).arg2
+    };
 
     let mut assignment: HashMap<VReg, Loc> = HashMap::new();
     let mut active: Vec<(usize, VReg, Reg)> = Vec::new(); // (end, vreg, reg)
@@ -70,8 +75,9 @@ pub fn allocate(ir: Vec<Ir>, isa: Isa, ntemps: u32) -> Result<Vec<Ir>, CompileEr
     };
 
     for (vreg, (start, end)) in order {
+        let expire_early = armed(mutops::EXPIRE_ACTIVE_EARLY);
         active.retain(|&(aend, _, reg)| {
-            if aend < start {
+            if aend < start || (expire_early && aend == start) {
                 free.push(reg);
                 false
             } else {
@@ -86,7 +92,7 @@ pub fn allocate(ir: Vec<Ir>, isa: Isa, ntemps: u32) -> Result<Vec<Ir>, CompileEr
             .enumerate()
             .max_by_key(|(_, &(aend, _, _))| aend)
             .map(|(i, _)| i)
-            .filter(|&i| active[i].0 > end)
+            .filter(|&i| armed(mutops::DROP_VICTIM_END_FILTER) || active[i].0 > end)
         {
             // Steal the register from the interval that ends last.
             let (_, victim, reg) = active.remove(victim_idx);
@@ -101,7 +107,10 @@ pub fn allocate(ir: Vec<Ir>, isa: Isa, ntemps: u32) -> Result<Vec<Ir>, CompileEr
     }
 
     let fp = VReg::phys(Convention::for_isa(isa).fp);
-    let slot_off = |slot: u32| -> i16 { -(4 * (ntemps + slot + 1) as i32) as i16 };
+    let stride: u32 = if armed(mutops::SPILL_STRIDE_WIDENED) { 8 } else { 4 };
+    let bias: u32 = if armed(mutops::SPILL_SLOT_OFF_BY_ONE) { 0 } else { 1 };
+    let slot_off =
+        move |slot: u32| -> i16 { -((stride * (ntemps + slot + bias)) as i32) as i16 };
 
     // Rewrite pass.
     let mut out: Vec<Ir> = Vec::with_capacity(ir.len() * 2);
@@ -125,7 +134,9 @@ pub fn allocate(ir: Vec<Ir>, isa: Isa, ntemps: u32) -> Result<Vec<Ir>, CompileEr
                 }
                 let t = temps[next_temp];
                 next_temp += 1;
-                out.push(Ir::Load { dst: t, base: fp, off: slot_off(*slot) });
+                if !armed(mutops::DROP_SPILL_RELOAD) {
+                    out.push(Ir::Load { dst: t, base: fp, off: slot_off(*slot) });
+                }
                 temp_map.insert(*u, t);
             }
         }
@@ -156,7 +167,9 @@ pub fn allocate(ir: Vec<Ir>, isa: Isa, ntemps: u32) -> Result<Vec<Ir>, CompileEr
         };
         out.push(rewrite_op(op, &rewrite));
         if let Some((t, slot)) = def_store {
-            out.push(Ir::Store { src: t, base: fp, off: slot_off(slot) });
+            if !armed(mutops::DROP_SPILL_DEF_STORE) {
+                out.push(Ir::Store { src: t, base: fp, off: slot_off(slot) });
+            }
         }
     }
     Ok(out)

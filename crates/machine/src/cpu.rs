@@ -378,14 +378,28 @@ impl<'m> Machine<'m> {
                         return MachineOutcome::Send { selector_id: payload };
                     }
                     TrampolineKind::AllocFloat => {
+                        let r = Reg(payload as u8);
+                        if r.0 >= self.isa.reg_count() {
+                            // The trampoline's reflective register
+                            // setter does not exist — a simulation
+                            // error, not a crash.
+                            return MachineOutcome::SimulationError {
+                                register: format!("r{}", r.0),
+                            };
+                        }
                         let v = self.fregs[0];
                         match self.mem.instantiate_float(v) {
-                            Ok(oop) => self.set_reg(Reg(payload as u8), oop.0),
+                            Ok(oop) => self.set_reg(r, oop.0),
                             Err(_) => return MachineOutcome::MemoryFault { addr: 0 },
                         }
                     }
                     TrampolineKind::AllocObject => {
                         let r = Reg((payload & 0xff) as u8);
+                        if r.0 >= self.isa.reg_count() {
+                            return MachineOutcome::SimulationError {
+                                register: format!("r{}", r.0),
+                            };
+                        }
                         let class = ClassIndex((payload >> 8) & 0xfff);
                         let format = ObjectFormat::from_bits((payload >> 20) & 0xf)
                             .unwrap_or(ObjectFormat::Indexable);

@@ -249,9 +249,50 @@ fn encode_arm(instr: MInstr, out: &mut Vec<u8>) -> Result<(), EncodeError> {
 /// Decodes the instruction at `pc`; `None` on bad opcodes or
 /// truncation.
 pub fn decode_instr(code: &[u8], pc: usize, isa: Isa) -> Option<(MInstr, usize)> {
-    match isa {
+    let decoded = match isa {
         Isa::X86ish => decode_x86(code, pc),
         Isa::Arm32ish => decode_arm(code, pc),
+    }?;
+    // A register byte beyond the ISA's file means the byte stream is
+    // not a valid instruction (e.g. a misdirected jump landing
+    // mid-instruction); report it as undecodable rather than letting
+    // the executor index a register that does not exist.
+    if instr_regs_valid(&decoded.0, isa) {
+        Some(decoded)
+    } else {
+        None
+    }
+}
+
+/// Whether every register operand of `instr` exists on `isa`
+/// (general-purpose registers against the ISA's file, float registers
+/// against the fixed four).
+fn instr_regs_valid(instr: &MInstr, isa: Isa) -> bool {
+    let r = |reg: Reg| reg.0 < isa.reg_count();
+    let f = |freg: FReg| freg.0 < 4;
+    match *instr {
+        MInstr::MovImm { dst, .. } => r(dst),
+        MInstr::MovReg { dst, src } => r(dst) && r(src),
+        MInstr::Load { dst, base, .. } => r(dst) && r(base),
+        MInstr::Store { src, base, .. } => r(src) && r(base),
+        MInstr::Push { src } => r(src),
+        MInstr::PopR { dst } => r(dst),
+        MInstr::AluReg { dst, a, b, .. } => r(dst) && r(a) && r(b),
+        MInstr::AluImm { dst, a, .. } => r(dst) && r(a),
+        MInstr::Cmp { a, b } => r(a) && r(b),
+        MInstr::CmpImm { a, .. } => r(a),
+        MInstr::FLoad { fd, base, .. } => f(fd) && r(base),
+        MInstr::FAlu { fd, fa, fb, .. } => f(fd) && f(fa) && f(fb),
+        MInstr::FCmp { fa, fb } => f(fa) && f(fb),
+        MInstr::FToIntChecked { dst, fs } => r(dst) && f(fs),
+        MInstr::FExponent { dst, fs } => r(dst) && f(fs),
+        MInstr::IntToF { fd, src } => f(fd) && r(src),
+        MInstr::Jmp { .. }
+        | MInstr::JmpCc { .. }
+        | MInstr::CallTramp { .. }
+        | MInstr::Ret
+        | MInstr::Brk { .. }
+        | MInstr::Nop => true,
     }
 }
 
@@ -456,5 +497,26 @@ mod tests {
         assert!(decode_instr(&[0xFF, 0, 0, 0, 0, 0, 0, 0], 0, Isa::X86ish).is_none());
         assert!(decode_instr(&[0xFF, 0, 0, 0, 0, 0, 0, 0], 0, Isa::Arm32ish).is_none());
         assert!(decode_instr(&[OPC_MOV_IMM, 0], 0, Isa::X86ish).is_none(), "truncated");
+    }
+
+    #[test]
+    fn out_of_range_register_bytes_fail_to_decode() {
+        // A misdirected jump (e.g. an off-by-one displacement) can land
+        // the pc on arbitrary bytes whose register fields exceed the
+        // ISA's file. The decoder must refuse them — a DecodeFault is a
+        // classifiable verdict, a panic in `Machine::reg` is not.
+        assert!(decode_instr(&[OPC_PUSH, 8], 0, Isa::X86ish).is_none(), "r8 on 8-reg isa");
+        assert!(decode_instr(&[OPC_MOV_REG, 0, 9], 0, Isa::X86ish).is_none(), "bad src");
+        assert!(
+            decode_instr(&[OPC_PUSH, 16, 0, 0, 0, 0, 0, 0], 0, Isa::Arm32ish).is_none(),
+            "r16 on 16-reg isa"
+        );
+        assert!(
+            decode_instr(&[OPC_FLOAD, 4, 0, 0, 0, 0, 0, 0], 0, Isa::Arm32ish).is_none(),
+            "f4 exceeds the 4-entry float file"
+        );
+        // The same bytes with in-range registers stay decodable.
+        assert!(decode_instr(&[OPC_PUSH, 7], 0, Isa::X86ish).is_some());
+        assert!(decode_instr(&[OPC_PUSH, 15, 0, 0, 0, 0, 0, 0], 0, Isa::Arm32ish).is_some());
     }
 }

@@ -29,7 +29,7 @@ fn arb_constraint() -> impl Strategy<Value = Constraint> {
         Just(CmpOp::Ne),
     ];
     let lin = (var.clone(), -50i64..50, -50i64..50)
-        .prop_map(|(v, c, k)| LinExpr::scaled_var(k.signum().max(-1).min(1).max(-1), v).offset(c));
+        .prop_map(|(v, c, k)| LinExpr::scaled_var(k.signum(), v).offset(c));
     let lin2 = (var.clone(), var.clone(), -50i64..50).prop_map(|(a, b, c)| {
         LinExpr::var(a).plus(&LinExpr::var(b)).offset(c)
     });
