@@ -7,18 +7,27 @@
 # the generated-test count means a behaviour change slipped into a
 # perf-motivated PR — exactly what this check exists to catch.
 #
-# Beyond the row totals, the check enforces three perf invariants on
-# the recent records:
+# The CI workflow appends three 1-thread records — all knobs on, heap
+# snapshots off, predecode off — each tagged with its `knobs`. Records
+# written before the knobs tag existed are ignored whenever tagged ones
+# are present (their classification by side-effect counters was
+# ambiguous). Beyond the row totals, the check enforces the perf
+# invariants of the engine:
 #
-#   * snapshot on/off identity — when both a heap-snapshot-on and a
-#     heap-snapshot-off record are present (the CI workflow produces
-#     one of each), both must match the expected rows, proving the
-#     replay path changes nothing observable;
+#   * knob identity — every record in the window, whatever its knobs,
+#     must match the expected rows: neither heap snapshots nor
+#     predecoded fetch may change anything observable;
 #   * materialize speedup — the snapshot-on materialize stage must be
 #     at least 2x faster than the snapshot-off one;
 #   * honest stage accounting — at 1 thread, the per-stage sum
 #     (including the `other` bucket) must land within 10% of the
-#     measured wall clock.
+#     measured wall clock;
+#   * sub-stage layout — the stage buckets must be exactly the
+#     expected set (a silently added or dropped bucket breaks every
+#     downstream consumer of the metrics);
+#   * residual budget — with every engine knob on, the unattributed
+#     `other` bucket must stay within 15% of wall clock (engine v5's
+#     sub-stage attribution contract).
 #
 # Usage: ci/perf_smoke_check.sh [BENCH_table2.json] [testgen-output.txt]
 set -euo pipefail
@@ -44,23 +53,37 @@ with open(expect_path) as f:
     expect = json.load(f)
 
 # BENCH_table2.json is JSON Lines; the trailing records are this CI
-# run (snapshot-on first, snapshot-off second when both were run).
+# run. Classify by the record's `knobs` tag; fall back to the snapshot
+# side-effect counters only for windows of purely legacy records.
 with open(bench_path) as f:
     records = [json.loads(line) for line in f if line.strip()]
 if not records:
     sys.exit(f"perf-smoke: {bench_path} holds no records")
 
+window = records[-6:]
+tagged = [rec for rec in window if "knobs" in rec]
+if tagged:
+    window = tagged
 
-def snapshot_on(rec):
-    return rec["metrics"].get("snapshot", {}).get("seals", 0) > 0
+    def classify(rec):
+        k = rec["knobs"]
+        if not k.get("heap_snapshot", True):
+            return "snapshot-off"
+        if not k.get("predecode", True):
+            return "predecode-off"
+        return "all-on"
+else:
 
+    def classify(rec):
+        seals = rec["metrics"].get("snapshot", {}).get("seals", 0)
+        return "all-on" if seals > 0 else "snapshot-off"
 
-rec_on = rec_off = None
-for rec in records[-4:]:
-    if snapshot_on(rec):
-        rec_on = rec
-    else:
-        rec_off = rec
+by_kind = {}
+for rec in window:
+    by_kind[classify(rec)] = rec  # later records win
+rec_on = by_kind.get("all-on")
+rec_off = by_kind.get("snapshot-off")
+rec_pre_off = by_kind.get("predecode-off")
 
 with open(testgen_path) as f:
     testgen = f.read()
@@ -70,7 +93,12 @@ if not m:
 generated = int(m.group(1))
 
 drifted = []
-for label, rec in (("snapshot-on", rec_on), ("snapshot-off", rec_off)):
+labelled = [
+    ("all-on", rec_on),
+    ("snapshot-off", rec_off),
+    ("predecode-off", rec_pre_off),
+]
+for label, rec in labelled:
     if rec is None:
         continue
     for key in ("tested_instructions", "interpreter_paths", "curated_paths", "differences"):
@@ -78,7 +106,7 @@ for label, rec in (("snapshot-on", rec_on), ("snapshot-off", rec_off)):
             drifted.append(
                 f"{key} ({label}): expected {expect[key]}, got {rec['table2'][key]}"
             )
-if rec_on is None and rec_off is None:
+if all(rec is None for _, rec in labelled):
     sys.exit("perf-smoke: no usable records")
 if generated != expect["generated_tests"]:
     drifted.append(f"generated_tests: expected {expect['generated_tests']}, got {generated}")
@@ -89,6 +117,19 @@ if drifted:
         print(f"  {line}")
     print("If the drift is intentional, update ci/perf_expectations.json in the same PR.")
     sys.exit(1)
+
+# Sub-stage layout: the stage buckets are part of the metrics contract.
+layout = expect.get("stage_layout")
+if layout:
+    for label, rec in labelled:
+        if rec is None:
+            continue
+        got = sorted(k for k in rec["metrics"]["stages_ms"] if k != "total")
+        if got != sorted(layout):
+            sys.exit(
+                f"perf-smoke: stage layout drifted ({label}): "
+                f"expected {sorted(layout)}, got {got}"
+            )
 
 # Materialize-stage speedup: the snapshot replay path must cut the
 # stage at least 2x relative to rebuild-per-run.
@@ -107,7 +148,7 @@ else:
 
 # Honest stage accounting: at 1 thread the stage sum (with the
 # `other` bucket) must track the wall clock within 10%.
-for label, rec in (("snapshot-on", rec_on), ("snapshot-off", rec_off)):
+for label, rec in labelled:
     if rec is None or rec["metrics"].get("threads") != 1:
         continue
     stages = rec["metrics"]["stages_ms"]
@@ -119,7 +160,19 @@ for label, rec in (("snapshot-on", rec_on), ("snapshot-off", rec_off)):
             f"{total:.1f} ms vs wall {wall:.1f} ms (>10% apart)"
         )
 
-rec = rec_on or rec_off
+# Residual budget: with every engine knob on at 1 thread, the
+# unattributed `other` bucket stays within 15% of wall clock.
+if rec_on is not None and rec_on["metrics"].get("threads") == 1:
+    other = rec_on["metrics"]["stages_ms"].get("other", 0.0)
+    wall = rec_on["metrics"]["wall_clock_ms"]
+    if wall > 0 and other > 0.15 * wall:
+        sys.exit(
+            "perf-smoke: residual `other` bucket exceeds its budget: "
+            f"{other:.1f} ms of {wall:.1f} ms wall "
+            f"({100 * other / wall:.1f}%, expected <= 15%)"
+        )
+
+rec = rec_on or rec_off or rec_pre_off
 metrics = rec["metrics"]
 stages = metrics["stages_ms"]
 speedup = f", materialize speedup {ratio:.2f}x" if ratio is not None else ""

@@ -99,7 +99,7 @@ fn bench_jit(c: &mut Criterion) {
             bch.iter(|| {
                 let mut mem = ObjectMemory::new();
                 let conv = Convention::for_isa(isa);
-                let mut m = Machine::new(&mut mem, isa, compiled.code.clone());
+                let mut m = Machine::new(&mut mem, isa, &compiled.code);
                 m.set_reg(conv.receiver, Oop::from_small_int(0).0);
                 m.run(MachineConfig::default())
             })

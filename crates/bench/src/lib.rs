@@ -42,6 +42,13 @@ pub fn heap_snapshot_enabled() -> bool {
     env_knobs().heap_snapshot_enabled()
 }
 
+/// Whether predecoded batched replay is enabled: the `IGJIT_PREDECODE`
+/// environment variable (off, every step byte-decodes and every run
+/// reallocates the simulator), default on. Malformed values are fatal.
+pub fn predecode_enabled() -> bool {
+    env_knobs().predecode_enabled()
+}
+
 /// Arms the mutation operator named by `IGJIT_MUTANT`, if any,
 /// returning the guard that keeps it armed. Harness binaries call this
 /// first thing in `main` and hold the guard for the process lifetime,
@@ -64,7 +71,8 @@ pub fn arm_mutant_from_env() -> Option<igjit::MutantGuard> {
 /// The evaluation configuration used by every harness binary: both
 /// ISAs, probing enabled (the paper's §5.1 setup), worker threads from
 /// [`campaign_threads`], code cache from [`code_cache_enabled`], heap
-/// snapshots from [`heap_snapshot_enabled`].
+/// snapshots from [`heap_snapshot_enabled`], predecoded replay from
+/// [`predecode_enabled`].
 pub fn paper_campaign() -> Campaign {
     Campaign::new(CampaignConfig {
         isas: vec![Isa::X86ish, Isa::Arm32ish],
@@ -72,6 +80,7 @@ pub fn paper_campaign() -> Campaign {
         threads: campaign_threads(),
         code_cache: code_cache_enabled(),
         heap_snapshot: heap_snapshot_enabled(),
+        predecode: predecode_enabled(),
     })
 }
 
@@ -101,10 +110,12 @@ pub fn write_metrics_json(path: &str, reports: &[CampaignReport]) {
 }
 
 /// Appends one machine-readable benchmark record (JSON Lines) to
-/// `path`: timestamp, thread count, wall clock, per-stage sums and
-/// maxima, both cache hit rates and the aggregated Table 2 totals.
-/// Appending keeps the history of runs, so throughput drifts show up
-/// as a time series rather than overwriting the evidence.
+/// `path`: timestamp, the knob configuration it ran under, thread
+/// count, wall clock, per-stage sums and maxima, both cache hit rates
+/// and the aggregated Table 2 totals. Appending keeps the history of
+/// runs, so throughput drifts show up as a time series rather than
+/// overwriting the evidence; the `knobs` object lets checkers classify
+/// records without inferring the configuration from stage values.
 pub fn append_bench_json(path: &str, reports: &[CampaignReport]) {
     let total = aggregate_metrics(reports);
     let mut row = igjit::CampaignRow::default();
@@ -118,13 +129,19 @@ pub fn append_bench_json(path: &str, reports: &[CampaignReport]) {
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
+    let knobs = env_knobs();
     let record = format!(
         concat!(
-            "{{\"epoch_s\":{},\"metrics\":{},",
+            "{{\"epoch_s\":{},",
+            "\"knobs\":{{\"code_cache\":{},\"heap_snapshot\":{},\"predecode\":{}}},",
+            "\"metrics\":{},",
             "\"table2\":{{\"tested_instructions\":{},\"interpreter_paths\":{},",
             "\"curated_paths\":{},\"differences\":{}}}}}\n"
         ),
         epoch,
+        knobs.code_cache_enabled(),
+        knobs.heap_snapshot_enabled(),
+        knobs.predecode_enabled(),
         total.to_json(),
         row.tested_instructions,
         row.interpreter_paths,
@@ -155,6 +172,15 @@ pub fn print_metrics_summary(total: &Metrics) {
         total.stages.compile.as_secs_f64(),
         total.stages.simulate.as_secs_f64(),
         total.stages.compare.as_secs_f64(),
+    );
+    println!(
+        "sub-stages: setup {:.3}s, decode {:.3}s, hash {:.3}s, report {:.3}s, \
+         residual other {:.3}s",
+        total.stages.setup.as_secs_f64(),
+        total.stages.decode.as_secs_f64(),
+        total.stages.hash.as_secs_f64(),
+        total.stages.report.as_secs_f64(),
+        total.stages.other.as_secs_f64(),
     );
     println!(
         "exploration cache: {} hits / {} misses ({:.1}% hit rate){}",

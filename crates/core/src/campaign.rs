@@ -61,6 +61,12 @@ pub struct CampaignConfig {
     /// from the model (the engine-v3 behaviour). Outcomes are
     /// identical either way.
     pub heap_snapshot: bool,
+    /// Whether compiled artifacts are predecoded once per code-cache
+    /// entry and replayed through a persistent simulator session
+    /// (engine v5). Off, every step byte-decodes and every run
+    /// reallocates the simulator (the engine-v4 behaviour). Outcomes
+    /// are identical either way.
+    pub predecode: bool,
 }
 
 impl Default for CampaignConfig {
@@ -71,6 +77,7 @@ impl Default for CampaignConfig {
             threads: default_threads(),
             code_cache: true,
             heap_snapshot: true,
+            predecode: true,
         }
     }
 }
@@ -186,13 +193,18 @@ impl Metrics {
                 concat!(
                     "{{\"explore\":{:.3},\"materialize\":{:.3},",
                     "\"compile\":{:.3},\"simulate\":{:.3},\"compare\":{:.3},",
-                    "\"other\":{:.3},\"total\":{:.3}}}"
+                    "\"setup\":{:.3},\"decode\":{:.3},\"hash\":{:.3},",
+                    "\"report\":{:.3},\"other\":{:.3},\"total\":{:.3}}}"
                 ),
                 ms(s.explore),
                 ms(s.materialize),
                 ms(s.compile),
                 ms(s.simulate),
                 ms(s.compare),
+                ms(s.setup),
+                ms(s.decode),
+                ms(s.hash),
+                ms(s.report),
                 ms(s.other),
                 ms(s.total()),
             )
@@ -361,6 +373,7 @@ impl Campaign {
             threads: 1,
             code_cache: true,
             heap_snapshot: true,
+            predecode: true,
         })
     }
 
@@ -421,6 +434,7 @@ impl Campaign {
             lookup.explore_time,
             &self.code_cache,
             self.config.heap_snapshot,
+            self.config.predecode,
         );
         // Exploration solver work is charged once, to the run that
         // actually explored; a cache hit did no exploration solving.
@@ -688,6 +702,7 @@ mod tests {
             threads: 2,
             code_cache: true,
             heap_snapshot: true,
+            predecode: true,
         })
         .on_progress(move |p| {
             seen2.fetch_add(1, Ordering::Relaxed);
@@ -709,6 +724,7 @@ mod tests {
                 threads,
                 code_cache: true,
                 heap_snapshot: true,
+                predecode: true,
             })
             .run_native_methods()
         };

@@ -13,8 +13,13 @@ use std::ffi::OsString;
 use igjit_mutate::MutantId;
 
 /// Every environment knob the harness understands.
-pub const KNOWN_VARS: &[&str] =
-    &["IGJIT_THREADS", "IGJIT_CODE_CACHE", "IGJIT_HEAP_SNAPSHOT", "IGJIT_MUTANT"];
+pub const KNOWN_VARS: &[&str] = &[
+    "IGJIT_THREADS",
+    "IGJIT_CODE_CACHE",
+    "IGJIT_HEAP_SNAPSHOT",
+    "IGJIT_PREDECODE",
+    "IGJIT_MUTANT",
+];
 
 /// Parsed knob values. `None` means the variable was not set; the
 /// `*_enabled`/`*_or_default` accessors apply the documented defaults.
@@ -27,6 +32,10 @@ pub struct EnvKnobs {
     /// `IGJIT_HEAP_SNAPSHOT`: whether materialized heaps are sealed
     /// once and replayed by copy-on-write restore.
     pub heap_snapshot: Option<bool>,
+    /// `IGJIT_PREDECODE`: whether compiled artifacts are predecoded
+    /// once per code-cache entry and replayed through a persistent
+    /// simulator session.
+    pub predecode: Option<bool>,
     /// `IGJIT_MUTANT`: a mutation operator to arm for the whole
     /// process (id or kebab-case name from the `igjit-mutate` catalog).
     pub mutant: Option<MutantId>,
@@ -46,6 +55,11 @@ impl EnvKnobs {
     /// Heap snapshots: the knob, default on.
     pub fn heap_snapshot_enabled(&self) -> bool {
         self.heap_snapshot.unwrap_or(true)
+    }
+
+    /// Predecoded replay: the knob, default on.
+    pub fn predecode_enabled(&self) -> bool {
+        self.predecode.unwrap_or(true)
     }
 }
 
@@ -91,6 +105,9 @@ pub fn parse_vars(
             "IGJIT_HEAP_SNAPSHOT" => {
                 knobs.heap_snapshot = Some(parse_bool("IGJIT_HEAP_SNAPSHOT", value)?)
             }
+            "IGJIT_PREDECODE" => {
+                knobs.predecode = Some(parse_bool("IGJIT_PREDECODE", value)?)
+            }
             "IGJIT_MUTANT" => {
                 knobs.mutant =
                     Some(igjit_mutate::parse(value).map_err(|e| format!("IGJIT_MUTANT: {e}"))?)
@@ -127,6 +144,7 @@ mod tests {
         assert_eq!(k, EnvKnobs::default());
         assert!(k.code_cache_enabled());
         assert!(k.heap_snapshot_enabled());
+        assert!(k.predecode_enabled());
         assert!(k.threads_or_default() >= 1);
         assert!(k.mutant.is_none());
     }
@@ -137,12 +155,15 @@ mod tests {
             ("IGJIT_THREADS", "3"),
             ("IGJIT_CODE_CACHE", "off"),
             ("IGJIT_HEAP_SNAPSHOT", "1"),
+            ("IGJIT_PREDECODE", "no"),
             ("IGJIT_MUTANT", "flip-compare-cond"),
         ]))
         .unwrap();
         assert_eq!(k.threads, Some(3));
         assert_eq!(k.code_cache, Some(false));
         assert_eq!(k.heap_snapshot, Some(true));
+        assert_eq!(k.predecode, Some(false));
+        assert!(!k.predecode_enabled());
         assert_eq!(k.mutant, Some(igjit_mutate::ops::FLIP_COMPARE_COND));
     }
 
@@ -160,6 +181,7 @@ mod tests {
         assert!(parse_vars(vars(&[("IGJIT_THREADS", "")])).is_err());
         assert!(parse_vars(vars(&[("IGJIT_CODE_CACHE", "maybe")])).is_err());
         assert!(parse_vars(vars(&[("IGJIT_HEAP_SNAPSHOT", "2")])).is_err());
+        assert!(parse_vars(vars(&[("IGJIT_PREDECODE", "sometimes")])).is_err());
         assert!(parse_vars(vars(&[("IGJIT_MUTANT", "no-such-operator")])).is_err());
         assert!(parse_vars(vars(&[("IGJIT_MUTANT", "0")])).is_err());
     }

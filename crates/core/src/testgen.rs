@@ -139,7 +139,7 @@ impl GeneratedSuite {
         let label = match instr {
             InstrUnderTest::Bytecode(i) => format!("bc_{i:?}"),
             InstrUnderTest::Native(id) => igjit_interp::native_spec(id)
-                .map(|s| s.name)
+                .map(|s| s.name.clone())
                 .unwrap_or_else(|| format!("prim{}", id.0)),
         };
         let tier = match target {

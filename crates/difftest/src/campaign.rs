@@ -14,7 +14,7 @@ use igjit_solver::{Model, SessionStats, VarId};
 
 use crate::classify::{classify, CauseKey};
 use crate::compare::{compare_runs, Difference, Verdict};
-use crate::compiled::run_compiled_for_instr_timed;
+use crate::compiled::{run_compiled_for_instr_timed, RunCtx};
 use crate::oracle::{concrete_frame, run_oracle, run_oracle_on, EngineExit};
 use igjit_concolic::probe_models_with_stats;
 
@@ -194,12 +194,24 @@ impl CampaignRow {
 /// - `materialize`: model-to-heap materialization *and* the concrete
 ///   interpreter oracle run it feeds (they share one traversal).
 /// - `compile`: JIT front-end + back-end time for the target tier.
-/// - `simulate`: machine-simulator execution of the compiled code.
+/// - `simulate`: machine-simulator execution of the compiled code
+///   (the run loop only — construction and exit extraction are
+///   attributed to `setup`/`report`).
 /// - `compare`: behavioural comparison and defect classification.
-/// - `other`: everything the named stages don't cover — curation
-///   bookkeeping, verdict assembly, report plumbing. Attributed by the
-///   driver as elapsed-minus-stages so the stage sum accounts for the
-///   whole wall clock instead of silently dropping driver overhead.
+///
+/// Engine v5 split the formerly-opaque `other` bucket into named
+/// sub-buckets so residual overhead is measured, not asserted:
+/// - `setup`: simulator construction per run — session reset (dirty
+///   stack extent + registers) and convention-register seeding.
+/// - `decode`: one-time predecoding of cached artifacts (zero when
+///   predecode is off or the artifact's view already exists).
+/// - `hash`: compile-key construction and cache lookup (the cache's
+///   hot path), minus any compile time spent inside a miss.
+/// - `report`: engine-exit extraction and verdict/outcome assembly.
+/// - `other`: the residual — whatever the named stages still don't
+///   cover. Attributed by the driver as elapsed-minus-stages so the
+///   stage sum accounts for the whole wall clock instead of silently
+///   dropping driver overhead.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StageTimes {
     /// Concolic exploration + probe-model solving.
@@ -213,6 +225,14 @@ pub struct StageTimes {
     pub simulate: Duration,
     /// Comparison + classification.
     pub compare: Duration,
+    /// Machine construction + register/frame seeding per run.
+    pub setup: Duration,
+    /// One-time predecode of cached artifacts.
+    pub decode: Duration,
+    /// Compile-key construction + cache lookup.
+    pub hash: Duration,
+    /// Engine-exit extraction + verdict assembly.
+    pub report: Duration,
     /// Driver overhead outside the named stages.
     pub other: Duration,
 }
@@ -220,7 +240,16 @@ pub struct StageTimes {
 impl StageTimes {
     /// Sum over all stages.
     pub fn total(&self) -> Duration {
-        self.explore + self.materialize + self.compile + self.simulate + self.compare + self.other
+        self.explore
+            + self.materialize
+            + self.compile
+            + self.simulate
+            + self.compare
+            + self.setup
+            + self.decode
+            + self.hash
+            + self.report
+            + self.other
     }
 
     /// Accumulates another sample into this one.
@@ -230,6 +259,10 @@ impl StageTimes {
         self.compile += other.compile;
         self.simulate += other.simulate;
         self.compare += other.compare;
+        self.setup += other.setup;
+        self.decode += other.decode;
+        self.hash += other.hash;
+        self.report += other.report;
         self.other += other.other;
     }
 
@@ -243,6 +276,10 @@ impl StageTimes {
         self.compile = self.compile.max(other.compile);
         self.simulate = self.simulate.max(other.simulate);
         self.compare = self.compare.max(other.compare);
+        self.setup = self.setup.max(other.setup);
+        self.decode = self.decode.max(other.decode);
+        self.hash = self.hash.max(other.hash);
+        self.report = self.report.max(other.report);
         self.other = self.other.max(other.other);
     }
 }
@@ -319,6 +356,7 @@ pub fn test_instruction(
         explore_time,
         &cache,
         true,
+        true,
     );
     outcome
 }
@@ -344,6 +382,15 @@ pub fn test_instruction(
 /// `ObjectMemory::new()` nor full object reconstruction happens more
 /// than twice per model. Off, the legacy rebuild-per-ISA path runs;
 /// both paths produce identical outcomes.
+///
+/// With `predecode` on, every compiled artifact carries a
+/// [`igjit_machine::PredecodedCode`] view built once per cache entry,
+/// and all models of all paths replay through one persistent
+/// [`igjit_machine::MachineSession`] — registers and the dirty stack
+/// extent are reset
+/// between runs instead of reallocating the simulator. Off, the
+/// byte-level decoder runs per step (the oracle path); both modes
+/// produce identical outcomes (`tests/predecode_identity.rs`).
 #[allow(clippy::too_many_arguments)]
 pub fn test_instruction_with(
     instr: InstrUnderTest,
@@ -354,25 +401,28 @@ pub fn test_instruction_with(
     explore_time: Duration,
     code_cache: &CodeCache,
     heap_snapshot: bool,
+    predecode: bool,
 ) -> (InstructionOutcome, StageTimes, SessionStats) {
     let mut times = StageTimes { explore: explore_time, ..StageTimes::default() };
     let mut solver = SessionStats::default();
-    let curated: Vec<_> = exploration.curated_paths().into_iter().cloned().collect();
+    let curated = exploration.curated_paths();
     let mut verdicts = Vec::new();
     let mut witness_errors = 0usize;
     let mut oracle_panics = 0usize;
     let mut snapshot_stats = SnapshotStats::default();
     let mut arena: Option<ReplayArena> = None;
+    let mut session = igjit_machine::MachineSession::new();
+    let mut ctx = RunCtx { cache: code_cache, predecode, session: &mut session };
 
     for (pi, path) in curated.iter().enumerate() {
         let t_probe = Instant::now();
-        let models = if !enable_probes {
-            vec![path.model.clone()]
+        let models: std::borrow::Cow<'_, [Model]> = if !enable_probes {
+            std::borrow::Cow::Borrowed(std::slice::from_ref(&path.model))
         } else if let Some(precomputed) = exploration.probe_models.get(pi) {
             // The exploration cache precomputed probing for every
             // curated path (same order as `curated`); its solver work
             // is already in `exploration.solver`.
-            precomputed.clone()
+            std::borrow::Cow::Borrowed(precomputed.as_slice())
         } else {
             let (models, probe_stats) = probe_models_with_stats(
                 &exploration.state,
@@ -380,7 +430,7 @@ pub fn test_instruction_with(
                 igjit_concolic::DEFAULT_MAX_PROBES,
             );
             solver.merge(&probe_stats);
-            models
+            std::borrow::Cow::Owned(models)
         };
         times.explore += t_probe.elapsed();
         let mut verdict: Verdict = Verdict::Agree;
@@ -531,7 +581,7 @@ pub fn test_instruction_with(
                             instr,
                             &input_frame,
                             &mut a.replay,
-                            code_cache,
+                            &mut ctx,
                             &mut times,
                         );
                         let t_cmp = Instant::now();
@@ -552,7 +602,7 @@ pub fn test_instruction_with(
                             instr,
                             &frame2,
                             &mut mem2,
-                            code_cache,
+                            &mut ctx,
                             &mut times,
                         );
                         let t_cmp = Instant::now();
@@ -588,6 +638,7 @@ pub fn test_instruction_with(
             }
         }
 
+        let t_report = Instant::now();
         verdicts.push(PathVerdict {
             instruction: instr,
             interp_exit: base_exit_label,
@@ -597,8 +648,10 @@ pub fn test_instruction_with(
             found_by_probe,
             isa: on_isa,
         });
+        times.report += t_report.elapsed();
     }
 
+    let t_report = Instant::now();
     let outcome = InstructionOutcome {
         instruction: instr,
         paths_found: exploration.paths.len(),
@@ -610,6 +663,7 @@ pub fn test_instruction_with(
         oracle_panics,
         snapshot: snapshot_stats,
     };
+    times.report += t_report.elapsed();
     (outcome, times, solver)
 }
 

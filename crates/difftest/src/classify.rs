@@ -114,7 +114,7 @@ pub fn classify(
     };
     let instruction = match instr {
         InstrUnderTest::Native(id) => {
-            igjit_interp::native_spec(id).map(|s| s.name).unwrap_or_else(|| format!("prim{}", id.0))
+            igjit_interp::native_spec(id).map(|s| s.name.clone()).unwrap_or_else(|| format!("prim{}", id.0))
         }
         InstrUnderTest::Bytecode(i) => format!("{:?}", i.family()),
     };

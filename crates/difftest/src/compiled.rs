@@ -1,16 +1,16 @@
 //! Running compiled code for one explored path.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use igjit_bytecode::SpecialSelector;
 use igjit_concolic::InstrUnderTest;
 use igjit_heap::{ObjectMemory, Oop};
 use igjit_interp::native_spec;
 use igjit_jit::{
-    compile_native_test, BytecodeTestInput, CodeCache, CompileError, CompileKey, CompilerKind,
+    compile_native_test, BytecodeTestInput, CodeCache, CompileError, CompileKeyRef, CompilerKind,
     Convention, NativeTestInput, MUST_BE_BOOLEAN_SELECTOR, SPILL_BYTES,
 };
-use igjit_machine::{Isa, Machine, MachineConfig, MachineOutcome};
+use igjit_machine::{Isa, Machine, MachineConfig, MachineOutcome, MachineSession};
 
 use crate::campaign::StageTimes;
 use crate::oracle::{EngineExit, SelectorId};
@@ -22,6 +22,24 @@ pub enum CompiledRun {
     Ran(EngineExit),
     /// The front-end refused (missing functionality / unsupported).
     Refused(CompileError),
+}
+
+/// Shared execution context for a batch of compiled runs: the artifact
+/// cache, the predecode switch and the persistent simulator session
+/// every run replays through (engine v5's batched-replay state).
+///
+/// The campaign creates one per `test_instruction_with` call; the
+/// session is *reset* — registers zeroed, dirty stack extent cleared —
+/// between runs instead of reallocating the 64 KiB stack per model.
+pub struct RunCtx<'c> {
+    /// Compiled-artifact cache, shared across instructions and worker
+    /// threads by the campaign driver.
+    pub cache: &'c CodeCache,
+    /// Step predecoded instructions (built once per cache entry)
+    /// instead of byte-decoding on every step.
+    pub predecode: bool,
+    /// The persistent machine session (registers + stack arena).
+    pub session: &'c mut MachineSession,
 }
 
 fn selector_of(id: u32) -> SelectorId {
@@ -64,17 +82,19 @@ pub fn run_compiled_sequence(
 ) -> (CompiledRun, ObjectMemory) {
     let mut scratch = StageTimes::default();
     let cache = CodeCache::disabled();
+    let mut session = MachineSession::new();
+    let mut ctx = RunCtx { cache: &cache, predecode: false, session: &mut session };
     let run = run_compiled_sequence_timed(
-        kind, isa, instrs, frame, &mut mem, send_arity_hint, &cache, &mut scratch,
+        kind, isa, instrs, frame, &mut mem, send_arity_hint, &mut ctx, &mut scratch,
     );
     (run, mem)
 }
 
-/// [`run_compiled_sequence`] with an artifact `cache` and with
-/// compile/simulate wall-clock split out into `times` for the
-/// campaign's observability layer. Mutates `mem` in place so the
-/// campaign can run on a sealed base image and roll it back between
-/// ISAs instead of rebuilding it.
+/// [`run_compiled_sequence`] with the campaign's execution context
+/// (artifact cache, predecode switch, persistent session) and with the
+/// per-stage wall clock split out into `times` for the observability
+/// layer. Mutates `mem` in place so the campaign can run on a sealed
+/// base image and roll it back between ISAs instead of rebuilding it.
 #[allow(clippy::too_many_arguments)]
 pub fn run_compiled_sequence_timed(
     kind: CompilerKind,
@@ -83,7 +103,7 @@ pub fn run_compiled_sequence_timed(
     frame: &igjit_interp::Frame<Oop>,
     mem: &mut ObjectMemory,
     send_arity_hint: usize,
-    cache: &CodeCache,
+    ctx: &mut RunCtx<'_>,
     times: &mut StageTimes,
 ) -> CompiledRun {
     let input = BytecodeTestInput {
@@ -97,80 +117,92 @@ pub fn run_compiled_sequence_timed(
     };
     // Everything the generated code depends on (§4.2: frame values are
     // embedded as constants; the receiver rides in a register and is
-    // deliberately absent).
-    let key = CompileKey::Bytecode {
+    // deliberately absent). The key borrows the frame's own slices —
+    // an owned key is only materialized inside the cache on a miss.
+    let t_hash = Instant::now();
+    let key = CompileKeyRef::Bytecode {
         kind,
         isa,
-        instrs: instrs.to_vec(),
-        stack: frame.stack.iter().map(|o| o.0).collect(),
-        temps: frame.temps.iter().map(|o| o.0).collect(),
-        literals: frame.method.literals.iter().map(|o| o.0).collect(),
+        instrs,
+        stack: &frame.stack,
+        temps: &frame.temps,
+        literals: &frame.method.literals,
         nil: mem.nil().0,
         true_obj: mem.true_object().0,
         false_obj: mem.false_object().0,
     };
-    let t_compile = Instant::now();
-    let compiled = cache
-        .get_or_compile(key, || igjit_jit::compile_bytecode_sequence_test(kind, instrs, &input, isa));
-    times.compile += t_compile.elapsed();
-    let compiled = match &*compiled {
-        Ok(c) => c.clone(),
+    let mut compile_time = Duration::ZERO;
+    let entry = ctx.cache.get_or_compile_ref(key, || {
+        let t0 = Instant::now();
+        let artifact = igjit_jit::compile_bytecode_sequence_test(kind, instrs, &input, isa);
+        compile_time = t0.elapsed();
+        artifact
+    });
+    times.hash += t_hash.elapsed().saturating_sub(compile_time);
+    times.compile += compile_time;
+    let compiled = match entry.artifact() {
+        Ok(c) => c,
         Err(e) => return CompiledRun::Refused(e.clone()),
     };
     let frame_bytes = 4 * compiled.ntemps + SPILL_BYTES;
     let conv = Convention::for_isa(isa);
     let ntemps = compiled.ntemps;
+    let predecoded =
+        if ctx.predecode { entry.predecoded_timed(&mut times.decode) } else { None };
+    let t_setup = Instant::now();
+    let mut m = match predecoded {
+        Some(pd) => Machine::with_predecoded(mem, pd, ctx.session),
+        None => Machine::with_session(mem, isa, &compiled.code, ctx.session),
+    };
+    m.set_reg(conv.receiver, frame.receiver.0);
+    times.setup += t_setup.elapsed();
     let t_sim = Instant::now();
-    let exit = {
-        let mut m = Machine::new(mem, isa, compiled.code);
-        m.set_reg(conv.receiver, frame.receiver.0);
-        let outcome = m.run(MachineConfig::default());
-        match outcome {
-            MachineOutcome::Breakpoint { code } if code == igjit_jit::stops::FALL_THROUGH => {
-                // Operand stack: words between SP and the frame base,
-                // top first; reverse to bottom-first.
-                let sp = m.reg(conv.sp);
-                let limit = m.initial_sp().wrapping_sub(frame_bytes);
-                let mut stack = Vec::new();
-                let mut a = sp;
-                while a < limit {
-                    match m.read_stack(a) {
-                        Ok(w) => stack.push(Oop(w)),
-                        Err(_) => break,
-                    }
-                    a += 4;
+    let outcome = m.run(MachineConfig::default());
+    times.simulate += t_sim.elapsed();
+    let t_report = Instant::now();
+    let exit = match outcome {
+        MachineOutcome::Breakpoint { code } if code == igjit_jit::stops::FALL_THROUGH => {
+            // Operand stack: words between SP and the frame base,
+            // top first; reverse to bottom-first.
+            let sp = m.reg(conv.sp);
+            let limit = m.initial_sp().wrapping_sub(frame_bytes);
+            let mut stack = Vec::new();
+            let mut a = sp;
+            while a < limit {
+                match m.read_stack(a) {
+                    Ok(w) => stack.push(Oop(w)),
+                    Err(_) => break,
                 }
-                stack.reverse();
-                // Temps from the frame slots.
-                let fp = m.reg(conv.fp);
-                let temps: Vec<Oop> = (0..ntemps)
-                    .map(|i| Oop(m.read_stack(fp.wrapping_sub(4 * (i + 1))).unwrap_or(0)))
-                    .collect();
-                EngineExit::Success { stack, temps, result: None }
+                a += 4;
             }
-            MachineOutcome::Breakpoint { .. } => EngineExit::JumpTaken,
-            MachineOutcome::ReturnedToCaller => {
-                EngineExit::Return { value: Oop(m.reg(conv.receiver)) }
-            }
-            MachineOutcome::Send { selector_id } => {
-                let selector = selector_of(selector_id);
-                let receiver = Oop(m.reg(conv.receiver));
-                let args: Vec<Oop> = (0..send_arity_hint.min(3))
-                    .map(|i| Oop(m.reg(conv.arg(i))))
-                    .collect();
-                EngineExit::Send { selector, receiver, args }
-            }
-            MachineOutcome::MemoryFault { .. } => EngineExit::InvalidMemory,
-            MachineOutcome::SimulationError { register } => {
-                EngineExit::SimulationError(register)
-            }
-            MachineOutcome::StepLimit => EngineExit::EngineError("machine step limit".into()),
-            MachineOutcome::DecodeFault { pc } => {
-                EngineExit::EngineError(format!("decode fault at 0x{pc:08x}"))
-            }
+            stack.reverse();
+            // Temps from the frame slots.
+            let fp = m.reg(conv.fp);
+            let temps: Vec<Oop> = (0..ntemps)
+                .map(|i| Oop(m.read_stack(fp.wrapping_sub(4 * (i + 1))).unwrap_or(0)))
+                .collect();
+            EngineExit::Success { stack, temps, result: None }
+        }
+        MachineOutcome::Breakpoint { .. } => EngineExit::JumpTaken,
+        MachineOutcome::ReturnedToCaller => {
+            EngineExit::Return { value: Oop(m.reg(conv.receiver)) }
+        }
+        MachineOutcome::Send { selector_id } => {
+            let selector = selector_of(selector_id);
+            let receiver = Oop(m.reg(conv.receiver));
+            let args: Vec<Oop> = (0..send_arity_hint.min(3))
+                .map(|i| Oop(m.reg(conv.arg(i))))
+                .collect();
+            EngineExit::Send { selector, receiver, args }
+        }
+        MachineOutcome::MemoryFault { .. } => EngineExit::InvalidMemory,
+        MachineOutcome::SimulationError { register } => EngineExit::SimulationError(register),
+        MachineOutcome::StepLimit => EngineExit::EngineError("machine step limit".into()),
+        MachineOutcome::DecodeFault { pc } => {
+            EngineExit::EngineError(format!("decode fault at 0x{pc:08x}"))
         }
     };
-    times.simulate += t_sim.elapsed();
+    times.report += t_report.elapsed();
     CompiledRun::Ran(exit)
 }
 
@@ -185,12 +217,15 @@ pub fn run_compiled_native(
 ) -> (CompiledRun, ObjectMemory) {
     let mut scratch = StageTimes::default();
     let cache = CodeCache::disabled();
-    let run = run_compiled_native_timed(isa, id, receiver, args, &mut mem, &cache, &mut scratch);
+    let mut session = MachineSession::new();
+    let mut ctx = RunCtx { cache: &cache, predecode: false, session: &mut session };
+    let run =
+        run_compiled_native_timed(isa, id, receiver, args, &mut mem, &mut ctx, &mut scratch);
     (run, mem)
 }
 
-/// [`run_compiled_native`] with an artifact `cache` and with
-/// compile/simulate wall-clock split out into `times`. Mutates `mem`
+/// [`run_compiled_native`] with the campaign's execution context and
+/// with the per-stage wall clock split out into `times`. Mutates `mem`
 /// in place (see [`run_compiled_sequence_timed`]).
 pub fn run_compiled_native_timed(
     isa: Isa,
@@ -198,7 +233,7 @@ pub fn run_compiled_native_timed(
     receiver: Oop,
     args: &[Oop],
     mem: &mut ObjectMemory,
-    cache: &CodeCache,
+    ctx: &mut RunCtx<'_>,
     times: &mut StageTimes,
 ) -> CompiledRun {
     let input = NativeTestInput {
@@ -208,58 +243,69 @@ pub fn run_compiled_native_timed(
     };
     // Native templates depend only on the method id, the ISA and the
     // special oops — receiver and arguments ride in registers.
-    let key = CompileKey::Native {
+    let t_hash = Instant::now();
+    let key = CompileKeyRef::Native {
         id: u32::from(id.0),
         isa,
         nil: mem.nil().0,
         true_obj: mem.true_object().0,
         false_obj: mem.false_object().0,
     };
-    let t_compile = Instant::now();
-    let compiled = cache.get_or_compile(key, || {
-        compile_native_test(
+    let mut compile_time = Duration::ZERO;
+    let entry = ctx.cache.get_or_compile_ref(key, || {
+        let t0 = Instant::now();
+        let artifact = compile_native_test(
             igjit_jit::native::igjit_bytecode_native_id::NativeMethodIdLike(id.0),
             input,
             isa,
-        )
+        );
+        compile_time = t0.elapsed();
+        artifact
     });
-    times.compile += t_compile.elapsed();
-    let compiled = match &*compiled {
-        Ok(c) => c.clone(),
+    times.hash += t_hash.elapsed().saturating_sub(compile_time);
+    times.compile += compile_time;
+    let compiled = match entry.artifact() {
+        Ok(c) => c,
         Err(e) => return CompiledRun::Refused(e.clone()),
     };
     let conv = Convention::for_isa(isa);
     let argc = native_spec(id).map(|s| s.argc as usize).unwrap_or(args.len());
+    let predecoded =
+        if ctx.predecode { entry.predecoded_timed(&mut times.decode) } else { None };
+    let t_setup = Instant::now();
+    let mut m = match predecoded {
+        Some(pd) => Machine::with_predecoded(mem, pd, ctx.session),
+        None => Machine::with_session(mem, isa, &compiled.code, ctx.session),
+    };
+    m.set_reg(conv.receiver, receiver.0);
+    for (i, a) in args.iter().take(argc.min(3)).enumerate() {
+        m.set_reg(conv.arg(i), a.0);
+    }
+    times.setup += t_setup.elapsed();
     let t_sim = Instant::now();
-    let exit = {
-        let mut m = Machine::new(mem, isa, compiled.code);
-        m.set_reg(conv.receiver, receiver.0);
-        for (i, a) in args.iter().take(argc.min(3)).enumerate() {
-            m.set_reg(conv.arg(i), a.0);
-        }
-        match m.run(MachineConfig::default()) {
-            MachineOutcome::ReturnedToCaller => EngineExit::Success {
-                stack: Vec::new(),
-                temps: Vec::new(),
-                result: Some(Oop(m.reg(conv.receiver))),
-            },
-            MachineOutcome::Breakpoint { .. } => EngineExit::Failure,
-            MachineOutcome::Send { selector_id } => EngineExit::Send {
-                selector: selector_of(selector_id),
-                receiver: Oop(m.reg(conv.receiver)),
-                args: Vec::new(),
-            },
-            MachineOutcome::MemoryFault { .. } => EngineExit::InvalidMemory,
-            MachineOutcome::SimulationError { register } => {
-                EngineExit::SimulationError(register)
-            }
-            MachineOutcome::StepLimit => EngineExit::EngineError("machine step limit".into()),
-            MachineOutcome::DecodeFault { pc } => {
-                EngineExit::EngineError(format!("decode fault at 0x{pc:08x}"))
-            }
+    let outcome = m.run(MachineConfig::default());
+    times.simulate += t_sim.elapsed();
+    let t_report = Instant::now();
+    let exit = match outcome {
+        MachineOutcome::ReturnedToCaller => EngineExit::Success {
+            stack: Vec::new(),
+            temps: Vec::new(),
+            result: Some(Oop(m.reg(conv.receiver))),
+        },
+        MachineOutcome::Breakpoint { .. } => EngineExit::Failure,
+        MachineOutcome::Send { selector_id } => EngineExit::Send {
+            selector: selector_of(selector_id),
+            receiver: Oop(m.reg(conv.receiver)),
+            args: Vec::new(),
+        },
+        MachineOutcome::MemoryFault { .. } => EngineExit::InvalidMemory,
+        MachineOutcome::SimulationError { register } => EngineExit::SimulationError(register),
+        MachineOutcome::StepLimit => EngineExit::EngineError("machine step limit".into()),
+        MachineOutcome::DecodeFault { pc } => {
+            EngineExit::EngineError(format!("decode fault at 0x{pc:08x}"))
         }
     };
-    times.simulate += t_sim.elapsed();
+    times.report += t_report.elapsed();
     CompiledRun::Ran(exit)
 }
 
@@ -273,21 +319,24 @@ pub fn run_compiled_for_instr(
 ) -> (CompiledRun, ObjectMemory) {
     let mut scratch = StageTimes::default();
     let cache = CodeCache::disabled();
-    let run =
-        run_compiled_for_instr_timed(target_kind, isa, instr, frame, &mut mem, &cache, &mut scratch);
+    let mut session = MachineSession::new();
+    let mut ctx = RunCtx { cache: &cache, predecode: false, session: &mut session };
+    let run = run_compiled_for_instr_timed(
+        target_kind, isa, instr, frame, &mut mem, &mut ctx, &mut scratch,
+    );
     (run, mem)
 }
 
-/// [`run_compiled_for_instr`] with an artifact `cache` and with
-/// compile/simulate wall-clock split out into `times`. Mutates `mem`
-/// in place (see [`run_compiled_sequence_timed`]).
+/// [`run_compiled_for_instr`] with the campaign's execution context
+/// and with the per-stage wall clock split out into `times`. Mutates
+/// `mem` in place (see [`run_compiled_sequence_timed`]).
 pub fn run_compiled_for_instr_timed(
     target_kind: Option<CompilerKind>,
     isa: Isa,
     instr: InstrUnderTest,
     frame: &igjit_interp::Frame<Oop>,
     mem: &mut ObjectMemory,
-    cache: &CodeCache,
+    ctx: &mut RunCtx<'_>,
     times: &mut StageTimes,
 ) -> CompiledRun {
     match instr {
@@ -300,14 +349,14 @@ pub fn run_compiled_for_instr_timed(
                 frame,
                 mem,
                 arity.saturating_sub(1),
-                cache,
+                ctx,
                 times,
             )
         }
         InstrUnderTest::Native(id) => {
             match crate::oracle::native_operands(frame, id) {
                 Some((receiver, args)) => {
-                    run_compiled_native_timed(isa, id, receiver, &args, mem, cache, times)
+                    run_compiled_native_timed(isa, id, receiver, &args, mem, ctx, times)
                 }
                 None => CompiledRun::Ran(EngineExit::InvalidFrame),
             }
@@ -375,5 +424,36 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn predecoded_run_matches_byte_decoded_run() {
+        // The same compiled artifact, replayed through one session with
+        // predecode off then on, must produce the identical exit.
+        let cache = CodeCache::new();
+        let mut session = MachineSession::new();
+        let mut frame = Frame::new(si(0), MethodInfo::empty());
+        frame.stack = vec![si(20), si(22)];
+        let mut exits = Vec::new();
+        for predecode in [false, true] {
+            let mut mem = ObjectMemory::new();
+            let mut times = StageTimes::default();
+            let mut ctx = RunCtx { cache: &cache, predecode, session: &mut session };
+            let run = run_compiled_sequence_timed(
+                CompilerKind::StackToRegister,
+                Isa::X86ish,
+                &[Instruction::Add],
+                &frame,
+                &mut mem,
+                1,
+                &mut ctx,
+                &mut times,
+            );
+            match run {
+                CompiledRun::Ran(exit) => exits.push(format!("{exit:?}")),
+                other => panic!("{other:?}"),
+            }
+        }
+        assert_eq!(exits[0], exits[1]);
     }
 }

@@ -96,19 +96,32 @@ impl<V> NativeOutcome<V> {
     }
 }
 
+/// The catalog, built once per process. `native_spec` sits on the
+/// per-run hot path of the compiled pipeline (twice per compiled
+/// native run: operand extraction and template argc), so rebuilding
+/// the 112-entry spec vector per lookup costs real campaign wall
+/// clock — memoize it and hand out borrows.
+static CATALOG: std::sync::OnceLock<Vec<NativeMethodSpec>> = std::sync::OnceLock::new();
+
+fn cached_catalog() -> &'static [NativeMethodSpec] {
+    CATALOG.get_or_init(|| {
+        let mut specs = Vec::new();
+        specs.extend(smallint::catalog());
+        specs.extend(float::catalog());
+        specs.extend(object::catalog());
+        specs.extend(ffi::catalog());
+        specs
+    })
+}
+
 /// Enumerates the full native-method catalog in id order.
 pub fn native_catalog() -> Vec<NativeMethodSpec> {
-    let mut specs = Vec::new();
-    specs.extend(smallint::catalog());
-    specs.extend(float::catalog());
-    specs.extend(object::catalog());
-    specs.extend(ffi::catalog());
-    specs
+    cached_catalog().to_vec()
 }
 
 /// Looks up one spec by id.
-pub fn native_spec(id: NativeMethodId) -> Option<NativeMethodSpec> {
-    native_catalog().into_iter().find(|s| s.id == id)
+pub fn native_spec(id: NativeMethodId) -> Option<&'static NativeMethodSpec> {
+    cached_catalog().iter().find(|s| s.id == id)
 }
 
 /// Runs native method `id` against `frame`, whose operand stack must

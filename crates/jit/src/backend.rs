@@ -230,7 +230,7 @@ mod tests {
     fn run(ir: &[Ir], isa: Isa) -> (MachineOutcome, Vec<u32>) {
         let code = lower(ir, isa).unwrap();
         let mut mem = ObjectMemory::new();
-        let mut m = Machine::new(&mut mem, isa, code);
+        let mut m = Machine::new(&mut mem, isa, &code);
         let out = m.run(MachineConfig::default());
         let regs: Vec<u32> = (0..isa.reg_count()).map(|i| m.reg(Reg(i))).collect();
         (out, regs)

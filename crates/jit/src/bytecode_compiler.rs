@@ -1108,7 +1108,7 @@ mod tests {
         };
         let compiled = compile_bytecode_test(kind, &input, isa).unwrap();
         let frame_bytes = 4 * compiled.ntemps + SPILL_BYTES;
-        let mut m = Machine::new(&mut mem, isa, compiled.code);
+        let mut m = Machine::new(&mut mem, isa, &compiled.code);
         let conv = Convention::for_isa(isa);
         m.set_reg(conv.receiver, receiver.0);
         let outcome = m.run(MachineConfig::default());
@@ -1387,7 +1387,7 @@ mod tests {
         for kind in CompilerKind::ALL {
             let compiled = compile_bytecode_test(kind, &input, Isa::X86ish).unwrap();
             let mut mem2 = mem.clone();
-            let mut m = Machine::new(&mut mem2, Isa::X86ish, compiled.code);
+            let mut m = Machine::new(&mut mem2, Isa::X86ish, &compiled.code);
             let out = m.run(MachineConfig::default());
             assert_eq!(out, MachineOutcome::Send { selector_id: sel.0 }, "{kind:?}");
             let conv = Convention::for_isa(Isa::X86ish);
@@ -1412,7 +1412,7 @@ mod tests {
         for kind in CompilerKind::ALL {
             let compiled = compile_bytecode_test(kind, &input, Isa::Arm32ish).unwrap();
             let mut mem2 = mem.clone();
-            let mut m = Machine::new(&mut mem2, Isa::Arm32ish, compiled.code);
+            let mut m = Machine::new(&mut mem2, Isa::Arm32ish, &compiled.code);
             let out = m.run(MachineConfig::default());
             assert_eq!(out, MachineOutcome::Breakpoint { code: stops::FALL_THROUGH });
             let conv = Convention::for_isa(Isa::Arm32ish);

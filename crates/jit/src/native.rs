@@ -734,7 +734,7 @@ mod tests {
         };
         let compiled = compile_native_test(NativeMethodIdLike(id), input, isa).unwrap();
         let conv = Convention::for_isa(isa);
-        let mut m = Machine::new(mem, isa, compiled.code);
+        let mut m = Machine::new(mem, isa, &compiled.code);
         m.set_reg(conv.receiver, receiver.0);
         for (i, a) in args.iter().enumerate() {
             m.set_reg(conv.arg(i), a.0);

@@ -260,7 +260,7 @@ mod tests {
             let alloc = allocate(full, isa, 0).unwrap();
             let code = lower(&alloc, isa).unwrap();
             let mut mem = ObjectMemory::new();
-            let mut m = Machine::new(&mut mem, isa, code);
+            let mut m = Machine::new(&mut mem, isa, &code);
             // Set up FP so spill slots have a home.
             let sp = m.reg(isa.sp());
             m.set_reg(isa.fp(), sp);
@@ -298,7 +298,7 @@ mod tests {
             assert!(fully_allocated(&alloc), "{isa:?}");
             let code = lower(&alloc, isa).unwrap();
             let mut mem = ObjectMemory::new();
-            let mut m = Machine::new(&mut mem, isa, code);
+            let mut m = Machine::new(&mut mem, isa, &code);
             let sp = m.reg(isa.sp());
             m.set_reg(isa.fp(), sp);
             m.set_reg(isa.sp(), sp - SPILL_BYTES - 8);

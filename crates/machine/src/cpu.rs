@@ -4,6 +4,7 @@ use igjit_heap::{ClassIndex, ObjectFormat, ObjectMemory};
 
 use crate::encoding::decode_instr;
 use crate::instr::{AluOp, Cond, FAluOp, FReg, Isa, MInstr, Reg, TrampolineKind};
+use crate::predecode::PredecodedCode;
 
 /// Base address of the machine stack region.
 pub const STACK_BASE: u32 = 0x8000_0000;
@@ -73,32 +74,153 @@ struct Flags {
     ov: bool,
 }
 
+/// The register file and machine stack of a simulator run, reusable
+/// across runs (engine v5's batched replay).
+///
+/// Allocating and zeroing the 64 KiB stack dominated per-run setup
+/// when every model replay built a fresh [`Machine`]. A session is
+/// allocated once and handed to [`Machine::with_session`] for each
+/// run; resets zero only the *dirtied* stack extent (tracked as a
+/// low-water mark of written words — the stack grows downward, so a
+/// run's footprint is `[dirty_lo, top)`) plus the fixed-size register
+/// files, making reset cost proportional to what the previous run
+/// actually touched.
+#[derive(Clone, Debug)]
+pub struct MachineSession {
+    /// Sized for the largest register file (Arm32ish's 16); the
+    /// decoder guarantees operands stay inside the active ISA's file.
+    regs: [u32; 16],
+    fregs: [f64; 4],
+    stack: Vec<u32>,
+    /// Lowest stack word index written since the last reset;
+    /// `stack.len()` when the stack is clean.
+    dirty_lo: usize,
+}
+
+impl Default for MachineSession {
+    fn default() -> Self {
+        MachineSession::new()
+    }
+}
+
+impl MachineSession {
+    /// A fresh session with a zeroed stack.
+    pub fn new() -> MachineSession {
+        let words = (STACK_BYTES / 4) as usize;
+        MachineSession {
+            regs: [0; 16],
+            fregs: [0.0; 4],
+            stack: vec![0; words],
+            dirty_lo: words,
+        }
+    }
+
+    /// Restores the pristine post-construction state: registers to
+    /// zero, every stack word the previous run dirtied back to zero.
+    /// Words below the low-water mark were never written and are
+    /// already zero, so the reset is O(previous run's footprint).
+    fn reset(&mut self) {
+        self.regs = [0; 16];
+        self.fregs = [0.0; 4];
+        for w in &mut self.stack[self.dirty_lo..] {
+            *w = 0;
+        }
+        self.dirty_lo = self.stack.len();
+    }
+}
+
+/// The session storage a machine runs on: its own (the classic
+/// one-shot constructor) or a caller-provided one being recycled.
+enum SessionRef<'m> {
+    Owned(MachineSession),
+    Borrowed(&'m mut MachineSession),
+}
+
+impl SessionRef<'_> {
+    #[inline]
+    fn get(&self) -> &MachineSession {
+        match self {
+            SessionRef::Owned(s) => s,
+            SessionRef::Borrowed(s) => s,
+        }
+    }
+
+    #[inline]
+    fn get_mut(&mut self) -> &mut MachineSession {
+        match self {
+            SessionRef::Owned(s) => s,
+            SessionRef::Borrowed(s) => s,
+        }
+    }
+}
+
 /// The simulated CPU, executing one compiled method against a shared
 /// object memory.
 pub struct Machine<'m> {
     mem: &'m mut ObjectMemory,
     isa: Isa,
-    regs: Vec<u32>,
-    fregs: [f64; 4],
+    session: SessionRef<'m>,
     flags: Flags,
     pc: u32,
-    code: Vec<u8>,
-    stack: Vec<u32>,
+    code: &'m [u8],
+    predecoded: Option<&'m PredecodedCode>,
     initial_sp: u32,
 }
 
 impl<'m> Machine<'m> {
-    /// Maps `code` at [`CODE_BASE`] and prepares stack and registers.
-    pub fn new(mem: &'m mut ObjectMemory, isa: Isa, code: Vec<u8>) -> Machine<'m> {
+    /// Maps `code` at [`CODE_BASE`] and prepares a fresh stack and
+    /// register file. One-shot: each call allocates its own session.
+    pub fn new(mem: &'m mut ObjectMemory, isa: Isa, code: &'m [u8]) -> Machine<'m> {
+        Machine::build(mem, isa, code, None, SessionRef::Owned(MachineSession::new()))
+    }
+
+    /// Like [`Machine::new`], but recycling `session`'s register file
+    /// and stack (reset to pristine first) instead of allocating.
+    pub fn with_session(
+        mem: &'m mut ObjectMemory,
+        isa: Isa,
+        code: &'m [u8],
+        session: &'m mut MachineSession,
+    ) -> Machine<'m> {
+        session.reset();
+        Machine::build(mem, isa, code, None, SessionRef::Borrowed(session))
+    }
+
+    /// Runs a [`PredecodedCode`] artifact on a recycled session: the
+    /// fetch stage becomes an indexed lookup, falling back to the byte
+    /// decoder for any pc off the predecoded boundaries, so execution
+    /// is step-for-step identical to [`Machine::with_session`] on the
+    /// artifact's bytes.
+    pub fn with_predecoded(
+        mem: &'m mut ObjectMemory,
+        predecoded: &'m PredecodedCode,
+        session: &'m mut MachineSession,
+    ) -> Machine<'m> {
+        session.reset();
+        Machine::build(
+            mem,
+            predecoded.isa(),
+            predecoded.code(),
+            Some(predecoded),
+            SessionRef::Borrowed(session),
+        )
+    }
+
+    fn build(
+        mem: &'m mut ObjectMemory,
+        isa: Isa,
+        code: &'m [u8],
+        predecoded: Option<&'m PredecodedCode>,
+        session: SessionRef<'m>,
+    ) -> Machine<'m> {
         let mut m = Machine {
             mem,
             isa,
-            regs: vec![0; usize::from(isa.reg_count())],
-            fregs: [0.0; 4],
+            session,
             flags: Flags::default(),
             pc: CODE_BASE,
             code,
-            stack: vec![0; (STACK_BYTES / 4) as usize],
+            predecoded,
             initial_sp: 0,
         };
         let top = STACK_BASE + STACK_BYTES;
@@ -111,22 +233,22 @@ impl<'m> Machine<'m> {
 
     /// Reads a general-purpose register.
     pub fn reg(&self, r: Reg) -> u32 {
-        self.regs[usize::from(r.0)]
+        self.session.get().regs[usize::from(r.0)]
     }
 
     /// Writes a general-purpose register.
     pub fn set_reg(&mut self, r: Reg, v: u32) {
-        self.regs[usize::from(r.0)] = v;
+        self.session.get_mut().regs[usize::from(r.0)] = v;
     }
 
     /// Reads a float register.
     pub fn freg(&self, f: FReg) -> f64 {
-        self.fregs[usize::from(f.0)]
+        self.session.get().fregs[usize::from(f.0)]
     }
 
     /// Writes a float register.
     pub fn set_freg(&mut self, f: FReg, v: f64) {
-        self.fregs[usize::from(f.0)] = v;
+        self.session.get_mut().fregs[usize::from(f.0)] = v;
     }
 
     /// The stack pointer value right after setup (operand-stack reads
@@ -160,14 +282,19 @@ impl<'m> Machine<'m> {
         if !addr.is_multiple_of(4) || !(STACK_BASE..STACK_BASE + STACK_BYTES).contains(&addr) {
             return Err(addr);
         }
-        Ok(self.stack[((addr - STACK_BASE) / 4) as usize])
+        Ok(self.session.get().stack[((addr - STACK_BASE) / 4) as usize])
     }
 
     fn write_stack(&mut self, addr: u32, v: u32) -> Result<(), u32> {
         if !addr.is_multiple_of(4) || !(STACK_BASE..STACK_BASE + STACK_BYTES).contains(&addr) {
             return Err(addr);
         }
-        self.stack[((addr - STACK_BASE) / 4) as usize] = v;
+        let idx = ((addr - STACK_BASE) / 4) as usize;
+        let s = self.session.get_mut();
+        s.stack[idx] = v;
+        if idx < s.dirty_lo {
+            s.dirty_lo = idx;
+        }
         Ok(())
     }
 
@@ -212,11 +339,11 @@ impl<'m> Machine<'m> {
     fn reflective_poison_float(&mut self, f: FReg) -> Result<(), String> {
         match f.0 {
             0 => {
-                self.fregs[0] = f64::NAN;
+                self.session.get_mut().fregs[0] = f64::NAN;
                 Ok(())
             }
             1 => {
-                self.fregs[1] = f64::NAN;
+                self.session.get_mut().fregs[1] = f64::NAN;
                 Ok(())
             }
             // setters for F2 and F3 were never implemented in the
@@ -297,7 +424,17 @@ impl<'m> Machine<'m> {
                 Some(o) => o as usize,
                 None => return MachineOutcome::DecodeFault { pc: self.pc },
             };
-            let Some((instr, len)) = decode_instr(&self.code, off, self.isa) else {
+            // Fetch: indexed when the artifact is predecoded and the
+            // pc sits on a decoded boundary; the byte decoder
+            // otherwise (one-shot runs, mid-instruction jumps, code
+            // past a decode failure) — both answer identically.
+            let fetched = match self.predecoded {
+                Some(pd) => pd
+                    .lookup(off)
+                    .or_else(|| decode_instr(self.code, off, self.isa)),
+                None => decode_instr(self.code, off, self.isa),
+            };
+            let Some((instr, len)) = fetched else {
                 return MachineOutcome::DecodeFault { pc: self.pc };
             };
             let next = self.pc + len as u32;
@@ -387,7 +524,7 @@ impl<'m> Machine<'m> {
                                 register: format!("r{}", r.0),
                             };
                         }
-                        let v = self.fregs[0];
+                        let v = self.freg(FReg(0));
                         match self.mem.instantiate_float(v) {
                             Ok(oop) => self.set_reg(r, oop.0),
                             Err(_) => return MachineOutcome::MemoryFault { addr: 0 },
@@ -505,9 +642,9 @@ mod tests {
     fn run_instrs(instrs: &[MInstr], isa: Isa) -> (MachineOutcome, Vec<u32>) {
         let mut mem = ObjectMemory::new();
         let code = assemble(instrs, isa);
-        let mut m = Machine::new(&mut mem, isa, code);
+        let mut m = Machine::new(&mut mem, isa, &code);
         let out = m.run(MachineConfig::default());
-        let regs = m.regs.clone();
+        let regs = (0..isa.reg_count()).map(|i| m.reg(Reg(i))).collect();
         (out, regs)
     }
 
@@ -646,7 +783,7 @@ mod tests {
             ],
             Isa::Arm32ish,
         );
-        let mut m = Machine::new(&mut mem, Isa::Arm32ish, code);
+        let mut m = Machine::new(&mut mem, Isa::Arm32ish, &code);
         assert_eq!(m.run(MachineConfig::default()), MachineOutcome::Breakpoint { code: 0 });
         assert_eq!(m.operand_stack_words(), vec![22, 11], "top first");
     }
@@ -668,7 +805,7 @@ mod tests {
             ],
             Isa::X86ish,
         );
-        let mut m = Machine::new(&mut mem, Isa::X86ish, code);
+        let mut m = Machine::new(&mut mem, Isa::X86ish, &code);
         assert_eq!(m.run(MachineConfig::default()), MachineOutcome::ReturnedToCaller);
         assert_eq!(m.reg(Reg(0)), igjit_heap::Oop::from_small_int(5).0);
         assert_eq!(mem.fetch_pointer(arr, 0).unwrap().small_int_value(), 9);
@@ -685,7 +822,7 @@ mod tests {
             ],
             Isa::X86ish,
         );
-        let mut m = Machine::new(&mut mem, Isa::X86ish, code);
+        let mut m = Machine::new(&mut mem, Isa::X86ish, &code);
         match m.run(MachineConfig::default()) {
             MachineOutcome::MemoryFault { .. } => {}
             other => panic!("{other:?}"),
@@ -703,7 +840,7 @@ mod tests {
             ],
             Isa::Arm32ish,
         );
-        let mut m = Machine::new(&mut mem, Isa::Arm32ish, code);
+        let mut m = Machine::new(&mut mem, Isa::Arm32ish, &code);
         assert!(matches!(m.run(MachineConfig::default()), MachineOutcome::MemoryFault { .. }));
     }
 
@@ -719,7 +856,7 @@ mod tests {
             ],
             Isa::Arm32ish,
         );
-        let mut m = Machine::new(&mut mem, Isa::Arm32ish, code);
+        let mut m = Machine::new(&mut mem, Isa::Arm32ish, &code);
         assert_eq!(
             m.run(MachineConfig::default()),
             MachineOutcome::SimulationError { register: "F2".into() }
@@ -747,7 +884,7 @@ mod tests {
             ],
             Isa::X86ish,
         );
-        let mut m = Machine::new(&mut mem, Isa::X86ish, code);
+        let mut m = Machine::new(&mut mem, Isa::X86ish, &code);
         assert_eq!(m.run(MachineConfig::default()), MachineOutcome::ReturnedToCaller);
         let oop = igjit_heap::Oop(m.reg(Reg(0)));
         assert_eq!(mem.float_value_of(oop).unwrap(), 4.0);
@@ -777,7 +914,7 @@ mod tests {
     #[test]
     fn undecodable_code_faults() {
         let mut mem = ObjectMemory::new();
-        let mut m = Machine::new(&mut mem, Isa::X86ish, vec![0xFF]);
+        let mut m = Machine::new(&mut mem, Isa::X86ish, &[0xFF]);
         assert!(matches!(m.run(MachineConfig::default()), MachineOutcome::DecodeFault { .. }));
     }
 

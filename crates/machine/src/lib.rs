@@ -41,7 +41,7 @@
 //!     encode_instr(i, Isa::X86ish, &mut code).unwrap();
 //! }
 //! let mut mem = ObjectMemory::new();
-//! let mut machine = Machine::new(&mut mem, Isa::X86ish, code);
+//! let mut machine = Machine::new(&mut mem, Isa::X86ish, &code);
 //! assert_eq!(machine.run(MachineConfig::default()), MachineOutcome::ReturnedToCaller);
 //! assert_eq!(machine.reg(Reg(0)), 42);
 //! ```
@@ -53,9 +53,11 @@ mod cpu;
 mod disasm;
 mod encoding;
 mod instr;
+mod predecode;
 
-pub use cpu::{Machine, MachineConfig, MachineOutcome, CODE_BASE, RETURN_SENTINEL, STACK_BASE,
-              STACK_BYTES};
+pub use cpu::{Machine, MachineConfig, MachineOutcome, MachineSession, CODE_BASE,
+              RETURN_SENTINEL, STACK_BASE, STACK_BYTES};
 pub use disasm::{disassemble, disassemble_to_string, DisasmLine};
 pub use encoding::{decode_instr, encode_instr, EncodeError};
 pub use instr::{AluOp, Cond, FAluOp, Isa, MInstr, Reg, TrampolineKind, FReg};
+pub use predecode::PredecodedCode;

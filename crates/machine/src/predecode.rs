@@ -1,0 +1,173 @@
+//! Predecoded compiled-code artifacts (engine v5).
+//!
+//! [`Machine::run`](crate::Machine::run) historically decoded every
+//! instruction byte-by-byte on every step of every replay. Compiled
+//! artifacts are immutable, though, so the decode work is a pure
+//! function of the code bytes — [`PredecodedCode`] performs it once:
+//! a sequential decode from offset 0 yields a dense vector of decoded
+//! steps plus a byte-offset→step jump table, and execution becomes an
+//! indexed fetch instead of a per-step [`decode_instr`] call.
+//!
+//! The artifact is *derived*, never authoritative: it is built from
+//! exactly the bytes the machine would otherwise decode (including any
+//! bytes perturbed by an armed `igjit-mutate` operator, since the
+//! predecode happens after compilation), and any program counter that
+//! does not land on a sequentially-decoded boundary — a misdirected
+//! jump into the middle of an instruction, code past a decode failure,
+//! or an offset beyond the artifact — falls back to the byte-level
+//! decoder for that step. Execution under a [`PredecodedCode`] is
+//! therefore step-for-step identical to byte-level decoding, including
+//! every `DecodeFault`; the `predecode_equivalence` proptest suite
+//! enforces this over random instruction sequences and raw byte blobs.
+
+use crate::encoding::decode_instr;
+use crate::instr::{Isa, MInstr};
+
+/// Marker in the jump table for byte offsets that are not a
+/// sequentially-decoded instruction boundary.
+const NOT_A_BOUNDARY: u32 = u32::MAX;
+
+/// A compiled artifact decoded once, replayed many times.
+#[derive(Clone, Debug)]
+pub struct PredecodedCode {
+    /// The artifact bytes (the fallback path and bounds checks still
+    /// need them, and keeping them here guarantees the predecoded view
+    /// and the byte view can never drift apart).
+    code: Vec<u8>,
+    /// Target ISA the bytes were decoded for.
+    isa: Isa,
+    /// Sequentially decoded instructions with their encoded lengths.
+    steps: Vec<(MInstr, u8)>,
+    /// Byte offset → index into `steps`; [`NOT_A_BOUNDARY`] elsewhere.
+    index: Vec<u32>,
+}
+
+impl PredecodedCode {
+    /// Decodes `code` sequentially from offset 0. Decoding stops at
+    /// the first undecodable position (offsets from there on simply
+    /// fall back to the byte decoder at run time, which reports the
+    /// same `DecodeFault` the byte path would).
+    pub fn new(code: &[u8], isa: Isa) -> PredecodedCode {
+        let mut steps = Vec::new();
+        let mut index = vec![NOT_A_BOUNDARY; code.len()];
+        let mut off = 0usize;
+        while off < code.len() {
+            let Some((instr, len)) = decode_instr(code, off, isa) else {
+                break;
+            };
+            index[off] = steps.len() as u32;
+            steps.push((instr, len as u8));
+            off += len;
+        }
+        PredecodedCode { code: code.to_vec(), isa, steps, index }
+    }
+
+    /// The artifact bytes the steps were decoded from.
+    pub fn code(&self) -> &[u8] {
+        &self.code
+    }
+
+    /// The ISA the artifact was decoded for.
+    pub fn isa(&self) -> Isa {
+        self.isa
+    }
+
+    /// Number of sequentially decoded instructions.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether nothing decoded (empty or immediately invalid code).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The predecoded instruction starting exactly at byte offset
+    /// `off`, or `None` when `off` is not a sequentially-decoded
+    /// boundary (the caller falls back to [`decode_instr`]).
+    #[inline]
+    pub fn lookup(&self, off: usize) -> Option<(MInstr, usize)> {
+        let idx = *self.index.get(off)?;
+        if idx == NOT_A_BOUNDARY {
+            return None;
+        }
+        let (instr, len) = self.steps[idx as usize];
+        Some((instr, usize::from(len)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::encode_instr;
+    use crate::instr::{AluOp, Cond, Reg};
+
+    fn assemble(instrs: &[MInstr], isa: Isa) -> Vec<u8> {
+        let mut out = Vec::new();
+        for &i in instrs {
+            encode_instr(i, isa, &mut out).unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn every_boundary_matches_the_byte_decoder() {
+        for isa in [Isa::X86ish, Isa::Arm32ish] {
+            let code = assemble(
+                &[
+                    MInstr::MovImm { dst: Reg(0), imm: 7 },
+                    MInstr::AluImm { op: AluOp::Add, dst: Reg(0), a: Reg(0), imm: 1 },
+                    MInstr::JmpCc { cc: Cond::Ne, off: -4 },
+                    MInstr::Ret,
+                ],
+                isa,
+            );
+            let pd = PredecodedCode::new(&code, isa);
+            assert_eq!(pd.len(), 4, "{isa:?}");
+            // Whatever the table answers must be exactly what the byte
+            // decoder would have said at that offset.
+            let mut boundaries = 0;
+            for off in 0..=code.len() + 4 {
+                if let Some(step) = pd.lookup(off) {
+                    assert_eq!(Some(step), decode_instr(&code, off, isa), "{isa:?} {off}");
+                    boundaries += 1;
+                }
+            }
+            assert_eq!(boundaries, 4, "{isa:?}: one boundary per instruction");
+        }
+    }
+
+    #[test]
+    fn mid_instruction_offsets_are_not_boundaries() {
+        let code = assemble(&[MInstr::MovImm { dst: Reg(0), imm: 0x0101_0101 }], Isa::X86ish);
+        let pd = PredecodedCode::new(&code, Isa::X86ish);
+        assert!(pd.lookup(0).is_some());
+        for off in 1..code.len() {
+            assert_eq!(pd.lookup(off), None, "offset {off} is mid-instruction");
+        }
+        assert_eq!(pd.lookup(code.len()), None, "end of code");
+    }
+
+    #[test]
+    fn decoding_stops_at_the_first_bad_opcode() {
+        let mut code = assemble(&[MInstr::Nop], Isa::X86ish);
+        code.push(0xFF); // undecodable
+        let mut tail = assemble(&[MInstr::Ret], Isa::X86ish);
+        code.append(&mut tail);
+        let pd = PredecodedCode::new(&code, Isa::X86ish);
+        assert_eq!(pd.len(), 1, "only the Nop predecodes");
+        // The Ret after the bad byte is reachable by a jump; lookup
+        // declines and the byte decoder handles it.
+        assert_eq!(pd.lookup(2), None);
+        assert!(decode_instr(&code, 2, Isa::X86ish).is_some());
+    }
+
+    #[test]
+    fn empty_and_garbage_code() {
+        let pd = PredecodedCode::new(&[], Isa::Arm32ish);
+        assert!(pd.is_empty());
+        assert_eq!(pd.lookup(0), None);
+        let pd = PredecodedCode::new(&[0xFF; 8], Isa::Arm32ish);
+        assert!(pd.is_empty());
+    }
+}

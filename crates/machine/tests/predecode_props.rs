@@ -1,0 +1,166 @@
+//! Property tests of the predecoded execution mode: running a
+//! [`PredecodedCode`] artifact is step-for-step identical to running
+//! the raw bytes through the per-step decoder — same outcome, same
+//! final register file — for arbitrary valid instruction streams
+//! (including wild jumps that land mid-instruction, where the
+//! predecoded fetch must fall back to the byte decoder) and for
+//! arbitrary byte blobs (where both modes must raise the same
+//! `DecodeFault`).
+
+use igjit_heap::ObjectMemory;
+use igjit_machine::{
+    encode_instr, AluOp, Cond, FAluOp, FReg, Isa, MInstr, Machine, MachineConfig,
+    MachineSession, PredecodedCode, Reg,
+};
+use proptest::prelude::*;
+
+fn arb_reg(isa: Isa) -> BoxedStrategy<Reg> {
+    (0..isa.reg_count()).prop_map(Reg).boxed()
+}
+
+fn arb_freg() -> impl Strategy<Value = FReg> {
+    (0u8..4).prop_map(FReg)
+}
+
+fn arb_alu() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Mul),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Shl),
+        Just(AluOp::Sar),
+        Just(AluOp::Shr),
+        Just(AluOp::Div),
+        Just(AluOp::Rem),
+    ]
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    prop_oneof![
+        Just(Cond::Eq),
+        Just(Cond::Ne),
+        Just(Cond::Lt),
+        Just(Cond::Le),
+        Just(Cond::Gt),
+        Just(Cond::Ge),
+        Just(Cond::Ov),
+        Just(Cond::NoOv),
+    ]
+}
+
+/// Executable instructions, including relative jumps with arbitrary
+/// displacements — on a variable-length ISA those land mid-instruction
+/// more often than not, exercising the predecoded fetch's fallback.
+fn arb_instr(isa: Isa) -> impl Strategy<Value = MInstr> {
+    let r = arb_reg(isa);
+    prop_oneof![
+        (r.clone(), any::<u32>()).prop_map(|(dst, imm)| MInstr::MovImm { dst, imm }),
+        (r.clone(), r.clone()).prop_map(|(dst, src)| MInstr::MovReg { dst, src }),
+        (r.clone(), r.clone(), any::<i16>())
+            .prop_map(|(dst, base, off)| MInstr::Load { dst, base, off }),
+        (r.clone(), r.clone(), any::<i16>())
+            .prop_map(|(src, base, off)| MInstr::Store { src, base, off }),
+        r.clone().prop_map(|src| MInstr::Push { src }),
+        r.clone().prop_map(|dst| MInstr::PopR { dst }),
+        (arb_alu(), r.clone(), r.clone())
+            .prop_map(|(op, dst, b)| MInstr::AluReg { op, dst, a: dst, b }),
+        (arb_alu(), r.clone(), any::<u32>())
+            .prop_map(|(op, dst, imm)| MInstr::AluImm { op, dst, a: dst, imm }),
+        (r.clone(), r.clone()).prop_map(|(a, b)| MInstr::Cmp { a, b }),
+        (r.clone(), any::<u32>()).prop_map(|(a, imm)| MInstr::CmpImm { a, imm }),
+        (-64i32..64).prop_map(|off| MInstr::Jmp { off }),
+        (arb_cond(), -64i32..64).prop_map(|(cc, off)| MInstr::JmpCc { cc, off }),
+        Just(MInstr::Ret),
+        any::<u8>().prop_map(|code| MInstr::Brk { code }),
+        (arb_freg(), r.clone(), any::<i16>())
+            .prop_map(|(fd, base, off)| MInstr::FLoad { fd, base, off }),
+        (arb_freg(), arb_freg(), arb_freg())
+            .prop_map(|(fd, fa, fb)| MInstr::FAlu { op: FAluOp::Add, fd, fa, fb }),
+        (arb_freg(), arb_freg()).prop_map(|(fa, fb)| MInstr::FCmp { fa, fb }),
+        (r.clone(), arb_freg()).prop_map(|(dst, fs)| MInstr::FToIntChecked { dst, fs }),
+        (arb_freg(), r).prop_map(|(fd, src)| MInstr::IntToF { fd, src }),
+        Just(MInstr::Nop),
+    ]
+}
+
+/// Runs `code` in both fetch modes from identical pristine state and
+/// asserts outcome + final register files match exactly.
+fn assert_step_identical(code: &[u8], isa: Isa) {
+    let cfg = MachineConfig::default();
+
+    let mut mem_bytes = ObjectMemory::new();
+    let mut session_bytes = MachineSession::new();
+    let mut byte_machine = Machine::with_session(&mut mem_bytes, isa, code, &mut session_bytes);
+    let byte_outcome = byte_machine.run(cfg);
+    let byte_regs: Vec<u32> = (0..isa.reg_count()).map(|i| byte_machine.reg(Reg(i))).collect();
+    let byte_fregs: Vec<u64> =
+        (0..4).map(|i| byte_machine.freg(FReg(i)).to_bits()).collect();
+    drop(byte_machine);
+
+    let predecoded = PredecodedCode::new(code, isa);
+    let mut mem_pre = ObjectMemory::new();
+    let mut session_pre = MachineSession::new();
+    let mut pre_machine = Machine::with_predecoded(&mut mem_pre, &predecoded, &mut session_pre);
+    let pre_outcome = pre_machine.run(cfg);
+    let pre_regs: Vec<u32> = (0..isa.reg_count()).map(|i| pre_machine.reg(Reg(i))).collect();
+    let pre_fregs: Vec<u64> = (0..4).map(|i| pre_machine.freg(FReg(i)).to_bits()).collect();
+
+    prop_assert_eq!(byte_outcome, pre_outcome);
+    prop_assert_eq!(byte_regs, pre_regs);
+    prop_assert_eq!(byte_fregs, pre_fregs);
+}
+
+fn encode_stream(instrs: &[MInstr], isa: Isa) -> Vec<u8> {
+    let mut code = Vec::new();
+    for &i in instrs {
+        encode_instr(i, isa, &mut code).expect("generated instructions encode");
+    }
+    code
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn prop_predecoded_identity_x86(
+        instrs in proptest::collection::vec(arb_instr(Isa::X86ish), 1..24)
+    ) {
+        assert_step_identical(&encode_stream(&instrs, Isa::X86ish), Isa::X86ish);
+    }
+
+    #[test]
+    fn prop_predecoded_identity_arm(
+        instrs in proptest::collection::vec(arb_instr(Isa::Arm32ish), 1..24)
+    ) {
+        assert_step_identical(&encode_stream(&instrs, Isa::Arm32ish), Isa::Arm32ish);
+    }
+
+    #[test]
+    fn prop_predecoded_identity_raw_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..96)
+    ) {
+        // Arbitrary blobs: predecoding stops at the first undecodable
+        // offset, so most of the stream executes through the fallback
+        // path; both modes must agree, DecodeFault included.
+        assert_step_identical(&bytes, Isa::X86ish);
+        assert_step_identical(&bytes, Isa::Arm32ish);
+    }
+
+    #[test]
+    fn prop_predecoded_identity_wild_entry_jump(
+        off in 1i32..48,
+        instrs in proptest::collection::vec(arb_instr(Isa::X86ish), 1..16)
+    ) {
+        // A leading jump with a random displacement lands anywhere in
+        // the stream — instruction boundary or not. Off-boundary entry
+        // must run through the byte decoder in both modes.
+        let mut code = Vec::new();
+        encode_instr(MInstr::Jmp { off }, Isa::X86ish, &mut code)
+            .expect("jump encodes");
+        code.extend(encode_stream(&instrs, Isa::X86ish));
+        assert_step_identical(&code, Isa::X86ish);
+    }
+}

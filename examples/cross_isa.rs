@@ -56,7 +56,7 @@ fn main() {
         // Execute.
         let mut mem = ObjectMemory::new();
         let conv = Convention::for_isa(isa);
-        let mut m = Machine::new(&mut mem, isa, compiled.code.clone());
+        let mut m = Machine::new(&mut mem, isa, &compiled.code);
         m.set_reg(conv.receiver, Oop::from_small_int(0).0);
         let outcome = m.run(MachineConfig::default());
         let sp = m.reg(conv.sp);

@@ -17,6 +17,7 @@ fn main() {
         threads: 4,
         code_cache: true,
         heap_snapshot: true,
+        predecode: true,
     });
 
     eprintln!("differentially testing all 112 native methods on 2 ISAs…");

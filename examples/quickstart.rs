@@ -15,6 +15,7 @@ fn main() {
         threads: 1,
         code_cache: true,
         heap_snapshot: true,
+        predecode: true,
     });
 
     // 1. The guiding example: the add bytecode (Listing 1 / Fig. 2).

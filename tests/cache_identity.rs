@@ -43,7 +43,7 @@ fn cached_native_artifacts_are_byte_identical_to_fresh_compiles() {
             let second = cache.get_or_compile(key, || panic!("must hit"));
             assert_eq!(cache.hits(), hits_before + 1);
             for artifact in [&first, &second] {
-                let cached = artifact.as_ref().as_ref().expect("compiles");
+                let cached = artifact.artifact().as_ref().expect("compiles");
                 assert_eq!(cached.code, fresh.code, "native {id} on {isa:?}");
                 assert_eq!(cached.ntemps, fresh.ntemps);
                 assert_eq!(cached.isa, fresh.isa);
@@ -85,7 +85,7 @@ fn cached_bytecode_artifacts_are_byte_identical_to_fresh_compiles() {
             let cached = cache.get_or_compile(key, || {
                 compile_bytecode_sequence_test(kind, &[Instruction::Add], &input, isa)
             });
-            let cached = cached.as_ref().as_ref().expect("compiles");
+            let cached = cached.artifact().as_ref().expect("compiles");
             assert_eq!(cached.code, fresh.code, "{kind:?} on {isa:?}");
         }
     }
@@ -124,6 +124,7 @@ fn native_row_is_identical_with_code_cache_on_and_off() {
             threads: 1,
             code_cache,
             heap_snapshot: true,
+            predecode: true,
         })
         .run_native_methods()
     };
@@ -155,6 +156,7 @@ fn bytecode_row_is_identical_with_code_cache_on_and_off() {
             threads: 1,
             code_cache,
             heap_snapshot: true,
+            predecode: true,
         })
         .run_bytecodes(CompilerKind::StackToRegister)
     };

@@ -44,6 +44,7 @@ fn full_config() -> CampaignConfig {
         threads: 1,
         code_cache: true,
         heap_snapshot: true,
+        predecode: true,
     }
 }
 

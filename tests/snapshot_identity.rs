@@ -128,6 +128,7 @@ fn native_row_is_identical_with_heap_snapshot_on_and_off() {
             threads: 1,
             code_cache: true,
             heap_snapshot,
+            predecode: true,
         })
         .run_native_methods()
     };
@@ -151,6 +152,7 @@ fn bytecode_row_is_identical_with_heap_snapshot_on_and_off() {
             threads: 1,
             code_cache: true,
             heap_snapshot,
+            predecode: true,
         })
         .run_bytecodes(CompilerKind::StackToRegister)
     };
