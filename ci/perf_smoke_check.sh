@@ -7,18 +7,22 @@
 # the generated-test count means a behaviour change slipped into a
 # perf-motivated PR — exactly what this check exists to catch.
 #
-# The CI workflow appends three 1-thread records — all knobs on, heap
-# snapshots off, predecode off — each tagged with its `knobs`. Records
-# written before the knobs tag existed are ignored whenever tagged ones
-# are present (their classification by side-effect counters was
-# ambiguous). Beyond the row totals, the check enforces the perf
-# invariants of the engine:
+# The CI workflow appends four 1-thread records — all knobs on, heap
+# snapshots off, predecode off, family sharing off — each tagged with
+# its `knobs`. Records written before the knobs tag existed are ignored
+# whenever tagged ones are present (their classification by side-effect
+# counters was ambiguous). Beyond the row totals, the check enforces
+# the perf invariants of the engine:
 #
 #   * knob identity — every record in the window, whatever its knobs,
-#     must match the expected rows: neither heap snapshots nor
-#     predecoded fetch may change anything observable;
+#     must match the expected rows: neither heap snapshots, predecoded
+#     fetch, nor family-shared exploration may change anything
+#     observable;
 #   * materialize speedup — the snapshot-on materialize stage must be
-#     at least 2x faster than the snapshot-off one;
+#     at least 1.3x faster than the snapshot-off one (engine v6's
+#     cheaper heap construction — template class tables, vector live
+#     sets — sped the rebuild-per-run path up too, shrinking the
+#     snapshot advantage from its original 2x);
 #   * honest stage accounting — at 1 thread, the per-stage sum
 #     (including the `other` bucket) must land within 10% of the
 #     measured wall clock;
@@ -27,7 +31,10 @@
 #     downstream consumer of the metrics);
 #   * residual budget — with every engine knob on, the unattributed
 #     `other` bucket must stay within 15% of wall clock (engine v5's
-#     sub-stage attribution contract).
+#     sub-stage attribution contract);
+#   * explore budget — with every engine knob on at 1 thread, the
+#     explore stage must stay under `explore_budget_ms` (engine v6's
+#     hash-consed, family-shared exploration).
 #
 # Usage: ci/perf_smoke_check.sh [BENCH_table2.json] [testgen-output.txt]
 set -euo pipefail
@@ -60,7 +67,7 @@ with open(bench_path) as f:
 if not records:
     sys.exit(f"perf-smoke: {bench_path} holds no records")
 
-window = records[-6:]
+window = records[-8:]
 tagged = [rec for rec in window if "knobs" in rec]
 if tagged:
     window = tagged
@@ -71,6 +78,8 @@ if tagged:
             return "snapshot-off"
         if not k.get("predecode", True):
             return "predecode-off"
+        if not k.get("family_share", True):
+            return "family-off"
         return "all-on"
 else:
 
@@ -84,6 +93,7 @@ for rec in window:
 rec_on = by_kind.get("all-on")
 rec_off = by_kind.get("snapshot-off")
 rec_pre_off = by_kind.get("predecode-off")
+rec_fam_off = by_kind.get("family-off")
 
 with open(testgen_path) as f:
     testgen = f.read()
@@ -97,6 +107,7 @@ labelled = [
     ("all-on", rec_on),
     ("snapshot-off", rec_off),
     ("predecode-off", rec_pre_off),
+    ("family-off", rec_fam_off),
 ]
 for label, rec in labelled:
     if rec is None:
@@ -132,16 +143,18 @@ if layout:
             )
 
 # Materialize-stage speedup: the snapshot replay path must cut the
-# stage at least 2x relative to rebuild-per-run.
+# stage at least 1.3x relative to rebuild-per-run. (Originally 2x;
+# engine v6 made fresh heap construction itself much cheaper, which
+# narrowed the gap by speeding up the snapshot-off baseline.)
 if rec_on is not None and rec_off is not None:
     mat_on = rec_on["metrics"]["stages_ms"]["materialize"]
     mat_off = rec_off["metrics"]["stages_ms"]["materialize"]
     ratio = mat_off / mat_on if mat_on > 0 else float("inf")
-    if ratio < 2.0:
+    if ratio < 1.3:
         sys.exit(
             "perf-smoke: materialize stage speedup regressed: "
             f"snapshot-on {mat_on:.1f} ms vs snapshot-off {mat_off:.1f} ms "
-            f"({ratio:.2f}x, expected >= 2x)"
+            f"({ratio:.2f}x, expected >= 1.3x)"
         )
 else:
     ratio = None
@@ -172,7 +185,35 @@ if rec_on is not None and rec_on["metrics"].get("threads") == 1:
             f"({100 * other / wall:.1f}%, expected <= 15%)"
         )
 
-rec = rec_on or rec_off or rec_pre_off
+# Family sharing must be purely an optimization: the family-off rows
+# must equal the all-on rows key for key (stronger than both matching
+# the committed expectations — it holds even while expectations are
+# being retuned in the same PR).
+if rec_on is not None and rec_fam_off is not None:
+    for key in ("tested_instructions", "interpreter_paths", "curated_paths", "differences"):
+        if rec_fam_off["table2"][key] != rec_on["table2"][key]:
+            sys.exit(
+                "perf-smoke: family-shared exploration changed campaign rows: "
+                f"{key} is {rec_on['table2'][key]} with sharing on "
+                f"but {rec_fam_off['table2'][key]} with sharing off"
+            )
+
+# Explore budget: with every engine knob on at 1 thread, the explore
+# stage must stay under its committed budget (engine v6).
+explore_budget = expect.get("explore_budget_ms")
+if (
+    explore_budget is not None
+    and rec_on is not None
+    and rec_on["metrics"].get("threads") == 1
+):
+    explore_ms = rec_on["metrics"]["stages_ms"]["explore"]
+    if explore_ms > explore_budget:
+        sys.exit(
+            "perf-smoke: explore stage exceeds its budget: "
+            f"{explore_ms:.1f} ms > {explore_budget:.1f} ms at 1 thread"
+        )
+
+rec = rec_on or rec_off or rec_pre_off or rec_fam_off
 metrics = rec["metrics"]
 stages = metrics["stages_ms"]
 speedup = f", materialize speedup {ratio:.2f}x" if ratio is not None else ""

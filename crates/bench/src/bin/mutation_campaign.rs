@@ -114,7 +114,13 @@ fn cause_keys(reports: &[CampaignReport]) -> BTreeSet<(String, String, String)> 
     reports
         .iter()
         .flat_map(|r| r.causes())
-        .map(|c| (c.category.name().to_string(), c.instruction, c.compiler))
+        .map(|c| {
+            (
+                c.category.name().to_string(),
+                c.instruction.into_owned(),
+                c.compiler.into_owned(),
+            )
+        })
         .collect()
 }
 
@@ -636,6 +642,9 @@ fn main() {
         code_cache: knobs.code_cache_enabled(),
         heap_snapshot: knobs.heap_snapshot_enabled(),
         predecode: knobs.predecode_enabled(),
+        hash_cons: knobs.hash_cons_enabled(),
+        family_share: knobs.family_share_enabled(),
+        negate_threads: knobs.negate_threads_or_default(),
     };
     if let Some(baseline_path) = &args.worker_baseline {
         if let Err(e) = run_worker(baseline_path, &config) {

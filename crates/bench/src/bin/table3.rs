@@ -30,7 +30,7 @@ fn main() {
     causes.dedup();
     println!("distinct causes ({}):", causes.len());
     for c in causes {
-        let tier = if c.compiler.is_empty() { "native".to_string() } else { c.compiler };
+        let tier = if c.compiler.is_empty() { "native" } else { &c.compiler };
         println!("  [{:<30}] {:<28} ({tier})", c.category.name(), c.instruction);
     }
 }

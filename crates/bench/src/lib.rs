@@ -49,6 +49,28 @@ pub fn predecode_enabled() -> bool {
     env_knobs().predecode_enabled()
 }
 
+/// Whether hash-consed constraint interning is enabled: the
+/// `IGJIT_HASH_CONS` environment variable (off, every assertion is
+/// re-normalised structurally), default on. Malformed values are
+/// fatal.
+pub fn hash_cons_enabled() -> bool {
+    env_knobs().hash_cons_enabled()
+}
+
+/// Whether family-shared exploration is enabled: the
+/// `IGJIT_FAMILY_SHARE` environment variable (off, every opcode is
+/// explored from scratch), default on. Malformed values are fatal.
+pub fn family_share_enabled() -> bool {
+    env_knobs().family_share_enabled()
+}
+
+/// Worker threads for intra-instruction path negation: the
+/// `IGJIT_NEGATE_THREADS` environment variable, default 1
+/// (sequential). Malformed values are fatal.
+pub fn negate_threads() -> usize {
+    env_knobs().negate_threads_or_default()
+}
+
 /// Arms the mutation operator named by `IGJIT_MUTANT`, if any,
 /// returning the guard that keeps it armed. Harness binaries call this
 /// first thing in `main` and hold the guard for the process lifetime,
@@ -81,6 +103,9 @@ pub fn paper_campaign() -> Campaign {
         code_cache: code_cache_enabled(),
         heap_snapshot: heap_snapshot_enabled(),
         predecode: predecode_enabled(),
+        hash_cons: hash_cons_enabled(),
+        family_share: family_share_enabled(),
+        negate_threads: negate_threads(),
     })
 }
 
@@ -133,7 +158,8 @@ pub fn append_bench_json(path: &str, reports: &[CampaignReport]) {
     let record = format!(
         concat!(
             "{{\"epoch_s\":{},",
-            "\"knobs\":{{\"code_cache\":{},\"heap_snapshot\":{},\"predecode\":{}}},",
+            "\"knobs\":{{\"code_cache\":{},\"heap_snapshot\":{},\"predecode\":{},",
+            "\"hash_cons\":{},\"family_share\":{}}},",
             "\"metrics\":{},",
             "\"table2\":{{\"tested_instructions\":{},\"interpreter_paths\":{},",
             "\"curated_paths\":{},\"differences\":{}}}}}\n"
@@ -142,6 +168,8 @@ pub fn append_bench_json(path: &str, reports: &[CampaignReport]) {
         knobs.code_cache_enabled(),
         knobs.heap_snapshot_enabled(),
         knobs.predecode_enabled(),
+        knobs.hash_cons_enabled(),
+        knobs.family_share_enabled(),
         total.to_json(),
         row.tested_instructions,
         row.interpreter_paths,

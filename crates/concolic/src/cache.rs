@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
 use crate::explore::{ExplorationResult, Explorer, InstrUnderTest};
@@ -45,6 +45,8 @@ pub struct ExplorationCache {
     map: RwLock<HashMap<ExplorationKey, Arc<ExplorationResult>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    family_hits: AtomicUsize,
+    family_fallbacks: AtomicUsize,
 }
 
 impl ExplorationCache {
@@ -61,8 +63,26 @@ impl ExplorationCache {
         instr: InstrUnderTest,
         probes: bool,
     ) -> CacheLookup {
+        self.get_or_explore_with(explorer, instr, probes, false)
+    }
+
+    /// [`ExplorationCache::get_or_explore`], optionally with
+    /// family-shared exploration: on a miss for a bytecode whose
+    /// [`igjit_bytecode::Instruction::family_rep`] differs from
+    /// itself, the representative's exploration (cached with a replay
+    /// log) is *replayed* for this member — verified step by step,
+    /// with a fall back to a full exploration on any mismatch — so a
+    /// whole immediate-parameterized family costs one negation-tree
+    /// solve instead of one per opcode.
+    pub fn get_or_explore_with(
+        &self,
+        explorer: &Explorer,
+        instr: InstrUnderTest,
+        probes: bool,
+        family_share: bool,
+    ) -> CacheLookup {
         let key = (instr, probes);
-        if let Some(found) = self.map.read().expect("cache lock").get(&key) {
+        if let Some(found) = self.read_map().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return CacheLookup {
                 exploration: Arc::clone(found),
@@ -71,20 +91,97 @@ impl ExplorationCache {
             };
         }
         let t0 = Instant::now();
+        if family_share {
+            if let InstrUnderTest::Bytecode(member) = instr {
+                let rep = member.family_rep();
+                if rep != member {
+                    // A non-representative member: fetch (or build)
+                    // the family's shared exploration, then replay it
+                    // for this opcode. The recursion holds no locks.
+                    let rep_lookup = self.get_or_explore_with(
+                        explorer,
+                        InstrUnderTest::Bytecode(rep),
+                        probes,
+                        true,
+                    );
+                    match crate::family::replay(explorer, &rep_lookup.exploration, member) {
+                        Some(replayed) => {
+                            self.family_hits.fetch_add(1, Ordering::Relaxed);
+                            return self.insert(key, replayed, t0);
+                        }
+                        None => {
+                            self.family_fallbacks.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+        }
+        // A native, a family representative, a member whose replay
+        // failed verification, or sharing is off: explore in full.
+        // Representatives record the replay log members will need
+        // (one model clone per node, so only paid when sharing).
+        let record = family_share
+            && matches!(instr, InstrUnderTest::Bytecode(b) if b.family_rep() == b);
+        let explored = self.explore_full(explorer, instr, probes, record);
+        self.insert(key, explored, t0)
+    }
+
+    /// Runs a full exploration (the miss path), attaching probe
+    /// models when probing is part of the key.
+    fn explore_full(
+        &self,
+        explorer: &Explorer,
+        instr: InstrUnderTest,
+        probes: bool,
+        record_replay: bool,
+    ) -> ExplorationResult {
+        let mut explorer = explorer.clone();
+        explorer.record_replay = record_replay;
         let mut explored = explorer.explore(instr);
         if probes {
             // Probing depends only on the exploration, never on the
             // compiler target, so precompute it here: every target
             // (and every worker) sharing this entry reuses one probe
             // pass instead of re-solving the hypotheses per tier.
-            explored.attach_probe_models(crate::probes::DEFAULT_MAX_PROBES);
+            explored.attach_probe_models(crate::probes::DEFAULT_MAX_PROBES, explorer.hash_cons);
         }
+        explored
+    }
+
+    /// Publishes a freshly-computed entry (first insert wins) and
+    /// accounts the miss.
+    fn insert(
+        &self,
+        key: ExplorationKey,
+        explored: ExplorationResult,
+        t0: Instant,
+    ) -> CacheLookup {
         let explored = Arc::new(explored);
         let explore_time = t0.elapsed();
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let mut map = self.map.write().expect("cache lock");
+        let mut map = self.write_map();
         let entry = map.entry(key).or_insert_with(|| Arc::clone(&explored));
         CacheLookup { exploration: Arc::clone(entry), hit: false, explore_time }
+    }
+
+    /// The map behind its read lock. A poisoned lock only means some
+    /// other worker panicked *outside* a write (reads never leave the
+    /// map half-updated, and the single write is an `entry` insert
+    /// that cannot panic halfway), so the map is still coherent —
+    /// recover it instead of cascading the panic across every
+    /// campaign worker.
+    fn read_map(
+        &self,
+    ) -> std::sync::RwLockReadGuard<'_, HashMap<ExplorationKey, Arc<ExplorationResult>>> {
+        self.map.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The map behind its write lock; see
+    /// [`ExplorationCache::read_map`] on poison recovery.
+    fn write_map(
+        &self,
+    ) -> std::sync::RwLockWriteGuard<'_, HashMap<ExplorationKey, Arc<ExplorationResult>>> {
+        self.map.write().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Explorations served from the cache.
@@ -95,6 +192,18 @@ impl ExplorationCache {
     /// Explorations that had to run.
     pub fn misses(&self) -> usize {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Misses served by verified family replay instead of a full
+    /// exploration.
+    pub fn family_hits(&self) -> usize {
+        self.family_hits.load(Ordering::Relaxed)
+    }
+
+    /// Family replays that failed verification and fell back to a
+    /// full exploration.
+    pub fn family_fallbacks(&self) -> usize {
+        self.family_fallbacks.load(Ordering::Relaxed)
     }
 
     /// Fraction of lookups served from the cache (0 when unused).
@@ -110,7 +219,7 @@ impl ExplorationCache {
 
     /// Number of distinct explorations held.
     pub fn len(&self) -> usize {
-        self.map.read().expect("cache lock").len()
+        self.read_map().len()
     }
 
     /// Whether the cache holds nothing.
@@ -120,9 +229,11 @@ impl ExplorationCache {
 
     /// Drops all entries and resets the counters.
     pub fn clear(&self) {
-        self.map.write().expect("cache lock").clear();
+        self.write_map().clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.family_hits.store(0, Ordering::Relaxed);
+        self.family_fallbacks.store(0, Ordering::Relaxed);
     }
 }
 
@@ -157,6 +268,76 @@ mod tests {
         assert!(!cache.get_or_explore(&explorer, instr, false).hit);
         assert!(!cache.get_or_explore(&explorer, instr, true).hit);
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn family_members_replay_their_representative() {
+        let cache = ExplorationCache::new();
+        let explorer = Explorer::new();
+        // Two members of the short-jump-true family: the first miss
+        // explores the representative (plus the member itself as a
+        // replay), the second only replays.
+        let a = cache.get_or_explore_with(
+            &explorer,
+            InstrUnderTest::Bytecode(Instruction::ShortJumpTrue(4)),
+            false,
+            true,
+        );
+        let b = cache.get_or_explore_with(
+            &explorer,
+            InstrUnderTest::Bytecode(Instruction::ShortJumpTrue(7)),
+            false,
+            true,
+        );
+        assert_eq!(cache.family_hits(), 2);
+        assert_eq!(cache.family_fallbacks(), 0);
+        // Members keep their own outcome payloads.
+        let displacement_of = |l: &CacheLookup| {
+            l.exploration
+                .paths
+                .iter()
+                .find_map(|p| match p.outcome {
+                    crate::PathOutcome::Jump { displacement } => Some(displacement),
+                    _ => None,
+                })
+                .expect("jump path")
+        };
+        assert_eq!(displacement_of(&a), 4);
+        assert_eq!(displacement_of(&b), 7);
+        // …and identical path structure to a from-scratch exploration.
+        let fresh = explorer.explore(InstrUnderTest::Bytecode(Instruction::ShortJumpTrue(7)));
+        let digest = |r: &crate::ExplorationResult| {
+            r.paths
+                .iter()
+                .map(|p| format!("{:?}|{:?}|{:?}", p.constraints, p.outcome, p.output_stack))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(digest(&b.exploration), digest(&fresh));
+        assert_eq!(b.exploration.iterations, fresh.iterations);
+    }
+
+    #[test]
+    fn family_sharing_collapses_constant_pushes() {
+        let cache = ExplorationCache::new();
+        let explorer = Explorer::new();
+        for i in [
+            Instruction::PushTrue,
+            Instruction::PushFalse,
+            Instruction::PushNil,
+            Instruction::PushZero,
+            Instruction::PushOne,
+            Instruction::PushMinusOne,
+            Instruction::PushTwo,
+        ] {
+            let l = cache.get_or_explore_with(&explorer, InstrUnderTest::Bytecode(i), false, true);
+            assert_eq!(l.exploration.paths.len(), 1, "{i:?}");
+            // Each member pushes *its own* constant.
+            let top = l.exploration.paths[0].output_stack[0];
+            let fresh = explorer.explore(InstrUnderTest::Bytecode(i));
+            assert_eq!(top, fresh.paths[0].output_stack[0], "{i:?}");
+        }
+        assert_eq!(cache.family_hits(), 6, "one rep exploration, six replays");
+        assert_eq!(cache.family_fallbacks(), 0);
     }
 
     #[test]

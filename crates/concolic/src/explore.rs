@@ -5,18 +5,41 @@
 //! stop at failing paths — every exit condition (§3.4) is a result the
 //! differential tester wants.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 use igjit_bytecode::{Instruction, SpecialSelector};
 use igjit_heap::{ObjectMemory, Oop};
 use igjit_interp::{
     run_native, step, NativeMethodId, NativeOutcome, Selector, StepOutcome,
 };
-use igjit_solver::{Constraint, Model, Session, SessionStats, SolveError};
+use igjit_solver::{
+    Constraint, Model, Session, SessionStats, SolveError, TermTable, VarId,
+};
 
-use crate::materialize::materialize_frame;
+use crate::materialize::{materialize_frame, MaterializedFrame};
 use crate::state::AbstractState;
 use crate::sym::SymOop;
+
+/// Why an exploration request was rejected before any path ran.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExploreError {
+    /// [`Explorer::explore_sequence`] was handed no instructions.
+    EmptySequence,
+}
+
+impl std::fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExploreError::EmptySequence => {
+                write!(f, "cannot explore an empty instruction sequence")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExploreError {}
 
 /// What instruction is being explored.
 ///
@@ -139,6 +162,28 @@ pub enum CurationReason {
     Budget,
 }
 
+/// One executed node of a negation walk, recorded (in walk order) so
+/// a family member can *replay* its representative's exploration:
+/// re-run the member's instruction against the same solver models and
+/// verify the recorded tree shape holds, instead of re-solving the
+/// whole tree.
+#[derive(Clone, Debug)]
+pub struct ReplayStep {
+    /// The model the node's concrete frame was built from.
+    pub model: Model,
+    /// The path condition execution recorded (post-truncation).
+    pub constraints: Vec<Constraint>,
+    /// Outcome discriminant (payloads are member-specific and are
+    /// recomputed by the replay, e.g. jump displacements).
+    pub disc: u8,
+    /// The curation reason when the outcome was `Unsupported`.
+    pub unsupported: Option<&'static str>,
+    /// Whether this node survived path dedup and stored a path
+    /// (`false` for signature-duplicate nodes that only burned an
+    /// iteration).
+    pub stored: bool,
+}
+
 /// The result of exploring one instruction.
 #[derive(Clone, Debug)]
 pub struct ExplorationResult {
@@ -162,6 +207,11 @@ pub struct ExplorationResult {
     /// function of the exploration, so attaching it to the shared
     /// result lets every compiler target reuse one probe pass.
     pub probe_models: Vec<Vec<Model>>,
+    /// The walk-order execution log, present only when the explorer
+    /// ran with [`Explorer::record_replay`] — the exploration cache
+    /// records it on family representatives so members can replay
+    /// them.
+    pub replay_log: Option<Vec<ReplayStep>>,
 }
 
 impl ExplorationResult {
@@ -179,16 +229,26 @@ impl ExplorationResult {
     /// probe solver's work counters are folded into
     /// [`ExplorationResult::solver`], so a campaign charging this
     /// exploration charges its probing too.
-    pub fn attach_probe_models(&mut self, max_probes: usize) {
+    /// One solver session serves every path: variables are synced and
+    /// normalization plans warmed once, each path's condition lives in
+    /// its own push/pop scope, and the cached model is cleared between
+    /// paths so no path's reuse can see another's model — keeping the
+    /// models per path exactly those of a fresh per-path session.
+    pub fn attach_probe_models(&mut self, max_probes: usize, hash_cons: bool) {
         let mut all = Vec::new();
-        let mut stats = SessionStats::default();
+        let mut session = Session::new();
+        session.set_reuse_models(true);
+        session.set_hash_cons(hash_cons);
+        session.sync_vars(self.state.specs());
         for path in self.curated_paths() {
-            let (models, s) = crate::probes::probe_models_with_stats(&self.state, path, max_probes);
-            stats.merge(&s);
+            session.push();
+            let models = crate::probes::probe_path(&mut session, &self.state, path, max_probes);
+            session.pop();
+            session.clear_cached_model();
             all.push(models);
         }
         self.probe_models = all;
-        self.solver.merge(&stats);
+        self.solver.merge(&session.stats());
     }
 }
 
@@ -199,6 +259,20 @@ pub struct Explorer {
     pub max_iterations: usize,
     /// Max recorded path length considered for negation.
     pub max_path_len: usize,
+    /// Hash-cons constraints inside the walk's solver session and key
+    /// path dedup on interned term ids instead of `format!`ed text
+    /// (`IGJIT_HASH_CONS`). Invisible to results; on by default.
+    pub hash_cons: bool,
+    /// Number of threads negating sibling subtrees of the root path
+    /// in parallel (`IGJIT_NEGATE_THREADS`; `1` = sequential).
+    /// Subtrees are explored speculatively and spliced back in the
+    /// sequential walk order, falling back to an in-place sequential
+    /// re-run whenever a speculation is not provably equivalent — so
+    /// results are deterministic and identical to a sequential walk.
+    pub negation_threads: usize,
+    /// Record a [`ReplayStep`] per executed node (family-sharing
+    /// support; costs one model clone per node, so off by default).
+    pub record_replay: bool,
 }
 
 impl Default for Explorer {
@@ -210,7 +284,13 @@ impl Default for Explorer {
 impl Explorer {
     /// An explorer with default budgets.
     pub fn new() -> Explorer {
-        Explorer { max_iterations: 192, max_path_len: 48 }
+        Explorer {
+            max_iterations: 192,
+            max_path_len: 48,
+            hash_cons: true,
+            negation_threads: 1,
+            record_replay: false,
+        }
     }
 
     /// Explores every reachable execution path of `instr`.
@@ -229,11 +309,16 @@ impl Explorer {
     /// The recorded path condition covers the whole sequence, so one
     /// negation loop explores the cross product of the instructions'
     /// branch structures.
-    pub fn explore_sequence(&self, instrs: &[Instruction]) -> ExplorationResult {
-        assert!(!instrs.is_empty(), "empty sequence");
-        let tag = InstrUnderTest::Bytecode(*instrs.last().expect("nonempty"));
+    pub fn explore_sequence(
+        &self,
+        instrs: &[Instruction],
+    ) -> Result<ExplorationResult, ExploreError> {
+        let Some(&tag) = instrs.last() else {
+            return Err(ExploreError::EmptySequence);
+        };
+        let tag = InstrUnderTest::Bytecode(tag);
         let instrs = instrs.to_vec();
-        self.explore_impl(tag, move |ctx, frame| {
+        Ok(self.explore_impl(tag, move |ctx, frame| {
             for (i, &instr) in instrs.iter().enumerate() {
                 let last = i + 1 == instrs.len();
                 match step(ctx, frame, instr) {
@@ -246,30 +331,42 @@ impl Explorer {
                 }
             }
             PathOutcome::Success
-        })
+        }))
     }
 
     fn explore_impl<F>(&self, instr: InstrUnderTest, exec: F) -> ExplorationResult
     where
         F: Fn(
-            &mut crate::trace::ConcolicContext<'_>,
-            &mut igjit_interp::Frame<SymOop>,
-        ) -> PathOutcome,
+                &mut crate::trace::ConcolicContext<'_>,
+                &mut igjit_interp::Frame<SymOop>,
+            ) -> PathOutcome
+            + Sync,
     {
+        let mut session = Session::new();
+        session.set_hash_cons(self.hash_cons);
+        // Interned path signatures are only comparable within one
+        // table; speculative subtree workers each build their own, so
+        // the parallel walk keys dedup on the textual signature.
+        let sig_table = (self.hash_cons && self.negation_threads <= 1).then(TermTable::new);
         let mut walk = NegationWalk {
             explorer: self,
             instr,
             exec: &exec,
             state: AbstractState::new(),
-            session: Session::new(),
+            session,
+            sig_table,
             visited: HashSet::new(),
             paths: Vec::new(),
             curated_out: Vec::new(),
             iterations: 0,
             budget_noted: false,
+            extra_stats: SessionStats::default(),
+            replay: Vec::new(),
+            scratch: None,
         };
         walk.visit(0);
-        let solver = walk.session.stats();
+        let mut solver = walk.session.stats();
+        solver.merge(&walk.extra_stats);
         ExplorationResult {
             paths: walk.paths,
             curated_out: walk.curated_out,
@@ -277,6 +374,7 @@ impl Explorer {
             iterations: walk.iterations,
             solver,
             probe_models: Vec::new(),
+            replay_log: self.record_replay.then_some(walk.replay),
         }
     }
 }
@@ -297,16 +395,61 @@ struct NegationWalk<'e, F> {
     exec: &'e F,
     state: AbstractState,
     session: Session,
-    visited: HashSet<String>,
+    /// Present iff dedup keys on interned constraint ids; `None`
+    /// falls back to the historical textual signature.
+    sig_table: Option<TermTable>,
+    visited: HashSet<PathSig>,
     paths: Vec<ExploredPath>,
     curated_out: Vec<CurationReason>,
     iterations: usize,
     budget_noted: bool,
+    /// Solver work done by spliced speculative subtrees (their fresh
+    /// sessions), folded into the final result's counters.
+    extra_stats: SessionStats,
+    /// Walk-order replay log (only fed when `record_replay` is on).
+    replay: Vec<ReplayStep>,
+    /// Scratch heap reused across visits (reset to fresh each time)
+    /// so the walk does not pay an arena allocation per node.
+    scratch: Option<ObjectMemory>,
+}
+
+/// A path-dedup key: the path condition plus the outcome
+/// discriminant. Both forms implement the same equivalence — the
+/// interner's structural identity matches `{:?}` text (NaNs collapse,
+/// `-0.0` stays distinct from `0.0`) — but ids are only comparable
+/// within one [`TermTable`].
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum PathSig {
+    Text(String),
+    Ids(Vec<u32>, u8),
+}
+
+/// One speculatively-explored sibling subtree, produced by a worker
+/// thread from a snapshot of the walk taken right after the parent
+/// node executed.
+struct Subtree {
+    state: AbstractState,
+    visited: HashSet<PathSig>,
+    paths: Vec<ExploredPath>,
+    curated_out: Vec<CurationReason>,
+    consumed: usize,
+    budget_noted: bool,
+    stats: SessionStats,
+    replay: Vec<ReplayStep>,
+}
+
+/// The walk snapshot speculative workers start from, plus their
+/// results in canonical (descending suffix position) merge order.
+struct Speculation {
+    base_state: AbstractState,
+    base_visited: HashSet<PathSig>,
+    subtrees: Vec<Option<Subtree>>,
 }
 
 impl<F> NegationWalk<'_, F>
 where
-    F: Fn(&mut crate::trace::ConcolicContext<'_>, &mut igjit_interp::Frame<SymOop>) -> PathOutcome,
+    F: Fn(&mut crate::trace::ConcolicContext<'_>, &mut igjit_interp::Frame<SymOop>) -> PathOutcome
+        + Sync,
 {
     /// Visits the node whose path condition is currently in scope in
     /// the session; `depth` is the number of prefix steps already
@@ -331,47 +474,50 @@ where
             }
         };
 
-        let mut mem = ObjectMemory::new();
-        let mat = materialize_frame(&mut self.state, &model, &mut mem);
-        let mut frame = mat.frame.clone();
-        let (outcome, path) = {
+        let mut mem = match self.scratch.take() {
+            Some(mut m) => {
+                m.reset();
+                m
+            }
+            None => ObjectMemory::new(),
+        };
+        let MaterializedFrame { mut frame, var_oops, .. } =
+            materialize_frame(&mut self.state, &model, &mut mem);
+        let (outcome, mut path) = {
             let mut ctx =
                 crate::trace::ConcolicContext::new(&mut mem, &mut self.state, frame.depth());
             let outcome = (self.exec)(&mut ctx, &mut frame);
             (outcome, ctx.take_path())
         };
-        let path: Vec<Constraint> =
-            path.into_iter().take(self.explorer.max_path_len).collect();
+        path.truncate(self.explorer.max_path_len);
+        let path = path;
 
-        let signature = format!("{path:?}|{:?}", discriminant_of(&outcome));
-        if !self.visited.insert(signature) {
+        let disc = discriminant_of(&outcome);
+        let signature = match &mut self.sig_table {
+            Some(t) => PathSig::Ids(path.iter().map(|c| t.intern(c).0).collect(), disc),
+            None => PathSig::Text(format!("{path:?}|{disc:?}")),
+        };
+        let is_new = self.visited.insert(signature);
+        if self.explorer.record_replay {
+            self.replay.push(ReplayStep {
+                model: model.clone(),
+                constraints: path.clone(),
+                disc,
+                unsupported: match outcome {
+                    PathOutcome::Unsupported { reason } => Some(reason),
+                    _ => None,
+                },
+                stored: is_new,
+            });
+        }
+        if !is_new {
+            self.scratch = Some(mem);
             return;
         }
         // Snapshot outputs for the oracle.
-        let output_stack: Vec<Oop> = frame.stack.iter().map(|s| s.concrete).collect();
-        let output_temps: Vec<Oop> = frame.temps.iter().map(|s| s.concrete).collect();
-        let mut object_dumps = Vec::new();
-        for (&var, &oop) in &mat.var_oops {
-            if !mem.is_live_object(oop) {
-                continue;
-            }
-            let slots = match mem.format_of(oop) {
-                Ok(f) if f.has_pointer_slots() => {
-                    let n = mem.element_count(oop).unwrap_or(0);
-                    (0..n).filter_map(|i| mem.fetch_pointer(oop, i).ok()).collect()
-                }
-                _ => Vec::new(),
-            };
-            let bytes = match mem.format_of(oop) {
-                Ok(f) if f.is_bytes() => {
-                    let n = mem.byte_count(oop).unwrap_or(0);
-                    (0..n).filter_map(|i| mem.fetch_byte(oop, i).ok()).collect()
-                }
-                _ => Vec::new(),
-            };
-            object_dumps.push(ObjectDump { var, oop, slots, bytes });
-        }
-        object_dumps.sort_by_key(|d| d.var);
+        let (output_stack, output_temps, object_dumps) =
+            snapshot_outputs(&frame, &mem, &var_oops);
+        self.scratch = Some(mem);
         if let PathOutcome::Unsupported { reason } = outcome {
             self.curated_out.push(CurationReason::Unsupported(reason));
         }
@@ -396,16 +542,165 @@ where
         for step in path.iter().take(len).skip(depth) {
             self.session.push_assert(step.clone());
         }
-        for i in (depth..len).rev() {
+        let mut speculation = (depth == 0
+            && self.explorer.negation_threads > 1
+            && len > depth + 1)
+            .then(|| self.speculate_subtrees(depth, &path));
+        for (k, i) in (depth..len).rev().enumerate() {
             self.session.pop(); // retract `path[i]`…
             self.session.push_assert(path[i].negated()); // …negate it…
-            self.visit(i + 1); // …and explore that subtree.
+            let sub = speculation.as_mut().and_then(|sp| sp.subtrees[k].take());
+            let spliced = match (sub, &speculation) {
+                (Some(sub), Some(sp)) => self.try_splice(sub, sp),
+                _ => false,
+            };
+            if !spliced {
+                self.visit(i + 1); // …and explore that subtree.
+            }
             self.session.pop();
         }
     }
+
+    /// Explores every sibling subtree of the root node concurrently,
+    /// each worker starting from a snapshot of the walk and a fresh
+    /// solver session asserting the same in-scope constraint sequence
+    /// (which the session determinism contract makes equivalent).
+    /// Workers drain one shared atomic index — no locks anywhere —
+    /// and results land in per-subtree slots for the deterministic
+    /// in-order merge done by [`NegationWalk::try_splice`].
+    fn speculate_subtrees(&mut self, depth: usize, path: &[Constraint]) -> Speculation {
+        let len = path.len();
+        let base_state = self.state.clone();
+        let base_visited = self.visited.clone();
+        let base_iter = self.iterations;
+        let order: Vec<usize> = (depth..len).rev().collect();
+        let next = AtomicUsize::new(0);
+        let slots: Vec<OnceLock<Subtree>> = order.iter().map(|_| OnceLock::new()).collect();
+        let explorer = self.explorer;
+        let instr = self.instr;
+        let exec = self.exec;
+        std::thread::scope(|s| {
+            for _ in 0..explorer.negation_threads.min(order.len()) {
+                s.spawn(|| loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&i) = order.get(k) else { break };
+                    let mut session = Session::new();
+                    session.set_hash_cons(explorer.hash_cons);
+                    let mut w = NegationWalk {
+                        explorer,
+                        instr,
+                        exec,
+                        state: base_state.clone(),
+                        session,
+                        sig_table: None,
+                        visited: base_visited.clone(),
+                        paths: Vec::new(),
+                        curated_out: Vec::new(),
+                        iterations: base_iter,
+                        budget_noted: false,
+                        extra_stats: SessionStats::default(),
+                        replay: Vec::new(),
+                        scratch: None,
+                    };
+                    w.session.sync_vars(w.state.specs());
+                    for c in &path[..i] {
+                        w.session.push_assert(c.clone());
+                    }
+                    w.session.push_assert(path[i].negated());
+                    w.visit(i + 1);
+                    let stats = w.session.stats();
+                    let _ = slots[k].set(Subtree {
+                        state: w.state,
+                        visited: w.visited,
+                        paths: w.paths,
+                        curated_out: w.curated_out,
+                        consumed: w.iterations - base_iter,
+                        budget_noted: w.budget_noted,
+                        stats,
+                        replay: w.replay,
+                    });
+                });
+            }
+        });
+        Speculation {
+            base_state,
+            base_visited,
+            subtrees: slots.into_iter().map(OnceLock::into_inner).collect(),
+        }
+    }
+
+    /// Adopts a speculative subtree's results if they are provably
+    /// what the sequential walk would have computed in place:
+    ///
+    /// * no earlier subtree changed the abstract state the worker
+    ///   snapshot started from (new variables would renumber),
+    /// * none of the worker's newly-visited path signatures collide
+    ///   with signatures an earlier subtree claimed (dedup races),
+    /// * the iteration budget provably never cuts in mid-subtree.
+    ///
+    /// Returns `false` (splice refused, caller re-runs sequentially)
+    /// otherwise.
+    fn try_splice(&mut self, sub: Subtree, sp: &Speculation) -> bool {
+        if sub.budget_noted
+            || self.iterations + sub.consumed > self.explorer.max_iterations
+            || self.state != sp.base_state
+        {
+            return false;
+        }
+        let fresh: Vec<&PathSig> = sub.visited.difference(&sp.base_visited).collect();
+        if fresh.iter().any(|sig| self.visited.contains(*sig)) {
+            return false;
+        }
+        self.state = sub.state;
+        for sig in sub.visited {
+            self.visited.insert(sig);
+        }
+        self.paths.extend(sub.paths);
+        self.curated_out.extend(sub.curated_out);
+        self.iterations += sub.consumed;
+        self.extra_stats.merge(&sub.stats);
+        self.replay.extend(sub.replay);
+        true
+    }
 }
 
-fn discriminant_of(o: &PathOutcome) -> u8 {
+/// Snapshots a frame's oracle outputs — operand stack, temps and the
+/// post-state of every live materialized input object — shared by the
+/// negation walk and the family-replay path so both produce
+/// byte-identical [`ExploredPath`] rows.
+pub(crate) fn snapshot_outputs(
+    frame: &igjit_interp::Frame<SymOop>,
+    mem: &ObjectMemory,
+    var_oops: &HashMap<VarId, Oop>,
+) -> (Vec<Oop>, Vec<Oop>, Vec<ObjectDump>) {
+    let output_stack: Vec<Oop> = frame.stack.iter().map(|s| s.concrete).collect();
+    let output_temps: Vec<Oop> = frame.temps.iter().map(|s| s.concrete).collect();
+    let mut object_dumps = Vec::new();
+    for (&var, &oop) in var_oops {
+        if !mem.is_live_object(oop) {
+            continue;
+        }
+        let slots = match mem.format_of(oop) {
+            Ok(f) if f.has_pointer_slots() => {
+                let n = mem.element_count(oop).unwrap_or(0);
+                (0..n).filter_map(|i| mem.fetch_pointer(oop, i).ok()).collect()
+            }
+            _ => Vec::new(),
+        };
+        let bytes = match mem.format_of(oop) {
+            Ok(f) if f.is_bytes() => {
+                let n = mem.byte_count(oop).unwrap_or(0);
+                (0..n).filter_map(|i| mem.fetch_byte(oop, i).ok()).collect()
+            }
+            _ => Vec::new(),
+        };
+        object_dumps.push(ObjectDump { var, oop, slots, bytes });
+    }
+    object_dumps.sort_by_key(|d| d.var);
+    (output_stack, output_temps, object_dumps)
+}
+
+pub(crate) fn discriminant_of(o: &PathOutcome) -> u8 {
     match o {
         PathOutcome::Success => 0,
         PathOutcome::Jump { .. } => 1,
@@ -418,7 +713,7 @@ fn discriminant_of(o: &PathOutcome) -> u8 {
     }
 }
 
-fn convert_step(outcome: StepOutcome<SymOop>) -> PathOutcome {
+pub(crate) fn convert_step(outcome: StepOutcome<SymOop>) -> PathOutcome {
     match outcome {
         StepOutcome::Continue => PathOutcome::Success,
         StepOutcome::Jump { displacement } => PathOutcome::Jump { displacement },
@@ -596,12 +891,14 @@ mod tests {
     #[test]
     fn sequences_chain_constraints_across_instructions() {
         // push 2; push 3; Add; Pop — runs clean end to end.
-        let r = Explorer::new().explore_sequence(&[
-            Instruction::PushTwo,
-            Instruction::PushInteger(3),
-            Instruction::Add,
-            Instruction::Pop,
-        ]);
+        let r = Explorer::new()
+            .explore_sequence(&[
+                Instruction::PushTwo,
+                Instruction::PushInteger(3),
+                Instruction::Add,
+                Instruction::Pop,
+            ])
+            .unwrap();
         // Constants only: one success path, empty output stack.
         let successes: Vec<_> = r
             .paths
@@ -617,7 +914,8 @@ mod tests {
         // [Add, Add]: the first Add's operands come from the frame;
         // paths must include double-success and first-add-sends.
         let r = Explorer::new()
-            .explore_sequence(&[Instruction::Add, Instruction::Add]);
+            .explore_sequence(&[Instruction::Add, Instruction::Add])
+            .unwrap();
         let has_full_success = r.paths.iter().any(|p| {
             matches!(p.outcome, PathOutcome::Success) && p.output_stack.len() == 1
         });
@@ -633,15 +931,80 @@ mod tests {
 
     #[test]
     fn sequence_jumps_terminate_the_path() {
-        let r = Explorer::new().explore_sequence(&[
-            Instruction::PushTrue,
-            Instruction::ShortJumpTrue(4),
-            Instruction::PushNil, // unreachable when the jump is taken
-        ]);
+        let r = Explorer::new()
+            .explore_sequence(&[
+                Instruction::PushTrue,
+                Instruction::ShortJumpTrue(4),
+                Instruction::PushNil, // unreachable when the jump is taken
+            ])
+            .unwrap();
         assert!(r
             .paths
             .iter()
             .any(|p| matches!(p.outcome, PathOutcome::Jump { .. })));
+    }
+
+    #[test]
+    fn empty_sequences_are_an_error_not_a_panic() {
+        assert_eq!(
+            Explorer::new().explore_sequence(&[]).err(),
+            Some(ExploreError::EmptySequence)
+        );
+    }
+
+    fn paths_digest(r: &ExplorationResult) -> Vec<String> {
+        r.paths
+            .iter()
+            .map(|p| {
+                format!(
+                    "{:?}|{:?}|{:?}|{:?}|{:?}",
+                    p.constraints, p.outcome, p.output_stack, p.output_temps, p.object_dumps
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn textual_and_interned_dedup_agree() {
+        for i in [Instruction::Add, Instruction::ShortJumpTrue(4), Instruction::Pop] {
+            let mut plain = Explorer::new();
+            plain.hash_cons = false;
+            let a = plain.explore(InstrUnderTest::Bytecode(i));
+            let b = explore_bytecode(i);
+            assert_eq!(paths_digest(&a), paths_digest(&b), "{i:?}");
+            assert_eq!(a.iterations, b.iterations, "{i:?}");
+            assert_eq!(a.curated_out, b.curated_out, "{i:?}");
+            assert_eq!(a.solver.nodes_visited, b.solver.nodes_visited, "{i:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_negation_matches_sequential() {
+        for i in [Instruction::Add, Instruction::ShortJumpTrue(4), Instruction::BitShift] {
+            let mut par = Explorer::new();
+            par.negation_threads = 4;
+            let a = par.explore(InstrUnderTest::Bytecode(i));
+            let b = explore_bytecode(i);
+            assert_eq!(paths_digest(&a), paths_digest(&b), "{i:?}");
+            assert_eq!(a.iterations, b.iterations, "{i:?}");
+            assert_eq!(a.curated_out, b.curated_out, "{i:?}");
+            assert_eq!(a.state, b.state, "{i:?}");
+        }
+    }
+
+    #[test]
+    fn replay_log_covers_every_stored_path() {
+        let mut ex = Explorer::new();
+        ex.record_replay = true;
+        let r = ex.explore(InstrUnderTest::Bytecode(Instruction::Add));
+        let log = r.replay_log.as_ref().expect("log recorded");
+        let stored: Vec<_> = log.iter().filter(|s| s.stored).collect();
+        assert_eq!(stored.len(), r.paths.len());
+        for (step, path) in stored.iter().zip(&r.paths) {
+            assert_eq!(step.constraints, path.constraints);
+            assert_eq!(step.model, path.model);
+            assert_eq!(step.disc, discriminant_of(&path.outcome));
+        }
     }
 
     #[test]

@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 
 mod explore;
+mod family;
 mod materialize;
 mod probes;
 mod state;
@@ -53,8 +54,8 @@ mod trace;
 
 pub use cache::{CacheLookup, ExplorationCache, ExplorationKey};
 pub use probes::{probe_models, probe_models_with_stats, DEFAULT_MAX_PROBES};
-pub use explore::{CurationReason, ExplorationResult, Explorer, ExploredPath, InstrUnderTest,
-                  ObjectDump, PathOutcome, SendRecord};
+pub use explore::{CurationReason, ExplorationResult, ExploreError, Explorer, ExploredPath,
+                  InstrUnderTest, ObjectDump, PathOutcome, ReplayStep, SendRecord};
 pub use materialize::{materialize_base, materialize_frame, BaseImage, MaterializedFrame,
     WitnessError};
 pub use state::{byte_kinds, class_for_kind, kind_for_class, pointer_slot_kinds, AbstractState,

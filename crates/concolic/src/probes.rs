@@ -14,7 +14,7 @@
 //! with a differently-typed operand.
 
 use crate::{AbstractState, ExploredPath};
-use igjit_solver::{CmpOp, Constraint, Kind, LinExpr, Model, Session, SessionStats, VarId};
+use igjit_solver::{CmpOp, Constraint, Kind, KindSet, LinExpr, Model, Session, SessionStats, VarId};
 
 /// Kinds tried for each probed variable.
 const PROBE_KINDS: [Kind; 3] = [Kind::Float, Kind::Array, Kind::ExternalAddress];
@@ -26,6 +26,33 @@ const PROBE_KINDS: [Kind; 3] = [Kind::Float, Kind::Array, Kind::ExternalAddress]
 /// [`ExplorationResult::attach_probe_models`]: crate::ExplorationResult::attach_probe_models
 pub const DEFAULT_MAX_PROBES: usize = 16;
 
+/// The kinds `var` may take under the path condition, by intersecting
+/// every top-level (and conjunctive) kind constraint. A sound
+/// over-approximation: the solver only ever narrows it further, so a
+/// probe kind outside this set is certainly unsatisfiable and its
+/// solve can be skipped. `Or` branches are ignored (they do not all
+/// hold), keeping the estimate conservative.
+fn static_kinds(constraints: &[Constraint], var: VarId) -> KindSet {
+    fn narrow(c: &Constraint, var: VarId, acc: &mut KindSet) {
+        match c {
+            Constraint::Kind { var: v, allowed } if *v == var => {
+                *acc = acc.intersect(*allowed);
+            }
+            Constraint::And(cs) => {
+                for c in cs {
+                    narrow(c, var, acc);
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut acc = KindSet::ANY;
+    for c in constraints {
+        narrow(c, var, &mut acc);
+    }
+    acc
+}
+
 /// [`probe_models`], also reporting the incremental-solver work
 /// counters (for the campaign metrics).
 pub fn probe_models_with_stats(
@@ -33,6 +60,32 @@ pub fn probe_models_with_stats(
     path: &ExploredPath,
     max_probes: usize,
 ) -> (Vec<Model>, SessionStats) {
+    let mut session = Session::new();
+    session.set_reuse_models(true);
+    let models = probe_path(&mut session, state, path, max_probes);
+    (models, session.stats())
+}
+
+/// Probes one path through a caller-provided session whose current
+/// scope holds no constraints yet. The path condition is asserted
+/// into that scope, so batching callers wrap each call in push/pop
+/// (plus [`Session::clear_cached_model`]) and pay variable sync and
+/// constraint normalization once per exploration instead of once per
+/// path — returning, by the session determinism contract, exactly
+/// what the fresh-session wrapper above returns.
+///
+/// Model reuse is safe here: a revalidated model satisfies the path
+/// condition *and* the hypothesis, so it drives the interpreter down
+/// the same recorded path with the hypothesized operand kind — the
+/// only scenario reuse can produce is a model an earlier hypothesis
+/// already generated, and duplicate models yield duplicate verdicts
+/// that the cause sets dedup.
+pub(crate) fn probe_path(
+    session: &mut Session,
+    state: &AbstractState,
+    path: &ExploredPath,
+    max_probes: usize,
+) -> Vec<Model> {
     let mut models = vec![path.model.clone()];
     let mut probe_vars: Vec<VarId> = Vec::new();
     probe_vars.push(state.receiver);
@@ -40,16 +93,8 @@ pub fn probe_models_with_stats(
         probe_vars.push(v);
     }
     // The path condition is shared by every hypothesis: assert it once
-    // in the session's base scope, then push/pop one scope per
-    // hypothesis so each solve reuses the path's propagation state.
-    // Model reuse is safe here: a revalidated model satisfies the path
-    // condition *and* the hypothesis, so it drives the interpreter down
-    // the same recorded path with the hypothesized operand kind — the
-    // only scenario reuse can produce is a model an earlier hypothesis
-    // already generated, and duplicate models yield duplicate verdicts
-    // that the cause sets dedup.
-    let mut session = Session::new();
-    session.set_reuse_models(true);
+    // in the enclosing scope, then push/pop one scope per hypothesis
+    // so each solve reuses the path's propagation state.
     session.sync_vars(state.specs());
     for c in &path.constraints {
         session.assert(c.clone());
@@ -66,8 +111,11 @@ pub fn probe_models_with_stats(
             session.pop();
         };
     for &var in &probe_vars {
+        // Skip kinds the path condition itself rules out: those
+        // hypotheses are unsatisfiable before the solver ever runs.
+        let allowed = static_kinds(&path.constraints, var);
         for kind in PROBE_KINDS {
-            if path.model.kind(var) == kind {
+            if path.model.kind(var) == kind || !allowed.contains(kind) {
                 continue;
             }
             // When the variable has an element-count variable, give
@@ -80,12 +128,12 @@ pub fn probe_models_with_stats(
                 ]),
                 _ => Constraint::kind_is(var, kind),
             };
-            try_hypothesis(&mut session, &mut models, hypothesis);
+            try_hypothesis(&mut *session, &mut models, hypothesis);
         }
         // Sign probe: a strictly negative SmallInteger value.
         if path.model.kind(var) == Kind::SmallInt && path.model.int_value(var) >= 0 {
             try_hypothesis(
-                &mut session,
+                &mut *session,
                 &mut models,
                 Constraint::And(vec![
                     Constraint::kind_is(var, Kind::SmallInt),
@@ -102,9 +150,14 @@ pub fn probe_models_with_stats(
     // division and shifts (§4.3: no such solver theory).
     if state.stack_vars.len() >= 2 {
         let (top, below) = (state.stack_vars[0], state.stack_vars[1]);
+        let pair_possible = static_kinds(&path.constraints, top).contains(Kind::SmallInt)
+            && static_kinds(&path.constraints, below).contains(Kind::SmallInt);
         for (rcvr_val, arg_val) in [(-7i64, 3i64), (-7, -3), (7, -3)] {
+            if !pair_possible {
+                break;
+            }
             try_hypothesis(
-                &mut session,
+                &mut *session,
                 &mut models,
                 Constraint::And(vec![
                     Constraint::kind_is(below, Kind::SmallInt),
@@ -119,7 +172,7 @@ pub fn probe_models_with_stats(
             );
         }
     }
-    (models, session.stats())
+    models
 }
 
 /// Generates the base model plus satisfiable probe variants for

@@ -23,7 +23,7 @@ pub enum VarRole {
 
 /// Per-object shape info: the element-count variable and the (lazily
 /// grown) content variables.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, PartialEq, Debug, Default)]
 pub struct ObjShape {
     /// The element-count variable (slot count / byte count).
     pub size_var: Option<VarId>,
@@ -33,7 +33,7 @@ pub struct ObjShape {
 
 /// The variable registry shared by the explorer, the tracing context
 /// and the materializer.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct AbstractState {
     specs: Vec<VarSpec>,
     roles: Vec<VarRole>,

@@ -67,6 +67,20 @@ pub struct CampaignConfig {
     /// reallocates the simulator (the engine-v4 behaviour). Outcomes
     /// are identical either way.
     pub predecode: bool,
+    /// Whether the explorer's solver sessions hash-cons constraints
+    /// (one classification per distinct constraint, interned path
+    /// dedup — engine v6). Off is the engine-v5 behaviour. Outcomes
+    /// are identical either way.
+    pub hash_cons: bool,
+    /// Whether one exploration per instruction *family* is verifiably
+    /// replayed for every member (engine v6) instead of re-solving
+    /// each opcode's negation tree. Off is the engine-v5 behaviour.
+    /// Outcomes are identical either way.
+    pub family_share: bool,
+    /// Threads negating sibling subtrees of one instruction's path
+    /// tree in parallel (1 = sequential; speculative subtrees merge
+    /// deterministically, so outcomes are identical at any count).
+    pub negate_threads: usize,
 }
 
 impl Default for CampaignConfig {
@@ -78,6 +92,9 @@ impl Default for CampaignConfig {
             code_cache: true,
             heap_snapshot: true,
             predecode: true,
+            hash_cons: true,
+            family_share: true,
+            negate_threads: 1,
         }
     }
 }
@@ -124,6 +141,12 @@ pub struct Metrics {
     pub cache_hits: usize,
     /// Exploration-cache misses (explorations actually run).
     pub cache_misses: usize,
+    /// Cache misses served by verified family replay instead of a
+    /// full negation-tree exploration.
+    pub family_hits: usize,
+    /// Family replays that failed verification and fell back to a
+    /// full exploration.
+    pub family_fallbacks: usize,
     /// Compiled-code-cache hits (lookups answered without compiling).
     pub compile_hits: usize,
     /// Compiled-code-cache misses (compiler invocations actually run;
@@ -176,6 +199,8 @@ impl Metrics {
         self.stages_max.merge(&other.stages_max);
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.family_hits += other.family_hits;
+        self.family_fallbacks += other.family_fallbacks;
         self.compile_hits += other.compile_hits;
         self.compile_misses += other.compile_misses;
         self.solver.merge(&other.solver);
@@ -220,7 +245,8 @@ impl Metrics {
             concat!(
                 "{{\"threads\":{},\"instructions\":{},\"wall_clock_ms\":{:.3},",
                 "\"witness_errors\":{},\"oracle_panics\":{},",
-                "\"cache\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{:.4}}},",
+                "\"cache\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{:.4},",
+                "\"family_hits\":{},\"family_fallbacks\":{}}},",
                 "\"compile_cache\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{:.4}}},",
                 "\"solver\":{{\"solves\":{},\"sat\":{},\"unsat\":{},\"nodes_visited\":{},",
                 "\"propagation_reuse\":{},\"rebuilds\":{},\"model_reuse\":{},",
@@ -237,6 +263,8 @@ impl Metrics {
             self.cache_hits,
             self.cache_misses,
             self.cache_hit_rate(),
+            self.family_hits,
+            self.family_fallbacks,
             self.compile_hits,
             self.compile_misses,
             self.compile_hit_rate(),
@@ -371,9 +399,7 @@ impl Campaign {
             isas: vec![Isa::X86ish],
             probes: false,
             threads: 1,
-            code_cache: true,
-            heap_snapshot: true,
-            predecode: true,
+            ..CampaignConfig::default()
         })
     }
 
@@ -424,7 +450,15 @@ impl Campaign {
     /// feeding) the shared exploration and code caches.
     fn run_one(&self, instr: InstrUnderTest, target: Target) -> (TimingInfo, InstructionOutcome) {
         let t0 = Instant::now();
-        let lookup = self.cache.get_or_explore(&Explorer::new(), instr, self.config.probes);
+        let mut explorer = Explorer::new();
+        explorer.hash_cons = self.config.hash_cons;
+        explorer.negation_threads = self.config.negate_threads;
+        let lookup = self.cache.get_or_explore_with(
+            &explorer,
+            instr,
+            self.config.probes,
+            self.config.family_share,
+        );
         let (outcome, mut stages, mut solver) = test_instruction_with(
             instr,
             target,
@@ -463,6 +497,7 @@ impl Campaign {
         let threads = self.config.threads.clamp(1, items.len().max(1));
         let wall0 = Instant::now();
         let compile_lookups0 = (self.code_cache.hits(), self.code_cache.misses());
+        let family0 = (self.cache.family_hits(), self.cache.family_fallbacks());
         let done = AtomicUsize::new(0);
         let total = items.len();
         let report_progress = |name: &str| {
@@ -562,6 +597,8 @@ impl Campaign {
         }
         metrics.compile_hits = self.code_cache.hits() - compile_lookups0.0;
         metrics.compile_misses = self.code_cache.misses() - compile_lookups0.1;
+        metrics.family_hits = self.cache.family_hits() - family0.0;
+        metrics.family_fallbacks = self.cache.family_fallbacks() - family0.1;
         metrics.wall_clock = wall0.elapsed();
         // Batch-level driver overhead (scheduling, result collection,
         // report assembly) goes to `other` so the stage accounting sums
@@ -700,9 +737,7 @@ mod tests {
             isas: vec![Isa::X86ish],
             probes: false,
             threads: 2,
-            code_cache: true,
-            heap_snapshot: true,
-            predecode: true,
+            ..CampaignConfig::default()
         })
         .on_progress(move |p| {
             seen2.fetch_add(1, Ordering::Relaxed);
@@ -722,9 +757,7 @@ mod tests {
                 isas: vec![Isa::X86ish, Isa::Arm32ish],
                 probes: true,
                 threads,
-                code_cache: true,
-                heap_snapshot: true,
-                predecode: true,
+                ..CampaignConfig::default()
             })
             .run_native_methods()
         };

@@ -18,6 +18,9 @@ pub const KNOWN_VARS: &[&str] = &[
     "IGJIT_CODE_CACHE",
     "IGJIT_HEAP_SNAPSHOT",
     "IGJIT_PREDECODE",
+    "IGJIT_HASH_CONS",
+    "IGJIT_FAMILY_SHARE",
+    "IGJIT_NEGATE_THREADS",
     "IGJIT_MUTANT",
 ];
 
@@ -36,6 +39,16 @@ pub struct EnvKnobs {
     /// once per code-cache entry and replayed through a persistent
     /// simulator session.
     pub predecode: Option<bool>,
+    /// `IGJIT_HASH_CONS`: whether the explorer's solver sessions
+    /// hash-cons constraints and key path dedup on interned ids.
+    pub hash_cons: Option<bool>,
+    /// `IGJIT_FAMILY_SHARE`: whether one exploration per instruction
+    /// family is replayed for every member instead of exploring each
+    /// opcode from scratch.
+    pub family_share: Option<bool>,
+    /// `IGJIT_NEGATE_THREADS`: threads negating sibling subtrees of
+    /// one instruction's path tree in parallel (1 = sequential).
+    pub negate_threads: Option<usize>,
     /// `IGJIT_MUTANT`: a mutation operator to arm for the whole
     /// process (id or kebab-case name from the `igjit-mutate` catalog).
     pub mutant: Option<MutantId>,
@@ -60,6 +73,21 @@ impl EnvKnobs {
     /// Predecoded replay: the knob, default on.
     pub fn predecode_enabled(&self) -> bool {
         self.predecode.unwrap_or(true)
+    }
+
+    /// Hash-consed constraints: the knob, default on.
+    pub fn hash_cons_enabled(&self) -> bool {
+        self.hash_cons.unwrap_or(true)
+    }
+
+    /// Family-shared exploration: the knob, default on.
+    pub fn family_share_enabled(&self) -> bool {
+        self.family_share.unwrap_or(true)
+    }
+
+    /// Parallel path negation: the knob, default 1 (sequential).
+    pub fn negate_threads_or_default(&self) -> usize {
+        self.negate_threads.unwrap_or(1)
     }
 }
 
@@ -108,6 +136,22 @@ pub fn parse_vars(
             "IGJIT_PREDECODE" => {
                 knobs.predecode = Some(parse_bool("IGJIT_PREDECODE", value)?)
             }
+            "IGJIT_HASH_CONS" => {
+                knobs.hash_cons = Some(parse_bool("IGJIT_HASH_CONS", value)?)
+            }
+            "IGJIT_FAMILY_SHARE" => {
+                knobs.family_share = Some(parse_bool("IGJIT_FAMILY_SHARE", value)?)
+            }
+            "IGJIT_NEGATE_THREADS" => {
+                knobs.negate_threads = Some(match value.parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => {
+                        return Err(format!(
+                            "IGJIT_NEGATE_THREADS={value:?} is not a positive integer"
+                        ))
+                    }
+                })
+            }
             "IGJIT_MUTANT" => {
                 knobs.mutant =
                     Some(igjit_mutate::parse(value).map_err(|e| format!("IGJIT_MUTANT: {e}"))?)
@@ -145,6 +189,9 @@ mod tests {
         assert!(k.code_cache_enabled());
         assert!(k.heap_snapshot_enabled());
         assert!(k.predecode_enabled());
+        assert!(k.hash_cons_enabled());
+        assert!(k.family_share_enabled());
+        assert_eq!(k.negate_threads_or_default(), 1);
         assert!(k.threads_or_default() >= 1);
         assert!(k.mutant.is_none());
     }
@@ -156,6 +203,9 @@ mod tests {
             ("IGJIT_CODE_CACHE", "off"),
             ("IGJIT_HEAP_SNAPSHOT", "1"),
             ("IGJIT_PREDECODE", "no"),
+            ("IGJIT_HASH_CONS", "off"),
+            ("IGJIT_FAMILY_SHARE", "0"),
+            ("IGJIT_NEGATE_THREADS", "4"),
             ("IGJIT_MUTANT", "flip-compare-cond"),
         ]))
         .unwrap();
@@ -164,6 +214,9 @@ mod tests {
         assert_eq!(k.heap_snapshot, Some(true));
         assert_eq!(k.predecode, Some(false));
         assert!(!k.predecode_enabled());
+        assert!(!k.hash_cons_enabled());
+        assert!(!k.family_share_enabled());
+        assert_eq!(k.negate_threads_or_default(), 4);
         assert_eq!(k.mutant, Some(igjit_mutate::ops::FLIP_COMPARE_COND));
     }
 
@@ -182,6 +235,10 @@ mod tests {
         assert!(parse_vars(vars(&[("IGJIT_CODE_CACHE", "maybe")])).is_err());
         assert!(parse_vars(vars(&[("IGJIT_HEAP_SNAPSHOT", "2")])).is_err());
         assert!(parse_vars(vars(&[("IGJIT_PREDECODE", "sometimes")])).is_err());
+        assert!(parse_vars(vars(&[("IGJIT_HASH_CONS", "2")])).is_err());
+        assert!(parse_vars(vars(&[("IGJIT_FAMILY_SHARE", "maybe")])).is_err());
+        assert!(parse_vars(vars(&[("IGJIT_NEGATE_THREADS", "0")])).is_err());
+        assert!(parse_vars(vars(&[("IGJIT_NEGATE_THREADS", "lots")])).is_err());
         assert!(parse_vars(vars(&[("IGJIT_MUTANT", "no-such-operator")])).is_err());
         assert!(parse_vars(vars(&[("IGJIT_MUTANT", "0")])).is_err());
     }

@@ -38,7 +38,7 @@ pub fn table3(reports: &[CampaignReport]) -> String {
         .iter()
         .flat_map(|r| r.causes())
         .map(|mut c| {
-            c.compiler = String::new();
+            c.compiler = std::borrow::Cow::Borrowed("");
             c
         })
         .collect();

@@ -136,11 +136,14 @@ impl GeneratedSuite {
         let exploration = Explorer::new().explore(instr);
         let state = Arc::new(exploration.state.clone());
         let mut tests = Vec::new();
-        let label = match instr {
-            InstrUnderTest::Bytecode(i) => format!("bc_{i:?}"),
-            InstrUnderTest::Native(id) => igjit_interp::native_spec(id)
-                .map(|s| s.name.clone())
-                .unwrap_or_else(|| format!("prim{}", id.0)),
+        let label: std::borrow::Cow<'static, str> = match instr {
+            InstrUnderTest::Bytecode(i) => format!("bc_{i:?}").into(),
+            InstrUnderTest::Native(id) => match igjit_interp::native_spec(id) {
+                // The spec table is `'static`; borrow the name
+                // instead of cloning it once per generated suite.
+                Some(s) => s.name.as_str().into(),
+                None => format!("prim{}", id.0).into(),
+            },
         };
         let tier = match target {
             Target::NativeMethods => "template".to_string(),

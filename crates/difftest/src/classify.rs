@@ -4,6 +4,8 @@
 //! *category* and a *cause key*, and the campaign counts distinct
 //! cause keys exactly like the paper counts "91 different causes".
 
+use std::borrow::Cow;
+
 use igjit_bytecode::Instruction;
 use igjit_concolic::InstrUnderTest;
 use igjit_jit::CompilerKind;
@@ -58,14 +60,20 @@ impl DefectCategory {
 
 /// Deduplication key for a defect cause: category + the instruction
 /// (family) it afflicts + the compiler tier where relevant.
+///
+/// Both name fields are [`Cow`]s borrowing the `'static` catalog
+/// entries (native-method specs, compiler-tier names) they almost
+/// always come from — a campaign classifies thousands of differences
+/// onto a few dozen distinct causes, so the keys should not each
+/// re-allocate the same names.
 #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct CauseKey {
     /// The defect family.
     pub category: DefectCategory,
     /// Instruction identity: native id, or bytecode family name.
-    pub instruction: String,
+    pub instruction: Cow<'static, str>,
     /// Compiler tier (empty for the native-method compiler).
-    pub compiler: String,
+    pub compiler: Cow<'static, str>,
 }
 
 /// Classifies one difference into its defect family and cause key.
@@ -112,15 +120,16 @@ pub fn classify(
             _ => DefectCategory::BehaviouralDifference,
         },
     };
-    let instruction = match instr {
-        InstrUnderTest::Native(id) => {
-            igjit_interp::native_spec(id).map(|s| s.name.clone()).unwrap_or_else(|| format!("prim{}", id.0))
-        }
-        InstrUnderTest::Bytecode(i) => format!("{:?}", i.family()),
+    let instruction: Cow<'static, str> = match instr {
+        InstrUnderTest::Native(id) => match igjit_interp::native_spec(id) {
+            Some(s) => Cow::Borrowed(s.name.as_str()),
+            None => Cow::Owned(format!("prim{}", id.0)),
+        },
+        InstrUnderTest::Bytecode(i) => Cow::Owned(format!("{:?}", i.family())),
     };
-    let compiler = match compiler {
-        Some(k) => k.name().to_string(),
-        None => String::new(),
+    let compiler: Cow<'static, str> = match compiler {
+        Some(k) => Cow::Borrowed(k.name()),
+        None => Cow::Borrowed(""),
     };
     CauseKey { category, instruction, compiler }
 }

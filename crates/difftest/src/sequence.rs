@@ -115,10 +115,22 @@ pub fn test_sequence(
     kind: CompilerKind,
     isas: &[Isa],
 ) -> SequenceOutcome {
-    let exploration = Explorer::new().explore_sequence(instrs);
+    // An empty sequence has no instruction under test; report the
+    // trivially empty outcome instead of panicking deep in the engine.
+    let Some(&last) = instrs.last() else {
+        return SequenceOutcome {
+            instructions: Vec::new(),
+            paths_found: 0,
+            curated: 0,
+            verdicts: Vec::new(),
+        };
+    };
+    let exploration = Explorer::new()
+        .explore_sequence(instrs)
+        .expect("sequence checked non-empty above");
     let curated: Vec<_> = exploration.curated_paths().into_iter().cloned().collect();
     let mut verdicts = Vec::new();
-    let tag = InstrUnderTest::Bytecode(*instrs.last().expect("nonempty"));
+    let tag = InstrUnderTest::Bytecode(last);
 
     for path in &curated {
         let mut verdict = Verdict::Agree;
@@ -227,6 +239,15 @@ mod tests {
     use super::*;
 
     const BOTH: [Isa; 2] = [Isa::X86ish, Isa::Arm32ish];
+
+    #[test]
+    fn empty_sequence_yields_empty_outcome() {
+        let o = test_sequence(&[], CompilerKind::StackToRegister, &BOTH);
+        assert_eq!(o.paths_found, 0);
+        assert_eq!(o.curated, 0);
+        assert!(o.verdicts.is_empty());
+        assert_eq!(o.difference_count(), 0);
+    }
 
     #[test]
     fn constant_sequences_agree_on_inlining_tiers() {

@@ -6,6 +6,9 @@
 //! paper) mirrors this: class identity constraints are expressed over
 //! class indices.
 
+use std::borrow::Cow;
+use std::sync::OnceLock;
+
 use crate::format::ObjectFormat;
 
 /// An index into the class table.
@@ -59,8 +62,10 @@ impl ClassIndex {
 /// slot count instances carry before any indexable part.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ClassDescription {
-    /// Human-readable name, used in reports and disassembly.
-    pub name: String,
+    /// Human-readable name, used in reports and disassembly. Borrowed
+    /// for the well-known classes so building a table allocates no
+    /// strings; user classes may own theirs.
+    pub name: Cow<'static, str>,
     /// Body layout of instances.
     pub instance_format: ObjectFormat,
     /// Number of fixed (named) pointer slots of instances.
@@ -75,14 +80,25 @@ pub struct ClassTable {
 
 impl ClassTable {
     /// Builds the table pre-populated with the well-known classes.
+    ///
+    /// A fresh table is built for every [`crate::ObjectMemory`], which
+    /// the differential campaign creates once per materialized model —
+    /// so this clones a process-wide template (one `Vec` copy of
+    /// borrowed-name descriptions) instead of re-deriving the entries
+    /// each time.
     pub fn with_well_known_classes() -> ClassTable {
+        static TEMPLATE: OnceLock<ClassTable> = OnceLock::new();
+        TEMPLATE.get_or_init(Self::build_well_known).clone()
+    }
+
+    fn build_well_known() -> ClassTable {
         let mut table = ClassTable { entries: vec![None] };
-        let mut put = |idx: ClassIndex, name: &str, fmt: ObjectFormat, fixed: u32| {
+        let mut put = |idx: ClassIndex, name: &'static str, fmt: ObjectFormat, fixed: u32| {
             let i = idx.0 as usize;
             // `entries` grows monotonically; well-known indices are dense.
             assert_eq!(i, table_len(&table.entries));
             table.entries.push(Some(ClassDescription {
-                name: name.to_string(),
+                name: Cow::Borrowed(name),
                 instance_format: fmt,
                 fixed_slots: fixed,
             }));

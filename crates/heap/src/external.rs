@@ -123,6 +123,14 @@ impl ExternalMemory {
         self.outer = None;
     }
 
+    /// Returns the region to its as-new state (all zeros, unsealed)
+    /// without reallocating the byte buffer.
+    pub(crate) fn reset(&mut self) {
+        self.bytes.fill(0);
+        self.seal = None;
+        self.outer = None;
+    }
+
     /// Distinct bytes dirtied since the seal (or last restore).
     pub(crate) fn dirty_len(&self) -> usize {
         self.seal.as_ref().map_or(0, |s| s.undo.len())

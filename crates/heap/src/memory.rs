@@ -1,7 +1,5 @@
 //! The object memory: arena, headers, allocation and checked access.
 
-use std::collections::HashSet;
-
 use crate::class::{ClassDescription, ClassIndex, ClassTable};
 use crate::error::{HeapError, HeapResult};
 use crate::external::ExternalMemory;
@@ -43,7 +41,11 @@ pub struct ObjectMemory {
     capacity_words: usize,
     alloc_ptr: u32,
     classes: ClassTable,
-    live: HashSet<u32>,
+    /// Addresses of live objects, sorted ascending. Allocation only
+    /// ever moves `alloc_ptr` forward and restore only truncates, so
+    /// plain pushes keep the order — and membership is a binary search
+    /// instead of a hash probe on the checked-access hot path.
+    live: Vec<u32>,
     hash_counter: u32,
     nil_obj: Oop,
     false_obj: Oop,
@@ -103,7 +105,7 @@ impl ObjectMemory {
             capacity_words: words,
             alloc_ptr: HEAP_BASE,
             classes: ClassTable::with_well_known_classes(),
-            live: HashSet::new(),
+            live: Vec::new(),
             hash_counter: 0,
             nil_obj: Oop::ZERO,
             false_obj: Oop::ZERO,
@@ -123,6 +125,39 @@ impl ObjectMemory {
             .allocate(ClassIndex::TRUE, ObjectFormat::ZeroSized, 0)
             .expect("fresh heap cannot be full");
         mem
+    }
+
+    /// Returns the memory to the state of a freshly constructed one of
+    /// the same capacity, reusing the arena buffer. Observably
+    /// equivalent (`==`) to `ObjectMemory::with_capacity(capacity)`;
+    /// callers that build one memory per exploration step reset a
+    /// scratch instance instead of paying an allocation each time.
+    pub fn reset(&mut self) {
+        // Words at or beyond the allocation frontier are zero by
+        // invariant (nothing writes past `alloc_ptr`, and restore
+        // re-zeroes rolled-back allocations), so zeroing up to the
+        // frontier leaves the whole committed buffer zero.
+        let frontier = ((self.alloc_ptr - HEAP_BASE) / 4) as usize;
+        let hi = frontier.min(self.words.len());
+        self.words[..hi].fill(0);
+        self.words.truncate(self.capacity_words.min(INITIAL_COMMIT_WORDS));
+        self.alloc_ptr = HEAP_BASE;
+        self.classes.truncate(ClassIndex::FIRST_USER.0 as usize);
+        self.live.clear();
+        self.hash_counter = 0;
+        self.external.reset();
+        self.seal = None;
+        self.outer = None;
+        self.seal_epoch = 0;
+        self.nil_obj = self
+            .allocate(ClassIndex::UNDEFINED_OBJECT, ObjectFormat::ZeroSized, 0)
+            .expect("fresh heap cannot be full");
+        self.false_obj = self
+            .allocate(ClassIndex::FALSE, ObjectFormat::ZeroSized, 0)
+            .expect("fresh heap cannot be full");
+        self.true_obj = self
+            .allocate(ClassIndex::TRUE, ObjectFormat::ZeroSized, 0)
+            .expect("fresh heap cannot be full");
     }
 
     // ------------------------------------------------------------------
@@ -398,7 +433,7 @@ impl ObjectMemory {
 
     /// Whether this oop points at a live allocated object.
     pub fn is_live_object(&self, oop: Oop) -> bool {
-        oop.is_pointer() && self.live.contains(&oop.address())
+        oop.is_pointer() && self.live.binary_search(&oop.address()).is_ok()
     }
 
     // ------------------------------------------------------------------
@@ -463,7 +498,8 @@ impl ObjectMemory {
             }
         }
         let oop = Oop::from_address(addr);
-        self.live.insert(addr);
+        debug_assert!(self.live.last().is_none_or(|&l| l < addr));
+        self.live.push(addr);
         Ok(oop)
     }
 
@@ -667,7 +703,7 @@ impl ObjectMemory {
             return Err(HeapError::NotAPointer { oop });
         }
         let addr = oop.address();
-        if !self.live.contains(&addr) {
+        if self.live.binary_search(&addr).is_err() {
             return Err(HeapError::InvalidAddress { addr });
         }
         Ok(((addr - HEAP_BASE) / 4) as usize)
@@ -688,7 +724,7 @@ fn apply_level_restore(
     words: &mut Vec<u32>,
     alloc_ptr: &mut u32,
     hash_counter: &mut u32,
-    live: &mut HashSet<u32>,
+    live: &mut Vec<u32>,
     classes: &mut ClassTable,
 ) -> usize {
     let mut dirty = 0usize;
@@ -711,7 +747,7 @@ fn apply_level_restore(
     *alloc_ptr = seal.alloc_ptr;
     *hash_counter = seal.hash_counter;
     let sealed_frontier_addr = seal.alloc_ptr;
-    live.retain(|&addr| addr < sealed_frontier_addr);
+    live.truncate(live.partition_point(|&addr| addr < sealed_frontier_addr));
     classes.truncate(seal.class_count);
     dirty
 }
@@ -857,6 +893,38 @@ mod tests {
             }
         }
         assert_eq!(last, Err(HeapError::OutOfMemory));
+    }
+
+    #[test]
+    fn reset_is_indistinguishable_from_fresh() {
+        let mut mem = ObjectMemory::new();
+        let a = mem.instantiate_array(&[Oop::from_small_int(1), Oop::from_small_int(2)]).unwrap();
+        mem.store_pointer(a, 0, Oop::from_small_int(9)).unwrap();
+        mem.instantiate_float(2.5).unwrap();
+        mem.add_class(ClassDescription {
+            name: "Scratch".into(),
+            instance_format: ObjectFormat::Fixed,
+            fixed_slots: 1,
+        });
+        mem.external_mut().write_uint(0, 4, 0xdead_beef).unwrap();
+        let snap = mem.seal();
+        mem.instantiate_array(&[Oop::from_small_int(7)]).unwrap();
+        mem.restore(&snap).unwrap();
+        mem.instantiate_bytes(ClassIndex::BYTE_ARRAY, b"hello").unwrap();
+
+        mem.reset();
+        let fresh = ObjectMemory::new();
+        assert_eq!(mem, fresh);
+        assert_eq!(mem.nil(), fresh.nil());
+        assert_eq!(mem.true_object(), fresh.true_object());
+        assert!(!mem.is_live_object(a));
+        // Allocation after reset replays the fresh sequence exactly
+        // (addresses and identity hashes included).
+        let mut fresh = fresh;
+        let x = mem.instantiate_array(&[Oop::from_small_int(3)]).unwrap();
+        let y = fresh.instantiate_array(&[Oop::from_small_int(3)]).unwrap();
+        assert_eq!(x, y);
+        assert_eq!(mem, fresh);
     }
 
     #[test]

@@ -134,7 +134,7 @@ impl std::fmt::Debug for KindSet {
 
 /// A linear expression `c + Σ coeff·var` over the integer attributes
 /// of variables.
-#[derive(Clone, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
 pub struct LinExpr {
     /// Constant term.
     pub constant: i64,
@@ -387,7 +387,7 @@ impl Constraint {
 }
 
 /// Initial domain of a fresh variable.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct VarSpec {
     /// Allowed kinds.
     pub kinds: KindSet,

@@ -1,0 +1,211 @@
+//! Hash-consed constraint terms.
+//!
+//! The concolic explorer asserts the same constraints over and over:
+//! every path in an instruction's negation tree shares its whole
+//! prefix with its siblings, and a 16 k-solve campaign sweep re-asserts
+//! a few hundred distinct atoms tens of thousands of times. A
+//! [`TermTable`] gives each structurally-distinct [`LinExpr`] and
+//! [`Constraint`] one small integer id, so repeated work — wideness
+//! checks, normalization into the engine's inequality form, path-
+//! signature comparison — can key off the id instead of re-walking
+//! (or re-printing) the term tree.
+//!
+//! Composite terms are keyed over the ids of their children (classic
+//! hash-consing), so interning a deep `And`/`Or` tree costs one map
+//! lookup per node the first time and one lookup total thereafter.
+//! Float constants are keyed by their bit pattern (`f64::to_bits`),
+//! with every NaN collapsed onto the canonical NaN — the same
+//! equivalence `{:?}`-formatting gives, so interned identity agrees
+//! with the explorer's historical textual path signatures.
+
+use std::collections::HashMap;
+
+use crate::constraint::{CmpOp, Constraint, FloatTerm, KindSet, LinExpr, VarId};
+
+/// Identifies one interned [`LinExpr`] within a [`TermTable`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TermId(pub u32);
+
+/// Identifies one interned [`Constraint`] within a [`TermTable`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ConstraintId(pub u32);
+
+/// A float term keyed by bit pattern, NaN-canonicalized.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum FloatKey {
+    Var(VarId),
+    Const(u64),
+}
+
+impl FloatKey {
+    fn of(t: &FloatTerm) -> FloatKey {
+        match t {
+            FloatTerm::Var(v) => FloatKey::Var(*v),
+            FloatTerm::Const(c) => {
+                let canonical = if c.is_nan() { f64::NAN } else { *c };
+                FloatKey::Const(canonical.to_bits())
+            }
+        }
+    }
+}
+
+/// Structural key of a constraint, with subterms replaced by their
+/// interned ids.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum ConstraintKey {
+    Kind(VarId, KindSet),
+    Int(CmpOp, TermId, TermId),
+    Float(CmpOp, FloatKey, FloatKey),
+    ObjEq(VarId, VarId),
+    ObjNe(VarId, VarId),
+    Or(Vec<ConstraintId>),
+    And(Vec<ConstraintId>),
+}
+
+/// The hash-consing table: one id per structurally-distinct expression
+/// or constraint ever interned.
+#[derive(Default)]
+pub struct TermTable {
+    exprs: Vec<LinExpr>,
+    expr_ids: HashMap<LinExpr, TermId>,
+    constraints: Vec<Constraint>,
+    constraint_ids: HashMap<ConstraintKey, ConstraintId>,
+}
+
+impl TermTable {
+    /// An empty table.
+    pub fn new() -> TermTable {
+        TermTable::default()
+    }
+
+    /// Interns a linear expression, returning its stable id.
+    pub fn intern_expr(&mut self, e: &LinExpr) -> TermId {
+        if let Some(&id) = self.expr_ids.get(e) {
+            return id;
+        }
+        let id = TermId(self.exprs.len() as u32);
+        self.exprs.push(e.clone());
+        self.expr_ids.insert(e.clone(), id);
+        id
+    }
+
+    /// The expression behind an id.
+    pub fn expr(&self, id: TermId) -> &LinExpr {
+        &self.exprs[id.0 as usize]
+    }
+
+    /// Interns a constraint (and, recursively, every subterm),
+    /// returning its stable id. Two constraints get the same id iff
+    /// they are structurally equal, with all NaN float constants
+    /// considered equal.
+    pub fn intern(&mut self, c: &Constraint) -> ConstraintId {
+        let key = match c {
+            Constraint::Kind { var, allowed } => ConstraintKey::Kind(*var, *allowed),
+            Constraint::Int(op, l, r) => {
+                ConstraintKey::Int(*op, self.intern_expr(l), self.intern_expr(r))
+            }
+            Constraint::Float(op, l, r) => {
+                ConstraintKey::Float(*op, FloatKey::of(l), FloatKey::of(r))
+            }
+            Constraint::ObjEq(a, b) => ConstraintKey::ObjEq(*a, *b),
+            Constraint::ObjNe(a, b) => ConstraintKey::ObjNe(*a, *b),
+            Constraint::Or(cs) => {
+                ConstraintKey::Or(cs.iter().map(|c| self.intern(c)).collect())
+            }
+            Constraint::And(cs) => {
+                ConstraintKey::And(cs.iter().map(|c| self.intern(c)).collect())
+            }
+        };
+        if let Some(&id) = self.constraint_ids.get(&key) {
+            return id;
+        }
+        let id = ConstraintId(self.constraints.len() as u32);
+        self.constraints.push(c.clone());
+        self.constraint_ids.insert(key, id);
+        id
+    }
+
+    /// The (first-interned) constraint behind an id.
+    pub fn constraint(&self, id: ConstraintId) -> &Constraint {
+        &self.constraints[id.0 as usize]
+    }
+
+    /// Number of distinct constraints interned.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::Kind;
+
+    fn lt(v: VarId, c: i64) -> Constraint {
+        Constraint::Int(CmpOp::Lt, LinExpr::var(v), LinExpr::constant(c))
+    }
+
+    #[test]
+    fn equal_constraints_share_an_id() {
+        let mut t = TermTable::new();
+        let a = t.intern(&lt(VarId(0), 5));
+        let b = t.intern(&lt(VarId(0), 5));
+        let c = t.intern(&lt(VarId(0), 6));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.constraint(a), &lt(VarId(0), 5));
+    }
+
+    #[test]
+    fn composite_terms_hash_cons_their_children() {
+        let mut t = TermTable::new();
+        let x = VarId(0);
+        let or1 = Constraint::Or(vec![lt(x, 1), lt(x, 2)]);
+        let or2 = Constraint::Or(vec![lt(x, 1), lt(x, 2)]);
+        let id1 = t.intern(&or1);
+        let id2 = t.intern(&or2);
+        assert_eq!(id1, id2);
+        // Two leaves plus the Or itself.
+        assert_eq!(t.len(), 3);
+        // The And over the same leaves reuses them.
+        t.intern(&Constraint::And(vec![lt(x, 1), lt(x, 2)]));
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn expr_interning_is_structural() {
+        let mut t = TermTable::new();
+        let x = VarId(3);
+        let e1 = LinExpr::var(x).plus(&LinExpr::constant(4));
+        let e2 = LinExpr::var(x).offset(4);
+        assert_eq!(t.intern_expr(&e1), t.intern_expr(&e2));
+        let id = t.intern_expr(&e1);
+        assert_eq!(t.expr(id), &e1);
+    }
+
+    #[test]
+    fn nan_floats_collapse_but_zero_signs_do_not() {
+        let mut t = TermTable::new();
+        let v = VarId(0);
+        let f = |c: f64| Constraint::Float(CmpOp::Eq, FloatTerm::Var(v), FloatTerm::Const(c));
+        assert_eq!(t.intern(&f(f64::NAN)), t.intern(&f(-f64::NAN)));
+        assert_ne!(t.intern(&f(0.0)), t.intern(&f(-0.0)));
+    }
+
+    #[test]
+    fn kind_constraints_key_on_the_set() {
+        let mut t = TermTable::new();
+        let v = VarId(1);
+        let a = t.intern(&Constraint::kind_is(v, Kind::Float));
+        let b = t.intern(&Constraint::kind_is(v, Kind::Float));
+        let c = t.intern(&Constraint::kind_is_not(v, Kind::Float));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -48,12 +48,14 @@
 
 mod constraint;
 mod error;
+mod intern;
 mod model;
 mod search;
 mod session;
 
 pub use constraint::{CmpOp, Constraint, FloatTerm, Kind, KindSet, LinExpr, VarId, VarSpec};
 pub use error::SolveError;
+pub use intern::{ConstraintId, TermId, TermTable};
 pub use model::{Assignment, Model};
 pub use search::{solve, solve_with_limits, Problem, SearchLimits};
 pub use session::{Session, SessionStats};
@@ -63,7 +65,14 @@ pub use session::{Session, SessionStats};
 /// used by the property tests and available to callers that want to
 /// validate cached models.
 pub fn check_model(problem: &Problem, model: &Model) -> bool {
-    for (i, spec) in problem.specs().iter().enumerate() {
+    check_model_parts(problem.specs(), problem.constraints(), model)
+}
+
+/// [`check_model`] over borrowed specs and constraints, for callers
+/// (like the incremental [`Session`]) that keep the parts separately
+/// and should not have to clone them into a [`Problem`] per check.
+pub fn check_model_parts(specs: &[VarSpec], constraints: &[Constraint], model: &Model) -> bool {
+    for (i, spec) in specs.iter().enumerate() {
         let v = VarId(i as u32);
         if !spec.kinds.contains(model.kind(v)) {
             return false;
@@ -73,7 +82,7 @@ pub fn check_model(problem: &Problem, model: &Model) -> bool {
             return false;
         }
     }
-    problem.constraints().iter().all(|c| constraint_holds(c, model))
+    constraints.iter().all(|c| constraint_holds(c, model))
 }
 
 fn constraint_holds(c: &Constraint, model: &Model) -> bool {

@@ -133,15 +133,129 @@ pub(crate) fn solve_counted(
 }
 
 // ---------------------------------------------------------------------------
+// Normalization plans (hash-consed assertion replay)
+// ---------------------------------------------------------------------------
+
+/// One primitive effect of asserting a constraint into the engine.
+#[derive(Clone, Debug)]
+pub(crate) enum NormOp {
+    Kind { var: VarId, allowed: KindSet },
+    /// Push a normalized `expr <= 0` inequality.
+    Ineq(LinExpr),
+    /// Exclude a single value from a variable's domain (unit `Ne`).
+    Exclude { var: VarId, value: i64 },
+    /// Queue an `Ne` for the leaf check.
+    Residual(Constraint),
+    /// Queue a float comparison for leaf enumeration.
+    FloatC(Constraint),
+    /// Record a distinctness pair.
+    Distinct(u32, u32),
+    /// Queue an `Or` for branching.
+    Or(Vec<Constraint>),
+}
+
+/// The cached result of classifying one constraint: its normalized
+/// engine effects plus the per-assert flags the [`crate::Session`]
+/// needs. Built once per structurally-distinct constraint when
+/// hash-consing is on; replayed by [`Engine::apply_norm`].
+#[derive(Clone, Debug)]
+pub(crate) struct NormPlan {
+    /// The constraint violates the 56-bit precision gate.
+    pub(crate) wide: bool,
+    /// The constraint is a top-level `ObjEq` (forces the session's
+    /// dirty rebuild path).
+    pub(crate) objeq: bool,
+    ops: Vec<NormOp>,
+}
+
+impl NormPlan {
+    /// Normalizes `c` exactly as [`Engine::assert_into`] would on an
+    /// alias-free engine.
+    pub(crate) fn build(c: &Constraint) -> NormPlan {
+        let mut plan = NormPlan {
+            wide: constraint_is_wide(c),
+            objeq: matches!(c, Constraint::ObjEq(..)),
+            ops: Vec::new(),
+        };
+        plan.push_ops(c);
+        plan
+    }
+
+    fn push_ops(&mut self, c: &Constraint) {
+        match c {
+            Constraint::Kind { var, allowed } => {
+                self.ops.push(NormOp::Kind { var: *var, allowed: *allowed });
+            }
+            Constraint::Int(op, l, r) => {
+                let e = l.minus(r);
+                match op {
+                    CmpOp::Le => self.ops.push(NormOp::Ineq(e)),
+                    CmpOp::Lt => self.ops.push(NormOp::Ineq(e.offset(1))),
+                    CmpOp::Ge => self.ops.push(NormOp::Ineq(e.negated())),
+                    CmpOp::Gt => self.ops.push(NormOp::Ineq(e.negated().offset(1))),
+                    CmpOp::Eq => {
+                        self.ops.push(NormOp::Ineq(e.clone()));
+                        self.ops.push(NormOp::Ineq(e.negated()));
+                    }
+                    CmpOp::Ne => {
+                        if e.terms.len() == 1 && e.terms[0].0.abs() == 1 {
+                            let (coeff, v) = e.terms[0];
+                            self.ops.push(NormOp::Exclude {
+                                var: v,
+                                value: -e.constant * coeff.signum(),
+                            });
+                        }
+                        self.ops.push(NormOp::Residual(Constraint::Int(
+                            CmpOp::Ne,
+                            l.clone(),
+                            r.clone(),
+                        )));
+                    }
+                }
+            }
+            Constraint::Float(..) => self.ops.push(NormOp::FloatC(c.clone())),
+            Constraint::ObjEq(..) => {} // aliasing never reaches the incremental engine
+            Constraint::ObjNe(a, b) => self.ops.push(NormOp::Distinct(a.0, b.0)),
+            Constraint::And(cs) => {
+                for c in cs {
+                    self.push_ops(c);
+                }
+            }
+            Constraint::Or(cs) => self.ops.push(NormOp::Or(cs.clone())),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Internal solver
 // ---------------------------------------------------------------------------
 
-#[derive(Clone)]
 pub(crate) struct Store {
     kinds: Vec<KindSet>,
     lo: Vec<i64>,
     hi: Vec<i64>,
     excluded: Vec<Vec<i64>>,
+}
+
+impl Clone for Store {
+    fn clone(&self) -> Store {
+        Store {
+            kinds: self.kinds.clone(),
+            lo: self.lo.clone(),
+            hi: self.hi.clone(),
+            excluded: self.excluded.clone(),
+        }
+    }
+
+    /// Buffer-reusing copy: `Vec::clone_from` keeps the destination's
+    /// allocations, which is what makes [`Engine::clone_store`]'s
+    /// recycling pool worthwhile.
+    fn clone_from(&mut self, src: &Store) {
+        self.kinds.clone_from(&src.kinds);
+        self.lo.clone_from(&src.lo);
+        self.hi.clone_from(&src.hi);
+        self.excluded.clone_from(&src.excluded);
+    }
 }
 
 /// Snapshot of the engine's classified-constraint list lengths; the
@@ -170,6 +284,19 @@ pub(crate) struct Engine {
     ors: Vec<Vec<Constraint>>,
     floats: Vec<Constraint>,
     pub(crate) nodes_left: usize,
+    /// Retired [`Store`]s, recycled by [`Engine::clone_store`] so the
+    /// search's per-branch copies reuse their buffers instead of
+    /// re-allocating four vectors per node.
+    pool: Vec<Store>,
+    /// Monotone counter bumped by every mutation that could stale the
+    /// memoized interesting-roots mask (constraint list changes,
+    /// variable growth, aliasing).
+    generation: u64,
+    /// Generation [`Engine::refresh_interesting`] last computed at.
+    interesting_gen: u64,
+    /// Per-root flag: some in-engine constraint mentions the root, so
+    /// the search must branch on it rather than pin it at the leaf.
+    interesting: Vec<bool>,
 }
 
 impl Engine {
@@ -183,7 +310,36 @@ impl Engine {
             ors: Vec::new(),
             floats: Vec::new(),
             nodes_left: 0,
+            pool: Vec::new(),
+            generation: 1,
+            interesting_gen: 0,
+            interesting: Vec::new(),
         }
+    }
+
+    /// A copy of `src` drawn from the recycling pool when possible
+    /// (`clone_from` reuses the retired store's buffers).
+    pub(crate) fn clone_store(&mut self, src: &Store) -> Store {
+        match self.pool.pop() {
+            Some(mut s) => {
+                s.clone_from(src);
+                s
+            }
+            None => src.clone(),
+        }
+    }
+
+    /// Retires a store into the pool (bounded, to cap idle memory).
+    pub(crate) fn recycle_store(&mut self, s: Store) {
+        if self.pool.len() < 32 {
+            self.pool.push(s);
+        }
+    }
+
+    /// Number of classified inequalities (the [`Engine::propagate_new`]
+    /// suffix cursor).
+    pub(crate) fn ineq_count(&self) -> usize {
+        self.inequalities.len()
     }
 
     pub(crate) fn var_count(&self) -> usize {
@@ -200,6 +356,7 @@ impl Engine {
     /// Appends one variable to an engine *and* its live store (the
     /// incremental path; the one-shot path initializes in bulk).
     pub(crate) fn add_var(&mut self, spec: &VarSpec, store: &mut Store) {
+        self.generation += 1;
         self.root.push(self.nvars as u32);
         self.nvars += 1;
         store.kinds.push(KindSet::ANY.intersect(spec.kinds));
@@ -236,6 +393,7 @@ impl Engine {
     }
 
     pub(crate) fn truncate_to(&mut self, mark: EngineMark) {
+        self.generation += 1;
         self.inequalities.truncate(mark.inequalities);
         self.residual.truncate(mark.residual);
         self.ors.truncate(mark.ors);
@@ -249,6 +407,7 @@ impl Engine {
     /// truncated entry — and because sessions never union at all
     /// (aliasing goes through the from-scratch rebuild path).
     pub(crate) fn truncate_vars(&mut self, n: usize) {
+        self.generation += 1;
         self.root.truncate(n);
         self.nvars = n;
     }
@@ -262,6 +421,7 @@ impl Engine {
     }
 
     fn union(&mut self, a: u32, b: u32) {
+        self.generation += 1;
         let (ra, rb) = (self.find(a), self.find(b));
         if ra != rb {
             // Keep the smaller id as root for determinism.
@@ -290,6 +450,7 @@ impl Engine {
         c: &Constraint,
         store: &mut Store,
     ) -> Result<(), SolveError> {
+        self.generation += 1;
         match c {
             Constraint::Kind { var, allowed } => {
                 let r = self.find(var.0) as usize;
@@ -332,55 +493,98 @@ impl Engine {
         Ok(())
     }
 
-    /// Interval propagation to fixpoint. Returns false on an empty
-    /// domain.
-    pub(crate) fn propagate(&self, store: &mut Store) -> bool {
+    /// Replays a pre-normalized assertion plan into the engine and
+    /// store. Behaviorally identical to [`Engine::assert_into`] on the
+    /// plan's source constraint **provided the engine has performed no
+    /// aliasing** (every root is itself) — which holds for every
+    /// [`crate::Session`], since sessions route `ObjEq` through the
+    /// from-scratch rebuild path instead of unioning.
+    pub(crate) fn apply_norm(&mut self, plan: &NormPlan, store: &mut Store) -> Result<(), SolveError> {
+        self.generation += 1;
+        for op in &plan.ops {
+            match op {
+                NormOp::Kind { var, allowed } => {
+                    let r = self.find(var.0) as usize;
+                    store.kinds[r] = store.kinds[r].intersect(*allowed);
+                    if store.kinds[r].is_empty() {
+                        return Err(SolveError::Unsat);
+                    }
+                }
+                NormOp::Ineq(e) => self.inequalities.push(e.clone()),
+                NormOp::Exclude { var, value } => store.excluded[var.index()].push(*value),
+                NormOp::Residual(c) => self.residual.push(c.clone()),
+                NormOp::FloatC(c) => self.floats.push(c.clone()),
+                NormOp::Distinct(a, b) => self.distinct.push((*a, *b)),
+                NormOp::Or(cs) => self.ors.push(cs.clone()),
+            }
+        }
+        Ok(())
+    }
+
+    /// Interval propagation to fixpoint; returns false on an empty
+    /// domain. For a store already at fixpoint with
+    /// respect to `inequalities[..first_new]`: the first pass scans
+    /// only the appended suffix — a pass over the older prefix would
+    /// provably change nothing (its bounds are already tight, and
+    /// asserts never touch `lo`/`hi` directly) — and any tightening
+    /// falls back to full fixpoint passes. With `first_new == 0` this
+    /// is exactly the historical full propagation.
+    pub(crate) fn propagate_new(&self, store: &mut Store, first_new: usize) -> bool {
+        let mut start = first_new;
         for _round in 0..64 {
             let mut changed = false;
-            for e in &self.inequalities {
-                // e <= 0; tighten every variable's bound.
-                for &(coeff, v) in &e.terms {
-                    // coeff*v <= -constant - sum(other terms)
-                    let mut rhs_hi: i128 = -(e.constant as i128);
-                    let mut ok = true;
-                    for &(c2, v2) in &e.terms {
-                        if v2 == v {
-                            continue;
-                        }
-                        let (lo, hi) = (store.lo[v2.index()] as i128, store.hi[v2.index()] as i128);
-                        if lo > hi {
-                            ok = false;
-                            break;
-                        }
-                        // subtract the minimum of c2*v2
-                        let min = if c2 >= 0 { c2 as i128 * lo } else { c2 as i128 * hi };
-                        rhs_hi -= min;
-                    }
-                    if !ok {
+            for e in &self.inequalities[start..] {
+                // Pure-constant infeasibility.
+                if e.terms.is_empty() {
+                    if e.constant > 0 {
                         return false;
                     }
+                    continue;
+                }
+                // e <= 0; tighten every variable's bound. The sum of
+                // per-term minimum contributions is computed once and
+                // each variable's rhs derived by subtracting its own
+                // contribution: tightening term `v` always moves the
+                // bound its own contribution does *not* read (a
+                // positive coefficient reads `lo` but tightens `hi`,
+                // and vice versa), so contributions never go stale
+                // within one pass and this matches the quadratic
+                // per-term rescan exactly.
+                let mut total_min: i128 = 0;
+                for &(c2, v2) in &e.terms {
+                    let (lo, hi) = (store.lo[v2.index()] as i128, store.hi[v2.index()] as i128);
+                    if lo > hi {
+                        return false;
+                    }
+                    total_min += if c2 >= 0 { c2 as i128 * lo } else { c2 as i128 * hi };
+                }
+                for &(coeff, v) in &e.terms {
                     let i = v.index();
+                    let (lo, hi) = (store.lo[i] as i128, store.hi[i] as i128);
+                    let own_min = if coeff >= 0 { coeff as i128 * lo } else { coeff as i128 * hi };
+                    // coeff*v <= -constant - sum(other terms' minima)
+                    let rhs_hi = -(e.constant as i128) - (total_min - own_min);
                     if coeff > 0 {
-                        let bound = rhs_hi.div_euclid(coeff as i128);
+                        // v <= floor(rhs_hi / coeff); unit coefficients
+                        // (the common case) skip the 128-bit division.
+                        let bound = if coeff == 1 { rhs_hi } else { rhs_hi.div_euclid(coeff as i128) };
                         let bound = bound.clamp(i64::MIN as i128, i64::MAX as i128) as i64;
                         if bound < store.hi[i] {
                             store.hi[i] = bound;
                             changed = true;
                         }
                     } else {
-                        // coeff < 0: v >= ceil(rhs_hi / coeff)
-                        let c = coeff as i128;
-                        let bound = -(-rhs_hi).div_euclid(-c);
-                        // ceil division for negative coeff:
-                        let bound2 = if rhs_hi.rem_euclid(c.abs()) == 0 {
-                            rhs_hi / c
+                        // coeff < 0: v >= ceil(rhs_hi / coeff), and
+                        // flooring by a negative divisor is exactly
+                        // that ceiling.
+                        let bound = if coeff == -1 {
+                            -rhs_hi
                         } else {
-                            rhs_hi.div_euclid(c) // rounds toward -inf; for negative divisor this is ceil of the true quotient
+                            rhs_hi.div_euclid(coeff as i128)
                         };
-                        let _ = bound;
-                        let bound2 = bound2.clamp(i64::MIN as i128, i64::MAX as i128) as i64;
-                        if bound2 > store.lo[i] {
-                            store.lo[i] = bound2;
+                        let bound = bound.clamp(i64::MIN as i128, i64::MAX as i128) as i64;
+                        if bound > store.lo[i] {
+                            store.lo[i] = bound;
                             changed = true;
                         }
                     }
@@ -388,57 +592,86 @@ impl Engine {
                         return false;
                     }
                 }
-                // Also check pure-constant infeasibility.
-                if e.terms.is_empty() && e.constant > 0 {
-                    return false;
-                }
             }
             if !changed {
                 break;
             }
+            start = 0;
         }
         true
     }
 
+    /// Search from a freshly built store: the root node propagates
+    /// every inequality.
     pub(crate) fn search(&mut self, store: Store) -> Option<Model> {
-        let pending_ors: Vec<usize> = (0..self.ors.len()).collect();
-        self.search_inner(store, &pending_ors)
+        self.search_with_suffix(store, 0)
     }
 
-    fn search_inner(&mut self, mut store: Store, pending_ors: &[usize]) -> Option<Model> {
+    /// Search from a store already at its propagated fixpoint (the
+    /// incremental session path): the root node's propagation starts
+    /// with an empty suffix and is free.
+    pub(crate) fn search_incremental(&mut self, store: Store) -> Option<Model> {
+        let first_new = self.inequalities.len();
+        self.search_with_suffix(store, first_new)
+    }
+
+    fn search_with_suffix(&mut self, mut store: Store, first_new: usize) -> Option<Model> {
+        let pending_ors: Vec<usize> = (0..self.ors.len()).collect();
+        let result = self.search_inner(&mut store, &pending_ors, first_new);
+        self.recycle_store(store);
+        result
+    }
+
+    fn search_inner(
+        &mut self,
+        store: &mut Store,
+        pending_ors: &[usize],
+        first_new: usize,
+    ) -> Option<Model> {
         if self.nodes_left == 0 {
             return None;
         }
         self.nodes_left -= 1;
-        if !self.propagate(&mut store) {
+        if !self.propagate_new(store, first_new) {
             return None;
         }
-        // Branch on the first pending Or.
+        // Branch on the first pending Or. The disjunct list is moved
+        // out (and restored on every exit) rather than cloned: the
+        // recursion below never reads `ors[oi]` — pending indices only
+        // ever point at other entries.
         if let Some((&oi, rest)) = pending_ors.split_first() {
-            let disjuncts = self.ors[oi].clone();
-            for d in disjuncts {
-                let mut child = store.clone();
+            let disjuncts = std::mem::take(&mut self.ors[oi]);
+            let mut result = None;
+            for d in &disjuncts {
+                let mut child = self.clone_store(store);
                 let saved = self.mark();
-                let ok = self.assert_into(&d, &mut child).is_ok();
+                let ok = self.assert_into(d, &mut child).is_ok();
                 // Newly nested Ors get appended; include them in pending.
                 let mut new_pending: Vec<usize> = rest.to_vec();
                 new_pending.extend(saved.ors..self.ors.len());
-                let result = if ok && self.check_distinct_consistency() {
-                    self.search_inner(child, &new_pending)
+                let r = if ok && self.check_distinct_consistency() {
+                    // The child store was cloned at this node's
+                    // fixpoint; only the disjunct's inequalities are
+                    // new to it.
+                    self.search_inner(&mut child, &new_pending, saved.inequalities)
                 } else {
                     None
                 };
-                if result.is_some() {
-                    return result;
+                self.recycle_store(child);
+                if r.is_some() {
+                    result = r;
+                    break;
                 }
                 self.truncate_to(saved);
             }
-            return None;
+            self.ors[oi] = disjuncts;
+            return result;
         }
         // All Ors decided: assign integer variables.
+        self.refresh_interesting(store.lo.len());
         let unassigned = (0..store.lo.len())
             .filter(|&i| self.find(i as u32) as usize == i)
-            .find(|&i| store.lo[i] < store.hi[i] && self.var_is_interesting(i));
+            .find(|&i| store.lo[i] < store.hi[i] && self.interesting[i]);
         if let Some(i) = unassigned {
             let (lo, hi) = (store.lo[i], store.hi[i]);
             let mut candidates = vec![];
@@ -452,9 +685,9 @@ impl Engine {
             candidates.push(hi);
             candidates.push(lo.midpoint(hi));
             candidates.dedup();
-            let excluded = store.excluded[i].clone();
             let mut tried = Vec::new();
             for v in candidates {
+                let excluded = &store.excluded[i];
                 let v = if excluded.contains(&v) {
                     // Nudge off an excluded value, staying in bounds.
                     let mut w = v;
@@ -472,31 +705,57 @@ impl Engine {
                     continue;
                 }
                 tried.push(v);
-                let mut child = store.clone();
+                let mut child = self.clone_store(store);
                 child.lo[i] = v;
                 child.hi[i] = v;
-                if let Some(m) = self.search_inner(child, &[]) {
-                    return Some(m);
+                // The assignment moved `lo`/`hi` directly, which the
+                // suffix trick cannot see: re-propagate everything.
+                let r = self.search_inner(&mut child, &[], 0);
+                self.recycle_store(child);
+                if r.is_some() {
+                    return r;
                 }
             }
             return None;
         }
         // Leaf: pin remaining unbounded roots to their lower bound.
-        let leaf = self.build_leaf(&store)?;
+        let leaf = self.build_leaf(store)?;
         Some(leaf)
     }
 
-    /// A variable matters for search when a constraint mentions it;
-    /// all others can be pinned to their default at the leaf.
-    fn var_is_interesting(&self, i: usize) -> bool {
-        let target = i as u32;
-        let mentions = |e: &LinExpr| e.terms.iter().any(|t| self.find(t.1 .0) == target);
-        self.inequalities.iter().any(mentions)
-            || self.residual.iter().any(|c| {
-                let mut vs = Vec::new();
-                c.vars(&mut vs);
-                vs.iter().any(|v| self.find(v.0) == target)
-            })
+    /// Recomputes the interesting-roots mask (a variable matters for
+    /// search when a constraint mentions its root; all others can be
+    /// pinned to their default at the leaf) unless the memoized one is
+    /// still current. One pass over the constraint lists per engine
+    /// mutation, instead of the historical per-node, per-variable scan.
+    fn refresh_interesting(&mut self, n: usize) {
+        if self.interesting_gen == self.generation && self.interesting.len() == n {
+            return;
+        }
+        let mut mask = std::mem::take(&mut self.interesting);
+        mask.clear();
+        mask.resize(n, false);
+        for e in &self.inequalities {
+            for &(_, v) in &e.terms {
+                let r = self.find(v.0) as usize;
+                if r < n {
+                    mask[r] = true;
+                }
+            }
+        }
+        let mut vs = Vec::new();
+        for c in &self.residual {
+            vs.clear();
+            c.vars(&mut vs);
+            for v in &vs {
+                let r = self.find(v.0) as usize;
+                if r < n {
+                    mask[r] = true;
+                }
+            }
+        }
+        self.interesting = mask;
+        self.interesting_gen = self.generation;
     }
 
     fn build_leaf(&mut self, store: &Store) -> Option<Model> {

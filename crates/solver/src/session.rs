@@ -14,13 +14,17 @@
 //! assertion order. The campaign's row-for-row reproducibility depends
 //! on this; the `session_equivalence` property test enforces it.
 
+use std::collections::HashMap;
+
 use crate::constraint::{Constraint, VarId, VarSpec};
 use crate::error::SolveError;
+use crate::intern::{ConstraintId, TermTable};
 use crate::model::Model;
 use crate::search::{
-    constraint_is_wide, solve_counted, spec_is_wide, Engine, EngineMark, SearchLimits, Store,
+    constraint_is_wide, solve_counted, spec_is_wide, Engine, EngineMark, NormPlan, SearchLimits,
+    Store,
 };
-use crate::{check_model, Problem};
+use crate::{check_model_parts, Problem};
 
 /// Counters describing the work an incremental [`Session`] performed,
 /// merged into the campaign metrics (`*.metrics.json`).
@@ -115,6 +119,12 @@ pub struct Session {
     limits: SearchLimits,
     last_model: Option<Model>,
     reuse_models: bool,
+    /// Hash-cons asserted constraints: repeated assertions of a
+    /// structurally-known constraint replay its cached normalization
+    /// instead of re-classifying the term tree.
+    hash_cons: bool,
+    table: TermTable,
+    norm_plans: HashMap<ConstraintId, NormPlan>,
     stats: SessionStats,
 }
 
@@ -148,8 +158,20 @@ impl Session {
             limits,
             last_model: None,
             reuse_models: false,
+            hash_cons: false,
+            table: TermTable::new(),
+            norm_plans: HashMap::new(),
             stats: SessionStats::default(),
         }
+    }
+
+    /// Opt into hash-consing asserted constraints (see
+    /// [`crate::TermTable`]). Semantically invisible: the session
+    /// answers every solve exactly as without it — only the work of
+    /// re-normalizing repeated constraints is saved. Off by default so
+    /// one-shot sessions don't pay for the table.
+    pub fn set_hash_cons(&mut self, on: bool) {
+        self.hash_cons = on;
     }
 
     /// Opt into answering solves by revalidating the previous model
@@ -160,6 +182,15 @@ impl Session {
     /// would break the campaign's model-for-model reproducibility.
     pub fn set_reuse_models(&mut self, on: bool) {
         self.reuse_models = on;
+    }
+
+    /// Drops the model cached for [`Session::set_reuse_models`]
+    /// revalidation. Callers that batch several independent problems
+    /// through one session (scoped by push/pop) clear between batches
+    /// so a model from one problem can never answer the next — keeping
+    /// each batch's solves exactly what a fresh session would return.
+    pub fn clear_cached_model(&mut self) {
+        self.last_model = None;
     }
 
     /// Introduces a fresh variable. Variables are session-global: they
@@ -213,7 +244,7 @@ impl Session {
             Some(Checkpoint {
                 mark: self.engine.mark(),
                 nvars: self.engine.var_count(),
-                store: self.store.clone(),
+                store: self.engine.clone_store(&self.store),
                 conflict: self.conflict,
             })
         };
@@ -227,6 +258,10 @@ impl Session {
 
     /// Asserts a constraint into the current scope.
     pub fn assert(&mut self, c: Constraint) {
+        if self.hash_cons {
+            self.assert_interned(c);
+            return;
+        }
         if constraint_is_wide(&c) {
             self.wide += 1;
         }
@@ -247,9 +282,45 @@ impl Session {
         }
         self.ensure_synced();
         let c = self.constraints.last().expect("just pushed").clone();
+        let first_new = self.engine.ineq_count();
         if self.engine.assert_into(&c, &mut self.store).is_err()
             || !self.engine.check_distinct_consistency()
-            || !self.engine.propagate(&mut self.store)
+            || !self.engine.propagate_new(&mut self.store, first_new)
+        {
+            self.conflict = true;
+        }
+    }
+
+    /// The hash-consing assert path: classification (wideness, engine
+    /// normalization) is computed once per structurally-distinct
+    /// constraint and replayed thereafter. Sound because a session's
+    /// engine never aliases variables — `ObjEq` flips the dirty flag
+    /// before reaching it — so a constraint's normalization cannot
+    /// change between scopes.
+    fn assert_interned(&mut self, c: Constraint) {
+        let id = self.table.intern(&c);
+        let plan = self.norm_plans.entry(id).or_insert_with(|| NormPlan::build(&c));
+        let (wide, is_objeq) = (plan.wide, plan.objeq);
+        self.constraints.push(c);
+        if wide {
+            self.wide += 1;
+        }
+        if self.dirty {
+            return;
+        }
+        if is_objeq {
+            self.dirty = true;
+            return;
+        }
+        if self.conflict {
+            return;
+        }
+        self.ensure_synced();
+        let first_new = self.engine.ineq_count();
+        let plan = self.norm_plans.get(&id).expect("plan just cached");
+        if self.engine.apply_norm(plan, &mut self.store).is_err()
+            || !self.engine.check_distinct_consistency()
+            || !self.engine.propagate_new(&mut self.store, first_new)
         {
             self.conflict = true;
         }
@@ -274,7 +345,8 @@ impl Session {
         if let Some(cp) = scope.saved {
             self.engine.truncate_to(cp.mark);
             self.engine.truncate_vars(cp.nvars);
-            self.store = cp.store;
+            let retired = std::mem::replace(&mut self.store, cp.store);
+            self.engine.recycle_store(retired);
             self.conflict = cp.conflict;
         }
     }
@@ -291,7 +363,9 @@ impl Session {
         }
         if self.reuse_models {
             if let Some(m) = &self.last_model {
-                if m.len() == self.specs.len() && check_model(&self.problem(), m) {
+                if m.len() == self.specs.len()
+                    && check_model_parts(&self.specs, &self.constraints, m)
+                {
                     self.stats.model_reuse += 1;
                     self.stats.sat += 1;
                     return Ok(m.clone());
@@ -311,7 +385,8 @@ impl Session {
         }
         let mark = self.engine.mark();
         self.engine.nodes_left = self.limits.max_nodes;
-        let found = self.engine.search(self.store.clone());
+        let root = self.engine.clone_store(&self.store);
+        let found = self.engine.search_incremental(root);
         let nodes = self.limits.max_nodes - self.engine.nodes_left;
         self.stats.nodes_visited += nodes;
         let result = match found {
@@ -347,7 +422,11 @@ impl Session {
         match &result {
             Ok(m) => {
                 self.stats.sat += 1;
-                self.last_model = Some(m.clone());
+                // The cached model only ever feeds the reuse path; skip
+                // the per-solve clone when that path is off.
+                if self.reuse_models {
+                    self.last_model = Some(m.clone());
+                }
             }
             Err(SolveError::Unsat) => self.stats.unsat += 1,
             Err(_) => {}

@@ -1,0 +1,139 @@
+//! Property tests of the hash-consing layer's invisibility: a
+//! `Session` with `set_hash_cons(true)` must answer every solve with
+//! the **exact** model the plain session produces, and must visit the
+//! same number of search nodes — interning changes how fast a
+//! constraint is classified, never what the engine does with it.
+
+use igjit_solver::{CmpOp, Constraint, Kind, LinExpr, Session, VarId, VarSpec};
+use proptest::prelude::*;
+
+const NVARS: usize = 4;
+
+/// The same constraint shapes the session-equivalence suite uses,
+/// including `ObjEq` (the dirty-rebuild path) and the nested
+/// `Or`/`And` pair of the SmallInteger range tests.
+fn arb_constraint() -> impl Strategy<Value = Constraint> {
+    let var = (0u32..NVARS as u32).prop_map(VarId);
+    let kind = prop_oneof![
+        Just(Kind::SmallInt),
+        Just(Kind::Float),
+        Just(Kind::Array),
+        Just(Kind::Nil),
+    ];
+    let cmp = prop_oneof![
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+    ];
+    let lin = (var.clone(), -50i64..50).prop_map(|(v, c)| LinExpr::var(v).offset(c));
+    let lin2 = (var.clone(), var.clone(), -50i64..50)
+        .prop_map(|(a, b, c)| LinExpr::var(a).plus(&LinExpr::var(b)).offset(c));
+    prop_oneof![
+        (var.clone(), kind.clone()).prop_map(|(v, k)| Constraint::kind_is(v, k)),
+        (var.clone(), kind).prop_map(|(v, k)| Constraint::kind_is_not(v, k)),
+        (cmp.clone(), lin.clone(), lin.clone()).prop_map(|(op, l, r)| Constraint::Int(op, l, r)),
+        (cmp, lin2.clone(), -100i64..100)
+            .prop_map(|(op, l, c)| Constraint::Int(op, l, LinExpr::constant(c))),
+        (var.clone(), var.clone()).prop_map(|(a, b)| Constraint::ObjEq(a, b)),
+        (var.clone(), var).prop_map(|(a, b)| Constraint::ObjNe(a, b)),
+        (lin2.clone()).prop_map(Constraint::not_in_small_int_range),
+        (lin2).prop_map(Constraint::in_small_int_range),
+    ]
+}
+
+/// One step of a random session script.
+#[derive(Clone, Debug)]
+enum Step {
+    PushAssert(Constraint),
+    Assert(Constraint),
+    Pop,
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        arb_constraint().prop_map(Step::PushAssert),
+        arb_constraint().prop_map(Step::Assert),
+        Just(Step::Pop),
+    ]
+}
+
+fn fresh_pair() -> (Session, Session) {
+    let mut plain = Session::new();
+    let mut consed = Session::new();
+    consed.set_hash_cons(true);
+    for _ in 0..NVARS {
+        plain.add_var(VarSpec::any());
+        consed.add_var(VarSpec::any());
+    }
+    (plain, consed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Driving both sessions through the same arbitrary script keeps
+    /// them in lockstep: identical answers (models included) at every
+    /// step, and identical work counters at the end.
+    #[test]
+    fn prop_hash_cons_is_invisible(
+        steps in proptest::collection::vec(arb_step(), 1..14)
+    ) {
+        let (mut plain, mut consed) = fresh_pair();
+        for step in steps {
+            match step {
+                Step::PushAssert(c) => {
+                    plain.push_assert(c.clone());
+                    consed.push_assert(c);
+                }
+                Step::Assert(c) => {
+                    plain.assert(c.clone());
+                    consed.assert(c);
+                }
+                Step::Pop => {
+                    if plain.depth() == 0 {
+                        continue;
+                    }
+                    plain.pop();
+                    consed.pop();
+                }
+            }
+            prop_assert_eq!(plain.solve(), consed.solve());
+        }
+        let (ps, cs) = (plain.stats(), consed.stats());
+        prop_assert_eq!(ps.nodes_visited, cs.nodes_visited, "node counts diverge");
+        prop_assert_eq!(ps.sat, cs.sat);
+        prop_assert_eq!(ps.unsat, cs.unsat);
+        prop_assert_eq!(ps.propagation_reuse, cs.propagation_reuse);
+        prop_assert_eq!(ps.rebuilds, cs.rebuilds);
+    }
+
+    /// The explorer's negation walk — shared prefix, one negated step
+    /// per child — re-asserts the same atoms constantly; the interned
+    /// session must still match model-for-model.
+    #[test]
+    fn prop_negation_walk_is_invisible(
+        path in proptest::collection::vec(arb_constraint(), 1..6)
+    ) {
+        let (mut plain, mut consed) = fresh_pair();
+        for c in &path {
+            plain.push_assert(c.clone());
+            consed.push_assert(c.clone());
+        }
+        prop_assert_eq!(plain.solve(), consed.solve());
+        for i in (0..path.len()).rev() {
+            plain.pop();
+            consed.pop();
+            plain.push_assert(path[i].negated());
+            consed.push_assert(path[i].negated());
+            prop_assert_eq!(plain.solve(), consed.solve());
+            plain.pop();
+            consed.pop();
+            plain.push_assert(path[i].clone());
+            consed.push_assert(path[i].clone());
+        }
+        prop_assert_eq!(plain.stats().nodes_visited, consed.stats().nodes_visited);
+    }
+}

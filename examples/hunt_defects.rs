@@ -18,6 +18,7 @@ fn main() {
         code_cache: true,
         heap_snapshot: true,
         predecode: true,
+        ..CampaignConfig::default()
     });
 
     eprintln!("differentially testing all 112 native methods on 2 ISAs…");
@@ -35,7 +36,7 @@ fn main() {
     // Group causes by family.
     let mut by_family: BTreeMap<DefectCategory, Vec<String>> = BTreeMap::new();
     for cause in report.causes() {
-        by_family.entry(cause.category).or_default().push(cause.instruction);
+        by_family.entry(cause.category).or_default().push(cause.instruction.into_owned());
     }
     for (family, mut members) in by_family {
         members.sort();

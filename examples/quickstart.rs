@@ -16,6 +16,7 @@ fn main() {
         code_cache: true,
         heap_snapshot: true,
         predecode: true,
+        ..CampaignConfig::default()
     });
 
     // 1. The guiding example: the add bytecode (Listing 1 / Fig. 2).

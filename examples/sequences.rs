@@ -18,7 +18,7 @@ fn main() {
         Instruction::LessThan,
     ];
     println!("== concolic exploration of {seq:?} ==");
-    let r = Explorer::new().explore_sequence(&seq);
+    let r = Explorer::new().explore_sequence(&seq).expect("non-empty sequence");
     println!(
         "{} paths ({} curated) across the chained branch structure",
         r.paths.len(),

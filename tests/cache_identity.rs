@@ -125,6 +125,7 @@ fn native_row_is_identical_with_code_cache_on_and_off() {
             code_cache,
             heap_snapshot: true,
             predecode: true,
+            ..CampaignConfig::default()
         })
         .run_native_methods()
     };
@@ -157,6 +158,7 @@ fn bytecode_row_is_identical_with_code_cache_on_and_off() {
             code_cache,
             heap_snapshot: true,
             predecode: true,
+            ..CampaignConfig::default()
         })
         .run_bytecodes(CompilerKind::StackToRegister)
     };

@@ -45,6 +45,7 @@ fn full_config() -> CampaignConfig {
         code_cache: true,
         heap_snapshot: true,
         predecode: true,
+        ..CampaignConfig::default()
     }
 }
 

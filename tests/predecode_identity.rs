@@ -21,6 +21,7 @@ fn config(predecode: bool) -> CampaignConfig {
         code_cache: true,
         heap_snapshot: true,
         predecode,
+        ..CampaignConfig::default()
     }
 }
 

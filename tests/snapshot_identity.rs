@@ -129,6 +129,7 @@ fn native_row_is_identical_with_heap_snapshot_on_and_off() {
             code_cache: true,
             heap_snapshot,
             predecode: true,
+            ..CampaignConfig::default()
         })
         .run_native_methods()
     };
@@ -153,6 +154,7 @@ fn bytecode_row_is_identical_with_heap_snapshot_on_and_off() {
             code_cache: true,
             heap_snapshot,
             predecode: true,
+            ..CampaignConfig::default()
         })
         .run_bytecodes(CompilerKind::StackToRegister)
     };
