@@ -67,6 +67,14 @@ with open(bench_path) as f:
 if not records:
     sys.exit(f"perf-smoke: {bench_path} holds no records")
 
+# Corpus-backed runs (engine v7) have their own pairwise check
+# (ci/corpus_smoke_check.sh) and their warm halves replay instead of
+# measuring the pipeline, so they never participate in the knob
+# classification below.
+records = [rec for rec in records if not rec.get("knobs", {}).get("corpus", False)]
+if not records:
+    sys.exit(f"perf-smoke: {bench_path} holds only corpus-backed records")
+
 window = records[-8:]
 tagged = [rec for rec in window if "knobs" in rec]
 if tagged:

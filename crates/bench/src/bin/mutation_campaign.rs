@@ -645,6 +645,11 @@ fn main() {
         hash_cons: knobs.hash_cons_enabled(),
         family_share: knobs.family_share_enabled(),
         negate_threads: knobs.negate_threads_or_default(),
+        // The mutation sweep arms a different mutant per campaign;
+        // corpus persistence is deliberately not plumbed here (each
+        // mutant would need its own file, and the kill verdicts must
+        // never replay from a stale arming state).
+        corpus: None,
     };
     if let Some(baseline_path) = &args.worker_baseline {
         if let Err(e) = run_worker(baseline_path, &config) {

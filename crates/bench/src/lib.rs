@@ -50,9 +50,10 @@ pub fn predecode_enabled() -> bool {
 }
 
 /// Whether hash-consed constraint interning is enabled: the
-/// `IGJIT_HASH_CONS` environment variable (off, every assertion is
-/// re-normalised structurally), default on. Malformed values are
-/// fatal.
+/// `IGJIT_HASH_CONS` environment variable (on, assertions are interned
+/// and path dedup keys on term ids), default off since engine v7 (the
+/// ablation in EXPERIMENTS.md measured the sweep faster without it).
+/// Malformed values are fatal.
 pub fn hash_cons_enabled() -> bool {
     env_knobs().hash_cons_enabled()
 }
@@ -69,6 +70,20 @@ pub fn family_share_enabled() -> bool {
 /// (sequential). Malformed values are fatal.
 pub fn negate_threads() -> usize {
     env_knobs().negate_threads_or_default()
+}
+
+/// Path of the persistent campaign corpus: the `IGJIT_CORPUS`
+/// environment variable, default none (no persistence). Malformed
+/// values (an empty path) are fatal.
+pub fn corpus_path() -> Option<std::path::PathBuf> {
+    env_knobs().corpus
+}
+
+/// Worker *processes* sharding the main campaign: the
+/// `IGJIT_CAMPAIGN_JOBS` environment variable, default 1 (in-process).
+/// Malformed values are fatal.
+pub fn campaign_jobs() -> usize {
+    env_knobs().campaign_jobs_or_default()
 }
 
 /// Arms the mutation operator named by `IGJIT_MUTANT`, if any,
@@ -94,9 +109,16 @@ pub fn arm_mutant_from_env() -> Option<igjit::MutantGuard> {
 /// ISAs, probing enabled (the paper's §5.1 setup), worker threads from
 /// [`campaign_threads`], code cache from [`code_cache_enabled`], heap
 /// snapshots from [`heap_snapshot_enabled`], predecoded replay from
-/// [`predecode_enabled`].
+/// [`predecode_enabled`], persistent corpus from [`corpus_path`].
 pub fn paper_campaign() -> Campaign {
-    Campaign::new(CampaignConfig {
+    Campaign::new(paper_config())
+}
+
+/// The [`paper_campaign`] configuration without building the campaign,
+/// for binaries that tweak a field (corpus path, thread count) before
+/// construction.
+pub fn paper_config() -> CampaignConfig {
+    CampaignConfig {
         isas: vec![Isa::X86ish, Isa::Arm32ish],
         probes: true,
         threads: campaign_threads(),
@@ -106,7 +128,8 @@ pub fn paper_campaign() -> Campaign {
         hash_cons: hash_cons_enabled(),
         family_share: family_share_enabled(),
         negate_threads: negate_threads(),
-    })
+        corpus: corpus_path(),
+    }
 }
 
 /// Renders one in-place progress line on stderr. The line is
@@ -159,7 +182,7 @@ pub fn append_bench_json(path: &str, reports: &[CampaignReport]) {
         concat!(
             "{{\"epoch_s\":{},",
             "\"knobs\":{{\"code_cache\":{},\"heap_snapshot\":{},\"predecode\":{},",
-            "\"hash_cons\":{},\"family_share\":{}}},",
+            "\"hash_cons\":{},\"family_share\":{},\"corpus\":{}}},",
             "\"metrics\":{},",
             "\"table2\":{{\"tested_instructions\":{},\"interpreter_paths\":{},",
             "\"curated_paths\":{},\"differences\":{}}}}}\n"
@@ -170,6 +193,7 @@ pub fn append_bench_json(path: &str, reports: &[CampaignReport]) {
         knobs.predecode_enabled(),
         knobs.hash_cons_enabled(),
         knobs.family_share_enabled(),
+        knobs.corpus.is_some(),
         total.to_json(),
         row.tested_instructions,
         row.interpreter_paths,
@@ -203,13 +227,20 @@ pub fn print_metrics_summary(total: &Metrics) {
     );
     println!(
         "sub-stages: setup {:.3}s, decode {:.3}s, hash {:.3}s, report {:.3}s, \
-         residual other {:.3}s",
+         progress {:.3}s, residual other {:.3}s",
         total.stages.setup.as_secs_f64(),
         total.stages.decode.as_secs_f64(),
         total.stages.hash.as_secs_f64(),
         total.stages.report.as_secs_f64(),
+        total.stages.progress.as_secs_f64(),
         total.stages.other.as_secs_f64(),
     );
+    if total.corpus_hits + total.corpus_misses > 0 {
+        println!(
+            "corpus: {} warm / {} cold instructions",
+            total.corpus_hits, total.corpus_misses,
+        );
+    }
     println!(
         "exploration cache: {} hits / {} misses ({:.1}% hit rate){}",
         total.cache_hits,

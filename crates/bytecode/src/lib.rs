@@ -46,3 +46,6 @@ pub use decode::{decode, encode, DecodeError};
 pub use instr::{Family, Instruction};
 pub use method::{CompiledMethod, MethodBuilder, MethodHeader};
 pub use selectors::SpecialSelector;
+
+/// Compile-time source fingerprint (see `igjit-corpus`).
+pub mod srcid;

@@ -217,6 +217,20 @@ impl ExplorationCache {
         }
     }
 
+    /// Seeds an entry without touching the hit/miss counters (corpus
+    /// warm-start: a preloaded entry becomes an ordinary hit when the
+    /// sweep first asks for it). First insert wins, like
+    /// [`get_or_explore_with`](Self::get_or_explore_with)'s publish.
+    pub fn preload(&self, key: ExplorationKey, exploration: Arc<ExplorationResult>) {
+        self.write_map().entry(key).or_insert(exploration);
+    }
+
+    /// All entries, for corpus write-back. Order is unspecified (the
+    /// corpus encoder canonicalizes by key).
+    pub fn snapshot(&self) -> Vec<(ExplorationKey, Arc<ExplorationResult>)> {
+        self.read_map().iter().map(|(k, v)| (*k, Arc::clone(v))).collect()
+    }
+
     /// Number of distinct explorations held.
     pub fn len(&self) -> usize {
         self.read_map().len()

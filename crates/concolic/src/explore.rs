@@ -261,7 +261,8 @@ pub struct Explorer {
     pub max_path_len: usize,
     /// Hash-cons constraints inside the walk's solver session and key
     /// path dedup on interned term ids instead of `format!`ed text
-    /// (`IGJIT_HASH_CONS`). Invisible to results; on by default.
+    /// (`IGJIT_HASH_CONS`). Invisible to results; off by default since
+    /// engine v7 (the ablation measured the sweep faster without it).
     pub hash_cons: bool,
     /// Number of threads negating sibling subtrees of the root path
     /// in parallel (`IGJIT_NEGATE_THREADS`; `1` = sequential).
@@ -287,7 +288,7 @@ impl Explorer {
         Explorer {
             max_iterations: 192,
             max_path_len: 48,
-            hash_cons: true,
+            hash_cons: false,
             negation_threads: 1,
             record_replay: false,
         }
@@ -967,9 +968,9 @@ mod tests {
     #[test]
     fn textual_and_interned_dedup_agree() {
         for i in [Instruction::Add, Instruction::ShortJumpTrue(4), Instruction::Pop] {
-            let mut plain = Explorer::new();
-            plain.hash_cons = false;
-            let a = plain.explore(InstrUnderTest::Bytecode(i));
+            let mut consed = Explorer::new();
+            consed.hash_cons = true;
+            let a = consed.explore(InstrUnderTest::Bytecode(i));
             let b = explore_bytecode(i);
             assert_eq!(paths_digest(&a), paths_digest(&b), "{i:?}");
             assert_eq!(a.iterations, b.iterations, "{i:?}");

@@ -62,3 +62,6 @@ pub use state::{byte_kinds, class_for_kind, kind_for_class, pointer_slot_kinds, 
                 ObjShape, VarRole};
 pub use sym::{Origin, SymFloat, SymInt, SymOop};
 pub use trace::ConcolicContext;
+
+/// Compile-time source fingerprint (see `igjit-corpus`).
+pub mod srcid;

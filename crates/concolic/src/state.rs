@@ -119,9 +119,51 @@ impl AbstractState {
         &self.roles[v.index()]
     }
 
+    /// All variable roles in creation order (parallel to [`specs`](Self::specs)).
+    pub fn roles(&self) -> &[VarRole] {
+        &self.roles
+    }
+
     /// The object shape attached to a value variable.
     pub fn shape(&self, v: VarId) -> &ObjShape {
         &self.shapes[v.index()]
+    }
+
+    /// All object shapes in creation order (parallel to [`specs`](Self::specs)).
+    pub fn shapes(&self) -> &[ObjShape] {
+        &self.shapes
+    }
+
+    /// Reassembles a state from its serialized parts (the corpus
+    /// decoder's constructor; see `igjit-corpus`). The three slices
+    /// must be parallel — one spec/role/shape triple per variable in
+    /// creation order, exactly as [`specs`](Self::specs)/[`roles`](Self::roles)/
+    /// [`shapes`](Self::shapes) expose them.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        specs: Vec<VarSpec>,
+        roles: Vec<VarRole>,
+        shapes: Vec<ObjShape>,
+        stack_size: VarId,
+        temp_count: VarId,
+        literal_count: VarId,
+        receiver: VarId,
+        stack_vars: Vec<VarId>,
+        temp_vars: Vec<VarId>,
+        literal_vars: Vec<VarId>,
+    ) -> AbstractState {
+        AbstractState {
+            specs,
+            roles,
+            shapes,
+            stack_size,
+            temp_count,
+            literal_count,
+            receiver,
+            stack_vars,
+            temp_vars,
+            literal_vars,
+        }
     }
 
     /// The element-count variable of `v`, created on first use.

@@ -22,8 +22,10 @@
 //!   CPU-side per-stage sum and the per-stage maximum over workers
 //!   (the critical path the wall clock actually waits on).
 
+use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use igjit_bytecode::{instruction_catalog, Instruction};
@@ -69,8 +71,10 @@ pub struct CampaignConfig {
     pub predecode: bool,
     /// Whether the explorer's solver sessions hash-cons constraints
     /// (one classification per distinct constraint, interned path
-    /// dedup — engine v6). Off is the engine-v5 behaviour. Outcomes
-    /// are identical either way.
+    /// dedup — engine v6). Outcomes are identical either way. Off by
+    /// default since engine v7: with family sharing on, the interleaved
+    /// knob ablation (EXPERIMENTS.md) measured the sweep slightly
+    /// *faster* without the consing overhead.
     pub hash_cons: bool,
     /// Whether one exploration per instruction *family* is verifiably
     /// replayed for every member (engine v6) instead of re-solving
@@ -81,6 +85,14 @@ pub struct CampaignConfig {
     /// tree in parallel (1 = sequential; speculative subtrees merge
     /// deterministically, so outcomes are identical at any count).
     pub negate_threads: usize,
+    /// Persistent corpus file (engine v7). When set, the campaign
+    /// loads exploration, compiled-code and outcome entries whose
+    /// fingerprints match this build + configuration before running,
+    /// answers warm instructions without re-running the pipeline, and
+    /// [`Campaign::save_corpus`] writes new entries back atomically.
+    /// Any mismatch, truncation or version skew degrades to a cold
+    /// run — never an error, never a row change.
+    pub corpus: Option<PathBuf>,
 }
 
 impl Default for CampaignConfig {
@@ -92,9 +104,10 @@ impl Default for CampaignConfig {
             code_cache: true,
             heap_snapshot: true,
             predecode: true,
-            hash_cons: true,
+            hash_cons: false,
             family_share: true,
             negate_threads: 1,
+            corpus: None,
         }
     }
 }
@@ -152,6 +165,13 @@ pub struct Metrics {
     /// Compiled-code-cache misses (compiler invocations actually run;
     /// with the cache disabled, every lookup).
     pub compile_misses: usize,
+    /// Instructions answered from the warm corpus overlay without
+    /// running the pipeline at all (zero when no corpus is attached).
+    pub corpus_hits: usize,
+    /// Instructions that ran the full pipeline while a corpus was
+    /// attached (their outcomes are recorded for the next save; zero
+    /// when no corpus is attached).
+    pub corpus_misses: usize,
     /// Incremental-solver work counters summed over exploration (cache
     /// misses only — cached explorations did no solver work) and kind
     /// probing.
@@ -203,6 +223,8 @@ impl Metrics {
         self.family_fallbacks += other.family_fallbacks;
         self.compile_hits += other.compile_hits;
         self.compile_misses += other.compile_misses;
+        self.corpus_hits += other.corpus_hits;
+        self.corpus_misses += other.corpus_misses;
         self.solver.merge(&other.solver);
         self.witness_errors += other.witness_errors;
         self.oracle_panics += other.oracle_panics;
@@ -219,7 +241,8 @@ impl Metrics {
                     "{{\"explore\":{:.3},\"materialize\":{:.3},",
                     "\"compile\":{:.3},\"simulate\":{:.3},\"compare\":{:.3},",
                     "\"setup\":{:.3},\"decode\":{:.3},\"hash\":{:.3},",
-                    "\"report\":{:.3},\"other\":{:.3},\"total\":{:.3}}}"
+                    "\"report\":{:.3},\"progress\":{:.3},\"other\":{:.3},",
+                    "\"total\":{:.3}}}"
                 ),
                 ms(s.explore),
                 ms(s.materialize),
@@ -230,6 +253,7 @@ impl Metrics {
                 ms(s.decode),
                 ms(s.hash),
                 ms(s.report),
+                ms(s.progress),
                 ms(s.other),
                 ms(s.total()),
             )
@@ -248,6 +272,7 @@ impl Metrics {
                 "\"cache\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{:.4},",
                 "\"family_hits\":{},\"family_fallbacks\":{}}},",
                 "\"compile_cache\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{:.4}}},",
+                "\"corpus\":{{\"hits\":{},\"misses\":{}}},",
                 "\"solver\":{{\"solves\":{},\"sat\":{},\"unsat\":{},\"nodes_visited\":{},",
                 "\"propagation_reuse\":{},\"rebuilds\":{},\"model_reuse\":{},",
                 "\"pushes\":{},\"max_depth\":{}}},",
@@ -268,6 +293,8 @@ impl Metrics {
             self.compile_hits,
             self.compile_misses,
             self.compile_hit_rate(),
+            self.corpus_hits,
+            self.corpus_misses,
             self.solver.solves,
             self.solver.sat,
             self.solver.unsat,
@@ -295,6 +322,70 @@ pub struct Campaign {
     cache: Arc<ExplorationCache>,
     code_cache: Arc<CodeCache>,
     on_progress: Option<ProgressCallback>,
+    corpus: Option<Arc<CorpusState>>,
+}
+
+/// The warm overlay: outcomes loaded from a corpus file plus outcomes
+/// recorded (or preloaded) during this process's runs, consulted by
+/// `run_one` before running the pipeline.
+struct CorpusState {
+    /// File binding — path, this build's fingerprints and what loading
+    /// yielded. `None` for a detached overlay (outcomes injected via
+    /// [`Campaign::preload_outcomes`] without persistence).
+    file: Option<(PathBuf, igjit_corpus::Fingerprints, igjit_corpus::LoadStats)>,
+    /// Outcomes from the corpus file; immutable after construction, so
+    /// workers read it lock-free.
+    loaded: HashMap<(Target, InstrUnderTest), InstructionOutcome>,
+    /// Outcomes produced by this process — what a save adds to the
+    /// file, and what makes a repeated request warm within one process
+    /// (the serve mode's amortization).
+    recorded: Mutex<HashMap<(Target, InstrUnderTest), InstructionOutcome>>,
+}
+
+impl CorpusState {
+    fn detached() -> CorpusState {
+        CorpusState { file: None, loaded: HashMap::new(), recorded: Mutex::new(HashMap::new()) }
+    }
+
+    fn lookup(&self, target: Target, instr: InstrUnderTest) -> Option<InstructionOutcome> {
+        if let Some(o) = self.loaded.get(&(target, instr)) {
+            return Some(o.clone());
+        }
+        let recorded = self.recorded.lock().unwrap_or_else(|e| e.into_inner());
+        recorded.get(&(target, instr)).cloned()
+    }
+
+    fn record(&self, target: Target, instr: InstrUnderTest, outcome: InstructionOutcome) {
+        let mut recorded = self.recorded.lock().unwrap_or_else(|e| e.into_inner());
+        recorded.entry((target, instr)).or_insert(outcome);
+    }
+}
+
+/// Loads the configured corpus file (if any) and preloads the caches
+/// from it. Load problems are warnings on stderr, never errors — a
+/// bad corpus is a cold run.
+fn attach_corpus(
+    config: &CampaignConfig,
+    cache: &ExplorationCache,
+    code_cache: &CodeCache,
+) -> Option<Arc<CorpusState>> {
+    let path = config.corpus.as_ref()?;
+    let fps = igjit_corpus::fingerprints(config.probes, &config.isas);
+    let (corpus, stats) = igjit_corpus::load(path, &fps);
+    for w in &stats.warnings {
+        eprintln!("igjit: corpus {}: {}", path.display(), w);
+    }
+    for (key, exploration) in corpus.explorations {
+        cache.preload(key, Arc::new(exploration));
+    }
+    for (key, artifact) in corpus.code {
+        code_cache.preload(key, artifact);
+    }
+    Some(Arc::new(CorpusState {
+        file: Some((path.clone(), fps, stats)),
+        loaded: corpus.outcomes.into_iter().collect(),
+        recorded: Mutex::new(HashMap::new()),
+    }))
 }
 
 impl std::fmt::Debug for Campaign {
@@ -323,6 +414,9 @@ pub struct TimingSample {
     pub stages: StageTimes,
     /// Whether the exploration came from the shared cache.
     pub cache_hit: bool,
+    /// Whether the outcome came from the warm corpus overlay (`None`
+    /// when no corpus is attached).
+    pub corpus_hit: Option<bool>,
 }
 
 /// Aggregate result of one campaign run (one Table 2 row plus the
@@ -366,13 +460,7 @@ impl Campaign {
     /// A campaign with the paper's configuration (both ISAs, probing
     /// on).
     pub fn new(config: CampaignConfig) -> Campaign {
-        let code_cache = Arc::new(CodeCache::with_enabled(config.code_cache));
-        Campaign {
-            config,
-            cache: Arc::new(ExplorationCache::new()),
-            code_cache,
-            on_progress: None,
-        }
+        Campaign::with_exploration_cache(config, Arc::new(ExplorationCache::new()))
     }
 
     /// A campaign that shares an existing exploration cache instead of
@@ -389,7 +477,8 @@ impl Campaign {
         cache: Arc<ExplorationCache>,
     ) -> Campaign {
         let code_cache = Arc::new(CodeCache::with_enabled(config.code_cache));
-        Campaign { config, cache, code_cache, on_progress: None }
+        let corpus = attach_corpus(&config, &cache, &code_cache);
+        Campaign { config, cache, code_cache, on_progress: None, corpus }
     }
 
     /// A fast configuration for doctests and examples: one ISA, no
@@ -424,6 +513,66 @@ impl Campaign {
         &self.code_cache
     }
 
+    /// Load statistics of the configured corpus file, when one is
+    /// attached (`None` for no corpus or a detached overlay).
+    pub fn corpus_load_stats(&self) -> Option<&igjit_corpus::LoadStats> {
+        self.corpus.as_ref()?.file.as_ref().map(|(_, _, stats)| stats)
+    }
+
+    /// Overrides the worker-thread count after construction. The serve
+    /// mode adjusts this per request without rebuilding the caches.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.config.threads = threads.max(1);
+    }
+
+    /// Injects precomputed outcomes into the warm overlay without
+    /// binding a corpus file. The sharded campaign's parent feeds its
+    /// workers' results through this, turning the merge into an
+    /// ordinary (fully warm) sequential sweep — which is exactly why
+    /// the merged report is byte-identical to a sequential run.
+    pub fn preload_outcomes(
+        &mut self,
+        outcomes: impl IntoIterator<Item = ((Target, InstrUnderTest), InstructionOutcome)>,
+    ) {
+        let state = self.corpus.get_or_insert_with(|| Arc::new(CorpusState::detached()));
+        let mut recorded = state.recorded.lock().unwrap_or_else(|e| e.into_inner());
+        recorded.extend(outcomes);
+    }
+
+    /// Runs the pipeline for one instruction × target (or answers it
+    /// from the warm overlay) — the sharded campaign's worker entry
+    /// point.
+    pub fn outcome_for(&self, instr: InstrUnderTest, target: Target) -> InstructionOutcome {
+        self.run_one(instr, target).1
+    }
+
+    /// Writes the caches and recorded outcomes back to the configured
+    /// corpus file: atomically (temp file + rename), and not at all
+    /// when the encoded corpus is unchanged. `None` when no corpus
+    /// file is configured.
+    pub fn save_corpus(&self) -> Option<std::io::Result<igjit_corpus::SaveOutcome>> {
+        let state = self.corpus.as_ref()?;
+        let (path, fps, _) = state.file.as_ref()?;
+        let explorations = self
+            .cache
+            .snapshot()
+            .into_iter()
+            .map(|(k, v)| (k, (*v).clone()))
+            .collect();
+        let code = self.code_cache.snapshot();
+        let mut merged = state.loaded.clone();
+        {
+            let recorded = state.recorded.lock().unwrap_or_else(|e| e.into_inner());
+            merged.extend(recorded.iter().map(|(k, v)| (*k, v.clone())));
+        }
+        let corpus = igjit_corpus::Corpus {
+            explorations,
+            code,
+            outcomes: merged.into_iter().collect(),
+        };
+        Some(igjit_corpus::save(path, &corpus, fps))
+    }
+
     /// Registers a progress callback, invoked from worker threads
     /// after each instruction completes.
     pub fn on_progress(mut self, callback: impl Fn(&Progress) + Send + Sync + 'static) -> Self {
@@ -450,6 +599,22 @@ impl Campaign {
     /// feeding) the shared exploration and code caches.
     fn run_one(&self, instr: InstrUnderTest, target: Target) -> (TimingInfo, InstructionOutcome) {
         let t0 = Instant::now();
+        // Warm path: a corpus outcome replays verbatim — no explore,
+        // no compile, no simulation. The lookup cost lands in `other`.
+        if let Some(state) = &self.corpus {
+            if let Some(outcome) = state.lookup(target, instr) {
+                let elapsed = t0.elapsed();
+                let stages = StageTimes { other: elapsed, ..StageTimes::default() };
+                let info = TimingInfo {
+                    elapsed,
+                    stages,
+                    solver: SessionStats::default(),
+                    cache_hit: false,
+                    corpus_hit: Some(true),
+                };
+                return (info, outcome);
+            }
+        }
         let mut explorer = Explorer::new();
         explorer.hash_cons = self.config.hash_cons;
         explorer.negation_threads = self.config.negate_threads;
@@ -480,7 +645,14 @@ impl Campaign {
         // curation bookkeeping, verdict assembly — lands in `other`,
         // so the per-item stage sum equals the item's wall clock.
         stages.other += elapsed.saturating_sub(stages.total());
-        (TimingInfo { elapsed, stages, solver, cache_hit: lookup.hit }, outcome)
+        let corpus_hit = match &self.corpus {
+            Some(state) => {
+                state.record(target, instr, outcome.clone());
+                Some(false)
+            }
+            None => None,
+        };
+        (TimingInfo { elapsed, stages, solver, cache_hit: lookup.hit, corpus_hit }, outcome)
     }
 
     /// Runs a batch of instructions, sequentially or on a lock-free
@@ -512,8 +684,15 @@ impl Campaign {
         };
         let run_one = |(name, is_native, instr, target): &WorkItem|
          -> (TimingSample, InstructionOutcome, SessionStats) {
-            let (info, outcome) = self.run_one(*instr, *target);
+            let (mut info, outcome) = self.run_one(*instr, *target);
+            // Progress reporting is a stderr write + flush per
+            // instruction; charge it to its own stage so it can't
+            // masquerade as pipeline residual.
+            let t_progress = Instant::now();
             report_progress(name);
+            let dt = t_progress.elapsed();
+            info.stages.progress += dt;
+            info.elapsed += dt;
             (
                 TimingSample {
                     label: name.clone(),
@@ -522,6 +701,7 @@ impl Campaign {
                     paths: outcome.paths_found,
                     stages: info.stages,
                     cache_hit: info.cache_hit,
+                    corpus_hit: info.corpus_hit,
                 },
                 outcome,
                 info.solver,
@@ -587,10 +767,20 @@ impl Campaign {
             metrics.witness_errors += o.witness_errors;
             metrics.oracle_panics += o.oracle_panics;
             metrics.snapshot.merge(&o.snapshot);
-            if t.cache_hit {
-                metrics.cache_hits += 1;
-            } else {
-                metrics.cache_misses += 1;
+            match t.corpus_hit {
+                // A warm replay never consulted the exploration cache,
+                // so it is neither a cache hit nor a miss.
+                Some(true) => metrics.corpus_hits += 1,
+                Some(false) | None => {
+                    if t.corpus_hit.is_some() {
+                        metrics.corpus_misses += 1;
+                    }
+                    if t.cache_hit {
+                        metrics.cache_hits += 1;
+                    } else {
+                        metrics.cache_misses += 1;
+                    }
+                }
             }
             timings.push(t);
             outcomes.push(o);
@@ -665,6 +855,7 @@ struct TimingInfo {
     stages: StageTimes,
     solver: SessionStats,
     cache_hit: bool,
+    corpus_hit: Option<bool>,
 }
 
 /// Sums the per-row metrics of a full campaign run.
@@ -790,6 +981,8 @@ mod tests {
         assert!(j.contains("\"threads\":4"));
         assert!(j.contains("\"hit_rate\":0.4286"));
         assert!(j.contains("\"compile_cache\":{\"hits\":6,\"misses\":2,\"hit_rate\":0.7500}"));
+        assert!(j.contains("\"corpus\":{\"hits\":0,\"misses\":0}"));
+        assert!(j.contains("\"progress\":"));
         assert!(j.contains("\"stages_max_ms\""));
         assert!(j.contains("\"solver\""));
         assert_eq!(j.matches('{').count(), j.matches('}').count());

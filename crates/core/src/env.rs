@@ -22,6 +22,8 @@ pub const KNOWN_VARS: &[&str] = &[
     "IGJIT_FAMILY_SHARE",
     "IGJIT_NEGATE_THREADS",
     "IGJIT_MUTANT",
+    "IGJIT_CORPUS",
+    "IGJIT_CAMPAIGN_JOBS",
 ];
 
 /// Parsed knob values. `None` means the variable was not set; the
@@ -52,6 +54,12 @@ pub struct EnvKnobs {
     /// `IGJIT_MUTANT`: a mutation operator to arm for the whole
     /// process (id or kebab-case name from the `igjit-mutate` catalog).
     pub mutant: Option<MutantId>,
+    /// `IGJIT_CORPUS`: path of the persistent campaign corpus file
+    /// (loaded before the sweep, written back after).
+    pub corpus: Option<std::path::PathBuf>,
+    /// `IGJIT_CAMPAIGN_JOBS`: worker *processes* sharding the main
+    /// campaign (1 = in-process).
+    pub campaign_jobs: Option<usize>,
 }
 
 impl EnvKnobs {
@@ -75,9 +83,11 @@ impl EnvKnobs {
         self.predecode.unwrap_or(true)
     }
 
-    /// Hash-consed constraints: the knob, default on.
+    /// Hash-consed constraints: the knob, default off (the engine-v7
+    /// ablation measured the sweep faster without it when family
+    /// sharing is on; see EXPERIMENTS.md).
     pub fn hash_cons_enabled(&self) -> bool {
-        self.hash_cons.unwrap_or(true)
+        self.hash_cons.unwrap_or(false)
     }
 
     /// Family-shared exploration: the knob, default on.
@@ -88,6 +98,11 @@ impl EnvKnobs {
     /// Parallel path negation: the knob, default 1 (sequential).
     pub fn negate_threads_or_default(&self) -> usize {
         self.negate_threads.unwrap_or(1)
+    }
+
+    /// Campaign worker processes: the knob, default 1 (in-process).
+    pub fn campaign_jobs_or_default(&self) -> usize {
+        self.campaign_jobs.unwrap_or(1)
     }
 }
 
@@ -156,6 +171,22 @@ pub fn parse_vars(
                 knobs.mutant =
                     Some(igjit_mutate::parse(value).map_err(|e| format!("IGJIT_MUTANT: {e}"))?)
             }
+            "IGJIT_CORPUS" => {
+                if value.is_empty() {
+                    return Err("IGJIT_CORPUS is set but empty (expected a file path)".into());
+                }
+                knobs.corpus = Some(std::path::PathBuf::from(value));
+            }
+            "IGJIT_CAMPAIGN_JOBS" => {
+                knobs.campaign_jobs = Some(match value.parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => {
+                        return Err(format!(
+                            "IGJIT_CAMPAIGN_JOBS={value:?} is not a positive integer"
+                        ))
+                    }
+                })
+            }
             _ => {
                 return Err(format!(
                     "unknown environment variable {name} (known IGJIT_* knobs: {})",
@@ -189,11 +220,13 @@ mod tests {
         assert!(k.code_cache_enabled());
         assert!(k.heap_snapshot_enabled());
         assert!(k.predecode_enabled());
-        assert!(k.hash_cons_enabled());
+        assert!(!k.hash_cons_enabled(), "hash-consing is off by default since engine v7");
         assert!(k.family_share_enabled());
         assert_eq!(k.negate_threads_or_default(), 1);
+        assert_eq!(k.campaign_jobs_or_default(), 1);
         assert!(k.threads_or_default() >= 1);
         assert!(k.mutant.is_none());
+        assert!(k.corpus.is_none());
     }
 
     #[test]
@@ -207,6 +240,8 @@ mod tests {
             ("IGJIT_FAMILY_SHARE", "0"),
             ("IGJIT_NEGATE_THREADS", "4"),
             ("IGJIT_MUTANT", "flip-compare-cond"),
+            ("IGJIT_CORPUS", "bench/campaign.corpus"),
+            ("IGJIT_CAMPAIGN_JOBS", "2"),
         ]))
         .unwrap();
         assert_eq!(k.threads, Some(3));
@@ -218,6 +253,8 @@ mod tests {
         assert!(!k.family_share_enabled());
         assert_eq!(k.negate_threads_or_default(), 4);
         assert_eq!(k.mutant, Some(igjit_mutate::ops::FLIP_COMPARE_COND));
+        assert_eq!(k.corpus.as_deref(), Some(std::path::Path::new("bench/campaign.corpus")));
+        assert_eq!(k.campaign_jobs_or_default(), 2);
     }
 
     #[test]
@@ -241,6 +278,9 @@ mod tests {
         assert!(parse_vars(vars(&[("IGJIT_NEGATE_THREADS", "lots")])).is_err());
         assert!(parse_vars(vars(&[("IGJIT_MUTANT", "no-such-operator")])).is_err());
         assert!(parse_vars(vars(&[("IGJIT_MUTANT", "0")])).is_err());
+        assert!(parse_vars(vars(&[("IGJIT_CORPUS", "")])).is_err());
+        assert!(parse_vars(vars(&[("IGJIT_CAMPAIGN_JOBS", "0")])).is_err());
+        assert!(parse_vars(vars(&[("IGJIT_CAMPAIGN_JOBS", "two")])).is_err());
     }
 
     #[test]

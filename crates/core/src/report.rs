@@ -216,6 +216,7 @@ mod tests {
             paths,
             stages: Default::default(),
             cache_hit: false,
+            corpus_hit: None,
         };
         let samples = vec![sample("Add", false, 3, 7), sample("primitiveAdd", true, 9, 5)];
         let f5 = figure5_summary(&samples);

@@ -1,0 +1,339 @@
+//! The on-disk corpus file: load with graceful degradation, save
+//! atomically.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! "IGJC"  magic                                  4 bytes
+//! version u16                                    2 bytes
+//! count   u8     number of sections              1 byte
+//! then per section:
+//!   tag        u8    1=explorations 2=code 3=outcomes
+//!   fingerprint u64  content key (see fingerprint.rs)
+//!   length      u64  payload bytes
+//!   checksum    u64  FNV-1a of the payload
+//!   payload     [u8; length]
+//! ```
+//!
+//! **The one hard rule:** a corpus file can never make a run wrong or
+//! crash it — only warm or cold. Every anomaly (bad magic, version
+//! skew, truncation, checksum mismatch, decode error) drops the
+//! affected section (or the whole file) and records a warning; a
+//! fingerprint mismatch is ordinary staleness and drops the section
+//! silently. The sweep then recomputes exactly what a cold run would.
+
+use crate::codec::{from_bytes, to_bytes, Wire};
+use crate::fingerprint::Fingerprints;
+use crate::wire::fnv1a;
+use igjit_concolic::{ExplorationResult, InstrUnderTest};
+use igjit_difftest::{InstructionOutcome, Target};
+use igjit_jit::{CompileError, CompileKey, CompiledCode};
+use std::io;
+use std::path::Path;
+
+/// File magic.
+pub const MAGIC: [u8; 4] = *b"IGJC";
+/// Format version; any skew degrades to cold.
+pub const VERSION: u16 = 1;
+
+const TAG_EXPLORATIONS: u8 = 1;
+const TAG_CODE: u8 = 2;
+const TAG_OUTCOMES: u8 = 3;
+
+/// Exploration-cache key: instruction plus the probes flag (mirrors
+/// `igjit_concolic::ExplorationCache`).
+pub type ExplorationKey = (InstrUnderTest, bool);
+/// Outcome key: one per (compiler target, instruction) pair.
+pub type OutcomeKey = (Target, InstrUnderTest);
+
+/// Everything a corpus file persists, as plain sorted pairs (the
+/// in-memory cache structures live in their own crates; this is the
+/// interchange form).
+#[derive(Default)]
+pub struct Corpus {
+    /// Exploration-cache entries (curated paths, probe models,
+    /// recorded walks).
+    pub explorations: Vec<(ExplorationKey, ExplorationResult)>,
+    /// Compiled-code-cache entries, including negative entries
+    /// (compile refusals are results too).
+    pub code: Vec<(CompileKey, Result<CompiledCode, CompileError>)>,
+    /// Whole-pipeline per-instruction outcomes — the section that
+    /// lets a fully-warm sweep skip explore/materialize/compile/
+    /// simulate/compare outright.
+    pub outcomes: Vec<(OutcomeKey, InstructionOutcome)>,
+}
+
+/// What a load found, for metrics and operator-facing warnings.
+#[derive(Clone, Debug, Default)]
+pub struct LoadStats {
+    /// Entries loaded per section.
+    pub explorations: usize,
+    /// Compiled artifacts loaded.
+    pub code: usize,
+    /// Instruction outcomes loaded.
+    pub outcomes: usize,
+    /// Sections dropped for a fingerprint mismatch (ordinary
+    /// staleness after a code change).
+    pub stale_sections: usize,
+    /// True when no section could be used at all (absent file,
+    /// corruption, version skew).
+    pub cold: bool,
+    /// Human-readable anomaly descriptions (empty for a clean load
+    /// and for a simply-absent file).
+    pub warnings: Vec<String>,
+}
+
+/// Result of [`save`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SaveOutcome {
+    /// The file already held exactly these bytes; nothing written.
+    Unchanged,
+    /// A new file was atomically moved into place.
+    Written {
+        /// Size of the file written.
+        bytes: usize,
+    },
+}
+
+fn sorted_section<K: Wire, V: Wire>(pairs: &[(K, V)]) -> Vec<u8> {
+    let mut encoded: Vec<(Vec<u8>, &(K, V))> =
+        pairs.iter().map(|p| (to_bytes(&p.0), p)).collect();
+    encoded.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut e = crate::wire::Encoder::new();
+    e.usize(encoded.len());
+    for (_, (k, v)) in &encoded {
+        k.enc(&mut e);
+        v.enc(&mut e);
+    }
+    e.into_bytes()
+}
+
+/// Encodes a corpus to the full file image. Sections are sorted by
+/// encoded key, so equal content always produces identical bytes —
+/// that is what makes [`save`]'s skip-if-unchanged check and CI's
+/// byte-identity assertions meaningful.
+pub fn encode(corpus: &Corpus, fp: &Fingerprints) -> Vec<u8> {
+    let sections: [(u8, u64, Vec<u8>); 3] = [
+        (TAG_EXPLORATIONS, fp.exploration, sorted_section(&corpus.explorations)),
+        (TAG_CODE, fp.code, sorted_section(&corpus.code)),
+        (TAG_OUTCOMES, fp.outcomes, sorted_section(&corpus.outcomes)),
+    ];
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.push(sections.len() as u8);
+    for (tag, fingerprint, payload) in &sections {
+        out.push(*tag);
+        out.extend_from_slice(&fingerprint.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&fnv1a(payload).to_le_bytes());
+        out.extend_from_slice(payload);
+    }
+    out
+}
+
+/// Decodes a file image against the expected fingerprints. Never
+/// panics; anomalies degrade per the module rules.
+pub fn decode(bytes: &[u8], fp: &Fingerprints) -> (Corpus, LoadStats) {
+    let mut corpus = Corpus::default();
+    let mut stats = LoadStats::default();
+    let cold = |stats: &mut LoadStats, why: String| {
+        stats.cold = true;
+        stats.warnings.push(why);
+    };
+    if bytes.len() < 7 {
+        cold(&mut stats, "corpus file shorter than its header; ignoring it".to_string());
+        return (corpus, stats);
+    }
+    if bytes[0..4] != MAGIC {
+        cold(&mut stats, "corpus file has wrong magic; ignoring it".to_string());
+        return (corpus, stats);
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version != VERSION {
+        cold(
+            &mut stats,
+            format!("corpus file is format v{version}, this build reads v{VERSION}; ignoring it"),
+        );
+        return (corpus, stats);
+    }
+    let count = bytes[6] as usize;
+    let mut pos = 7usize;
+    for _ in 0..count {
+        // Section header: tag(1) + fingerprint(8) + length(8) + checksum(8).
+        if bytes.len() - pos < 25 {
+            cold(&mut stats, "corpus section table truncated; dropping the rest".to_string());
+            break;
+        }
+        let tag = bytes[pos];
+        let fingerprint =
+            u64::from_le_bytes(bytes[pos + 1..pos + 9].try_into().expect("len 8"));
+        let length =
+            u64::from_le_bytes(bytes[pos + 9..pos + 17].try_into().expect("len 8")) as usize;
+        let checksum =
+            u64::from_le_bytes(bytes[pos + 17..pos + 25].try_into().expect("len 8"));
+        pos += 25;
+        if bytes.len() - pos < length {
+            cold(&mut stats, "corpus section payload truncated; dropping the rest".to_string());
+            break;
+        }
+        let payload = &bytes[pos..pos + length];
+        pos += length;
+        let expected = match tag {
+            TAG_EXPLORATIONS => fp.exploration,
+            TAG_CODE => fp.code,
+            TAG_OUTCOMES => fp.outcomes,
+            _ => {
+                // Unknown section from a newer writer: skip, stay warm
+                // for the sections we do understand.
+                stats.warnings.push(format!("unknown corpus section tag {tag}; skipping it"));
+                continue;
+            }
+        };
+        if fingerprint != expected {
+            // Ordinary staleness: the code that produced this section
+            // has changed. Silent by design.
+            stats.stale_sections += 1;
+            continue;
+        }
+        if fnv1a(payload) != checksum {
+            stats
+                .warnings
+                .push(format!("corpus section {tag} failed its checksum; running it cold"));
+            continue;
+        }
+        let decoded_ok = match tag {
+            TAG_EXPLORATIONS => {
+                match from_bytes::<Vec<((InstrUnderTest, bool), ExplorationResult)>>(payload) {
+                    Ok(pairs) => {
+                        stats.explorations = pairs.len();
+                        corpus.explorations = pairs;
+                        true
+                    }
+                    Err(_) => false,
+                }
+            }
+            TAG_CODE => {
+                match from_bytes::<Vec<(CompileKey, Result<CompiledCode, CompileError>)>>(payload)
+                {
+                    Ok(pairs) => {
+                        stats.code = pairs.len();
+                        corpus.code = pairs;
+                        true
+                    }
+                    Err(_) => false,
+                }
+            }
+            TAG_OUTCOMES => {
+                match from_bytes::<Vec<((Target, InstrUnderTest), InstructionOutcome)>>(payload) {
+                    Ok(pairs) => {
+                        stats.outcomes = pairs.len();
+                        corpus.outcomes = pairs;
+                        true
+                    }
+                    Err(_) => false,
+                }
+            }
+            _ => unreachable!("unknown tags continue above"),
+        };
+        if !decoded_ok {
+            stats
+                .warnings
+                .push(format!("corpus section {tag} failed to decode; running it cold"));
+        }
+    }
+    (corpus, stats)
+}
+
+/// Loads a corpus file. An absent file is a quiet cold start; any
+/// other anomaly degrades per the module rules, with a warning in
+/// [`LoadStats::warnings`].
+pub fn load(path: &Path, fp: &Fingerprints) -> (Corpus, LoadStats) {
+    match std::fs::read(path) {
+        Ok(bytes) => decode(&bytes, fp),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            (Corpus::default(), LoadStats { cold: true, ..LoadStats::default() })
+        }
+        Err(e) => (
+            Corpus::default(),
+            LoadStats {
+                cold: true,
+                warnings: vec![format!("corpus file {} unreadable ({e}); running cold", path.display())],
+                ..LoadStats::default()
+            },
+        ),
+    }
+}
+
+/// Saves a corpus atomically: encode, compare against the existing
+/// file (skip the write when nothing changed), else write a temp file
+/// in the same directory and rename it into place.
+pub fn save(path: &Path, corpus: &Corpus, fp: &Fingerprints) -> io::Result<SaveOutcome> {
+    let bytes = encode(corpus, fp);
+    if let Ok(existing) = std::fs::read(path) {
+        if existing == bytes {
+            return Ok(SaveOutcome::Unchanged);
+        }
+    }
+    let tmp = path.with_file_name(format!(
+        "{}.tmp.{}",
+        path.file_name().and_then(|n| n.to_str()).unwrap_or("corpus"),
+        std::process::id()
+    ));
+    std::fs::write(&tmp, &bytes)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(SaveOutcome::Written { bytes: bytes.len() }),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp() -> Fingerprints {
+        crate::fingerprint::fingerprints(true, &[igjit_machine::Isa::X86ish])
+    }
+
+    #[test]
+    fn empty_corpus_round_trips() {
+        let bytes = encode(&Corpus::default(), &fp());
+        let (corpus, stats) = decode(&bytes, &fp());
+        assert!(corpus.explorations.is_empty() && corpus.code.is_empty());
+        assert!(!stats.cold);
+        assert_eq!(stats.stale_sections, 0);
+        assert!(stats.warnings.is_empty());
+    }
+
+    #[test]
+    fn stale_fingerprints_drop_sections_silently() {
+        let bytes = encode(&Corpus::default(), &fp());
+        let other = Fingerprints { exploration: 1, code: 2, outcomes: 3 };
+        let (_, stats) = decode(&bytes, &other);
+        assert_eq!(stats.stale_sections, 3);
+        assert!(stats.warnings.is_empty());
+        assert!(!stats.cold);
+    }
+
+    #[test]
+    fn version_skew_is_cold_with_warning() {
+        let mut bytes = encode(&Corpus::default(), &fp());
+        bytes[4] = bytes[4].wrapping_add(1);
+        let (_, stats) = decode(&bytes, &fp());
+        assert!(stats.cold);
+        assert!(stats.warnings.iter().any(|w| w.contains("format v")));
+    }
+
+    #[test]
+    fn every_truncation_point_degrades_gracefully() {
+        let bytes = encode(&Corpus::default(), &fp());
+        for cut in 0..bytes.len() {
+            let (_, stats) = decode(&bytes[..cut], &fp());
+            // Must not panic; header cuts are cold, payload cuts warn.
+            let _ = stats;
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests of the corpus wire format: randomized domain values
+//! must survive an encode/decode round trip bit-for-bit, and random
+//! corruption of a whole corpus file must degrade (cold sections,
+//! warnings) without ever panicking or inventing entries.
+
+use igjit_corpus::{from_bytes, to_bytes, Fingerprints};
+use igjit_solver::{Assignment, CmpOp, Constraint, Kind, LinExpr, Model, VarId};
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = Kind> {
+    (0usize..Kind::ALL.len()).prop_map(|i| Kind::ALL[i])
+}
+
+fn arb_cmp() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+    ]
+}
+
+fn arb_lin() -> impl Strategy<Value = LinExpr> {
+    (
+        -1000i64..1000,
+        proptest::collection::vec((-4i64..5, (0u32..8).prop_map(VarId)), 0..3),
+    )
+        .prop_map(|(constant, terms)| LinExpr { constant, terms })
+}
+
+/// Leaf constraints plus one level of `Or`/`And` nesting — deeper
+/// nesting exercises the same recursive codec path.
+fn arb_constraint() -> impl Strategy<Value = Constraint> {
+    let var = (0u32..8).prop_map(VarId);
+    let leaf = prop_oneof![
+        (var.clone(), arb_kind()).prop_map(|(v, k)| Constraint::kind_is(v, k)),
+        (var.clone(), arb_kind()).prop_map(|(v, k)| Constraint::kind_is_not(v, k)),
+        (arb_cmp(), arb_lin(), arb_lin()).prop_map(|(op, l, r)| Constraint::Int(op, l, r)),
+        (var.clone(), var.clone()).prop_map(|(a, b)| Constraint::ObjEq(a, b)),
+        (var.clone(), var).prop_map(|(a, b)| Constraint::ObjNe(a, b)),
+    ];
+    (
+        proptest::collection::vec(leaf, 1..4),
+        0u8..3,
+    )
+        .prop_map(|(leaves, wrap)| match wrap {
+            0 => leaves.into_iter().next().unwrap(),
+            1 => Constraint::Or(leaves),
+            _ => Constraint::And(leaves),
+        })
+}
+
+fn arb_model() -> impl Strategy<Value = Model> {
+    proptest::collection::vec(
+        (arb_kind(), any::<i64>(), any::<i32>(), any::<u32>())
+            .prop_map(|(kind, int, float, alias)| Assignment {
+                kind,
+                int,
+                // The vendored proptest has no float strategies; a
+                // scaled integer covers sign, fractions and magnitude.
+                float: f64::from(float) / 64.0,
+                alias,
+            }),
+        0..6,
+    )
+    .prop_map(Model::from_assignments)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn prop_constraints_round_trip(c in arb_constraint()) {
+        let rt: Constraint = from_bytes(&to_bytes(&c)).unwrap();
+        prop_assert_eq!(rt, c);
+    }
+
+    #[test]
+    fn prop_models_round_trip(m in arb_model()) {
+        let rt: Model = from_bytes(&to_bytes(&m)).unwrap();
+        prop_assert_eq!(rt, m);
+    }
+
+    #[test]
+    fn prop_constraint_vectors_round_trip(
+        cs in proptest::collection::vec(arb_constraint(), 0..8)
+    ) {
+        let rt: Vec<Constraint> = from_bytes(&to_bytes(&cs)).unwrap();
+        prop_assert_eq!(rt, cs);
+    }
+}
+
+/// A small but non-empty corpus to corrupt: one real exploration and
+/// its outcomes, produced by the live pipeline so every section is
+/// populated.
+fn sample_corpus_bytes(fp: &Fingerprints) -> Vec<u8> {
+    let exploration = igjit_concolic::Explorer::new()
+        .explore(igjit_concolic::InstrUnderTest::Bytecode(igjit_bytecode::Instruction::Add));
+    let corpus = igjit_corpus::Corpus {
+        explorations: vec![(
+            (igjit_concolic::InstrUnderTest::Bytecode(igjit_bytecode::Instruction::Add), false),
+            exploration,
+        )],
+        ..igjit_corpus::Corpus::default()
+    };
+    igjit_corpus::file::encode(&corpus, fp)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Any single-byte flip anywhere in the file decodes without a
+    /// panic, and never yields *more* entries than the pristine file.
+    #[test]
+    fn prop_flipped_byte_degrades_gracefully(pos in any::<u32>(), bit in 0u8..8) {
+        let fp = igjit_corpus::fingerprints(false, &[igjit_machine::Isa::X86ish]);
+        let mut bytes = sample_corpus_bytes(&fp);
+        let pos = pos as usize % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        let (corpus, stats) = igjit_corpus::file::decode(&bytes, &fp);
+        prop_assert!(corpus.explorations.len() <= 1);
+        prop_assert!(corpus.code.is_empty());
+        prop_assert!(corpus.outcomes.is_empty());
+        // A flip that lands in a payload must be caught by the
+        // checksum (warning) or the fingerprint (stale section); a
+        // flip in the header may cold the whole file. All of those
+        // surface in stats rather than panicking.
+        let _ = (stats.cold, stats.stale_sections, stats.warnings.len());
+    }
+
+    /// Any truncation decodes without a panic and without inventing
+    /// entries.
+    #[test]
+    fn prop_truncation_degrades_gracefully(cut in any::<u32>()) {
+        let fp = igjit_corpus::fingerprints(false, &[igjit_machine::Isa::X86ish]);
+        let bytes = sample_corpus_bytes(&fp);
+        let cut = cut as usize % bytes.len();
+        let (corpus, _stats) = igjit_corpus::file::decode(&bytes[..cut], &fp);
+        prop_assert!(corpus.explorations.len() <= 1);
+        prop_assert!(corpus.outcomes.is_empty());
+    }
+}

@@ -19,7 +19,7 @@ use crate::oracle::{concrete_frame, run_oracle, run_oracle_on, EngineExit};
 use igjit_concolic::probe_models_with_stats;
 
 /// What compiler the campaign tests against the interpreter.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Target {
     /// The template-based native-method compiler.
     NativeMethods,
@@ -208,6 +208,8 @@ impl CampaignRow {
 /// - `hash`: compile-key construction and cache lookup (the cache's
 ///   hot path), minus any compile time spent inside a miss.
 /// - `report`: engine-exit extraction and verdict/outcome assembly.
+/// - `progress`: the driver's per-instruction progress callback
+///   (stderr write + flush when a reporter is installed).
 /// - `other`: the residual — whatever the named stages still don't
 ///   cover. Attributed by the driver as elapsed-minus-stages so the
 ///   stage sum accounts for the whole wall clock instead of silently
@@ -233,6 +235,9 @@ pub struct StageTimes {
     pub hash: Duration,
     /// Engine-exit extraction + verdict assembly.
     pub report: Duration,
+    /// Per-instruction progress reporting (the driver's callback,
+    /// typically a stderr write + flush).
+    pub progress: Duration,
     /// Driver overhead outside the named stages.
     pub other: Duration,
 }
@@ -249,6 +254,7 @@ impl StageTimes {
             + self.decode
             + self.hash
             + self.report
+            + self.progress
             + self.other
     }
 
@@ -263,6 +269,7 @@ impl StageTimes {
         self.decode += other.decode;
         self.hash += other.hash;
         self.report += other.report;
+        self.progress += other.progress;
         self.other += other.other;
     }
 
@@ -280,6 +287,7 @@ impl StageTimes {
         self.decode = self.decode.max(other.decode);
         self.hash = self.hash.max(other.hash);
         self.report = self.report.max(other.report);
+        self.progress = self.progress.max(other.progress);
         self.other = self.other.max(other.other);
     }
 }
@@ -361,6 +369,16 @@ pub fn test_instruction(
     outcome
 }
 
+thread_local! {
+    /// Simulator session reused across `test_instruction_with` calls on
+    /// this thread. `Machine::with_session` resets registers and the
+    /// dirty stack extent before every run, so reuse is outcome-neutral;
+    /// a panic mid-call merely drops the slot and the next call
+    /// allocates a fresh session.
+    static REUSED_SESSION: std::cell::Cell<Option<igjit_machine::MachineSession>> =
+        const { std::cell::Cell::new(None) };
+}
+
 /// Runs the differential pipeline against an exploration produced (and
 /// possibly shared) by the caller, returning per-stage wall-clock and
 /// the probe solver's work counters next to the outcome.
@@ -411,7 +429,7 @@ pub fn test_instruction_with(
     let mut oracle_panics = 0usize;
     let mut snapshot_stats = SnapshotStats::default();
     let mut arena: Option<ReplayArena> = None;
-    let mut session = igjit_machine::MachineSession::new();
+    let mut session = REUSED_SESSION.with(|slot| slot.take()).unwrap_or_default();
     let mut ctx = RunCtx { cache: code_cache, predecode, session: &mut session };
 
     for (pi, path) in curated.iter().enumerate() {
@@ -664,6 +682,7 @@ pub fn test_instruction_with(
         snapshot: snapshot_stats,
     };
     times.report += t_report.elapsed();
+    REUSED_SESSION.with(|slot| slot.set(Some(session)));
     (outcome, times, solver)
 }
 

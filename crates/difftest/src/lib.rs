@@ -41,3 +41,6 @@ pub use oracle::{concrete_frame, run_oracle, run_oracle_on, EngineExit, OracleRu
 pub use igjit_concolic::{probe_models, probe_models_with_stats};
 pub use sequence::{minimal_sequence_for_path, run_oracle_sequence, test_sequence,
                    SequenceOutcome};
+
+/// Compile-time source fingerprint (see `igjit-corpus`).
+pub mod srcid;

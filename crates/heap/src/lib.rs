@@ -47,3 +47,6 @@ pub use format::ObjectFormat;
 pub use memory::{ObjectMemory, HEADER_WORDS};
 pub use snapshot::Snapshot;
 pub use tagged::{Oop, SMALL_INT_MAX, SMALL_INT_MIN};
+
+/// Compile-time source fingerprint (see `igjit-corpus`).
+pub mod srcid;

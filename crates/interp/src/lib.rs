@@ -70,3 +70,6 @@ pub use natives::{native_catalog, native_spec, run_native, NativeGroup, NativeMe
                   NativeMethodSpec, NativeOutcome};
 pub use runner::{run_method, MethodResult, RunError};
 pub use step::step;
+
+/// Compile-time source fingerprint (see `igjit-corpus`).
+pub mod srcid;

@@ -524,6 +524,40 @@ impl CodeCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Seeds an artifact without touching the hit/miss counters
+    /// (corpus warm-start: a preloaded artifact becomes an ordinary
+    /// hit when the sweep first asks for it). The key is inserted
+    /// verbatim — stored keys already carry any cache-key mutation
+    /// applied when they were first compiled, and the corpus
+    /// fingerprint guarantees the arming state matches. First insert
+    /// wins. A disabled cache ignores preloads (by definition it
+    /// never hits).
+    pub fn preload(&self, key: CompileKey, artifact: Result<CompiledCode, CompileError>) {
+        if !self.enabled {
+            return;
+        }
+        let bucket_hash = key.bucket_hash();
+        let mut map = self.map.write().expect("code cache poisoned");
+        let bucket = map.entry(bucket_hash).or_default();
+        if bucket.iter().any(|(stored, _)| *stored == key) {
+            return;
+        }
+        bucket.push((key, Arc::new(CacheEntry::new(artifact))));
+    }
+
+    /// All stored (key, artifact) pairs, for corpus write-back. Order
+    /// is unspecified (the corpus encoder canonicalizes by key); the
+    /// lazily-built predecoded views are not part of the snapshot —
+    /// they are derived data, rebuilt on demand after a reload.
+    pub fn snapshot(&self) -> Vec<(CompileKey, Result<CompiledCode, CompileError>)> {
+        self.map
+            .read()
+            .expect("code cache poisoned")
+            .values()
+            .flat_map(|bucket| bucket.iter().map(|(k, e)| (k.clone(), e.artifact().clone())))
+            .collect()
+    }
+
     /// Distinct artifacts currently stored.
     pub fn len(&self) -> usize {
         self.map.read().expect("code cache poisoned").values().map(Vec::len).sum()

@@ -96,3 +96,6 @@ pub mod stops {
     /// The jump-taken landing pad of a jump bytecode test.
     pub const JUMP_TAKEN: u8 = 1;
 }
+
+/// Compile-time source fingerprint (see `igjit-corpus`).
+pub mod srcid;

@@ -61,3 +61,6 @@ pub use disasm::{disassemble, disassemble_to_string, DisasmLine};
 pub use encoding::{decode_instr, encode_instr, EncodeError};
 pub use instr::{AluOp, Cond, FAluOp, Isa, MInstr, Reg, TrampolineKind, FReg};
 pub use predecode::PredecodedCode;
+
+/// Compile-time source fingerprint (see `igjit-corpus`).
+pub mod srcid;

@@ -552,3 +552,6 @@ mod tests {
         assert_eq!(current(), None);
     }
 }
+
+/// Compile-time source fingerprint (see `igjit-corpus`).
+pub mod srcid;

@@ -115,3 +115,6 @@ pub const SMALL_INT_MIN: i64 = -(1 << 30);
 /// handled at most 56-bit integers, restricting testing to 32-bit
 /// compilations).
 pub const PRECISION_BITS: u32 = 56;
+
+/// Compile-time source fingerprint (see `igjit-corpus`).
+pub mod srcid;
