@@ -7,17 +7,18 @@
 # the generated-test count means a behaviour change slipped into a
 # perf-motivated PR — exactly what this check exists to catch.
 #
-# The CI workflow appends four 1-thread records — all knobs on, heap
-# snapshots off, predecode off, family sharing off — each tagged with
-# its `knobs`. Records written before the knobs tag existed are ignored
-# whenever tagged ones are present (their classification by side-effect
-# counters was ambiguous). Beyond the row totals, the check enforces
-# the perf invariants of the engine:
+# The CI workflow appends five 1-thread records — all knobs on, heap
+# snapshots off, predecode off, family sharing off, interpreter
+# predecode off — each tagged with its `knobs`. Records written before
+# the knobs tag existed are ignored whenever tagged ones are present
+# (their classification by side-effect counters was ambiguous). Beyond
+# the row totals, the check enforces the perf invariants of the
+# engine:
 #
 #   * knob identity — every record in the window, whatever its knobs,
 #     must match the expected rows: neither heap snapshots, predecoded
-#     fetch, nor family-shared exploration may change anything
-#     observable;
+#     fetch (machine- or interpreter-side), nor family-shared
+#     exploration may change anything observable;
 #   * materialize speedup — the snapshot-on materialize stage must be
 #     at least 1.3x faster than the snapshot-off one (engine v6's
 #     cheaper heap construction — template class tables, vector live
@@ -33,8 +34,12 @@
 #     `other` bucket must stay within 15% of wall clock (engine v5's
 #     sub-stage attribution contract);
 #   * explore budget — with every engine knob on at 1 thread, the
-#     explore stage must stay under `explore_budget_ms` (engine v6's
-#     hash-consed, family-shared exploration).
+#     explore stage must stay under `explore_budget_ms` (engine v8's
+#     predecoded walk plus batched probe solves);
+#   * explore sub-slices — the `walk_run` and `probe_solve` buckets
+#     re-attribute time already inside `explore` (they are excluded
+#     from the stage total), so their sum must never exceed the
+#     explore stage itself.
 #
 # Usage: ci/perf_smoke_check.sh [BENCH_table2.json] [testgen-output.txt]
 set -euo pipefail
@@ -75,7 +80,7 @@ records = [rec for rec in records if not rec.get("knobs", {}).get("corpus", Fals
 if not records:
     sys.exit(f"perf-smoke: {bench_path} holds only corpus-backed records")
 
-window = records[-8:]
+window = records[-10:]
 tagged = [rec for rec in window if "knobs" in rec]
 if tagged:
     window = tagged
@@ -88,6 +93,8 @@ if tagged:
             return "predecode-off"
         if not k.get("family_share", True):
             return "family-off"
+        if not k.get("interp_predecode", True):
+            return "interp-predecode-off"
         return "all-on"
 else:
 
@@ -102,6 +109,7 @@ rec_on = by_kind.get("all-on")
 rec_off = by_kind.get("snapshot-off")
 rec_pre_off = by_kind.get("predecode-off")
 rec_fam_off = by_kind.get("family-off")
+rec_interp_off = by_kind.get("interp-predecode-off")
 
 with open(testgen_path) as f:
     testgen = f.read()
@@ -116,6 +124,7 @@ labelled = [
     ("snapshot-off", rec_off),
     ("predecode-off", rec_pre_off),
     ("family-off", rec_fam_off),
+    ("interp-predecode-off", rec_interp_off),
 ]
 for label, rec in labelled:
     if rec is None:
@@ -168,12 +177,17 @@ else:
     ratio = None
 
 # Honest stage accounting: at 1 thread the stage sum (with the
-# `other` bucket) must track the wall clock within 10%.
+# `other` bucket) must track the wall clock within 10%. The explore
+# sub-slices (`walk_run`, `probe_solve`) re-attribute time already
+# counted in `explore`, so they stay out of the sum.
+SUB_SLICES = {"walk_run", "probe_solve"}
 for label, rec in labelled:
     if rec is None or rec["metrics"].get("threads") != 1:
         continue
     stages = rec["metrics"]["stages_ms"]
-    total = stages.get("total", sum(v for k, v in stages.items() if k != "total"))
+    total = stages.get(
+        "total", sum(v for k, v in stages.items() if k != "total" and k not in SUB_SLICES)
+    )
     wall = rec["metrics"]["wall_clock_ms"]
     if wall > 0 and abs(total - wall) > 0.10 * wall:
         sys.exit(
@@ -206,8 +220,37 @@ if rec_on is not None and rec_fam_off is not None:
                 f"but {rec_fam_off['table2'][key]} with sharing off"
             )
 
+# Interpreter predecoding must be purely an optimization too: the
+# interp-predecode-off rows must equal the all-on rows key for key
+# (same rationale as the family check above — holds even while the
+# committed expectations are being retuned in the same PR).
+if rec_on is not None and rec_interp_off is not None:
+    for key in ("tested_instructions", "interpreter_paths", "curated_paths", "differences"):
+        if rec_interp_off["table2"][key] != rec_on["table2"][key]:
+            sys.exit(
+                "perf-smoke: interpreter predecoding changed campaign rows: "
+                f"{key} is {rec_on['table2'][key]} with predecoding on "
+                f"but {rec_interp_off['table2'][key]} with it off"
+            )
+
+# Explore sub-slices: walk_run + probe_solve re-attribute explore
+# time, so their sum can never exceed the explore stage itself (5%
+# slack for timer quantization across many short paths).
+for label, rec in labelled:
+    if rec is None:
+        continue
+    stages = rec["metrics"]["stages_ms"]
+    if "walk_run" in stages and "probe_solve" in stages:
+        sub = stages["walk_run"] + stages["probe_solve"]
+        if sub > 1.05 * stages["explore"] + 0.5:
+            sys.exit(
+                f"perf-smoke: explore sub-slices overflow the stage ({label}): "
+                f"walk_run + probe_solve = {sub:.1f} ms "
+                f"vs explore {stages['explore']:.1f} ms"
+            )
+
 # Explore budget: with every engine knob on at 1 thread, the explore
-# stage must stay under its committed budget (engine v6).
+# stage must stay under its committed budget (engine v8).
 explore_budget = expect.get("explore_budget_ms")
 if (
     explore_budget is not None
@@ -221,7 +264,7 @@ if (
             f"{explore_ms:.1f} ms > {explore_budget:.1f} ms at 1 thread"
         )
 
-rec = rec_on or rec_off or rec_pre_off or rec_fam_off
+rec = rec_on or rec_off or rec_pre_off or rec_fam_off or rec_interp_off
 metrics = rec["metrics"]
 stages = metrics["stages_ms"]
 speedup = f", materialize speedup {ratio:.2f}x" if ratio is not None else ""

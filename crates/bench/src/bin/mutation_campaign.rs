@@ -642,6 +642,7 @@ fn main() {
         code_cache: knobs.code_cache_enabled(),
         heap_snapshot: knobs.heap_snapshot_enabled(),
         predecode: knobs.predecode_enabled(),
+        interp_predecode: knobs.interp_predecode_enabled(),
         hash_cons: knobs.hash_cons_enabled(),
         family_share: knobs.family_share_enabled(),
         negate_threads: knobs.negate_threads_or_default(),

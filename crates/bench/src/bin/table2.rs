@@ -65,7 +65,7 @@ fn usage() -> ! {
          \x20 --help         this text\n\
          \n\
          environment: IGJIT_THREADS, IGJIT_CODE_CACHE, IGJIT_HEAP_SNAPSHOT,\n\
-         IGJIT_PREDECODE, IGJIT_HASH_CONS, IGJIT_FAMILY_SHARE,\n\
+         IGJIT_PREDECODE, IGJIT_INTERP_PREDECODE, IGJIT_HASH_CONS, IGJIT_FAMILY_SHARE,\n\
          IGJIT_NEGATE_THREADS, IGJIT_MUTANT, IGJIT_CORPUS, IGJIT_CAMPAIGN_JOBS"
     );
     std::process::exit(2);

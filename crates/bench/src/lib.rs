@@ -49,6 +49,14 @@ pub fn predecode_enabled() -> bool {
     env_knobs().predecode_enabled()
 }
 
+/// Whether the interpreter-side predecoded pipeline is enabled: the
+/// `IGJIT_INTERP_PREDECODE` environment variable (off, oracle and
+/// sequence runs dispatch per step — the engine-v7 behaviour), default
+/// on. Rows are identical either way. Malformed values are fatal.
+pub fn interp_predecode_enabled() -> bool {
+    env_knobs().interp_predecode_enabled()
+}
+
 /// Whether hash-consed constraint interning is enabled: the
 /// `IGJIT_HASH_CONS` environment variable (on, assertions are interned
 /// and path dedup keys on term ids), default off since engine v7 (the
@@ -125,6 +133,7 @@ pub fn paper_config() -> CampaignConfig {
         code_cache: code_cache_enabled(),
         heap_snapshot: heap_snapshot_enabled(),
         predecode: predecode_enabled(),
+        interp_predecode: interp_predecode_enabled(),
         hash_cons: hash_cons_enabled(),
         family_share: family_share_enabled(),
         negate_threads: negate_threads(),
@@ -182,6 +191,7 @@ pub fn append_bench_json(path: &str, reports: &[CampaignReport]) {
         concat!(
             "{{\"epoch_s\":{},",
             "\"knobs\":{{\"code_cache\":{},\"heap_snapshot\":{},\"predecode\":{},",
+            "\"interp_predecode\":{},",
             "\"hash_cons\":{},\"family_share\":{},\"corpus\":{}}},",
             "\"metrics\":{},",
             "\"table2\":{{\"tested_instructions\":{},\"interpreter_paths\":{},",
@@ -191,6 +201,7 @@ pub fn append_bench_json(path: &str, reports: &[CampaignReport]) {
         knobs.code_cache_enabled(),
         knobs.heap_snapshot_enabled(),
         knobs.predecode_enabled(),
+        knobs.interp_predecode_enabled(),
         knobs.hash_cons_enabled(),
         knobs.family_share_enabled(),
         knobs.corpus.is_some(),
@@ -234,6 +245,12 @@ pub fn print_metrics_summary(total: &Metrics) {
         total.stages.report.as_secs_f64(),
         total.stages.progress.as_secs_f64(),
         total.stages.other.as_secs_f64(),
+    );
+    println!(
+        "explore sub-slices: walk run {:.3}s, probe solve {:.3}s \
+         (both inside explore, not additive with it)",
+        total.stages.walk_run.as_secs_f64(),
+        total.stages.probe_solve.as_secs_f64(),
     );
     if total.corpus_hits + total.corpus_misses > 0 {
         println!(

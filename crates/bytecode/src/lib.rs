@@ -37,6 +37,7 @@
 
 pub mod catalog;
 mod decode;
+pub use igjit_heap::fxhash;
 mod instr;
 mod method;
 mod selectors;

@@ -30,6 +30,13 @@ pub struct CacheLookup {
     pub hit: bool,
     /// Wall-clock spent exploring (zero on a hit).
     pub explore_time: Duration,
+    /// Of [`CacheLookup::explore_time`], the slice spent materializing
+    /// frames and concretely executing in the negation walk (zero on a
+    /// hit — a shared entry's work is charged once, by the miss).
+    pub walk_run: Duration,
+    /// Of [`CacheLookup::explore_time`], the slice spent solving
+    /// kind-probe hypotheses (zero on a hit, like `walk_run`).
+    pub probe_solve: Duration,
 }
 
 /// A thread-safe memo of concolic explorations.
@@ -88,6 +95,8 @@ impl ExplorationCache {
                 exploration: Arc::clone(found),
                 hit: true,
                 explore_time: Duration::ZERO,
+                walk_run: Duration::ZERO,
+                probe_solve: Duration::ZERO,
             };
         }
         let t0 = Instant::now();
@@ -156,12 +165,14 @@ impl ExplorationCache {
         explored: ExplorationResult,
         t0: Instant,
     ) -> CacheLookup {
+        let walk_run = explored.walk_run;
+        let probe_solve = explored.probe_solve;
         let explored = Arc::new(explored);
         let explore_time = t0.elapsed();
         self.misses.fetch_add(1, Ordering::Relaxed);
         let mut map = self.write_map();
         let entry = map.entry(key).or_insert_with(|| Arc::clone(&explored));
-        CacheLookup { exploration: Arc::clone(entry), hit: false, explore_time }
+        CacheLookup { exploration: Arc::clone(entry), hit: false, explore_time, walk_run, probe_solve }
     }
 
     /// The map behind its read lock. A poisoned lock only means some

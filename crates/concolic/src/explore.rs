@@ -5,10 +5,11 @@
 //! stop at failing paths — every exit condition (§3.4) is a result the
 //! differential tester wants.
 
-use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
+use std::time::{Duration, Instant};
 
+use igjit_bytecode::fxhash::FxHashSet;
 use igjit_bytecode::{Instruction, SpecialSelector};
 use igjit_heap::{ObjectMemory, Oop};
 use igjit_interp::{
@@ -212,6 +213,15 @@ pub struct ExplorationResult {
     /// records it on family representatives so members can replay
     /// them.
     pub replay_log: Option<Vec<ReplayStep>>,
+    /// Time spent materializing frames and concretely executing the
+    /// instruction inside the negation walk — a sub-slice of the
+    /// campaign's `explore` stage, attributed separately so the stage
+    /// table shows where the walk's wall time actually goes.
+    pub walk_run: Duration,
+    /// Time spent solving kind-probe hypotheses
+    /// ([`ExplorationResult::attach_probe_models`]) — the other
+    /// instrumented sub-slice of the `explore` stage.
+    pub probe_solve: Duration,
 }
 
 impl ExplorationResult {
@@ -235,20 +245,24 @@ impl ExplorationResult {
     /// paths so no path's reuse can see another's model — keeping the
     /// models per path exactly those of a fresh per-path session.
     pub fn attach_probe_models(&mut self, max_probes: usize, hash_cons: bool) {
+        let probe_t = Instant::now();
         let mut all = Vec::new();
         let mut session = Session::new();
         session.set_reuse_models(true);
         session.set_hash_cons(hash_cons);
         session.sync_vars(self.state.specs());
+        let plan = crate::probes::ProbePlan::new(&self.state);
         for path in self.curated_paths() {
             session.push();
-            let models = crate::probes::probe_path(&mut session, &self.state, path, max_probes);
+            let models =
+                crate::probes::probe_path(&mut session, &self.state, &plan, path, max_probes);
             session.pop();
             session.clear_cached_model();
             all.push(models);
         }
         self.probe_models = all;
         self.solver.merge(&session.stats());
+        self.probe_solve += probe_t.elapsed();
     }
 }
 
@@ -261,8 +275,10 @@ pub struct Explorer {
     pub max_path_len: usize,
     /// Hash-cons constraints inside the walk's solver session and key
     /// path dedup on interned term ids instead of `format!`ed text
-    /// (`IGJIT_HASH_CONS`). Invisible to results; off by default since
-    /// engine v7 (the ablation measured the sweep faster without it).
+    /// (`IGJIT_HASH_CONS`). Invisible to results. The campaign runs
+    /// with it on (engine v8: seeded-`FxHash` intern tables made the
+    /// consed walk the faster one again); the bare `Explorer` default
+    /// stays off so direct users get the dependency-free text path.
     pub hash_cons: bool,
     /// Number of threads negating sibling subtrees of the root path
     /// in parallel (`IGJIT_NEGATE_THREADS`; `1` = sequential).
@@ -356,7 +372,7 @@ impl Explorer {
             state: AbstractState::new(),
             session,
             sig_table,
-            visited: HashSet::new(),
+            visited: FxHashSet::default(),
             paths: Vec::new(),
             curated_out: Vec::new(),
             iterations: 0,
@@ -364,6 +380,7 @@ impl Explorer {
             extra_stats: SessionStats::default(),
             replay: Vec::new(),
             scratch: None,
+            run_time: Duration::ZERO,
         };
         walk.visit(0);
         let mut solver = walk.session.stats();
@@ -376,6 +393,8 @@ impl Explorer {
             solver,
             probe_models: Vec::new(),
             replay_log: self.record_replay.then_some(walk.replay),
+            walk_run: walk.run_time,
+            probe_solve: Duration::ZERO,
         }
     }
 }
@@ -399,7 +418,7 @@ struct NegationWalk<'e, F> {
     /// Present iff dedup keys on interned constraint ids; `None`
     /// falls back to the historical textual signature.
     sig_table: Option<TermTable>,
-    visited: HashSet<PathSig>,
+    visited: FxHashSet<PathSig>,
     paths: Vec<ExploredPath>,
     curated_out: Vec<CurationReason>,
     iterations: usize,
@@ -412,6 +431,9 @@ struct NegationWalk<'e, F> {
     /// Scratch heap reused across visits (reset to fresh each time)
     /// so the walk does not pay an arena allocation per node.
     scratch: Option<ObjectMemory>,
+    /// Cumulative frame-materialization + concrete-execution time
+    /// (the `walk_run` sub-slice of the `explore` stage).
+    run_time: Duration,
 }
 
 /// A path-dedup key: the path condition plus the outcome
@@ -430,22 +452,34 @@ enum PathSig {
 /// node executed.
 struct Subtree {
     state: AbstractState,
-    visited: HashSet<PathSig>,
+    visited: FxHashSet<PathSig>,
     paths: Vec<ExploredPath>,
     curated_out: Vec<CurationReason>,
     consumed: usize,
     budget_noted: bool,
     stats: SessionStats,
     replay: Vec<ReplayStep>,
+    run_time: Duration,
 }
 
 /// The walk snapshot speculative workers start from, plus their
 /// results in canonical (descending suffix position) merge order.
 struct Speculation {
     base_state: AbstractState,
-    base_visited: HashSet<PathSig>,
+    base_visited: FxHashSet<PathSig>,
     subtrees: Vec<Option<Subtree>>,
 }
+
+/// Sibling subtrees below which root-level speculation
+/// (`IGJIT_NEGATE_THREADS > 1`) is skipped: on shallow negation trees
+/// the thread spawn + snapshot overhead exceeds the parallel win (the
+/// v8 ablation measured ~33 ms vs ~27 ms sequential at 2 subtrees), so
+/// the walk only speculates when the root path offers at least this
+/// many independent suffix negations. The splice order is unchanged —
+/// below the threshold the walk simply takes the sequential branch it
+/// would fall back to anyway, so results are identical by
+/// construction.
+const SPECULATION_MIN_SUBTREES: usize = 4;
 
 impl<F> NegationWalk<'_, F>
 where
@@ -475,6 +509,7 @@ where
             }
         };
 
+        let run_t = Instant::now();
         let mut mem = match self.scratch.take() {
             Some(mut m) => {
                 m.reset();
@@ -490,6 +525,7 @@ where
             let outcome = (self.exec)(&mut ctx, &mut frame);
             (outcome, ctx.take_path())
         };
+        self.run_time += run_t.elapsed();
         path.truncate(self.explorer.max_path_len);
         let path = path;
 
@@ -545,7 +581,7 @@ where
         }
         let mut speculation = (depth == 0
             && self.explorer.negation_threads > 1
-            && len > depth + 1)
+            && len - depth >= SPECULATION_MIN_SUBTREES)
             .then(|| self.speculate_subtrees(depth, &path));
         for (k, i) in (depth..len).rev().enumerate() {
             self.session.pop(); // retract `path[i]`…
@@ -602,6 +638,7 @@ where
                         extra_stats: SessionStats::default(),
                         replay: Vec::new(),
                         scratch: None,
+                        run_time: Duration::ZERO,
                     };
                     w.session.sync_vars(w.state.specs());
                     for c in &path[..i] {
@@ -619,6 +656,7 @@ where
                         budget_noted: w.budget_noted,
                         stats,
                         replay: w.replay,
+                        run_time: w.run_time,
                     });
                 });
             }
@@ -661,6 +699,7 @@ where
         self.iterations += sub.consumed;
         self.extra_stats.merge(&sub.stats);
         self.replay.extend(sub.replay);
+        self.run_time += sub.run_time;
         true
     }
 }
@@ -672,7 +711,7 @@ where
 pub(crate) fn snapshot_outputs(
     frame: &igjit_interp::Frame<SymOop>,
     mem: &ObjectMemory,
-    var_oops: &HashMap<VarId, Oop>,
+    var_oops: &igjit_heap::fxhash::FxHashMap<VarId, Oop>,
 ) -> (Vec<Oop>, Vec<Oop>, Vec<ObjectDump>) {
     let output_stack: Vec<Oop> = frame.stack.iter().map(|s| s.concrete).collect();
     let output_temps: Vec<Oop> = frame.temps.iter().map(|s| s.concrete).collect();

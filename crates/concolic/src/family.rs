@@ -20,6 +20,8 @@
 //! to a full exploration — so a too-eager family grouping can only
 //! cost time, not correctness.
 
+use std::time::Duration;
+
 use igjit_bytecode::Instruction;
 use igjit_heap::ObjectMemory;
 use igjit_interp::step;
@@ -41,6 +43,7 @@ pub(crate) fn replay(
     member: Instruction,
 ) -> Option<ExplorationResult> {
     let log = rep.replay_log.as_ref()?;
+    let replay_t = std::time::Instant::now();
     let mut state = AbstractState::new();
     let mut paths = Vec::new();
     for record in log {
@@ -101,5 +104,10 @@ pub(crate) fn replay(
         solver: rep.solver,
         probe_models: rep.probe_models.clone(),
         replay_log: None,
+        // A replay's concrete work is the verified re-execution above;
+        // its probing transfers from the representative without any
+        // new solves, so the member charges no probe time of its own.
+        walk_run: replay_t.elapsed(),
+        probe_solve: Duration::ZERO,
     })
 }

@@ -8,7 +8,7 @@
 //! what lets the differential tester rebuild bit-identical input
 //! frames for the interpreter run and for each compiled run.
 
-use std::collections::HashMap;
+use igjit_heap::fxhash::FxHashMap;
 
 use igjit_heap::{ClassIndex, ObjectFormat, ObjectMemory, Oop, Snapshot};
 use igjit_interp::{Frame, MethodInfo};
@@ -48,7 +48,7 @@ pub struct MaterializedFrame {
     /// The input frame (values carry their input-variable origins).
     pub frame: Frame<SymOop>,
     /// Concrete oop chosen for each variable that denotes a VM value.
-    pub var_oops: HashMap<VarId, Oop>,
+    pub var_oops: FxHashMap<VarId, Oop>,
     /// Model assignments that could not be realized faithfully.
     pub witness_errors: Vec<WitnessError>,
 }
@@ -66,7 +66,7 @@ pub struct BaseImage {
     /// The input frame (values carry their input-variable origins).
     pub frame: Frame<SymOop>,
     /// Concrete oop chosen for each variable that denotes a VM value.
-    pub var_oops: HashMap<VarId, Oop>,
+    pub var_oops: FxHashMap<VarId, Oop>,
     /// Model assignments that could not be realized faithfully.
     pub witness_errors: Vec<WitnessError>,
 }
@@ -94,8 +94,8 @@ struct Materializer<'a> {
     model: &'a Model,
     mem: &'a mut ObjectMemory,
     /// Memo keyed by alias root so `ObjEq` variables share one object.
-    memo: HashMap<u32, Oop>,
-    var_oops: HashMap<VarId, Oop>,
+    memo: FxHashMap<u32, Oop>,
+    var_oops: FxHashMap<VarId, Oop>,
     witness_errors: Vec<WitnessError>,
 }
 
@@ -230,8 +230,8 @@ pub fn materialize_frame(
         state,
         model,
         mem,
-        memo: HashMap::new(),
-        var_oops: HashMap::new(),
+        memo: FxHashMap::default(),
+        var_oops: FxHashMap::default(),
         witness_errors: Vec::new(),
     };
 

@@ -14,7 +14,10 @@
 //! with a differently-typed operand.
 
 use crate::{AbstractState, ExploredPath};
-use igjit_solver::{CmpOp, Constraint, Kind, KindSet, LinExpr, Model, Session, SessionStats, VarId};
+use igjit_solver::{
+    CmpOp, Constraint, Kind, KindSet, LinExpr, Model, PreparedConstraint, Session, SessionStats,
+    VarId,
+};
 
 /// Kinds tried for each probed variable.
 const PROBE_KINDS: [Kind; 3] = [Kind::Float, Kind::Array, Kind::ExternalAddress];
@@ -62,8 +65,86 @@ pub fn probe_models_with_stats(
 ) -> (Vec<Model>, SessionStats) {
     let mut session = Session::new();
     session.set_reuse_models(true);
-    let models = probe_path(&mut session, state, path, max_probes);
+    let plan = ProbePlan::new(state);
+    let models = probe_path(&mut session, state, &plan, path, max_probes);
     (models, session.stats())
+}
+
+/// The candidate hypotheses for one exploration, built once and tried
+/// against every curated path.
+///
+/// Hypothesis constraints depend only on the [`AbstractState`] (which
+/// variables form the input frame, their shapes) — never on the path —
+/// so a probe sweep over a few thousand paths can borrow the same
+/// constraint trees instead of rebuilding ~a dozen of them per path.
+/// Which hypotheses are *tried* still varies per path (a path whose
+/// condition pins an operand's kind skips the contradicting probes);
+/// that filter stays in [`probe_path`].
+pub(crate) struct ProbePlan {
+    /// Receiver plus up to three shallow stack operands, in probe order.
+    probe_vars: Vec<VarId>,
+    /// Per probe var: one hypothesis per entry of [`PROBE_KINDS`].
+    kind_probes: Vec<[(Kind, PreparedConstraint); 3]>,
+    /// Per probe var: the strictly-negative SmallInteger hypothesis.
+    sign_probes: Vec<PreparedConstraint>,
+    /// Boundary-value pairs over the two shallowest operands.
+    pair_probes: Option<(VarId, VarId, [PreparedConstraint; 3])>,
+}
+
+impl ProbePlan {
+    pub(crate) fn new(state: &AbstractState) -> ProbePlan {
+        let mut probe_vars: Vec<VarId> = vec![state.receiver];
+        probe_vars.extend(state.stack_vars.iter().take(3).copied());
+        let kind_probes = probe_vars
+            .iter()
+            .map(|&var| {
+                PROBE_KINDS.map(|kind| {
+                    // When the variable has an element-count variable,
+                    // give probe objects a couple of slots so unchecked
+                    // body reads hit real (garbage) data instead of the
+                    // heap's edge.
+                    let hypothesis = match (kind, state.shape(var).size_var) {
+                        (Kind::Array, Some(size_var)) => Constraint::And(vec![
+                            Constraint::kind_is(var, kind),
+                            Constraint::Int(
+                                CmpOp::Ge,
+                                LinExpr::var(size_var),
+                                LinExpr::constant(2),
+                            ),
+                        ]),
+                        _ => Constraint::kind_is(var, kind),
+                    };
+                    (kind, PreparedConstraint::new(hypothesis))
+                })
+            })
+            .collect();
+        let sign_probes = probe_vars
+            .iter()
+            .map(|&var| {
+                PreparedConstraint::new(Constraint::And(vec![
+                    Constraint::kind_is(var, Kind::SmallInt),
+                    Constraint::Int(CmpOp::Lt, LinExpr::var(var), LinExpr::constant(-1)),
+                ]))
+            })
+            .collect();
+        let pair_probes = (state.stack_vars.len() >= 2).then(|| {
+            let (top, below) = (state.stack_vars[0], state.stack_vars[1]);
+            let pairs = [(-7i64, 3i64), (-7, -3), (7, -3)].map(|(rcvr_val, arg_val)| {
+                PreparedConstraint::new(Constraint::And(vec![
+                    Constraint::kind_is(below, Kind::SmallInt),
+                    Constraint::kind_is(top, Kind::SmallInt),
+                    Constraint::Int(
+                        CmpOp::Eq,
+                        LinExpr::var(below),
+                        LinExpr::constant(rcvr_val),
+                    ),
+                    Constraint::Int(CmpOp::Eq, LinExpr::var(top), LinExpr::constant(arg_val)),
+                ]))
+            });
+            (top, below, pairs)
+        });
+        ProbePlan { probe_vars, kind_probes, sign_probes, pair_probes }
+    }
 }
 
 /// Probes one path through a caller-provided session whose current
@@ -83,15 +164,11 @@ pub fn probe_models_with_stats(
 pub(crate) fn probe_path(
     session: &mut Session,
     state: &AbstractState,
+    plan: &ProbePlan,
     path: &ExploredPath,
     max_probes: usize,
 ) -> Vec<Model> {
     let mut models = vec![path.model.clone()];
-    let mut probe_vars: Vec<VarId> = Vec::new();
-    probe_vars.push(state.receiver);
-    for &v in state.stack_vars.iter().take(3) {
-        probe_vars.push(v);
-    }
     // The path condition is shared by every hypothesis: assert it once
     // in the enclosing scope, then push/pop one scope per hypothesis
     // so each solve reuses the path's propagation state.
@@ -99,47 +176,33 @@ pub(crate) fn probe_path(
     for c in &path.constraints {
         session.assert(c.clone());
     }
+    // Engine v8: the hypotheses are sibling scopes over the shared
+    // path prefix, so each is one batched `solve_under` — observably
+    // identical to push/assert/solve/pop (the solver's equivalence
+    // tests pin this) but with one store clone per hypothesis instead
+    // of two, which is most of the probe stage's former cost.
     let try_hypothesis =
-        |session: &mut Session, models: &mut Vec<Model>, hypothesis: Constraint| {
+        |session: &mut Session, models: &mut Vec<Model>, hypothesis: &PreparedConstraint| {
             if models.len() > max_probes {
                 return;
             }
-            session.push_assert(hypothesis);
-            if let Ok(m) = session.solve() {
+            if let Ok(m) = session.solve_under_prepared(hypothesis) {
                 models.push(m);
             }
-            session.pop();
         };
-    for &var in &probe_vars {
+    for (vi, &var) in plan.probe_vars.iter().enumerate() {
         // Skip kinds the path condition itself rules out: those
         // hypotheses are unsatisfiable before the solver ever runs.
         let allowed = static_kinds(&path.constraints, var);
-        for kind in PROBE_KINDS {
-            if path.model.kind(var) == kind || !allowed.contains(kind) {
+        for (kind, hypothesis) in &plan.kind_probes[vi] {
+            if path.model.kind(var) == *kind || !allowed.contains(*kind) {
                 continue;
             }
-            // When the variable has an element-count variable, give
-            // probe objects a couple of slots so unchecked body reads
-            // hit real (garbage) data instead of the heap's edge.
-            let hypothesis = match (kind, state.shape(var).size_var) {
-                (Kind::Array, Some(size_var)) => Constraint::And(vec![
-                    Constraint::kind_is(var, kind),
-                    Constraint::Int(CmpOp::Ge, LinExpr::var(size_var), LinExpr::constant(2)),
-                ]),
-                _ => Constraint::kind_is(var, kind),
-            };
             try_hypothesis(&mut *session, &mut models, hypothesis);
         }
         // Sign probe: a strictly negative SmallInteger value.
         if path.model.kind(var) == Kind::SmallInt && path.model.int_value(var) >= 0 {
-            try_hypothesis(
-                &mut *session,
-                &mut models,
-                Constraint::And(vec![
-                    Constraint::kind_is(var, Kind::SmallInt),
-                    Constraint::Int(CmpOp::Lt, LinExpr::var(var), LinExpr::constant(-1)),
-                ]),
-            );
+            try_hypothesis(&mut *session, &mut models, &plan.sign_probes[vi]);
         }
     }
     // Boundary-value pair probes over the two shallowest operands
@@ -148,28 +211,13 @@ pub(crate) fn probe_path(
     // inexact positive divisor, say — that no single linear
     // hypothesis can force, because the interpreter concretizes
     // division and shifts (§4.3: no such solver theory).
-    if state.stack_vars.len() >= 2 {
-        let (top, below) = (state.stack_vars[0], state.stack_vars[1]);
-        let pair_possible = static_kinds(&path.constraints, top).contains(Kind::SmallInt)
-            && static_kinds(&path.constraints, below).contains(Kind::SmallInt);
-        for (rcvr_val, arg_val) in [(-7i64, 3i64), (-7, -3), (7, -3)] {
-            if !pair_possible {
-                break;
+    if let Some((top, below, pairs)) = &plan.pair_probes {
+        let pair_possible = static_kinds(&path.constraints, *top).contains(Kind::SmallInt)
+            && static_kinds(&path.constraints, *below).contains(Kind::SmallInt);
+        if pair_possible {
+            for hypothesis in pairs {
+                try_hypothesis(&mut *session, &mut models, hypothesis);
             }
-            try_hypothesis(
-                &mut *session,
-                &mut models,
-                Constraint::And(vec![
-                    Constraint::kind_is(below, Kind::SmallInt),
-                    Constraint::kind_is(top, Kind::SmallInt),
-                    Constraint::Int(
-                        CmpOp::Eq,
-                        LinExpr::var(below),
-                        LinExpr::constant(rcvr_val),
-                    ),
-                    Constraint::Int(CmpOp::Eq, LinExpr::var(top), LinExpr::constant(arg_val)),
-                ]),
-            );
         }
     }
     models

@@ -31,8 +31,8 @@ use std::time::{Duration, Instant};
 use igjit_bytecode::{instruction_catalog, Instruction};
 use igjit_concolic::{ExplorationCache, Explorer, InstrUnderTest};
 use igjit_difftest::{
-    test_instruction_with, CampaignRow, DefectCategory, InstructionOutcome, SnapshotStats,
-    StageTimes, Target,
+    test_instruction_with, CampaignRow, DefectCategory, ExploreCost, InstructionOutcome,
+    SnapshotStats, StageTimes, Target,
 };
 use igjit_interp::{native_catalog, NativeMethodId};
 use igjit_jit::{CodeCache, CompilerKind};
@@ -69,12 +69,21 @@ pub struct CampaignConfig {
     /// reallocates the simulator (the engine-v4 behaviour). Outcomes
     /// are identical either way.
     pub predecode: bool,
+    /// Whether *interpreter* runs go through the predecoded pipeline
+    /// (engine v8): oracle runs execute the per-catalog-entry cached
+    /// [`igjit_interp::PredecodedProgram`] view, and sequence/method
+    /// runs resolve their step functions once up front instead of
+    /// dispatching per step. Off is the engine-v7 behaviour. Outcomes
+    /// are identical either way (`tests/engine_v8_identity.rs`).
+    pub interp_predecode: bool,
     /// Whether the explorer's solver sessions hash-cons constraints
     /// (one classification per distinct constraint, interned path
-    /// dedup — engine v6). Outcomes are identical either way. Off by
-    /// default since engine v7: with family sharing on, the interleaved
-    /// knob ablation (EXPERIMENTS.md) measured the sweep slightly
-    /// *faster* without the consing overhead.
+    /// dedup — engine v6). Outcomes are identical either way. Engine
+    /// v7 turned it off (the consing overhead outweighed the cached
+    /// classifications); engine v8 turned it back on after moving the
+    /// intern tables to the seeded `FxHash` maps, which flipped the
+    /// ablation: the walk now measures ~20% faster *with* consing
+    /// (EXPERIMENTS.md).
     pub hash_cons: bool,
     /// Whether one exploration per instruction *family* is verifiably
     /// replayed for every member (engine v6) instead of re-solving
@@ -104,7 +113,8 @@ impl Default for CampaignConfig {
             code_cache: true,
             heap_snapshot: true,
             predecode: true,
-            hash_cons: false,
+            interp_predecode: true,
+            hash_cons: true,
             family_share: true,
             negate_threads: 1,
             corpus: None,
@@ -235,6 +245,9 @@ impl Metrics {
     /// Renders the metrics as a self-contained JSON object.
     pub fn to_json(&self) -> String {
         let ms = |d: Duration| d.as_secs_f64() * 1000.0;
+        // `walk_run`/`probe_solve` are sub-slices of `explore` (engine
+        // v8): they re-attribute time already counted there, so `total`
+        // deliberately excludes them.
         let stages = |s: &StageTimes| {
             format!(
                 concat!(
@@ -242,6 +255,7 @@ impl Metrics {
                     "\"compile\":{:.3},\"simulate\":{:.3},\"compare\":{:.3},",
                     "\"setup\":{:.3},\"decode\":{:.3},\"hash\":{:.3},",
                     "\"report\":{:.3},\"progress\":{:.3},\"other\":{:.3},",
+                    "\"walk_run\":{:.3},\"probe_solve\":{:.3},",
                     "\"total\":{:.3}}}"
                 ),
                 ms(s.explore),
@@ -255,6 +269,8 @@ impl Metrics {
                 ms(s.report),
                 ms(s.progress),
                 ms(s.other),
+                ms(s.walk_run),
+                ms(s.probe_solve),
                 ms(s.total()),
             )
         };
@@ -630,10 +646,15 @@ impl Campaign {
             &self.config.isas,
             self.config.probes,
             &lookup.exploration,
-            lookup.explore_time,
+            ExploreCost {
+                total: lookup.explore_time,
+                walk_run: lookup.walk_run,
+                probe_solve: lookup.probe_solve,
+            },
             &self.code_cache,
             self.config.heap_snapshot,
             self.config.predecode,
+            self.config.interp_predecode,
         );
         // Exploration solver work is charged once, to the run that
         // actually explored; a cache hit did no exploration solving.

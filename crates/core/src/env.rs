@@ -18,6 +18,7 @@ pub const KNOWN_VARS: &[&str] = &[
     "IGJIT_CODE_CACHE",
     "IGJIT_HEAP_SNAPSHOT",
     "IGJIT_PREDECODE",
+    "IGJIT_INTERP_PREDECODE",
     "IGJIT_HASH_CONS",
     "IGJIT_FAMILY_SHARE",
     "IGJIT_NEGATE_THREADS",
@@ -41,6 +42,11 @@ pub struct EnvKnobs {
     /// once per code-cache entry and replayed through a persistent
     /// simulator session.
     pub predecode: Option<bool>,
+    /// `IGJIT_INTERP_PREDECODE`: whether *interpreter* runs go through
+    /// the predecoded pipeline (engine v8) — per-catalog-entry cached
+    /// program views for oracle runs, step functions resolved once per
+    /// sequence/method instead of per step.
+    pub interp_predecode: Option<bool>,
     /// `IGJIT_HASH_CONS`: whether the explorer's solver sessions
     /// hash-cons constraints and key path dedup on interned ids.
     pub hash_cons: Option<bool>,
@@ -83,11 +89,16 @@ impl EnvKnobs {
         self.predecode.unwrap_or(true)
     }
 
-    /// Hash-consed constraints: the knob, default off (the engine-v7
-    /// ablation measured the sweep faster without it when family
-    /// sharing is on; see EXPERIMENTS.md).
+    /// Predecoded interpreter pipeline: the knob, default on.
+    pub fn interp_predecode_enabled(&self) -> bool {
+        self.interp_predecode.unwrap_or(true)
+    }
+
+    /// Hash-consed constraints: the knob, default on again since
+    /// engine v8 (the seeded-`FxHash` intern tables flipped the
+    /// engine-v7 ablation; see EXPERIMENTS.md).
     pub fn hash_cons_enabled(&self) -> bool {
-        self.hash_cons.unwrap_or(false)
+        self.hash_cons.unwrap_or(true)
     }
 
     /// Family-shared exploration: the knob, default on.
@@ -150,6 +161,9 @@ pub fn parse_vars(
             }
             "IGJIT_PREDECODE" => {
                 knobs.predecode = Some(parse_bool("IGJIT_PREDECODE", value)?)
+            }
+            "IGJIT_INTERP_PREDECODE" => {
+                knobs.interp_predecode = Some(parse_bool("IGJIT_INTERP_PREDECODE", value)?)
             }
             "IGJIT_HASH_CONS" => {
                 knobs.hash_cons = Some(parse_bool("IGJIT_HASH_CONS", value)?)
@@ -220,7 +234,8 @@ mod tests {
         assert!(k.code_cache_enabled());
         assert!(k.heap_snapshot_enabled());
         assert!(k.predecode_enabled());
-        assert!(!k.hash_cons_enabled(), "hash-consing is off by default since engine v7");
+        assert!(k.interp_predecode_enabled());
+        assert!(k.hash_cons_enabled(), "hash-consing is back on by default since engine v8");
         assert!(k.family_share_enabled());
         assert_eq!(k.negate_threads_or_default(), 1);
         assert_eq!(k.campaign_jobs_or_default(), 1);
@@ -236,6 +251,7 @@ mod tests {
             ("IGJIT_CODE_CACHE", "off"),
             ("IGJIT_HEAP_SNAPSHOT", "1"),
             ("IGJIT_PREDECODE", "no"),
+            ("IGJIT_INTERP_PREDECODE", "off"),
             ("IGJIT_HASH_CONS", "off"),
             ("IGJIT_FAMILY_SHARE", "0"),
             ("IGJIT_NEGATE_THREADS", "4"),
@@ -249,6 +265,8 @@ mod tests {
         assert_eq!(k.heap_snapshot, Some(true));
         assert_eq!(k.predecode, Some(false));
         assert!(!k.predecode_enabled());
+        assert_eq!(k.interp_predecode, Some(false));
+        assert!(!k.interp_predecode_enabled());
         assert!(!k.hash_cons_enabled());
         assert!(!k.family_share_enabled());
         assert_eq!(k.negate_threads_or_default(), 4);
@@ -272,6 +290,7 @@ mod tests {
         assert!(parse_vars(vars(&[("IGJIT_CODE_CACHE", "maybe")])).is_err());
         assert!(parse_vars(vars(&[("IGJIT_HEAP_SNAPSHOT", "2")])).is_err());
         assert!(parse_vars(vars(&[("IGJIT_PREDECODE", "sometimes")])).is_err());
+        assert!(parse_vars(vars(&[("IGJIT_INTERP_PREDECODE", "perhaps")])).is_err());
         assert!(parse_vars(vars(&[("IGJIT_HASH_CONS", "2")])).is_err());
         assert!(parse_vars(vars(&[("IGJIT_FAMILY_SHARE", "maybe")])).is_err());
         assert!(parse_vars(vars(&[("IGJIT_NEGATE_THREADS", "0")])).is_err());

@@ -703,6 +703,10 @@ impl Wire for ExplorationResult {
             solver: SessionStats::dec(d)?,
             probe_models: Vec::dec(d)?,
             replay_log: Option::dec(d)?,
+            // Timings are run diagnostics, not results: a corpus hit
+            // costs no walk or probe time, so they are not on the wire.
+            walk_run: std::time::Duration::ZERO,
+            probe_solve: std::time::Duration::ZERO,
         })
     }
 }

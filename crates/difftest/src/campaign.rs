@@ -1,11 +1,11 @@
 //! The per-instruction differential campaign.
 
-use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use igjit_concolic::{
     materialize_frame, AbstractState, CurationReason, ExplorationResult, Explorer, InstrUnderTest,
 };
+use igjit_heap::fxhash::FxHashMap;
 use igjit_heap::{ObjectMemory, Oop, Snapshot};
 use igjit_interp::Frame;
 use igjit_jit::{CodeCache, CompilerKind};
@@ -15,7 +15,7 @@ use igjit_solver::{Model, SessionStats, VarId};
 use crate::classify::{classify, CauseKey};
 use crate::compare::{compare_runs, Difference, Verdict};
 use crate::compiled::{run_compiled_for_instr_timed, RunCtx};
-use crate::oracle::{concrete_frame, run_oracle, run_oracle_on, EngineExit};
+use crate::oracle::{concrete_frame, run_oracle_on_with, run_oracle_with, EngineExit};
 use igjit_concolic::probe_models_with_stats;
 
 /// What compiler the campaign tests against the interpreter.
@@ -240,10 +240,21 @@ pub struct StageTimes {
     pub progress: Duration,
     /// Driver overhead outside the named stages.
     pub other: Duration,
+    /// **Sub-slice of `explore`** (engine v8): frame materialization +
+    /// concrete execution inside the negation walk. Not part of
+    /// [`StageTimes::total`] — it re-counts time already in `explore`,
+    /// attributed separately so the stage table shows where the walk's
+    /// wall clock goes.
+    pub walk_run: Duration,
+    /// **Sub-slice of `explore`** (engine v8): kind-probe hypothesis
+    /// solving (the batched per-path session sweep). Like `walk_run`,
+    /// excluded from [`StageTimes::total`].
+    pub probe_solve: Duration,
 }
 
 impl StageTimes {
-    /// Sum over all stages.
+    /// Sum over all stages. The `walk_run`/`probe_solve` sub-slices
+    /// are *not* added — their time is already inside `explore`.
     pub fn total(&self) -> Duration {
         self.explore
             + self.materialize
@@ -271,6 +282,8 @@ impl StageTimes {
         self.report += other.report;
         self.progress += other.progress;
         self.other += other.other;
+        self.walk_run += other.walk_run;
+        self.probe_solve += other.probe_solve;
     }
 
     /// Keeps the per-stage maximum of the two samples. Folding each
@@ -289,13 +302,38 @@ impl StageTimes {
         self.report = self.report.max(other.report);
         self.progress = self.progress.max(other.progress);
         self.other = self.other.max(other.other);
+        self.walk_run = self.walk_run.max(other.walk_run);
+        self.probe_solve = self.probe_solve.max(other.probe_solve);
+    }
+}
+
+/// Wall-clock attribution of the exploration handed to
+/// [`test_instruction_with`]: the total the caller spent producing it
+/// (zero on a cache hit) plus the instrumented sub-slices the engine
+/// reported ([`ExplorationResult::walk_run`] /
+/// [`ExplorationResult::probe_solve`] — also zero on a hit, since a
+/// shared entry's work is charged exactly once, by the miss).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExploreCost {
+    /// Wall-clock spent producing the exploration.
+    pub total: Duration,
+    /// Of `total`, the negation walk's materialize + concrete-run time.
+    pub walk_run: Duration,
+    /// Of `total`, the kind-probe hypothesis solving time.
+    pub probe_solve: Duration,
+}
+
+impl ExploreCost {
+    /// The cost of an exploration served from a cache: zero all round.
+    pub fn cached() -> ExploreCost {
+        ExploreCost::default()
     }
 }
 
 fn materialized(
     state: &AbstractState,
     model: &Model,
-) -> (ObjectMemory, Frame<Oop>, HashMap<VarId, Oop>) {
+) -> (ObjectMemory, Frame<Oop>, FxHashMap<VarId, Oop>) {
     let mut st = state.clone();
     let mut mem = ObjectMemory::new();
     let mat = materialize_frame(&mut st, model, &mut mem);
@@ -353,7 +391,11 @@ pub fn test_instruction(
 ) -> InstructionOutcome {
     let t0 = Instant::now();
     let exploration = Explorer::new().explore(instr);
-    let explore_time = t0.elapsed();
+    let explore_cost = ExploreCost {
+        total: t0.elapsed(),
+        walk_run: exploration.walk_run,
+        probe_solve: exploration.probe_solve,
+    };
     let cache = CodeCache::disabled();
     let (outcome, _times, _solver) = test_instruction_with(
         instr,
@@ -361,8 +403,9 @@ pub fn test_instruction(
         isas,
         enable_probes,
         &exploration,
-        explore_time,
+        explore_cost,
         &cache,
+        true,
         true,
         true,
     );
@@ -383,9 +426,10 @@ thread_local! {
 /// possibly shared) by the caller, returning per-stage wall-clock and
 /// the probe solver's work counters next to the outcome.
 ///
-/// `explore_time` is the wall-clock the caller spent producing
-/// `exploration` — pass [`Duration::ZERO`] when it came from a cache so
-/// the stage accounting reflects work actually done for this call.
+/// `explore_cost` is the wall-clock the caller spent producing
+/// `exploration` (total plus the engine's instrumented sub-slices) —
+/// pass [`ExploreCost::cached`] when it came from a cache so the stage
+/// accounting reflects work actually done for this call.
 /// Compiled artifacts are looked up in `code_cache`, which the caller
 /// may share across instructions and threads.
 ///
@@ -409,6 +453,12 @@ thread_local! {
 /// between runs instead of reallocating the simulator. Off, the
 /// byte-level decoder runs per step (the oracle path); both modes
 /// produce identical outcomes (`tests/predecode_identity.rs`).
+///
+/// `interp_predecode` is the interpreter-side analogue (engine v8,
+/// `IGJIT_INTERP_PREDECODE`): with it on, oracle runs execute through
+/// the per-catalog-entry cached [`igjit_interp::PredecodedProgram`]
+/// view of the instruction instead of ad-hoc dispatch. Both modes
+/// produce byte-identical rows (`tests/engine_v8_identity.rs`).
 #[allow(clippy::too_many_arguments)]
 pub fn test_instruction_with(
     instr: InstrUnderTest,
@@ -416,12 +466,18 @@ pub fn test_instruction_with(
     isas: &[Isa],
     enable_probes: bool,
     exploration: &ExplorationResult,
-    explore_time: Duration,
+    explore_cost: ExploreCost,
     code_cache: &CodeCache,
     heap_snapshot: bool,
     predecode: bool,
+    interp_predecode: bool,
 ) -> (InstructionOutcome, StageTimes, SessionStats) {
-    let mut times = StageTimes { explore: explore_time, ..StageTimes::default() };
+    let mut times = StageTimes {
+        explore: explore_cost.total,
+        walk_run: explore_cost.walk_run,
+        probe_solve: explore_cost.probe_solve,
+        ..StageTimes::default()
+    };
     let mut solver = SessionStats::default();
     let curated = exploration.curated_paths();
     let mut verdicts = Vec::new();
@@ -434,6 +490,7 @@ pub fn test_instruction_with(
 
     for (pi, path) in curated.iter().enumerate() {
         let t_probe = Instant::now();
+        let mut probes_solved_here = false;
         let models: std::borrow::Cow<'_, [Model]> = if !enable_probes {
             std::borrow::Cow::Borrowed(std::slice::from_ref(&path.model))
         } else if let Some(precomputed) = exploration.probe_models.get(pi) {
@@ -448,9 +505,14 @@ pub fn test_instruction_with(
                 igjit_concolic::DEFAULT_MAX_PROBES,
             );
             solver.merge(&probe_stats);
+            probes_solved_here = true;
             std::borrow::Cow::Owned(models)
         };
-        times.explore += t_probe.elapsed();
+        let probe_elapsed = t_probe.elapsed();
+        times.explore += probe_elapsed;
+        if probes_solved_here {
+            times.probe_solve += probe_elapsed;
+        }
         let mut verdict: Verdict = Verdict::Agree;
         let mut cause = None;
         let mut all_causes: Vec<CauseKey> = Vec::new();
@@ -507,7 +569,7 @@ pub fn test_instruction_with(
                 let frame0 = concrete_frame(&mat.frame);
                 let mut oracle_frame = frame0.clone();
                 let oracle_exit = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    run_oracle_on(&mut a.oracle, &mut oracle_frame, instr)
+                    run_oracle_on_with(&mut a.oracle, &mut oracle_frame, instr, interp_predecode)
                 }));
                 let exit = match oracle_exit {
                     Ok(exit) => exit,
@@ -554,7 +616,7 @@ pub fn test_instruction_with(
             } else {
                 let t_oracle = Instant::now();
                 let oracle_run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    run_oracle(&exploration.state, model, instr)
+                    run_oracle_with(&exploration.state, model, instr, interp_predecode)
                 }));
                 times.materialize += t_oracle.elapsed();
                 match oracle_run {

@@ -1,6 +1,6 @@
 //! Behavioural comparison between the interpreter and compiled runs.
 
-use std::collections::HashMap;
+use igjit_heap::fxhash::FxHashMap;
 
 use igjit_heap::{ObjectMemory, Oop};
 use igjit_solver::VarId;
@@ -151,7 +151,7 @@ fn vecs_equivalent(mem_a: &ObjectMemory, a: &[Oop], mem_b: &ObjectMemory, b: &[O
 fn side_effects_equivalent(
     mem_a: &ObjectMemory,
     mem_b: &ObjectMemory,
-    var_oops: &HashMap<VarId, Oop>,
+    var_oops: &FxHashMap<VarId, Oop>,
 ) -> bool {
     var_oops.values().all(|&oop| {
         if !mem_a.is_live_object(oop) || !mem_b.is_live_object(oop) {
@@ -171,7 +171,7 @@ pub fn compare_runs(
     interp_mem: &ObjectMemory,
     compiled: &CompiledRun,
     compiled_mem: &ObjectMemory,
-    var_oops: &HashMap<VarId, Oop>,
+    var_oops: &FxHashMap<VarId, Oop>,
 ) -> Verdict {
     let compiled_exit = match compiled {
         CompiledRun::Refused(e) => {
@@ -344,7 +344,7 @@ mod tests {
             temps: vec![],
             result: None,
         });
-        let v = compare_runs(&i, &mem, &c, &mem, &HashMap::new());
+        let v = compare_runs(&i, &mem, &c, &mem, &FxHashMap::default());
         assert!(!v.is_difference());
     }
 
@@ -357,7 +357,7 @@ mod tests {
             temps: vec![],
             result: Some(si(0)),
         });
-        match compare_runs(&i, &mem, &c, &mem, &HashMap::new()) {
+        match compare_runs(&i, &mem, &c, &mem, &FxHashMap::default()) {
             Verdict::Difference(d) => {
                 assert!(matches!(d.kind, DifferenceKind::ExitMismatch { .. }))
             }
@@ -370,7 +370,7 @@ mod tests {
         let mem = ObjectMemory::new();
         let i = EngineExit::Failure;
         let c = CompiledRun::Refused(igjit_jit::CompileError::NotImplemented("ffi"));
-        match compare_runs(&i, &mem, &c, &mem, &HashMap::new()) {
+        match compare_runs(&i, &mem, &c, &mem, &FxHashMap::default()) {
             Verdict::Difference(d) => assert_eq!(d.kind, DifferenceKind::CompileRefused),
             other => panic!("{other:?}"),
         }
@@ -381,12 +381,12 @@ mod tests {
         let mem = ObjectMemory::new();
         let i = EngineExit::Return { value: si(1) };
         let c = CompiledRun::Ran(EngineExit::Return { value: si(2) });
-        match compare_runs(&i, &mem, &c, &mem, &HashMap::new()) {
+        match compare_runs(&i, &mem, &c, &mem, &FxHashMap::default()) {
             Verdict::Difference(d) => assert_eq!(d.kind, DifferenceKind::ResultMismatch),
             other => panic!("{other:?}"),
         }
         let c = CompiledRun::Ran(EngineExit::Return { value: si(1) });
-        assert!(!compare_runs(&i, &mem, &c, &mem, &HashMap::new()).is_difference());
+        assert!(!compare_runs(&i, &mem, &c, &mem, &FxHashMap::default()).is_difference());
     }
 
     #[test]
@@ -398,7 +398,7 @@ mod tests {
             temps: vec![si(2)],
             result: None,
         });
-        match compare_runs(&i, &mem, &c, &mem, &HashMap::new()) {
+        match compare_runs(&i, &mem, &c, &mem, &FxHashMap::default()) {
             Verdict::Difference(d) => assert_eq!(d.kind, DifferenceKind::TempsMismatch),
             other => panic!("{other:?}"),
         }
@@ -420,7 +420,7 @@ mod tests {
             receiver: si(9),
             args: vec![si(2)],
         });
-        match compare_runs(&i, &mem, &c, &mem, &HashMap::new()) {
+        match compare_runs(&i, &mem, &c, &mem, &FxHashMap::default()) {
             Verdict::Difference(d) => assert_eq!(d.kind, DifferenceKind::SendMismatch),
             other => panic!("{other:?}"),
         }
@@ -433,7 +433,7 @@ mod tests {
             receiver: si(1),
             args: vec![si(2)],
         };
-        assert!(!compare_runs(&i, &mem, &CompiledRun::Ran(lit), &mem, &HashMap::new())
+        assert!(!compare_runs(&i, &mem, &CompiledRun::Ran(lit), &mem, &FxHashMap::default())
             .is_difference());
     }
 
@@ -445,7 +445,7 @@ mod tests {
         let b = mem_b.instantiate_array(&[si(1)]).unwrap();
         assert_eq!(a, b, "deterministic layout");
         mem_b.store_pointer(b, 0, si(9)).unwrap();
-        let mut var_oops = HashMap::new();
+        let mut var_oops = FxHashMap::default();
         var_oops.insert(igjit_solver::VarId(0), a);
         let i = EngineExit::Success { stack: vec![], temps: vec![], result: None };
         let c = CompiledRun::Ran(EngineExit::Success {
@@ -470,7 +470,7 @@ mod tests {
             temps: vec![],
             result: None,
         });
-        match compare_runs(&i, &mem, &c, &mem, &HashMap::new()) {
+        match compare_runs(&i, &mem, &c, &mem, &FxHashMap::default()) {
             Verdict::Difference(d) => assert_eq!(d.kind, DifferenceKind::StackMismatch),
             other => panic!("{other:?}"),
         }

@@ -1,11 +1,14 @@
 //! The interpreter oracle: concrete re-execution of an explored path.
 
-use igjit_bytecode::SpecialSelector;
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+use igjit_bytecode::fxhash::FxHashMap;
+use igjit_bytecode::{encode, Instruction, SpecialSelector};
 use igjit_concolic::{materialize_frame, AbstractState, InstrUnderTest};
 use igjit_heap::{ObjectMemory, Oop};
 use igjit_interp::{
-    native_spec, run_native, step, ConcreteContext, Frame, MethodInfo, NativeOutcome, Selector,
-    StepOutcome,
+    native_spec, run_native, step, ConcreteContext, Frame, MethodInfo, NativeOutcome,
+    PredecodedProgram, Selector, StepOutcome,
 };
 use igjit_solver::Model;
 
@@ -102,22 +105,59 @@ pub struct OracleRun {
     /// The materialized input frame (for the compiled run to reuse).
     pub input_frame: Frame<Oop>,
     /// Variable→oop mapping of the materialization.
-    pub var_oops: std::collections::HashMap<igjit_solver::VarId, Oop>,
+    pub var_oops: FxHashMap<igjit_solver::VarId, Oop>,
     /// Model assignments the materializer could not realize
     /// faithfully. Non-empty means the run used fallback inputs and
     /// must be reported as a test error, not compared.
     pub witness_errors: Vec<igjit_concolic::WitnessError>,
 }
 
+/// The predecoded view of one catalog entry's single-instruction
+/// program, built once per distinct instruction and shared by every
+/// oracle run for the rest of the process (engine v8,
+/// `IGJIT_INTERP_PREDECODE`).
+///
+/// The instruction is *encoded and sequentially re-decoded* through
+/// [`PredecodedProgram`], so the oracle consumes exactly the artifact
+/// the predecoded fetch loop would — any encode/decode drift shows up
+/// as a changed oracle row instead of hiding behind the ad-hoc enum
+/// value. Entries are leaked: the universe of distinct instructions is
+/// bounded by the catalog plus test-local immediates.
+fn unit_program(i: Instruction) -> &'static PredecodedProgram {
+    static CACHE: OnceLock<Mutex<FxHashMap<Instruction, &'static PredecodedProgram>>> =
+        OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(FxHashMap::default()));
+    let mut map = cache.lock().unwrap_or_else(PoisonError::into_inner);
+    map.entry(i).or_insert_with(|| {
+        let mut bytes = Vec::new();
+        encode(i, &mut bytes);
+        Box::leak(Box::new(PredecodedProgram::new(&bytes)))
+    })
+}
+
 /// The oracle run: materializes `model` into a fresh heap and runs the
-/// interpreter concretely.
+/// interpreter concretely (through the predecoded pipeline; see
+/// [`run_oracle_with`] for the knob).
 pub fn run_oracle(state: &AbstractState, model: &Model, instr: InstrUnderTest) -> OracleRun {
+    run_oracle_with(state, model, instr, true)
+}
+
+/// [`run_oracle`] with explicit control over the interpreter pipeline:
+/// `interp_predecode` selects the per-catalog-entry
+/// [`PredecodedProgram`] path or the historical ad-hoc dispatch. Both
+/// produce byte-identical rows.
+pub fn run_oracle_with(
+    state: &AbstractState,
+    model: &Model,
+    instr: InstrUnderTest,
+    interp_predecode: bool,
+) -> OracleRun {
     let mut state = state.clone();
     let mut mem = ObjectMemory::new();
     let mat = materialize_frame(&mut state, model, &mut mem);
     let input_frame = concrete_frame(&mat.frame);
     let mut frame = input_frame.clone();
-    let exit = run_oracle_on(&mut mem, &mut frame, instr);
+    let exit = run_oracle_on_with(&mut mem, &mut frame, instr, interp_predecode);
     OracleRun { exit, mem, input_frame, var_oops: mat.var_oops, witness_errors: mat.witness_errors }
 }
 
@@ -130,8 +170,31 @@ pub fn run_oracle_on(
     frame: &mut Frame<Oop>,
     instr: InstrUnderTest,
 ) -> EngineExit {
+    run_oracle_on_with(mem, frame, instr, true)
+}
+
+/// [`run_oracle_on`] with the interpreter-pipeline knob; see
+/// [`run_oracle_with`].
+pub fn run_oracle_on_with(
+    mem: &mut ObjectMemory,
+    frame: &mut Frame<Oop>,
+    instr: InstrUnderTest,
+    interp_predecode: bool,
+) -> EngineExit {
     match instr {
         InstrUnderTest::Bytecode(i) => {
+            // Under the predecoded pipeline the executed instruction
+            // comes from the cached program view (one sequential
+            // decode per catalog entry), not the ad-hoc enum value.
+            let i = if interp_predecode {
+                let prog = unit_program(i);
+                match prog.lookup(0) {
+                    Some(s) => prog.steps()[s].instr,
+                    None => i,
+                }
+            } else {
+                i
+            };
             let mut ctx = ConcreteContext::new(mem);
             match step(&mut ctx, frame, i) {
                 StepOutcome::Continue => EngineExit::Success {

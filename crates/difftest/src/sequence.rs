@@ -16,7 +16,7 @@
 use igjit_bytecode::Instruction;
 use igjit_concolic::{materialize_frame, AbstractState, Explorer, InstrUnderTest};
 use igjit_heap::{ObjectMemory, Oop};
-use igjit_interp::{step, ConcreteContext, Frame, Selector, StepOutcome};
+use igjit_interp::{resolve_sequence, step, ConcreteContext, Frame, Selector, StepOutcome};
 use igjit_jit::CompilerKind;
 use igjit_machine::Isa;
 use igjit_solver::Model;
@@ -48,47 +48,69 @@ impl SequenceOutcome {
 }
 
 /// The concrete interpreter oracle for a sequence: step instructions
-/// until an exit, running off the end is success.
+/// until an exit, running off the end is success. Runs through the
+/// predecoded pipeline; see [`run_oracle_sequence_with`] for the knob.
 pub fn run_oracle_sequence(
     state: &AbstractState,
     model: &Model,
     instrs: &[Instruction],
+) -> (EngineExit, ObjectMemory, Frame<Oop>) {
+    run_oracle_sequence_with(state, model, instrs, true)
+}
+
+/// [`run_oracle_sequence`] with explicit control over the interpreter
+/// pipeline (engine v8, `IGJIT_INTERP_PREDECODE`): with
+/// `interp_predecode` on, the sequence's step functions are resolved
+/// once up front ([`resolve_sequence`]) and executed against a single
+/// hoisted [`ConcreteContext`], instead of a per-step dispatch match
+/// and a per-step context construction. Both modes produce identical
+/// exits, heaps and frames — the resolved functions *are* what
+/// [`step`] dispatches to.
+pub fn run_oracle_sequence_with(
+    state: &AbstractState,
+    model: &Model,
+    instrs: &[Instruction],
+    interp_predecode: bool,
 ) -> (EngineExit, ObjectMemory, Frame<Oop>) {
     let mut st = state.clone();
     let mut mem = ObjectMemory::new();
     let mat = materialize_frame(&mut st, model, &mut mem);
     let input_frame = concrete_frame(&mat.frame);
     let mut frame = input_frame.clone();
-    for &instr in instrs {
+    let mut early_exit = None;
+    {
+        let fns = interp_predecode.then(|| resolve_sequence(instrs));
         let mut ctx = ConcreteContext::new(&mut mem);
-        match step(&mut ctx, &mut frame, instr) {
-            StepOutcome::Continue => continue,
-            StepOutcome::Jump { .. } => return (EngineExit::JumpTaken, mem, input_frame),
-            StepOutcome::MethodReturn { value } => {
-                return (EngineExit::Return { value }, mem, input_frame)
-            }
-            StepOutcome::MessageSend { selector, receiver, args } => {
-                let selector = match selector {
-                    Selector::Special(s) => SelectorId::Special(s),
-                    Selector::MustBeBoolean => SelectorId::MustBeBoolean,
-                    Selector::Literal(v) => SelectorId::Literal(v),
-                };
-                return (EngineExit::Send { selector, receiver, args }, mem, input_frame);
-            }
-            StepOutcome::InvalidFrame => return (EngineExit::InvalidFrame, mem, input_frame),
-            StepOutcome::InvalidMemoryAccess => {
-                return (EngineExit::InvalidMemory, mem, input_frame)
-            }
-            StepOutcome::Unsupported { reason } => {
-                return (EngineExit::EngineError(reason.into()), mem, input_frame)
-            }
+        for (k, &instr) in instrs.iter().enumerate() {
+            let outcome = match &fns {
+                Some(fns) => (fns[k])(&mut ctx, &mut frame, instr),
+                None => step(&mut ctx, &mut frame, instr),
+            };
+            let exit = match outcome {
+                StepOutcome::Continue => continue,
+                StepOutcome::Jump { .. } => EngineExit::JumpTaken,
+                StepOutcome::MethodReturn { value } => EngineExit::Return { value },
+                StepOutcome::MessageSend { selector, receiver, args } => {
+                    let selector = match selector {
+                        Selector::Special(s) => SelectorId::Special(s),
+                        Selector::MustBeBoolean => SelectorId::MustBeBoolean,
+                        Selector::Literal(v) => SelectorId::Literal(v),
+                    };
+                    EngineExit::Send { selector, receiver, args }
+                }
+                StepOutcome::InvalidFrame => EngineExit::InvalidFrame,
+                StepOutcome::InvalidMemoryAccess => EngineExit::InvalidMemory,
+                StepOutcome::Unsupported { reason } => EngineExit::EngineError(reason.into()),
+            };
+            early_exit = Some(exit);
+            break;
         }
     }
-    let exit = EngineExit::Success {
+    let exit = early_exit.unwrap_or_else(|| EngineExit::Success {
         stack: frame.stack.clone(),
         temps: frame.temps.clone(),
         result: None,
-    };
+    });
     (exit, mem, input_frame)
 }
 

@@ -36,6 +36,7 @@ mod class;
 mod error;
 mod external;
 mod format;
+pub mod fxhash;
 mod memory;
 mod snapshot;
 mod tagged;

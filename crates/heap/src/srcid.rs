@@ -15,6 +15,7 @@ pub const SRC_FILES: &[&str] = &[
     "error.rs",
     "external.rs",
     "format.rs",
+    "fxhash.rs",
     "lib.rs",
     "memory.rs",
     "snapshot.rs",
@@ -27,6 +28,7 @@ const SRC_BYTES: &[&[u8]] = &[
     include_bytes!("error.rs"),
     include_bytes!("external.rs"),
     include_bytes!("format.rs"),
+    include_bytes!("fxhash.rs"),
     include_bytes!("lib.rs"),
     include_bytes!("memory.rs"),
     include_bytes!("snapshot.rs"),

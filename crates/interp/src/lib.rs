@@ -58,6 +58,7 @@ mod exit;
 mod frame;
 mod image;
 pub mod natives;
+pub mod predecode;
 mod runner;
 mod step;
 
@@ -68,8 +69,9 @@ pub use exit::{ExitCondition, Selector, StepOutcome};
 pub use frame::{Frame, MethodInfo};
 pub use natives::{native_catalog, native_spec, run_native, NativeGroup, NativeMethodId,
                   NativeMethodSpec, NativeOutcome};
-pub use runner::{run_method, MethodResult, RunError};
-pub use step::step;
+pub use predecode::{resolve_sequence, PredecodedProgram};
+pub use runner::{run_method, run_method_with, MethodResult, RunError};
+pub use step::{resolve_step, step, StepFn};
 
 /// Compile-time source fingerprint (see `igjit-corpus`).
 pub mod srcid;

@@ -12,6 +12,7 @@ use crate::concrete::ConcreteContext;
 use crate::exit::{Selector, StepOutcome};
 use crate::frame::{Frame, MethodInfo};
 use crate::natives::{run_native, NativeMethodId, NativeOutcome};
+use crate::predecode::PredecodedProgram;
 use crate::step::step;
 
 /// Why a method run stopped without returning a value.
@@ -67,12 +68,29 @@ const STEP_LIMIT: usize = 100_000;
 ///
 /// If the method declares a primitive, the native method is attempted
 /// first, falling back to the bytecode body on failure — exactly the
-/// hybrid structure of §4.2.
+/// hybrid structure of §4.2. Uses the predecoded fetch loop; see
+/// [`run_method_with`] for the knob.
 pub fn run_method(
     mem: &mut ObjectMemory,
     method: Oop,
     receiver: Oop,
     args: &[Oop],
+) -> Result<MethodResult, RunError> {
+    run_method_with(mem, method, receiver, args, true)
+}
+
+/// [`run_method`] with explicit control over the fetch loop:
+/// `predecode = true` decodes and dispatch-resolves the method once up
+/// front ([`PredecodedProgram`], engine v8) and executes fused
+/// push-pairs; `predecode = false` is the historical byte-at-a-time
+/// loop. The two are step-for-step identical, including every decode
+/// error — `IGJIT_INTERP_PREDECODE=0` threads through here.
+pub fn run_method_with(
+    mem: &mut ObjectMemory,
+    method: Oop,
+    receiver: Oop,
+    args: &[Oop],
+    predecode: bool,
 ) -> Result<MethodResult, RunError> {
     let cm = CompiledMethod::new(method);
     let header = cm.header(mem).map_err(|_| RunError::BadMethod)?;
@@ -113,6 +131,59 @@ pub fn run_method(
         }
     }
 
+    if predecode {
+        run_predecoded(mem, &mut frame, &bytes)
+    } else {
+        run_bytes(mem, &mut frame, &bytes)
+    }
+}
+
+/// What one settled step outcome means for the fetch loop.
+enum Flow {
+    /// Keep fetching at this pc.
+    Next(usize),
+    /// The run is over.
+    Done(Result<MethodResult, RunError>),
+}
+
+/// Folds a [`StepOutcome`] into the runner's control flow; `pc`/`len`
+/// locate the instruction that produced it and `code_len` sizes the
+/// negative-jump decode error exactly as the byte loop always has.
+fn apply_outcome(outcome: StepOutcome<Oop>, pc: usize, len: usize, code_len: usize) -> Flow {
+    match outcome {
+        StepOutcome::Continue => Flow::Next(pc + len),
+        StepOutcome::Jump { displacement } => {
+            let next = pc as i64 + len as i64 + i64::from(displacement);
+            if next < 0 {
+                Flow::Done(Err(RunError::Decode(DecodeError::PcOutOfRange {
+                    pc: 0,
+                    len: code_len,
+                })))
+            } else {
+                Flow::Next(next as usize)
+            }
+        }
+        StepOutcome::MethodReturn { value } => Flow::Done(Ok(MethodResult::Returned(value))),
+        StepOutcome::MessageSend { selector, receiver, .. } => {
+            let name = match selector {
+                Selector::Special(s) => s.name().to_string(),
+                Selector::MustBeBoolean => "mustBeBoolean".to_string(),
+                Selector::Literal(oop) => format!("{oop:?}"),
+            };
+            Flow::Done(Ok(MethodResult::Sent { selector: name, receiver }))
+        }
+        StepOutcome::InvalidFrame => Flow::Done(Err(RunError::InvalidFrame)),
+        StepOutcome::InvalidMemoryAccess => Flow::Done(Err(RunError::InvalidMemoryAccess)),
+        StepOutcome::Unsupported { reason } => Flow::Done(Err(RunError::Unsupported(reason))),
+    }
+}
+
+/// The historical fetch loop: decode at pc, dispatch, repeat.
+fn run_bytes(
+    mem: &mut ObjectMemory,
+    frame: &mut Frame<Oop>,
+    bytes: &[u8],
+) -> Result<MethodResult, RunError> {
     let mut pc: usize = 0;
     for _ in 0..STEP_LIMIT {
         if pc >= bytes.len() {
@@ -120,32 +191,60 @@ pub fn run_method(
             // implicit `^self`.
             return Ok(MethodResult::Returned(frame.receiver));
         }
-        let (instr, len) = decode(&bytes, pc).map_err(RunError::Decode)?;
+        let (instr, len) = decode(bytes, pc).map_err(RunError::Decode)?;
         let mut ctx = ConcreteContext::new(mem);
-        match step(&mut ctx, &mut frame, instr) {
-            StepOutcome::Continue => pc += len,
-            StepOutcome::Jump { displacement } => {
-                let next = pc as i64 + len as i64 + i64::from(displacement);
-                if next < 0 {
-                    return Err(RunError::Decode(DecodeError::PcOutOfRange {
-                        pc: 0,
-                        len: bytes.len(),
-                    }));
+        match apply_outcome(step(&mut ctx, frame, instr), pc, len, bytes.len()) {
+            Flow::Next(next) => pc = next,
+            Flow::Done(r) => return r,
+        }
+    }
+    Err(RunError::StepLimit)
+}
+
+/// The engine-v8 fetch loop: decode and dispatch-resolve the whole
+/// method once, then fetch steps through the jump table, chaining
+/// fused push-pairs without a re-fetch. Off-boundary pcs fall back to
+/// the byte decoder so decode faults reproduce exactly.
+fn run_predecoded(
+    mem: &mut ObjectMemory,
+    frame: &mut Frame<Oop>,
+    bytes: &[u8],
+) -> Result<MethodResult, RunError> {
+    let prog = PredecodedProgram::new(bytes);
+    let mut ctx = ConcreteContext::new(mem);
+    let fns = prog.resolve();
+    let steps = prog.steps();
+    let mut pc: usize = 0;
+    let mut steps_left = STEP_LIMIT;
+    while steps_left > 0 {
+        steps_left -= 1;
+        if pc >= bytes.len() {
+            return Ok(MethodResult::Returned(frame.receiver));
+        }
+        let (outcome, len) = match prog.lookup(pc) {
+            Some(i) => {
+                let s = steps[i];
+                let o = fns[i](&mut ctx, frame, s.instr);
+                if s.fuse_next && matches!(o, StepOutcome::Continue) && steps_left > 0 {
+                    // Superinstruction: the next sequential step starts
+                    // exactly at pc + len; execute it without a
+                    // re-fetch, charging it one step of budget.
+                    steps_left -= 1;
+                    pc += usize::from(s.len);
+                    let n = steps[i + 1];
+                    (fns[i + 1](&mut ctx, frame, n.instr), usize::from(n.len))
+                } else {
+                    (o, usize::from(s.len))
                 }
-                pc = next as usize;
             }
-            StepOutcome::MethodReturn { value } => return Ok(MethodResult::Returned(value)),
-            StepOutcome::MessageSend { selector, receiver, .. } => {
-                let name = match selector {
-                    Selector::Special(s) => s.name().to_string(),
-                    Selector::MustBeBoolean => "mustBeBoolean".to_string(),
-                    Selector::Literal(oop) => format!("{oop:?}"),
-                };
-                return Ok(MethodResult::Sent { selector: name, receiver });
+            None => {
+                let (instr, len) = decode(bytes, pc).map_err(RunError::Decode)?;
+                (step(&mut ctx, frame, instr), len)
             }
-            StepOutcome::InvalidFrame => return Err(RunError::InvalidFrame),
-            StepOutcome::InvalidMemoryAccess => return Err(RunError::InvalidMemoryAccess),
-            StepOutcome::Unsupported { reason } => return Err(RunError::Unsupported(reason)),
+        };
+        match apply_outcome(outcome, pc, len, bytes.len()) {
+            Flow::Next(next) => pc = next,
+            Flow::Done(r) => return r,
         }
     }
     Err(RunError::StepLimit)

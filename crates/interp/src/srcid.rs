@@ -22,6 +22,7 @@ pub const SRC_FILES: &[&str] = &[
     "natives/mod.rs",
     "natives/object.rs",
     "natives/smallint.rs",
+    "predecode.rs",
     "runner.rs",
     "srcid.rs",
     "step.rs",
@@ -39,6 +40,7 @@ const SRC_BYTES: &[&[u8]] = &[
     include_bytes!("natives/mod.rs"),
     include_bytes!("natives/object.rs"),
     include_bytes!("natives/smallint.rs"),
+    include_bytes!("predecode.rs"),
     include_bytes!("runner.rs"),
     include_bytes!("srcid.rs"),
     include_bytes!("step.rs"),

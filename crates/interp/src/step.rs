@@ -36,185 +36,570 @@ macro_rules! mem_try {
     };
 }
 
+/// A resolved per-opcode step function (see [`resolve_step`]).
+///
+/// Every function behind this pointer re-extracts its immediates from
+/// the [`Instruction`] it is handed, so the pointer alone — resolved
+/// once, at predecode time — carries the whole dispatch decision out
+/// of the fetch loop.
+pub type StepFn<C> = fn(
+    &mut C,
+    &mut Frame<<C as VmContext>::V>,
+    Instruction,
+) -> StepOutcome<<C as VmContext>::V>;
+
 /// Executes one bytecode instruction against `frame`.
 ///
 /// The returned [`StepOutcome`] carries both the control effect
 /// (continue/jump/return/send) and the §3.4 exit condition the
 /// differential tester compares.
+///
+/// Implemented as [`resolve_step`] followed by the resolved call, so
+/// the predecoded pipeline (which resolves once and calls many times)
+/// is step-for-step identical to this function by construction.
 pub fn step<C: VmContext>(
     ctx: &mut C,
     frame: &mut Frame<C::V>,
     instr: Instruction,
 ) -> StepOutcome<C::V> {
+    (resolve_step::<C>(instr))(ctx, frame, instr)
+}
+
+/// Resolves an instruction to its standalone step function — the
+/// dispatch half of [`step`], split out so a fetch loop (or the
+/// concolic negation walk, which executes one instruction against
+/// hundreds of solver models) pays for the opcode match once instead
+/// of once per execution.
+pub fn resolve_step<C: VmContext>(instr: Instruction) -> StepFn<C> {
     use Instruction as I;
     match instr {
         // --- pushes ---------------------------------------------------
-        I::PushReceiverVariable(n) => push_receiver_variable(ctx, frame, u32::from(n)),
-        I::PushReceiverVariableLong(n) => push_receiver_variable(ctx, frame, u32::from(n)),
-        I::PushTemp(n) | I::PushTempLong(n) => {
-            let v = frame_try!(ctx.temp(frame, usize::from(n)));
-            frame.push(v);
-            StepOutcome::Continue
+        I::PushReceiverVariable(_) | I::PushReceiverVariableLong(_) => {
+            steps::push_receiver_variable
         }
-        I::PushLiteralConstant(n) | I::PushLiteralLong(n) => {
-            let v = frame_try!(ctx.literal(frame, usize::from(n)));
-            frame.push(v);
-            StepOutcome::Continue
+        I::PushTemp(_) | I::PushTempLong(_) => steps::push_temp,
+        I::PushLiteralConstant(_) | I::PushLiteralLong(_) => steps::push_literal_constant,
+        I::PushLiteralVariable(_) => steps::push_literal_variable,
+        I::PushReceiver => steps::push_receiver,
+        I::PushTrue => steps::push_true,
+        I::PushFalse => steps::push_false,
+        I::PushNil => steps::push_nil,
+        I::PushZero | I::PushOne | I::PushMinusOne | I::PushTwo | I::PushInteger(_) => {
+            steps::push_small_int
         }
-        I::PushLiteralVariable(n) => {
-            // The literal holds an Association; push its value slot.
-            // Unsafe by design: no class check on the association.
-            let assoc = frame_try!(ctx.literal(frame, usize::from(n)));
-            let one = ctx.int_const(1);
-            let v = mem_try!(ctx.fetch_slot(assoc, one));
-            frame.push(v);
-            StepOutcome::Continue
-        }
-        I::PushReceiver => {
-            let r = frame.receiver;
-            frame.push(r);
-            StepOutcome::Continue
-        }
-        I::PushTrue => {
-            let v = ctx.true_obj();
-            frame.push(v);
-            StepOutcome::Continue
-        }
-        I::PushFalse => {
-            let v = ctx.false_obj();
-            frame.push(v);
-            StepOutcome::Continue
-        }
-        I::PushNil => {
-            let v = ctx.nil();
-            frame.push(v);
-            StepOutcome::Continue
-        }
-        I::PushZero => push_int_const(ctx, frame, 0),
-        I::PushOne => push_int_const(ctx, frame, 1),
-        I::PushMinusOne => push_int_const(ctx, frame, -1),
-        I::PushTwo => push_int_const(ctx, frame, 2),
-        I::PushInteger(v) => push_int_const(ctx, frame, i64::from(v)),
-        I::PushThisContext => StepOutcome::Unsupported {
-            reason: "stack-frame reification (lazy context-to-stack mapping)",
-        },
+        I::PushThisContext => steps::push_this_context,
 
         // --- stack shuffling ------------------------------------------
-        I::Dup => {
-            let v = frame_try!(ctx.stack_value(frame, 0));
-            frame.push(v);
-            StepOutcome::Continue
-        }
-        I::Pop => {
-            frame_try!(ctx.stack_value(frame, 0));
-            frame.pop_n(1);
-            StepOutcome::Continue
-        }
+        I::Dup => steps::dup,
+        I::Pop => steps::pop,
 
         // --- stores ----------------------------------------------------
-        I::PopIntoTemp(n) => {
-            let v = frame_try!(ctx.stack_value(frame, 0));
-            frame_try!(ctx.set_temp(frame, usize::from(n), v));
-            frame.pop_n(1);
-            StepOutcome::Continue
-        }
-        I::StoreTemp(n) | I::StoreTempLong(n) => {
-            let v = frame_try!(ctx.stack_value(frame, 0));
-            frame_try!(ctx.set_temp(frame, usize::from(n), v));
-            StepOutcome::Continue
-        }
-        I::PopIntoReceiverVariable(n) => {
-            let v = frame_try!(ctx.stack_value(frame, 0));
-            let r = frame.receiver;
-            let idx = ctx.int_const(i64::from(n));
-            mem_try!(ctx.store_slot(r, idx, v));
-            frame.pop_n(1);
-            StepOutcome::Continue
-        }
-        I::StoreReceiverVariableLong(n) => {
-            let v = frame_try!(ctx.stack_value(frame, 0));
-            let r = frame.receiver;
-            let idx = ctx.int_const(i64::from(n));
-            mem_try!(ctx.store_slot(r, idx, v));
-            StepOutcome::Continue
-        }
+        I::PopIntoTemp(_) => steps::pop_into_temp,
+        I::StoreTemp(_) | I::StoreTempLong(_) => steps::store_temp,
+        I::PopIntoReceiverVariable(_) => steps::pop_into_receiver_variable,
+        I::StoreReceiverVariableLong(_) => steps::store_receiver_variable_long,
 
         // --- inlined arithmetic (static type prediction) ----------------
-        I::Add => binary_arith(ctx, frame, ArithOp::Add),
-        I::Subtract => binary_arith(ctx, frame, ArithOp::Sub),
-        I::Multiply => binary_arith(ctx, frame, ArithOp::Mul),
-        I::Divide => divide(ctx, frame),
-        I::Modulo => modulo_like(ctx, frame, ModOp::Modulo),
-        I::IntegerDivide => modulo_like(ctx, frame, ModOp::FloorDivide),
-        I::LessThan => binary_compare(ctx, frame, CmpKind::Lt, SpecialSelector::LessThan),
-        I::GreaterThan => binary_compare(ctx, frame, CmpKind::Gt, SpecialSelector::GreaterThan),
-        I::LessOrEqual => binary_compare(ctx, frame, CmpKind::Le, SpecialSelector::LessOrEqual),
-        I::GreaterOrEqual => {
-            binary_compare(ctx, frame, CmpKind::Ge, SpecialSelector::GreaterOrEqual)
-        }
-        I::Equal => binary_compare(ctx, frame, CmpKind::Eq, SpecialSelector::Equal),
-        I::NotEqual => binary_compare(ctx, frame, CmpKind::Ne, SpecialSelector::NotEqual),
-        I::IdentityEqual => {
-            let arg = frame_try!(ctx.stack_value(frame, 0));
-            let rcvr = frame_try!(ctx.stack_value(frame, 1));
-            let same = ctx.value_identical(rcvr, arg);
-            let b = ctx.bool_obj(same);
-            frame.pop_n(2);
-            frame.push(b);
-            StepOutcome::Continue
-        }
-        I::BitAnd => bitwise(ctx, frame, BitOp::And),
-        I::BitOr => bitwise(ctx, frame, BitOp::Or),
-        I::BitShift => bitwise(ctx, frame, BitOp::Shift),
+        I::Add | I::Subtract | I::Multiply => steps::arith,
+        I::Divide => steps::divide,
+        I::Modulo | I::IntegerDivide => steps::modulo_like,
+        I::LessThan
+        | I::GreaterThan
+        | I::LessOrEqual
+        | I::GreaterOrEqual
+        | I::Equal
+        | I::NotEqual => steps::compare,
+        I::IdentityEqual => steps::identity_equal,
+        I::BitAnd | I::BitOr | I::BitShift => steps::bitwise,
 
         // --- special sends with quick paths ------------------------------
-        I::SpecialSendAt => special_at(ctx, frame),
-        I::SpecialSendAtPut => special_at_put(ctx, frame),
-        I::SpecialSendSize => special_size(ctx, frame),
-        I::SpecialSendValue => unary_send(ctx, frame, SpecialSelector::Value),
-        I::SpecialSendNew => unary_send(ctx, frame, SpecialSelector::New),
-        I::SpecialSendClass => unary_send(ctx, frame, SpecialSelector::Class),
+        I::SpecialSendAt => steps::special_at,
+        I::SpecialSendAtPut => steps::special_at_put,
+        I::SpecialSendSize => steps::special_size,
+        I::SpecialSendValue | I::SpecialSendNew | I::SpecialSendClass => steps::special_unary,
 
         // --- generic sends -------------------------------------------------
-        I::Send { lit, nargs } => {
-            let selector = frame_try!(ctx.literal(frame, usize::from(lit)));
-            let n = usize::from(nargs);
-            let mut args = Vec::with_capacity(n);
-            for i in (0..n).rev() {
-                args.push(frame_try!(ctx.stack_value(frame, i)));
-            }
-            let receiver = frame_try!(ctx.stack_value(frame, n));
-            StepOutcome::MessageSend { selector: Selector::Literal(selector), receiver, args }
-        }
+        I::Send { .. } => steps::send,
 
         // --- returns ----------------------------------------------------------
-        I::ReturnReceiver => StepOutcome::MethodReturn { value: frame.receiver },
-        I::ReturnTrue => {
-            let v = ctx.true_obj();
-            StepOutcome::MethodReturn { value: v }
-        }
-        I::ReturnFalse => {
-            let v = ctx.false_obj();
-            StepOutcome::MethodReturn { value: v }
-        }
-        I::ReturnNil => {
-            let v = ctx.nil();
-            StepOutcome::MethodReturn { value: v }
-        }
-        I::ReturnTop => {
-            let v = frame_try!(ctx.stack_value(frame, 0));
-            StepOutcome::MethodReturn { value: v }
-        }
+        I::ReturnReceiver => steps::return_receiver,
+        I::ReturnTrue => steps::return_true,
+        I::ReturnFalse => steps::return_false,
+        I::ReturnNil => steps::return_nil,
+        I::ReturnTop => steps::return_top,
 
         // --- jumps ---------------------------------------------------------------
-        I::ShortJumpForward(n) => StepOutcome::Jump { displacement: i32::from(n) },
-        I::LongJumpForward(d) => StepOutcome::Jump { displacement: i32::from(d) },
-        I::ShortJumpTrue(n) => conditional_jump(ctx, frame, i32::from(n), true),
-        I::ShortJumpFalse(n) => conditional_jump(ctx, frame, i32::from(n), false),
-        I::LongJumpTrue(n) => conditional_jump(ctx, frame, i32::from(n), true),
-        I::LongJumpFalse(n) => conditional_jump(ctx, frame, i32::from(n), false),
+        I::ShortJumpForward(_) | I::LongJumpForward(_) => steps::jump_forward,
+        I::ShortJumpTrue(_) | I::ShortJumpFalse(_) | I::LongJumpTrue(_) | I::LongJumpFalse(_) => {
+            steps::conditional_jump
+        }
 
-        I::Nop => StepOutcome::Continue,
+        I::Nop => steps::nop,
+    }
+}
+
+/// The per-opcode step bodies, one standalone function per semantic
+/// group, all with the uniform [`StepFn`] signature so they can be
+/// stored in predecoded step arrays and called without re-matching
+/// the opcode. Each function only accepts the instructions
+/// [`resolve_step`] routes to it and panics on any other — the
+/// resolver is the single source of truth for the pairing.
+pub mod steps {
+    use super::*;
+
+    /// Instruction/step-function mismatch: only reachable by calling a
+    /// step function directly with an instruction [`resolve_step`]
+    /// does not route to it.
+    macro_rules! wrong_instr {
+        ($i:expr) => {
+            unreachable!("step function called with unrouted instruction {:?}", $i)
+        };
+    }
+
+    /// `PushReceiverVariable`/`PushReceiverVariableLong`.
+    pub fn push_receiver_variable<C: VmContext>(
+        ctx: &mut C,
+        frame: &mut Frame<C::V>,
+        instr: Instruction,
+    ) -> StepOutcome<C::V> {
+        let n = match instr {
+            Instruction::PushReceiverVariable(n) => u32::from(n),
+            Instruction::PushReceiverVariableLong(n) => u32::from(n),
+            other => wrong_instr!(other),
+        };
+        super::push_receiver_variable(ctx, frame, n)
+    }
+
+    /// `PushTemp`/`PushTempLong`.
+    pub fn push_temp<C: VmContext>(
+        ctx: &mut C,
+        frame: &mut Frame<C::V>,
+        instr: Instruction,
+    ) -> StepOutcome<C::V> {
+        let n = match instr {
+            Instruction::PushTemp(n) | Instruction::PushTempLong(n) => n,
+            other => wrong_instr!(other),
+        };
+        let v = frame_try!(ctx.temp(frame, usize::from(n)));
+        frame.push(v);
+        StepOutcome::Continue
+    }
+
+    /// `PushLiteralConstant`/`PushLiteralLong`.
+    pub fn push_literal_constant<C: VmContext>(
+        ctx: &mut C,
+        frame: &mut Frame<C::V>,
+        instr: Instruction,
+    ) -> StepOutcome<C::V> {
+        let n = match instr {
+            Instruction::PushLiteralConstant(n) | Instruction::PushLiteralLong(n) => n,
+            other => wrong_instr!(other),
+        };
+        let v = frame_try!(ctx.literal(frame, usize::from(n)));
+        frame.push(v);
+        StepOutcome::Continue
+    }
+
+    /// `PushLiteralVariable`: the literal holds an Association; push
+    /// its value slot. Unsafe by design: no class check on the
+    /// association.
+    pub fn push_literal_variable<C: VmContext>(
+        ctx: &mut C,
+        frame: &mut Frame<C::V>,
+        instr: Instruction,
+    ) -> StepOutcome<C::V> {
+        let Instruction::PushLiteralVariable(n) = instr else { wrong_instr!(instr) };
+        let assoc = frame_try!(ctx.literal(frame, usize::from(n)));
+        let one = ctx.int_const(1);
+        let v = mem_try!(ctx.fetch_slot(assoc, one));
+        frame.push(v);
+        StepOutcome::Continue
+    }
+
+    /// `PushReceiver`.
+    pub fn push_receiver<C: VmContext>(
+        _ctx: &mut C,
+        frame: &mut Frame<C::V>,
+        _instr: Instruction,
+    ) -> StepOutcome<C::V> {
+        let r = frame.receiver;
+        frame.push(r);
+        StepOutcome::Continue
+    }
+
+    /// `PushTrue`.
+    pub fn push_true<C: VmContext>(
+        ctx: &mut C,
+        frame: &mut Frame<C::V>,
+        _instr: Instruction,
+    ) -> StepOutcome<C::V> {
+        let v = ctx.true_obj();
+        frame.push(v);
+        StepOutcome::Continue
+    }
+
+    /// `PushFalse`.
+    pub fn push_false<C: VmContext>(
+        ctx: &mut C,
+        frame: &mut Frame<C::V>,
+        _instr: Instruction,
+    ) -> StepOutcome<C::V> {
+        let v = ctx.false_obj();
+        frame.push(v);
+        StepOutcome::Continue
+    }
+
+    /// `PushNil`.
+    pub fn push_nil<C: VmContext>(
+        ctx: &mut C,
+        frame: &mut Frame<C::V>,
+        _instr: Instruction,
+    ) -> StepOutcome<C::V> {
+        let v = ctx.nil();
+        frame.push(v);
+        StepOutcome::Continue
+    }
+
+    /// `PushZero`/`PushOne`/`PushMinusOne`/`PushTwo`/`PushInteger`.
+    pub fn push_small_int<C: VmContext>(
+        ctx: &mut C,
+        frame: &mut Frame<C::V>,
+        instr: Instruction,
+    ) -> StepOutcome<C::V> {
+        let v = match instr {
+            Instruction::PushZero => 0,
+            Instruction::PushOne => 1,
+            Instruction::PushMinusOne => -1,
+            Instruction::PushTwo => 2,
+            Instruction::PushInteger(v) => i64::from(v),
+            other => wrong_instr!(other),
+        };
+        super::push_int_const(ctx, frame, v)
+    }
+
+    /// `PushThisContext` (curated out, §5.2).
+    pub fn push_this_context<C: VmContext>(
+        _ctx: &mut C,
+        _frame: &mut Frame<C::V>,
+        _instr: Instruction,
+    ) -> StepOutcome<C::V> {
+        StepOutcome::Unsupported {
+            reason: "stack-frame reification (lazy context-to-stack mapping)",
+        }
+    }
+
+    /// `Dup`.
+    pub fn dup<C: VmContext>(
+        ctx: &mut C,
+        frame: &mut Frame<C::V>,
+        _instr: Instruction,
+    ) -> StepOutcome<C::V> {
+        let v = frame_try!(ctx.stack_value(frame, 0));
+        frame.push(v);
+        StepOutcome::Continue
+    }
+
+    /// `Pop`.
+    pub fn pop<C: VmContext>(
+        ctx: &mut C,
+        frame: &mut Frame<C::V>,
+        _instr: Instruction,
+    ) -> StepOutcome<C::V> {
+        frame_try!(ctx.stack_value(frame, 0));
+        frame.pop_n(1);
+        StepOutcome::Continue
+    }
+
+    /// `PopIntoTemp`.
+    pub fn pop_into_temp<C: VmContext>(
+        ctx: &mut C,
+        frame: &mut Frame<C::V>,
+        instr: Instruction,
+    ) -> StepOutcome<C::V> {
+        let Instruction::PopIntoTemp(n) = instr else { wrong_instr!(instr) };
+        let v = frame_try!(ctx.stack_value(frame, 0));
+        frame_try!(ctx.set_temp(frame, usize::from(n), v));
+        frame.pop_n(1);
+        StepOutcome::Continue
+    }
+
+    /// `StoreTemp`/`StoreTempLong`.
+    pub fn store_temp<C: VmContext>(
+        ctx: &mut C,
+        frame: &mut Frame<C::V>,
+        instr: Instruction,
+    ) -> StepOutcome<C::V> {
+        let n = match instr {
+            Instruction::StoreTemp(n) | Instruction::StoreTempLong(n) => n,
+            other => wrong_instr!(other),
+        };
+        let v = frame_try!(ctx.stack_value(frame, 0));
+        frame_try!(ctx.set_temp(frame, usize::from(n), v));
+        StepOutcome::Continue
+    }
+
+    /// `PopIntoReceiverVariable`.
+    pub fn pop_into_receiver_variable<C: VmContext>(
+        ctx: &mut C,
+        frame: &mut Frame<C::V>,
+        instr: Instruction,
+    ) -> StepOutcome<C::V> {
+        let Instruction::PopIntoReceiverVariable(n) = instr else { wrong_instr!(instr) };
+        let v = frame_try!(ctx.stack_value(frame, 0));
+        let r = frame.receiver;
+        let idx = ctx.int_const(i64::from(n));
+        mem_try!(ctx.store_slot(r, idx, v));
+        frame.pop_n(1);
+        StepOutcome::Continue
+    }
+
+    /// `StoreReceiverVariableLong`.
+    pub fn store_receiver_variable_long<C: VmContext>(
+        ctx: &mut C,
+        frame: &mut Frame<C::V>,
+        instr: Instruction,
+    ) -> StepOutcome<C::V> {
+        let Instruction::StoreReceiverVariableLong(n) = instr else { wrong_instr!(instr) };
+        let v = frame_try!(ctx.stack_value(frame, 0));
+        let r = frame.receiver;
+        let idx = ctx.int_const(i64::from(n));
+        mem_try!(ctx.store_slot(r, idx, v));
+        StepOutcome::Continue
+    }
+
+    /// `Add`/`Subtract`/`Multiply` (Listing 1 with the Float fast
+    /// path).
+    pub fn arith<C: VmContext>(
+        ctx: &mut C,
+        frame: &mut Frame<C::V>,
+        instr: Instruction,
+    ) -> StepOutcome<C::V> {
+        let op = match instr {
+            Instruction::Add => ArithOp::Add,
+            Instruction::Subtract => ArithOp::Sub,
+            Instruction::Multiply => ArithOp::Mul,
+            other => wrong_instr!(other),
+        };
+        super::binary_arith(ctx, frame, op)
+    }
+
+    /// `Divide` (exact division only on the fast path).
+    pub fn divide<C: VmContext>(
+        ctx: &mut C,
+        frame: &mut Frame<C::V>,
+        _instr: Instruction,
+    ) -> StepOutcome<C::V> {
+        super::divide(ctx, frame)
+    }
+
+    /// `Modulo`/`IntegerDivide`.
+    pub fn modulo_like<C: VmContext>(
+        ctx: &mut C,
+        frame: &mut Frame<C::V>,
+        instr: Instruction,
+    ) -> StepOutcome<C::V> {
+        let op = match instr {
+            Instruction::Modulo => ModOp::Modulo,
+            Instruction::IntegerDivide => ModOp::FloorDivide,
+            other => wrong_instr!(other),
+        };
+        super::modulo_like(ctx, frame, op)
+    }
+
+    /// The six inlined comparison bytecodes.
+    pub fn compare<C: VmContext>(
+        ctx: &mut C,
+        frame: &mut Frame<C::V>,
+        instr: Instruction,
+    ) -> StepOutcome<C::V> {
+        let (op, selector) = match instr {
+            Instruction::LessThan => (CmpKind::Lt, SpecialSelector::LessThan),
+            Instruction::GreaterThan => (CmpKind::Gt, SpecialSelector::GreaterThan),
+            Instruction::LessOrEqual => (CmpKind::Le, SpecialSelector::LessOrEqual),
+            Instruction::GreaterOrEqual => (CmpKind::Ge, SpecialSelector::GreaterOrEqual),
+            Instruction::Equal => (CmpKind::Eq, SpecialSelector::Equal),
+            Instruction::NotEqual => (CmpKind::Ne, SpecialSelector::NotEqual),
+            other => wrong_instr!(other),
+        };
+        super::binary_compare(ctx, frame, op, selector)
+    }
+
+    /// `IdentityEqual`.
+    pub fn identity_equal<C: VmContext>(
+        ctx: &mut C,
+        frame: &mut Frame<C::V>,
+        _instr: Instruction,
+    ) -> StepOutcome<C::V> {
+        let arg = frame_try!(ctx.stack_value(frame, 0));
+        let rcvr = frame_try!(ctx.stack_value(frame, 1));
+        let same = ctx.value_identical(rcvr, arg);
+        let b = ctx.bool_obj(same);
+        frame.pop_n(2);
+        frame.push(b);
+        StepOutcome::Continue
+    }
+
+    /// `BitAnd`/`BitOr`/`BitShift`.
+    pub fn bitwise<C: VmContext>(
+        ctx: &mut C,
+        frame: &mut Frame<C::V>,
+        instr: Instruction,
+    ) -> StepOutcome<C::V> {
+        let op = match instr {
+            Instruction::BitAnd => BitOp::And,
+            Instruction::BitOr => BitOp::Or,
+            Instruction::BitShift => BitOp::Shift,
+            other => wrong_instr!(other),
+        };
+        super::bitwise(ctx, frame, op)
+    }
+
+    /// `SpecialSendAt`.
+    pub fn special_at<C: VmContext>(
+        ctx: &mut C,
+        frame: &mut Frame<C::V>,
+        _instr: Instruction,
+    ) -> StepOutcome<C::V> {
+        super::special_at(ctx, frame)
+    }
+
+    /// `SpecialSendAtPut`.
+    pub fn special_at_put<C: VmContext>(
+        ctx: &mut C,
+        frame: &mut Frame<C::V>,
+        _instr: Instruction,
+    ) -> StepOutcome<C::V> {
+        super::special_at_put(ctx, frame)
+    }
+
+    /// `SpecialSendSize`.
+    pub fn special_size<C: VmContext>(
+        ctx: &mut C,
+        frame: &mut Frame<C::V>,
+        _instr: Instruction,
+    ) -> StepOutcome<C::V> {
+        super::special_size(ctx, frame)
+    }
+
+    /// `SpecialSendValue`/`SpecialSendNew`/`SpecialSendClass` — no
+    /// quick path, always a send.
+    pub fn special_unary<C: VmContext>(
+        ctx: &mut C,
+        frame: &mut Frame<C::V>,
+        instr: Instruction,
+    ) -> StepOutcome<C::V> {
+        let selector = match instr {
+            Instruction::SpecialSendValue => SpecialSelector::Value,
+            Instruction::SpecialSendNew => SpecialSelector::New,
+            Instruction::SpecialSendClass => SpecialSelector::Class,
+            other => wrong_instr!(other),
+        };
+        super::unary_send(ctx, frame, selector)
+    }
+
+    /// `Send { lit, nargs }`.
+    pub fn send<C: VmContext>(
+        ctx: &mut C,
+        frame: &mut Frame<C::V>,
+        instr: Instruction,
+    ) -> StepOutcome<C::V> {
+        let Instruction::Send { lit, nargs } = instr else { wrong_instr!(instr) };
+        let selector = frame_try!(ctx.literal(frame, usize::from(lit)));
+        let n = usize::from(nargs);
+        let mut args = Vec::with_capacity(n);
+        for i in (0..n).rev() {
+            args.push(frame_try!(ctx.stack_value(frame, i)));
+        }
+        let receiver = frame_try!(ctx.stack_value(frame, n));
+        StepOutcome::MessageSend { selector: Selector::Literal(selector), receiver, args }
+    }
+
+    /// `ReturnReceiver`.
+    pub fn return_receiver<C: VmContext>(
+        _ctx: &mut C,
+        frame: &mut Frame<C::V>,
+        _instr: Instruction,
+    ) -> StepOutcome<C::V> {
+        StepOutcome::MethodReturn { value: frame.receiver }
+    }
+
+    /// `ReturnTrue`.
+    pub fn return_true<C: VmContext>(
+        ctx: &mut C,
+        _frame: &mut Frame<C::V>,
+        _instr: Instruction,
+    ) -> StepOutcome<C::V> {
+        let v = ctx.true_obj();
+        StepOutcome::MethodReturn { value: v }
+    }
+
+    /// `ReturnFalse`.
+    pub fn return_false<C: VmContext>(
+        ctx: &mut C,
+        _frame: &mut Frame<C::V>,
+        _instr: Instruction,
+    ) -> StepOutcome<C::V> {
+        let v = ctx.false_obj();
+        StepOutcome::MethodReturn { value: v }
+    }
+
+    /// `ReturnNil`.
+    pub fn return_nil<C: VmContext>(
+        ctx: &mut C,
+        _frame: &mut Frame<C::V>,
+        _instr: Instruction,
+    ) -> StepOutcome<C::V> {
+        let v = ctx.nil();
+        StepOutcome::MethodReturn { value: v }
+    }
+
+    /// `ReturnTop`.
+    pub fn return_top<C: VmContext>(
+        ctx: &mut C,
+        frame: &mut Frame<C::V>,
+        _instr: Instruction,
+    ) -> StepOutcome<C::V> {
+        let v = frame_try!(ctx.stack_value(frame, 0));
+        StepOutcome::MethodReturn { value: v }
+    }
+
+    /// `ShortJumpForward`/`LongJumpForward`.
+    pub fn jump_forward<C: VmContext>(
+        _ctx: &mut C,
+        _frame: &mut Frame<C::V>,
+        instr: Instruction,
+    ) -> StepOutcome<C::V> {
+        let displacement = match instr {
+            Instruction::ShortJumpForward(n) => i32::from(n),
+            Instruction::LongJumpForward(d) => i32::from(d),
+            other => wrong_instr!(other),
+        };
+        StepOutcome::Jump { displacement }
+    }
+
+    /// The four conditional jumps.
+    pub fn conditional_jump<C: VmContext>(
+        ctx: &mut C,
+        frame: &mut Frame<C::V>,
+        instr: Instruction,
+    ) -> StepOutcome<C::V> {
+        let (displacement, jump_on_true) = match instr {
+            Instruction::ShortJumpTrue(n) => (i32::from(n), true),
+            Instruction::ShortJumpFalse(n) => (i32::from(n), false),
+            Instruction::LongJumpTrue(n) => (i32::from(n), true),
+            Instruction::LongJumpFalse(n) => (i32::from(n), false),
+            other => wrong_instr!(other),
+        };
+        super::conditional_jump(ctx, frame, displacement, jump_on_true)
+    }
+
+    /// `Nop`.
+    pub fn nop<C: VmContext>(
+        _ctx: &mut C,
+        _frame: &mut Frame<C::V>,
+        _instr: Instruction,
+    ) -> StepOutcome<C::V> {
+        StepOutcome::Continue
     }
 }
 

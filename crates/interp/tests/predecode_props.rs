@@ -1,0 +1,167 @@
+//! Property tests of the predecoded interpreter mode: running a
+//! method through [`PredecodedProgram`] (decode + dispatch resolved
+//! once, fused push-pairs) is step-for-step identical to the
+//! byte-at-a-time fetch loop — same result, same heap effects — for
+//! arbitrary instruction streams (including wild jumps that land
+//! mid-instruction, where the predecoded fetch must fall back to the
+//! byte decoder) and for arbitrary byte soup (where both modes must
+//! raise the same decode error).
+
+use igjit_bytecode::{Instruction, MethodBuilder};
+use igjit_heap::{ObjectMemory, Oop};
+use igjit_interp::run_method_with;
+use proptest::prelude::*;
+
+/// Executable instructions, with operand indexes straddling the valid
+/// range (2 args + 2 temps, 3 literals, 3 receiver slots) so frame and
+/// memory faults are generated as often as clean steps.
+fn arb_instr() -> impl Strategy<Value = Instruction> {
+    use Instruction as I;
+    prop_oneof![
+        (0u8..6).prop_map(I::PushReceiverVariable),
+        (0u8..6).prop_map(I::PushReceiverVariableLong),
+        (0u8..6).prop_map(I::PushTemp),
+        (0u8..6).prop_map(I::PushTempLong),
+        (0u8..6).prop_map(I::PushLiteralConstant),
+        (0u8..6).prop_map(I::PushLiteralLong),
+        (0u8..6).prop_map(I::PushLiteralVariable),
+        Just(I::PushReceiver),
+        Just(I::PushTrue),
+        Just(I::PushFalse),
+        Just(I::PushNil),
+        Just(I::PushZero),
+        Just(I::PushOne),
+        Just(I::PushMinusOne),
+        Just(I::PushTwo),
+        any::<i8>().prop_map(I::PushInteger),
+        Just(I::PushThisContext),
+        Just(I::Dup),
+        Just(I::Pop),
+        (0u8..6).prop_map(I::PopIntoTemp),
+        (0u8..6).prop_map(I::StoreTemp),
+        (0u8..6).prop_map(I::StoreTempLong),
+        (0u8..6).prop_map(I::PopIntoReceiverVariable),
+        (0u8..6).prop_map(I::StoreReceiverVariableLong),
+        Just(I::Add),
+        Just(I::Subtract),
+        Just(I::Multiply),
+        Just(I::Divide),
+        Just(I::Modulo),
+        Just(I::IntegerDivide),
+        Just(I::LessThan),
+        Just(I::GreaterThan),
+        Just(I::LessOrEqual),
+        Just(I::GreaterOrEqual),
+        Just(I::Equal),
+        Just(I::NotEqual),
+        Just(I::IdentityEqual),
+        Just(I::BitAnd),
+        Just(I::BitOr),
+        Just(I::BitShift),
+        Just(I::SpecialSendAt),
+        Just(I::SpecialSendAtPut),
+        Just(I::SpecialSendSize),
+        Just(I::SpecialSendValue),
+        Just(I::SpecialSendNew),
+        Just(I::SpecialSendClass),
+        (0u8..6, 0u8..4).prop_map(|(lit, nargs)| I::Send { lit, nargs }),
+        Just(I::ReturnReceiver),
+        Just(I::ReturnTrue),
+        Just(I::ReturnFalse),
+        Just(I::ReturnNil),
+        Just(I::ReturnTop),
+        (1u8..9).prop_map(I::ShortJumpForward),
+        (1u8..9).prop_map(I::ShortJumpTrue),
+        (1u8..9).prop_map(I::ShortJumpFalse),
+        any::<i8>().prop_map(I::LongJumpForward),
+        (0u8..16).prop_map(I::LongJumpTrue),
+        (0u8..16).prop_map(I::LongJumpFalse),
+        Just(I::Nop),
+    ]
+}
+
+/// Builds the shared pristine environment: a 3-slot receiver, one
+/// SmallInteger argument, two temps, and three literals (a
+/// SmallInteger, a Float, and a 2-slot array so `PushLiteralVariable`
+/// has a fetchable value slot). Deterministic, so building it twice
+/// yields bit-identical memories.
+fn build_env(emit: impl Fn(&mut MethodBuilder)) -> (ObjectMemory, Oop, Oop, Vec<Oop>) {
+    let mut mem = ObjectMemory::new();
+    let receiver = mem
+        .instantiate_array(&[
+            Oop::from_small_int(10),
+            Oop::from_small_int(20),
+            Oop::from_small_int(30),
+        ])
+        .unwrap();
+    let f = mem.instantiate_float(1.5).unwrap();
+    let assoc = mem
+        .instantiate_array(&[Oop::from_small_int(0), Oop::from_small_int(99)])
+        .unwrap();
+    let mut b = MethodBuilder::new(2, 2);
+    b.add_literal(Oop::from_small_int(5));
+    b.add_literal(f);
+    b.add_literal(assoc);
+    emit(&mut b);
+    let method = b.install(&mut mem).unwrap();
+    let args = vec![Oop::from_small_int(7), Oop::from_small_int(-3)];
+    (mem, method, receiver, args)
+}
+
+/// Runs the method in both fetch modes from identical pristine state
+/// and asserts result + receiver heap effects match exactly.
+fn assert_run_identical(emit: impl Fn(&mut MethodBuilder)) {
+    let (mut mem_b, method_b, recv_b, args_b) = build_env(&emit);
+    let byte_result = run_method_with(&mut mem_b, method_b, recv_b, &args_b, false);
+    let byte_slots: Vec<Oop> = (0..3).map(|i| mem_b.fetch_pointer(recv_b, i).unwrap()).collect();
+
+    let (mut mem_p, method_p, recv_p, args_p) = build_env(&emit);
+    let pre_result = run_method_with(&mut mem_p, method_p, recv_p, &args_p, true);
+    let pre_slots: Vec<Oop> = (0..3).map(|i| mem_p.fetch_pointer(recv_p, i).unwrap()).collect();
+
+    assert_eq!(byte_result, pre_result);
+    assert_eq!(byte_slots, pre_slots);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn prop_predecoded_identity_streams(
+        instrs in proptest::collection::vec(arb_instr(), 1..24)
+    ) {
+        assert_run_identical(|b| {
+            for &i in &instrs {
+                b.emit(i);
+            }
+        });
+    }
+
+    #[test]
+    fn prop_predecoded_identity_byte_soup(
+        bytes in proptest::collection::vec(any::<u8>(), 0..64)
+    ) {
+        // Arbitrary blobs: predecoding stops at the first undecodable
+        // offset, so the tail executes through the fallback path; both
+        // modes must agree, decode errors included.
+        assert_run_identical(|b| {
+            b.emit_raw(&bytes);
+        });
+    }
+
+    #[test]
+    fn prop_predecoded_identity_wild_entry_jump(
+        off in any::<i8>(),
+        instrs in proptest::collection::vec(arb_instr(), 1..16)
+    ) {
+        // A leading jump with a random displacement lands anywhere in
+        // the stream — instruction boundary, mid-instruction, past the
+        // end, or negative (a decode error in both modes).
+        assert_run_identical(|b| {
+            b.emit(Instruction::LongJumpForward(off));
+            for &i in &instrs {
+                b.emit(i);
+            }
+        });
+    }
+}

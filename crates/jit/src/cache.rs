@@ -25,13 +25,13 @@
 //! armed `igjit-mutate` operator has perturbed them — and shared by
 //! every subsequent replay.
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 use std::time::{Duration, Instant};
 
+use igjit_bytecode::fxhash::FxHasher64;
 use igjit_bytecode::Instruction;
 use igjit_heap::Oop;
 use igjit_machine::{Isa, PredecodedCode};
@@ -116,7 +116,7 @@ impl CompileKey {
     /// Bucket hash; must agree with [`CompileKeyRef::bucket_hash`] on
     /// equivalent keys (enforced by `ref_and_owned_lookups_agree`).
     fn bucket_hash(&self) -> u64 {
-        let mut h = DefaultHasher::new();
+        let mut h = FxHasher64::new();
         match self {
             CompileKey::Bytecode {
                 kind,
@@ -227,7 +227,7 @@ impl<'a> CompileKeyRef<'a> {
     /// Bucket hash; agrees with [`CompileKey::bucket_hash`] on
     /// equivalent keys.
     fn bucket_hash(&self) -> u64 {
-        let mut h = DefaultHasher::new();
+        let mut h = FxHasher64::new();
         match *self {
             CompileKeyRef::Bytecode {
                 kind,

@@ -18,7 +18,7 @@
 //! equivalence `{:?}`-formatting gives, so interned identity agrees
 //! with the explorer's historical textual path signatures.
 
-use std::collections::HashMap;
+use igjit_heap::fxhash::FxHashMap;
 
 use crate::constraint::{CmpOp, Constraint, FloatTerm, KindSet, LinExpr, VarId};
 
@@ -67,9 +67,9 @@ enum ConstraintKey {
 #[derive(Default)]
 pub struct TermTable {
     exprs: Vec<LinExpr>,
-    expr_ids: HashMap<LinExpr, TermId>,
+    expr_ids: FxHashMap<LinExpr, TermId>,
     constraints: Vec<Constraint>,
-    constraint_ids: HashMap<ConstraintKey, ConstraintId>,
+    constraint_ids: FxHashMap<ConstraintKey, ConstraintId>,
 }
 
 impl TermTable {

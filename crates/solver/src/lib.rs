@@ -58,7 +58,7 @@ pub use error::SolveError;
 pub use intern::{ConstraintId, TermId, TermTable};
 pub use model::{Assignment, Model};
 pub use search::{solve, solve_with_limits, Problem, SearchLimits};
-pub use session::{Session, SessionStats};
+pub use session::{PreparedConstraint, Session, SessionStats};
 
 /// Checks that `model` satisfies every constraint of `problem` and
 /// every variable's initial domain — the solver's soundness contract,

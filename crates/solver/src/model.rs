@@ -18,9 +18,21 @@ pub struct Assignment {
 }
 
 /// A satisfying assignment for a [`Problem`](crate::Problem).
-#[derive(Clone, PartialEq, Debug, Default)]
+#[derive(PartialEq, Debug, Default)]
 pub struct Model {
     assignments: Vec<Assignment>,
+}
+
+impl Clone for Model {
+    fn clone(&self) -> Model {
+        Model { assignments: self.assignments.clone() }
+    }
+
+    /// Reuses the destination's buffer (`Assignment` is `Copy`), so
+    /// per-solve model caching does not allocate once warm.
+    fn clone_from(&mut self, source: &Model) {
+        self.assignments.clone_from(&source.assignments);
+    }
 }
 
 impl Model {

@@ -14,7 +14,7 @@
 //! assertion order. The campaign's row-for-row reproducibility depends
 //! on this; the `session_equivalence` property test enforces it.
 
-use std::collections::HashMap;
+use igjit_heap::fxhash::FxHashMap;
 
 use crate::constraint::{Constraint, VarId, VarSpec};
 use crate::error::SolveError;
@@ -90,6 +90,32 @@ struct Checkpoint {
     conflict: bool,
 }
 
+/// A hypothesis pre-classified for repeated [`Session::solve_under`]
+/// use: the constraint together with its normalization plan and
+/// wide/aliasing flags, built once by the caller and replayed on every
+/// solve. A probe sweep tries the same dozen hypotheses against
+/// thousands of sibling paths; preparing them hoists the per-solve
+/// constraint-tree walk (wideness check plus `assert_into`'s expression
+/// normalization) out of the loop, independent of whether the session
+/// hash-conses.
+pub struct PreparedConstraint {
+    constraint: Constraint,
+    plan: NormPlan,
+}
+
+impl PreparedConstraint {
+    /// Classifies and normalizes `c` once, for any number of
+    /// [`Session::solve_under_prepared`] calls (on any session).
+    pub fn new(c: Constraint) -> PreparedConstraint {
+        PreparedConstraint { plan: NormPlan::build(&c), constraint: c }
+    }
+
+    /// The underlying hypothesis.
+    pub fn constraint(&self) -> &Constraint {
+        &self.constraint
+    }
+}
+
 /// An incremental solver session with push/pop assertion scopes.
 ///
 /// Variables are global to the session (they persist across `pop`);
@@ -124,7 +150,7 @@ pub struct Session {
     /// instead of re-classifying the term tree.
     hash_cons: bool,
     table: TermTable,
-    norm_plans: HashMap<ConstraintId, NormPlan>,
+    norm_plans: FxHashMap<ConstraintId, NormPlan>,
     stats: SessionStats,
 }
 
@@ -160,7 +186,7 @@ impl Session {
             reuse_models: false,
             hash_cons: false,
             table: TermTable::new(),
-            norm_plans: HashMap::new(),
+            norm_plans: FxHashMap::default(),
             stats: SessionStats::default(),
         }
     }
@@ -405,6 +431,130 @@ impl Session {
         self.record(result)
     }
 
+    /// Solves the in-scope constraints plus `c` without leaving a
+    /// scope behind — observably identical (result, stats, cached
+    /// model) to `push(); assert(c); solve(); pop()`, by mirroring
+    /// `solve`'s exact branch order (wide gate → model-reuse
+    /// revalidation → dirty rebuild → conflict → incremental search).
+    ///
+    /// The point is cost: the quadruple clones the interval [`Store`]
+    /// twice per hypothesis (the push checkpoint plus the search
+    /// root), while this asserts into a single scratch clone and hands
+    /// that directly to the search. It is the batched sibling-scope
+    /// primitive behind engine v8's kind-probe sweep, where each
+    /// curated path tries ~a dozen sibling hypotheses over a shared
+    /// prefix.
+    pub fn solve_under(&mut self, c: &Constraint) -> Result<Model, SolveError> {
+        // Classify the hypothesis without touching the engine,
+        // mirroring `assert`/`assert_interned`. The hypothesis is
+        // borrowed — probe sweeps re-try the same hypothesis across
+        // thousands of sibling paths, and taking it by reference means
+        // the caller builds (and the session clones) each constraint
+        // tree once instead of once per solve.
+        let (wide_c, is_objeq, plan_id) = if self.hash_cons {
+            let id = self.table.intern(c);
+            let plan = self.norm_plans.entry(id).or_insert_with(|| NormPlan::build(c));
+            (plan.wide, plan.objeq, Some(id))
+        } else {
+            (constraint_is_wide(c), matches!(c, Constraint::ObjEq(..)), None)
+        };
+        self.solve_under_inner(c, wide_c, is_objeq, plan_id, None)
+    }
+
+    /// [`Session::solve_under`] with a caller-prepared hypothesis:
+    /// identical results and stats, but the per-solve classification
+    /// (and, when hash-consing, the per-solve interning) is replaced by
+    /// replaying the prepared normalization plan.
+    pub fn solve_under_prepared(&mut self, p: &PreparedConstraint) -> Result<Model, SolveError> {
+        self.solve_under_inner(&p.constraint, p.plan.wide, p.plan.objeq, None, Some(&p.plan))
+    }
+
+    fn solve_under_inner(
+        &mut self,
+        c: &Constraint,
+        wide_c: bool,
+        is_objeq: bool,
+        plan_id: Option<ConstraintId>,
+        prepared: Option<&NormPlan>,
+    ) -> Result<Model, SolveError> {
+        self.stats.pushes += 1;
+        self.stats.solves += 1;
+        self.stats.max_depth = self.stats.max_depth.max(self.scopes.len() + 1);
+        if self.wide + usize::from(wide_c) > 0 || self.wide_specs {
+            return Err(SolveError::PrecisionExceeded);
+        }
+        if self.reuse_models {
+            if let Some(m) = &self.last_model {
+                // Hypothesis first: it is one constraint and the usual
+                // reason reuse fails (a kind-probe sweep asks for a
+                // *different* kind than the cached model assigns), so
+                // checking it before the full in-scope conjunction
+                // short-circuits the common miss. Pure predicates —
+                // the reordering cannot change whether reuse fires.
+                if m.len() == self.specs.len()
+                    && check_model_parts(&self.specs, std::slice::from_ref(c), m)
+                    && check_model_parts(&self.specs, &self.constraints, m)
+                {
+                    self.stats.model_reuse += 1;
+                    self.stats.sat += 1;
+                    return Ok(m.clone());
+                }
+            }
+        }
+        if self.dirty || is_objeq {
+            // Aliasing (or an already-stale engine) rebuilds from
+            // scratch exactly as `solve` would with `c` in scope.
+            self.stats.rebuilds += 1;
+            self.constraints.push(c.clone());
+            let (result, nodes) = solve_counted(&self.specs, &self.constraints, self.limits);
+            self.constraints.pop();
+            self.stats.nodes_visited += nodes;
+            return self.record(result);
+        }
+        self.stats.propagation_reuse += 1;
+        self.ensure_synced();
+        if self.conflict {
+            return self.record(Err(SolveError::Unsat));
+        }
+        let mark = self.engine.mark();
+        let nvars = self.engine.var_count();
+        let mut scratch = self.engine.clone_store(&self.store);
+        let first_new = self.engine.ineq_count();
+        let asserted = if let Some(plan) = prepared {
+            self.engine.apply_norm(plan, &mut scratch).is_ok()
+        } else {
+            match plan_id {
+                Some(id) => {
+                    let plan = self.norm_plans.get(&id).expect("plan just cached");
+                    self.engine.apply_norm(plan, &mut scratch).is_ok()
+                }
+                None => self.engine.assert_into(c, &mut scratch).is_ok(),
+            }
+        };
+        let result = if !asserted
+            || !self.engine.check_distinct_consistency()
+            || !self.engine.propagate_new(&mut scratch, first_new)
+        {
+            self.engine.recycle_store(scratch);
+            Err(SolveError::Unsat)
+        } else {
+            self.engine.nodes_left = self.limits.max_nodes;
+            let found = self.engine.search_incremental(scratch);
+            let nodes = self.limits.max_nodes - self.engine.nodes_left;
+            self.stats.nodes_visited += nodes;
+            match found {
+                Some(model) => Ok(model),
+                None if self.engine.nodes_left == 0 => Err(SolveError::ResourceLimit),
+                None => Err(SolveError::Unsat),
+            }
+        };
+        // Both the assert's classifications and the search's
+        // Or-disjunct appendices vanish with one truncation.
+        self.engine.truncate_to(mark);
+        self.engine.truncate_vars(nvars);
+        self.record(result)
+    }
+
     /// The current scope state as a one-shot [`Problem`] (for
     /// equivalence checks and model validation).
     pub fn problem(&self) -> Problem {
@@ -423,9 +573,14 @@ impl Session {
             Ok(m) => {
                 self.stats.sat += 1;
                 // The cached model only ever feeds the reuse path; skip
-                // the per-solve clone when that path is off.
+                // the per-solve clone when that path is off, and reuse
+                // the previous cache's allocations when it is on (a
+                // probe sweep records thousands of models here).
                 if self.reuse_models {
-                    self.last_model = Some(m.clone());
+                    match &mut self.last_model {
+                        Some(slot) => slot.clone_from(m),
+                        None => self.last_model = Some(m.clone()),
+                    }
                 }
             }
             Err(SolveError::Unsat) => self.stats.unsat += 1,
@@ -570,6 +725,91 @@ mod tests {
         assert_eq!(st.pushes, 2);
         assert_eq!(st.max_depth, 2);
         assert!(st.nodes_visited >= 2);
+    }
+
+    /// Builds a pair of identically-configured sessions with a shared
+    /// prefix, runs one hypothesis through `push_assert/solve/pop` on
+    /// the first and through `solve_under` on the second, and asserts
+    /// the results, the accumulated stats, and a follow-up solve all
+    /// match exactly.
+    fn assert_solve_under_equivalent(
+        hash_cons: bool,
+        reuse_models: bool,
+        prefix: &[Constraint],
+        hypotheses: &[Constraint],
+    ) {
+        let build = |hc: bool, rm: bool| {
+            let mut s = Session::new();
+            s.set_hash_cons(hc);
+            s.set_reuse_models(rm);
+            let _ = s.add_var(VarSpec::counter(100));
+            let _ = s.add_var(VarSpec::any());
+            let _ = s.add_var(VarSpec::any());
+            s.push();
+            for c in prefix {
+                s.assert(c.clone());
+            }
+            s
+        };
+        let mut quad = build(hash_cons, reuse_models);
+        let mut batched = build(hash_cons, reuse_models);
+        for h in hypotheses {
+            quad.push_assert(h.clone());
+            let expected = quad.solve();
+            quad.pop();
+            let got = batched.solve_under(h);
+            assert_eq!(expected, got, "hc={hash_cons} rm={reuse_models} {h:?}");
+            assert_eq!(
+                quad.stats(),
+                batched.stats(),
+                "stats diverged: hc={hash_cons} rm={reuse_models} {h:?}"
+            );
+        }
+        // The sessions must be left in indistinguishable states.
+        assert_eq!(quad.solve(), batched.solve());
+        quad.pop();
+        batched.pop();
+        assert_eq!(quad.solve(), batched.solve());
+    }
+
+    #[test]
+    fn solve_under_matches_push_assert_solve_pop() {
+        let mut s = Session::new();
+        let x = s.add_var(VarSpec::counter(100));
+        let y = s.add_var(VarSpec::any());
+        drop(s);
+        let prefix = [ge(x, 5), Constraint::kind_is(y, Kind::Array)];
+        let hypotheses = [
+            ge(x, 10),
+            le(x, 2), // unsat against the prefix
+            Constraint::kind_is(y, Kind::Float), // structural conflict
+            Constraint::kind_is(y, Kind::Array), // redundant
+            Constraint::ObjEq(x, y), // forces the rebuild path
+            Constraint::Int(CmpOp::Lt, LinExpr::var(x), LinExpr::constant(1 << 60)), // wide
+            ge(x, 7),
+        ];
+        for hash_cons in [false, true] {
+            for reuse_models in [false, true] {
+                assert_solve_under_equivalent(hash_cons, reuse_models, &prefix, &hypotheses);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_under_under_dirty_scope_rebuilds_identically() {
+        // VarIds 1 and 2 are the `any()` variables of the shared
+        // builder in `assert_solve_under_equivalent`.
+        let (a, b) = (VarId(1), VarId(2));
+        // An ObjEq in the prefix leaves the session dirty; every
+        // hypothesis must rebuild exactly like the quadruple.
+        let prefix = [Constraint::ObjEq(a, b), Constraint::kind_is(a, Kind::Array)];
+        let hypotheses = [
+            Constraint::kind_is(b, Kind::Array),
+            Constraint::kind_is(b, Kind::Float), // unsat: aliased kinds
+        ];
+        for reuse_models in [false, true] {
+            assert_solve_under_equivalent(false, reuse_models, &prefix, &hypotheses);
+        }
     }
 
     #[test]
