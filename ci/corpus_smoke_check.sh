@@ -58,7 +58,7 @@ IGJIT_THREADS=1 run_table2 jobs.out "${table2[@]}" --jobs 2
 
 # Row identity across all four runs, on the printed table itself.
 rows() {
-    grep -E "Native Methods|BC Compiler|^Total" "$scratch/$1"
+    grep -E "Native Methods|BC Compiler|Meta-Compiled|meta tier coverage|^Total" "$scratch/$1"
 }
 rows baseline.out > "$scratch/baseline.rows"
 for other in cold warm jobs; do

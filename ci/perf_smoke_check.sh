@@ -7,13 +7,13 @@
 # the generated-test count means a behaviour change slipped into a
 # perf-motivated PR — exactly what this check exists to catch.
 #
-# The CI workflow appends five 1-thread records — all knobs on, heap
+# The CI workflow appends six 1-thread records — all knobs on, heap
 # snapshots off, predecode off, family sharing off, interpreter
-# predecode off — each tagged with its `knobs`. Records written before
-# the knobs tag existed are ignored whenever tagged ones are present
-# (their classification by side-effect counters was ambiguous). Beyond
-# the row totals, the check enforces the perf invariants of the
-# engine:
+# predecode off, meta tier off — each tagged with its `knobs`. Records
+# written before the knobs tag existed are ignored whenever tagged
+# ones are present (their classification by side-effect counters was
+# ambiguous). Beyond the row totals, the check enforces the perf
+# invariants of the engine:
 #
 #   * knob identity — every record in the window, whatever its knobs,
 #     must match the expected rows: neither heap snapshots, predecoded
@@ -39,13 +39,22 @@
 #   * explore sub-slices — the `walk_run` and `probe_solve` buckets
 #     re-attribute time already inside `explore` (they are excluded
 #     from the stage total), so their sum must never exceed the
-#     explore stage itself.
+#     explore stage itself;
+#   * tier-5 additivity — the meta tier must be purely additive: the
+#     tier5-off record must match the committed `tier5_off` totals
+#     (the engine-v8 table), and the tier may not add differences;
+#   * mutation kill rate — when a full-catalog mutation record
+#     (`mutants_run == 44`) is available, its kill count must stay at
+#     or above the committed floor (35/44). CI's pinned smoke set runs
+#     8 mutants, so the gate notes a skip there and bites on
+#     bench-time full-matrix records.
 #
-# Usage: ci/perf_smoke_check.sh [BENCH_table2.json] [testgen-output.txt]
+# Usage: ci/perf_smoke_check.sh [BENCH_table2.json] [testgen-output.txt] [BENCH_mutation.json]
 set -euo pipefail
 
 bench="${1:-BENCH_table2.json}"
 testgen_out="${2:-testgen.out}"
+mutation="${3:-BENCH_mutation.json}"
 expect="$(dirname "$0")/perf_expectations.json"
 
 for f in "$bench" "$testgen_out" "$expect"; do
@@ -55,12 +64,13 @@ for f in "$bench" "$testgen_out" "$expect"; do
     fi
 done
 
-python3 - "$bench" "$testgen_out" "$expect" <<'PY'
+python3 - "$bench" "$testgen_out" "$expect" "$mutation" <<'PY'
 import json
+import os
 import re
 import sys
 
-bench_path, testgen_path, expect_path = sys.argv[1:4]
+bench_path, testgen_path, expect_path, mutation_path = sys.argv[1:5]
 with open(expect_path) as f:
     expect = json.load(f)
 
@@ -95,6 +105,8 @@ if tagged:
             return "family-off"
         if not k.get("interp_predecode", True):
             return "interp-predecode-off"
+        if not k.get("tier5", True):
+            return "tier5-off"
         return "all-on"
 else:
 
@@ -110,6 +122,7 @@ rec_off = by_kind.get("snapshot-off")
 rec_pre_off = by_kind.get("predecode-off")
 rec_fam_off = by_kind.get("family-off")
 rec_interp_off = by_kind.get("interp-predecode-off")
+rec_t5_off = by_kind.get("tier5-off")
 
 with open(testgen_path) as f:
     testgen = f.read()
@@ -125,14 +138,18 @@ labelled = [
     ("predecode-off", rec_pre_off),
     ("family-off", rec_fam_off),
     ("interp-predecode-off", rec_interp_off),
+    ("tier5-off", rec_t5_off),
 ]
 for label, rec in labelled:
     if rec is None:
         continue
+    # The tier5-off run drops the fifth row, so it pins its own totals
+    # (the engine-v8 table); every other record includes the meta row.
+    want = expect["tier5_off"] if label == "tier5-off" else expect
     for key in ("tested_instructions", "interpreter_paths", "curated_paths", "differences"):
-        if rec["table2"][key] != expect[key]:
+        if rec["table2"][key] != want[key]:
             drifted.append(
-                f"{key} ({label}): expected {expect[key]}, got {rec['table2'][key]}"
+                f"{key} ({label}): expected {want[key]}, got {rec['table2'][key]}"
             )
 if all(rec is None for _, rec in labelled):
     sys.exit("perf-smoke: no usable records")
@@ -233,6 +250,26 @@ if rec_on is not None and rec_interp_off is not None:
                 f"but {rec_interp_off['table2'][key]} with it off"
             )
 
+# Tier-5 additivity: the meta tier appends one row and changes nothing
+# else, so the rows shared by both configurations must agree — the
+# tier5-off totals can never exceed the all-on totals, and the meta
+# row must contribute zero differences (a compiler partially evaluated
+# out of the interpreter agrees with the interpreter by construction).
+if rec_on is not None and rec_t5_off is not None:
+    for key in ("tested_instructions", "interpreter_paths", "curated_paths"):
+        if rec_t5_off["table2"][key] > rec_on["table2"][key]:
+            sys.exit(
+                "perf-smoke: tier5-off totals exceed the all-on totals: "
+                f"{key} is {rec_t5_off['table2'][key]} without the meta row "
+                f"but {rec_on['table2'][key]} with it"
+            )
+    if rec_on["table2"]["differences"] != rec_t5_off["table2"]["differences"]:
+        sys.exit(
+            "perf-smoke: the meta tier changed the difference count: "
+            f"{rec_on['table2']['differences']} with tier 5 on "
+            f"vs {rec_t5_off['table2']['differences']} with it off"
+        )
+
 # Explore sub-slices: walk_run + probe_solve re-attribute explore
 # time, so their sum can never exceed the explore stage itself (5%
 # slack for timer quantization across many short paths).
@@ -264,7 +301,43 @@ if (
             f"{explore_ms:.1f} ms > {explore_budget:.1f} ms at 1 thread"
         )
 
-rec = rec_on or rec_off or rec_pre_off or rec_fam_off or rec_interp_off
+# Mutation kill-rate trajectory: the harness's bug-finding power over
+# the full 44-mutant catalog must not regress below the committed
+# floor. Only full-catalog records are meaningful — CI's pinned smoke
+# set runs 8 mutants and has its own per-verdict check
+# (ci/mutation_smoke_check.sh) — so the gate bites on bench-time
+# full-matrix records and notes a skip otherwise.
+kill_floor = expect.get("mutation_kill_floor")
+full_catalog = expect.get("mutation_full_catalog", 44)
+if kill_floor is not None:
+    if not os.path.exists(mutation_path):
+        print(
+            f"perf-smoke: no {mutation_path} — mutation kill-rate gate skipped"
+        )
+    else:
+        with open(mutation_path) as f:
+            mrecords = [json.loads(line) for line in f if line.strip()]
+        full = [rec for rec in mrecords if rec.get("mutants_run") == full_catalog]
+        if not full:
+            print(
+                "perf-smoke: no full-catalog mutation record "
+                f"(mutants_run == {full_catalog}) in {mutation_path} — "
+                "kill-rate gate skipped (CI's pinned smoke set runs 8)"
+            )
+        else:
+            rec_m = full[-1]
+            killed = sum(1 for m in rec_m.get("mutants", []) if m.get("killed"))
+            if killed < kill_floor:
+                sys.exit(
+                    "perf-smoke: mutation kill rate regressed: "
+                    f"{killed}/{full_catalog} killed, expected >= {kill_floor}"
+                )
+            print(
+                f"perf-smoke: mutation kill rate {killed}/{full_catalog} "
+                f"(floor {kill_floor})"
+            )
+
+rec = rec_on or rec_off or rec_pre_off or rec_fam_off or rec_interp_off or rec_t5_off
 metrics = rec["metrics"]
 stages = metrics["stages_ms"]
 speedup = f", materialize speedup {ratio:.2f}x" if ratio is not None else ""

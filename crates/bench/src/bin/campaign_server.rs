@@ -25,9 +25,16 @@
 //! probing on); only the worker-thread count is per-request. Mutant
 //! arming is refused — a fault-injected serve process would hand out
 //! poisoned verdicts long after the operator forgot the env var.
+//!
+//! The socket mode accepts concurrent connections, but the campaign
+//! itself is single-occupancy: while one client's request stream holds
+//! it, any other connection is answered immediately with one
+//! `{"ok":false,"event":"busy"}` line and closed, instead of hanging
+//! silently in the accept queue until the first client disconnects.
 
 use std::io::{BufRead, BufReader, Write};
 use std::path::PathBuf;
+use std::sync::{Arc, Mutex, TryLockError};
 
 use igjit::{aggregate_metrics, Campaign};
 use igjit_bench::paper_config;
@@ -44,7 +51,8 @@ fn usage() -> ! {
          Serves differential-testing sweeps over JSON-Lines requests\n\
          ({{\"cmd\":\"ping\"|\"run\"|\"quit\"}}, optional \"threads\":N on run),\n\
          sharing the exploration/code caches and the corpus overlay\n\
-         across requests.\n\
+         across requests. One connection is served at a time; extra\n\
+         clients get {{\"ok\":false,\"event\":\"busy\"}} and are closed.\n\
          \n\
          options:\n\
          \x20 --socket PATH  listen on a unix socket instead of stdin\n\
@@ -53,7 +61,7 @@ fn usage() -> ! {
          \n\
          environment: IGJIT_THREADS, IGJIT_CODE_CACHE, IGJIT_HEAP_SNAPSHOT,\n\
          IGJIT_PREDECODE, IGJIT_INTERP_PREDECODE, IGJIT_HASH_CONS, IGJIT_FAMILY_SHARE,\n\
-         IGJIT_NEGATE_THREADS, IGJIT_CORPUS (IGJIT_MUTANT is refused)"
+         IGJIT_TIER5, IGJIT_NEGATE_THREADS, IGJIT_CORPUS (IGJIT_MUTANT is refused)"
     );
     std::process::exit(2);
 }
@@ -241,28 +249,54 @@ fn main() {
                 }
             };
             eprintln!("campaign_server: listening on {}", path.display());
-            for stream in listener.incoming() {
-                let stream = match stream {
-                    Ok(s) => s,
-                    Err(e) => {
-                        eprintln!("accept failed: {e}");
-                        continue;
-                    }
-                };
-                let reader = match stream.try_clone() {
-                    Ok(r) => r,
-                    Err(e) => {
-                        eprintln!("clone failed: {e}");
-                        continue;
-                    }
-                };
-                let mut writer = stream;
-                match serve_stream(&mut campaign, reader, &mut writer) {
-                    Ok(true) => {}
-                    Ok(false) => break,
-                    Err(e) => eprintln!("connection error: {e}"),
+            // One connection owns the campaign at a time; extra
+            // clients get an explicit busy line from their own thread
+            // instead of hanging unanswered in the accept queue.
+            let campaign = Arc::new(Mutex::new(campaign));
+            std::thread::scope(|scope| {
+                for stream in listener.incoming() {
+                    let stream = match stream {
+                        Ok(s) => s,
+                        Err(e) => {
+                            eprintln!("accept failed: {e}");
+                            continue;
+                        }
+                    };
+                    let campaign = Arc::clone(&campaign);
+                    scope.spawn(move || {
+                        let reader = match stream.try_clone() {
+                            Ok(r) => r,
+                            Err(e) => {
+                                eprintln!("clone failed: {e}");
+                                return;
+                            }
+                        };
+                        let mut writer = stream;
+                        let mut guard = match campaign.try_lock() {
+                            Ok(g) => g,
+                            Err(TryLockError::WouldBlock) => {
+                                let _ = writeln!(writer, "{{\"ok\":false,\"event\":\"busy\"}}");
+                                let _ = writer.flush();
+                                return;
+                            }
+                            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+                        };
+                        match serve_stream(&mut guard, reader, &mut writer) {
+                            Ok(true) => {}
+                            Ok(false) => {
+                                // `quit` stops the whole server. The
+                                // accept loop is blocked in `incoming`,
+                                // so exit here — after the socket file
+                                // is gone and the response is flushed.
+                                drop(guard);
+                                let _ = std::fs::remove_file(path);
+                                std::process::exit(0);
+                            }
+                            Err(e) => eprintln!("connection error: {e}"),
+                        }
+                    });
                 }
-            }
+            });
             let _ = std::fs::remove_file(path);
         }
     }

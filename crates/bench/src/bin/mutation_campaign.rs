@@ -651,6 +651,7 @@ fn main() {
         // mutant would need its own file, and the kill verdicts must
         // never replay from a stale arming state).
         corpus: None,
+        meta_tier: knobs.tier5_enabled(),
     };
     if let Some(baseline_path) = &args.worker_baseline {
         if let Err(e) = run_worker(baseline_path, &config) {

@@ -1,6 +1,7 @@
-//! Regenerates Table 2 of the paper: for each of the four compilers,
-//! the number of tested instructions, interpreter paths, curated paths
-//! and differences.
+//! Regenerates Table 2 of the paper: for each compiler tier (the
+//! paper's four plus, since engine v9, the meta-compiled tier derived
+//! from the interpreter), the number of tested instructions,
+//! interpreter paths, curated paths and differences.
 //!
 //! Observability: renders a live per-row progress line on stderr,
 //! writes `table2.metrics.json` (per-stage wall-clock, cache hit
@@ -37,7 +38,7 @@ use igjit_bench::{
     with_live_progress, write_metrics_json,
 };
 
-const MANIFEST_HEADER: &str = "igjit-table2-manifest v1";
+const MANIFEST_HEADER: &str = "igjit-table2-manifest v2";
 
 struct Args {
     jobs: Option<usize>,
@@ -51,8 +52,10 @@ fn usage() -> ! {
     eprintln!(
         "usage: table2 [--jobs N] [--corpus PATH]\n\
          \n\
-         Regenerates Table 2 (four compiler rows over the whole\n\
-         instruction catalog, both ISAs, kind probing on).\n\
+         Regenerates Table 2 (the four compiler rows plus the\n\
+         meta-compiled tier over the whole instruction catalog,\n\
+         both ISAs, kind probing on; IGJIT_TIER5=0 drops the fifth\n\
+         row without changing the other four).\n\
          \n\
          options:\n\
          \x20 --jobs N       shard the catalog over N worker processes\n\
@@ -66,7 +69,8 @@ fn usage() -> ! {
          \n\
          environment: IGJIT_THREADS, IGJIT_CODE_CACHE, IGJIT_HEAP_SNAPSHOT,\n\
          IGJIT_PREDECODE, IGJIT_INTERP_PREDECODE, IGJIT_HASH_CONS, IGJIT_FAMILY_SHARE,\n\
-         IGJIT_NEGATE_THREADS, IGJIT_MUTANT, IGJIT_CORPUS, IGJIT_CAMPAIGN_JOBS"
+         IGJIT_TIER5, IGJIT_NEGATE_THREADS, IGJIT_MUTANT, IGJIT_CORPUS,\n\
+         IGJIT_CAMPAIGN_JOBS"
     );
     std::process::exit(2);
 }
@@ -123,9 +127,11 @@ fn parse_args() -> Args {
 }
 
 /// Writes the campaign's work list in `run_all` order — every native
-/// method, then the whole instruction catalog per bytecode tier. This
-/// order is the sharding contract between parent and workers.
-fn write_manifest(path: &Path) -> std::io::Result<()> {
+/// method, then the whole instruction catalog per bytecode tier, then
+/// (when the meta tier is on) the catalog once more against the
+/// meta-compiled tier. This order is the sharding contract between
+/// parent and workers.
+fn write_manifest(path: &Path, meta_tier: bool) -> std::io::Result<()> {
     let mut out = String::from(MANIFEST_HEADER);
     out.push('\n');
     for spec in native_catalog() {
@@ -134,6 +140,11 @@ fn write_manifest(path: &Path) -> std::io::Result<()> {
     for tier in 0..CompilerKind::ALL.len() {
         for spec in instruction_catalog() {
             out.push_str(&format!("bc {tier} {}\n", spec.opcode));
+        }
+    }
+    if meta_tier {
+        for spec in instruction_catalog() {
+            out.push_str(&format!("meta {}\n", spec.opcode));
         }
     }
     std::fs::write(path, out)
@@ -164,6 +175,11 @@ fn parse_manifest(path: &Path) -> Result<Vec<(Target, InstrUnderTest)>, String> 
                 let opcode = opcode.parse::<u8>().map_err(|_| bad())?;
                 let instr = *by_opcode.get(&opcode).ok_or_else(bad)?;
                 items.push((Target::Bytecode(kind), InstrUnderTest::Bytecode(instr)));
+            }
+            ["meta", opcode] => {
+                let opcode = opcode.parse::<u8>().map_err(|_| bad())?;
+                let instr = *by_opcode.get(&opcode).ok_or_else(bad)?;
+                items.push((Target::MetaCompiled, InstrUnderTest::Bytecode(instr)));
             }
             _ => return Err(bad()),
         }
@@ -206,7 +222,8 @@ fn run_sharded(campaign: &mut Campaign, jobs: usize) -> Result<(), String> {
     let dir = std::env::temp_dir().join(format!("igjit-table2-{}", std::process::id()));
     std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
     let manifest = dir.join("manifest.txt");
-    write_manifest(&manifest).map_err(|e| format!("{}: {e}", manifest.display()))?;
+    write_manifest(&manifest, campaign.config().meta_tier)
+        .map_err(|e| format!("{}: {e}", manifest.display()))?;
     let shard_paths: Vec<PathBuf> =
         (0..jobs).map(|i| dir.join(format!("shard-{i}.corpus"))).collect();
     let mut children = Vec::new();
@@ -294,14 +311,18 @@ fn main() {
     }
     let campaign = with_live_progress(campaign);
     eprintln!(
-        "running the native-method and three bytecode campaigns \
+        "running the native-method and three bytecode campaigns{} \
          (both ISAs, probing on, {} thread(s), code cache {}, heap snapshots {})…",
+        if campaign.config().meta_tier { " plus the meta tier" } else { "" },
         campaign.config().threads,
         if campaign.config().code_cache { "on" } else { "off" },
         if campaign.config().heap_snapshot { "on" } else { "off" },
     );
     let reports = campaign.run_all();
-    println!("\nTable 2: results running the approach on four different compilers\n");
+    println!(
+        "\nTable 2: results running the approach on {} different compilers\n",
+        if campaign.config().meta_tier { "five" } else { "four" }
+    );
     print_table2(&reports);
     print_metrics_summary(&aggregate_metrics(&reports));
     write_metrics_json("table2.metrics.json", &reports);

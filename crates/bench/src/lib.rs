@@ -73,6 +73,14 @@ pub fn family_share_enabled() -> bool {
     env_knobs().family_share_enabled()
 }
 
+/// Whether the meta-compiled tier (#5, engine v9) runs as a fifth
+/// Table 2 row: the `IGJIT_TIER5` environment variable, default on.
+/// Tiers 1–4 rows are byte-identical either way. Malformed values are
+/// fatal.
+pub fn tier5_enabled() -> bool {
+    env_knobs().tier5_enabled()
+}
+
 /// Worker threads for intra-instruction path negation: the
 /// `IGJIT_NEGATE_THREADS` environment variable, default 1
 /// (sequential). Malformed values are fatal.
@@ -138,6 +146,7 @@ pub fn paper_config() -> CampaignConfig {
         family_share: family_share_enabled(),
         negate_threads: negate_threads(),
         corpus: corpus_path(),
+        meta_tier: tier5_enabled(),
     }
 }
 
@@ -192,7 +201,7 @@ pub fn append_bench_json(path: &str, reports: &[CampaignReport]) {
             "{{\"epoch_s\":{},",
             "\"knobs\":{{\"code_cache\":{},\"heap_snapshot\":{},\"predecode\":{},",
             "\"interp_predecode\":{},",
-            "\"hash_cons\":{},\"family_share\":{},\"corpus\":{}}},",
+            "\"hash_cons\":{},\"family_share\":{},\"tier5\":{},\"corpus\":{}}},",
             "\"metrics\":{},",
             "\"table2\":{{\"tested_instructions\":{},\"interpreter_paths\":{},",
             "\"curated_paths\":{},\"differences\":{}}}}}\n"
@@ -204,6 +213,7 @@ pub fn append_bench_json(path: &str, reports: &[CampaignReport]) {
         knobs.interp_predecode_enabled(),
         knobs.hash_cons_enabled(),
         knobs.family_share_enabled(),
+        knobs.tier5_enabled(),
         knobs.corpus.is_some(),
         total.to_json(),
         row.tested_instructions,
@@ -226,13 +236,15 @@ pub fn append_bench_json(path: &str, reports: &[CampaignReport]) {
 pub fn print_metrics_summary(total: &Metrics) {
     println!(
         "\n{} instructions on {} thread(s) in {:.2}s wall clock \
-         (explore {:.2}s, materialize {:.2}s, compile {:.2}s, simulate {:.2}s, compare {:.2}s)",
+         (explore {:.2}s, materialize {:.2}s, compile {:.2}s, meta-compile {:.2}s, \
+         simulate {:.2}s, compare {:.2}s)",
         total.instructions,
         total.threads,
         total.wall_clock.as_secs_f64(),
         total.stages.explore.as_secs_f64(),
         total.stages.materialize.as_secs_f64(),
         total.stages.compile.as_secs_f64(),
+        total.stages.meta_compile.as_secs_f64(),
         total.stages.simulate.as_secs_f64(),
         total.stages.compare.as_secs_f64(),
     );
@@ -308,6 +320,19 @@ pub fn print_table2(reports: &[CampaignReport]) {
         total.interpreter_paths += r.row.interpreter_paths;
         total.curated_paths += r.row.curated_paths;
         total.differences += r.row.differences;
+    }
+    for r in reports {
+        if r.row.meta_compiled_runs + r.row.meta_trampolines > 0 {
+            println!(
+                "meta tier coverage: {}/{} instructions fully meta-compiled ({:.1}%), \
+                 {} compiled runs / {} trampolined runs",
+                r.row.meta_full_instructions,
+                r.row.tested_instructions,
+                100.0 * r.row.meta_coverage(),
+                r.row.meta_compiled_runs,
+                r.row.meta_trampolines,
+            );
+        }
     }
     println!(
         "{:<34} {:>8} {:>8} {:>8} {:>10} ({:.2}%)",

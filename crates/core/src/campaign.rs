@@ -37,6 +37,7 @@ use igjit_difftest::{
 use igjit_interp::{native_catalog, NativeMethodId};
 use igjit_jit::{CodeCache, CompilerKind};
 use igjit_machine::Isa;
+use igjit_metajit::MetaCache;
 use igjit_solver::SessionStats;
 
 /// Campaign knobs.
@@ -102,6 +103,13 @@ pub struct CampaignConfig {
     /// Any mismatch, truncation or version skew degrades to a cold
     /// run — never an error, never a row change.
     pub corpus: Option<PathBuf>,
+    /// Whether the meta-compiled tier (#5, engine v9) runs as a fifth
+    /// Table 2 row: a partial evaluator over the interpreter's step
+    /// functions compiles each (instruction, frame) pair to CogRTL,
+    /// with an interpreter trampoline for refused pairs. The tier is
+    /// purely additive — the rows for tiers 1–4 are byte-identical
+    /// whether it is on or off (`tests/engine_v9_meta_tier.rs`).
+    pub meta_tier: bool,
 }
 
 impl Default for CampaignConfig {
@@ -118,6 +126,7 @@ impl Default for CampaignConfig {
             family_share: true,
             negate_threads: 1,
             corpus: None,
+            meta_tier: true,
         }
     }
 }
@@ -252,7 +261,8 @@ impl Metrics {
             format!(
                 concat!(
                     "{{\"explore\":{:.3},\"materialize\":{:.3},",
-                    "\"compile\":{:.3},\"simulate\":{:.3},\"compare\":{:.3},",
+                    "\"compile\":{:.3},\"meta_compile\":{:.3},",
+                    "\"simulate\":{:.3},\"compare\":{:.3},",
                     "\"setup\":{:.3},\"decode\":{:.3},\"hash\":{:.3},",
                     "\"report\":{:.3},\"progress\":{:.3},\"other\":{:.3},",
                     "\"walk_run\":{:.3},\"probe_solve\":{:.3},",
@@ -261,6 +271,7 @@ impl Metrics {
                 ms(s.explore),
                 ms(s.materialize),
                 ms(s.compile),
+                ms(s.meta_compile),
                 ms(s.simulate),
                 ms(s.compare),
                 ms(s.setup),
@@ -337,6 +348,7 @@ pub struct Campaign {
     config: CampaignConfig,
     cache: Arc<ExplorationCache>,
     code_cache: Arc<CodeCache>,
+    meta_cache: Arc<MetaCache>,
     on_progress: Option<ProgressCallback>,
     corpus: Option<Arc<CorpusState>>,
 }
@@ -410,6 +422,7 @@ impl std::fmt::Debug for Campaign {
             .field("config", &self.config)
             .field("cache_entries", &self.cache.len())
             .field("code_cache_entries", &self.code_cache.len())
+            .field("meta_cache_entries", &self.meta_cache.len())
             .field("on_progress", &self.on_progress.is_some())
             .finish()
     }
@@ -494,7 +507,11 @@ impl Campaign {
     ) -> Campaign {
         let code_cache = Arc::new(CodeCache::with_enabled(config.code_cache));
         let corpus = attach_corpus(&config, &cache, &code_cache);
-        Campaign { config, cache, code_cache, on_progress: None, corpus }
+        // Like the code cache, the meta cache is fresh per campaign:
+        // meta artifacts are lowered through the (mutable-by-fault-
+        // injection) backend, so they must never outlive an arming.
+        let meta_cache = Arc::new(MetaCache::new());
+        Campaign { config, cache, code_cache, meta_cache, on_progress: None, corpus }
     }
 
     /// A fast configuration for doctests and examples: one ISA, no
@@ -527,6 +544,12 @@ impl Campaign {
     /// The compiled-code cache shared by every run of this campaign.
     pub fn code_cache(&self) -> &CodeCache {
         &self.code_cache
+    }
+
+    /// The meta-artifact cache shared by every run of this campaign
+    /// (fresh per campaign — see [`Campaign::with_exploration_cache`]).
+    pub fn meta_cache(&self) -> &MetaCache {
+        &self.meta_cache
     }
 
     /// Load statistics of the configured corpus file, when one is
@@ -617,6 +640,9 @@ impl Campaign {
         let t0 = Instant::now();
         // Warm path: a corpus outcome replays verbatim — no explore,
         // no compile, no simulation. The lookup cost lands in `other`.
+        // Meta-tier outcomes participate like any other target's: the
+        // corpus outcome fingerprint mixes in the partial evaluator's
+        // source hash, so a stale evaluator degrades to a cold run.
         if let Some(state) = &self.corpus {
             if let Some(outcome) = state.lookup(target, instr) {
                 let elapsed = t0.elapsed();
@@ -652,6 +678,7 @@ impl Campaign {
                 probe_solve: lookup.probe_solve,
             },
             &self.code_cache,
+            &self.meta_cache,
             self.config.heap_snapshot,
             self.config.predecode,
             self.config.interp_predecode,
@@ -856,15 +883,40 @@ impl Campaign {
         self.run_batch(kind.name().to_string(), items)
     }
 
-    /// The full Table 2: native methods plus the three bytecode tiers.
+    /// Runs the meta-compiled row of Table 2 (tier 5, engine v9): the
+    /// whole instruction catalog against the partial evaluator derived
+    /// from the interpreter's step functions. Pairs the evaluator
+    /// refuses trampoline through the interpreter, so the row is total;
+    /// [`CampaignRow::meta_coverage`] reports the compiled fraction.
+    pub fn run_meta_compiled(&self) -> CampaignReport {
+        let items = instruction_catalog()
+            .into_iter()
+            .map(|spec| {
+                (
+                    format!("{:?}", spec.instruction),
+                    false,
+                    InstrUnderTest::Bytecode(spec.instruction),
+                    Target::MetaCompiled,
+                )
+            })
+            .collect();
+        self.run_batch(Target::MetaCompiled.label().to_string(), items)
+    }
+
+    /// The full Table 2: native methods, the three bytecode tiers and
+    /// (unless [`CampaignConfig::meta_tier`] is off) the meta-compiled
+    /// tier.
     ///
     /// Thanks to the shared exploration cache, each bytecode
     /// instruction is explored once for the first tier and reused by
-    /// the other two.
+    /// the others.
     pub fn run_all(&self) -> Vec<CampaignReport> {
         let mut reports = vec![self.run_native_methods()];
         for kind in CompilerKind::ALL {
             reports.push(self.run_bytecodes(kind));
+        }
+        if self.config.meta_tier {
+            reports.push(self.run_meta_compiled());
         }
         reports
     }

@@ -21,6 +21,7 @@ pub const KNOWN_VARS: &[&str] = &[
     "IGJIT_INTERP_PREDECODE",
     "IGJIT_HASH_CONS",
     "IGJIT_FAMILY_SHARE",
+    "IGJIT_TIER5",
     "IGJIT_NEGATE_THREADS",
     "IGJIT_MUTANT",
     "IGJIT_CORPUS",
@@ -54,6 +55,10 @@ pub struct EnvKnobs {
     /// family is replayed for every member instead of exploring each
     /// opcode from scratch.
     pub family_share: Option<bool>,
+    /// `IGJIT_TIER5`: whether the meta-compiled tier (#5, engine v9)
+    /// runs as a fifth Table 2 row. Tiers 1–4 rows are byte-identical
+    /// either way.
+    pub tier5: Option<bool>,
     /// `IGJIT_NEGATE_THREADS`: threads negating sibling subtrees of
     /// one instruction's path tree in parallel (1 = sequential).
     pub negate_threads: Option<usize>,
@@ -104,6 +109,11 @@ impl EnvKnobs {
     /// Family-shared exploration: the knob, default on.
     pub fn family_share_enabled(&self) -> bool {
         self.family_share.unwrap_or(true)
+    }
+
+    /// Meta-compiled tier: the knob, default on.
+    pub fn tier5_enabled(&self) -> bool {
+        self.tier5.unwrap_or(true)
     }
 
     /// Parallel path negation: the knob, default 1 (sequential).
@@ -171,6 +181,7 @@ pub fn parse_vars(
             "IGJIT_FAMILY_SHARE" => {
                 knobs.family_share = Some(parse_bool("IGJIT_FAMILY_SHARE", value)?)
             }
+            "IGJIT_TIER5" => knobs.tier5 = Some(parse_bool("IGJIT_TIER5", value)?),
             "IGJIT_NEGATE_THREADS" => {
                 knobs.negate_threads = Some(match value.parse::<usize>() {
                     Ok(n) if n >= 1 => n,
@@ -237,6 +248,7 @@ mod tests {
         assert!(k.interp_predecode_enabled());
         assert!(k.hash_cons_enabled(), "hash-consing is back on by default since engine v8");
         assert!(k.family_share_enabled());
+        assert!(k.tier5_enabled(), "the meta tier is on by default (engine v9)");
         assert_eq!(k.negate_threads_or_default(), 1);
         assert_eq!(k.campaign_jobs_or_default(), 1);
         assert!(k.threads_or_default() >= 1);
@@ -254,6 +266,7 @@ mod tests {
             ("IGJIT_INTERP_PREDECODE", "off"),
             ("IGJIT_HASH_CONS", "off"),
             ("IGJIT_FAMILY_SHARE", "0"),
+            ("IGJIT_TIER5", "off"),
             ("IGJIT_NEGATE_THREADS", "4"),
             ("IGJIT_MUTANT", "flip-compare-cond"),
             ("IGJIT_CORPUS", "bench/campaign.corpus"),
@@ -269,6 +282,8 @@ mod tests {
         assert!(!k.interp_predecode_enabled());
         assert!(!k.hash_cons_enabled());
         assert!(!k.family_share_enabled());
+        assert_eq!(k.tier5, Some(false));
+        assert!(!k.tier5_enabled());
         assert_eq!(k.negate_threads_or_default(), 4);
         assert_eq!(k.mutant, Some(igjit_mutate::ops::FLIP_COMPARE_COND));
         assert_eq!(k.corpus.as_deref(), Some(std::path::Path::new("bench/campaign.corpus")));
@@ -300,6 +315,45 @@ mod tests {
         assert!(parse_vars(vars(&[("IGJIT_CORPUS", "")])).is_err());
         assert!(parse_vars(vars(&[("IGJIT_CAMPAIGN_JOBS", "0")])).is_err());
         assert!(parse_vars(vars(&[("IGJIT_CAMPAIGN_JOBS", "two")])).is_err());
+    }
+
+    #[test]
+    fn every_boolean_knob_rejects_garbage_and_names_itself() {
+        // The strict-parse contract, table-driven over every boolean
+        // knob: near-miss spellings ("yess"), stray numerals and empty
+        // values are fatal, and the error names the offending variable
+        // so the fix is obvious from the message alone.
+        const BOOL_KNOBS: &[&str] = &[
+            "IGJIT_CODE_CACHE",
+            "IGJIT_HEAP_SNAPSHOT",
+            "IGJIT_PREDECODE",
+            "IGJIT_INTERP_PREDECODE",
+            "IGJIT_HASH_CONS",
+            "IGJIT_FAMILY_SHARE",
+            "IGJIT_TIER5",
+        ];
+        for name in BOOL_KNOBS {
+            assert!(KNOWN_VARS.contains(name), "{name} missing from KNOWN_VARS");
+            for bad in ["yess", "2", "enabled", ""] {
+                let err = parse_vars(vars(&[(name, bad)]))
+                    .expect_err(&format!("{name}={bad:?} must be rejected"));
+                assert!(err.contains(name), "error must name {name}: {err}");
+            }
+            for (good, want) in [("yes", true), ("OFF", false)] {
+                let k = parse_vars(vars(&[(name, good)])).unwrap();
+                let parsed = match *name {
+                    "IGJIT_CODE_CACHE" => k.code_cache,
+                    "IGJIT_HEAP_SNAPSHOT" => k.heap_snapshot,
+                    "IGJIT_PREDECODE" => k.predecode,
+                    "IGJIT_INTERP_PREDECODE" => k.interp_predecode,
+                    "IGJIT_HASH_CONS" => k.hash_cons,
+                    "IGJIT_FAMILY_SHARE" => k.family_share,
+                    "IGJIT_TIER5" => k.tier5,
+                    _ => unreachable!(),
+                };
+                assert_eq!(parsed, Some(want), "{name}={good}");
+            }
+        }
     }
 
     #[test]

@@ -70,9 +70,22 @@ impl GeneratedTest {
         let mat = igjit_concolic::materialize_frame(&mut st, &self.model, &mut mem);
         let frame = igjit_difftest::concrete_frame(&mat.frame);
         let kind = match self.target {
-            Target::NativeMethods => None,
+            Target::NativeMethods | Target::MetaCompiled => None,
             Target::Bytecode(k) => Some(k),
         };
+        if self.target == Target::MetaCompiled {
+            // The meta tier replays through its own runner (partial
+            // evaluation + trampoline fallback); totality means this
+            // never refuses.
+            let (compiled, compiled_mem, _counts) = igjit_difftest::run_meta_for_instr(
+                self.isa, self.instruction, &frame, mem, true,
+            );
+            return match compare_runs(&interp_exit, &interp_mem, &compiled, &compiled_mem, &var_oops)
+            {
+                Verdict::Agree => TestResult::Pass,
+                Verdict::Difference(d) => TestResult::Fail(d.detail),
+            };
+        }
         let (compiled, compiled_mem): (CompiledRun, ObjectMemory) = match self.instruction {
             InstrUnderTest::Bytecode(i) => igjit_difftest::run_compiled_bytecode(
                 kind.expect("bytecode test has a tier"),
@@ -148,6 +161,7 @@ impl GeneratedSuite {
         let tier = match target {
             Target::NativeMethods => "template".to_string(),
             Target::Bytecode(k) => format!("{k:?}"),
+            Target::MetaCompiled => "Meta".to_string(),
         };
         for (pi, path) in exploration.curated_paths().iter().enumerate() {
             let exit = path

@@ -861,12 +861,14 @@ impl Wire for Target {
                 e.u8(1);
                 k.enc(e);
             }
+            Target::MetaCompiled => e.u8(2),
         }
     }
     fn dec(d: &mut Decoder<'_>) -> Result<Self, WireError> {
         Ok(match d.u8()? {
             0 => Target::NativeMethods,
             1 => Target::Bytecode(CompilerKind::dec(d)?),
+            2 => Target::MetaCompiled,
             _ => return Err(WireError::BadTag("Target")),
         })
     }
@@ -1019,6 +1021,8 @@ impl Wire for InstructionOutcome {
         e.usize(self.witness_errors);
         e.usize(self.oracle_panics);
         self.snapshot.enc(e);
+        e.usize(self.meta_compiled_runs);
+        e.usize(self.meta_trampolines);
     }
     fn dec(d: &mut Decoder<'_>) -> Result<Self, WireError> {
         Ok(InstructionOutcome {
@@ -1031,6 +1035,8 @@ impl Wire for InstructionOutcome {
             witness_errors: d.usize()?,
             oracle_panics: d.usize()?,
             snapshot: SnapshotStats::dec(d)?,
+            meta_compiled_runs: d.usize()?,
+            meta_trampolines: d.usize()?,
         })
     }
 }

@@ -33,8 +33,10 @@ use std::path::Path;
 
 /// File magic.
 pub const MAGIC: [u8; 4] = *b"IGJC";
-/// Format version; any skew degrades to cold.
-pub const VERSION: u16 = 1;
+/// Format version; any skew degrades to cold. v2: engine v9 adds the
+/// meta tier (`Target::MetaCompiled` wire tag 2, meta run counters on
+/// `InstructionOutcome`).
+pub const VERSION: u16 = 2;
 
 const TAG_EXPLORATIONS: u8 = 1;
 const TAG_CODE: u8 = 2;

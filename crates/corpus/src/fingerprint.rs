@@ -14,8 +14,10 @@
 //!   the mutation layer (its catalog changes what an armed mutant
 //!   compiles to) plus the *runtime* mutant-arming state.
 //! - **outcomes** — everything: both fingerprints above, plus the
-//!   machine simulator and the differential-test driver, plus the ISA
-//!   list, since a stored verdict bakes all of them in.
+//!   machine simulator, the differential-test driver and the partial
+//!   evaluator behind the meta tier (its outcomes are stored like any
+//!   other target's, so a stale evaluator must invalidate them), plus
+//!   the ISA list, since a stored verdict bakes all of them in.
 //!
 //! This is deliberately finer than "hash the whole binary": editing
 //! the JIT invalidates code artifacts and outcomes but leaves the
@@ -82,6 +84,7 @@ pub fn fingerprints(probes: bool, isas: &[Isa]) -> Fingerprints {
     outcomes = fnv_mix(outcomes, code);
     outcomes = fnv_mix(outcomes, igjit_machine::srcid::SOURCE_FINGERPRINT);
     outcomes = fnv_mix(outcomes, igjit_difftest::srcid::SOURCE_FINGERPRINT);
+    outcomes = fnv_mix(outcomes, igjit_metajit::srcid::SOURCE_FINGERPRINT);
     outcomes = fnv_mix(outcomes, isas.len() as u64);
     for isa in isas {
         outcomes = fnv_mix(

@@ -15,6 +15,8 @@ use igjit_solver::{Model, SessionStats, VarId};
 use crate::classify::{classify, CauseKey};
 use crate::compare::{compare_runs, Difference, Verdict};
 use crate::compiled::{run_compiled_for_instr_timed, RunCtx};
+use crate::meta::{run_meta_for_instr_timed, MetaRunCounts};
+use igjit_metajit::MetaCache;
 use crate::oracle::{concrete_frame, run_oracle_on_with, run_oracle_with, EngineExit};
 use igjit_concolic::probe_models_with_stats;
 
@@ -25,6 +27,11 @@ pub enum Target {
     NativeMethods,
     /// One of the three bytecode tiers.
     Bytecode(CompilerKind),
+    /// The meta-compiled tier (#5): bytecodes compiled by partially
+    /// evaluating the interpreter's own step functions
+    /// (`igjit-metajit`), with an interpreter trampoline for whatever
+    /// the evaluator refuses.
+    MetaCompiled,
 }
 
 impl Target {
@@ -33,12 +40,13 @@ impl Target {
         match self {
             Target::NativeMethods => "Native Methods (primitives)",
             Target::Bytecode(k) => k.name(),
+            Target::MetaCompiled => "Meta-Compiled (tier 5)",
         }
     }
 
     fn compiler_kind(self) -> Option<CompilerKind> {
         match self {
-            Target::NativeMethods => None,
+            Target::NativeMethods | Target::MetaCompiled => None,
             Target::Bytecode(k) => Some(k),
         }
     }
@@ -92,6 +100,11 @@ pub struct InstructionOutcome {
     /// Seal/restore accounting of the copy-on-write heap replay (all
     /// zero when the snapshot layer is disabled).
     pub snapshot: SnapshotStats,
+    /// Runs executed as meta-compiled machine code (always zero for
+    /// targets other than [`Target::MetaCompiled`]).
+    pub meta_compiled_runs: usize,
+    /// Runs the meta tier routed through the interpreter trampoline.
+    pub meta_trampolines: usize,
 }
 
 /// Seal/restore accounting for the copy-on-write heap replay.
@@ -163,6 +176,13 @@ pub struct CampaignRow {
     pub curated_paths: usize,
     /// Paths showing differences.
     pub differences: usize,
+    /// Meta-tier runs executed as machine code (zero on other rows).
+    pub meta_compiled_runs: usize,
+    /// Meta-tier runs that fell back to the interpreter trampoline.
+    pub meta_trampolines: usize,
+    /// Instructions every one of whose runs was meta-compiled (the
+    /// coverage numerator; `tested_instructions` is the denominator).
+    pub meta_full_instructions: usize,
 }
 
 impl CampaignRow {
@@ -182,6 +202,21 @@ impl CampaignRow {
         self.interpreter_paths += outcome.paths_found;
         self.curated_paths += outcome.curated;
         self.differences += outcome.difference_count();
+        self.meta_compiled_runs += outcome.meta_compiled_runs;
+        self.meta_trampolines += outcome.meta_trampolines;
+        if outcome.meta_compiled_runs > 0 && outcome.meta_trampolines == 0 {
+            self.meta_full_instructions += 1;
+        }
+    }
+
+    /// Fraction of tested instructions the meta tier compiled on every
+    /// run (0 when the row tested nothing or is not the meta row).
+    pub fn meta_coverage(&self) -> f64 {
+        if self.tested_instructions == 0 {
+            0.0
+        } else {
+            self.meta_full_instructions as f64 / self.tested_instructions as f64
+        }
     }
 }
 
@@ -223,6 +258,9 @@ pub struct StageTimes {
     pub materialize: Duration,
     /// JIT compilation.
     pub compile: Duration,
+    /// Partial evaluation + lowering in the meta-compiled tier
+    /// (engine v9; zero on every other target).
+    pub meta_compile: Duration,
     /// Machine simulation of compiled code.
     pub simulate: Duration,
     /// Comparison + classification.
@@ -259,6 +297,7 @@ impl StageTimes {
         self.explore
             + self.materialize
             + self.compile
+            + self.meta_compile
             + self.simulate
             + self.compare
             + self.setup
@@ -274,6 +313,7 @@ impl StageTimes {
         self.explore += other.explore;
         self.materialize += other.materialize;
         self.compile += other.compile;
+        self.meta_compile += other.meta_compile;
         self.simulate += other.simulate;
         self.compare += other.compare;
         self.setup += other.setup;
@@ -294,6 +334,7 @@ impl StageTimes {
         self.explore = self.explore.max(other.explore);
         self.materialize = self.materialize.max(other.materialize);
         self.compile = self.compile.max(other.compile);
+        self.meta_compile = self.meta_compile.max(other.meta_compile);
         self.simulate = self.simulate.max(other.simulate);
         self.compare = self.compare.max(other.compare);
         self.setup = self.setup.max(other.setup);
@@ -397,6 +438,7 @@ pub fn test_instruction(
         probe_solve: exploration.probe_solve,
     };
     let cache = CodeCache::disabled();
+    let meta_cache = MetaCache::new();
     let (outcome, _times, _solver) = test_instruction_with(
         instr,
         target,
@@ -405,6 +447,7 @@ pub fn test_instruction(
         &exploration,
         explore_cost,
         &cache,
+        &meta_cache,
         true,
         true,
         true,
@@ -468,6 +511,7 @@ pub fn test_instruction_with(
     exploration: &ExplorationResult,
     explore_cost: ExploreCost,
     code_cache: &CodeCache,
+    meta_cache: &MetaCache,
     heap_snapshot: bool,
     predecode: bool,
     interp_predecode: bool,
@@ -484,6 +528,7 @@ pub fn test_instruction_with(
     let mut witness_errors = 0usize;
     let mut oracle_panics = 0usize;
     let mut snapshot_stats = SnapshotStats::default();
+    let mut meta_counts = MetaRunCounts::default();
     let mut arena: Option<ReplayArena> = None;
     let mut session = REUSED_SESSION.with(|slot| slot.take()).unwrap_or_default();
     let mut ctx = RunCtx { cache: code_cache, predecode, session: &mut session };
@@ -655,15 +700,29 @@ pub fn test_instruction_with(
                             snapshot_stats.record_restore(dirty);
                             times.materialize += t_mat.elapsed();
                         }
-                        let compiled = run_compiled_for_instr_timed(
-                            target.compiler_kind(),
-                            isa,
-                            instr,
-                            &input_frame,
-                            &mut a.replay,
-                            &mut ctx,
-                            &mut times,
-                        );
+                        let compiled = if target == Target::MetaCompiled {
+                            run_meta_for_instr_timed(
+                                meta_cache,
+                                isa,
+                                instr,
+                                &input_frame,
+                                &mut a.replay,
+                                &mut ctx,
+                                &mut times,
+                                interp_predecode,
+                                &mut meta_counts,
+                            )
+                        } else {
+                            run_compiled_for_instr_timed(
+                                target.compiler_kind(),
+                                isa,
+                                instr,
+                                &input_frame,
+                                &mut a.replay,
+                                &mut ctx,
+                                &mut times,
+                            )
+                        };
                         let t_cmp = Instant::now();
                         let v = compare_runs(&interp_exit, &a.oracle, &compiled, &a.replay, &var_oops);
                         times.compare += t_cmp.elapsed();
@@ -676,15 +735,29 @@ pub fn test_instruction_with(
                         let (mut mem2, frame2, _) = materialized(&exploration.state, model);
                         times.materialize += t_mat.elapsed();
                         debug_assert_eq!(frame2.stack, input_frame.stack);
-                        let compiled = run_compiled_for_instr_timed(
-                            target.compiler_kind(),
-                            isa,
-                            instr,
-                            &frame2,
-                            &mut mem2,
-                            &mut ctx,
-                            &mut times,
-                        );
+                        let compiled = if target == Target::MetaCompiled {
+                            run_meta_for_instr_timed(
+                                meta_cache,
+                                isa,
+                                instr,
+                                &frame2,
+                                &mut mem2,
+                                &mut ctx,
+                                &mut times,
+                                interp_predecode,
+                                &mut meta_counts,
+                            )
+                        } else {
+                            run_compiled_for_instr_timed(
+                                target.compiler_kind(),
+                                isa,
+                                instr,
+                                &frame2,
+                                &mut mem2,
+                                &mut ctx,
+                                &mut times,
+                            )
+                        };
                         let t_cmp = Instant::now();
                         let oracle_mem =
                             legacy_mem.as_ref().expect("legacy path kept the oracle heap");
@@ -694,7 +767,13 @@ pub fn test_instruction_with(
                     }
                 };
                 if let Verdict::Difference(d) = v {
-                    let key = classify(instr, target.compiler_kind(), &d);
+                    let mut key = classify(instr, target.compiler_kind(), &d);
+                    if target == Target::MetaCompiled {
+                        // The classifier only knows the hand-written
+                        // tiers; tag the cause with the meta tier's
+                        // own name so causes stay per-tier distinct.
+                        key.compiler = std::borrow::Cow::Borrowed("Meta-Compiled");
+                    }
                     if !all_causes.contains(&key) {
                         all_causes.push(key.clone());
                     }
@@ -742,6 +821,8 @@ pub fn test_instruction_with(
         witness_errors,
         oracle_panics,
         snapshot: snapshot_stats,
+        meta_compiled_runs: meta_counts.compiled,
+        meta_trampolines: meta_counts.trampolined,
     };
     times.report += t_report.elapsed();
     REUSED_SESSION.with(|slot| slot.set(Some(session)));

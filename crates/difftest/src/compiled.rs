@@ -42,7 +42,7 @@ pub struct RunCtx<'c> {
     pub session: &'c mut MachineSession,
 }
 
-fn selector_of(id: u32) -> SelectorId {
+pub(crate) fn selector_of(id: u32) -> SelectorId {
     if id == MUST_BE_BOOLEAN_SELECTOR {
         return SelectorId::MustBeBoolean;
     }

@@ -27,6 +27,7 @@ mod campaign;
 mod classify;
 mod compare;
 mod compiled;
+mod meta;
 mod oracle;
 mod sequence;
 
@@ -37,6 +38,7 @@ pub use compare::{compare_runs, values_equivalent, Difference, DifferenceKind, V
 pub use compiled::{run_compiled_bytecode, run_compiled_for_instr, run_compiled_for_instr_timed,
                    run_compiled_native, run_compiled_native_timed, run_compiled_sequence,
                    run_compiled_sequence_timed, CompiledRun};
+pub use meta::{run_meta_for_instr, run_meta_for_instr_timed, MetaRunCounts};
 pub use oracle::{concrete_frame, run_oracle, run_oracle_on, run_oracle_on_with, run_oracle_with,
                  EngineExit, OracleRun, SelectorId};
 pub use igjit_concolic::{probe_models, probe_models_with_stats};

@@ -60,6 +60,7 @@ mod image;
 pub mod natives;
 pub mod predecode;
 mod runner;
+pub mod spec;
 mod step;
 
 pub use concrete::ConcreteContext;
@@ -71,6 +72,7 @@ pub use natives::{native_catalog, native_spec, run_native, NativeGroup, NativeMe
                   NativeMethodSpec, NativeOutcome};
 pub use predecode::{resolve_sequence, PredecodedProgram};
 pub use runner::{run_method, run_method_with, MethodResult, RunError};
+pub use spec::{step_spec, StepSpec};
 pub use step::{resolve_step, step, StepFn};
 
 /// Compile-time source fingerprint (see `igjit-corpus`).

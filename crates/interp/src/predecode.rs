@@ -37,6 +37,7 @@
 use igjit_bytecode::{decode, Instruction};
 
 use crate::context::VmContext;
+use crate::spec::step_spec;
 use crate::step::{resolve_step, StepFn};
 
 /// Marker in the jump table for byte offsets that are not a
@@ -72,28 +73,11 @@ pub struct PredecodedProgram {
 
 /// Whether `instr` is a push-class instruction: its only outcomes are
 /// `Continue` or a fault, so a following step can be fused after it.
+/// Derived from the instruction's [`StepSpec`](crate::StepSpec)
+/// (engine v9) instead of a hand-written opcode list; the spec module
+/// pins the predicate to the historical list member by member.
 fn is_push(instr: Instruction) -> bool {
-    use Instruction as I;
-    matches!(
-        instr,
-        I::PushReceiverVariable(_)
-            | I::PushReceiverVariableLong(_)
-            | I::PushTemp(_)
-            | I::PushTempLong(_)
-            | I::PushLiteralConstant(_)
-            | I::PushLiteralLong(_)
-            | I::PushLiteralVariable(_)
-            | I::PushReceiver
-            | I::PushTrue
-            | I::PushFalse
-            | I::PushNil
-            | I::PushZero
-            | I::PushOne
-            | I::PushMinusOne
-            | I::PushTwo
-            | I::PushInteger(_)
-            | I::Dup
-    )
+    step_spec(instr).is_fusible()
 }
 
 impl PredecodedProgram {

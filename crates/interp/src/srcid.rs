@@ -24,6 +24,7 @@ pub const SRC_FILES: &[&str] = &[
     "natives/smallint.rs",
     "predecode.rs",
     "runner.rs",
+    "spec.rs",
     "srcid.rs",
     "step.rs",
 ];
@@ -42,6 +43,7 @@ const SRC_BYTES: &[&[u8]] = &[
     include_bytes!("natives/smallint.rs"),
     include_bytes!("predecode.rs"),
     include_bytes!("runner.rs"),
+    include_bytes!("spec.rs"),
     include_bytes!("srcid.rs"),
     include_bytes!("step.rs"),
 ];

@@ -1,0 +1,496 @@
+//! The partial-evaluation context: a [`VmContext`] whose values are
+//! compile-time constants or runtime registers.
+//!
+//! Driving the interpreter's own [`igjit_interp::step`] with this
+//! context *is* the partial evaluator: every operation the step body
+//! performs either folds (both operands static), emits IR (a heap
+//! access against a runtime value) or — when the outcome genuinely
+//! depends on runtime heap state the evaluator refuses to consult —
+//! poisons the evaluation, which makes the tier fall back to the
+//! interpreter trampoline for that frame.
+//!
+//! The semantics here deliberately mirror
+//! `igjit_interp::ConcreteContext` operation for operation: the folded
+//! constants must be exactly the values the interpreter would compute,
+//! because the differential oracle compares the two executions
+//! verbatim.
+
+use igjit_heap::{ClassIndex, ObjectFormat, Oop, HEADER_WORDS, SMALL_INT_MAX, SMALL_INT_MIN};
+use igjit_interp::{AllocFault, CmpKind, Frame, MemFault, VmContext};
+use igjit_jit::{Convention, Ir, VReg};
+use igjit_machine::Reg;
+
+/// Byte offset of pointer slot 0 from an object's oop.
+const BODY_OFF: i32 = (HEADER_WORDS * 4) as i32;
+
+/// A partially evaluated value: known at compile time, or live in a
+/// machine register at run time.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum MetaVal {
+    /// A compile-time constant oop (frame values, literals, folded
+    /// results — §4.2 embeds them all as constants).
+    Static(Oop),
+    /// A runtime value living in a physical register (the receiver on
+    /// entry, heap loads thereafter).
+    Dyn(Reg),
+}
+
+impl MetaVal {
+    fn dummy() -> MetaVal {
+        MetaVal::Static(Oop::ZERO)
+    }
+}
+
+/// The evaluation state threaded through one `step` call.
+pub(crate) struct MetaContext {
+    conv: Convention,
+    nil: Oop,
+    true_obj: Oop,
+    false_obj: Oop,
+    /// Heap-access IR emitted in evaluation order.
+    pub(crate) body: Vec<Ir>,
+    /// Registers still free to hold runtime load results.
+    pool: Vec<Reg>,
+    /// Why evaluation got stuck, when it did. Once set, every
+    /// operation returns dummies; the caller must discard the result.
+    pub(crate) stuck: Option<&'static str>,
+}
+
+impl MetaContext {
+    pub(crate) fn new(conv: Convention, nil: Oop, true_obj: Oop, false_obj: Oop) -> MetaContext {
+        MetaContext {
+            conv,
+            nil,
+            true_obj,
+            false_obj,
+            body: Vec::new(),
+            // Runtime values may only live in the scratch pair: the
+            // receiver register must survive to the exit tails, and
+            // the argument registers are written by the send tail.
+            pool: vec![conv.scratch2, conv.scratch],
+            stuck: None,
+        }
+    }
+
+    fn poison(&mut self, reason: &'static str) {
+        if self.stuck.is_none() {
+            self.stuck = Some(reason);
+        }
+    }
+
+    fn fresh_dyn(&mut self) -> Option<Reg> {
+        let r = self.pool.pop();
+        if r.is_none() {
+            self.poison("ran out of runtime-value registers");
+        }
+        r
+    }
+
+    /// Slot index → load/store displacement, when it fits the IR's
+    /// 16-bit offset field.
+    fn slot_off(&mut self, idx: i64) -> Option<i16> {
+        let off = BODY_OFF as i64 + 4 * idx;
+        match i16::try_from(off) {
+            Ok(o) => Some(o),
+            Err(_) => {
+                self.poison("slot offset exceeds the IR displacement range");
+                None
+            }
+        }
+    }
+}
+
+impl VmContext for MetaContext {
+    type V = MetaVal;
+    type N = i64;
+    type F = f64;
+
+    fn nil(&mut self) -> MetaVal {
+        MetaVal::Static(self.nil)
+    }
+    fn true_obj(&mut self) -> MetaVal {
+        MetaVal::Static(self.true_obj)
+    }
+    fn false_obj(&mut self) -> MetaVal {
+        MetaVal::Static(self.false_obj)
+    }
+    fn int_const(&mut self, v: i64) -> i64 {
+        v
+    }
+    fn small_int_obj(&mut self, v: i64) -> MetaVal {
+        match Oop::try_from_small_int(v) {
+            Some(o) => MetaVal::Static(o),
+            None => {
+                self.poison("small-int constant out of tagged range");
+                MetaVal::dummy()
+            }
+        }
+    }
+
+    // --- predicates ----------------------------------------------------
+
+    fn is_integer_object(&mut self, v: MetaVal) -> bool {
+        match v {
+            MetaVal::Static(s) => s.is_small_int(),
+            MetaVal::Dyn(_) => {
+                self.poison("tag of a runtime value");
+                false
+            }
+        }
+    }
+
+    fn has_class(&mut self, v: MetaVal, class: ClassIndex) -> bool {
+        // Decidable without touching the heap for tagged ints and the
+        // three singletons — everything else is runtime heap state the
+        // evaluator must not bake into the artifact.
+        match v {
+            MetaVal::Static(s) if s.is_small_int() => class == ClassIndex::SMALL_INTEGER,
+            MetaVal::Static(s) if s == self.true_obj => class == ClassIndex::TRUE,
+            MetaVal::Static(s) if s == self.false_obj => class == ClassIndex::FALSE,
+            MetaVal::Static(s) if s == self.nil => class == ClassIndex::UNDEFINED_OBJECT,
+            _ => {
+                self.poison("class of a heap object");
+                false
+            }
+        }
+    }
+
+    fn is_integer_value(&mut self, n: i64) -> bool {
+        (SMALL_INT_MIN..=SMALL_INT_MAX).contains(&n)
+    }
+
+    fn int_cmp(&mut self, op: CmpKind, a: i64, b: i64) -> bool {
+        match op {
+            CmpKind::Lt => a < b,
+            CmpKind::Le => a <= b,
+            CmpKind::Gt => a > b,
+            CmpKind::Ge => a >= b,
+            CmpKind::Eq => a == b,
+            CmpKind::Ne => a != b,
+        }
+    }
+
+    fn float_cmp(&mut self, op: CmpKind, a: f64, b: f64) -> bool {
+        match op {
+            CmpKind::Lt => a < b,
+            CmpKind::Le => a <= b,
+            CmpKind::Gt => a > b,
+            CmpKind::Ge => a >= b,
+            CmpKind::Eq => a == b,
+            CmpKind::Ne => a != b,
+        }
+    }
+
+    fn value_identical(&mut self, a: MetaVal, b: MetaVal) -> bool {
+        match (a, b) {
+            (MetaVal::Static(x), MetaVal::Static(y)) => x == y,
+            (MetaVal::Dyn(r), MetaVal::Dyn(s)) if r == s => true,
+            _ => {
+                self.poison("identity of a runtime value");
+                false
+            }
+        }
+    }
+
+    // --- conversions ---------------------------------------------------
+
+    fn integer_value_of(&mut self, v: MetaVal) -> i64 {
+        match v {
+            MetaVal::Static(s) => s.small_int_value(),
+            MetaVal::Dyn(_) => {
+                self.poison("untag of a runtime value");
+                0
+            }
+        }
+    }
+
+    fn integer_object_of(&mut self, n: i64) -> MetaVal {
+        match Oop::try_from_small_int(n) {
+            Some(o) => MetaVal::Static(o),
+            None => {
+                self.poison("tagging an out-of-range integer");
+                MetaVal::dummy()
+            }
+        }
+    }
+
+    fn float_value_of(&mut self, _v: MetaVal) -> f64 {
+        // Unboxing reads the float body — runtime heap state.
+        self.poison("float unbox reads the heap");
+        0.0
+    }
+
+    fn new_float(&mut self, _f: f64) -> Result<MetaVal, AllocFault> {
+        self.poison("float allocation");
+        Ok(MetaVal::dummy())
+    }
+
+    fn int_to_float(&mut self, n: i64) -> f64 {
+        n as f64
+    }
+    fn float_to_int(&mut self, f: f64) -> i64 {
+        f.trunc() as i64
+    }
+    fn float_fits_small_int(&mut self, f: f64) -> bool {
+        f.is_finite()
+            && f.trunc() >= igjit_heap::SMALL_INT_MIN as f64
+            && f.trunc() <= igjit_heap::SMALL_INT_MAX as f64
+    }
+
+    // --- integer arithmetic (mirrors ConcreteContext exactly) ----------
+
+    fn int_add(&mut self, a: i64, b: i64) -> i64 {
+        a + b
+    }
+    fn int_sub(&mut self, a: i64, b: i64) -> i64 {
+        a - b
+    }
+    fn int_mul(&mut self, a: i64, b: i64) -> i64 {
+        a * b
+    }
+    fn int_div_floor(&mut self, a: i64, b: i64) -> i64 {
+        let q = a / b;
+        if a % b != 0 && (a ^ b) < 0 {
+            q - 1
+        } else {
+            q
+        }
+    }
+    fn int_div_trunc(&mut self, a: i64, b: i64) -> i64 {
+        a / b
+    }
+    fn int_mod_floor(&mut self, a: i64, b: i64) -> i64 {
+        let r = a % b;
+        if r != 0 && (r ^ b) < 0 {
+            r + b
+        } else {
+            r
+        }
+    }
+    fn int_bit_and(&mut self, a: i64, b: i64) -> i64 {
+        a & b
+    }
+    fn int_bit_or(&mut self, a: i64, b: i64) -> i64 {
+        a | b
+    }
+    fn int_bit_xor(&mut self, a: i64, b: i64) -> i64 {
+        a ^ b
+    }
+    fn int_shift(&mut self, a: i64, b: i64) -> i64 {
+        if b >= 0 {
+            a.checked_shl(b.min(62) as u32).unwrap_or(0)
+        } else {
+            a >> (-b).min(62)
+        }
+    }
+
+    // --- float arithmetic ----------------------------------------------
+
+    fn float_add(&mut self, a: f64, b: f64) -> f64 {
+        a + b
+    }
+    fn float_sub(&mut self, a: f64, b: f64) -> f64 {
+        a - b
+    }
+    fn float_mul(&mut self, a: f64, b: f64) -> f64 {
+        a * b
+    }
+    fn float_div(&mut self, a: f64, b: f64) -> f64 {
+        a / b
+    }
+    fn float_fraction_part(&mut self, f: f64) -> f64 {
+        f.fract()
+    }
+    fn float_exponent(&mut self, f: f64) -> i64 {
+        if f == 0.0 || !f.is_finite() {
+            0
+        } else {
+            f.abs().log2().floor() as i64
+        }
+    }
+    fn int_bits_to_f32(&mut self, _bits: i64) -> f64 {
+        self.poison("FFI float marshalling");
+        0.0
+    }
+    fn int_bits_to_f64(&mut self, _lo: i64, _hi: i64) -> f64 {
+        self.poison("FFI float marshalling");
+        0.0
+    }
+    fn float_to_bits(&mut self, _f: f64, _single: bool) -> (i64, i64) {
+        self.poison("FFI float marshalling");
+        (0, 0)
+    }
+
+    // --- heap protocol -------------------------------------------------
+
+    fn slot_count(&mut self, _v: MetaVal) -> Result<i64, MemFault> {
+        self.poison("object size is runtime heap state");
+        Ok(0)
+    }
+    fn byte_count(&mut self, _v: MetaVal) -> Result<i64, MemFault> {
+        self.poison("object size is runtime heap state");
+        Ok(0)
+    }
+
+    fn fetch_slot(&mut self, v: MetaVal, idx: i64) -> Result<MetaVal, MemFault> {
+        if self.stuck.is_some() {
+            return Ok(MetaVal::dummy());
+        }
+        if u32::try_from(idx).is_err() {
+            // Mirrors the concrete context: a negative index faults
+            // before the heap is consulted.
+            return Err(MemFault);
+        }
+        match v {
+            MetaVal::Static(s) if s.is_small_int() => {
+                // The heap faults on a tagged int decidably, for every
+                // heap — no runtime knowledge needed.
+                Err(MemFault)
+            }
+            MetaVal::Static(s) => {
+                let Some(off) = self.slot_off(idx) else { return Ok(MetaVal::dummy()) };
+                let Some(d) = self.fresh_dyn() else { return Ok(MetaVal::dummy()) };
+                self.body.push(Ir::MovImm { dst: VReg::phys(d), imm: s.0 });
+                self.body.push(Ir::Load { dst: VReg::phys(d), base: VReg::phys(d), off });
+                Ok(MetaVal::Dyn(d))
+            }
+            MetaVal::Dyn(r) => {
+                let Some(off) = self.slot_off(idx) else { return Ok(MetaVal::dummy()) };
+                let Some(d) = self.fresh_dyn() else { return Ok(MetaVal::dummy()) };
+                self.body.push(Ir::Load { dst: VReg::phys(d), base: VReg::phys(r), off });
+                Ok(MetaVal::Dyn(d))
+            }
+        }
+    }
+
+    fn store_slot(&mut self, v: MetaVal, idx: i64, value: MetaVal) -> Result<(), MemFault> {
+        if self.stuck.is_some() {
+            return Ok(());
+        }
+        if u32::try_from(idx).is_err() {
+            return Err(MemFault);
+        }
+        let base = match v {
+            MetaVal::Static(s) if s.is_small_int() => return Err(MemFault),
+            MetaVal::Static(s) => {
+                // arg2 is a transient here: the send tail (the only
+                // reader of argument registers) rewrites it, and
+                // runtime values never live in it.
+                let t = self.conv.arg2;
+                self.body.push(Ir::MovImm { dst: VReg::phys(t), imm: s.0 });
+                t
+            }
+            MetaVal::Dyn(r) => r,
+        };
+        let Some(off) = self.slot_off(idx) else { return Ok(()) };
+        let src = match value {
+            MetaVal::Static(s) => {
+                let t = self.conv.arg1;
+                self.body.push(Ir::MovImm { dst: VReg::phys(t), imm: s.0 });
+                t
+            }
+            MetaVal::Dyn(r) => r,
+        };
+        self.body.push(Ir::Store { src: VReg::phys(src), base: VReg::phys(base), off });
+        Ok(())
+    }
+
+    fn fetch_byte(&mut self, _v: MetaVal, _idx: i64) -> Result<i64, MemFault> {
+        self.poison("byte access");
+        Ok(0)
+    }
+    fn store_byte(&mut self, _v: MetaVal, _idx: i64, _value: i64) -> Result<(), MemFault> {
+        self.poison("byte access");
+        Ok(())
+    }
+    fn element_count(&mut self, _v: MetaVal) -> Result<i64, MemFault> {
+        self.poison("object size is runtime heap state");
+        Ok(0)
+    }
+    fn fetch_word(&mut self, _v: MetaVal, _idx: i64) -> Result<i64, MemFault> {
+        self.poison("word access");
+        Ok(0)
+    }
+    fn store_word(&mut self, _v: MetaVal, _idx: i64, _value: i64) -> Result<(), MemFault> {
+        self.poison("word access");
+        Ok(())
+    }
+    fn identity_hash(&mut self, v: MetaVal) -> Result<i64, MemFault> {
+        match v {
+            MetaVal::Static(s) if s.is_small_int() => Ok(s.small_int_value()),
+            _ => {
+                self.poison("identity hash of a heap object");
+                Ok(0)
+            }
+        }
+    }
+    fn class_index_as_int(&mut self, v: MetaVal) -> i64 {
+        match v {
+            MetaVal::Static(s) if s.is_small_int() => {
+                i64::from(ClassIndex::SMALL_INTEGER.value())
+            }
+            _ => {
+                self.poison("class of a heap object");
+                0
+            }
+        }
+    }
+    fn allocate(
+        &mut self,
+        _class: ClassIndex,
+        _format: ObjectFormat,
+        _count: i64,
+    ) -> Result<MetaVal, AllocFault> {
+        self.poison("allocation");
+        Ok(MetaVal::dummy())
+    }
+
+    // --- external (FFI) memory -----------------------------------------
+
+    fn external_address_of(&mut self, _v: MetaVal) -> Result<i64, MemFault> {
+        self.poison("external memory");
+        Ok(0)
+    }
+    fn new_external_address(&mut self, _addr: i64) -> Result<MetaVal, AllocFault> {
+        self.poison("external memory");
+        Ok(MetaVal::dummy())
+    }
+    fn ext_read(&mut self, _addr: i64, _width: u32, _signed: bool) -> Result<i64, MemFault> {
+        self.poison("external memory");
+        Ok(0)
+    }
+    fn ext_write(&mut self, _addr: i64, _width: u32, _value: i64) -> Result<(), MemFault> {
+        self.poison("external memory");
+        Ok(())
+    }
+
+    // --- frame protocol (static — mirrors ConcreteContext) -------------
+
+    fn stack_value(&mut self, frame: &Frame<MetaVal>, depth: usize) -> Result<MetaVal, MemFault> {
+        if frame.depth() <= depth {
+            Err(MemFault)
+        } else {
+            Ok(frame.stack_at_depth(depth))
+        }
+    }
+    fn temp(&mut self, frame: &Frame<MetaVal>, index: usize) -> Result<MetaVal, MemFault> {
+        frame.temps.get(index).copied().ok_or(MemFault)
+    }
+    fn set_temp(
+        &mut self,
+        frame: &mut Frame<MetaVal>,
+        index: usize,
+        value: MetaVal,
+    ) -> Result<(), MemFault> {
+        match frame.temps.get_mut(index) {
+            Some(t) => {
+                *t = value;
+                Ok(())
+            }
+            None => Err(MemFault),
+        }
+    }
+    fn literal(&mut self, frame: &Frame<MetaVal>, index: usize) -> Result<MetaVal, MemFault> {
+        frame.method.literals.get(index).copied().ok_or(MemFault)
+    }
+}

@@ -1,36 +1,25 @@
 //! Compile-time identity of this crate's sources.
 //!
-//! `SOURCE_FINGERPRINT` is an FNV-1a hash over every `.rs` file in
-//! `src/`, computed at build time via `include_bytes!`. The persistent
-//! campaign corpus (`igjit-corpus`) mixes these per-crate hashes into
-//! its section fingerprints, so editing any file of a semantic crate
-//! invalidates exactly the corpus sections whose results could have
-//! changed — and nothing else. `igjit-corpus` has a test that walks
-//! this directory and fails if `SRC_FILES` goes stale.
+//! Mirrors the other semantic crates' `srcid` modules: an FNV-1a hash
+//! over every `.rs` file in `src/`, so the persistent campaign corpus
+//! can invalidate sections whose results could depend on the
+//! meta-compiler's behaviour.
 
 /// Every source file baked into [`SOURCE_FINGERPRINT`], sorted,
 /// relative to `src/`.
 pub const SRC_FILES: &[&str] = &[
-    "campaign.rs",
-    "classify.rs",
-    "compare.rs",
-    "compiled.rs",
+    "cache.rs",
+    "compile.rs",
+    "eval.rs",
     "lib.rs",
-    "meta.rs",
-    "oracle.rs",
-    "sequence.rs",
     "srcid.rs",
 ];
 
 const SRC_BYTES: &[&[u8]] = &[
-    include_bytes!("campaign.rs"),
-    include_bytes!("classify.rs"),
-    include_bytes!("compare.rs"),
-    include_bytes!("compiled.rs"),
+    include_bytes!("cache.rs"),
+    include_bytes!("compile.rs"),
+    include_bytes!("eval.rs"),
     include_bytes!("lib.rs"),
-    include_bytes!("meta.rs"),
-    include_bytes!("oracle.rs"),
-    include_bytes!("sequence.rs"),
     include_bytes!("srcid.rs"),
 ];
 

@@ -437,7 +437,7 @@ impl Session {
     /// `solve`'s exact branch order (wide gate → model-reuse
     /// revalidation → dirty rebuild → conflict → incremental search).
     ///
-    /// The point is cost: the quadruple clones the interval [`Store`]
+    /// The point is cost: the quadruple clones the interval `Store`
     /// twice per hypothesis (the push checkpoint plus the search
     /// root), while this asserts into a single scratch clone and hands
     /// that directly to the search. It is the batched sibling-scope
