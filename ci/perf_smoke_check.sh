@@ -7,9 +7,10 @@
 # the generated-test count means a behaviour change slipped into a
 # perf-motivated PR — exactly what this check exists to catch.
 #
-# The CI workflow appends six 1-thread records — all knobs on, heap
+# The CI workflow appends seven 1-thread records — all knobs on, heap
 # snapshots off, predecode off, family sharing off, interpreter
-# predecode off, meta tier off — each tagged with its `knobs`. Records
+# predecode off, meta tier off, solver trail off — each tagged with its
+# `knobs`. Records
 # written before the knobs tag existed are ignored whenever tagged
 # ones are present (their classification by side-effect counters was
 # ambiguous). Beyond the row totals, the check enforces the perf
@@ -35,7 +36,12 @@
 #     sub-stage attribution contract);
 #   * explore budget — with every engine knob on at 1 thread, the
 #     explore stage must stay under `explore_budget_ms` (engine v8's
-#     predecoded walk plus batched probe solves);
+#     predecoded walk plus batched probe solves, tightened by engine
+#     v10's trail-based solver);
+#   * solver-trail identity — the trail-based solver (engine v10) is a
+#     storage strategy, not a different solver: the trail-off rows must
+#     equal the all-on rows key for key, the all-on record must show
+#     trail activity, and the trail-off record none;
 #   * explore sub-slices — the `walk_run` and `probe_solve` buckets
 #     re-attribute time already inside `explore` (they are excluded
 #     from the stage total), so their sum must never exceed the
@@ -107,6 +113,8 @@ if tagged:
             return "interp-predecode-off"
         if not k.get("tier5", True):
             return "tier5-off"
+        if not k.get("solver_trail", True):
+            return "solver-trail-off"
         return "all-on"
 else:
 
@@ -123,6 +131,7 @@ rec_pre_off = by_kind.get("predecode-off")
 rec_fam_off = by_kind.get("family-off")
 rec_interp_off = by_kind.get("interp-predecode-off")
 rec_t5_off = by_kind.get("tier5-off")
+rec_trail_off = by_kind.get("solver-trail-off")
 
 with open(testgen_path) as f:
     testgen = f.read()
@@ -139,6 +148,7 @@ labelled = [
     ("family-off", rec_fam_off),
     ("interp-predecode-off", rec_interp_off),
     ("tier5-off", rec_t5_off),
+    ("solver-trail-off", rec_trail_off),
 ]
 for label, rec in labelled:
     if rec is None:
@@ -250,6 +260,33 @@ if rec_on is not None and rec_interp_off is not None:
                 f"but {rec_interp_off['table2'][key]} with it off"
             )
 
+# The trail-based solver (engine v10) must be purely an optimization:
+# an undo log instead of per-scope store clones cannot change what the
+# solver answers, so the trail-off rows must equal the all-on rows key
+# for key. The activity counters double-check that the comparison is
+# not vacuous — the all-on run really unwound scopes off a trail, the
+# trail-off run really cloned.
+if rec_on is not None and rec_trail_off is not None:
+    for key in ("tested_instructions", "interpreter_paths", "curated_paths", "differences"):
+        if rec_trail_off["table2"][key] != rec_on["table2"][key]:
+            sys.exit(
+                "perf-smoke: the trail-based solver changed campaign rows: "
+                f"{key} is {rec_on['table2'][key]} with the trail on "
+                f"but {rec_trail_off['table2'][key]} with it off"
+            )
+    trail_on = rec_on["metrics"].get("trail")
+    trail_off = rec_trail_off["metrics"].get("trail")
+    if trail_on is not None and trail_on.get("clones_avoided", 0) == 0:
+        sys.exit(
+            "perf-smoke: the all-on record shows no trail activity — "
+            "solver_trail appears to be silently disabled"
+        )
+    if trail_off is not None and trail_off.get("marks", 0) != 0:
+        sys.exit(
+            "perf-smoke: the solver-trail-off record took trail marks — "
+            "the IGJIT_SOLVER_TRAIL=0 leg is not actually in clone mode"
+        )
+
 # Tier-5 additivity: the meta tier appends one row and changes nothing
 # else, so the rows shared by both configurations must agree — the
 # tier5-off totals can never exceed the all-on totals, and the meta
@@ -337,7 +374,8 @@ if kill_floor is not None:
                 f"(floor {kill_floor})"
             )
 
-rec = rec_on or rec_off or rec_pre_off or rec_fam_off or rec_interp_off or rec_t5_off
+rec = (rec_on or rec_off or rec_pre_off or rec_fam_off or rec_interp_off or rec_t5_off
+       or rec_trail_off)
 metrics = rec["metrics"]
 stages = metrics["stages_ms"]
 speedup = f", materialize speedup {ratio:.2f}x" if ratio is not None else ""

@@ -652,6 +652,7 @@ fn main() {
         // never replay from a stale arming state).
         corpus: None,
         meta_tier: knobs.tier5_enabled(),
+        solver_trail: knobs.solver_trail_enabled(),
     };
     if let Some(baseline_path) = &args.worker_baseline {
         if let Err(e) = run_worker(baseline_path, &config) {

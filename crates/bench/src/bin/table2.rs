@@ -69,8 +69,8 @@ fn usage() -> ! {
          \n\
          environment: IGJIT_THREADS, IGJIT_CODE_CACHE, IGJIT_HEAP_SNAPSHOT,\n\
          IGJIT_PREDECODE, IGJIT_INTERP_PREDECODE, IGJIT_HASH_CONS, IGJIT_FAMILY_SHARE,\n\
-         IGJIT_TIER5, IGJIT_NEGATE_THREADS, IGJIT_MUTANT, IGJIT_CORPUS,\n\
-         IGJIT_CAMPAIGN_JOBS"
+         IGJIT_TIER5, IGJIT_SOLVER_TRAIL, IGJIT_NEGATE_THREADS, IGJIT_MUTANT,\n\
+         IGJIT_CORPUS, IGJIT_CAMPAIGN_JOBS"
     );
     std::process::exit(2);
 }

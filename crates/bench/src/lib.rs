@@ -81,6 +81,14 @@ pub fn tier5_enabled() -> bool {
     env_knobs().tier5_enabled()
 }
 
+/// Whether solver sessions run hypothesis scopes on the undo trail
+/// instead of cloning the interval store per scope (engine v10): the
+/// `IGJIT_SOLVER_TRAIL` environment variable, default on. Rows are
+/// byte-identical either way. Malformed values are fatal.
+pub fn solver_trail_enabled() -> bool {
+    env_knobs().solver_trail_enabled()
+}
+
 /// Worker threads for intra-instruction path negation: the
 /// `IGJIT_NEGATE_THREADS` environment variable, default 1
 /// (sequential). Malformed values are fatal.
@@ -147,6 +155,7 @@ pub fn paper_config() -> CampaignConfig {
         negate_threads: negate_threads(),
         corpus: corpus_path(),
         meta_tier: tier5_enabled(),
+        solver_trail: solver_trail_enabled(),
     }
 }
 
@@ -201,7 +210,8 @@ pub fn append_bench_json(path: &str, reports: &[CampaignReport]) {
             "{{\"epoch_s\":{},",
             "\"knobs\":{{\"code_cache\":{},\"heap_snapshot\":{},\"predecode\":{},",
             "\"interp_predecode\":{},",
-            "\"hash_cons\":{},\"family_share\":{},\"tier5\":{},\"corpus\":{}}},",
+            "\"hash_cons\":{},\"family_share\":{},\"tier5\":{},\"solver_trail\":{},",
+            "\"corpus\":{}}},",
             "\"metrics\":{},",
             "\"table2\":{{\"tested_instructions\":{},\"interpreter_paths\":{},",
             "\"curated_paths\":{},\"differences\":{}}}}}\n"
@@ -214,6 +224,7 @@ pub fn append_bench_json(path: &str, reports: &[CampaignReport]) {
         knobs.hash_cons_enabled(),
         knobs.family_share_enabled(),
         knobs.tier5_enabled(),
+        knobs.solver_trail_enabled(),
         knobs.corpus.is_some(),
         total.to_json(),
         row.tested_instructions,
@@ -308,6 +319,18 @@ pub fn print_metrics_summary(total: &Metrics) {
         total.solver.rebuilds,
         total.solver.max_depth,
     );
+    if total.trail.trail_marks + total.trail.pool_hits + total.trail.pool_misses > 0 {
+        println!(
+            "trail: {} scope marks, {} ops unwound, {} store clones avoided, \
+             model pool {} hits / {} misses ({:.1}% hit rate)",
+            total.trail.trail_marks,
+            total.trail.undone_ops,
+            total.trail.clones_avoided,
+            total.trail.pool_hits,
+            total.trail.pool_misses,
+            100.0 * total.trail.pool_hit_rate(),
+        );
+    }
 }
 
 /// Prints a full Table 2 from the given reports.

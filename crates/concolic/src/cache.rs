@@ -152,7 +152,11 @@ impl ExplorationCache {
             // compiler target, so precompute it here: every target
             // (and every worker) sharing this entry reuses one probe
             // pass instead of re-solving the hypotheses per tier.
-            explored.attach_probe_models(crate::probes::DEFAULT_MAX_PROBES, explorer.hash_cons);
+            explored.attach_probe_models(
+                crate::probes::DEFAULT_MAX_PROBES,
+                explorer.hash_cons,
+                explorer.solver_trail,
+            );
         }
         explored
     }

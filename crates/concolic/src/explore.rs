@@ -16,7 +16,7 @@ use igjit_interp::{
     run_native, step, NativeMethodId, NativeOutcome, Selector, StepOutcome,
 };
 use igjit_solver::{
-    Constraint, Model, Session, SessionStats, SolveError, TermTable, VarId,
+    Constraint, Model, Session, SessionStats, SolveError, TermTable, TrailStats, VarId,
 };
 
 use crate::materialize::{materialize_frame, MaterializedFrame};
@@ -200,6 +200,11 @@ pub struct ExplorationResult {
     /// Work counters of the incremental solver session that drove the
     /// negation-tree walk.
     pub solver: SessionStats,
+    /// Trail-mode counters of the same sessions (undo-log marks,
+    /// clones avoided, pool traffic) — separate from
+    /// [`ExplorationResult::solver`] because those are pinned identical
+    /// between trail and clone mode while these measure the mode.
+    pub trail: TrailStats,
     /// Precomputed kind-probe models, aligned index-for-index with
     /// [`ExplorationResult::curated_paths`]. Empty unless
     /// [`ExplorationResult::attach_probe_models`] ran (the exploration
@@ -244,12 +249,13 @@ impl ExplorationResult {
     /// its own push/pop scope, and the cached model is cleared between
     /// paths so no path's reuse can see another's model — keeping the
     /// models per path exactly those of a fresh per-path session.
-    pub fn attach_probe_models(&mut self, max_probes: usize, hash_cons: bool) {
+    pub fn attach_probe_models(&mut self, max_probes: usize, hash_cons: bool, solver_trail: bool) {
         let probe_t = Instant::now();
         let mut all = Vec::new();
         let mut session = Session::new();
         session.set_reuse_models(true);
         session.set_hash_cons(hash_cons);
+        session.set_trail(solver_trail);
         session.sync_vars(self.state.specs());
         let plan = crate::probes::ProbePlan::new(&self.state);
         for path in self.curated_paths() {
@@ -262,6 +268,7 @@ impl ExplorationResult {
         }
         self.probe_models = all;
         self.solver.merge(&session.stats());
+        self.trail.merge(&session.trail_stats());
         self.probe_solve += probe_t.elapsed();
     }
 }
@@ -290,6 +297,12 @@ pub struct Explorer {
     /// Record a [`ReplayStep`] per executed node (family-sharing
     /// support; costs one model clone per node, so off by default).
     pub record_replay: bool,
+    /// Run solver scopes on the session's undo trail instead of
+    /// cloning the interval store per hypothesis
+    /// (`IGJIT_SOLVER_TRAIL`, engine v10). Results are pinned
+    /// identical either way; this only trades clone traffic for trail
+    /// bookkeeping. Defaults on.
+    pub solver_trail: bool,
 }
 
 impl Default for Explorer {
@@ -307,6 +320,7 @@ impl Explorer {
             hash_cons: false,
             negation_threads: 1,
             record_replay: false,
+            solver_trail: true,
         }
     }
 
@@ -361,6 +375,7 @@ impl Explorer {
     {
         let mut session = Session::new();
         session.set_hash_cons(self.hash_cons);
+        session.set_trail(self.solver_trail);
         // Interned path signatures are only comparable within one
         // table; speculative subtree workers each build their own, so
         // the parallel walk keys dedup on the textual signature.
@@ -378,6 +393,7 @@ impl Explorer {
             iterations: 0,
             budget_noted: false,
             extra_stats: SessionStats::default(),
+            extra_trail: TrailStats::default(),
             replay: Vec::new(),
             scratch: None,
             run_time: Duration::ZERO,
@@ -385,12 +401,15 @@ impl Explorer {
         walk.visit(0);
         let mut solver = walk.session.stats();
         solver.merge(&walk.extra_stats);
+        let mut trail = walk.session.trail_stats();
+        trail.merge(&walk.extra_trail);
         ExplorationResult {
             paths: walk.paths,
             curated_out: walk.curated_out,
             state: walk.state,
             iterations: walk.iterations,
             solver,
+            trail,
             probe_models: Vec::new(),
             replay_log: self.record_replay.then_some(walk.replay),
             walk_run: walk.run_time,
@@ -426,6 +445,8 @@ struct NegationWalk<'e, F> {
     /// Solver work done by spliced speculative subtrees (their fresh
     /// sessions), folded into the final result's counters.
     extra_stats: SessionStats,
+    /// Trail-mode counters of those same spliced subtree sessions.
+    extra_trail: TrailStats,
     /// Walk-order replay log (only fed when `record_replay` is on).
     replay: Vec<ReplayStep>,
     /// Scratch heap reused across visits (reset to fresh each time)
@@ -458,6 +479,7 @@ struct Subtree {
     consumed: usize,
     budget_noted: bool,
     stats: SessionStats,
+    trail: TrailStats,
     replay: Vec<ReplayStep>,
     run_time: Duration,
 }
@@ -548,6 +570,7 @@ where
             });
         }
         if !is_new {
+            self.session.recycle_model(model);
             self.scratch = Some(mem);
             return;
         }
@@ -623,6 +646,7 @@ where
                     let Some(&i) = order.get(k) else { break };
                     let mut session = Session::new();
                     session.set_hash_cons(explorer.hash_cons);
+                    session.set_trail(explorer.solver_trail);
                     let mut w = NegationWalk {
                         explorer,
                         instr,
@@ -636,6 +660,7 @@ where
                         iterations: base_iter,
                         budget_noted: false,
                         extra_stats: SessionStats::default(),
+                        extra_trail: TrailStats::default(),
                         replay: Vec::new(),
                         scratch: None,
                         run_time: Duration::ZERO,
@@ -647,6 +672,8 @@ where
                     w.session.push_assert(path[i].negated());
                     w.visit(i + 1);
                     let stats = w.session.stats();
+                    let mut trail = w.session.trail_stats();
+                    trail.merge(&w.extra_trail);
                     let _ = slots[k].set(Subtree {
                         state: w.state,
                         visited: w.visited,
@@ -655,6 +682,7 @@ where
                         consumed: w.iterations - base_iter,
                         budget_noted: w.budget_noted,
                         stats,
+                        trail,
                         replay: w.replay,
                         run_time: w.run_time,
                     });
@@ -698,6 +726,7 @@ where
         self.curated_out.extend(sub.curated_out);
         self.iterations += sub.consumed;
         self.extra_stats.merge(&sub.stats);
+        self.extra_trail.merge(&sub.trail);
         self.replay.extend(sub.replay);
         self.run_time += sub.run_time;
         true

@@ -102,6 +102,7 @@ pub(crate) fn replay(
         state,
         iterations: rep.iterations,
         solver: rep.solver,
+        trail: rep.trail,
         probe_models: rep.probe_models.clone(),
         replay_log: None,
         // A replay's concrete work is the verified re-execution above;

@@ -38,7 +38,7 @@ use igjit_interp::{native_catalog, NativeMethodId};
 use igjit_jit::{CodeCache, CompilerKind};
 use igjit_machine::Isa;
 use igjit_metajit::MetaCache;
-use igjit_solver::SessionStats;
+use igjit_solver::{SessionStats, TrailStats};
 
 /// Campaign knobs.
 #[derive(Clone, Debug)]
@@ -110,6 +110,13 @@ pub struct CampaignConfig {
     /// purely additive — the rows for tiers 1–4 are byte-identical
     /// whether it is on or off (`tests/engine_v9_meta_tier.rs`).
     pub meta_tier: bool,
+    /// Whether solver sessions run hypothesis scopes on an undo trail
+    /// instead of cloning the interval store per scope (engine v10,
+    /// `IGJIT_SOLVER_TRAIL`). Rows, models and solver counters are
+    /// byte-identical either way (`tests/engine_v10_identity.rs`);
+    /// this only trades per-solve clone traffic for O(narrowings)
+    /// trail bookkeeping.
+    pub solver_trail: bool,
 }
 
 impl Default for CampaignConfig {
@@ -127,6 +134,7 @@ impl Default for CampaignConfig {
             negate_threads: 1,
             corpus: None,
             meta_tier: true,
+            solver_trail: true,
         }
     }
 }
@@ -195,6 +203,12 @@ pub struct Metrics {
     /// misses only — cached explorations did no solver work) and kind
     /// probing.
     pub solver: SessionStats,
+    /// Trail-mode solver counters (engine v10), summed the same way:
+    /// scope marks taken, trail ops unwound, store clones the trail
+    /// replaced, and model-pool traffic. All zero with
+    /// `solver_trail` off except the pool counters, which the clone
+    /// path also feeds.
+    pub trail: TrailStats,
     /// Models whose materialization hit an unrealizable witness and
     /// were reported as test errors instead of compared.
     pub witness_errors: usize,
@@ -245,6 +259,7 @@ impl Metrics {
         self.corpus_hits += other.corpus_hits;
         self.corpus_misses += other.corpus_misses;
         self.solver.merge(&other.solver);
+        self.trail.merge(&other.trail);
         self.witness_errors += other.witness_errors;
         self.oracle_panics += other.oracle_panics;
         self.snapshot.merge(&other.snapshot);
@@ -303,6 +318,8 @@ impl Metrics {
                 "\"solver\":{{\"solves\":{},\"sat\":{},\"unsat\":{},\"nodes_visited\":{},",
                 "\"propagation_reuse\":{},\"rebuilds\":{},\"model_reuse\":{},",
                 "\"pushes\":{},\"max_depth\":{}}},",
+                "\"trail\":{{\"marks\":{},\"undone_ops\":{},\"clones_avoided\":{},",
+                "\"pool_hits\":{},\"pool_misses\":{},\"pool_hit_rate\":{:.4}}},",
                 "\"snapshot\":{{\"seals\":{},\"restores\":{},\"dirty_words\":{},",
                 "\"dirty_hist\":[{}]}},",
                 "\"stages_ms\":{},\"stages_max_ms\":{}}}"
@@ -331,6 +348,12 @@ impl Metrics {
             self.solver.model_reuse,
             self.solver.pushes,
             self.solver.max_depth,
+            self.trail.trail_marks,
+            self.trail.undone_ops,
+            self.trail.clones_avoided,
+            self.trail.pool_hits,
+            self.trail.pool_misses,
+            self.trail.pool_hit_rate(),
             self.snapshot.seals,
             self.snapshot.restores,
             self.snapshot.dirty_words,
@@ -651,6 +674,7 @@ impl Campaign {
                     elapsed,
                     stages,
                     solver: SessionStats::default(),
+                    trail: TrailStats::default(),
                     cache_hit: false,
                     corpus_hit: Some(true),
                 };
@@ -660,13 +684,14 @@ impl Campaign {
         let mut explorer = Explorer::new();
         explorer.hash_cons = self.config.hash_cons;
         explorer.negation_threads = self.config.negate_threads;
+        explorer.solver_trail = self.config.solver_trail;
         let lookup = self.cache.get_or_explore_with(
             &explorer,
             instr,
             self.config.probes,
             self.config.family_share,
         );
-        let (outcome, mut stages, mut solver) = test_instruction_with(
+        let (outcome, mut stages, mut solver, mut trail) = test_instruction_with(
             instr,
             target,
             &self.config.isas,
@@ -682,11 +707,13 @@ impl Campaign {
             self.config.heap_snapshot,
             self.config.predecode,
             self.config.interp_predecode,
+            self.config.solver_trail,
         );
         // Exploration solver work is charged once, to the run that
         // actually explored; a cache hit did no exploration solving.
         if !lookup.hit {
             solver.merge(&lookup.exploration.solver);
+            trail.merge(&lookup.exploration.trail);
         }
         let elapsed = t0.elapsed();
         // Whatever the named stages didn't cover — cache lookup,
@@ -700,7 +727,7 @@ impl Campaign {
             }
             None => None,
         };
-        (TimingInfo { elapsed, stages, solver, cache_hit: lookup.hit, corpus_hit }, outcome)
+        (TimingInfo { elapsed, stages, solver, trail, cache_hit: lookup.hit, corpus_hit }, outcome)
     }
 
     /// Runs a batch of instructions, sequentially or on a lock-free
@@ -731,7 +758,7 @@ impl Campaign {
             }
         };
         let run_one = |(name, is_native, instr, target): &WorkItem|
-         -> (TimingSample, InstructionOutcome, SessionStats) {
+         -> (TimingSample, InstructionOutcome, SessionStats, TrailStats) {
             let (mut info, outcome) = self.run_one(*instr, *target);
             // Progress reporting is a stderr write + flush per
             // instruction; charge it to its own stage so it can't
@@ -753,6 +780,7 @@ impl Campaign {
                 },
                 outcome,
                 info.solver,
+                info.trail,
             )
         };
         // Per-worker self-time sums: each item's stages are charged to
@@ -760,7 +788,8 @@ impl Campaign {
         // is the batch's critical path (no skew from summing across
         // concurrent workers).
         let mut worker_stages = vec![StageTimes::default(); threads];
-        let results: Vec<(TimingSample, InstructionOutcome, SessionStats)> = if threads <= 1 {
+        let results: Vec<(TimingSample, InstructionOutcome, SessionStats, TrailStats)> =
+            if threads <= 1 {
             items
                 .iter()
                 .map(|item| {
@@ -771,7 +800,7 @@ impl Campaign {
                 .collect()
         } else {
             let next = AtomicUsize::new(0);
-            let mut slots: Vec<Option<(TimingSample, InstructionOutcome, SessionStats)>> =
+            let mut slots: Vec<Option<(TimingSample, InstructionOutcome, SessionStats, TrailStats)>> =
                 (0..items.len()).map(|_| None).collect();
             std::thread::scope(|s| {
                 let (tx, rx) = mpsc::channel();
@@ -808,10 +837,11 @@ impl Campaign {
         for ws in &worker_stages {
             metrics.stages_max.merge_max(ws);
         }
-        for (t, o, solver) in results {
+        for (t, o, solver, trail) in results {
             row.absorb(&o);
             metrics.stages.merge(&t.stages);
             metrics.solver.merge(&solver);
+            metrics.trail.merge(&trail);
             metrics.witness_errors += o.witness_errors;
             metrics.oracle_panics += o.oracle_panics;
             metrics.snapshot.merge(&o.snapshot);
@@ -927,6 +957,7 @@ struct TimingInfo {
     elapsed: Duration,
     stages: StageTimes,
     solver: SessionStats,
+    trail: TrailStats,
     cache_hit: bool,
     corpus_hit: Option<bool>,
 }
@@ -1058,6 +1089,10 @@ mod tests {
         assert!(j.contains("\"progress\":"));
         assert!(j.contains("\"stages_max_ms\""));
         assert!(j.contains("\"solver\""));
+        assert!(j.contains(
+            "\"trail\":{\"marks\":0,\"undone_ops\":0,\"clones_avoided\":0,\
+             \"pool_hits\":0,\"pool_misses\":0,\"pool_hit_rate\":0.0000}"
+        ));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 }

@@ -22,6 +22,7 @@ pub const KNOWN_VARS: &[&str] = &[
     "IGJIT_HASH_CONS",
     "IGJIT_FAMILY_SHARE",
     "IGJIT_TIER5",
+    "IGJIT_SOLVER_TRAIL",
     "IGJIT_NEGATE_THREADS",
     "IGJIT_MUTANT",
     "IGJIT_CORPUS",
@@ -59,6 +60,10 @@ pub struct EnvKnobs {
     /// runs as a fifth Table 2 row. Tiers 1–4 rows are byte-identical
     /// either way.
     pub tier5: Option<bool>,
+    /// `IGJIT_SOLVER_TRAIL`: whether solver sessions backtrack scopes
+    /// by undo log (engine v10) instead of per-scope store clones.
+    /// Rows are identical either way.
+    pub solver_trail: Option<bool>,
     /// `IGJIT_NEGATE_THREADS`: threads negating sibling subtrees of
     /// one instruction's path tree in parallel (1 = sequential).
     pub negate_threads: Option<usize>,
@@ -114,6 +119,11 @@ impl EnvKnobs {
     /// Meta-compiled tier: the knob, default on.
     pub fn tier5_enabled(&self) -> bool {
         self.tier5.unwrap_or(true)
+    }
+
+    /// Trail-based solver backtracking: the knob, default on.
+    pub fn solver_trail_enabled(&self) -> bool {
+        self.solver_trail.unwrap_or(true)
     }
 
     /// Parallel path negation: the knob, default 1 (sequential).
@@ -182,6 +192,9 @@ pub fn parse_vars(
                 knobs.family_share = Some(parse_bool("IGJIT_FAMILY_SHARE", value)?)
             }
             "IGJIT_TIER5" => knobs.tier5 = Some(parse_bool("IGJIT_TIER5", value)?),
+            "IGJIT_SOLVER_TRAIL" => {
+                knobs.solver_trail = Some(parse_bool("IGJIT_SOLVER_TRAIL", value)?)
+            }
             "IGJIT_NEGATE_THREADS" => {
                 knobs.negate_threads = Some(match value.parse::<usize>() {
                     Ok(n) if n >= 1 => n,
@@ -249,6 +262,7 @@ mod tests {
         assert!(k.hash_cons_enabled(), "hash-consing is back on by default since engine v8");
         assert!(k.family_share_enabled());
         assert!(k.tier5_enabled(), "the meta tier is on by default (engine v9)");
+        assert!(k.solver_trail_enabled(), "the solver trail is on by default (engine v10)");
         assert_eq!(k.negate_threads_or_default(), 1);
         assert_eq!(k.campaign_jobs_or_default(), 1);
         assert!(k.threads_or_default() >= 1);
@@ -267,6 +281,7 @@ mod tests {
             ("IGJIT_HASH_CONS", "off"),
             ("IGJIT_FAMILY_SHARE", "0"),
             ("IGJIT_TIER5", "off"),
+            ("IGJIT_SOLVER_TRAIL", "0"),
             ("IGJIT_NEGATE_THREADS", "4"),
             ("IGJIT_MUTANT", "flip-compare-cond"),
             ("IGJIT_CORPUS", "bench/campaign.corpus"),
@@ -284,6 +299,8 @@ mod tests {
         assert!(!k.family_share_enabled());
         assert_eq!(k.tier5, Some(false));
         assert!(!k.tier5_enabled());
+        assert_eq!(k.solver_trail, Some(false));
+        assert!(!k.solver_trail_enabled());
         assert_eq!(k.negate_threads_or_default(), 4);
         assert_eq!(k.mutant, Some(igjit_mutate::ops::FLIP_COMPARE_COND));
         assert_eq!(k.corpus.as_deref(), Some(std::path::Path::new("bench/campaign.corpus")));
@@ -331,6 +348,7 @@ mod tests {
             "IGJIT_HASH_CONS",
             "IGJIT_FAMILY_SHARE",
             "IGJIT_TIER5",
+            "IGJIT_SOLVER_TRAIL",
         ];
         for name in BOOL_KNOBS {
             assert!(KNOWN_VARS.contains(name), "{name} missing from KNOWN_VARS");
@@ -349,6 +367,7 @@ mod tests {
                     "IGJIT_HASH_CONS" => k.hash_cons,
                     "IGJIT_FAMILY_SHARE" => k.family_share,
                     "IGJIT_TIER5" => k.tier5,
+                    "IGJIT_SOLVER_TRAIL" => k.solver_trail,
                     _ => unreachable!(),
                 };
                 assert_eq!(parsed, Some(want), "{name}={good}");

@@ -703,8 +703,10 @@ impl Wire for ExplorationResult {
             solver: SessionStats::dec(d)?,
             probe_models: Vec::dec(d)?,
             replay_log: Option::dec(d)?,
-            // Timings are run diagnostics, not results: a corpus hit
-            // costs no walk or probe time, so they are not on the wire.
+            // Timings and trail counters are run diagnostics, not
+            // results: a corpus hit costs no walk, probe or trail
+            // work, so they are not on the wire.
+            trail: igjit_solver::TrailStats::default(),
             walk_run: std::time::Duration::ZERO,
             probe_solve: std::time::Duration::ZERO,
         })

@@ -10,7 +10,7 @@ use igjit_heap::{ObjectMemory, Oop, Snapshot};
 use igjit_interp::Frame;
 use igjit_jit::{CodeCache, CompilerKind};
 use igjit_machine::Isa;
-use igjit_solver::{Model, SessionStats, VarId};
+use igjit_solver::{Model, SessionStats, TrailStats, VarId};
 
 use crate::classify::{classify, CauseKey};
 use crate::compare::{compare_runs, Difference, Verdict};
@@ -439,7 +439,7 @@ pub fn test_instruction(
     };
     let cache = CodeCache::disabled();
     let meta_cache = MetaCache::new();
-    let (outcome, _times, _solver) = test_instruction_with(
+    let (outcome, _times, _solver, _trail) = test_instruction_with(
         instr,
         target,
         isas,
@@ -448,6 +448,7 @@ pub fn test_instruction(
         explore_cost,
         &cache,
         &meta_cache,
+        true,
         true,
         true,
         true,
@@ -515,7 +516,8 @@ pub fn test_instruction_with(
     heap_snapshot: bool,
     predecode: bool,
     interp_predecode: bool,
-) -> (InstructionOutcome, StageTimes, SessionStats) {
+    solver_trail: bool,
+) -> (InstructionOutcome, StageTimes, SessionStats, TrailStats) {
     let mut times = StageTimes {
         explore: explore_cost.total,
         walk_run: explore_cost.walk_run,
@@ -523,6 +525,7 @@ pub fn test_instruction_with(
         ..StageTimes::default()
     };
     let mut solver = SessionStats::default();
+    let mut trail = TrailStats::default();
     let curated = exploration.curated_paths();
     let mut verdicts = Vec::new();
     let mut witness_errors = 0usize;
@@ -544,12 +547,14 @@ pub fn test_instruction_with(
             // is already in `exploration.solver`.
             std::borrow::Cow::Borrowed(precomputed.as_slice())
         } else {
-            let (models, probe_stats) = probe_models_with_stats(
+            let (models, probe_stats, probe_trail) = probe_models_with_stats(
                 &exploration.state,
                 path,
                 igjit_concolic::DEFAULT_MAX_PROBES,
+                solver_trail,
             );
             solver.merge(&probe_stats);
+            trail.merge(&probe_trail);
             probes_solved_here = true;
             std::borrow::Cow::Owned(models)
         };
@@ -826,7 +831,7 @@ pub fn test_instruction_with(
     };
     times.report += t_report.elapsed();
     REUSED_SESSION.with(|slot| slot.set(Some(session)));
-    (outcome, times, solver)
+    (outcome, times, solver, trail)
 }
 
 #[cfg(test)]

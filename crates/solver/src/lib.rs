@@ -57,7 +57,7 @@ pub use constraint::{CmpOp, Constraint, FloatTerm, Kind, KindSet, LinExpr, VarId
 pub use error::SolveError;
 pub use intern::{ConstraintId, TermId, TermTable};
 pub use model::{Assignment, Model};
-pub use search::{solve, solve_with_limits, Problem, SearchLimits};
+pub use search::{solve, solve_with_limits, Problem, SearchLimits, TrailStats};
 pub use session::{PreparedConstraint, Session, SessionStats};
 
 /// Checks that `model` satisfies every constraint of `problem` and

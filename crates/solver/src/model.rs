@@ -40,6 +40,12 @@ impl Model {
         Model { assignments }
     }
 
+    /// Surrenders the assignment buffer for pooling (the
+    /// `Engine::recycle_model` path).
+    pub(crate) fn into_assignments(self) -> Vec<Assignment> {
+        self.assignments
+    }
+
     /// Builds a model from explicit assignments (`VarId(0)` first).
     ///
     /// The solver never needs this — it exists so harnesses can

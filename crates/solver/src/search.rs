@@ -230,11 +230,84 @@ impl NormPlan {
 // Internal solver
 // ---------------------------------------------------------------------------
 
+/// One recorded interval/kind narrowing, undone in reverse order by
+/// [`Store::undo_to`]. The trail turns a hypothesis scope into
+/// trail-mark → propagate → search → unwind, replacing the per-scope
+/// [`Store`] clone the solver historically paid.
+#[derive(Clone, Copy, Debug)]
+enum TrailOp {
+    /// `lo[var]` was raised; `old` is the previous lower bound.
+    Lo { var: u32, old: i64 },
+    /// `hi[var]` was lowered; `old` is the previous upper bound.
+    Hi { var: u32, old: i64 },
+    /// `kinds[var]` was intersected; `old` is the previous set.
+    Kind { var: u32, old: KindSet },
+    /// One value was pushed onto `excluded[var]`; undo pops it.
+    Exclude { var: u32 },
+}
+
+/// Counters describing the trail-mode solver's work, exposed through
+/// [`crate::Session::trail_stats`] and merged into the campaign
+/// metrics. Kept apart from [`crate::SessionStats`] on purpose: the
+/// session stats are pinned byte-identical between trail and clone
+/// mode by the equivalence tests, while these counters *measure the
+/// mode itself* (they are zero in clone mode and the pool counters are
+/// zero in trail mode).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrailStats {
+    /// Trail marks taken (hypothesis scopes, search branches and
+    /// session pushes answered by an undo log instead of a clone).
+    pub trail_marks: usize,
+    /// Individual narrowings unwound across all scope exits.
+    pub undone_ops: usize,
+    /// Store clones avoided — every trail mark stands in for exactly
+    /// one clone the clone-mode solver would have taken.
+    pub clones_avoided: usize,
+    /// Recycled-buffer reuses: clone-mode store copies served from the
+    /// store pool, leaf assignment vectors drawn from the retired-model
+    /// pool, and model copies re-backed by a pooled buffer.
+    pub pool_hits: usize,
+    /// The same paths when no retired buffer was available and a fresh
+    /// allocation was taken instead.
+    pub pool_misses: usize,
+}
+
+impl TrailStats {
+    /// Accumulates `other` into `self` (plain sums).
+    pub fn merge(&mut self, other: &TrailStats) {
+        self.trail_marks += other.trail_marks;
+        self.undone_ops += other.undone_ops;
+        self.clones_avoided += other.clones_avoided;
+        self.pool_hits += other.pool_hits;
+        self.pool_misses += other.pool_misses;
+    }
+
+    /// The buffer-pool hit rate in [0, 1] (0 when no pooled path ran).
+    pub fn pool_hit_rate(&self) -> f64 {
+        let total = self.pool_hits + self.pool_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.pool_hits as f64 / total as f64
+        }
+    }
+}
+
 pub(crate) struct Store {
     kinds: Vec<KindSet>,
     lo: Vec<i64>,
     hi: Vec<i64>,
     excluded: Vec<Vec<i64>>,
+    /// The undo log. Every mutation of the four vectors above goes
+    /// through a recording helper that appends here when `trail_on`;
+    /// [`Store::undo_to`] pops back to a mark in reverse. The buffer is
+    /// recycled across solves (it only ever truncates), so the SAT
+    /// fast path allocates nothing once warm.
+    trail: Vec<TrailOp>,
+    /// Whether mutations are recorded. Off for one-shot engines and
+    /// clone-mode sessions, so the historical paths pay one predictable
+    /// branch per narrowing and nothing else.
+    trail_on: bool,
 }
 
 impl Clone for Store {
@@ -244,6 +317,10 @@ impl Clone for Store {
             lo: self.lo.clone(),
             hi: self.hi.clone(),
             excluded: self.excluded.clone(),
+            // Clones are search children / checkpoint copies; they are
+            // protected by being copies, never by the trail.
+            trail: Vec::new(),
+            trail_on: false,
         }
     }
 
@@ -255,6 +332,86 @@ impl Clone for Store {
         self.lo.clone_from(&src.lo);
         self.hi.clone_from(&src.hi);
         self.excluded.clone_from(&src.excluded);
+        self.trail.clear();
+        self.trail_on = false;
+    }
+}
+
+impl Store {
+    /// Switches trail recording on or off. Callers flip this once per
+    /// session, before any recorded mutation.
+    pub(crate) fn set_trail(&mut self, on: bool) {
+        self.trail_on = on;
+    }
+
+    /// The current trail position; pass back to [`Store::undo_to`].
+    pub(crate) fn trail_mark(&self) -> usize {
+        self.trail.len()
+    }
+
+    /// Unwinds every narrowing recorded since `mark`, newest first,
+    /// restoring the store to its exact state at the mark. Returns the
+    /// number of operations undone.
+    pub(crate) fn undo_to(&mut self, mark: usize) -> usize {
+        let undone = self.trail.len() - mark;
+        while self.trail.len() > mark {
+            match self.trail.pop().expect("trail entry above mark") {
+                TrailOp::Lo { var, old } => self.lo[var as usize] = old,
+                TrailOp::Hi { var, old } => self.hi[var as usize] = old,
+                TrailOp::Kind { var, old } => self.kinds[var as usize] = old,
+                TrailOp::Exclude { var } => {
+                    self.excluded[var as usize].pop();
+                }
+            }
+        }
+        undone
+    }
+
+    /// Drops variables added after a checkpoint (the trail-mode
+    /// counterpart of swapping in the checkpoint's store copy). Undo
+    /// to the scope's trail mark *first*: trail entries may touch the
+    /// to-be-truncated suffix.
+    pub(crate) fn truncate(&mut self, n: usize) {
+        self.kinds.truncate(n);
+        self.lo.truncate(n);
+        self.hi.truncate(n);
+        self.excluded.truncate(n);
+    }
+
+    /// `kinds[r] = ks`, recorded.
+    #[inline]
+    fn set_kind(&mut self, r: usize, ks: KindSet) {
+        if self.trail_on {
+            self.trail.push(TrailOp::Kind { var: r as u32, old: self.kinds[r] });
+        }
+        self.kinds[r] = ks;
+    }
+
+    /// `lo[i] = bound`, recorded.
+    #[inline]
+    fn set_lo(&mut self, i: usize, bound: i64) {
+        if self.trail_on {
+            self.trail.push(TrailOp::Lo { var: i as u32, old: self.lo[i] });
+        }
+        self.lo[i] = bound;
+    }
+
+    /// `hi[i] = bound`, recorded.
+    #[inline]
+    fn set_hi(&mut self, i: usize, bound: i64) {
+        if self.trail_on {
+            self.trail.push(TrailOp::Hi { var: i as u32, old: self.hi[i] });
+        }
+        self.hi[i] = bound;
+    }
+
+    /// `excluded[i].push(value)`, recorded.
+    #[inline]
+    fn push_excluded(&mut self, i: usize, value: i64) {
+        if self.trail_on {
+            self.trail.push(TrailOp::Exclude { var: i as u32 });
+        }
+        self.excluded[i].push(value);
     }
 }
 
@@ -297,6 +454,16 @@ pub(crate) struct Engine {
     /// Per-root flag: some in-engine constraint mentions the root, so
     /// the search must branch on it rather than pin it at the leaf.
     interesting: Vec<bool>,
+    /// Trail-mode and pool work counters (see [`TrailStats`]).
+    pub(crate) tstats: TrailStats,
+    /// Scratch buffers for [`Engine::build_leaf`], recycled across
+    /// solves so extracting a model does not allocate once warm.
+    leaf_ints: Vec<i64>,
+    leaf_kinds: Vec<Kind>,
+    leaf_floats: Vec<f64>,
+    /// Retired assignment buffers ([`crate::Session::recycle_model`]),
+    /// reused by [`Engine::build_leaf`] for the models it returns.
+    apool: Vec<Vec<Assignment>>,
 }
 
 impl Engine {
@@ -314,6 +481,11 @@ impl Engine {
             generation: 1,
             interesting_gen: 0,
             interesting: Vec::new(),
+            tstats: TrailStats::default(),
+            leaf_ints: Vec::new(),
+            leaf_kinds: Vec::new(),
+            leaf_floats: Vec::new(),
+            apool: Vec::new(),
         }
     }
 
@@ -322,10 +494,22 @@ impl Engine {
     pub(crate) fn clone_store(&mut self, src: &Store) -> Store {
         match self.pool.pop() {
             Some(mut s) => {
+                self.tstats.pool_hits += 1;
                 s.clone_from(src);
                 s
             }
-            None => src.clone(),
+            None => {
+                self.tstats.pool_misses += 1;
+                src.clone()
+            }
+        }
+    }
+
+    /// Retires a model's assignment buffer for [`Engine::build_leaf`]
+    /// reuse (bounded, to cap idle memory).
+    pub(crate) fn recycle_model(&mut self, m: Model) {
+        if self.apool.len() < 32 {
+            self.apool.push(m.into_assignments());
         }
     }
 
@@ -372,6 +556,8 @@ impl Engine {
             lo: vec![i64::MIN / 4; n],
             hi: vec![i64::MAX / 4; n],
             excluded: vec![Vec::new(); n],
+            trail: Vec::new(),
+            trail_on: false,
         };
         for (i, spec) in specs.iter().enumerate() {
             let r = self.find(i as u32) as usize;
@@ -454,7 +640,7 @@ impl Engine {
         match c {
             Constraint::Kind { var, allowed } => {
                 let r = self.find(var.0) as usize;
-                store.kinds[r] = store.kinds[r].intersect(*allowed);
+                store.set_kind(r, store.kinds[r].intersect(*allowed));
                 if store.kinds[r].is_empty() {
                     return Err(SolveError::Unsat);
                 }
@@ -474,7 +660,7 @@ impl Engine {
                         if e.terms.len() == 1 && e.terms[0].0.abs() == 1 {
                             let (coeff, v) = e.terms[0];
                             let excl = -e.constant * coeff.signum();
-                            store.excluded[v.index()].push(excl);
+                            store.push_excluded(v.index(), excl);
                         }
                         self.residual.push(Constraint::Int(CmpOp::Ne, l.clone(), r.clone()));
                     }
@@ -505,13 +691,13 @@ impl Engine {
             match op {
                 NormOp::Kind { var, allowed } => {
                     let r = self.find(var.0) as usize;
-                    store.kinds[r] = store.kinds[r].intersect(*allowed);
+                    store.set_kind(r, store.kinds[r].intersect(*allowed));
                     if store.kinds[r].is_empty() {
                         return Err(SolveError::Unsat);
                     }
                 }
                 NormOp::Ineq(e) => self.inequalities.push(e.clone()),
-                NormOp::Exclude { var, value } => store.excluded[var.index()].push(*value),
+                NormOp::Exclude { var, value } => store.push_excluded(var.index(), *value),
                 NormOp::Residual(c) => self.residual.push(c.clone()),
                 NormOp::FloatC(c) => self.floats.push(c.clone()),
                 NormOp::Distinct(a, b) => self.distinct.push((*a, *b)),
@@ -570,7 +756,7 @@ impl Engine {
                         let bound = if coeff == 1 { rhs_hi } else { rhs_hi.div_euclid(coeff as i128) };
                         let bound = bound.clamp(i64::MIN as i128, i64::MAX as i128) as i64;
                         if bound < store.hi[i] {
-                            store.hi[i] = bound;
+                            store.set_hi(i, bound);
                             changed = true;
                         }
                     } else {
@@ -584,7 +770,7 @@ impl Engine {
                         };
                         let bound = bound.clamp(i64::MIN as i128, i64::MAX as i128) as i64;
                         if bound > store.lo[i] {
-                            store.lo[i] = bound;
+                            store.set_lo(i, bound);
                             changed = true;
                         }
                     }
@@ -620,6 +806,24 @@ impl Engine {
         let result = self.search_inner(&mut store, &pending_ors, first_new);
         self.recycle_store(store);
         result
+    }
+
+    /// Trail-mode counterpart of [`Engine::search_incremental`]: the
+    /// search runs *in place* on the session's live store, recording
+    /// every narrowing on its trail instead of isolating branches in
+    /// cloned stores. The caller takes a trail mark before and unwinds
+    /// to it after (success leaves the winning branch's narrowings on
+    /// the store, exactly like the clone search leaves them in the
+    /// discarded child — the model was already extracted).
+    ///
+    /// Visits the same nodes in the same order as the clone search on
+    /// the same input, by construction: each disjunct/candidate starts
+    /// from the identical parent fixpoint, restored by `undo_to` where
+    /// the clone search starts a fresh copy.
+    pub(crate) fn search_in_place(&mut self, store: &mut Store) -> Option<Model> {
+        let first_new = self.inequalities.len();
+        let pending_ors: Vec<usize> = (0..self.ors.len()).collect();
+        self.search_inner_in_place(store, &pending_ors, first_new)
     }
 
     fn search_inner(
@@ -723,6 +927,110 @@ impl Engine {
         Some(leaf)
     }
 
+    /// [`Engine::search_inner`] with trail-based backtracking: a
+    /// branch is trail-mark → assert → recurse → unwind instead of a
+    /// store clone per disjunct/candidate. Mirrors the clone search
+    /// statement for statement (same node budget decrements, same
+    /// branch order, same candidate selection), which is what makes
+    /// the two modes stats-exact and row-identical; keep the two in
+    /// sync when touching either.
+    fn search_inner_in_place(
+        &mut self,
+        store: &mut Store,
+        pending_ors: &[usize],
+        first_new: usize,
+    ) -> Option<Model> {
+        if self.nodes_left == 0 {
+            return None;
+        }
+        self.nodes_left -= 1;
+        if !self.propagate_new(store, first_new) {
+            return None;
+        }
+        if let Some((&oi, rest)) = pending_ors.split_first() {
+            let disjuncts = std::mem::take(&mut self.ors[oi]);
+            let mut result = None;
+            for d in &disjuncts {
+                let tm = store.trail_mark();
+                self.tstats.trail_marks += 1;
+                self.tstats.clones_avoided += 1;
+                let saved = self.mark();
+                let ok = self.assert_into(d, store).is_ok();
+                let mut new_pending: Vec<usize> = rest.to_vec();
+                new_pending.extend(saved.ors..self.ors.len());
+                let r = if ok && self.check_distinct_consistency() {
+                    self.search_inner_in_place(store, &new_pending, saved.inequalities)
+                } else {
+                    None
+                };
+                if r.is_some() {
+                    // Success: like the clone search, return without
+                    // restoring — the caller's top-level unwind does.
+                    result = r;
+                    break;
+                }
+                self.tstats.undone_ops += store.undo_to(tm);
+                self.truncate_to(saved);
+            }
+            self.ors[oi] = disjuncts;
+            return result;
+        }
+        // All Ors decided: assign integer variables.
+        self.refresh_interesting(store.lo.len());
+        let unassigned = (0..store.lo.len())
+            .filter(|&i| self.find(i as u32) as usize == i)
+            .find(|&i| store.lo[i] < store.hi[i] && self.interesting[i]);
+        if let Some(i) = unassigned {
+            let (lo, hi) = (store.lo[i], store.hi[i]);
+            let mut candidates = vec![];
+            if lo <= 0 && hi >= 0 {
+                candidates.push(0);
+            }
+            if lo <= 1 && hi >= 1 {
+                candidates.push(1);
+            }
+            candidates.push(lo);
+            candidates.push(hi);
+            candidates.push(lo.midpoint(hi));
+            candidates.dedup();
+            let mut tried = Vec::new();
+            for v in candidates {
+                // `excluded[i]` is back at the parent fixpoint here:
+                // a failed candidate's narrowings were unwound below.
+                let excluded = &store.excluded[i];
+                let v = if excluded.contains(&v) {
+                    let mut w = v;
+                    while excluded.contains(&w) && w < hi {
+                        w += 1;
+                    }
+                    if excluded.contains(&w) {
+                        continue;
+                    }
+                    w
+                } else {
+                    v
+                };
+                if tried.contains(&v) {
+                    continue;
+                }
+                tried.push(v);
+                let tm = store.trail_mark();
+                self.tstats.trail_marks += 1;
+                self.tstats.clones_avoided += 1;
+                store.set_lo(i, v);
+                store.set_hi(i, v);
+                let r = self.search_inner_in_place(store, &[], 0);
+                if r.is_some() {
+                    return r;
+                }
+                self.tstats.undone_ops += store.undo_to(tm);
+            }
+            return None;
+        }
+        let leaf = self.build_leaf(store)?;
+        Some(leaf)
+    }
+
     /// Recomputes the interesting-roots mask (a variable matters for
     /// search when a constraint mentions its root; all others can be
     /// pinned to their default at the leaf) unless the memoized one is
@@ -758,10 +1066,33 @@ impl Engine {
         self.interesting_gen = self.generation;
     }
 
+    /// Extracts a model at a search leaf. The integer/kind/float
+    /// working vectors are engine-owned scratch (recycled across
+    /// solves) and the returned model's assignment buffer is drawn
+    /// from the [`Engine::recycle_model`] pool, so a warm SAT solve
+    /// allocates nothing here.
     fn build_leaf(&mut self, store: &Store) -> Option<Model> {
+        let mut ints = std::mem::take(&mut self.leaf_ints);
+        let mut kinds = std::mem::take(&mut self.leaf_kinds);
+        let mut floats = std::mem::take(&mut self.leaf_floats);
+        let result = self.build_leaf_into(store, &mut ints, &mut kinds, &mut floats);
+        self.leaf_ints = ints;
+        self.leaf_kinds = kinds;
+        self.leaf_floats = floats;
+        result
+    }
+
+    fn build_leaf_into(
+        &mut self,
+        store: &Store,
+        ints: &mut Vec<i64>,
+        kinds: &mut Vec<Kind>,
+        float_vals: &mut Vec<f64>,
+    ) -> Option<Model> {
         let n = store.lo.len();
         // Integer assignment: clamp a preferred default into bounds.
-        let mut ints = vec![0i64; n];
+        ints.clear();
+        ints.resize(n, 0i64);
         for (i, slot) in ints.iter_mut().enumerate() {
             let r = self.find(i as u32) as usize;
             let (lo, hi) = (store.lo[r], store.hi[r]);
@@ -789,13 +1120,16 @@ impl Engine {
             *slot = v;
         }
         // Kind assignment per root; prefer the first kind in the set.
-        let mut kinds = vec![Kind::SmallInt; n];
+        kinds.clear();
+        kinds.resize(n, Kind::SmallInt);
         for (i, slot) in kinds.iter_mut().enumerate() {
             let r = self.find(i as u32) as usize;
             *slot = store.kinds[r].first()?;
         }
         // Float assignment: enumerate candidates.
-        let float_vals = self.solve_floats(&kinds)?;
+        if !self.solve_floats_into(float_vals) {
+            return None;
+        }
         // Residual Ne check.
         let eval_int = |v: VarId| ints[self.find(v.0) as usize];
         for c in &self.residual {
@@ -806,25 +1140,38 @@ impl Engine {
             }
         }
         // Distinctness is structural; aliasing already validated.
-        let assignments = (0..n)
-            .map(|i| {
-                let r = self.find(i as u32);
-                Assignment {
-                    kind: kinds[i],
-                    int: ints[r as usize],
-                    float: float_vals[r as usize],
-                    alias: r,
-                }
-            })
-            .collect();
+        let mut assignments = match self.apool.pop() {
+            Some(a) => {
+                self.tstats.pool_hits += 1;
+                a
+            }
+            None => {
+                self.tstats.pool_misses += 1;
+                Vec::new()
+            }
+        };
+        assignments.clear();
+        for (i, &kind) in kinds.iter().enumerate().take(n) {
+            let r = self.find(i as u32);
+            assignments.push(Assignment {
+                kind,
+                int: ints[r as usize],
+                float: float_vals[r as usize],
+                alias: r,
+            });
+        }
         Some(Model::new(assignments))
     }
 
-    fn solve_floats(&self, _kinds: &[Kind]) -> Option<Vec<f64>> {
+    /// Fills `vals` with a satisfying float assignment (one value per
+    /// variable). Returns false when the float constraints cannot be
+    /// satisfied from the candidate pool.
+    fn solve_floats_into(&self, vals: &mut Vec<f64>) -> bool {
         let n = self.nvars;
-        let mut vals = vec![1.5f64; n];
+        vals.clear();
+        vals.resize(n, 1.5f64);
         if self.floats.is_empty() {
-            return Some(vals);
+            return true;
         }
         // Collect the float variables mentioned.
         let mut fvars: Vec<usize> = Vec::new();
@@ -853,7 +1200,7 @@ impl Engine {
         }
         // Brute-force up to 4 variables over the pool.
         if fvars.len() > 4 {
-            return None;
+            return false;
         }
         let check = |vals: &Vec<f64>| {
             self.floats.iter().all(|c| match c {
@@ -886,12 +1233,13 @@ impl Engine {
                 }
             }
         }
-        if assign(&fvars, &pool, &mut vals, &check) {
+        if assign(&fvars, &pool, vals, &check) {
             // Propagate root values to aliased members.
-            let out = (0..n).map(|i| vals[self.find(i as u32) as usize]).collect();
-            Some(out)
+            let out: Vec<f64> = (0..n).map(|i| vals[self.find(i as u32) as usize]).collect();
+            *vals = out;
+            true
         } else {
-            None
+            false
         }
     }
 }

@@ -22,7 +22,7 @@ use crate::intern::{ConstraintId, TermTable};
 use crate::model::Model;
 use crate::search::{
     constraint_is_wide, solve_counted, spec_is_wide, Engine, EngineMark, NormPlan, SearchLimits,
-    Store,
+    Store, TrailStats,
 };
 use crate::{check_model_parts, Problem};
 
@@ -79,14 +79,20 @@ struct Scope {
 
 /// A cheap engine checkpoint: the classified-constraint lists are
 /// append-only between scopes (sessions never union — aliasing forces
-/// the dirty rebuild path), so restoring is a truncation plus putting
-/// back the interval store's pre-scope copy. Cloning the whole
-/// [`Engine`] (deep `LinExpr`/`Constraint` trees) per push is what this
-/// avoids; the per-push cost is one small `Store` clone.
+/// the dirty rebuild path), so restoring is a truncation plus undoing
+/// the interval store back to the scope's state. In trail mode
+/// (default) the store restores by unwinding its undo log to
+/// `trail_mark` — pushing costs O(1); in clone mode (`set_trail(false)`)
+/// `store` holds the pre-scope copy and pop swaps it back — the
+/// engine-v3 behaviour, kept as the semantics baseline the trail is
+/// equivalence-tested against.
 struct Checkpoint {
     mark: EngineMark,
     nvars: usize,
-    store: Store,
+    /// Pre-scope store copy (clone mode only).
+    store: Option<Store>,
+    /// Trail position at push (trail mode only).
+    trail_mark: usize,
     conflict: bool,
 }
 
@@ -149,8 +155,14 @@ pub struct Session {
     /// structurally-known constraint replay its cached normalization
     /// instead of re-classifying the term tree.
     hash_cons: bool,
+    /// Scope backtracking by undo log (default) instead of per-scope
+    /// store clones; see [`Session::set_trail`].
+    trail: bool,
     table: TermTable,
     norm_plans: FxHashMap<ConstraintId, NormPlan>,
+    /// Retired models ([`Session::recycle_model`]) whose buffers back
+    /// the model-reuse fast path's returned copies.
+    model_pool: Vec<Model>,
     stats: SessionStats,
 }
 
@@ -170,7 +182,8 @@ impl Session {
     /// solve, like [`crate::solve_with_limits`]).
     pub fn with_limits(limits: SearchLimits) -> Session {
         let engine = Engine::new(0);
-        let store = engine.init_store(&[]);
+        let mut store = engine.init_store(&[]);
+        store.set_trail(true);
         Session {
             specs: Vec::new(),
             constraints: Vec::new(),
@@ -185,9 +198,43 @@ impl Session {
             last_model: None,
             reuse_models: false,
             hash_cons: false,
+            trail: true,
             table: TermTable::new(),
             norm_plans: FxHashMap::default(),
+            model_pool: Vec::new(),
             stats: SessionStats::default(),
+        }
+    }
+
+    /// Chooses how scopes backtrack: `true` (the default) records
+    /// every interval narrowing on an undo log and unwinds it at scope
+    /// exit; `false` restores the engine-v3 behaviour of cloning the
+    /// interval store per scope. Semantically invisible either way —
+    /// the `trail_equivalence` property tests pin results, models and
+    /// [`SessionStats`] byte-identical between the modes. Flip it only
+    /// on a session with no open scopes (the explorer configures
+    /// sessions before use); checkpoints taken in one mode are
+    /// restored in that mode.
+    pub fn set_trail(&mut self, on: bool) {
+        debug_assert!(self.scopes.is_empty(), "set_trail with open scopes");
+        self.trail = on;
+        self.store.set_trail(on);
+    }
+
+    /// The trail-mode work counters (zero when [`Session::set_trail`]
+    /// is off, except the clone-path pool counters).
+    pub fn trail_stats(&self) -> TrailStats {
+        self.engine.tstats
+    }
+
+    /// Donates a model the caller is done with: its buffer re-backs
+    /// future model extractions and reuse-path copies, keeping the
+    /// solve → inspect → discard cycle allocation-free once warm.
+    pub fn recycle_model(&mut self, m: Model) {
+        if self.model_pool.len() < 32 {
+            self.model_pool.push(m);
+        } else {
+            self.engine.recycle_model(m);
         }
     }
 
@@ -216,7 +263,9 @@ impl Session {
     /// so a model from one problem can never answer the next — keeping
     /// each batch's solves exactly what a fresh session would return.
     pub fn clear_cached_model(&mut self) {
-        self.last_model = None;
+        if let Some(m) = self.last_model.take() {
+            self.recycle_model(m);
+        }
     }
 
     /// Introduces a fresh variable. Variables are session-global: they
@@ -267,10 +316,18 @@ impl Session {
             None
         } else {
             self.ensure_synced();
+            let store = if self.trail {
+                self.engine.tstats.trail_marks += 1;
+                self.engine.tstats.clones_avoided += 1;
+                None
+            } else {
+                Some(self.engine.clone_store(&self.store))
+            };
             Some(Checkpoint {
                 mark: self.engine.mark(),
                 nvars: self.engine.var_count(),
-                store: self.engine.clone_store(&self.store),
+                store,
+                trail_mark: self.store.trail_mark(),
                 conflict: self.conflict,
             })
         };
@@ -371,8 +428,19 @@ impl Session {
         if let Some(cp) = scope.saved {
             self.engine.truncate_to(cp.mark);
             self.engine.truncate_vars(cp.nvars);
-            let retired = std::mem::replace(&mut self.store, cp.store);
-            self.engine.recycle_store(retired);
+            match cp.store {
+                Some(store) => {
+                    let retired = std::mem::replace(&mut self.store, store);
+                    self.engine.recycle_store(retired);
+                }
+                None => {
+                    // Trail mode: unwind the scope's narrowings first
+                    // (some touch the variable suffix), then drop
+                    // variables added inside the scope.
+                    self.engine.tstats.undone_ops += self.store.undo_to(cp.trail_mark);
+                    self.store.truncate(cp.nvars);
+                }
+            }
             self.conflict = cp.conflict;
         }
     }
@@ -388,14 +456,17 @@ impl Session {
             return Err(SolveError::PrecisionExceeded);
         }
         if self.reuse_models {
-            if let Some(m) = &self.last_model {
-                if m.len() == self.specs.len()
-                    && check_model_parts(&self.specs, &self.constraints, m)
-                {
-                    self.stats.model_reuse += 1;
-                    self.stats.sat += 1;
-                    return Ok(m.clone());
+            let hit = match &self.last_model {
+                Some(m) => {
+                    m.len() == self.specs.len()
+                        && check_model_parts(&self.specs, &self.constraints, m)
                 }
+                None => false,
+            };
+            if hit {
+                self.stats.model_reuse += 1;
+                self.stats.sat += 1;
+                return Ok(self.pooled_copy_of_last());
             }
         }
         if self.dirty {
@@ -411,8 +482,17 @@ impl Session {
         }
         let mark = self.engine.mark();
         self.engine.nodes_left = self.limits.max_nodes;
-        let root = self.engine.clone_store(&self.store);
-        let found = self.engine.search_incremental(root);
+        let found = if self.trail {
+            self.engine.tstats.trail_marks += 1;
+            self.engine.tstats.clones_avoided += 1;
+            let tm = self.store.trail_mark();
+            let found = self.engine.search_in_place(&mut self.store);
+            self.engine.tstats.undone_ops += self.store.undo_to(tm);
+            found
+        } else {
+            let root = self.engine.clone_store(&self.store);
+            self.engine.search_incremental(root)
+        };
         let nodes = self.limits.max_nodes - self.engine.nodes_left;
         self.stats.nodes_visited += nodes;
         let result = match found {
@@ -484,21 +564,24 @@ impl Session {
             return Err(SolveError::PrecisionExceeded);
         }
         if self.reuse_models {
-            if let Some(m) = &self.last_model {
-                // Hypothesis first: it is one constraint and the usual
-                // reason reuse fails (a kind-probe sweep asks for a
-                // *different* kind than the cached model assigns), so
-                // checking it before the full in-scope conjunction
-                // short-circuits the common miss. Pure predicates —
-                // the reordering cannot change whether reuse fires.
-                if m.len() == self.specs.len()
-                    && check_model_parts(&self.specs, std::slice::from_ref(c), m)
-                    && check_model_parts(&self.specs, &self.constraints, m)
-                {
-                    self.stats.model_reuse += 1;
-                    self.stats.sat += 1;
-                    return Ok(m.clone());
+            // Hypothesis first: it is one constraint and the usual
+            // reason reuse fails (a kind-probe sweep asks for a
+            // *different* kind than the cached model assigns), so
+            // checking it before the full in-scope conjunction
+            // short-circuits the common miss. Pure predicates —
+            // the reordering cannot change whether reuse fires.
+            let hit = match &self.last_model {
+                Some(m) => {
+                    m.len() == self.specs.len()
+                        && check_model_parts(&self.specs, std::slice::from_ref(c), m)
+                        && check_model_parts(&self.specs, &self.constraints, m)
                 }
+                None => false,
+            };
+            if hit {
+                self.stats.model_reuse += 1;
+                self.stats.sat += 1;
+                return Ok(self.pooled_copy_of_last());
             }
         }
         if self.dirty || is_objeq {
@@ -518,8 +601,50 @@ impl Session {
         }
         let mark = self.engine.mark();
         let nvars = self.engine.var_count();
-        let mut scratch = self.engine.clone_store(&self.store);
         let first_new = self.engine.ineq_count();
+        if self.trail {
+            // Trail mode: the hypothesis is asserted straight into the
+            // live store (every narrowing recorded) and the search runs
+            // in place — no scratch clone at all.
+            self.engine.tstats.trail_marks += 1;
+            self.engine.tstats.clones_avoided += 1;
+            let tm = self.store.trail_mark();
+            let asserted = if let Some(plan) = prepared {
+                self.engine.apply_norm(plan, &mut self.store).is_ok()
+            } else {
+                match plan_id {
+                    Some(id) => {
+                        let plan = self.norm_plans.get(&id).expect("plan just cached");
+                        self.engine.apply_norm(plan, &mut self.store).is_ok()
+                    }
+                    None => self.engine.assert_into(c, &mut self.store).is_ok(),
+                }
+            };
+            let result = if !asserted
+                || !self.engine.check_distinct_consistency()
+                || !self.engine.propagate_new(&mut self.store, first_new)
+            {
+                Err(SolveError::Unsat)
+            } else {
+                self.engine.nodes_left = self.limits.max_nodes;
+                let found = self.engine.search_in_place(&mut self.store);
+                let nodes = self.limits.max_nodes - self.engine.nodes_left;
+                self.stats.nodes_visited += nodes;
+                match found {
+                    Some(model) => Ok(model),
+                    None if self.engine.nodes_left == 0 => Err(SolveError::ResourceLimit),
+                    None => Err(SolveError::Unsat),
+                }
+            };
+            // The hypothesis's narrowings (and whatever the winning
+            // search branch left behind) unwind with the trail; the
+            // engine's classified-list appendices with the truncation.
+            self.engine.tstats.undone_ops += self.store.undo_to(tm);
+            self.engine.truncate_to(mark);
+            self.engine.truncate_vars(nvars);
+            return self.record(result);
+        }
+        let mut scratch = self.engine.clone_store(&self.store);
         let asserted = if let Some(plan) = prepared {
             self.engine.apply_norm(plan, &mut scratch).is_ok()
         } else {
@@ -578,8 +703,15 @@ impl Session {
                 // probe sweep records thousands of models here).
                 if self.reuse_models {
                     match &mut self.last_model {
-                        Some(slot) => slot.clone_from(m),
-                        None => self.last_model = Some(m.clone()),
+                        Some(slot) => {
+                            self.engine.tstats.pool_hits += 1;
+                            slot.clone_from(m);
+                        }
+                        None => {
+                            let mut slot = self.pooled_model_slot();
+                            slot.clone_from(m);
+                            self.last_model = Some(slot);
+                        }
                     }
                 }
             }
@@ -587,6 +719,31 @@ impl Session {
             Err(_) => {}
         }
         result
+    }
+
+    /// A retired model from the recycle pool, or a fresh one — counted
+    /// as a pool hit/miss either way.
+    fn pooled_model_slot(&mut self) -> Model {
+        match self.model_pool.pop() {
+            Some(m) => {
+                self.engine.tstats.pool_hits += 1;
+                m
+            }
+            None => {
+                self.engine.tstats.pool_misses += 1;
+                Model::default()
+            }
+        }
+    }
+
+    /// A copy of the cached model drawn from the recycle pool
+    /// (`clone_from` reuses the retired model's buffer, so a warm
+    /// reuse hit allocates nothing).
+    fn pooled_copy_of_last(&mut self) -> Model {
+        let mut out = self.pooled_model_slot();
+        let m = self.last_model.as_ref().expect("reuse hit was checked");
+        out.clone_from(m);
+        out
     }
 
     fn ensure_synced(&mut self) {
